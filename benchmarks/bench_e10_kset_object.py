@@ -1,0 +1,63 @@
+"""E10 — Theorem 3.3: k-set-consensus object + SWMR ⟹ k-set detector.
+
+Expected shape: the per-round disagreement ``|⋃D − ⋂D|`` stays < k for
+every schedule and object behaviour, and composing with Theorem 3.1's
+algorithm closes the circle (≤ k decisions on shared memory).
+"""
+
+import pytest
+
+from benchmarks.conftest import report_table
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.core.predicate import round_intersection, round_union
+from repro.protocols.kset import kset_protocol
+from repro.simulations.kset_object_to_rrfd import run_kset_object_rrfd
+
+GRID = [(4, 1), (6, 2), (8, 3), (12, 4)]
+
+
+def run_cell(n: int, k: int, samples: int) -> dict:
+    worst_disagreement = 0
+    for seed in range(samples):
+        res = run_kset_object_rrfd(
+            make_protocol(FullInformationProcess), list(range(n)), k,
+            max_rounds=2, seed=seed,
+        )
+        assert res.detector_property_holds()
+        for r in range(1, res.max_completed_round() + 1):
+            rows = tuple(res.d_rows(r).values())
+            if rows:
+                disagreement = len(round_union(rows) - round_intersection(rows))
+                worst_disagreement = max(worst_disagreement, disagreement)
+    return {"worst_disagreement": worst_disagreement}
+
+
+def round_trip(n: int, k: int, samples: int) -> int:
+    worst = 0
+    for seed in range(samples):
+        res = run_kset_object_rrfd(
+            kset_protocol(), list(range(n)), k, max_rounds=1, seed=seed
+        )
+        decided = {d for d in res.decisions if d is not None}
+        worst = max(worst, len(decided))
+    return worst
+
+
+@pytest.mark.parametrize("n,k", GRID)
+def test_e10_detector_property(benchmark, n, k):
+    result = benchmark.pedantic(run_cell, args=(n, k, 25), rounds=1, iterations=1)
+    assert result["worst_disagreement"] < k
+
+
+def test_e10_report(benchmark):
+    rows = []
+    for n, k in GRID:
+        cell = run_cell(n, k, 15)
+        decided = round_trip(n, k, 15)
+        rows.append([n, k, f"{cell['worst_disagreement']} < {k}", f"{decided} <= {k}"])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report_table(
+        "E10 (Thm 3.3): detector built from k-set object + SWMR memory",
+        ["n", "k", "worst |⋃D − ⋂D| vs bound", "Thm 3.1 round-trip decisions"],
+        rows,
+    )

@@ -1,0 +1,86 @@
+"""E13 — Section 4.2's adopt-commit machinery, both renderings.
+
+Expected shape: the three properties hold under every schedule/crash
+pattern; the RRFD-rounds version always finishes in 2 rounds; the register
+version's step count is Θ(n) per process (2 writes + 2n reads); commit
+rates fall as proposals diverge (unanimity ⇒ 100% commit).
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report_table
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.predicates import AtomicSnapshot
+from repro.protocols.adopt_commit import adopt_commit_protocol
+from repro.substrates.sharedmem.adopt_commit import run_adopt_commit
+
+GRID = [3, 6, 12, 24]
+
+
+def run_rounds_version(n: int, samples: int) -> dict:
+    commits = 0
+    total = 0
+    for seed in range(samples):
+        rng = random.Random(seed)
+        inputs = [rng.choice("ab") for _ in range(n)]
+        rrfd = RoundByRoundFaultDetector(AtomicSnapshot(n, n - 1), seed=seed)
+        trace = rrfd.run(adopt_commit_protocol(), inputs=inputs, max_rounds=2)
+        outs = trace.decisions
+        committed = {o.value for o in outs if o.committed}
+        assert len(committed) <= 1
+        commits += sum(1 for o in outs if o.committed)
+        total += n
+    return {"commit_rate": commits / total}
+
+
+def run_register_version(n: int, samples: int, *, unanimous: bool) -> dict:
+    commits = 0
+    total = 0
+    steps = 0
+    for seed in range(samples):
+        rng = random.Random(seed)
+        inputs = ["v"] * n if unanimous else [rng.choice("ab") for _ in range(n)]
+        result = run_adopt_commit(inputs, seed=seed)
+        outs = [o for o in result.outputs]
+        committed = {o.value for o in outs if o.committed}
+        assert len(committed) <= 1
+        commits += sum(1 for o in outs if o.committed)
+        total += n
+        steps = max(steps, max(result.steps_taken))
+    return {"commit_rate": commits / total, "steps_per_process": steps}
+
+
+@pytest.mark.parametrize("n", GRID)
+def test_e13_rounds_version(benchmark, n):
+    result = benchmark.pedantic(run_rounds_version, args=(n, 30), rounds=1, iterations=1)
+    assert 0.0 <= result["commit_rate"] <= 1.0
+
+
+@pytest.mark.parametrize("n", GRID)
+def test_e13_register_version(benchmark, n):
+    result = benchmark.pedantic(
+        run_register_version, args=(n, 30), kwargs={"unanimous": False},
+        rounds=1, iterations=1,
+    )
+    assert result["steps_per_process"] == 2 + 2 * n  # 2 writes + 2 read-alls
+
+
+def test_e13_report(benchmark):
+    rows = []
+    for n in GRID:
+        rounds_rate = run_rounds_version(n, 20)["commit_rate"]
+        mixed = run_register_version(n, 20, unanimous=False)
+        unanimous = run_register_version(n, 10, unanimous=True)
+        rows.append([
+            n, f"{100 * rounds_rate:.0f}%", f"{100 * mixed['commit_rate']:.0f}%",
+            f"{100 * unanimous['commit_rate']:.0f}%", mixed["steps_per_process"], 2,
+        ])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report_table(
+        "E13 (Sec 4.2): adopt-commit — commit rates and costs",
+        ["n", "commit% (rounds, mixed)", "commit% (registers, mixed)",
+         "commit% (unanimous)", "register steps/process", "RRFD rounds"],
+        rows,
+    )

@@ -1,0 +1,83 @@
+"""E15 — protocol complexes: the topological shadow of the models.
+
+An extension experiment (the paper's Section 6 credits the topological
+programme of [4]/[18] as its origin): enumerate each model's one-round
+protocol complex and measure the structure that decides one-round
+consensus.
+
+Expected shape: models where one-round consensus is impossible (async MP,
+SWMR, snapshot, kset(k ≥ 2)) have **connected** complexes; the equality
+model kset(1)/semisync **disconnects** into exactly ``2^n − 1`` components
+(one per common suspicion set) — which is why Theorem 3.1 decides in one
+round there.  Snapshot complexes are contractible-shaped (χ = 1): the
+standard chromatic subdivision of [4].
+"""
+
+import pytest
+
+from benchmarks.conftest import report_table
+from repro.analysis.complexes import consensus_disconnection, iterated_complex
+from repro.core.predicates import (
+    AsyncMessagePassing,
+    AtomicSnapshot,
+    KSetDetector,
+    SemiSyncEquality,
+    SharedMemorySWMR,
+)
+
+CATALOG = [
+    ("async-mp(1)", lambda: AsyncMessagePassing(3, 1), True),
+    ("swmr(1)", lambda: SharedMemorySWMR(3, 1), True),
+    ("snapshot(1)", lambda: AtomicSnapshot(3, 1), True),
+    ("snapshot(2)", lambda: AtomicSnapshot(3, 2), True),
+    ("kset(2)", lambda: KSetDetector(3, 2), True),
+    ("kset(1)=semisync", lambda: SemiSyncEquality(3), False),
+]
+
+
+@pytest.mark.parametrize("name,factory,connected", CATALOG)
+def test_e15_complex(benchmark, name, factory, connected):
+    summary = benchmark.pedantic(
+        consensus_disconnection, args=(factory(),), rounds=1, iterations=1
+    )
+    assert summary["connected"] is connected
+
+
+def test_e15_report(benchmark):
+    rows = []
+    for name, factory, _ in CATALOG:
+        summary = consensus_disconnection(factory())
+        rows.append([
+            name,
+            summary["facets"],
+            summary["vertices"],
+            summary["components"],
+            summary["euler"],
+            "impossible (connected)" if summary["connected"]
+            else "solvable (disconnected)",
+        ])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report_table(
+        "E15 (extension): one-round protocol complexes, n=3",
+        ["model", "facets", "vertices", "components", "χ", "one-round consensus"],
+        rows,
+    )
+    # the equality model splits into exactly 2^n − 1 components
+    assert rows[-1][3] == 7
+    iterated_rows = []
+    for name, factory, rounds in [
+        ("snapshot(2) [wait-free]", lambda: AtomicSnapshot(3, 2), 2),
+        ("snapshot(1) [1-resilient]", lambda: AtomicSnapshot(3, 1), 2),
+        ("kset(1)=semisync", lambda: SemiSyncEquality(3), 2),
+    ]:
+        complex_ = iterated_complex(factory(), rounds)
+        iterated_rows.append([
+            name, rounds, complex_.facet_count,
+            len(complex_.components()), complex_.euler_characteristic(),
+        ])
+    report_table(
+        "E15b: iterated (2-round) complexes — the wait-free snapshot iteration "
+        "stays contractible-shaped (χ=1); 1-resilience opens holes (χ=−2)",
+        ["model", "rounds", "facets", "components", "χ"],
+        iterated_rows,
+    )

@@ -1,0 +1,74 @@
+"""E19 — early-deciding consensus: pay for actual failures f′, not budget f.
+
+An extension of E5's upper-bound story: plain FloodMin always spends
+``f + 1`` rounds, the clean-round rule decides by ``min(f' + 2, f + 1)``.
+Expected shape: a failure-free run decides in 2 rounds regardless of f;
+the measured worst round tracks f′ (the staggered one-crash-per-round
+adversary makes the bound tight); agreement holds against every adversary
+(exhaustively verified in the tests for small systems).
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report_table
+from repro.protocols.early_stopping import early_floodmin_protocol
+from repro.protocols.floodset import floodmin_protocol
+from repro.substrates.sync import CrashScheduleInjector, run_synchronous
+
+
+def measure_rounds(f: int, actual: int, samples: int) -> int:
+    n = f + 2
+    worst = 0
+    rng = random.Random(actual * 7 + f)
+    for seed in range(samples):
+        crashers = rng.sample(range(n), actual)
+        schedule = {pid: r + 1 for r, pid in enumerate(crashers)}
+        injector = CrashScheduleInjector(n, f, schedule)
+        result = run_synchronous(
+            early_floodmin_protocol(f), list(range(n)), injector,
+            max_rounds=f + 1,
+        )
+        decisions = {result.decisions[pid] for pid in result.alive}
+        assert len(decisions) == 1
+        worst = max(worst, result.rounds_run)
+    return worst
+
+
+def plain_floodmin_rounds(f: int, actual: int) -> int:
+    n = f + 2
+    schedule = {pid: r + 1 for r, pid in enumerate(range(actual))}
+    injector = CrashScheduleInjector(n, f, schedule)
+    result = run_synchronous(
+        floodmin_protocol(f, 1), list(range(n)), injector, max_rounds=f + 1
+    )
+    return result.rounds_run
+
+
+@pytest.mark.parametrize("f,actual", [(4, 0), (4, 2), (4, 4), (6, 1), (6, 3)])
+def test_e19_early_decision_bound(benchmark, f, actual):
+    worst = benchmark.pedantic(
+        measure_rounds, args=(f, actual, 25), rounds=1, iterations=1
+    )
+    assert worst <= min(actual + 2, f + 1)
+
+
+def test_e19_report(benchmark):
+    rows = []
+    f = 5
+    for actual in range(f + 1):
+        early = measure_rounds(f, actual, 20)
+        plain = plain_floodmin_rounds(f, actual)
+        rows.append([
+            f, actual, early, f"min(f'+2, f+1) = {min(actual + 2, f + 1)}",
+            plain,
+        ])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report_table(
+        "E19 (extension): early-deciding consensus — rounds vs actual failures "
+        "(n = f + 2, staggered worst-case crashes)",
+        ["f (budget)", "f' (actual)", "early-deciding rounds", "bound", "plain FloodMin"],
+        rows,
+    )
+    assert rows[0][2] == 2  # failure-free: two rounds, not f+1

@@ -1,0 +1,70 @@
+"""E1 — Theorem 3.1: k-set agreement in ONE round under the k-set detector.
+
+Paper claim: under ``|⋃D − ⋂D| < k`` per round, the emit-and-adopt-lowest
+algorithm solves k-set agreement in a single round.  Expected shape: the
+"distinct decided values" column never exceeds k, "rounds" is always 1,
+and a targeted adversary achieves exactly k (the bound is tight).
+"""
+
+import pytest
+
+from benchmarks.conftest import report_table
+from repro.core.adversary import FunctionAdversary
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.executor import run_protocol
+from repro.core.predicates import KSetDetector
+from repro.protocols.kset import kset_protocol
+from repro.protocols.properties import check_kset_agreement, check_termination, check_validity
+
+SAMPLES = 200
+
+
+def run_cell(n: int, k: int, samples: int = SAMPLES) -> dict:
+    worst = 0
+    for seed in range(samples):
+        rrfd = RoundByRoundFaultDetector(KSetDetector(n, k), seed=seed)
+        trace = rrfd.run(kset_protocol(), inputs=list(range(n)), max_rounds=1)
+        check_kset_agreement(trace, k)
+        check_validity(trace)
+        check_termination(trace, by_round=1)
+        worst = max(worst, len(trace.decided_values))
+    return {"n": n, "k": k, "worst_distinct": worst, "rounds": 1}
+
+
+def targeted_worst_case(n: int, k: int) -> int:
+    contested = list(range(k - 1))
+
+    def strategy(r, history, payloads):
+        return tuple(
+            frozenset(c for c in contested if c < pid) for pid in range(n)
+        )
+
+    trace = run_protocol(
+        kset_protocol(), list(range(n)), FunctionAdversary(n, strategy),
+        max_rounds=1, predicate=KSetDetector(n, k),
+    )
+    return len(trace.decided_values)
+
+
+GRID = [(4, 1), (4, 2), (8, 2), (8, 4), (16, 3), (16, 8), (32, 5)]
+
+
+@pytest.mark.parametrize("n,k", GRID)
+def test_e1_one_round_kset(benchmark, n, k):
+    result = benchmark.pedantic(run_cell, args=(n, k), rounds=1, iterations=1)
+    assert result["worst_distinct"] <= k
+
+
+def test_e1_report(benchmark):
+    rows = []
+    for n, k in GRID:
+        cell = run_cell(n, k, samples=60)
+        tight = targeted_worst_case(n, k)
+        rows.append([n, k, cell["worst_distinct"], tight, 1, "<= k" if cell["worst_distinct"] <= k else "VIOLATION"])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report_table(
+        "E1 (Thm 3.1): one-round k-set agreement under KSetDetector(k)",
+        ["n", "k", "max distinct (random adv)", "distinct (targeted adv)", "rounds", "verdict"],
+        rows,
+    )
+    assert all(int(row[3]) == int(row[1]) for row in rows)  # tightness

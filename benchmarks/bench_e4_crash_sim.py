@@ -1,0 +1,74 @@
+"""E4 — Theorem 4.3: async snapshot (≤ k crashes) ⟹ ⌊f/k⌋ sync CRASH rounds.
+
+Expected shape: the simulated history satisfies the crash predicate (eq.
+(1)+(2)), the budget holds, and — the price of benign faults — the exchange
+rate is **3 async rounds per sync round** versus E3's 1:1 (the ablation
+DESIGN.md calls out).  Also reproduces Corollary 4.2's arithmetic: FloodMin
+(deadline ⌊f/k⌋+1) cannot decide inside the ⌊f/k⌋ simulated rounds.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_table
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.protocols.floodset import floodmin_protocol, rounds_needed
+from repro.simulations.async_to_sync_crash import simulate_crash_rounds
+
+GRID = [(2, 1), (4, 1), (4, 2), (6, 2), (8, 2), (9, 3)]
+
+
+def run_cell(f: int, k: int, samples: int) -> dict:
+    n = max(6, f + 1)
+    worst_faults = 0
+    async_rounds = 0
+    for seed in range(samples):
+        res = simulate_crash_rounds(
+            make_protocol(FullInformationProcess), list(range(n)), f, k, seed=seed
+        )
+        assert res.crash_predicate_holds()
+        worst_faults = max(worst_faults, res.cumulative_simulated_faults())
+        async_rounds = res.async_rounds_used
+    return {
+        "n": n,
+        "sync_rounds": f // k,
+        "async_rounds": async_rounds,
+        "worst_faults": worst_faults,
+    }
+
+
+def floodmin_decides_inside(f: int, k: int, samples: int) -> bool:
+    n = f + k + 1
+    for seed in range(samples):
+        res = simulate_crash_rounds(
+            floodmin_protocol(f, k), list(range(n)), f, k, seed=seed
+        )
+        if any(d is not None for d in res.decisions):
+            return True
+    return False
+
+
+@pytest.mark.parametrize("f,k", GRID)
+def test_e4_crash_simulation(benchmark, f, k):
+    result = benchmark.pedantic(run_cell, args=(f, k, 40), rounds=1, iterations=1)
+    assert result["worst_faults"] <= f
+    assert result["async_rounds"] == 3 * (f // k)
+
+
+def test_e4_report(benchmark):
+    rows = []
+    for f, k in GRID:
+        cell = run_cell(f, k, 30)
+        decided = floodmin_decides_inside(f, k, 20)
+        rows.append([
+            cell["n"], f, k, cell["sync_rounds"], cell["async_rounds"],
+            f"{cell['worst_faults']} <= {f}",
+            f"{rounds_needed(f, k)} > {f // k}" + (" (BROKEN)" if decided else ""),
+        ])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report_table(
+        "E4 (Thm 4.3): async snapshot(k) implements ⌊f/k⌋ sync crash rounds "
+        "(3 async rounds each); FloodMin deadline exceeds the window (Cor 4.2)",
+        ["n", "f", "k", "sync rounds", "async rounds (3x)", "worst faults vs budget",
+         "FloodMin deadline vs window"],
+        rows,
+    )

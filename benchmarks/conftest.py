@@ -1,0 +1,35 @@
+"""Benchmark-suite plumbing: collect paper-style result tables.
+
+Each bench module measures timing through pytest-benchmark *and* produces
+the rows the paper's claims predict (who wins, by what factor, where the
+crossovers sit).  Rows are registered with :func:`report_table` and printed
+in the terminal summary so `pytest benchmarks/ --benchmark-only` ends with
+the full experiment report.
+"""
+
+from __future__ import annotations
+
+_TABLES: list[tuple[str, list[str], list[list[str]]]] = []
+
+
+def report_table(title: str, header: list[str], rows: list[list[object]]) -> None:
+    """Register one experiment table for the end-of-run report."""
+    _TABLES.append((title, header, [[str(c) for c in row] for row in rows]))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    tr = terminalreporter
+    tr.section("RRFD experiment report (paper-style rows)")
+    for title, header, rows in _TABLES:
+        tr.write_line("")
+        tr.write_line(title)
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        tr.write_line("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        tr.write_line("  " + "  ".join("-" * w for w in widths))
+        for row in rows:
+            tr.write_line("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Item 6 scenario: classic failure detectors, the RRFD way — and a real one.
+
+Three views of ◇S on one screen:
+
+1. the *predicate* view: ◇S as ``|⋃⋃D| < n`` — one never-suspected process
+   — and the paper's observation that this is the send-omission predicate
+   with f = n−1 minus the self-suspicion clause (checked exhaustively);
+2. the *algorithmic* view: rotating-coordinator consensus that decides in
+   n rounds under that predicate, wait-free;
+3. the *system* view: an actual heartbeat detector over a partially
+   synchronous network (chaotic before GST, timely after), whose output
+   stabilises into exactly that predicate.
+
+Usage::
+
+    python examples/failure_detectors.py
+"""
+
+from repro import EventuallyStrong, RoundByRoundFaultDetector, SendOmissionSync
+from repro.core.submodel import implies_exhaustive
+from repro.simulations.eventually_strong import rotating_coordinator_protocol
+from repro.substrates.messaging.heartbeat import HeartbeatSystem
+
+
+def predicate_view() -> None:
+    print("=== 1. ◇S as a predicate (item 6) ===")
+    print(f"model: {EventuallyStrong(3).describe()}")
+    forward = implies_exhaustive(SendOmissionSync(3, 2), EventuallyStrong(3), rounds=2)
+    backward = implies_exhaustive(EventuallyStrong(3), SendOmissionSync(3, 2), rounds=1)
+    print(f"omission(n−1) ⇒ ◇S : {forward.holds}   "
+          f"(checked over {forward.histories_checked} histories)")
+    print(f"◇S ⇒ omission(n−1) : {backward.holds}   "
+          "(the self-suspicion clause separates them)")
+
+
+def algorithm_view() -> None:
+    print("\n=== 2. consensus under ◇S: rotating coordinator, n rounds ===")
+    n = 6
+    rrfd = RoundByRoundFaultDetector(EventuallyStrong(n), seed=13)
+    trace = rrfd.run(
+        rotating_coordinator_protocol(),
+        inputs=[f"v{i}" for i in range(n)],
+        max_rounds=n,
+    )
+    never_suspected = set(range(n))
+    for d_round in trace.d_history:
+        for row in d_round:
+            never_suspected -= row
+    print(f"never-suspected process(es): {sorted(never_suspected)}")
+    print(f"decisions: {trace.decisions}")
+
+
+def system_view() -> None:
+    print("\n=== 3. a real detector: heartbeats over partial synchrony ===")
+    system = HeartbeatSystem.build(5, seed=7, gst=40.0, delta=0.5)
+    system.network.crash(2, 60.0)
+    system.run(until=400.0)
+    print("final suspicion sets (p2 crashed at t=60, GST=40):")
+    for pid in range(5):
+        if pid in system.network.correct:
+            print(f"  p{pid} suspects {sorted(system.suspected_by(pid))}")
+    false_events = sum(
+        1
+        for node in system.nodes
+        for time, suspected in node.suspicion_log
+        if time < 40.0 and suspected
+    )
+    print(f"pre-GST false-suspicion events (all healed): {false_events}")
+    print(f"completeness: {system.completeness_holds()}   "
+          f"accuracy: {system.accuracy_holds()}   "
+          f"◇S predicate: {system.eventually_strong_holds()}")
+
+
+def main() -> None:
+    predicate_view()
+    algorithm_view()
+    system_view()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Section 5 scenario: racing consensus in the semi-synchronous model.
+
+Dolev–Dwork–Stockmeyer's model — asynchronous processes, atomic
+receive/broadcast steps, messages delivered before any further step — had a
+2n-step consensus algorithm and an open problem: is O(1) possible?  The
+paper's answer is 2 steps.  This example races the two algorithms under the
+same adversarial schedules, with crashes, and prints the step counts.
+
+Usage::
+
+    python examples/semisync_race.py [n]
+"""
+
+import random
+import sys
+
+from repro.protocols.semisync_consensus import (
+    SequentialBaselineProcess,
+    TwoStepConsensusProcess,
+)
+from repro.substrates.semisync import RandomStepSchedule, SemiSyncSystem
+
+
+def race(n: int, seed: int, crash_fraction: float = 0.3) -> tuple[int, int, int]:
+    rng = random.Random(seed)
+    inputs = [rng.randint(0, 99) for _ in range(n)]
+    crashers = rng.sample(range(n), int(crash_fraction * n))
+    crash_after = {pid: rng.randint(0, 3) for pid in crashers}
+
+    def run(cls):
+        procs = [cls(pid, n, inputs[pid]) for pid in range(n)]
+        system = SemiSyncSystem(
+            procs, RandomStepSchedule(random.Random(seed)), crash_after=dict(crash_after)
+        )
+        result = system.run()
+        values = {p.decision for p in procs if p.decided}
+        assert len(values) <= 1, "agreement violated?!"
+        return result.max_steps_to_decide()
+
+    return run(TwoStepConsensusProcess), run(SequentialBaselineProcess), len(crashers)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    print(f"Semi-synchronous consensus race, n={n} "
+          "(steps to decide, worst process)")
+    print(f"{'seed':>6}  {'crashes':>7}  {'2-step':>7}  {'2n baseline':>11}")
+    for seed in range(10):
+        fast, slow, crashed = race(n, seed)
+        print(f"{seed:>6}  {crashed:>7}  {fast:>7}  {slow:>11}")
+    print()
+    print("The 2-step algorithm is the paper's resolution of DDS's open")
+    print("problem: the first receive/send of a round acts as an atomic")
+    print("read-modify-write, making every process's round-1 suspicions")
+    print("identical (equation (5)) — and one k=1 detector round decides.")
+
+
+if __name__ == "__main__":
+    main()

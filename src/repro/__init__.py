@@ -1,0 +1,100 @@
+"""repro — Round-by-Round Fault Detectors, executable.
+
+A production-quality reproduction of Eli Gafni's PODC 1998 paper
+"Round-by-Round Fault Detectors: Unifying Synchrony and Asynchrony".
+
+The library provides:
+
+- the **RRFD kernel** (:mod:`repro.core`): round-based executions in which a
+  model is a *predicate* over per-round suspicion sets ``D(i, r)``;
+- **substrates** (:mod:`repro.substrates`): from-scratch simulators for every
+  traditional system the paper discusses — synchronous message passing with
+  crash/omission faults, asynchronous message passing, SWMR and
+  atomic-snapshot shared memory, the ABD emulation, and the semi-synchronous
+  Dolev–Dwork–Stockmeyer model;
+- **protocols** (:mod:`repro.protocols`): adopt-commit, one-round k-set
+  agreement, consensus, FloodSet-style synchronous agreement, and the paper's
+  2-step semi-synchronous consensus;
+- **simulations** (:mod:`repro.simulations`): the paper's cross-model
+  reductions (Theorems 3.3, 4.1, 4.3; Section 2 items 3–6);
+- **analysis** (:mod:`repro.analysis`): exhaustive solvability checking that
+  verifies the synchronous lower bounds (Corollaries 4.2/4.4) for small
+  systems.
+
+Quick start::
+
+    from repro import KSetDetector, RoundByRoundFaultDetector
+    from repro.protocols.kset import kset_protocol
+
+    n, k = 8, 2
+    rrfd = RoundByRoundFaultDetector(KSetDetector(n, k), seed=1)
+    trace = rrfd.run(kset_protocol(), inputs=list(range(n)), max_rounds=1)
+    assert len(trace.decided_values) <= k        # Theorem 3.1
+"""
+
+from repro.core import (
+    Adversary,
+    AsyncMessagePassing,
+    AtomicSnapshot,
+    Conjunction,
+    CrashPatternAdversary,
+    CrashSync,
+    EventuallyStrong,
+    ExecutionTrace,
+    FailureFreeAdversary,
+    FullInformationProcess,
+    FunctionAdversary,
+    KSetDetector,
+    MixedResilience,
+    Predicate,
+    PredicateAdversary,
+    Protocol,
+    RoundByRoundFaultDetector,
+    RoundExecutor,
+    RoundProcess,
+    RoundView,
+    ScriptedAdversary,
+    SemiSyncEquality,
+    SendOmissionSync,
+    SharedMemoryAntisymmetric,
+    SharedMemorySWMR,
+    Unconstrained,
+    check_submodel,
+    make_protocol,
+    run_protocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adversary",
+    "AsyncMessagePassing",
+    "AtomicSnapshot",
+    "Conjunction",
+    "CrashPatternAdversary",
+    "CrashSync",
+    "EventuallyStrong",
+    "ExecutionTrace",
+    "FailureFreeAdversary",
+    "FullInformationProcess",
+    "FunctionAdversary",
+    "KSetDetector",
+    "MixedResilience",
+    "Predicate",
+    "PredicateAdversary",
+    "Protocol",
+    "RoundByRoundFaultDetector",
+    "RoundExecutor",
+    "RoundProcess",
+    "RoundView",
+    "ScriptedAdversary",
+    "SemiSyncEquality",
+    "SendOmissionSync",
+    "SharedMemoryAntisymmetric",
+    "SharedMemorySWMR",
+    "Unconstrained",
+    "check_submodel",
+    "make_protocol",
+    "run_protocol",
+    "__version__",
+]

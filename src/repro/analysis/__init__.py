@@ -1,0 +1,71 @@
+"""Analysis tools: exhaustive solvability, knowledge propagation, lattices.
+
+- :mod:`~repro.analysis.enumeration` — enumerate all synchronous crash
+  executions of tiny systems (inputs × crash patterns → final views);
+- :mod:`~repro.analysis.solvability` — decide whether *any* decision map
+  solves k-set agreement over those executions (the lower-bound certificate
+  for Corollaries 4.2/4.4);
+- :mod:`~repro.analysis.knowledge` — knowledge propagation under the
+  antisymmetric shared-memory predicate, incl. the paper's two-round
+  conjecture (item 4);
+- :mod:`~repro.analysis.lattice` — the pairwise submodel lattice of the
+  model catalog (Section 2).
+"""
+
+from repro.analysis.adversary_search import (
+    WorstCase,
+    holds_for_every_adversary,
+    search_worst_case,
+)
+from repro.analysis.complexes import (
+    ProtocolComplex,
+    consensus_disconnection,
+    one_round_complex,
+)
+from repro.analysis.enumeration import (
+    CrashPattern,
+    Execution,
+    enumerate_crash_patterns,
+    enumerate_executions,
+    freeze_value,
+)
+from repro.analysis.knowledge import (
+    all_antisymmetric_rounds,
+    propagate_knowledge,
+    rounds_until_some_known_by_all,
+    two_round_conjecture_counterexample,
+)
+from repro.analysis.lattice import (
+    LatticeReport,
+    compute_lattice,
+    standard_catalog,
+)
+from repro.analysis.solvability import (
+    SolvabilityResult,
+    consensus_solvable,
+    kset_solvable,
+)
+
+__all__ = [
+    "WorstCase",
+    "holds_for_every_adversary",
+    "search_worst_case",
+    "ProtocolComplex",
+    "consensus_disconnection",
+    "one_round_complex",
+    "CrashPattern",
+    "Execution",
+    "enumerate_crash_patterns",
+    "enumerate_executions",
+    "freeze_value",
+    "all_antisymmetric_rounds",
+    "propagate_knowledge",
+    "rounds_until_some_known_by_all",
+    "two_round_conjecture_counterexample",
+    "LatticeReport",
+    "compute_lattice",
+    "standard_catalog",
+    "SolvabilityResult",
+    "consensus_solvable",
+    "kset_solvable",
+]

@@ -1,0 +1,139 @@
+"""Worst-case adversary search: how bad can a model make a protocol?
+
+The random adversaries estimate typical behaviour; the theorems speak of
+*worst cases*.  For small systems this module searches the adversary's
+whole move tree — every allowed suspicion family per round — and reports
+the schedule that maximises an objective, by default the number of
+distinct decided values (the quantity Theorem 3.1 bounds).
+
+Uses:
+
+- tightness: confirm the k-set detector's bound is achieved, per (n, k),
+  by search rather than by a hand-crafted adversary (benchmark E1);
+- robustness: confirm a protocol's property holds against *every*
+  adversary of a model, not just sampled ones (exhaustive for ``n ≤ 4``);
+- debugging: the returned worst suspicion history replays directly via
+  :mod:`repro.core.replay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.adversary import ScriptedAdversary
+from repro.core.algorithm import Protocol
+from repro.core.executor import run_protocol
+from repro.core.predicate import Predicate
+from repro.core.types import DHistory, ExecutionTrace
+from repro.util.sets import all_subset_families
+
+__all__ = ["WorstCase", "search_worst_case", "holds_for_every_adversary"]
+
+Objective = Callable[[ExecutionTrace], float]
+
+
+def distinct_decisions(trace: ExecutionTrace) -> float:
+    """The default objective: number of distinct decided values."""
+    return float(len(trace.decided_values))
+
+
+@dataclass
+class WorstCase:
+    """The maximising adversary found by :func:`search_worst_case`."""
+
+    objective_value: float
+    history: DHistory
+    trace: ExecutionTrace
+    histories_explored: int
+
+
+def _run_history(
+    protocol: Protocol, inputs: Sequence[Any], history: DHistory
+) -> ExecutionTrace:
+    adversary = ScriptedAdversary(len(inputs), list(history))
+    return run_protocol(
+        protocol, inputs, adversary, max_rounds=len(history)
+    )
+
+
+def search_worst_case(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    predicate: Predicate,
+    *,
+    rounds: int = 1,
+    objective: Objective = distinct_decisions,
+    max_d_size: int | None = None,
+) -> WorstCase:
+    """Exhaustively maximise ``objective`` over the model's adversaries.
+
+    Enumerates every allowed suspicion history of the given length
+    (depth-first with prefix pruning — all catalog predicates are
+    prefix-closed) and runs the protocol against each.  Exponential: keep
+    ``n ≤ 4`` unbounded or pass ``max_d_size``.
+    """
+    n = len(inputs)
+    if predicate.n != n:
+        raise ValueError(f"predicate is for n={predicate.n}, inputs give {n}")
+    best: WorstCase | None = None
+    explored = 0
+
+    def extend(history: DHistory) -> None:
+        nonlocal best, explored
+        if len(history) == rounds:
+            explored += 1
+            trace = _run_history(protocol, inputs, history)
+            value = objective(trace)
+            if best is None or value > best.objective_value:
+                best = WorstCase(
+                    objective_value=value,
+                    history=history,
+                    trace=trace,
+                    histories_explored=0,
+                )
+            return
+        for d_round in all_subset_families(n, max_size=max_d_size):
+            candidate = history + (d_round,)
+            if predicate.allows(candidate):
+                extend(candidate)
+
+    extend(())
+    if best is None:
+        raise ValueError(
+            f"{predicate.describe()} allows no {rounds}-round history"
+        )
+    best.histories_explored = explored
+    return best
+
+
+def holds_for_every_adversary(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    predicate: Predicate,
+    check: Callable[[ExecutionTrace], None],
+    *,
+    rounds: int = 1,
+    max_d_size: int | None = None,
+) -> int:
+    """Run ``check`` (raising on failure) against every allowed adversary.
+
+    Returns the number of histories verified — an exhaustive proof of the
+    property for this (protocol, model, inputs, round count).
+    """
+    n = len(inputs)
+    verified = 0
+
+    def extend(history: DHistory) -> None:
+        nonlocal verified
+        if len(history) == rounds:
+            check(_run_history(protocol, inputs, history))
+            verified += 1
+            return
+        for d_round in all_subset_families(n, max_size=max_d_size):
+            candidate = history + (d_round,)
+            if predicate.allows(candidate):
+                extend(candidate)
+
+    extend(())
+    return verified

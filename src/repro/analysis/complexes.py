@@ -1,0 +1,191 @@
+"""Protocol complexes of RRFD rounds — the topology behind the paper.
+
+The paper's lineage ([4]; Herlihy–Rajsbaum–Tuttle in the same proceedings)
+views a round-based model through its *protocol complex*: a simplex per
+reachable round outcome, a vertex per (process, local view).  The RRFD
+framing makes this concrete: a one-round outcome is an allowed suspicion
+family ``(D(0,r), ..., D(n-1,r))``, and process ``i``'s view is the set it
+heard from, ``S − D(i, r)`` (under full information with distinct inputs,
+the heard-set *is* the view).
+
+For tiny ``n`` we enumerate the complex exactly and compute the structural
+facts the paper leans on implicitly:
+
+- **connectivity**: if the one-round complex is connected and contains the
+  failure-free simplex for every input corner, one-round consensus is
+  impossible in the model (decisions are constant on components; validity
+  pins the corners to different values).  Conversely the semi-synchronous
+  equality model's complex *disconnects* — which is exactly why Section 5
+  gets one-round consensus.
+- **facet/vertex counts and Euler characteristic** — the footprint of the
+  "iterated" structure of [4].
+
+Only the *paper-relevant* fragments of combinatorial topology are
+implemented; this is a measurement tool, not a topology library.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.predicate import Predicate
+from repro.core.types import DRound
+from repro.util.sets import all_subset_families
+
+__all__ = ["ProtocolComplex", "one_round_complex", "iterated_complex", "consensus_disconnection"]
+
+Vertex = tuple[int, frozenset[int]]  # (pid, heard set)
+
+
+@dataclass
+class ProtocolComplex:
+    """A simplicial complex given by its facets (maximal simplexes)."""
+
+    n: int
+    facets: list[frozenset[Vertex]]
+
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        result: set[Vertex] = set()
+        for facet in self.facets:
+            result.update(facet)
+        return frozenset(result)
+
+    @property
+    def facet_count(self) -> int:
+        return len(self.facets)
+
+    def faces(self) -> set[frozenset[Vertex]]:
+        """Every non-empty face (subset of some facet)."""
+        result: set[frozenset[Vertex]] = set()
+        for facet in self.facets:
+            members = sorted(facet)
+            for size in range(1, len(members) + 1):
+                for combo in itertools.combinations(members, size):
+                    result.add(frozenset(combo))
+        return result
+
+    def euler_characteristic(self) -> int:
+        """``Σ (−1)^dim`` over all faces (dim = |face| − 1)."""
+        total = 0
+        for face in self.faces():
+            total += (-1) ** (len(face) - 1)
+        return total
+
+    def components(self) -> list[frozenset[Vertex]]:
+        """Connected components of the facet-sharing graph, as vertex sets."""
+        parent: dict[Vertex, Vertex] = {v: v for v in self.vertices}
+
+        def find(v: Vertex) -> Vertex:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        for facet in self.facets:
+            members = sorted(facet)
+            for other in members[1:]:
+                ra, rb = find(members[0]), find(other)
+                if ra != rb:
+                    parent[ra] = rb
+        groups: dict[Vertex, set[Vertex]] = {}
+        for v in self.vertices:
+            groups.setdefault(find(v), set()).add(v)
+        return [frozenset(group) for group in groups.values()]
+
+    def is_connected(self) -> bool:
+        return len(self.components()) <= 1
+
+
+def one_round_complex(
+    predicate: Predicate, *, max_d_size: int | None = None
+) -> ProtocolComplex:
+    """Enumerate the one-round protocol complex of a model.
+
+    One facet per allowed suspicion family; vertex ``(i, S − D(i))``.
+    Exhaustive: keep ``n ≤ 4`` (or bound ``max_d_size``).
+    """
+    n = predicate.n
+    everyone = frozenset(range(n))
+    facets: set[frozenset[Vertex]] = set()
+    for d_round in all_subset_families(n, max_size=max_d_size):
+        if not predicate.allows((d_round,)):
+            continue
+        facets.add(
+            frozenset((pid, everyone - d_round[pid]) for pid in range(n))
+        )
+    return ProtocolComplex(n=n, facets=sorted(facets, key=sorted))
+
+
+def iterated_complex(
+    predicate: Predicate,
+    rounds: int,
+    *,
+    max_d_size: int | None = None,
+) -> ProtocolComplex:
+    """The ``rounds``-fold iterated protocol complex (full information).
+
+    The paper's reference [4] coined *iterated* models because "the
+    topological structure induced by round-based models is an iteration of
+    the structure induced by a single round".  Here a vertex is
+    ``(pid, view tree)`` where the round-``r`` view tree nests the
+    round-``(r−1)`` trees of everyone heard; one facet per allowed
+    ``rounds``-round suspicion history.
+
+    Exhaustive over histories: keep ``n ≤ 3`` and ``rounds ≤ 2`` (or bound
+    ``max_d_size``).
+    """
+    n = predicate.n
+    everyone = frozenset(range(n))
+    facets: set[frozenset[Vertex]] = set()
+
+    def final_views(history: tuple[DRound, ...]) -> tuple[Any, ...]:
+        views: list[Any] = list(range(n))  # round-0 "views" are the inputs
+        for d_round in history:
+            views = [
+                (
+                    views[pid],
+                    tuple(
+                        (j, views[j])
+                        for j in sorted(everyone - d_round[pid])
+                    ),
+                )
+                for pid in range(n)
+            ]
+        return tuple(views)
+
+    def extend(history: tuple[DRound, ...]) -> None:
+        if len(history) == rounds:
+            views = final_views(history)
+            facets.add(frozenset((pid, views[pid]) for pid in range(n)))
+            return
+        for d_round in all_subset_families(n, max_size=max_d_size):
+            candidate = history + (d_round,)
+            if predicate.allows(candidate):
+                extend(candidate)
+
+    extend(())
+    return ProtocolComplex(n=n, facets=sorted(facets, key=sorted))
+
+
+def consensus_disconnection(
+    predicate: Predicate, *, max_d_size: int | None = None
+) -> dict[str, object]:
+    """The connectivity facts relevant to one-round consensus.
+
+    Returns a summary dict: ``connected`` (bool), ``components`` (count),
+    ``facets``, ``vertices``, ``euler``.  A *connected* complex containing
+    the failure-free facet means one-round consensus is impossible in the
+    model (for distinct inputs); a disconnected one leaves the door open —
+    and for the equality models each component is a decision class.
+    """
+    complex_ = one_round_complex(predicate, max_d_size=max_d_size)
+    return {
+        "connected": complex_.is_connected(),
+        "components": len(complex_.components()),
+        "facets": complex_.facet_count,
+        "vertices": len(complex_.vertices),
+        "euler": complex_.euler_characteristic(),
+    }

@@ -1,0 +1,162 @@
+"""Exhaustive enumeration of synchronous crash executions (tiny systems).
+
+The lower bounds of Corollaries 4.2/4.4 say *no algorithm* solves k-set
+agreement in ``⌊f/k⌋`` synchronous rounds.  For tiny systems we can verify
+this by brute force: a deterministic ``r``-round algorithm is a function
+from full-information views to decisions, so enumerating
+
+- every input vector over a ``(k+1)``-value domain, and
+- every crash pattern (≤ f crashes, each with an adversary-chosen set of
+  recipients that miss the final message),
+
+yields every reachable final view and every co-occurrence constraint among
+them.  :mod:`repro.analysis.solvability` then decides whether *any* decision
+map satisfies the task — a finite certificate of (un)solvability.
+
+Views are canonicalised to hashable trees so identical knowledge states in
+different executions collapse to one decision variable (that collapse *is*
+the content of the argument: an algorithm cannot distinguish them).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.substrates.sync.engine import SynchronousEngine
+from repro.substrates.sync.faults import CrashScheduleInjector
+
+__all__ = [
+    "CrashPattern",
+    "Execution",
+    "enumerate_crash_patterns",
+    "enumerate_executions",
+    "freeze_value",
+]
+
+
+@dataclass(frozen=True)
+class CrashPattern:
+    """A complete adversary strategy for a bounded synchronous execution.
+
+    ``crash_round[pid]`` says when ``pid`` crashes (absent = never);
+    ``missed_by[pid]`` is the set of recipients that miss its final message.
+    """
+
+    crash_round: tuple[tuple[int, int], ...]  # sorted (pid, round) pairs
+    missed_by: tuple[tuple[int, frozenset[int]], ...]  # sorted (pid, misses)
+
+    @property
+    def crashed(self) -> frozenset[int]:
+        return frozenset(pid for pid, _ in self.crash_round)
+
+
+def enumerate_crash_patterns(
+    n: int, f: int, rounds: int
+) -> Iterator[CrashPattern]:
+    """Yield every crash pattern with ≤ f crashes over ``rounds`` rounds.
+
+    For each subset of ≤ f crashers, each assignment of crash rounds, and
+    each choice of who misses each crasher's last partial broadcast.  The
+    count grows as ``Σ C(n,c)·r^c·(2^{n-1})^c`` — keep ``n ≤ 4``.
+    """
+    processes = range(n)
+    for count in range(f + 1):
+        for crashers in itertools.combinations(processes, count):
+            for when in itertools.product(range(1, rounds + 1), repeat=count):
+                miss_choices = [
+                    [
+                        frozenset(sub)
+                        for size in range(n)
+                        for sub in itertools.combinations(
+                            [q for q in processes if q != pid], size
+                        )
+                    ]
+                    for pid in crashers
+                ]
+                for misses in itertools.product(*miss_choices):
+                    yield CrashPattern(
+                        crash_round=tuple(sorted(zip(crashers, when))),
+                        missed_by=tuple(sorted(zip(crashers, misses))),
+                    )
+
+
+def freeze_value(value: Any) -> Any:
+    """Canonicalise a full-information payload/view into a hashable tree."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_value(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(value))
+    return value
+
+
+@dataclass(frozen=True)
+class Execution:
+    """One enumerated execution: its inputs and the deciders' final views."""
+
+    inputs: tuple[Any, ...]
+    pattern: CrashPattern
+    # (pid, frozen_view_history) per process alive at the end — the decision
+    # variables of this execution.
+    alive_views: tuple[tuple[int, Any], ...]
+
+    @property
+    def input_set(self) -> frozenset[Any]:
+        return frozenset(self.inputs)
+
+
+def run_pattern(
+    inputs: Sequence[Any], pattern: CrashPattern, rounds: int, f: int
+) -> Execution:
+    """Execute the full-information protocol under one crash pattern."""
+    n = len(inputs)
+    injector = CrashScheduleInjector(
+        n,
+        f,
+        dict(pattern.crash_round),
+        missed_by=dict(pattern.missed_by),
+    )
+    engine = SynchronousEngine(
+        make_protocol(FullInformationProcess), inputs, injector
+    )
+    result = engine.run(rounds, stop_when_alive_decided=False)
+    alive = sorted(result.alive)
+    views = []
+    for pid in alive:
+        history = tuple(
+            (
+                freeze_value(dict(view.messages)),
+                freeze_value(view.suspected),
+            )
+            for view in result.views[pid]
+        )
+        views.append((pid, (inputs[pid], history)))
+    return Execution(
+        inputs=tuple(inputs), pattern=pattern, alive_views=tuple(views)
+    )
+
+
+def enumerate_executions(
+    n: int,
+    f: int,
+    rounds: int,
+    *,
+    input_domain: Sequence[Any],
+    input_vectors: Sequence[Sequence[Any]] | None = None,
+) -> list[Execution]:
+    """All executions over the input vectors × crash patterns.
+
+    ``input_vectors`` defaults to the full product ``input_domain^n``.
+    """
+    if input_vectors is None:
+        input_vectors = list(itertools.product(input_domain, repeat=n))
+    patterns = list(enumerate_crash_patterns(n, f, rounds))
+    return [
+        run_pattern(vector, pattern, rounds, f)
+        for vector in input_vectors
+        for pattern in patterns
+    ]

@@ -1,0 +1,204 @@
+"""Knowledge propagation under the antisymmetric shared-memory predicate (E8).
+
+Section 2 item 4 discusses an alternative to predicate (4): misses are
+antisymmetric, ``p_j ∈ D(i,r) ⇒ p_i ∉ D(j,r)``.  This does *not* force
+someone to be heard by all in a round (a "does-not-know" cycle
+``p_1 → p_2 → ... → p_n → p_1`` is possible), but a cycle passes information
+backwards along itself every round, so a does-not-know cycle surviving ``r``
+rounds must have length ``> r``.  Consequently after ``n`` rounds no cycle
+survives — some process is known to all.  The paper *conjectures two rounds
+suffice*; :func:`two_round_conjecture_counterexample` searches for
+counterexamples so the experiment can report on the conjecture empirically.
+
+"Knows" here is input-level full information: ``K_i(0) = {i}`` and
+``K_i(r) = K_i(r−1) ∪ ⋃ { K_m(r−1) : m ∉ D(i, r) }``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator
+
+from repro.core.predicates import SharedMemoryAntisymmetric
+from repro.core.types import DHistory, DRound
+
+__all__ = [
+    "propagate_knowledge",
+    "rounds_until_some_known_by_all",
+    "all_antisymmetric_rounds",
+    "two_round_conjecture_counterexample",
+    "two_round_conjecture_exhaustive_symmetric",
+]
+
+
+def propagate_knowledge(n: int, history: DHistory) -> list[list[frozenset[int]]]:
+    """Per-round knowledge sets: result[r][i] = inputs known to i after r+1 rounds."""
+    knowledge = [frozenset([i]) for i in range(n)]
+    evolution: list[list[frozenset[int]]] = []
+    for d_round in history:
+        knowledge = [
+            knowledge[i].union(
+                *(knowledge[m] for m in range(n) if m not in d_round[i])
+            )
+            for i in range(n)
+        ]
+        evolution.append(list(knowledge))
+    return evolution
+
+
+def rounds_until_some_known_by_all(n: int, history: DHistory) -> int | None:
+    """First round count after which some process is known by everyone."""
+    for r, knowledge in enumerate(propagate_knowledge(n, history), start=1):
+        common = frozenset(range(n)).intersection(*knowledge) if knowledge else frozenset()
+        known_to_all = knowledge[0].intersection(*knowledge[1:]) if n > 1 else knowledge[0]
+        if known_to_all:
+            return r
+    return None
+
+
+def all_antisymmetric_rounds(n: int, f: int) -> Iterator[DRound]:
+    """Every antisymmetric round with per-process miss bound ``f``.
+
+    The miss relation is a directed graph with no 2-cycles and out-degree
+    ≤ f (self-misses excluded: a self-miss is antisymmetry-irrelevant but we
+    keep ``i ∉ D(i)`` here since the construction's processes always read
+    their own cell).  Exponential in ``n²`` — keep ``n ≤ 4``.
+    """
+    pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+    for bits in itertools.product([False, True], repeat=len(pairs)):
+        suspicions = [set() for _ in range(n)]
+        ok = True
+        for (i, j), miss in zip(pairs, bits):
+            if miss:
+                if i in suspicions[j]:
+                    ok = False
+                    break
+                suspicions[i].add(j)
+                if len(suspicions[i]) > f:
+                    ok = False
+                    break
+        if ok:
+            yield tuple(frozenset(s) for s in suspicions)
+
+
+def two_round_conjecture_counterexample(
+    n: int,
+    f: int,
+    *,
+    exhaustive: bool = False,
+    samples: int = 10_000,
+    rng: random.Random | None = None,
+) -> DHistory | None:
+    """Search for a 2-round antisymmetric history where nobody is known by all.
+
+    Returns the counterexample history, or ``None`` if none was found
+    (exhaustively for small ``n``, or within ``samples`` random draws).
+    A ``None`` from ``exhaustive=True`` *proves* the conjecture for that
+    ``(n, f)``.
+    """
+    predicate = SharedMemoryAntisymmetric(n, f)
+    if exhaustive:
+        rounds = list(all_antisymmetric_rounds(n, f))
+        for first in rounds:
+            for second in rounds:
+                history = (first, second)
+                if rounds_until_some_known_by_all(n, history) is None:
+                    return history
+        return None
+    rng = rng or random.Random(0)
+    for _ in range(samples):
+        history: DHistory = ()
+        for _ in range(2):
+            history = history + (predicate.sample_round(rng, history),)
+        if rounds_until_some_known_by_all(n, history) is None:
+            return history
+    return None
+
+
+def two_round_conjecture_exhaustive_symmetric(n: int) -> DHistory | None:
+    """Exhaustively decide the two-round conjecture for ``n`` processes.
+
+    Feasible well past :func:`two_round_conjecture_counterexample`'s naive
+    enumeration thanks to two exact reductions:
+
+    - *pruning*: a round in which some process is heard by everyone makes
+      that process's (round-1) knowledge — hence its input — known to all,
+      so both rounds of a counterexample must have ``⋃ᵢD(i,r) = S``;
+    - *symmetry*: relabelling processes maps counterexamples to
+      counterexamples, so only one representative per relabelling orbit of
+      the first round needs checking (the second round still ranges over
+      all candidates).
+
+    Knowledge sets are bitmasks; n = 5 (~59k antisymmetric rounds, ~16k
+    candidates, ~141 orbit representatives) finishes in well under a
+    minute.  Returns a counterexample history or ``None`` (a proof).
+    """
+    import itertools
+
+    pairs = [(i, j) for i in range(n) for j in range(n) if i < j]
+    full = (1 << n) - 1
+
+    # Enumerate antisymmetric rounds as per-process heard-bitmasks, keeping
+    # only candidates where nobody is heard by all (union of misses = S).
+    candidates: list[tuple[frozenset[int], ...]] = []
+    heard_masks: list[list[int]] = []
+    for assign in itertools.product(range(3), repeat=len(pairs)):
+        suspicions = [set() for _ in range(n)]
+        for (i, j), a in zip(pairs, assign):
+            if a == 1:
+                suspicions[i].add(j)
+            elif a == 2:
+                suspicions[j].add(i)
+        union = set()
+        for s in suspicions:
+            union |= s
+        if len(union) != n:
+            continue
+        candidates.append(tuple(frozenset(s) for s in suspicions))
+        heard_masks.append(
+            [full & ~sum(1 << j for j in suspicions[i]) | (1 << i)
+             for i in range(n)]
+        )
+    # NOTE: a process always "knows" itself; include self in heard for the
+    # knowledge recurrence (self-misses don't erase self-knowledge).
+
+    def canonical(d_round: tuple[frozenset[int], ...]) -> tuple:
+        best = None
+        for perm in itertools.permutations(range(n)):
+            relabelled = tuple(
+                frozenset(perm[j] for j in d_round[perm.index(i)])
+                for i in range(n)
+            )
+            key = tuple(tuple(sorted(s)) for s in relabelled)
+            if best is None or key < best:
+                best = key
+        return best
+
+    representatives: dict[tuple, int] = {}
+    for idx, d_round in enumerate(candidates):
+        key = canonical(d_round)
+        if key not in representatives:
+            representatives[key] = idx
+
+    for idx in representatives.values():
+        heard1 = heard_masks[idx]
+        # knowledge after round 1: K1[i] = ⋃ heard (inputs), self included
+        k1 = list(heard1)
+        for heard2 in heard_masks:
+            inter = full
+            for i in range(n):
+                k2 = 0
+                mask = heard2[i]
+                for m in range(n):
+                    if mask >> m & 1:
+                        k2 |= k1[m]
+                k2 |= k1[i]
+                inter &= k2
+                if not inter:
+                    break
+            if not inter:
+                # counterexample: reconstruct the history
+                second = candidates[heard_masks.index(heard2)]
+                return (candidates[idx], second)
+    return None

@@ -1,0 +1,127 @@
+"""The submodel lattice of the paper's model catalog (experiment E9).
+
+Section 2 relates its models by the submodel relation ``P_A ⇒ P_B``.  This
+module instantiates the catalog at concrete parameters, checks every ordered
+pair (exhaustively where feasible, by sampling otherwise), and renders the
+result as the lattice the paper describes:
+
+- crash ⊆ send-omission (explicit in item 2);
+- atomic snapshot ⊆ SWMR shared memory ⊆ async message passing (items 3–5);
+- antisymmetric shared memory ⊆ async MP, incomparable with SWMR (item 4);
+- async MP(f) ⊆ mixed-resilience B(t, f), strictly (item 3);
+- send-omission(n−1) ⊆ ◇S, strictly (item 6);
+- snapshot with ≤ k−1 failures ⊆ k-set detector (Corollary 3.2);
+- semi-sync equality = k-set detector with k = 1 (Section 5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.predicate import Predicate
+from repro.core.predicates import (
+    AsyncMessagePassing,
+    AtomicSnapshot,
+    CrashSync,
+    EventuallyStrong,
+    KSetDetector,
+    MixedResilience,
+    SemiSyncEquality,
+    SendOmissionSync,
+    SharedMemoryAntisymmetric,
+    SharedMemorySWMR,
+)
+from repro.core.submodel import SubmodelResult, check_submodel
+
+__all__ = ["standard_catalog", "LatticeReport", "compute_lattice", "EXPECTED_EDGES"]
+
+
+def standard_catalog(n: int, f: int, k: int, t: int) -> list[tuple[str, Predicate]]:
+    """The paper's models instantiated at one parameter point."""
+    return [
+        ("crash", CrashSync(n, f)),
+        ("omission", SendOmissionSync(n, f)),
+        ("async-mp", AsyncMessagePassing(n, f)),
+        ("mixed-B", MixedResilience(n, t, f)),
+        ("swmr", SharedMemorySWMR(n, f)),
+        ("antisym", SharedMemoryAntisymmetric(n, f)),
+        ("snapshot", AtomicSnapshot(n, f)),
+        ("diamond-S", EventuallyStrong(n)),
+        (f"kset({k})", KSetDetector(n, k)),
+        ("semisync-eq", SemiSyncEquality(n)),
+    ]
+
+
+# The paper's claimed submodel edges, as (submodel, supermodel) name pairs.
+# With the canonical instantiation f = k − 1 (Corollary 3.2's "snapshot with
+# ≤ k−1 failures" edge) and t > f, all of these must hold and none of their
+# reverses may.  Used by tests and the E9 benchmark.
+EXPECTED_EDGES = [
+    ("crash", "omission"),
+    ("snapshot", "async-mp"),
+    ("swmr", "async-mp"),
+    ("antisym", "async-mp"),
+    ("async-mp", "mixed-B"),
+    ("snapshot", "swmr"),
+]
+
+
+@dataclass
+class LatticeReport:
+    """All pairwise submodel checks over a catalog."""
+
+    names: list[str]
+    results: dict[tuple[str, str], SubmodelResult]
+
+    def holds(self, a: str, b: str) -> bool | None:
+        return self.results[(a, b)].holds
+
+    def format(self) -> str:
+        """ASCII matrix: row ⇒ column (Y/n/?), paper-style summary."""
+        width = max(len(name) for name in self.names) + 1
+        header = " " * width + " ".join(f"{name:>{width}}" for name in self.names)
+        lines = [header]
+        for a in self.names:
+            cells = []
+            for b in self.names:
+                if a == b:
+                    mark = "="
+                else:
+                    verdict = self.results[(a, b)].holds
+                    mark = {True: "Y", False: "n", None: "?"}[verdict]
+                cells.append(f"{mark:>{width}}")
+            lines.append(f"{a:<{width}}" + " ".join(cells))
+        return "\n".join(lines)
+
+
+def compute_lattice(
+    n: int,
+    f: int,
+    k: int,
+    t: int,
+    *,
+    rounds: int = 2,
+    samples: int = 400,
+    seed: int = 0,
+) -> LatticeReport:
+    """Check every ordered pair of catalog models for submodel-hood.
+
+    Exhaustive for small ``n`` (see :func:`repro.core.submodel.check_submodel`
+    for the feasibility rule); sampled refutation otherwise.
+    """
+    catalog = standard_catalog(n, f, k, t)
+    rng = random.Random(seed)
+    results: dict[tuple[str, str], SubmodelResult] = {}
+    for name_a, pred_a in catalog:
+        for name_b, pred_b in catalog:
+            if name_a == name_b:
+                continue
+            results[(name_a, name_b)] = check_submodel(
+                pred_a,
+                pred_b,
+                rounds=rounds,
+                samples=samples,
+                rng=rng,
+            )
+    return LatticeReport(names=[name for name, _ in catalog], results=results)

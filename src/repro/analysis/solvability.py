@@ -1,0 +1,243 @@
+"""Deciding task solvability from enumerated executions (Corollaries 4.2/4.4).
+
+Given the executions of :mod:`repro.analysis.enumeration`, a deterministic
+algorithm is exactly a *decision map* from (pid, final view) keys to values.
+The task constrains the map:
+
+- **validity**: a view's value must be an input of *every* execution the
+  view occurs in (the algorithm cannot tell them apart);
+- **k-agreement**: within each execution, the deciders' values span at most
+  ``k`` distinct values.
+
+:func:`kset_solvable` searches for such a map by backtracking with
+most-constrained-first ordering; :func:`consensus_solvable` specialises
+``k = 1`` to a connected-components argument (exact and fast): views linked
+by co-occurrence must decide alike, so consensus is solvable iff every
+component still has an allowed value.
+
+These checkers, combined with FloodMin's matching upper bound, give the
+finite certificates for experiment E5: k-set agreement is unsolvable in
+``⌊f/k⌋`` synchronous rounds and solvable in ``⌊f/k⌋ + 1``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+from repro.analysis.enumeration import Execution
+
+__all__ = [
+    "SolvabilityResult",
+    "build_constraints",
+    "consensus_solvable",
+    "kset_solvable",
+]
+
+ViewKey = tuple[int, Hashable]
+
+
+@dataclass
+class SolvabilityResult:
+    """Outcome of a solvability search."""
+
+    solvable: bool
+    k: int
+    views: int
+    executions: int
+    assignment: dict[ViewKey, Any] | None = None
+
+    def __str__(self) -> str:
+        verdict = "SOLVABLE" if self.solvable else "UNSOLVABLE"
+        return (
+            f"{self.k}-set agreement over {self.executions} executions / "
+            f"{self.views} views: {verdict}"
+        )
+
+
+def build_constraints(
+    executions: Sequence[Execution],
+) -> tuple[dict[ViewKey, frozenset[Any]], list[list[ViewKey]]]:
+    """Per-view allowed values (validity) and per-execution view groups."""
+    allowed: dict[ViewKey, set[Any]] = {}
+    groups: list[list[ViewKey]] = []
+    for execution in executions:
+        keys = [key for key in execution.alive_views]
+        groups.append(keys)
+        for key in keys:
+            if key in allowed:
+                allowed[key] &= set(execution.input_set)
+            else:
+                allowed[key] = set(execution.input_set)
+    return {k: frozenset(v) for k, v in allowed.items()}, groups
+
+
+def consensus_solvable(executions: Sequence[Execution]) -> SolvabilityResult:
+    """Exact k=1 decision via connected components of view co-occurrence."""
+    allowed, groups = build_constraints(executions)
+    parent: dict[ViewKey, ViewKey] = {key: key for key in allowed}
+
+    def find(key: ViewKey) -> ViewKey:
+        while parent[key] != key:
+            parent[key] = parent[parent[key]]
+            key = parent[key]
+        return key
+
+    def union(a: ViewKey, b: ViewKey) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for group in groups:
+        for key in group[1:]:
+            union(group[0], key)
+
+    component_allowed: dict[ViewKey, frozenset[Any]] = {}
+    for key, values in allowed.items():
+        root = find(key)
+        if root in component_allowed:
+            component_allowed[root] &= values
+        else:
+            component_allowed[root] = values
+
+    solvable = all(values for values in component_allowed.values())
+    assignment = None
+    if solvable:
+        assignment = {
+            key: min(component_allowed[find(key)], key=repr) for key in allowed
+        }
+    return SolvabilityResult(
+        solvable=solvable,
+        k=1,
+        views=len(allowed),
+        executions=len(executions),
+        assignment=assignment,
+    )
+
+
+def kset_solvable(
+    executions: Sequence[Execution],
+    k: int,
+    *,
+    max_nodes: int = 5_000_000,
+) -> SolvabilityResult:
+    """Backtracking search (with forward checking) for a k-agreement map.
+
+    Reductions applied before the search:
+
+    - duplicate execution groups collapse (different crash patterns often
+      yield identical decider-view sets);
+    - groups with at most ``k`` views are dropped — they can never exceed
+      ``k`` distinct values;
+    - once a group has ``k`` distinct assigned values, the domains of its
+      unassigned views are restricted to those values (forward checking),
+      failing early on wipeout.
+
+    ``max_nodes`` bounds the search; exceeding it raises RuntimeError (it
+    never triggers for the paper-scale instances in the test suite).
+    """
+    if k == 1:
+        return consensus_solvable(executions)
+    allowed, raw_groups = build_constraints(executions)
+    keys = sorted(allowed, key=repr)
+    index = {key: i for i, key in enumerate(keys)}
+    total_views = len(keys)
+
+    group_sets = {
+        frozenset(index[key] for key in group) for group in raw_groups
+    }
+    groups = [sorted(group) for group in group_sets if len(group) > k]
+
+    membership: list[list[int]] = [[] for _ in range(total_views)]
+    for gi, group in enumerate(groups):
+        for vi in group:
+            membership[vi].append(gi)
+
+    domains: list[set[Any]] = [set(allowed[key]) for key in keys]
+    if any(not domain for domain in domains):
+        return SolvabilityResult(
+            solvable=False, k=k, views=total_views, executions=len(executions)
+        )
+    assignment: list[Any] = [None] * total_views
+    group_values: list[set[Any]] = [set() for _ in groups]
+    unassigned: set[int] = set(range(total_views))
+    nodes = 0
+
+    def propagate(vi: int, value: Any, trail: list[tuple[int, Any]]) -> bool:
+        """Assign view vi := value; forward-check; record removals."""
+        assignment[vi] = value
+        unassigned.discard(vi)
+        saturated: list[int] = []
+        for gi in membership[vi]:
+            values = group_values[gi]
+            if value not in values:
+                if len(values) >= k:
+                    return False  # group already full with other values
+                values.add(value)
+                trail.append((-1, gi))  # group-value addition marker
+                if len(values) == k:
+                    saturated.append(gi)
+        for gi in saturated:
+            values = group_values[gi]
+            for other in groups[gi]:
+                if assignment[other] is not None:
+                    continue
+                domain = domains[other]
+                for v in list(domain):
+                    if v not in values:
+                        domain.discard(v)
+                        trail.append((other, v))
+                if not domain:
+                    return False
+        return True
+
+    def undo(vi: int, value: Any, trail: list[tuple[int, Any]]) -> None:
+        for entry, payload in reversed(trail):
+            if entry == -1:
+                group_values[payload].discard(value)
+            else:
+                domains[entry].add(payload)
+        assignment[vi] = None
+        unassigned.add(vi)
+
+    def choose() -> int:
+        return min(unassigned, key=lambda vi: len(domains[vi]))
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, total_views * 4 + 1000))
+
+    def search() -> bool:
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise RuntimeError(
+                f"solvability search exceeded {max_nodes} nodes; "
+                "shrink n, f, rounds or the input domain"
+            )
+        if not unassigned:
+            return True
+        vi = choose()
+        for value in sorted(domains[vi], key=repr):
+            trail: list[tuple[int, Any]] = []
+            if propagate(vi, value, trail):
+                if search():
+                    return True
+            undo(vi, value, trail)
+        return False
+
+    try:
+        solvable = search()
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return SolvabilityResult(
+        solvable=solvable,
+        k=k,
+        views=total_views,
+        executions=len(executions),
+        assignment={keys[vi]: assignment[vi] for vi in range(total_views)}
+        if solvable
+        else None,
+    )

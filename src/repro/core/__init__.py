@@ -1,0 +1,120 @@
+"""Core RRFD kernel: the paper's primary contribution, executable.
+
+Public surface:
+
+- :mod:`repro.core.types` — process ids, round views, execution traces;
+- :mod:`repro.core.algorithm` — the emit/receive algorithm format;
+- :mod:`repro.core.predicate` / :mod:`repro.core.predicates` — models as
+  predicates over suspicion sets, with the paper's full catalog;
+- :mod:`repro.core.adversary` — RRFD strategies (the detector as adversary);
+- :mod:`repro.core.executor` — the round engine;
+- :mod:`repro.core.detector` — predicate + adversary facade;
+- :mod:`repro.core.submodel` — the submodel relation, checked exhaustively.
+"""
+
+from repro.core.adversary import (
+    Adversary,
+    CrashPatternAdversary,
+    FailureFreeAdversary,
+    FunctionAdversary,
+    PredicateAdversary,
+    ScriptedAdversary,
+)
+from repro.core.algorithm import (
+    FullInformationProcess,
+    Protocol,
+    RoundProcess,
+    make_protocol,
+)
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.executor import RoundExecutor, run_protocol
+from repro.core.predicate import Conjunction, Predicate, Unconstrained
+from repro.core.replay import adversary_from_trace, replay, verify_trace_consistency
+from repro.core.trace_io import load_trace, save_trace, trace_from_dict, trace_to_dict
+from repro.core.predicates import (
+    AsyncMessagePassing,
+    AtomicSnapshot,
+    CrashSync,
+    EventuallyStrong,
+    KSetDetector,
+    MixedResilience,
+    SemiSyncEquality,
+    SendOmissionSync,
+    SharedMemoryAntisymmetric,
+    SharedMemorySWMR,
+)
+from repro.core.submodel import (
+    SubmodelResult,
+    check_submodel,
+    implies_exhaustive,
+    refute_by_sampling,
+)
+from repro.core.types import (
+    DHistory,
+    DRound,
+    ExecutionRound,
+    ExecutionTrace,
+    GuaranteeViolation,
+    PredicateViolation,
+    ProcessId,
+    Round,
+    RoundView,
+    RRFDError,
+)
+
+__all__ = [
+    # types
+    "ProcessId",
+    "Round",
+    "DRound",
+    "DHistory",
+    "RoundView",
+    "ExecutionRound",
+    "ExecutionTrace",
+    "RRFDError",
+    "GuaranteeViolation",
+    "PredicateViolation",
+    # algorithm format
+    "RoundProcess",
+    "Protocol",
+    "FullInformationProcess",
+    "make_protocol",
+    # predicates
+    "Predicate",
+    "Conjunction",
+    "Unconstrained",
+    "SendOmissionSync",
+    "CrashSync",
+    "AsyncMessagePassing",
+    "MixedResilience",
+    "SharedMemorySWMR",
+    "SharedMemoryAntisymmetric",
+    "AtomicSnapshot",
+    "EventuallyStrong",
+    "KSetDetector",
+    "SemiSyncEquality",
+    # adversaries
+    "Adversary",
+    "FailureFreeAdversary",
+    "PredicateAdversary",
+    "ScriptedAdversary",
+    "CrashPatternAdversary",
+    "FunctionAdversary",
+    # engine
+    "RoundExecutor",
+    "run_protocol",
+    "RoundByRoundFaultDetector",
+    # replay & persistence
+    "adversary_from_trace",
+    "replay",
+    "verify_trace_consistency",
+    "save_trace",
+    "load_trace",
+    "trace_to_dict",
+    "trace_from_dict",
+    # submodel relation
+    "SubmodelResult",
+    "implies_exhaustive",
+    "refute_by_sampling",
+    "check_submodel",
+]

@@ -1,0 +1,217 @@
+"""Adversaries: the entities that *are* the round-by-round fault detector.
+
+The paper inverts the classical failure-detector view: the RRFD is not a
+helpful oracle bolted onto a system, it is an integral, *adversarial* part of
+the system.  The more freedom it has in choosing the sets ``D(i, r)``, the
+weaker the model.  Accordingly, an :class:`Adversary` here is any strategy
+that produces a round of suspicions given the history (and, for
+content-aware adversaries, the payloads in flight).
+
+Adversaries may also exercise the detector's *unreliability*: delivering a
+message from a process while simultaneously flagging it faulty.  That is the
+``extras`` channel — senders that are suspected yet delivered anyway.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.predicate import Predicate, cumulative_suspected
+from repro.core.types import DHistory, DRound, ProcessId, Round
+from repro.util.sets import random_subset
+
+__all__ = [
+    "Adversary",
+    "FailureFreeAdversary",
+    "PredicateAdversary",
+    "ScriptedAdversary",
+    "CrashPatternAdversary",
+    "FunctionAdversary",
+]
+
+
+class Adversary(ABC):
+    """Strategy choosing each round's suspicions (and optional extras)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.everyone = frozenset(range(n))
+
+    @abstractmethod
+    def suspicions(
+        self, round_number: Round, history: DHistory, payloads: Sequence[Any]
+    ) -> DRound:
+        """Return ``(D(0,r), ..., D(n-1,r))`` for this round."""
+
+    def extras(
+        self, round_number: Round, history: DHistory, d_round: DRound
+    ) -> tuple[frozenset[ProcessId], ...]:
+        """Suspected senders whose messages are delivered anyway.
+
+        Defaults to none: process ``i`` receives exactly from ``S − D(i,r)``.
+        Overriding this models the unreliable detector that both delivers
+        from and flags the same process.
+        """
+        return tuple(frozenset() for _ in range(self.n))
+
+
+class FailureFreeAdversary(Adversary):
+    """The benign detector: nobody is ever suspected."""
+
+    def suspicions(
+        self, round_number: Round, history: DHistory, payloads: Sequence[Any]
+    ) -> DRound:
+        return tuple(frozenset() for _ in range(self.n))
+
+
+class PredicateAdversary(Adversary):
+    """Sample suspicions from a model predicate's constructive sampler.
+
+    This is the workhorse of the experiments: random executions of a model
+    are executions against a :class:`PredicateAdversary` over its predicate.
+    ``overlap_prob`` optionally delivers each suspected sender's message
+    anyway with the given probability, exercising detector unreliability.
+    """
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        rng: random.Random,
+        *,
+        overlap_prob: float = 0.0,
+    ) -> None:
+        super().__init__(predicate.n)
+        if not 0.0 <= overlap_prob <= 1.0:
+            raise ValueError(f"overlap_prob must be in [0,1], got {overlap_prob}")
+        self.predicate = predicate
+        self.rng = rng
+        self.overlap_prob = overlap_prob
+
+    def suspicions(
+        self, round_number: Round, history: DHistory, payloads: Sequence[Any]
+    ) -> DRound:
+        return self.predicate.sample_round(self.rng, history)
+
+    def extras(
+        self, round_number: Round, history: DHistory, d_round: DRound
+    ) -> tuple[frozenset[ProcessId], ...]:
+        if self.overlap_prob == 0.0:
+            return super().extras(round_number, history, d_round)
+        return tuple(
+            frozenset(
+                sender
+                for sender in suspected
+                if self.rng.random() < self.overlap_prob
+            )
+            for suspected in d_round
+        )
+
+
+class ScriptedAdversary(Adversary):
+    """Replay a fixed suspicion history (e.g. from a recorded trace).
+
+    Rounds beyond the script are failure-free.  Useful for regression tests,
+    replaying counterexamples found by exhaustive search, and driving the
+    executor from a simulated substrate's observed fault pattern.
+    """
+
+    def __init__(self, n: int, script: Sequence[DRound]) -> None:
+        super().__init__(n)
+        for d_round in script:
+            if len(d_round) != n:
+                raise ValueError(
+                    f"scripted round has {len(d_round)} sets, expected {n}"
+                )
+        self.script = list(script)
+
+    def suspicions(
+        self, round_number: Round, history: DHistory, payloads: Sequence[Any]
+    ) -> DRound:
+        if round_number - 1 < len(self.script):
+            return self.script[round_number - 1]
+        return tuple(frozenset() for _ in range(self.n))
+
+
+class CrashPatternAdversary(Adversary):
+    """Deterministic synchronous crash semantics from a crash schedule.
+
+    ``crashes[pid] = r`` means process ``pid`` crashes *during* round ``r``:
+    in round ``r`` an adversary-chosen subset of processes misses its message
+    (``partial_receivers``, or a random subset when a generator is given);
+    from round ``r + 1`` on, everyone suspects it.  This realises the
+    :class:`repro.core.predicates.CrashSync` predicate and is the worst-case
+    driver for the synchronous lower-bound experiments (E5): one new crash
+    per round keeps algorithms undecided the longest.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        crashes: Mapping[ProcessId, Round],
+        *,
+        rng: random.Random | None = None,
+        missed_by: Mapping[ProcessId, frozenset[ProcessId]] | None = None,
+    ) -> None:
+        super().__init__(n)
+        for pid, r in crashes.items():
+            if not 0 <= pid < n:
+                raise ValueError(f"crash pid {pid} out of range")
+            if r < 1:
+                raise ValueError(f"crash round must be ≥ 1, got {r}")
+        self.crashes = dict(crashes)
+        self.rng = rng
+        self.missed_by = dict(missed_by or {})
+
+    def _miss_set(self, pid: ProcessId) -> frozenset[ProcessId]:
+        if pid in self.missed_by:
+            return self.missed_by[pid]
+        if self.rng is None:
+            # Default worst case: everyone except the crasher misses it.
+            return self.everyone - {pid}
+        return random_subset(self.everyone, self.rng, exclude=(pid,))
+
+    def suspicions(
+        self, round_number: Round, history: DHistory, payloads: Sequence[Any]
+    ) -> DRound:
+        crashed_before = frozenset(
+            pid for pid, r in self.crashes.items() if r < round_number
+        )
+        crashing_now = [
+            pid for pid, r in self.crashes.items() if r == round_number
+        ]
+        suspicions = [set(crashed_before) - {pid} for pid in range(self.n)]
+        for crasher in crashing_now:
+            for receiver in self._miss_set(crasher):
+                if receiver != crasher:
+                    suspicions[receiver].add(crasher)
+        # Crashed processes' own views are irrelevant; give them a view that
+        # keeps the predicate satisfied.  Never self-suspect: a process that
+        # crashed *silently* (nobody missed its last message) counts as alive
+        # for the predicate's self-clause until someone suspects it.
+        for pid in crashed_before:
+            suspicions[pid] = (set(crashed_before) | set(crashing_now)) - {pid}
+        return tuple(frozenset(s) for s in suspicions)
+
+
+class FunctionAdversary(Adversary):
+    """Adapt a plain function ``(round, history, payloads) -> DRound``."""
+
+    def __init__(
+        self,
+        n: int,
+        fn: Callable[[Round, DHistory, Sequence[Any]], DRound],
+    ) -> None:
+        super().__init__(n)
+        self.fn = fn
+
+    def suspicions(
+        self, round_number: Round, history: DHistory, payloads: Sequence[Any]
+    ) -> DRound:
+        return self.fn(round_number, history, payloads)
+
+
+def surviving(n: int, history: DHistory) -> frozenset[ProcessId]:
+    """Processes never suspected so far — the "certainly alive" set."""
+    return frozenset(range(n)) - cumulative_suspected(history)

@@ -1,0 +1,165 @@
+"""The abstract *emit / receive* algorithm format of the RRFD model.
+
+The paper's abstract algorithm (Section 1) is::
+
+    r := 1
+    forever do
+        compute messages m_{i,r} for round r
+        emit m_{i,r}
+        (wait until) ∀ p_j ∈ S: received m_{j,r} or p_j ∈ D(i, r)
+        r := r + 1
+
+:class:`RoundProcess` is the per-process half of that loop:
+:meth:`RoundProcess.emit` computes ``m_{i,r}`` and
+:meth:`RoundProcess.absorb` consumes the end-of-round view (received messages
+plus ``D(i, r)``).  The executor (see :mod:`repro.core.executor`) plays the
+role of the system: it collects emissions, consults the adversary/RRFD for
+suspicions, and distributes views.
+
+A *protocol* is a factory producing one :class:`RoundProcess` per process id;
+:class:`Protocol` captures that shape so executors can run any algorithm
+uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.core.types import ProcessId, Round, RoundView
+
+__all__ = [
+    "RoundProcess",
+    "Protocol",
+    "FullInformationProcess",
+    "make_protocol",
+]
+
+
+class RoundProcess(ABC):
+    """One process's state machine in the emit/receive round format.
+
+    Subclasses implement :meth:`emit` and :meth:`absorb`; they signal
+    termination by setting :attr:`decision` to a non-``None`` output.  A
+    decided process keeps participating (emitting) unless the executor is
+    told otherwise — this mirrors full-information executions where decided
+    processes still relay information.
+    """
+
+    def __init__(self, pid: ProcessId, n: int, input_value: Any) -> None:
+        if not 0 <= pid < n:
+            raise ValueError(f"pid {pid} out of range for n={n}")
+        self.pid = pid
+        self.n = n
+        self.input_value = input_value
+        self.decision: Any = None
+
+    @abstractmethod
+    def emit(self, round_number: Round) -> Any:
+        """Compute and return the message ``m_{i,r}`` for ``round_number``."""
+
+    @abstractmethod
+    def absorb(self, view: RoundView) -> None:
+        """Consume the end-of-round view and update local state."""
+
+    @property
+    def decided(self) -> bool:
+        return self.decision is not None
+
+    def decide(self, value: Any) -> None:
+        """Commit to an output.  The first decision wins; re-deciding the
+        same value is a no-op, a conflicting re-decision is a bug."""
+        if value is None:
+            raise ValueError("decision value may not be None (None means undecided)")
+        if self.decision is not None and self.decision != value:
+            raise RuntimeError(
+                f"process {self.pid} attempted to change its decision from "
+                f"{self.decision!r} to {value!r}"
+            )
+        self.decision = value
+
+
+class Protocol:
+    """A distributed algorithm: a named factory of per-process state machines."""
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[ProcessId, int, Any], RoundProcess],
+    ) -> None:
+        self.name = name
+        self._factory = factory
+
+    def spawn(self, pid: ProcessId, n: int, input_value: Any) -> RoundProcess:
+        return self._factory(pid, n, input_value)
+
+    def spawn_all(self, inputs: tuple[Any, ...] | list[Any]) -> list[RoundProcess]:
+        n = len(inputs)
+        return [self.spawn(pid, n, inputs[pid]) for pid in range(n)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Protocol({self.name!r})"
+
+
+def make_protocol(cls: type[RoundProcess], name: str | None = None, **kwargs: Any) -> Protocol:
+    """Wrap a :class:`RoundProcess` subclass as a :class:`Protocol`.
+
+    Extra keyword arguments are forwarded to the subclass constructor after
+    the mandatory ``(pid, n, input_value)`` triple, letting parameterised
+    algorithms (``k``, fault bounds, ...) be partially applied.
+    """
+
+    def factory(pid: ProcessId, n: int, input_value: Any) -> RoundProcess:
+        return cls(pid, n, input_value, **kwargs)
+
+    return Protocol(name or cls.__name__, factory)
+
+
+class FullInformationProcess(RoundProcess):
+    """The *full-information* protocol: relay everything you know.
+
+    In round 1 a process emits its input; in round ``r > 1`` it emits its
+    entire view history.  Full-information executions are the canonical
+    objects of the paper's simulations and lower-bound arguments: any
+    round-based algorithm's state is a function of the full-information view,
+    so enumerating these views enumerates all achievable knowledge.
+
+    The emitted payload at round ``r`` is a nested structure:
+
+    - round 1: ``("input", input_value)``
+    - round r: ``("view", {sender: payload_received, ...}, suspected_set)``
+      describing the previous round.
+    """
+
+    def __init__(self, pid: ProcessId, n: int, input_value: Any) -> None:
+        super().__init__(pid, n, input_value)
+        self.views: list[RoundView] = []
+
+    def emit(self, round_number: Round) -> Any:
+        if round_number == 1:
+            return ("input", self.input_value)
+        last = self.views[-1]
+        return ("view", dict(last.messages), last.suspected)
+
+    def absorb(self, view: RoundView) -> None:
+        self.views.append(view)
+
+    def knowledge(self) -> frozenset[ProcessId]:
+        """Processes whose round-1 input this process has (transitively) seen.
+
+        Only counts information relayed through full-information payloads;
+        used by the knowledge-propagation experiments (E8).
+        """
+        known: set[ProcessId] = {self.pid}
+        # Direct receptions in round 1 carry inputs; later rounds carry views
+        # whose message dicts reveal which inputs the sender had seen.  We
+        # compute a transitive closure over the recorded views.
+        heard_by_round: list[dict[ProcessId, Any]] = [dict(v.messages) for v in self.views]
+        if not heard_by_round:
+            return frozenset(known)
+        known.update(heard_by_round[0].keys())
+        for round_messages in heard_by_round[1:]:
+            for payload in round_messages.values():
+                if isinstance(payload, tuple) and payload and payload[0] == "view":
+                    known.update(payload[1].keys())
+        return frozenset(known)

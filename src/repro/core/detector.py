@@ -1,0 +1,83 @@
+"""A thin facade tying a model predicate to an adversary: the RRFD proper.
+
+In the paper, a *system* is the pair (round structure, predicate); running an
+algorithm "in system A" means running it against some adversary whose
+suspicion choices satisfy A's predicate.  :class:`RoundByRoundFaultDetector`
+packages that pairing so user code can say::
+
+    rrfd = RoundByRoundFaultDetector(KSetDetector(n, k), seed=7)
+    trace = rrfd.run(protocol, inputs, max_rounds=5)
+
+and get a validated execution of the model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.adversary import Adversary, PredicateAdversary
+from repro.core.executor import run_protocol
+from repro.core.predicate import Predicate
+from repro.core.algorithm import Protocol
+from repro.core.types import ExecutionTrace
+from repro.util.rng import make_rng
+
+__all__ = ["RoundByRoundFaultDetector"]
+
+
+class RoundByRoundFaultDetector:
+    """A model predicate plus a (by default random) adversary realising it.
+
+    Args:
+        predicate: the model's guarantee over suspicion sets.
+        seed: seed for the default random adversary.
+        adversary: override the adversary entirely (it is still validated
+            against ``predicate`` on every round).
+        overlap_prob: probability the default adversary delivers a message
+            from a sender it simultaneously suspects (detector unreliability).
+    """
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        *,
+        seed: int | None = 0,
+        adversary: Adversary | None = None,
+        overlap_prob: float = 0.0,
+    ) -> None:
+        self.predicate = predicate
+        self.adversary = adversary or PredicateAdversary(
+            predicate, make_rng(seed), overlap_prob=overlap_prob
+        )
+        if self.adversary.n != predicate.n:
+            raise ValueError(
+                f"adversary n={self.adversary.n} ≠ predicate n={predicate.n}"
+            )
+
+    @property
+    def n(self) -> int:
+        return self.predicate.n
+
+    def run(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        *,
+        max_rounds: int,
+        crashed_stop_emitting: bool = False,
+    ) -> ExecutionTrace:
+        """Execute ``protocol`` in this model and return the trace."""
+        return run_protocol(
+            protocol,
+            inputs,
+            self.adversary,
+            max_rounds=max_rounds,
+            predicate=self.predicate,
+            crashed_stop_emitting=crashed_stop_emitting,
+        )
+
+    def describe(self) -> str:
+        return self.predicate.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoundByRoundFaultDetector({self.predicate!r})"

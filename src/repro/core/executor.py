@@ -1,0 +1,165 @@
+"""The RRFD round engine: runs emit/receive algorithms against an adversary.
+
+This is the "system" side of the paper's abstract algorithm format.  Per
+round it:
+
+1. collects every process's emission ``m_{i,r}``;
+2. asks the adversary (the RRFD) for the suspicion sets ``D(i, r)``;
+3. optionally validates them against the model predicate in force;
+4. delivers to each process the messages from ``S − D(i,r)`` (plus any
+   "extras" — suspected senders the unreliable detector delivers anyway);
+5. hands each process its :class:`repro.core.types.RoundView` and records
+   decisions.
+
+The engine never blocks: the guarantee ``S(i,r) ∪ D(i,r) = S`` holds by
+construction, which is exactly why RRFD systems unify synchrony and
+asynchrony — the *predicate*, not the scheduling, encodes the model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.adversary import Adversary
+from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.predicate import Predicate
+from repro.core.types import (
+    ExecutionRound,
+    ExecutionTrace,
+    PredicateViolation,
+    RoundView,
+)
+
+__all__ = ["RoundExecutor", "run_protocol"]
+
+
+class RoundExecutor:
+    """Drive a protocol's processes round by round under an adversary.
+
+    Args:
+        protocol: the algorithm to run (one state machine per process).
+        inputs: per-process input values; ``n = len(inputs)``.
+        adversary: the RRFD strategy choosing suspicions.
+        predicate: when given, every round of suspicions is validated and a
+            :class:`PredicateViolation` is raised on the first bad round —
+            this guards experiments against buggy adversaries.
+        stop_when_all_decided: end the run once every process has decided.
+        crashed_stop_emitting: treat processes in the *cumulative* suspected
+            set as crashed — they stop emitting fresh payloads.  Synchronous
+            crash executions set this; the default (False) matches the pure
+            RRFD view in which "suspected" need not mean "failed".
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        adversary: Adversary,
+        *,
+        predicate: Predicate | None = None,
+        stop_when_all_decided: bool = True,
+        crashed_stop_emitting: bool = False,
+    ) -> None:
+        self.n = len(inputs)
+        if adversary.n != self.n:
+            raise ValueError(
+                f"adversary is for n={adversary.n}, inputs give n={self.n}"
+            )
+        if predicate is not None and predicate.n != self.n:
+            raise ValueError(
+                f"predicate is for n={predicate.n}, inputs give n={self.n}"
+            )
+        self.protocol = protocol
+        self.inputs = tuple(inputs)
+        self.adversary = adversary
+        self.predicate = predicate
+        self.stop_when_all_decided = stop_when_all_decided
+        self.crashed_stop_emitting = crashed_stop_emitting
+        self.processes: list[RoundProcess] = protocol.spawn_all(self.inputs)
+        self.trace = ExecutionTrace(n=self.n, inputs=self.inputs)
+        self._ever_suspected: set[int] = set()
+
+    # ------------------------------------------------------------------ run
+
+    def step(self) -> ExecutionRound:
+        """Execute one round and return its record."""
+        r = self.trace.num_rounds + 1
+        history = self.trace.d_history
+
+        payloads = tuple(
+            None
+            if self.crashed_stop_emitting and pid in self._ever_suspected
+            else proc.emit(r)
+            for pid, proc in enumerate(self.processes)
+        )
+
+        d_round = self.adversary.suspicions(r, history, payloads)
+        if len(d_round) != self.n:
+            raise ValueError(
+                f"adversary returned {len(d_round)} suspicion sets, expected {self.n}"
+            )
+        if self.predicate is not None and not self.predicate.allows_extension(
+            history, d_round
+        ):
+            raise PredicateViolation(
+                f"round {r}: suspicions {d_round!r} violate "
+                f"{self.predicate.describe()}"
+            )
+        extras = self.adversary.extras(r, history, d_round)
+
+        views = []
+        for pid, proc in enumerate(self.processes):
+            delivered = (self.adversary.everyone - d_round[pid]) | extras[pid]
+            view = RoundView(
+                pid=pid,
+                round=r,
+                messages={sender: payloads[sender] for sender in sorted(delivered)},
+                suspected=d_round[pid],
+                n=self.n,
+            )
+            views.append(view)
+
+        # Absorb after all views are built so no process's state update can
+        # influence another's view within the same round.
+        for pid, (proc, view) in enumerate(zip(self.processes, views)):
+            already_decided = proc.decided
+            proc.absorb(view)
+            if proc.decided and not already_decided:
+                self.trace.record_decision(pid, proc.decision, r)
+
+        for suspected in d_round:
+            self._ever_suspected.update(suspected)
+
+        record = ExecutionRound(round=r, payloads=payloads, views=tuple(views))
+        self.trace.rounds.append(record)
+        return record
+
+    def run(self, max_rounds: int) -> ExecutionTrace:
+        """Run until all processes decide or ``max_rounds`` rounds elapse."""
+        if max_rounds < 0:
+            raise ValueError(f"max_rounds must be ≥ 0, got {max_rounds}")
+        for _ in range(max_rounds):
+            if self.stop_when_all_decided and self.trace.all_decided:
+                break
+            self.step()
+        return self.trace
+
+
+def run_protocol(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    adversary: Adversary,
+    *,
+    max_rounds: int,
+    predicate: Predicate | None = None,
+    crashed_stop_emitting: bool = False,
+) -> ExecutionTrace:
+    """One-shot convenience wrapper around :class:`RoundExecutor`."""
+    executor = RoundExecutor(
+        protocol,
+        inputs,
+        adversary,
+        predicate=predicate,
+        crashed_stop_emitting=crashed_stop_emitting,
+    )
+    return executor.run(max_rounds)

@@ -1,0 +1,186 @@
+"""Predicate abstraction: an RRFD *model* is a predicate over suspicions.
+
+Different RRFD systems differ only in the predicates over the sets
+``D(i, r)`` that they guarantee (paper, Section 1).  A :class:`Predicate`
+judges finite suspicion histories; a history is a tuple of rounds, each round
+a tuple of ``n`` frozensets (``history[r-1][i] = D(i, r)``).
+
+Two operations matter beyond the membership test:
+
+- *constructive sampling* (:meth:`Predicate.sample_round`): draw a random
+  next round of suspicions consistent with the history, so adversaries can
+  generate executions of a model without rejection loops;
+- *implication checking*: ``P_A ⇒ P_B`` is the paper's submodel relation
+  ("A is a submodel of B"); :mod:`repro.core.submodel` checks it
+  exhaustively for small ``n``/round-counts and probabilistically
+  otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.core.types import DHistory, DRound, ProcessId
+from repro.util.sets import random_subset
+
+__all__ = [
+    "Predicate",
+    "Conjunction",
+    "Unconstrained",
+    "cumulative_suspected",
+    "round_union",
+    "round_intersection",
+]
+
+
+def round_union(d_round: DRound) -> frozenset[ProcessId]:
+    """``⋃_i D(i, r)`` for one round."""
+    result: frozenset[ProcessId] = frozenset()
+    for suspected in d_round:
+        result |= suspected
+    return result
+
+
+def round_intersection(d_round: DRound) -> frozenset[ProcessId]:
+    """``⋂_i D(i, r)`` for one round."""
+    if not d_round:
+        return frozenset()
+    result = d_round[0]
+    for suspected in d_round[1:]:
+        result &= suspected
+    return result
+
+
+def cumulative_suspected(history: DHistory) -> frozenset[ProcessId]:
+    """``⋃_{r} ⋃_i D(i, r)`` — everyone ever suspected by anyone."""
+    result: frozenset[ProcessId] = frozenset()
+    for d_round in history:
+        result |= round_union(d_round)
+    return result
+
+
+class Predicate(ABC):
+    """A predicate over finite suspicion histories, defining an RRFD model."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        self.everyone = frozenset(range(n))
+
+    # ------------------------------------------------------------------ API
+
+    def allows(self, history: DHistory) -> bool:
+        """Whether the whole history satisfies this model's guarantee.
+
+        Beyond the model-specific condition (:meth:`_allows`), every RRFD
+        system forbids ``D(i, r) = S``: interpreting ``D`` as "late
+        processes", not all processes can be late (paper, Section 1).
+        """
+        for d_round in history:
+            self._validate_round(d_round)
+            if any(len(suspected) >= self.n for suspected in d_round):
+                return False
+        return self._allows(history)
+
+    @abstractmethod
+    def _allows(self, history: DHistory) -> bool:
+        """The model-specific condition; inputs are already shape-checked."""
+
+    def allows_extension(self, history: DHistory, new_round: DRound) -> bool:
+        """Whether ``history + (new_round,)`` still satisfies the predicate.
+
+        Subclasses with purely per-round conditions may override this for
+        speed; the default re-checks the extended history.
+        """
+        return self.allows(history + (new_round,))
+
+    @abstractmethod
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        """Draw a random next round consistent with ``history``.
+
+        Must always return a round such that ``allows_extension`` holds —
+        constructive samplers are the basis of the random adversaries used
+        throughout the experiments.
+        """
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        """Human-readable statement of the guarantee (paper notation)."""
+        return self.name
+
+    # -------------------------------------------------------------- helpers
+
+    def _validate_round(self, d_round: DRound) -> None:
+        if len(d_round) != self.n:
+            raise ValueError(
+                f"round has {len(d_round)} suspicion sets, expected n={self.n}"
+            )
+        for pid, suspected in enumerate(d_round):
+            if not suspected <= self.everyone:
+                raise ValueError(
+                    f"D({pid}) = {sorted(suspected)} contains ids outside S"
+                )
+
+    def __and__(self, other: "Predicate") -> "Conjunction":
+        return Conjunction(self, other)
+
+    def __repr__(self) -> str:
+        return f"{self.name}(n={self.n})"
+
+
+class Conjunction(Predicate):
+    """Conjunction of predicates over the same process set.
+
+    Sampling draws from the *first* conjunct and rejects against the rest,
+    so conjunctions sample efficiently when the first conjunct is the most
+    restrictive.  ``max_attempts`` bounds the rejection loop.
+    """
+
+    def __init__(self, *parts: Predicate, max_attempts: int = 10_000) -> None:
+        if not parts:
+            raise ValueError("Conjunction needs at least one predicate")
+        ns = {p.n for p in parts}
+        if len(ns) != 1:
+            raise ValueError(f"conjuncts disagree on n: {sorted(ns)}")
+        super().__init__(parts[0].n)
+        self.parts = parts
+        self.max_attempts = max_attempts
+
+    def _allows(self, history: DHistory) -> bool:
+        return all(part.allows(history) for part in self.parts)
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        for _ in range(self.max_attempts):
+            candidate = self.parts[0].sample_round(rng, history)
+            if all(part.allows_extension(history, candidate) for part in self.parts[1:]):
+                return candidate
+        raise RuntimeError(
+            f"could not sample a round satisfying {self.describe()} after "
+            f"{self.max_attempts} attempts"
+        )
+
+    def describe(self) -> str:
+        return " ∧ ".join(part.describe() for part in self.parts)
+
+
+class Unconstrained(Predicate):
+    """The trivial model: the detector may suspect anything.
+
+    Useful as the top of the submodel lattice and as a base case in tests.
+    Only the framework-level guarantee ``D(i,r) ≠ S`` (enforced for every
+    predicate by :meth:`Predicate.allows`) constrains it.
+    """
+
+    def _allows(self, history: DHistory) -> bool:
+        return True
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        return tuple(
+            random_subset(self.everyone, rng, max_size=self.n - 1)
+            for _ in range(self.n)
+        )

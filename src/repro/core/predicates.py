@@ -1,0 +1,482 @@
+"""The catalog of RRFD predicates from the paper (Sections 2, 3 and 5).
+
+Each class is one model of the paper, numbered as in Section 2:
+
+========================  =====================================================
+:class:`SendOmissionSync`  item 1, eq. (1) — synchronous, ≤ f send-omission
+:class:`CrashSync`         item 2, eq. (1)+(2) — synchronous, ≤ f crashes
+:class:`AsyncMessagePassing` item 3, eq. (3) — asynchronous MP, ≤ f crashes
+:class:`MixedResilience`   item 3, model *B* — t processes may miss t others
+:class:`SharedMemorySWMR`  item 4, eq. (3)+(4) — async SWMR shared memory
+:class:`SharedMemoryAntisymmetric` item 4 (alternative predicate)
+:class:`AtomicSnapshot`    item 5 — async atomic-snapshot shared memory
+:class:`EventuallyStrong`  item 6 — ◇S-style detector, |⋃⋃D| < n
+:class:`KSetDetector`      Section 3, Thm 3.1 — |⋃D − ⋂D| < k per round
+:class:`SemiSyncEquality`  Section 5, eq. (5) — all D(i,r) equal
+========================  =====================================================
+
+A modelling note on the synchronous predicates.  The paper states eq. (1) as
+``∀ p_i, r: p_i ∉ D(i, r)`` and eq. (2) as ``⋃_i D(i,r) ⊆ D(k, r+1)``.  Taken
+literally over *all* processes, the conjunction is unsatisfiable the moment
+anyone is suspected (the suspected process would have to suspect itself,
+violating eq. (1)).  The intent — standard in the synchronous literature — is
+that the clauses quantify over processes that have not themselves failed:
+a crashed process takes no further steps, so its own view is irrelevant.  We
+therefore qualify both clauses by "alive", where a process is alive at round
+``r`` if it was never suspected in rounds ``< r``.  This keeps the paper's
+explicit claim that crash is a submodel of send-omission true, and is the
+reading used by every construction in Sections 4–5.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.predicate import (
+    Predicate,
+    cumulative_suspected,
+    round_intersection,
+    round_union,
+)
+from repro.core.types import DHistory, DRound, ProcessId
+from repro.util.sets import random_subset, random_subset_of_size
+
+__all__ = [
+    "SendOmissionSync",
+    "CrashSync",
+    "AsyncMessagePassing",
+    "MixedResilience",
+    "SharedMemorySWMR",
+    "SharedMemoryAntisymmetric",
+    "AtomicSnapshot",
+    "EventuallyStrong",
+    "KSetDetector",
+    "SemiSyncEquality",
+]
+
+
+class SendOmissionSync(Predicate):
+    """Synchronous message passing with at most ``f`` send-omission faults.
+
+    Paper eq. (1): alive processes never suspect themselves, and the
+    cumulative set of suspected processes over the whole run has size ≤ f::
+
+        ∀ p_i alive, r:  p_i ∉ D(i, r)    and    |⋃_{r>0} ⋃_i D(i, r)| ≤ f
+    """
+
+    def __init__(self, n: int, f: int) -> None:
+        super().__init__(n)
+        if not 0 <= f < n:
+            raise ValueError(f"need 0 ≤ f < n, got f={f}, n={n}")
+        self.f = f
+
+    def _allows(self, history: DHistory) -> bool:
+        suspected_before: frozenset[ProcessId] = frozenset()
+        for d_round in history:
+            for pid, suspected in enumerate(d_round):
+                if pid in suspected and pid not in suspected_before:
+                    return False
+            suspected_before |= round_union(d_round)
+            if len(suspected_before) > self.f:
+                return False
+        return True
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        previously = set(cumulative_suspected(history))
+        faulty_pool = set(previously)
+        budget = self.f - len(faulty_pool)
+        # Occasionally spend some remaining budget on fresh faults.
+        if budget > 0 and rng.random() < 0.5:
+            fresh = random_subset(
+                self.everyone - faulty_pool, rng, max_size=budget
+            )
+            faulty_pool |= fresh
+        # Self-suspicion is only legal for processes already suspected in an
+        # earlier round; excluding self everywhere keeps sampling simple.
+        return tuple(
+            random_subset(faulty_pool, rng, exclude=(pid,))
+            for pid in range(self.n)
+        )
+
+    def describe(self) -> str:
+        return f"SendOmissionSync(f={self.f}): pᵢ∉D(i,r) ∧ |⋃⋃D| ≤ {self.f}"
+
+
+class CrashSync(SendOmissionSync):
+    """Synchronous message passing with at most ``f`` crash faults.
+
+    Adds eq. (2) to :class:`SendOmissionSync`: a process suspected by anyone
+    at round ``r`` is suspected by every alive process from round ``r+1`` on::
+
+        ∀ r > 0, ∀ p_k alive:  ⋃_i D(i, r) ⊆ D(k, r+1)
+
+    The paper makes the crash model *explicitly* a submodel of the
+    send-omission model; :mod:`repro.core.submodel` verifies that.
+    """
+
+    def _allows(self, history: DHistory) -> bool:
+        if not super()._allows(history):
+            return False
+        suspected_through: list[frozenset[ProcessId]] = []
+        acc: frozenset[ProcessId] = frozenset()
+        for d_round in history:
+            acc |= round_union(d_round)
+            suspected_through.append(acc)
+        for r in range(1, len(history)):
+            required = round_union(history[r - 1])
+            alive = self.everyone - suspected_through[r - 1]
+            for pid in alive:
+                if not required <= history[r][pid]:
+                    return False
+        return True
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        crashed = set(cumulative_suspected(history))
+        required = round_union(history[-1]) if history else frozenset()
+        budget = self.f - len(crashed)
+        newly_crashed: set[ProcessId] = set()
+        if budget > 0 and rng.random() < 0.5:
+            newly_crashed = set(
+                random_subset(self.everyone - crashed, rng, max_size=budget)
+            )
+        suspicions: list[frozenset[ProcessId]] = []
+        for pid in range(self.n):
+            if pid in crashed:
+                # A crashed process's view is unconstrained; keep it simple
+                # and have it see everything it must.
+                suspicions.append(frozenset(required | newly_crashed))
+                continue
+            # Alive processes must suspect `required`; they may additionally
+            # catch some of this round's new crashes.
+            extra = random_subset(newly_crashed, rng) if newly_crashed else frozenset()
+            own = (required | extra) - {pid}
+            suspicions.append(frozenset(own))
+        return tuple(suspicions)
+
+    def describe(self) -> str:
+        return (
+            f"CrashSync(f={self.f}): SendOmissionSync({self.f}) ∧ "
+            "⋃ᵢD(i,r) ⊆ D(k,r+1)"
+        )
+
+
+class AsyncMessagePassing(Predicate):
+    """Asynchronous message passing with ≤ f crash faults (item 3, eq. (3)).
+
+    Per round, every process misses at most ``f`` others: ``|D(i,r)| ≤ f``.
+    This is the round-based ("iterated") view of an asynchronous system in
+    which a process waits for ``n − f`` round-``r`` messages, buffering early
+    and discarding late ones.
+    """
+
+    def __init__(self, n: int, f: int) -> None:
+        super().__init__(n)
+        if not 0 <= f < n:
+            raise ValueError(f"need 0 ≤ f < n, got f={f}, n={n}")
+        self.f = f
+
+    def _allows(self, history: DHistory) -> bool:
+        for d_round in history:
+            if any(len(suspected) > self.f for suspected in d_round):
+                return False
+        return True
+
+    def allows_extension(self, history: DHistory, new_round: DRound) -> bool:
+        return self.allows((new_round,))
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        return tuple(
+            random_subset(self.everyone, rng, max_size=self.f)
+            for _ in range(self.n)
+        )
+
+    def describe(self) -> str:
+        return f"AsyncMessagePassing(f={self.f}): |D(i,r)| ≤ {self.f}"
+
+
+class MixedResilience(Predicate):
+    """The paper's model *B* (item 3): non-uniform miss bounds.
+
+    There is a set ``Q`` of at most ``t`` processes such that every process
+    outside ``Q`` misses at most ``f`` others per round, while processes in
+    ``Q`` may miss up to ``t``.  With ``f < t`` and ``2t < n`` this is a
+    strictly weaker model than :class:`AsyncMessagePassing(f)` — yet two of
+    its rounds implement one round of the stronger model
+    (:mod:`repro.simulations.relay`).
+
+    ``Q`` is existentially quantified over the *run*: a history is allowed if
+    some single ``Q`` works for all its rounds.
+    """
+
+    def __init__(self, n: int, t: int, f: int) -> None:
+        super().__init__(n)
+        if not 0 <= f <= t < n:
+            raise ValueError(f"need 0 ≤ f ≤ t < n, got t={t}, f={f}, n={n}")
+        self.t = t
+        self.f = f
+
+    def _allows(self, history: DHistory) -> bool:
+        worst = [0] * self.n
+        for d_round in history:
+            for pid, suspected in enumerate(d_round):
+                worst[pid] = max(worst[pid], len(suspected))
+        if any(w > self.t for w in worst):
+            return False
+        heavy = sum(1 for w in worst if w > self.f)
+        return heavy <= self.t
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        # Keep Q stable: derive it from which processes were already heavy.
+        heavy = {
+            pid
+            for pid in range(self.n)
+            if any(len(d_round[pid]) > self.f for d_round in history)
+        }
+        room = self.t - len(heavy)
+        if room > 0 and rng.random() < 0.5:
+            heavy |= set(
+                random_subset(self.everyone - heavy, rng, max_size=room)
+            )
+        return tuple(
+            random_subset(
+                self.everyone, rng, max_size=self.t if pid in heavy else self.f
+            )
+            for pid in range(self.n)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"MixedResilience(t={self.t}, f={self.f}): ∃Q,|Q|≤{self.t}: "
+            f"|D(i,r)| ≤ {self.f} off Q, ≤ {self.t} on Q"
+        )
+
+
+class SharedMemorySWMR(AsyncMessagePassing):
+    """Asynchronous SWMR shared memory with ≤ f crashes (item 4, eq. (3)+(4)).
+
+    Adds to eq. (3) the per-round guarantee that at least one process is
+    suspected by *nobody*::
+
+        ∀ r > 0:  |⋃_i D(i, r)| < n
+
+    This is what distinguishes shared memory from message passing with
+    ``2f ≥ n``: shared memory never "partitions" — the first writer of a
+    round is read by everyone.
+    """
+
+    def _allows(self, history: DHistory) -> bool:
+        if not super()._allows(history):
+            return False
+        return all(len(round_union(d_round)) < self.n for d_round in history)
+
+    def allows_extension(self, history: DHistory, new_round: DRound) -> bool:
+        return self.allows((new_round,))
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        heard_by_all = rng.randrange(self.n)
+        return tuple(
+            random_subset(
+                self.everyone, rng, exclude=(heard_by_all,), max_size=self.f
+            )
+            for _ in range(self.n)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"SharedMemorySWMR(f={self.f}): |D(i,r)| ≤ {self.f} ∧ |⋃ᵢD(i,r)| < n"
+        )
+
+
+class SharedMemoryAntisymmetric(AsyncMessagePassing):
+    """Item 4's alternative shared-memory clause: misses are antisymmetric.
+
+    ``p_j ∈ D(i, r) ⇒ p_i ∉ D(j, r)`` — if I missed you, you did not miss
+    me.  The paper notes this does *not* imply eq. (4) (a "does-not-know"
+    cycle p₁→p₂→...→pₙ→p₁ is possible), but information flows backwards
+    along any such cycle, so after at most ``n`` rounds some process is known
+    to all; the paper conjectures two rounds suffice (experiment E8).
+    """
+
+    def _allows(self, history: DHistory) -> bool:
+        if not super()._allows(history):
+            return False
+        for d_round in history:
+            for i in range(self.n):
+                for j in d_round[i]:
+                    if j != i and i in d_round[j]:
+                        return False
+        return True
+
+    def allows_extension(self, history: DHistory, new_round: DRound) -> bool:
+        return self.allows((new_round,))
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        suspicions: list[set[ProcessId]] = [set() for _ in range(self.n)]
+        # Consider ordered pairs in random order; add a miss i→j only when
+        # it keeps antisymmetry and per-process budgets.
+        pairs = [(i, j) for i in range(self.n) for j in range(self.n)]
+        rng.shuffle(pairs)
+        for i, j in pairs:
+            if len(suspicions[i]) >= self.f:
+                continue
+            if i != j and i in suspicions[j]:
+                continue
+            if rng.random() < 0.3:
+                suspicions[i].add(j)
+        return tuple(frozenset(s) for s in suspicions)
+
+    def describe(self) -> str:
+        return (
+            f"SharedMemoryAntisymmetric(f={self.f}): |D(i,r)| ≤ {self.f} ∧ "
+            "(pⱼ∈D(i,r) ⇒ pᵢ∉D(j,r))"
+        )
+
+
+class AtomicSnapshot(AsyncMessagePassing):
+    """Asynchronous atomic-snapshot shared memory, ≤ f crashes (item 5).
+
+    Adds to eq. (3): processes never suspect themselves, and within a round
+    the suspicion sets are totally ordered by inclusion::
+
+        p_i ∉ D(i, r)    and    D(i,r) ⊆ D(j,r) ∨ D(j,r) ⊆ D(i,r)
+
+    (This is the iterated-immediate-snapshot structure of Borowsky–Gafni:
+    snapshots of a round can be linearized, so what one process misses is a
+    subset of what a "later" process misses... and vice versa.)
+    """
+
+    def _allows(self, history: DHistory) -> bool:
+        if not super()._allows(history):
+            return False
+        for d_round in history:
+            for pid, suspected in enumerate(d_round):
+                if pid in suspected:
+                    return False
+            ordered = sorted(d_round, key=len)
+            for smaller, larger in zip(ordered, ordered[1:]):
+                if not smaller <= larger:
+                    return False
+        return True
+
+    def allows_extension(self, history: DHistory, new_round: DRound) -> bool:
+        return self.allows((new_round,))
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        # Build a random chain ∅ = C_0 ⊆ C_1 ⊆ ... of misses with |C_max| ≤ f,
+        # then assign each process a chain level it is *not* inside.
+        chain: list[frozenset[ProcessId]] = [frozenset()]
+        pool = list(self.everyone)
+        rng.shuffle(pool)
+        for pid in pool[: self.f]:
+            if rng.random() < 0.5:
+                chain.append(chain[-1] | {pid})
+        suspicions: list[frozenset[ProcessId]] = []
+        for pid in range(self.n):
+            levels = [c for c in chain if pid not in c]
+            suspicions.append(rng.choice(levels))
+        return tuple(suspicions)
+
+    def describe(self) -> str:
+        return (
+            f"AtomicSnapshot(f={self.f}): |D(i,r)| ≤ {self.f} ∧ pᵢ∉D(i,r) ∧ "
+            "D-sets form a ⊆-chain per round"
+        )
+
+
+class EventuallyStrong(Predicate):
+    """The RRFD counterpart of the classic failure detector ◇S (item 6).
+
+    Some process is never suspected by anyone::
+
+        |⋃_{r>0} ⋃_i D(i, r)| < n
+
+    The paper observes this is exactly the :class:`SendOmissionSync` predicate
+    with ``f = n − 1`` minus the self-suspicion clause — a pure predicate
+    manipulation reducing wait-free ◇S consensus to synchronous consensus.
+    """
+
+    def _allows(self, history: DHistory) -> bool:
+        return len(cumulative_suspected(history)) < self.n
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        already = cumulative_suspected(history)
+        if len(already) < self.n - 1:
+            # May still grow the suspected pool, but keep one process immune.
+            immune_pool = sorted(self.everyone - already)
+            immune = rng.choice(immune_pool)
+        else:
+            (immune,) = self.everyone - already
+        return tuple(
+            random_subset(self.everyone, rng, exclude=(immune,), max_size=self.n - 1)
+            for _ in range(self.n)
+        )
+
+    def describe(self) -> str:
+        return "EventuallyStrong: |⋃⋃D| < n (some process never suspected)"
+
+
+class KSetDetector(Predicate):
+    """The detector of Theorem 3.1, capturing k-set agreement.
+
+    Per round, fewer than ``k`` processes are suspected by *some* process but
+    not by *all*::
+
+        ∀ r > 0:  |⋃_i D(i, r) − ⋂_i D(i, r)| < k
+
+    The bound limits the detector's per-round *disagreement*; for ``k = 1``
+    the detectors at different processes must agree exactly (and one round of
+    it solves consensus — Theorem 3.1's proof is
+    :mod:`repro.protocols.kset`).
+    """
+
+    def __init__(self, n: int, k: int) -> None:
+        super().__init__(n)
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 ≤ k ≤ n, got k={k}, n={n}")
+        self.k = k
+
+    def _allows(self, history: DHistory) -> bool:
+        for d_round in history:
+            disagreement = round_union(d_round) - round_intersection(d_round)
+            if len(disagreement) >= self.k:
+                return False
+        return True
+
+    def allows_extension(self, history: DHistory, new_round: DRound) -> bool:
+        return self.allows((new_round,))
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        # A common core everyone suspects (never all of S), plus fewer than k
+        # contested processes that only some suspect.
+        core = random_subset(self.everyone, rng, max_size=self.n - 1)
+        contested = random_subset_of_size(
+            self.everyone - core, rng.randint(0, max(0, min(self.k - 1, self.n - 1 - len(core)))), rng
+        )
+        suspicions: list[frozenset[ProcessId]] = []
+        for _ in range(self.n):
+            extra = random_subset(contested, rng)
+            suspicions.append(core | extra)
+        return tuple(suspicions)
+
+    def describe(self) -> str:
+        return f"KSetDetector(k={self.k}): |⋃ᵢD(i,r) − ⋂ᵢD(i,r)| < {self.k}"
+
+
+class SemiSyncEquality(KSetDetector):
+    """Equation (5): all processes get identical suspicions each round.
+
+    ``∀ r, i, j: D(i, r) = D(j, r)`` — equivalently :class:`KSetDetector`
+    with ``k = 1``.  Section 5 implements this detector in the semi-
+    synchronous model of Dolev–Dwork–Stockmeyer with two steps per round,
+    yielding a 2-step consensus algorithm.
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n, k=1)
+
+    def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
+        common = random_subset(self.everyone, rng, max_size=self.n - 1)
+        return tuple(common for _ in range(self.n))
+
+    def describe(self) -> str:
+        return "SemiSyncEquality: D(i,r) = D(j,r) for all i, j"

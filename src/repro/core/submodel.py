@@ -1,0 +1,174 @@
+"""The submodel relation between RRFD systems (paper, Section 2).
+
+Let ``P_A`` and ``P_B`` define RRFD systems over the same process set.  Then
+*A is a submodel of B* iff ``P_A ⇒ P_B``: every suspicion history A allows, B
+also allows.  A submodel trivially implements its supermodel; the converse
+fails (implementation is semantic, submodel-hood is syntactic — e.g. the
+mixed-resilience model *B* of item 3 implements async MP without being its
+submodel).
+
+This module decides implication two ways:
+
+- :func:`implies_exhaustive` — enumerate every suspicion history of a given
+  length for small ``n`` with depth-first pruning (all catalog predicates are
+  prefix-closed, so a disallowed prefix never extends to an allowed history);
+  returns a proof (``None`` counterexample) or a concrete counterexample.
+- :func:`refute_by_sampling` — sample histories of A via its constructive
+  sampler and look for one B rejects.  Can only *refute*, never prove.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.predicate import Predicate
+from repro.core.types import DHistory, DRound
+from repro.util.sets import all_subset_families
+
+__all__ = [
+    "SubmodelResult",
+    "implies_exhaustive",
+    "refute_by_sampling",
+    "check_submodel",
+]
+
+
+@dataclass(frozen=True)
+class SubmodelResult:
+    """Outcome of a submodel check ``P_A ⇒ P_B``.
+
+    ``holds`` is ``True``/``False`` for a definite answer, ``None`` when only
+    sampling ran and found no counterexample (implication not refuted).
+    """
+
+    a: str
+    b: str
+    holds: bool | None
+    rounds: int
+    counterexample: DHistory | None = None
+    histories_checked: int = 0
+
+    def __str__(self) -> str:
+        if self.holds is True:
+            verdict = "SUBMODEL"
+        elif self.holds is False:
+            verdict = "NOT a submodel"
+        else:
+            verdict = "not refuted (sampled)"
+        return (
+            f"{self.a} ⇒ {self.b} over {self.rounds} round(s): {verdict} "
+            f"({self.histories_checked} histories)"
+        )
+
+
+def implies_exhaustive(
+    pa: Predicate,
+    pb: Predicate,
+    *,
+    rounds: int = 1,
+    max_d_size: int | None = None,
+) -> SubmodelResult:
+    """Exhaustively decide ``P_A ⇒ P_B`` over histories of ``rounds`` rounds.
+
+    ``max_d_size`` prunes the per-process suspicion sets enumerated; pass the
+    model's miss bound when A has one (any history violating the bound is
+    rejected by A anyway, so pruning is sound as long as the bound is not
+    *smaller* than A's).  The search space is ``(Σ subsets)^(n·rounds)`` —
+    keep ``n ≤ 4`` unbounded, or ``n ≤ 6`` with ``max_d_size ≤ 1``.
+    """
+    if pa.n != pb.n:
+        raise ValueError(f"predicates disagree on n: {pa.n} vs {pb.n}")
+    checked = 0
+    counterexample: DHistory | None = None
+
+    def extend(history: DHistory) -> DHistory | None:
+        nonlocal checked
+        if len(history) == rounds:
+            checked += 1
+            if not pb.allows(history):
+                return history
+            return None
+        for d_round in all_subset_families(pa.n, max_size=max_d_size):
+            candidate = history + (d_round,)
+            if not pa.allows(candidate):
+                continue
+            found = extend(candidate)
+            if found is not None:
+                return found
+        return None
+
+    counterexample = extend(())
+    return SubmodelResult(
+        a=pa.describe(),
+        b=pb.describe(),
+        holds=counterexample is None,
+        rounds=rounds,
+        counterexample=counterexample,
+        histories_checked=checked,
+    )
+
+
+def refute_by_sampling(
+    pa: Predicate,
+    pb: Predicate,
+    *,
+    rounds: int = 3,
+    samples: int = 500,
+    rng: random.Random | None = None,
+) -> SubmodelResult:
+    """Sample A-histories looking for one that violates B.
+
+    A found counterexample proves ``P_A ⇏ P_B``; exhausting the samples
+    yields ``holds=None`` ("not refuted").
+    """
+    if pa.n != pb.n:
+        raise ValueError(f"predicates disagree on n: {pa.n} vs {pb.n}")
+    rng = rng or random.Random(0)
+    for trial in range(samples):
+        history: DHistory = ()
+        for _ in range(rounds):
+            d_round: DRound = pa.sample_round(rng, history)
+            history = history + (d_round,)
+        assert pa.allows(history), (
+            f"{pa.describe()} sampler produced a history it rejects: {history!r}"
+        )
+        if not pb.allows(history):
+            return SubmodelResult(
+                a=pa.describe(),
+                b=pb.describe(),
+                holds=False,
+                rounds=rounds,
+                counterexample=history,
+                histories_checked=trial + 1,
+            )
+    return SubmodelResult(
+        a=pa.describe(),
+        b=pb.describe(),
+        holds=None,
+        rounds=rounds,
+        counterexample=None,
+        histories_checked=samples,
+    )
+
+
+def check_submodel(
+    pa: Predicate,
+    pb: Predicate,
+    *,
+    rounds: int = 2,
+    max_d_size: int | None = None,
+    samples: int = 500,
+    rng: random.Random | None = None,
+) -> SubmodelResult:
+    """Decide exhaustively when feasible, otherwise fall back to sampling.
+
+    Feasibility heuristic: exhaustive enumeration is attempted when the
+    per-round space ``(#subsets)^n`` stays under ~10^6 across rounds.
+    """
+    from repro.util.sets import powerset_size
+
+    per_round = powerset_size(pa.n, max_d_size) ** pa.n
+    if per_round**rounds <= 1_000_000:
+        return implies_exhaustive(pa, pb, rounds=rounds, max_d_size=max_d_size)
+    return refute_by_sampling(pa, pb, rounds=rounds, samples=samples, rng=rng)

@@ -1,0 +1,169 @@
+"""Persist and reload execution traces (JSON).
+
+Traces are the library's artifacts of record: a counterexample found by
+search, a benchmark's worst case, a bug report's failing run.  This module
+serialises :class:`~repro.core.types.ExecutionTrace` to JSON and back,
+bit-exactly for payloads built from the standard containers (the tagged
+encoding below round-trips tuples, sets, frozensets and non-string dict
+keys, which plain JSON cannot).
+
+Typical flow::
+
+    save_trace(trace, "counterexample.json")
+    ...
+    trace = load_trace("counterexample.json")
+    replay(trace, my_protocol)          # repro.core.replay
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.types import ExecutionRound, ExecutionTrace, RoundView
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+    "TraceEncodingError",
+]
+
+_TAG = "__rrfd__"
+
+
+class TraceEncodingError(TypeError):
+    """A payload contained a type the tagged JSON encoding cannot carry."""
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a payload into JSON-safe tagged structures."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {_TAG: "list", "items": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        return {
+            _TAG: "frozenset",
+            "items": sorted((encode_value(v) for v in value), key=repr),
+        }
+    if isinstance(value, set):
+        return {
+            _TAG: "set",
+            "items": sorted((encode_value(v) for v in value), key=repr),
+        }
+    if isinstance(value, dict):
+        return {
+            _TAG: "dict",
+            "items": [
+                [encode_value(k), encode_value(v)] for k, v in value.items()
+            ],
+        }
+    raise TraceEncodingError(
+        f"cannot encode {type(value).__name__!r} payloads; traces carry "
+        "standard containers and scalars only"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        tag = value.get(_TAG)
+        if tag == "tuple":
+            return tuple(decode_value(v) for v in value["items"])
+        if tag == "list":
+            return [decode_value(v) for v in value["items"]]
+        if tag == "frozenset":
+            return frozenset(decode_value(v) for v in value["items"])
+        if tag == "set":
+            return {decode_value(v) for v in value["items"]}
+        if tag == "dict":
+            return {
+                decode_value(k): decode_value(v) for k, v in value["items"]
+            }
+        raise TraceEncodingError(f"unknown tag {tag!r} in serialized trace")
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+def trace_to_dict(trace: ExecutionTrace) -> dict[str, Any]:
+    """The JSON-ready representation of a trace."""
+    return {
+        "format": "rrfd-trace-v1",
+        "n": trace.n,
+        "inputs": [encode_value(v) for v in trace.inputs],
+        "decisions": [encode_value(v) for v in trace.decisions],
+        "decided_at": list(trace.decided_at),
+        "rounds": [
+            {
+                "round": record.round,
+                "payloads": [encode_value(p) for p in record.payloads],
+                "views": [
+                    {
+                        "pid": view.pid,
+                        "messages": [
+                            [sender, encode_value(payload)]
+                            for sender, payload in sorted(view.messages.items())
+                        ],
+                        "suspected": sorted(view.suspected),
+                    }
+                    for view in record.views
+                ],
+            }
+            for record in trace.rounds
+        ],
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> ExecutionTrace:
+    """Rebuild a trace from :func:`trace_to_dict`'s output."""
+    if data.get("format") != "rrfd-trace-v1":
+        raise TraceEncodingError(
+            f"not an rrfd trace (format={data.get('format')!r})"
+        )
+    n = data["n"]
+    trace = ExecutionTrace(
+        n=n,
+        inputs=tuple(decode_value(v) for v in data["inputs"]),
+        decisions=[decode_value(v) for v in data["decisions"]],
+        decided_at=list(data["decided_at"]),
+    )
+    for record in data["rounds"]:
+        views = tuple(
+            RoundView(
+                pid=view["pid"],
+                round=record["round"],
+                messages={
+                    sender: decode_value(payload)
+                    for sender, payload in view["messages"]
+                },
+                suspected=frozenset(view["suspected"]),
+                n=n,
+            )
+            for view in record["views"]
+        )
+        trace.rounds.append(
+            ExecutionRound(
+                round=record["round"],
+                payloads=tuple(decode_value(p) for p in record["payloads"]),
+                views=views,
+            )
+        )
+    return trace
+
+
+def save_trace(trace: ExecutionTrace, path: str | Path) -> None:
+    """Write a trace to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace), indent=2))
+
+
+def load_trace(path: str | Path) -> ExecutionTrace:
+    """Load a trace previously written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

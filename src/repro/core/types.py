@@ -1,0 +1,154 @@
+"""Fundamental types of the RRFD model.
+
+An RRFD system has a fixed set of processes ``S = {0, ..., n-1}``.  The
+computation evolves in rounds ``r = 1, 2, ...``.  In each round every process
+emits a message; the round-by-round fault detector (RRFD) then hands each
+process ``i`` a :class:`RoundView`: the messages it received plus the set
+``D(i, r)`` of processes it is told not to wait for ("suspected" for this
+round).  The system guarantee is ``S(i,r) ∪ D(i,r) = S`` — every process is
+either heard from or suspected, so no process ever blocks.
+
+Suspicion is *per round* and unreliable: a process may be suspected by some
+and heard by others, suspected in one round and heard in the next, and may
+even appear in its own ``D(i, r)`` (meaning: "you were late to this round").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "ProcessId",
+    "Round",
+    "DRound",
+    "DHistory",
+    "RoundView",
+    "ExecutionRound",
+    "ExecutionTrace",
+    "RRFDError",
+    "GuaranteeViolation",
+    "PredicateViolation",
+]
+
+ProcessId = int
+Round = int
+
+# One round of suspicions: D[i] is the set process i is told is faulty.
+DRound = tuple[frozenset[ProcessId], ...]
+# Suspicions across rounds: history[r-1] is the DRound of round r.
+DHistory = tuple[DRound, ...]
+
+
+class RRFDError(Exception):
+    """Base class for all errors raised by the RRFD framework."""
+
+
+class GuaranteeViolation(RRFDError):
+    """The basic RRFD guarantee ``S(i,r) ∪ D(i,r) = S`` was violated."""
+
+
+class PredicateViolation(RRFDError):
+    """A round of suspicions violated the model predicate in force."""
+
+
+@dataclass(frozen=True)
+class RoundView:
+    """What process ``pid`` sees at the end of round ``round``.
+
+    Attributes:
+        pid: the observing process.
+        round: the round number (1-based).
+        messages: mapping from sender id to the payload received.  Senders in
+            ``suspected`` may still appear here — the detector is unreliable
+            and may deliver a message *and* flag its sender.
+        suspected: the set ``D(pid, round)``.
+        n: total number of processes (``|S|``).
+    """
+
+    pid: ProcessId
+    round: Round
+    messages: Mapping[ProcessId, Any]
+    suspected: frozenset[ProcessId]
+    n: int
+
+    def __post_init__(self) -> None:
+        everyone = frozenset(range(self.n))
+        covered = frozenset(self.messages) | self.suspected
+        if covered != everyone:
+            missing = sorted(everyone - covered)
+            raise GuaranteeViolation(
+                f"round {self.round}, process {self.pid}: processes {missing} "
+                "were neither heard from nor suspected (S(i,r) ∪ D(i,r) ≠ S)"
+            )
+
+    @property
+    def heard(self) -> frozenset[ProcessId]:
+        """The set ``S(pid, round)`` of processes whose message arrived."""
+        return frozenset(self.messages)
+
+    @property
+    def silent(self) -> frozenset[ProcessId]:
+        """Suspected processes whose message did *not* arrive."""
+        return self.suspected - self.heard
+
+    def value_from(self, sender: ProcessId) -> Any:
+        """Payload received from ``sender``; raises ``KeyError`` if silent."""
+        return self.messages[sender]
+
+
+@dataclass(frozen=True)
+class ExecutionRound:
+    """A complete record of one executed round: payloads, views, suspicions."""
+
+    round: Round
+    payloads: tuple[Any, ...]
+    views: tuple[RoundView, ...]
+
+    @property
+    def suspicions(self) -> DRound:
+        return tuple(view.suspected for view in self.views)
+
+
+@dataclass
+class ExecutionTrace:
+    """Record of an entire RRFD execution, suitable for replay and audit.
+
+    ``decisions[i]`` is process ``i``'s output (``None`` until it decides).
+    ``rounds`` accumulates per-round records in order.
+    """
+
+    n: int
+    inputs: tuple[Any, ...]
+    rounds: list[ExecutionRound] = field(default_factory=list)
+    decisions: list[Any] = field(default_factory=list)
+    decided_at: list[Round | None] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.decisions:
+            self.decisions = [None] * self.n
+        if not self.decided_at:
+            self.decided_at = [None] * self.n
+
+    @property
+    def d_history(self) -> DHistory:
+        """The suspicion history ``{D(i,r)}`` of this execution."""
+        return tuple(record.suspicions for record in self.rounds)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def all_decided(self) -> bool:
+        return all(value is not None for value in self.decisions)
+
+    @property
+    def decided_values(self) -> frozenset[Any]:
+        """Distinct decided values (ignoring undecided processes)."""
+        return frozenset(v for v in self.decisions if v is not None)
+
+    def record_decision(self, pid: ProcessId, value: Any, at_round: Round) -> None:
+        if self.decisions[pid] is None:
+            self.decisions[pid] = value
+            self.decided_at[pid] = at_round

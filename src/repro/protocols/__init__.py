@@ -1,0 +1,58 @@
+"""Distributed algorithms from the paper, in the RRFD emit/receive format.
+
+- :mod:`repro.protocols.kset` — Theorem 3.1's one-round k-set agreement;
+- :mod:`repro.protocols.consensus` — the k = 1 specialisation;
+- :mod:`repro.protocols.floodset` — FloodMin, the matching ``⌊f/k⌋ + 1``
+  round synchronous upper bound (Corollary 4.2's other half);
+- :mod:`repro.protocols.adopt_commit` — the wait-free adopt-commit protocol
+  of Section 4.2;
+- :mod:`repro.protocols.semisync_consensus` — the 2-step consensus in the
+  semi-synchronous model (Section 5), plus the 2n-step DDS baseline;
+- :mod:`repro.protocols.properties` — task specifications (agreement,
+  validity, termination) used by tests and benchmarks.
+"""
+
+from repro.protocols.adopt_commit import (
+    AdoptCommitOutcome,
+    AdoptCommitRoundsProcess,
+    adopt_commit_protocol,
+)
+from repro.protocols.consensus import ConsensusProcess, consensus_protocol
+from repro.protocols.detector_consensus import (
+    DetectorConsensusResult,
+    DiamondSOracle,
+    run_diamond_s_consensus,
+)
+from repro.protocols.early_stopping import (
+    EarlyDecidingFloodMinProcess,
+    early_floodmin_protocol,
+)
+from repro.protocols.floodset import FloodMinProcess, floodmin_protocol
+from repro.protocols.kset import KSetAgreementProcess, kset_protocol
+from repro.protocols.properties import (
+    check_agreement,
+    check_kset_agreement,
+    check_termination,
+    check_validity,
+)
+
+__all__ = [
+    "AdoptCommitOutcome",
+    "AdoptCommitRoundsProcess",
+    "adopt_commit_protocol",
+    "ConsensusProcess",
+    "consensus_protocol",
+    "DetectorConsensusResult",
+    "DiamondSOracle",
+    "run_diamond_s_consensus",
+    "EarlyDecidingFloodMinProcess",
+    "early_floodmin_protocol",
+    "FloodMinProcess",
+    "floodmin_protocol",
+    "KSetAgreementProcess",
+    "kset_protocol",
+    "check_agreement",
+    "check_kset_agreement",
+    "check_termination",
+    "check_validity",
+]

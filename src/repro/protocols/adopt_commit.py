@@ -1,0 +1,114 @@
+"""Adopt-commit: the wait-free machinery of Section 4.2.
+
+Process ``p_i`` inputs a proposal ``v_i``; it outputs either ``commit v`` or
+``adopt v`` for some input ``v``, subject to:
+
+1. *commit-on-unanimity*: if all inputs equal ``v``, all processes commit ``v``;
+2. *agreement-on-commit*: if any process commits ``v``, every process commits
+   or adopts that same ``v``;
+3. *validity*: the output value is some process's input.
+
+The paper gives a two-phase wait-free SWMR protocol (write proposal, read
+all; write commit/adopt, read all).  Two renderings are provided:
+
+- :class:`AdoptCommitRoundsProcess` — the protocol as two rounds of the
+  *atomic-snapshot RRFD* (item 5's predicate).  The snapshot structure
+  (round views totally ordered by inclusion, self always seen) is exactly
+  what the correctness argument needs, and this is the form Theorem 4.3's
+  simulation invokes in its rounds 2–3.
+- a register-level version lives in
+  :mod:`repro.substrates.sharedmem.adopt_commit`, running the paper's
+  literal two-array protocol on simulated SWMR registers under an
+  adversarial step scheduler (experiment E13).
+
+Correctness under the snapshot RRFD: round-1 views are ⊆-ordered and contain
+the viewer, so two processes that each saw a *singleton* value set saw the
+same value — at most one value can reach phase "commit v".  In round 2, a
+process that saw only ``commit v`` commits; any other process's view either
+contains one of those commit messages (it adopts ``v``) or is contained in a
+committer's view (then it too saw only ``commit v`` and committed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.algorithm import Protocol, RoundProcess, make_protocol
+from repro.core.types import Round, RoundView
+
+__all__ = [
+    "AdoptCommitOutcome",
+    "AdoptCommitRoundsProcess",
+    "adopt_commit_protocol",
+]
+
+
+@dataclass(frozen=True)
+class AdoptCommitOutcome:
+    """Output of adopt-commit: a value plus whether it was committed."""
+
+    committed: bool
+    value: Any
+
+    @property
+    def adopted(self) -> bool:
+        return not self.committed
+
+    def __str__(self) -> str:
+        verb = "commit" if self.committed else "adopt"
+        return f"{verb} {self.value!r}"
+
+
+class AdoptCommitRoundsProcess(RoundProcess):
+    """Two-round adopt-commit under the atomic-snapshot RRFD (item 5).
+
+    Round 1: emit the proposal; if every trusted value seen equals ``v``,
+    move to phase ``("commit", v)``, else ``("adopt", own proposal)``.
+    Round 2: emit the phase; decide per the rules in the module docstring.
+
+    "Trusted" means senders outside ``D(i, r)`` — the snapshot predicate
+    guarantees those sets are ⊆-chain-ordered across processes and always
+    include the process itself.
+    """
+
+    def __init__(self, pid: int, n: int, input_value: Any) -> None:
+        super().__init__(pid, n, input_value)
+        self._phase2: tuple[str, Any] | None = None
+
+    def emit(self, round_number: Round) -> Any:
+        if round_number == 1:
+            return ("propose", self.input_value)
+        if self._phase2 is None:
+            raise RuntimeError(
+                f"process {self.pid} reached round {round_number} without a "
+                "phase-2 value — absorb() was not called for round 1"
+            )
+        return self._phase2
+
+    def _trusted_values(self, view: RoundView) -> list[Any]:
+        trusted = frozenset(range(self.n)) - view.suspected
+        return [view.value_from(sender) for sender in sorted(trusted)]
+
+    def absorb(self, view: RoundView) -> None:
+        if view.round == 1:
+            proposals = {value for _, value in self._trusted_values(view)}
+            if proposals == {self.input_value}:
+                self._phase2 = ("commit", self.input_value)
+            else:
+                self._phase2 = ("adopt", self.input_value)
+        elif view.round == 2 and not self.decided:
+            phases = self._trusted_values(view)
+            committed = {value for tag, value in phases if tag == "commit"}
+            if committed and all(tag == "commit" for tag, _ in phases):
+                # Snapshot ordering ⇒ a single committed value here.
+                self.decide(AdoptCommitOutcome(True, next(iter(committed))))
+            elif committed:
+                self.decide(AdoptCommitOutcome(False, next(iter(sorted(committed, key=repr)))))
+            else:
+                self.decide(AdoptCommitOutcome(False, self.input_value))
+
+
+def adopt_commit_protocol() -> Protocol:
+    """Two-round wait-free adopt-commit (atomic-snapshot RRFD, item 5)."""
+    return make_protocol(AdoptCommitRoundsProcess, name="adopt-commit-rounds")

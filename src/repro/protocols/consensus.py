@@ -1,0 +1,57 @@
+"""Consensus in RRFD systems: the ``k = 1`` face of Theorem 3.1.
+
+For ``k = 1``, the k-set detector's bound ``|⋃D − ⋂D| < 1`` forces the
+detectors at different processes to agree *exactly* each round
+(:class:`repro.core.predicates.SemiSyncEquality`).  One round of Theorem
+3.1's algorithm then solves consensus: everyone trusts the same lowest-id
+process and adopts its value.
+
+Section 5 shows the semi-synchronous model of Dolev–Dwork–Stockmeyer
+implements this detector with two steps per round, giving the paper's
+2-step consensus (see :mod:`repro.protocols.semisync_consensus`).
+
+The module also provides :class:`FloodSetConsensusProcess`, the classic
+``f + 1``-round synchronous consensus used as the baseline that Corollary
+4.2 (with ``k = 1``: the Fischer–Lynch ``f + 1`` lower bound) proves
+optimal.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.algorithm import Protocol, make_protocol
+from repro.protocols.floodset import FloodMinProcess
+from repro.protocols.kset import KSetAgreementProcess
+
+__all__ = ["ConsensusProcess", "consensus_protocol", "FloodSetConsensusProcess", "floodset_consensus_protocol"]
+
+
+class ConsensusProcess(KSetAgreementProcess):
+    """One-round consensus: Theorem 3.1's algorithm run where ``k = 1``.
+
+    Identical code to k-set agreement — agreement strength comes entirely
+    from the model predicate, which is the paper's central point.
+    """
+
+
+def consensus_protocol() -> Protocol:
+    """One-round consensus under ``KSetDetector(k=1)`` / ``SemiSyncEquality``."""
+    return make_protocol(ConsensusProcess, name="consensus-one-round")
+
+
+class FloodSetConsensusProcess(FloodMinProcess):
+    """Classic synchronous consensus: flood for ``f + 1`` rounds, decide min.
+
+    The ``k = 1`` instance of FloodMin.  Under at most ``f`` crashes there is
+    a crash-free round among any ``f + 1``, after which all alive processes
+    hold the same minimum.
+    """
+
+    def __init__(self, pid: int, n: int, input_value: Any, *, f: int) -> None:
+        super().__init__(pid, n, input_value, f=f, k=1)
+
+
+def floodset_consensus_protocol(f: int) -> Protocol:
+    """Synchronous ``f + 1``-round consensus (FloodSet/FloodMin with k=1)."""
+    return make_protocol(FloodSetConsensusProcess, name=f"floodset-consensus(f={f})", f=f)

@@ -1,0 +1,207 @@
+"""Wait-free consensus from ◇S via adopt-commit (reference [16]'s shape).
+
+The paper's acknowledged machinery (Yang–Neiger–Gafni, same proceedings:
+"Structured Derivations of Consensus Algorithms for Failure Detectors")
+composes exactly the pieces this library already has:
+
+repeat, phase ``p = 1, 2, ...`` with coordinator ``c = p mod n``:
+
+1. write your estimate to the phase's estimate array; if you are not the
+   coordinator, wait until you read the coordinator's phase-``p`` estimate
+   **or** the failure detector suspects the coordinator; adopt the estimate
+   if you got it;
+2. run a fresh adopt-commit instance on your (possibly adopted) estimate;
+   *commit v* → write ``v`` to the decision board and decide;
+   *adopt v* → carry ``v`` into the next phase.
+
+Safety never depends on the detector: the first phase in which anyone
+commits ``v`` forces every process to leave that phase holding ``v``
+(adopt-commit's agreement property), so all later estimates — and hence all
+later commits and coordinator adoptions — are ``v``.  The detector buys
+*liveness* only: once some correct process is never again suspected (◇S),
+its phase makes everyone adopt one estimate, and unanimity makes
+adopt-commit commit.  Every wait also watches the decision board, so a
+decided coordinator cannot block anyone.
+
+The detector here is an oracle over the shared-memory substrate
+(:class:`DiamondSOracle`): complete (crashed processes are suspected) and
+eventually accurate for one designated survivor — arbitrary slander about
+everyone else, forever, is allowed and exercised by the tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Generator, Sequence
+
+from repro.substrates.sharedmem.adopt_commit import adopt_commit_program
+from repro.substrates.sharedmem.memory import SharedMemory
+from repro.substrates.sharedmem.ops import Op, Read, Write
+from repro.substrates.sharedmem.scheduler import (
+    RandomScheduler,
+    SharedMemorySystem,
+    StepScheduler,
+)
+
+__all__ = ["DiamondSOracle", "DetectorConsensusResult", "run_diamond_s_consensus"]
+
+_DECISION = "ds-decision"
+
+
+class DiamondSOracle:
+    """A ◇S failure detector over the step-scheduler substrate.
+
+    Semantics per query ``suspects(j)``:
+
+    - *strong completeness*: a crashed ``j`` is always suspected;
+    - *eventual weak accuracy*: after ``stabilization_step`` (global memory
+      steps), the designated ``trusted`` process is never suspected;
+    - everything else is adversarial: alive non-trusted processes are
+      slandered at ``slander_prob`` forever, and before stabilisation even
+      the trusted process is.
+    """
+
+    def __init__(
+        self,
+        trusted: int,
+        stabilization_step: int,
+        rng: random.Random,
+        *,
+        slander_prob: float = 0.3,
+    ) -> None:
+        self.trusted = trusted
+        self.stabilization_step = stabilization_step
+        self.rng = rng
+        self.slander_prob = slander_prob
+        self.system: SharedMemorySystem | None = None  # bound after build
+        self.memory: SharedMemory | None = None
+
+    def bind(self, system: SharedMemorySystem, memory: SharedMemory) -> None:
+        self.system = system
+        self.memory = memory
+
+    def suspects(self, j: int) -> bool:
+        assert self.system is not None and self.memory is not None
+        crashed = (
+            j in self.system.crash_after
+            and self.system.steps_taken[j] >= self.system.crash_after[j]
+        )
+        if crashed:
+            return True
+        stabilized = self.memory.steps_applied >= self.stabilization_step
+        if stabilized and j == self.trusted:
+            return False
+        return self.rng.random() < self.slander_prob
+
+
+def _consensus_program(value: Any, oracle: DiamondSOracle, max_phases: int) -> Any:
+    def program(pid: int, n: int) -> Generator[Op, Any, Any]:
+        estimate = value
+        for phase in range(1, max_phases + 1):
+            coordinator = phase % n
+            yield Write(f"ds-est-{phase}", estimate)
+            # Wait for the coordinator's phase estimate, its suspicion, or a
+            # decision by anyone (a decided coordinator stops stepping).
+            while True:
+                decided = yield from _scan_decisions(n)
+                if decided is not None:
+                    return decided
+                cell = yield Read(coordinator, f"ds-est-{phase}")
+                if cell is not None:
+                    estimate = cell
+                    break
+                if oracle.suspects(coordinator):
+                    break
+            outcome = yield from adopt_commit_program(
+                estimate,
+                phase1_array=f"ds-ac1-{phase}",
+                phase2_array=f"ds-ac2-{phase}",
+            )(pid, n)
+            estimate = outcome.value
+            if outcome.committed:
+                yield Write(_DECISION, estimate)
+                return estimate
+        raise RuntimeError(
+            f"process {pid}: no decision within {max_phases} phases — "
+            "raise max_phases or stabilize the oracle earlier"
+        )
+
+    return program
+
+
+def _scan_decisions(n: int) -> Generator[Op, Any, Any]:
+    for owner in range(n):
+        cell = yield Read(owner, _DECISION)
+        if cell is not None:
+            return cell
+    return None
+
+
+@dataclass
+class DetectorConsensusResult:
+    """Outcome of a ◇S-consensus run."""
+
+    n: int
+    inputs: tuple[Any, ...]
+    decisions: dict[int, Any]
+    crashed: frozenset[int]
+    total_steps: int
+
+
+def run_diamond_s_consensus(
+    values: Sequence[Any],
+    *,
+    seed: int = 0,
+    crash_after: dict[int, int] | None = None,
+    trusted: int | None = None,
+    stabilization_step: int = 200,
+    slander_prob: float = 0.3,
+    max_phases: int = 60,
+    scheduler: StepScheduler | None = None,
+    max_steps: int = 2_000_000,
+) -> DetectorConsensusResult:
+    """Consensus on shared memory with a ◇S oracle, ≤ n−1 crashes.
+
+    ``trusted`` defaults to the lowest-id process that never crashes; it
+    must be correct for the liveness guarantee (safety holds regardless).
+    """
+    n = len(values)
+    crash_after = dict(crash_after or {})
+    if len(crash_after) >= n:
+        raise ValueError("at least one process must stay alive")
+    if trusted is None:
+        trusted = min(pid for pid in range(n) if pid not in crash_after)
+    if trusted in crash_after:
+        raise ValueError(f"trusted process {trusted} is scheduled to crash")
+    rng = random.Random(seed)
+    memory = SharedMemory(n)
+    oracle = DiamondSOracle(
+        trusted,
+        stabilization_step,
+        random.Random(rng.getrandbits(64)),
+        slander_prob=slander_prob,
+    )
+    programs = [
+        _consensus_program(values[pid], oracle, max_phases) for pid in range(n)
+    ]
+    system = SharedMemorySystem(
+        memory,
+        programs,
+        scheduler or RandomScheduler(rng),
+        crash_after=crash_after,
+    )
+    oracle.bind(system, memory)
+    run = system.run(max_steps=max_steps)
+    decisions = {
+        pid: run.outputs[pid]
+        for pid in range(n)
+        if pid in run.finished
+    }
+    return DetectorConsensusResult(
+        n=n,
+        inputs=tuple(values),
+        decisions=decisions,
+        crashed=run.crashed,
+        total_steps=run.total_steps,
+    )

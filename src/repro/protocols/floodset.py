@@ -1,0 +1,75 @@
+"""FloodMin: synchronous k-set agreement in ``⌊f/k⌋ + 1`` rounds.
+
+This is the classic matching *upper bound* for Corollary 4.2/4.4
+(Chaudhuri–Herlihy–Lynch–Tuttle): in a synchronous system with at most ``f``
+crash faults, k-set agreement is solvable in ``⌊f/k⌋ + 1`` rounds, and the
+paper's reduction shows no algorithm can do better.
+
+The algorithm: every process maintains the minimum value it has seen;
+each round it broadcasts that minimum and updates to the minimum of the
+values received; after ``⌊f/k⌋ + 1`` rounds it decides its current minimum.
+
+Correctness sketch (crash faults): by pigeonhole, among ``⌊f/k⌋ + 1`` rounds
+some round sees at most ``k − 1`` crashes.  After such a round the alive
+processes' minima span at most ``k`` distinct values (the pre-round global
+minimum can be lost only to the ≤ k−1 crashers, each "hiding" at most one
+smaller value), and the set of held minima only shrinks afterwards.
+
+FloodMin is a *crash-model* algorithm.  Under send-omission faults it can
+fail: a faulty-but-alive process may inject a small value to only some
+correct processes in the final round, splitting their minima.  (The
+``⌊f/k⌋ + 1`` lower bound of Section 4.1 applies to omission faults too, but
+matching it there takes omission-aware algorithms, e.g. via the
+Neiger–Toueg transformers the paper cites.)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.algorithm import Protocol, RoundProcess, make_protocol
+from repro.core.types import Round, RoundView
+
+__all__ = ["FloodMinProcess", "floodmin_protocol", "rounds_needed"]
+
+
+def rounds_needed(f: int, k: int) -> int:
+    """The algorithm's round complexity, ``⌊f/k⌋ + 1``."""
+    if k < 1:
+        raise ValueError(f"k must be ≥ 1, got {k}")
+    if f < 0:
+        raise ValueError(f"f must be ≥ 0, got {f}")
+    return f // k + 1
+
+
+class FloodMinProcess(RoundProcess):
+    """Broadcast-min for ``⌊f/k⌋ + 1`` rounds, then decide the minimum.
+
+    Inputs must be totally ordered (ints in the experiments).  The process
+    participates in every round, decided or not, so late rounds of longer
+    executions remain well-formed.
+    """
+
+    def __init__(self, pid: int, n: int, input_value: Any, *, f: int, k: int = 1) -> None:
+        super().__init__(pid, n, input_value)
+        self.f = f
+        self.k = k
+        self.deadline = rounds_needed(f, k)
+        self.minimum = input_value
+
+    def emit(self, round_number: Round) -> Any:
+        return self.minimum
+
+    def absorb(self, view: RoundView) -> None:
+        # A crashed sender's payload arrives as None when the executor runs
+        # with crashed_stop_emitting; ignore such holes.
+        received = [v for v in view.messages.values() if v is not None]
+        if received:
+            self.minimum = min([self.minimum, *received])
+        if view.round >= self.deadline and not self.decided:
+            self.decide(self.minimum)
+
+
+def floodmin_protocol(f: int, k: int = 1) -> Protocol:
+    """FloodMin for k-set agreement under ≤ f synchronous crash faults."""
+    return make_protocol(FloodMinProcess, name=f"floodmin(f={f},k={k})", f=f, k=k)

@@ -1,0 +1,59 @@
+"""One-round k-set agreement under the k-set detector (Theorem 3.1).
+
+The k-set agreement task: ``n > k`` processes each start with an input; every
+process must choose the input of *some* process, and at most ``k`` distinct
+values may be chosen overall (``k = 1`` is consensus).
+
+Theorem 3.1's algorithm is a single round under
+:class:`repro.core.predicates.KSetDetector`:
+
+    A process ``p_i`` emits its value and chooses the value of the process in
+    ``S − D(i, 1)`` with the lowest process identifier.
+
+Why at most ``k`` values are chosen: if ``v₁, v₂`` are chosen values adopted
+from processes ``p₁ < p₂``, then ``p₁`` is in the *union* of the suspicion
+sets (whoever chose ``p₂`` suspected ``p₁``) but not in the *intersection*
+(whoever chose ``p₁`` trusted it).  The detector bounds
+``|⋃D − ⋂D| < k``, so at most ``k − 1`` such "contested" lowest-trusted
+processes can exist beyond the globally-lowest trusted one — at most ``k``
+distinct values in total.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.algorithm import Protocol, RoundProcess, make_protocol
+from repro.core.types import ProcessId, Round, RoundView
+
+__all__ = ["KSetAgreementProcess", "kset_protocol"]
+
+
+class KSetAgreementProcess(RoundProcess):
+    """Theorem 3.1's one-round algorithm.
+
+    The process emits its input and, on its round-1 view, decides the value
+    of the lowest-id process it does *not* suspect.  The framework guarantee
+    ``D(i, r) ≠ S`` ensures such a process exists, and the RRFD guarantee
+    ensures its message was delivered.
+    """
+
+    def emit(self, round_number: Round) -> Any:
+        return self.input_value
+
+    def absorb(self, view: RoundView) -> None:
+        if self.decided:
+            return
+        trusted = sorted(frozenset(range(self.n)) - view.suspected)
+        chosen: ProcessId = trusted[0]
+        self.decide(view.value_from(chosen))
+
+
+def kset_protocol() -> Protocol:
+    """The one-round k-set agreement protocol of Theorem 3.1.
+
+    The algorithm itself is oblivious to ``k`` — the *model* (the
+    :class:`~repro.core.predicates.KSetDetector` predicate it runs under)
+    determines how many distinct values can be decided.
+    """
+    return make_protocol(KSetAgreementProcess, name="kset-one-round")

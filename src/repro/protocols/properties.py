@@ -1,0 +1,81 @@
+"""Task specifications: the input/output requirements protocols must meet.
+
+The paper's solvability notion: an RRFD system satisfying predicate ``P``
+solves task ``T`` if an emit/receive algorithm exists such that for *any*
+D-family satisfying ``P``, processes eventually commit to outputs meeting
+``T``'s input/output requirements.  These checkers encode the requirements
+for the tasks used throughout: (k-set) agreement, validity, termination.
+
+They operate on :class:`repro.core.types.ExecutionTrace` objects so the same
+checks serve unit tests, hypothesis properties and benchmark assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Container
+
+from repro.core.types import ExecutionTrace
+
+__all__ = [
+    "check_kset_agreement",
+    "check_agreement",
+    "check_validity",
+    "check_termination",
+    "PropertyFailure",
+]
+
+
+class PropertyFailure(AssertionError):
+    """A task requirement was violated by an execution."""
+
+
+def check_kset_agreement(trace: ExecutionTrace, k: int) -> None:
+    """At most ``k`` distinct values decided (undecided processes ignored)."""
+    values = trace.decided_values
+    if len(values) > k:
+        raise PropertyFailure(
+            f"{len(values)} distinct values decided ({sorted(map(repr, values))}), "
+            f"but k={k}"
+        )
+
+
+def check_agreement(trace: ExecutionTrace) -> None:
+    """All deciders decided the same value (consensus agreement)."""
+    check_kset_agreement(trace, 1)
+
+
+def check_validity(
+    trace: ExecutionTrace, allowed: Container[Any] | None = None
+) -> None:
+    """Every decided value is some process's input (or in ``allowed``)."""
+    valid = allowed if allowed is not None else set(trace.inputs)
+    for pid, value in enumerate(trace.decisions):
+        if value is not None and value not in valid:
+            raise PropertyFailure(
+                f"process {pid} decided {value!r}, not an input "
+                f"({list(trace.inputs)!r})"
+            )
+
+
+def check_termination(
+    trace: ExecutionTrace,
+    *,
+    by_round: int | None = None,
+    deciders: Container[int] | None = None,
+) -> None:
+    """Every process (or every process in ``deciders``) decided.
+
+    ``by_round`` additionally requires each decision to have been made no
+    later than that round — the paper's round-complexity claims (one round
+    for Theorem 3.1, ``⌊f/k⌋ + 1`` for FloodMin) are checked this way.
+    """
+    for pid in range(trace.n):
+        if deciders is not None and pid not in deciders:
+            continue
+        if trace.decisions[pid] is None:
+            raise PropertyFailure(f"process {pid} never decided")
+        if by_round is not None and trace.decided_at[pid] > by_round:
+            raise PropertyFailure(
+                f"process {pid} decided at round {trace.decided_at[pid]}, "
+                f"required by round {by_round}"
+            )

@@ -1,0 +1,159 @@
+"""Section 5: consensus in 2 steps in the semi-synchronous model.
+
+Dolev–Dwork–Stockmeyer showed consensus possible in their model with a
+``2n``-step algorithm and left open whether an ``O(1)``-step algorithm
+exists.  The paper answers: **2 steps suffice**, by showing the model
+implements the ``k = 1`` detector of Theorem 3.1 (equation (5):
+``D(i, r) = D(j, r)`` for all ``i, j``) with two steps per round, and one
+round of that detector solves consensus.
+
+The detector implementation (Theorem 5.1): execution proceeds in blocks of
+two steps.
+
+- Step 1 of round ``r``: if the process has already received a round-``r``
+  message, it stays *silent* (acts as if it omitted its broadcast);
+  otherwise it broadcasts its round-``r`` message.  The model's atomic
+  receive/send makes this a read-modify-write.
+- Step 2 of round ``r``: the round ends; ``D(i, r)`` is the set of
+  processes from which no round-``r`` message arrived.
+
+:class:`TwoStepRRFDAdapter` wraps *any* emit/receive algorithm this way and
+records the per-round suspicion sets, so tests can verify equation (5)
+directly on executions.  :class:`TwoStepConsensusProcess` plugs in Theorem
+3.1's one-round algorithm (decide the value of the lowest-id trusted
+process) — total: 2 steps.
+
+:class:`SequentialBaselineProcess` is the ``2n``-step comparison point: it
+runs ``n`` such rounds, adopting the broadcaster's value each round, and
+decides only after round ``n`` — a natural rendering of a Θ(n)-step
+algorithm in this model (the paper does not reproduce DDS's own algorithm;
+only its 2n step count matters for the comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.algorithm import RoundProcess
+from repro.core.types import RoundView
+from repro.protocols.kset import KSetAgreementProcess
+from repro.substrates.semisync.model import StepProcess
+
+__all__ = [
+    "TwoStepRRFDAdapter",
+    "TwoStepConsensusProcess",
+    "SequentialBaselineProcess",
+]
+
+
+class TwoStepRRFDAdapter(StepProcess):
+    """Run an emit/receive algorithm at two semi-synchronous steps per round.
+
+    Messages are tagged ``(round, payload)``; early messages are buffered by
+    round.  A process that broadcasts counts its own message as received
+    ("such a process may know the message it sent through its local state");
+    a silent process may legitimately end up in its own ``D(i, r)``.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        input_value: Any,
+        round_process: RoundProcess,
+        *,
+        max_rounds: int,
+    ) -> None:
+        super().__init__(pid, n, input_value)
+        self.round_process = round_process
+        self.max_rounds = max_rounds
+        self.current_round = 1
+        self.step_in_round = 1
+        self.pending: dict[int, dict[int, Any]] = {}
+        self.views: list[RoundView] = []
+
+    def _stash(self, received: list[tuple[int, Any]]) -> None:
+        for src, (round_number, payload) in received:
+            self.pending.setdefault(round_number, {})[src] = payload
+
+    def step(self, received: list[tuple[int, Any]]) -> Any | None:
+        self._stash(received)
+        r = self.current_round
+        if self.step_in_round == 1:
+            self.step_in_round = 2
+            if r in self.pending and self.pending[r]:
+                return None  # someone beat us to the round: stay silent
+            payload = self.round_process.emit(r)
+            self.pending.setdefault(r, {})[self.pid] = payload  # local state
+            return (r, payload)
+        # Step 2: close the round.
+        heard = self.pending.pop(r, {})
+        suspected = frozenset(range(self.n)) - frozenset(heard)
+        view = RoundView(
+            pid=self.pid, round=r, messages=heard, suspected=suspected, n=self.n
+        )
+        self.views.append(view)
+        self.round_process.absorb(view)
+        self.current_round += 1
+        self.step_in_round = 1
+        if self.round_process.decided and self.current_round > self.max_rounds:
+            self.decide(self.round_process.decision)
+        elif self.current_round > self.max_rounds and not self.round_process.decided:
+            raise RuntimeError(
+                f"process {self.pid}: round budget {self.max_rounds} exhausted "
+                "without a decision"
+            )
+        return None
+
+
+class TwoStepConsensusProcess(TwoStepRRFDAdapter):
+    """The paper's 2-step consensus: one RRFD round of Theorem 3.1's
+    algorithm over the two-step detector implementation."""
+
+    def __init__(self, pid: int, n: int, input_value: Any) -> None:
+        super().__init__(
+            pid,
+            n,
+            input_value,
+            KSetAgreementProcess(pid, n, input_value),
+            max_rounds=1,
+        )
+
+
+class _AdoptLowestForever(RoundProcess):
+    """Round behaviour of the baseline: adopt the lowest trusted process's
+    value every round; decide at ``deadline`` rounds."""
+
+    def __init__(self, pid: int, n: int, input_value: Any, *, deadline: int) -> None:
+        super().__init__(pid, n, input_value)
+        self.deadline = deadline
+        self.current = input_value
+
+    def emit(self, round_number: int) -> Any:
+        return self.current
+
+    def absorb(self, view: RoundView) -> None:
+        trusted = sorted(frozenset(range(self.n)) - view.suspected)
+        if trusted:
+            self.current = view.value_from(trusted[0])
+        if view.round >= self.deadline and not self.decided:
+            self.decide(self.current)
+
+
+class SequentialBaselineProcess(TwoStepRRFDAdapter):
+    """A ``2n``-step consensus baseline: n two-step rounds, decide at the end.
+
+    Correct for the same reason the 2-step algorithm is (every round's
+    detector values agree, so all processes adopt the same value from round
+    1 on) — it simply doesn't *know* that and keeps going, which is what a
+    Θ(n)-step algorithm looks like from the RRFD vantage point.
+    """
+
+    def __init__(self, pid: int, n: int, input_value: Any) -> None:
+        super().__init__(
+            pid,
+            n,
+            input_value,
+            _AdoptLowestForever(pid, n, input_value, deadline=n),
+            max_rounds=n,
+        )

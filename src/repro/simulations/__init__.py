@@ -1,0 +1,74 @@
+"""The paper's cross-model simulations, executable.
+
+Each module implements one reduction:
+
+- :mod:`~repro.simulations.relay` — the two-round gather-and-relay
+  construction shared by item 4 (async MP ⟶ SWMR shared memory when
+  ``2f < n``) and item 3 (mixed-resilience model *B* ⟶ model *A*);
+- :mod:`~repro.simulations.async_to_sync_omission` — Theorem 4.1: an
+  atomic-snapshot system with ≤ k failures implements the first ``⌊f/k⌋``
+  rounds of a synchronous send-omission system with ≤ f faults;
+- :mod:`~repro.simulations.async_to_sync_crash` — Theorem 4.3: the same for
+  *crash* faults, spending 3 async rounds per synchronous round (one value
+  exchange + n parallel adopt-commit protocols);
+- :mod:`~repro.simulations.kset_object_to_rrfd` — Theorem 3.3: a k-set-
+  consensus object plus SWMR memory implement the k-set detector;
+- :mod:`~repro.simulations.full_information` — item 3's equivalence of
+  round-based and unconstrained asynchronous message passing, via
+  reconstruction of discarded messages;
+- :mod:`~repro.simulations.eventually_strong` — item 6: the ◇S detector as
+  an RRFD, its predicate equivalences, and a rotating-coordinator consensus
+  that exploits the never-suspected process.
+"""
+
+from repro.simulations.relay import (
+    RelayResult,
+    simulate_mixed_to_async,
+    simulate_mp_to_swmr,
+    two_round_relay,
+)
+from repro.simulations.async_to_sync_omission import (
+    OmissionSimResult,
+    simulate_omission_rounds,
+)
+from repro.simulations.async_to_sync_crash import (
+    CrashSimResult,
+    simulate_crash_rounds,
+)
+from repro.simulations.kset_object_to_rrfd import (
+    KSetRRFDResult,
+    run_kset_object_rrfd,
+)
+from repro.simulations.full_information import (
+    reconstruct_missed,
+    verify_overlay_equivalence,
+)
+from repro.simulations.adopt_commit_over_abd import (
+    ABDAdoptCommitResult,
+    AdoptCommitClient,
+    run_adopt_commit_over_abd,
+)
+from repro.simulations.eventually_strong import (
+    RotatingCoordinatorProcess,
+    rotating_coordinator_protocol,
+)
+
+__all__ = [
+    "RelayResult",
+    "simulate_mixed_to_async",
+    "simulate_mp_to_swmr",
+    "two_round_relay",
+    "OmissionSimResult",
+    "simulate_omission_rounds",
+    "CrashSimResult",
+    "simulate_crash_rounds",
+    "KSetRRFDResult",
+    "run_kset_object_rrfd",
+    "reconstruct_missed",
+    "verify_overlay_equivalence",
+    "RotatingCoordinatorProcess",
+    "rotating_coordinator_protocol",
+    "ABDAdoptCommitResult",
+    "AdoptCommitClient",
+    "run_adopt_commit_over_abd",
+]

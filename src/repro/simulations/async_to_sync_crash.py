@@ -1,0 +1,226 @@
+"""Theorem 4.3: asynchrony implements bounded synchrony (crash faults).
+
+Strengthens Theorem 4.1 from send-omission to *crash* faults: an
+asynchronous atomic-snapshot system with at most ``k`` failures implements
+the first ``⌊f/k⌋`` rounds of a synchronous system with at most ``f`` crash
+faults — at a price of **three** asynchronous rounds per simulated round.
+
+Per simulated round ``r`` (each process ``p_i`` maintains ``F_i``, the set
+of processes it proposes to have crashed; ``F_i = ∅`` initially):
+
+1. *async round 3r−2*: emit the simulated round-``r`` value; let ``M_i`` be
+   the processes whose value ``p_i`` missed (``|M_i| ≤ k`` by the model);
+   set ``F_i := F_i ∪ M_i``.
+2. *async rounds 3r−1, 3r*: run ``n`` adopt-commit protocols in parallel,
+   one per process ``p_j``.  ``p_i``'s input for ``p_j`` is ``faulty`` if
+   ``p_j ∈ F_i``, else ``alive`` (carrying ``p_j``'s round-``r`` value).
+   On outcome:
+
+   - commit *faulty*  → add ``p_j`` to ``F_i``; ``p_j``'s simulated
+     round-``r`` message is ⊥ (``p_j ∈ D_sim(i, r)``);
+   - adopt *faulty*   → add ``p_j`` to ``F_i`` but use an alive value seen
+     during the protocol as ``p_j``'s message;
+   - any *alive* outcome → use the carried value.
+
+Why the simulated history is a crash history: if anyone *commits*
+``p_j``-faulty at round ``r``, the adopt-commit agreement property puts
+``p_j`` in every ``F_i`` by round ``r + 1``, so all propose faulty then and
+all *commit* faulty — ``p_j`` is suspected by everyone from ``r + 1`` on
+(eq. (2)).  Each simulated round adds at most ``k`` processes to ``⋃F_i``
+(the ``M`` sets of one snapshot round), so ``⌊f/k⌋`` rounds stay within the
+budget ``f`` (eq. (1)).
+
+A technical note mirroring Corollary 4.4's discussion: a process can end up
+*committed faulty about itself* (it proposed itself alive, others outvoted
+it).  Such a process is "crashed" in the simulation — its simulated view no
+longer entitles it to an output — and, as everywhere in this library, the
+synchronous predicates exempt crashed processes' own rows (see the
+modelling note in :mod:`repro.core.predicates`).  The validation history
+below therefore drops a first-time self-commit from its own row.
+
+One more implementation detail the extended abstract leaves implicit: *all*
+proposals carry ``p_j``'s value when the proposer knows it (not only the
+``alive`` ones).  A proposer of ``faulty`` that saw a mixed phase-1 view
+necessarily saw an alive proposal, hence knows the value; attaching it makes
+"adopt faulty ⇒ an alive value was seen" hold in every case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.predicates import AtomicSnapshot, CrashSync
+from repro.core.types import DHistory, DRound, RoundView
+from repro.util.rng import make_rng
+
+__all__ = ["CrashSimResult", "simulate_crash_rounds"]
+
+_FAULTY = "faulty"
+_ALIVE = "alive"
+
+
+@dataclass
+class CrashSimResult:
+    """Outcome of the three-rounds-per-round crash simulation."""
+
+    n: int
+    f: int
+    k: int
+    sync_rounds: int
+    async_rounds_used: int
+    processes: list[RoundProcess]
+    simulated_views: list[list[RoundView]]
+    simulated_history: DHistory
+    base_history: DHistory
+    self_crashed: dict[int, int]  # pid -> first simulated round committed self-faulty
+
+    @property
+    def decisions(self) -> list[Any]:
+        return [proc.decision for proc in self.processes]
+
+    def crash_predicate_holds(self) -> bool:
+        return CrashSync(self.n, self.f).allows(self.simulated_history)
+
+    def cumulative_simulated_faults(self) -> int:
+        suspected: set[int] = set()
+        for d_round in self.simulated_history:
+            for row in d_round:
+                suspected.update(row)
+        return len(suspected)
+
+
+def _trusted(n: int, d_row: frozenset[int]) -> frozenset[int]:
+    return frozenset(range(n)) - d_row
+
+
+def simulate_crash_rounds(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    f: int,
+    k: int,
+    *,
+    seed: int = 0,
+) -> CrashSimResult:
+    """Simulate ``⌊f/k⌋`` synchronous crash rounds in the k-resilient
+    atomic-snapshot model (3 async rounds per simulated round)."""
+    n = len(inputs)
+    if k < 1 or f < k:
+        raise ValueError(f"need 1 ≤ k ≤ f, got k={k}, f={f}")
+    sync_rounds = f // k
+    rng = make_rng(seed)
+    snapshot = AtomicSnapshot(n, k)
+
+    processes = protocol.spawn_all(tuple(inputs))
+    proposed_faulty: list[set[int]] = [set() for _ in range(n)]
+    simulated_views: list[list[RoundView]] = [[] for _ in range(n)]
+    simulated_rows: list[DRound] = []
+    base_history: DHistory = ()
+    self_crashed: dict[int, int] = {}
+    suspected_so_far: set[int] = set()
+
+    for r in range(1, sync_rounds + 1):
+        values = [processes[pid].emit(r) for pid in range(n)]
+
+        # Async round 3r-2: exchange values; extend F with the missed set M.
+        d_val = snapshot.sample_round(rng, base_history)
+        base_history = base_history + (d_val,)
+        known_value: list[dict[int, Any]] = []
+        for pid in range(n):
+            seen = {j: values[j] for j in _trusted(n, d_val[pid])}
+            known_value.append(seen)
+            proposed_faulty[pid] |= set(d_val[pid])
+
+        # Async round 3r-1: phase 1 of n parallel adopt-commits.
+        # proposal[pid][j] = (status, value-or-None)
+        phase1 = [
+            {
+                j: (
+                    _FAULTY if j in proposed_faulty[pid] else _ALIVE,
+                    known_value[pid].get(j),
+                )
+                for j in range(n)
+            }
+            for pid in range(n)
+        ]
+        d_p1 = snapshot.sample_round(rng, base_history)
+        base_history = base_history + (d_p1,)
+        phase2: list[dict[int, tuple[str, str, Any]]] = []
+        for pid in range(n):
+            mine: dict[int, tuple[str, str, Any]] = {}
+            for j in range(n):
+                seen = [phase1[m][j] for m in _trusted(n, d_p1[pid])]
+                statuses = {status for status, _ in seen}
+                alive_values = [v for status, v in seen if v is not None]
+                carried = alive_values[0] if alive_values else phase1[pid][j][1]
+                my_status = phase1[pid][j][0]
+                if statuses == {my_status}:
+                    mine[j] = ("commit", my_status, carried)
+                else:
+                    # Mixed view: someone proposed alive, so the value is known.
+                    mine[j] = ("adopt", my_status, carried)
+            phase2.append(mine)
+
+        # Async round 3r: phase 2 — decide commit/adopt per process j.
+        d_p2 = snapshot.sample_round(rng, base_history)
+        base_history = base_history + (d_p2,)
+        sim_row: list[frozenset[int]] = []
+        for pid in range(n):
+            seen_by_j: dict[int, list[tuple[str, str, Any]]] = {
+                j: [phase2[m][j] for m in _trusted(n, d_p2[pid])] for j in range(n)
+            }
+            messages: dict[int, Any] = {}
+            suspected: set[int] = set()
+            for j in range(n):
+                entries = seen_by_j[j]
+                committed = [(s, v) for tag, s, v in entries if tag == "commit"]
+                committed_faulty = any(s == _FAULTY for s, _ in committed)
+                all_commit_faulty = bool(entries) and all(
+                    tag == "commit" and s == _FAULTY for tag, s, _ in entries
+                )
+                carried = next(
+                    (v for _, _, v in entries if v is not None),
+                    phase2[pid][j][2],
+                )
+                if all_commit_faulty:
+                    # Commit faulty: p_j's simulated message is ⊥.
+                    suspected.add(j)
+                    proposed_faulty[pid].add(j)
+                    if j == pid and pid not in self_crashed:
+                        self_crashed[pid] = r
+                elif committed_faulty:
+                    # Adopt faulty: p_j joins F, but a value was seen.
+                    proposed_faulty[pid].add(j)
+                    messages[j] = carried
+                else:
+                    messages[j] = carried
+            # Predicate bookkeeping: a first-time self-commit is the process
+            # discovering its own (simulated) crash — exempt from its row.
+            row = frozenset(suspected)
+            if pid in suspected and pid not in suspected_so_far:
+                row = row - {pid}
+                messages = dict(messages)
+                messages[pid] = values[pid]  # it knows its own value locally
+            sim_row.append(row)
+            view = RoundView(
+                pid=pid, round=r, messages=messages, suspected=row, n=n
+            )
+            simulated_views[pid].append(view)
+            processes[pid].absorb(view)
+        for row in sim_row:
+            suspected_so_far.update(row)
+        simulated_rows.append(tuple(sim_row))
+
+    return CrashSimResult(
+        n=n,
+        f=f,
+        k=k,
+        sync_rounds=sync_rounds,
+        async_rounds_used=3 * sync_rounds,
+        processes=processes,
+        simulated_views=simulated_views,
+        simulated_history=tuple(simulated_rows),
+        base_history=base_history,
+        self_crashed=dict(self_crashed),
+    )

@@ -1,0 +1,64 @@
+"""Item 6: the classic failure detector ◇S as an RRFD system.
+
+The paper's observations, all executable here:
+
+1. The natural RRFD counterpart of an asynchronous system augmented with the
+   failure detector ◇S (some correct process is eventually never suspected)
+   is the predicate ``∃ p_j`` never suspected by anyone, equivalently
+   ``|⋃_{r>0} ⋃_i D(i, r)| < n``
+   (:class:`repro.core.predicates.EventuallyStrong`).  The "every real crash
+   is eventually announced" half of ◇S comes for free: were a crash never
+   announced, the RRFD round would block — vacuously implementing the model.
+
+2. That predicate is item 1's send-omission predicate with ``f = n − 1``,
+   minus the self-suspicion clause — so wait-free ◇S consensus reduces to
+   synchronous consensus *by predicate manipulation alone*.  The lattice
+   tests verify both inclusion directions at the predicate level.
+
+3. Consensus is solvable in this model.  :class:`RotatingCoordinatorProcess`
+   shows it constructively in ``n`` rounds: in round ``j`` (1-based),
+   everyone adopts process ``j−1``'s emitted value *if it trusts it*.  At
+   the round of the never-suspected process ``c``, everyone adopts the same
+   value; from then on all processes (including later coordinators) hold
+   it, so later adoptions change nothing.  Decide after round ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.algorithm import Protocol, RoundProcess, make_protocol
+from repro.core.types import Round, RoundView
+
+__all__ = ["RotatingCoordinatorProcess", "rotating_coordinator_protocol"]
+
+
+class RotatingCoordinatorProcess(RoundProcess):
+    """n-round consensus under the ◇S-style RRFD (EventuallyStrong).
+
+    Round ``j`` treats process ``j − 1`` as coordinator: any process that
+    does not suspect the coordinator adopts the coordinator's emitted value.
+    Agreement holds because some process is *never* suspected — at its
+    round, adoption is universal, and the adopted value is thereafter held
+    by everyone (so later coordinators emit it too).  Validity is clear
+    (values only ever copied); termination is ``n`` rounds.
+    """
+
+    def __init__(self, pid: int, n: int, input_value: Any) -> None:
+        super().__init__(pid, n, input_value)
+        self.current = input_value
+
+    def emit(self, round_number: Round) -> Any:
+        return self.current
+
+    def absorb(self, view: RoundView) -> None:
+        coordinator = view.round - 1
+        if coordinator < self.n and coordinator not in view.suspected:
+            self.current = view.value_from(coordinator)
+        if view.round >= self.n and not self.decided:
+            self.decide(self.current)
+
+
+def rotating_coordinator_protocol() -> Protocol:
+    """n-round rotating-coordinator consensus for the ◇S RRFD (item 6)."""
+    return make_protocol(RotatingCoordinatorProcess, name="rotating-coordinator")

@@ -1,0 +1,178 @@
+"""Theorem 3.3: a k-set-consensus object + SWMR memory ⟹ the k-set detector.
+
+If a system solves k-set consensus and implements SWMR shared memory, it
+supports a detector with ``|⋃_i D(i,r) − ⋂_i D(i,r)| < k`` per round — the
+converse of Theorem 3.1.
+
+The construction, per round ``r`` (run here on the shared-memory substrate
+with a fresh :class:`~repro.substrates.sharedmem.memory.KSetConsensusObject`
+per round):
+
+1. emit: append the round-``r`` value to your value cell;
+2. propose your own identifier to the round's k-set-consensus object; let
+   ``j`` be the output (``j`` wrote its round-``r`` value before proposing,
+   so its value is readable);
+3. write ``j`` to your *choice* cell, then read all choice cells; let ``Q``
+   be the set of identifiers read;
+4. ``D(i, r) := S − Q``.
+
+Why the detector property holds: two suspicion sets can differ only on
+identifiers that were chosen through the object (every value in a choice
+cell is a chosen id), and the object returns at most ``k`` distinct ids.
+Moreover the chosen id whose choice cell was written *first* is read by
+everyone (reads follow the reader's own write, which follows the first
+write), so it is in every ``Q`` — the union-minus-intersection difference is
+at most ``k − 1 < k``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Generator, Sequence
+
+from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.predicates import KSetDetector
+from repro.core.types import DRound, RoundView
+from repro.substrates.sharedmem.memory import KSetConsensusObject, SharedMemory
+from repro.substrates.sharedmem.ops import KSetPropose, Op, Read, Write
+from repro.substrates.sharedmem.scheduler import (
+    RandomScheduler,
+    SharedMemorySystem,
+    StepScheduler,
+)
+
+__all__ = ["KSetRRFDResult", "run_kset_object_rrfd"]
+
+_VALUES = "thm33-values"
+_CHOICE = "thm33-choice"
+
+
+def _program(
+    process: RoundProcess,
+    max_rounds: int,
+    views_out: list[RoundView],
+) -> Any:
+    def program(pid: int, n: int) -> Generator[Op, Any, Any]:
+        emissions: dict[int, Any] = {}
+        for r in range(1, max_rounds + 1):
+            emissions[r] = process.emit(r)
+            yield Write(_VALUES, dict(emissions))
+            chosen = yield KSetPropose(f"round-{r}", pid)
+            # One choice array per round: a later round must not overwrite
+            # this round's choices while slow processes are still reading.
+            yield Write(f"{_CHOICE}-{r}", chosen)
+            chosen_ids: set[int] = set()
+            for owner in range(n):
+                cell = yield Read(owner, f"{_CHOICE}-{r}")
+                if cell is not None:
+                    chosen_ids.add(cell)
+            # Fetch the round-r values of the trusted (chosen) processes.
+            messages: dict[int, Any] = {}
+            for j in sorted(chosen_ids):
+                cell = yield Read(j, _VALUES)
+                assert cell is not None and r in cell, (
+                    f"chosen process {j} must have written its round-{r} value "
+                    "before proposing (k-set validity)"
+                )
+                messages[j] = cell[r]
+            suspected = frozenset(range(n)) - frozenset(chosen_ids)
+            view = RoundView(
+                pid=pid, round=r, messages=messages, suspected=suspected, n=n
+            )
+            views_out.append(view)
+            process.absorb(view)
+        return process.decision
+
+    return program
+
+
+@dataclass
+class KSetRRFDResult:
+    """Outcome of the Theorem 3.3 construction."""
+
+    n: int
+    k: int
+    processes: list[RoundProcess]
+    views: list[list[RoundView]]
+    crashed: frozenset[int]
+    total_steps: int
+
+    @property
+    def decisions(self) -> list[Any]:
+        return [proc.decision for proc in self.processes]
+
+    def d_rows(self, round_number: int) -> dict[int, frozenset[int]]:
+        rows = {}
+        for pid in range(self.n):
+            for view in self.views[pid]:
+                if view.round == round_number:
+                    rows[pid] = view.suspected
+        return rows
+
+    def max_completed_round(self) -> int:
+        return max((len(per) for per in self.views), default=0)
+
+    def detector_property_holds(self) -> bool:
+        """``|⋃D − ⋂D| < k`` per round, over the processes that completed it."""
+        for r in range(1, self.max_completed_round() + 1):
+            rows = list(self.d_rows(r).values())
+            if not rows:
+                continue
+            union: frozenset[int] = frozenset()
+            inter = rows[0]
+            for row in rows:
+                union |= row
+                inter &= row
+            if len(union - inter) >= self.k:
+                return False
+        return True
+
+
+def run_kset_object_rrfd(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    k: int,
+    *,
+    max_rounds: int,
+    seed: int = 0,
+    scheduler: StepScheduler | None = None,
+    crash_after: dict[int, int] | None = None,
+    adversarial_object: bool = True,
+    max_steps: int = 2_000_000,
+) -> KSetRRFDResult:
+    """Run ``protocol`` under the detector built from k-set objects + SWMR.
+
+    ``adversarial_object`` makes each round's k-set-consensus object answer
+    with adversarially varied anchors (the weakest legal behaviour);
+    otherwise it answers deterministically with the first proposal.
+    """
+    n = len(inputs)
+    rng = random.Random(seed)
+    objects = {
+        f"round-{r}": KSetConsensusObject(
+            k, rng=random.Random(rng.getrandbits(64)) if adversarial_object else None
+        )
+        for r in range(1, max_rounds + 1)
+    }
+    memory = SharedMemory(n, kset_objects=objects)
+    processes = protocol.spawn_all(tuple(inputs))
+    views: list[list[RoundView]] = [[] for _ in range(n)]
+    programs = [
+        _program(processes[pid], max_rounds, views[pid]) for pid in range(n)
+    ]
+    system = SharedMemorySystem(
+        memory,
+        programs,
+        scheduler or RandomScheduler(rng),
+        crash_after=crash_after,
+    )
+    run = system.run(max_steps=max_steps)
+    return KSetRRFDResult(
+        n=n,
+        k=k,
+        processes=processes,
+        views=views,
+        crashed=run.crashed,
+        total_steps=run.total_steps,
+    )

@@ -1,0 +1,178 @@
+"""The two-round gather-and-relay construction (Section 2, items 3 and 4).
+
+Both of these paper claims use the same mechanism:
+
+- *item 4*: if ``2f < n``, two rounds of asynchronous message passing
+  (predicate (3)) implement one round of SWMR shared memory (predicates
+  (3)+(4)).  Round one: emit the payload.  Round two: emit the set of
+  processes heard in round one (with their payloads).  A process has
+  "heard of" ``j`` if it heard ``j`` directly or some relayer did.  Since
+  everyone hears a majority in round one, some process is heard *by* a
+  majority, and majorities intersect — that process is heard of by all,
+  giving predicate (4).
+
+- *item 3*: two rounds of the mixed-resilience model *B* (some ``t``
+  processes may miss up to ``t``, the rest at most ``f``; ``f < t``,
+  ``2t < n``) implement one round of model *A* (everyone misses ≤ f).  In
+  round two even a weak process hears ``≥ n − t > t ≥ |Q|`` processes, so
+  at least one strong relayer, whose round-one reception it inherits —
+  at most ``f`` missed.
+
+:func:`two_round_relay` runs any emit/receive algorithm this way under a
+given base predicate and returns the simulated views plus both the base and
+the simulated suspicion histories, so tests can check the target predicate
+holds on the simulated rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.predicate import Predicate
+from repro.core.predicates import AsyncMessagePassing, MixedResilience
+from repro.core.types import DHistory, DRound, RoundView
+from repro.util.rng import make_rng
+
+__all__ = [
+    "RelayResult",
+    "two_round_relay",
+    "simulate_mp_to_swmr",
+    "simulate_mixed_to_async",
+]
+
+
+@dataclass
+class RelayResult:
+    """Outcome of a two-round relay simulation."""
+
+    n: int
+    processes: list[RoundProcess]
+    simulated_views: list[list[RoundView]]
+    base_history: DHistory
+    simulated_history: DHistory
+    base_rounds_used: int
+
+    @property
+    def decisions(self) -> list[Any]:
+        return [proc.decision for proc in self.processes]
+
+
+def two_round_relay(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    base: Predicate,
+    *,
+    simulated_rounds: int,
+    seed: int = 0,
+    rng: random.Random | None = None,
+) -> RelayResult:
+    """Simulate ``simulated_rounds`` strong rounds with ``2×`` base rounds.
+
+    Per simulated round ``r``:
+
+    1. base round A: every process "emits" its payload; the base adversary
+       yields ``D_A``; process ``i`` directly hears ``H_i = S − D_A(i)``.
+    2. base round B: every process emits ``(H_i, payloads of H_i)``; the
+       adversary yields ``D_B``; process ``i``'s *heard-of* set is
+       ``H_i ∪ ⋃ {H_m : m ∈ S − D_B(i)}``.
+
+    The simulated view delivers the round-``r`` payloads of the heard-of
+    set, with ``D_sim(i, r)`` its complement.
+    """
+    n = len(inputs)
+    if base.n != n:
+        raise ValueError(f"predicate is for n={base.n}, inputs give n={n}")
+    rng = rng or make_rng(seed)
+    processes = protocol.spawn_all(tuple(inputs))
+    simulated_views: list[list[RoundView]] = [[] for _ in range(n)]
+    base_history: DHistory = ()
+    simulated_history: DHistory = ()
+
+    for r in range(1, simulated_rounds + 1):
+        payloads = [processes[pid].emit(r) for pid in range(n)]
+
+        d_a = base.sample_round(rng, base_history)
+        base_history = base_history + (d_a,)
+        heard_direct = [frozenset(range(n)) - d_a[pid] for pid in range(n)]
+
+        d_b = base.sample_round(rng, base_history)
+        base_history = base_history + (d_b,)
+
+        sim_round: list[frozenset[int]] = []
+        for pid in range(n):
+            relayers = frozenset(range(n)) - d_b[pid]
+            heard_of = frozenset(heard_direct[pid])
+            for m in relayers:
+                heard_of |= heard_direct[m]
+            suspected = frozenset(range(n)) - heard_of
+            sim_round.append(suspected)
+            view = RoundView(
+                pid=pid,
+                round=r,
+                messages={j: payloads[j] for j in sorted(heard_of)},
+                suspected=suspected,
+                n=n,
+            )
+            simulated_views[pid].append(view)
+            processes[pid].absorb(view)
+        simulated_history = simulated_history + (tuple(sim_round),)
+
+    return RelayResult(
+        n=n,
+        processes=processes,
+        simulated_views=simulated_views,
+        base_history=base_history,
+        simulated_history=simulated_history,
+        base_rounds_used=2 * simulated_rounds,
+    )
+
+
+def simulate_mp_to_swmr(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    f: int,
+    *,
+    simulated_rounds: int,
+    seed: int = 0,
+) -> RelayResult:
+    """Item 4: async message passing (``2f < n``) simulating SWMR rounds."""
+    n = len(inputs)
+    if 2 * f >= n:
+        raise ValueError(
+            f"the construction requires 2f < n (majorities must intersect); "
+            f"got f={f}, n={n}"
+        )
+    return two_round_relay(
+        protocol,
+        inputs,
+        AsyncMessagePassing(n, f),
+        simulated_rounds=simulated_rounds,
+        seed=seed,
+    )
+
+
+def simulate_mixed_to_async(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    t: int,
+    f: int,
+    *,
+    simulated_rounds: int,
+    seed: int = 0,
+) -> RelayResult:
+    """Item 3: model *B* (t weak processes) simulating model *A* rounds."""
+    n = len(inputs)
+    if 2 * t >= n:
+        raise ValueError(f"the construction requires 2t < n; got t={t}, n={n}")
+    if f > t:
+        raise ValueError(f"model B is defined for f ≤ t; got f={f}, t={t}")
+    return two_round_relay(
+        protocol,
+        inputs,
+        MixedResilience(n, t, f),
+        simulated_rounds=simulated_rounds,
+        seed=seed,
+    )

@@ -1,0 +1,17 @@
+"""From-scratch simulators for every traditional system the paper discusses.
+
+Each subpackage is one substrate:
+
+- :mod:`repro.substrates.events` — the discrete-event simulation kernel;
+- :mod:`repro.substrates.messaging` — asynchronous message passing with
+  crash faults, plus the round overlay of Section 2 item 3;
+- :mod:`repro.substrates.sync` — lock-step synchronous message passing with
+  crash and send-omission fault injection (items 1–2);
+- :mod:`repro.substrates.sharedmem` — SWMR registers, atomic snapshots
+  (primitive and the wait-free register construction), the literal
+  adopt-commit protocol, and a k-set-consensus object (items 4–5, Thm 3.3);
+- :mod:`repro.substrates.semisync` — the semi-synchronous model of
+  Dolev–Dwork–Stockmeyer (Section 5);
+- :mod:`repro.substrates.abd` — Attiya–Bar-Noy–Dolev majority emulation of
+  SWMR registers over asynchronous message passing.
+"""

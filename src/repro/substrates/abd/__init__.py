@@ -1,0 +1,5 @@
+"""Attiya–Bar-Noy–Dolev register emulation over message passing (ref [22])."""
+
+from repro.substrates.abd.emulation import ABDNode, majority
+
+__all__ = ["ABDNode", "majority"]

@@ -1,0 +1,172 @@
+"""ABD: atomic SWMR registers over asynchronous message passing (2f < n).
+
+Attiya–Bar-Noy–Dolev's emulation — the paper's reference [22] and the reason
+shared memory "avoids the network-partition problem that message passing
+with 2f ≥ n encounters" (Section 2 item 4).  Every process keeps a local
+replica ``(tag, value)`` of each register; quorums of size ``⌈(n+1)/2⌉``
+(majorities) intersect, which carries written values across operations:
+
+- ``write(v)`` (owner only): increment the tag, broadcast the new pair, wait
+  for a majority of acknowledgements;
+- ``read(owner)``: query a majority for their replicas, adopt the highest
+  tag, *write back* that pair to a majority (the read must help later reads
+  — without write-back, atomicity fails), then return the value.
+
+Operations are asynchronous: callers get completion callbacks.  With at most
+``f < n/2`` crashes, majorities of correct processes always exist, so every
+operation by a correct process terminates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.substrates.messaging.network import Node
+
+__all__ = ["ABDNode", "majority"]
+
+
+def majority(n: int) -> int:
+    """Quorum size: any two quorums of this size intersect."""
+    return n // 2 + 1
+
+
+@dataclass(frozen=True, order=True)
+class Tag:
+    """A write timestamp; ties cannot occur within one owner's register
+    (owners increment sequentially), so ``seq`` alone orders writes."""
+
+    seq: int
+
+
+@dataclass
+class _PendingOp:
+    """Bookkeeping for one in-flight quorum operation."""
+
+    kind: str  # "write", "read-query", "read-writeback"
+    replies: dict[int, Any] = field(default_factory=dict)
+    on_done: Callable[[Any], None] | None = None
+    context: Any = None
+    done: bool = False
+
+
+class ABDNode(Node):
+    """One process of the ABD emulation.
+
+    Registers are SWMR, one per process (register ``j`` is owned by process
+    ``j``), matching the array ``C_1..C_n`` of Section 2 item 4.  Public
+    operations:
+
+    - :meth:`write` — write to *own* register;
+    - :meth:`read` — read any register.
+
+    Both take a completion callback invoked (with the written value / the
+    read value) once a majority quorum has been assembled.
+    """
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid)
+        self.n = n
+        # Replicas of every register, keyed (owner, name).  ``name`` lets
+        # one algorithm use several SWMR arrays (adopt-commit uses two);
+        # the classic single-array setting is name="reg".
+        self.replicas: dict[tuple[int, str], tuple[Tag, Any]] = {}
+        self._op_ids = itertools.count()
+        self._pending: dict[int, _PendingOp] = {}
+        self._write_seq: dict[str, int] = {}
+        self.ops_completed = 0
+
+    def _replica(self, owner: int, name: str) -> tuple[Tag, Any]:
+        return self.replicas.get((owner, name), (Tag(0), None))
+
+    # ---------------------------------------------------------- public API
+
+    def write(
+        self,
+        value: Any,
+        on_done: Callable[[Any], None] | None = None,
+        *,
+        name: str = "reg",
+    ) -> None:
+        """Write ``value`` to this process's own register ``name``."""
+        self._write_seq[name] = self._write_seq.get(name, 0) + 1
+        tag = Tag(self._write_seq[name])
+        key = (self.pid, name)
+        self.replicas[key] = max(self._replica(self.pid, name), (tag, value))
+        op_id = next(self._op_ids)
+        self._pending[op_id] = _PendingOp(kind="write", on_done=on_done, context=value)
+        self.broadcast(("store", op_id, self.pid, name, tag, value), include_self=False)
+        self._record_reply(op_id, self.pid, None)
+
+    def read(
+        self,
+        owner: int,
+        on_done: Callable[[Any], None],
+        *,
+        name: str = "reg",
+    ) -> None:
+        """Read register ``(owner, name)`` (two quorum phases: query + write-back)."""
+        op_id = next(self._op_ids)
+        self._pending[op_id] = _PendingOp(
+            kind="read-query", on_done=on_done, context=(owner, name)
+        )
+        self.broadcast(("query", op_id, owner, name), include_self=False)
+        self._record_reply(op_id, self.pid, self._replica(owner, name))
+
+    # ---------------------------------------------------------- messaging
+
+    def on_message(self, src: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "store":
+            _, op_id, owner, name, tag, value = payload
+            self._absorb(owner, name, tag, value)
+            self.send(src, ("store-ack", op_id))
+        elif kind == "query":
+            _, op_id, owner, name = payload
+            self.send(
+                src, ("query-reply", op_id, self._replica(owner, name))
+            )
+        elif kind == "store-ack":
+            _, op_id = payload
+            self._record_reply(op_id, src, None)
+        elif kind == "query-reply":
+            _, op_id, replica = payload
+            self._record_reply(op_id, src, replica)
+        else:  # pragma: no cover - exhaustive over message kinds
+            raise ValueError(f"unknown ABD message {payload!r}")
+
+    def _absorb(self, owner: int, name: str, tag: Tag, value: Any) -> None:
+        if tag > self._replica(owner, name)[0]:
+            self.replicas[(owner, name)] = (tag, value)
+
+    def _record_reply(self, op_id: int, src: int, reply: Any) -> None:
+        op = self._pending.get(op_id)
+        if op is None or op.done:
+            return
+        op.replies[src] = reply
+        if len(op.replies) < majority(self.n):
+            return
+        op.done = True
+        del self._pending[op_id]
+        self.ops_completed += 1
+        if op.kind == "write":
+            if op.on_done is not None:
+                op.on_done(op.context)
+        elif op.kind == "read-query":
+            owner, name = op.context
+            tag, value = max(op.replies.values())
+            self._absorb(owner, name, tag, value)
+            # Phase 2: write the chosen pair back to a majority.
+            wb_id = next(self._op_ids)
+            self._pending[wb_id] = _PendingOp(
+                kind="read-writeback", on_done=op.on_done, context=value
+            )
+            self.broadcast(
+                ("store", wb_id, owner, name, tag, value), include_self=False
+            )
+            self._record_reply(wb_id, self.pid, None)
+        elif op.kind == "read-writeback":
+            if op.on_done is not None:
+                op.on_done(op.context)

@@ -1,0 +1,9 @@
+"""Discrete-event simulation kernel underlying all asynchronous substrates."""
+
+from repro.substrates.events.simulator import (
+    EventHandle,
+    EventSimulator,
+    SimulationError,
+)
+
+__all__ = ["EventSimulator", "EventHandle", "SimulationError"]

@@ -1,0 +1,121 @@
+"""A minimal discrete-event simulation kernel.
+
+Every asynchronous substrate (message passing, the ABD emulation, the
+semi-synchronous model) runs on this kernel: events are ``(time, seq,
+callback)`` triples in a heap; ``run`` pops them in order.  Determinism is
+total — ties in time break by schedule order (``seq``), and all randomness
+lives in the callers' explicit RNGs — so a seed reproduces an execution
+exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["EventSimulator", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """The simulation was driven incorrectly (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Returned by :meth:`EventSimulator.schedule`; allows cancellation."""
+
+    _event: _Event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class EventSimulator:
+    """Single-threaded event loop with simulated time.
+
+    Typical use::
+
+        sim = EventSimulator()
+        sim.schedule(1.5, lambda: deliver(msg))
+        sim.run()
+
+    ``run`` executes until the queue drains (or a limit is hit) — quiescence
+    is the natural termination notion for the protocols simulated here.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _Event(self.now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        return self.schedule(time - self.now, callback)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event (no-op if already run or cancelled)."""
+        handle._event.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def run(
+        self,
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """Process events in time order; return how many were processed.
+
+        Stops when the queue is empty, simulated time would pass ``until``,
+        or ``max_events`` have been processed — whichever comes first.
+        ``max_events`` is the guard rail against non-quiescent protocols.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = event.time
+            event.callback()
+            processed += 1
+            self.events_processed += 1
+        if until is not None and self.now < until and not self._queue:
+            self.now = until
+        return processed
+
+    def step(self) -> bool:
+        """Process exactly one event; return False if the queue was empty."""
+        return self.run(max_events=1) == 1

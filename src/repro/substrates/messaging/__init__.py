@@ -1,0 +1,33 @@
+"""Asynchronous message passing with crash faults (Section 2 item 3)."""
+
+from repro.substrates.messaging.heartbeat import (
+    HeartbeatDetectorNode,
+    HeartbeatSystem,
+    PartialSynchronyDelays,
+)
+from repro.substrates.messaging.network import (
+    AdversarialDelays,
+    AsyncNetwork,
+    DelayModel,
+    Node,
+    UniformDelays,
+)
+from repro.substrates.messaging.rounds import (
+    OverlayResult,
+    RoundOverlayNode,
+    run_round_overlay,
+)
+
+__all__ = [
+    "HeartbeatDetectorNode",
+    "HeartbeatSystem",
+    "PartialSynchronyDelays",
+    "AdversarialDelays",
+    "AsyncNetwork",
+    "DelayModel",
+    "Node",
+    "UniformDelays",
+    "OverlayResult",
+    "RoundOverlayNode",
+    "run_round_overlay",
+]

@@ -1,0 +1,174 @@
+"""A heartbeat failure detector over partial synchrony (item 6's substrate).
+
+Item 6 treats the classic ◇S as an RRFD predicate; this module supplies the
+*system* that classically realises such a detector: an asynchronous network
+that becomes timely after an unknown Global Stabilisation Time (GST), plus
+heartbeats with adaptive timeouts:
+
+- every process broadcasts a heartbeat each ``beat`` time units;
+- process ``i`` suspects ``j`` when no heartbeat arrived within ``i``'s
+  current timeout for ``j``; a heartbeat from a suspected process clears
+  the suspicion **and increases that timeout** (the standard
+  Chandra–Toueg adaptation);
+- before GST the adversary delays messages arbitrarily (bounded only by
+  the delay model's cap); after GST every delay is ≤ ``delta``.
+
+Classical consequences, which the tests verify on this implementation:
+
+- *strong completeness*: a crashed process is eventually suspected by every
+  correct process, forever;
+- *eventual strong accuracy*: after GST each false timeout bumps the
+  timeout past ``delta + beat``, so eventually no correct process is
+  suspected — this is ◇P, hence ◇S, hence the RRFD predicate of item 6
+  (``|⋃⋃D| < n``) holds on every suspicion suffix after stabilisation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.substrates.events.simulator import EventSimulator
+from repro.substrates.messaging.network import AsyncNetwork, DelayModel, Node
+
+__all__ = ["PartialSynchronyDelays", "HeartbeatDetectorNode", "HeartbeatSystem"]
+
+
+class PartialSynchronyDelays(DelayModel):
+    """Arbitrary (capped) delays before GST; at most ``delta`` after."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        gst: float,
+        delta: float,
+        chaos_max: float = 50.0,
+    ) -> None:
+        if delta <= 0 or gst < 0:
+            raise ValueError(f"need delta > 0 and gst ≥ 0, got {delta}, {gst}")
+        self.rng = rng
+        self.gst = gst
+        self.delta = delta
+        self.chaos_max = chaos_max
+
+    def latency(self, src: int, dst: int, send_time: float) -> float:
+        if send_time >= self.gst:
+            return self.rng.uniform(0.0, self.delta)
+        # Pre-GST chaos, but never past GST + delta unscathed: a message
+        # sent before GST still arrives by GST + chaos; cap keeps runs finite.
+        return self.rng.uniform(0.0, self.chaos_max)
+
+
+class HeartbeatDetectorNode(Node):
+    """One process: broadcast heartbeats, time out silent peers."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        sim: EventSimulator,
+        *,
+        beat: float = 1.0,
+        initial_timeout: float = 2.0,
+        timeout_bump: float = 2.0,
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.sim = sim
+        self.beat = beat
+        self.timeouts = {j: initial_timeout for j in range(n) if j != pid}
+        self.timeout_bump = timeout_bump
+        self.last_heard = {j: 0.0 for j in range(n) if j != pid}
+        self.suspected: set[int] = set()
+        # (time, frozen suspicion set) — the detector's output history.
+        self.suspicion_log: list[tuple[float, frozenset[int]]] = []
+
+    def on_start(self) -> None:
+        self._tick()
+
+    def _tick(self) -> None:
+        assert self.network is not None
+        if self.network.is_crashed(self.pid):
+            return
+        self.broadcast(("heartbeat",), include_self=False)
+        now = self.sim.now
+        for j, deadline in self.timeouts.items():
+            if j not in self.suspected and now - self.last_heard[j] > deadline:
+                self.suspected.add(j)
+                self.suspicion_log.append((now, frozenset(self.suspected)))
+        self.sim.schedule(self.beat, self._tick)
+
+    def on_message(self, src: int, payload) -> None:
+        if payload != ("heartbeat",):
+            return
+        self.last_heard[src] = self.sim.now
+        if src in self.suspected:
+            # False suspicion: forgive and adapt.
+            self.suspected.discard(src)
+            self.timeouts[src] += self.timeout_bump
+            self.suspicion_log.append((self.sim.now, frozenset(self.suspected)))
+
+
+@dataclass
+class HeartbeatSystem:
+    """A convenience bundle: build, run, and interrogate the detector."""
+
+    n: int
+    sim: EventSimulator
+    network: AsyncNetwork
+    nodes: list[HeartbeatDetectorNode]
+
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        *,
+        seed: int = 0,
+        gst: float = 40.0,
+        delta: float = 0.5,
+        beat: float = 1.0,
+    ) -> "HeartbeatSystem":
+        sim = EventSimulator()
+        nodes = [HeartbeatDetectorNode(pid, n, sim, beat=beat) for pid in range(n)]
+        network = AsyncNetwork(
+            nodes,
+            sim,
+            delays=PartialSynchronyDelays(
+                random.Random(seed), gst=gst, delta=delta
+            ),
+            fifo=False,
+        )
+        return cls(n=n, sim=sim, network=network, nodes=nodes)
+
+    def run(self, until: float, *, max_events: int = 2_000_000) -> None:
+        self.network.start()
+        self.sim.run(until=until, max_events=max_events)
+
+    def suspected_by(self, pid: int) -> frozenset[int]:
+        return frozenset(self.nodes[pid].suspected)
+
+    def eventually_strong_holds(self) -> bool:
+        """Item 6's predicate on the final state: someone correct is
+        suspected by nobody (here, strongly: no correct process suspected)."""
+        correct = self.network.correct
+        union: set[int] = set()
+        for pid in sorted(correct):
+            union |= self.nodes[pid].suspected
+        return bool(correct - union)
+
+    def completeness_holds(self) -> bool:
+        """Every crashed process is suspected by every correct process."""
+        correct = self.network.correct
+        crashed = frozenset(range(self.n)) - correct
+        return all(
+            crashed <= self.nodes[pid].suspected for pid in sorted(correct)
+        )
+
+    def accuracy_holds(self) -> bool:
+        """No correct process suspects another correct process (◇P, reached
+        after stabilisation)."""
+        correct = self.network.correct
+        return all(
+            not (self.nodes[pid].suspected & correct) for pid in sorted(correct)
+        )

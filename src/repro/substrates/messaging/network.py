@@ -1,0 +1,208 @@
+"""An asynchronous message-passing network with crash faults.
+
+The system of Section 2 item 3: ``n`` processes, reliable point-to-point
+channels with unbounded (but finite) delays, at most ``f`` crash failures.
+Delivery order is controlled by a :class:`DelayModel`; the default draws
+random per-message latencies, and :class:`AdversarialDelays` lets tests pin
+worst-case schedules.  Channels are optionally FIFO (per ordered pair), which
+the full-information reconstruction of item 3 relies on.
+
+Nodes are callback objects (:class:`Node`): the network calls
+``on_message(src, payload)`` on delivery and ``on_start()`` at time zero.
+A crashed node neither sends nor receives from its crash time onward.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.substrates.events.simulator import EventSimulator
+
+__all__ = [
+    "DelayModel",
+    "UniformDelays",
+    "AdversarialDelays",
+    "Node",
+    "AsyncNetwork",
+]
+
+
+class DelayModel(ABC):
+    """Chooses a latency for each message."""
+
+    @abstractmethod
+    def latency(self, src: int, dst: int, send_time: float) -> float:
+        """Return the in-flight time for a message ``src → dst``."""
+
+
+class UniformDelays(DelayModel):
+    """Latency drawn uniformly from ``[low, high]`` per message."""
+
+    def __init__(self, rng: random.Random, low: float = 0.1, high: float = 10.0) -> None:
+        if not 0 < low <= high:
+            raise ValueError(f"need 0 < low ≤ high, got {low}, {high}")
+        self.rng = rng
+        self.low = low
+        self.high = high
+
+    def latency(self, src: int, dst: int, send_time: float) -> float:
+        return self.rng.uniform(self.low, self.high)
+
+
+class AdversarialDelays(DelayModel):
+    """Per-link latencies from a table, with a default for unlisted links.
+
+    ``table[(src, dst)]`` fixes a link's latency — tests use this to build
+    the slow-process / fast-process schedules that make asynchronous
+    executions interesting.
+    """
+
+    def __init__(
+        self,
+        table: dict[tuple[int, int], float] | None = None,
+        default: float = 1.0,
+    ) -> None:
+        self.table = dict(table or {})
+        self.default = default
+
+    def latency(self, src: int, dst: int, send_time: float) -> float:
+        return self.table.get((src, dst), self.default)
+
+
+class Node(ABC):
+    """A process attached to an :class:`AsyncNetwork`."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.network: "AsyncNetwork | None" = None
+
+    def attach(self, network: "AsyncNetwork") -> None:
+        self.network = network
+
+    def send(self, dst: int, payload: Any) -> None:
+        assert self.network is not None, "node not attached to a network"
+        self.network.send(self.pid, dst, payload)
+
+    def broadcast(self, payload: Any, *, include_self: bool = True) -> None:
+        """Send ``payload`` to every process (self-delivery is immediate)."""
+        assert self.network is not None, "node not attached to a network"
+        for dst in range(self.network.n):
+            if dst == self.pid and not include_self:
+                continue
+            self.network.send(self.pid, dst, payload)
+
+    def on_start(self) -> None:
+        """Called once at simulated time zero."""
+
+    @abstractmethod
+    def on_message(self, src: int, payload: Any) -> None:
+        """Called on each delivery addressed to this node."""
+
+
+@dataclass
+class NetworkStats:
+    """Counters the benchmarks report."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped_crash: int = 0
+
+
+class AsyncNetwork:
+    """Reliable asynchronous network over the event simulator.
+
+    Args:
+        nodes: the processes, indexed by pid.
+        sim: the event simulator driving time.
+        delays: latency model (defaults to :class:`UniformDelays` seeded 0).
+        fifo: enforce per-channel FIFO delivery by clamping each message's
+            delivery time to be no earlier than the channel's previous one.
+
+    Crash faults: :meth:`crash` stops a node at a simulated time; messages
+    sent by it strictly after that time are suppressed, and deliveries to it
+    after that time are dropped.  Messages already in flight *from* it are
+    still delivered — a crash loses the process, not the network.
+    """
+
+    def __init__(
+        self,
+        nodes: list[Node],
+        sim: EventSimulator,
+        *,
+        delays: DelayModel | None = None,
+        fifo: bool = True,
+    ) -> None:
+        self.nodes = nodes
+        self.n = len(nodes)
+        self.sim = sim
+        self.delays = delays or UniformDelays(random.Random(0))
+        self.fifo = fifo
+        self.stats = NetworkStats()
+        self.crashed_at: dict[int, float] = {}
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        for node in nodes:
+            node.attach(self)
+
+    # ---------------------------------------------------------------- faults
+
+    def crash(self, pid: int, at_time: float | None = None) -> None:
+        """Crash ``pid`` at ``at_time`` (default: now).  Idempotent-ish:
+        only the earliest crash time is kept."""
+        time = self.sim.now if at_time is None else at_time
+        if pid in self.crashed_at:
+            self.crashed_at[pid] = min(self.crashed_at[pid], time)
+        else:
+            self.crashed_at[pid] = time
+
+    def is_crashed(self, pid: int, at_time: float | None = None) -> bool:
+        time = self.sim.now if at_time is None else at_time
+        return pid in self.crashed_at and time > self.crashed_at[pid]
+
+    @property
+    def correct(self) -> frozenset[int]:
+        """Processes that never crash in this execution."""
+        return frozenset(range(self.n)) - frozenset(self.crashed_at)
+
+    # ------------------------------------------------------------- messaging
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        if self.is_crashed(src):
+            self.stats.messages_dropped_crash += 1
+            return
+        self.stats.messages_sent += 1
+        if src == dst:
+            # Self-delivery is immediate: a process always "hears" itself.
+            self._deliver(src, dst, payload)
+            return
+        latency = self.delays.latency(src, dst, self.sim.now)
+        delivery_time = self.sim.now + latency
+        if self.fifo:
+            floor = self._last_delivery.get((src, dst), 0.0)
+            delivery_time = max(delivery_time, floor + 1e-9)
+            self._last_delivery[(src, dst)] = delivery_time
+        self.sim.schedule_at(
+            delivery_time, lambda: self._deliver(src, dst, payload)
+        )
+
+    def _deliver(self, src: int, dst: int, payload: Any) -> None:
+        if self.is_crashed(dst):
+            self.stats.messages_dropped_crash += 1
+            return
+        self.stats.messages_delivered += 1
+        self.nodes[dst].on_message(src, payload)
+
+    # ------------------------------------------------------------------ run
+
+    def start(self) -> None:
+        """Invoke every (non-crashed-at-zero) node's ``on_start``."""
+        for node in self.nodes:
+            if not self.is_crashed(node.pid, 0.0):
+                self.sim.schedule(0.0, node.on_start)
+
+    def run(self, *, max_events: int | None = 1_000_000) -> int:
+        """Start all nodes and run the simulation to quiescence."""
+        self.start()
+        return self.sim.run(max_events=max_events)

@@ -1,0 +1,210 @@
+"""The round overlay: communication-closed rounds over an async network.
+
+Section 2 item 3's construction ("System N implements A"): each process
+simulates rounds on top of the asynchronous network by
+
+- *discarding* messages that arrive for a round it has already left (late),
+- *buffering* messages for rounds it has not reached (early), and
+- *waiting* until it holds at least ``n − f`` round-``r`` messages before
+  leaving round ``r`` (its own message counts — self-delivery is immediate).
+
+The bound of ``f`` crash failures guarantees this never blocks: at least
+``n − f`` processes keep emitting.  The suspicion set is then
+``D(i, r) = S − (senders heard for round r)``, so ``|D(i, r)| ≤ f`` — the
+:class:`repro.core.predicates.AsyncMessagePassing` predicate — by
+construction.  Tests and experiment E12 validate exactly that, plus the
+converse direction (full-information reconstruction of the discarded
+messages, :mod:`repro.simulations.full_information`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.types import RoundView
+from repro.substrates.events.simulator import EventSimulator
+from repro.substrates.messaging.network import AsyncNetwork, DelayModel, Node, UniformDelays
+
+__all__ = ["RoundOverlayNode", "OverlayResult", "run_round_overlay"]
+
+
+class RoundOverlayNode(Node):
+    """One process of the round overlay, wrapping an emit/receive algorithm.
+
+    The wrapped :class:`~repro.core.algorithm.RoundProcess` sees exactly the
+    RRFD interface: per round, a view with messages and ``D(i, r)``.  The
+    node records its emissions, views and the count of discarded (late)
+    messages for later auditing.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        f: int,
+        process: RoundProcess,
+        *,
+        max_rounds: int,
+        stop_on_decision: bool = True,
+    ) -> None:
+        super().__init__(pid)
+        if not 0 <= f < n:
+            raise ValueError(f"need 0 ≤ f < n, got f={f}, n={n}")
+        self.n = n
+        self.f = f
+        self.process = process
+        self.max_rounds = max_rounds
+        self.stop_on_decision = stop_on_decision
+        self.current_round = 1
+        self.halted = False
+        self.buffers: dict[int, dict[int, Any]] = {}
+        self.views: list[RoundView] = []
+        self.emissions: dict[int, Any] = {}
+        self.late_discarded = 0
+        self._advancing = False
+
+    # ------------------------------------------------------------- protocol
+
+    def on_start(self) -> None:
+        self._emit_current()
+
+    def on_message(self, src: int, payload: Any) -> None:
+        round_number, data = payload
+        if self.halted:
+            return
+        if round_number < self.current_round:
+            self.late_discarded += 1
+            return
+        self.buffers.setdefault(round_number, {})[src] = data
+        self._try_advance()
+
+    # -------------------------------------------------------------- helpers
+
+    def _emit_current(self) -> None:
+        payload = self.process.emit(self.current_round)
+        self.emissions[self.current_round] = payload
+        self.broadcast((self.current_round, payload))
+
+    def _try_advance(self) -> None:
+        # broadcast → immediate self-delivery → on_message reentrancy; the
+        # flag collapses the recursion into the outer loop.
+        if self._advancing:
+            return
+        self._advancing = True
+        try:
+            while (
+                not self.halted
+                and len(self.buffers.get(self.current_round, {})) >= self.n - self.f
+            ):
+                received = self.buffers.pop(self.current_round)
+                suspected = frozenset(range(self.n)) - frozenset(received)
+                view = RoundView(
+                    pid=self.pid,
+                    round=self.current_round,
+                    messages=received,
+                    suspected=suspected,
+                    n=self.n,
+                )
+                self.views.append(view)
+                self.process.absorb(view)
+                done = (
+                    self.current_round >= self.max_rounds
+                    or (self.stop_on_decision and self.process.decided)
+                )
+                if done:
+                    self.halted = True
+                    break
+                self.current_round += 1
+                self._emit_current()
+        finally:
+            self._advancing = False
+
+
+@dataclass
+class OverlayResult:
+    """Outcome of a round-overlay execution."""
+
+    n: int
+    f: int
+    inputs: tuple[Any, ...]
+    nodes: list[RoundOverlayNode]
+    network: AsyncNetwork
+    crashed: frozenset[int]
+
+    @property
+    def decisions(self) -> list[Any]:
+        return [node.process.decision for node in self.nodes]
+
+    @property
+    def views(self) -> list[list[RoundView]]:
+        return [node.views for node in self.nodes]
+
+    def rounds_completed(self, pid: int) -> int:
+        return len(self.nodes[pid].views)
+
+    def suspicion_bound_respected(self) -> bool:
+        """Every completed view satisfies ``|D(i, r)| ≤ f`` (eq. (3))."""
+        return all(
+            len(view.suspected) <= self.f
+            for node in self.nodes
+            for view in node.views
+        )
+
+    @property
+    def total_late_discarded(self) -> int:
+        return sum(node.late_discarded for node in self.nodes)
+
+
+def run_round_overlay(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    f: int,
+    *,
+    max_rounds: int,
+    seed: int = 0,
+    delays: DelayModel | None = None,
+    crash_times: dict[int, float] | None = None,
+    stop_on_decision: bool = True,
+    max_events: int = 1_000_000,
+) -> OverlayResult:
+    """Run ``protocol`` in the round-based asynchronous system of item 3.
+
+    ``crash_times`` maps pid → simulated crash time; at most ``f`` crashes
+    are permitted (more would let the overlay block, exactly as the model
+    predicts).
+    """
+    n = len(inputs)
+    crash_times = dict(crash_times or {})
+    if len(crash_times) > f:
+        raise ValueError(
+            f"{len(crash_times)} crashes scheduled but the model tolerates f={f}"
+        )
+    sim = EventSimulator()
+    nodes = [
+        RoundOverlayNode(
+            pid,
+            n,
+            f,
+            protocol.spawn(pid, n, inputs[pid]),
+            max_rounds=max_rounds,
+            stop_on_decision=stop_on_decision,
+        )
+        for pid in range(n)
+    ]
+    network = AsyncNetwork(
+        nodes, sim, delays=delays or UniformDelays(random.Random(seed))
+    )
+    for pid, time in crash_times.items():
+        network.crash(pid, time)
+    network.run(max_events=max_events)
+    return OverlayResult(
+        n=n,
+        f=f,
+        inputs=tuple(inputs),
+        nodes=nodes,
+        network=network,
+        crashed=frozenset(crash_times),
+    )

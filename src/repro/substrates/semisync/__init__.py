@@ -1,0 +1,19 @@
+"""The semi-synchronous Dolev–Dwork–Stockmeyer model (Section 5)."""
+
+from repro.substrates.semisync.model import (
+    RandomStepSchedule,
+    ScriptedStepSchedule,
+    SemiSyncResult,
+    SemiSyncSystem,
+    StepProcess,
+    StepSchedule,
+)
+
+__all__ = [
+    "RandomStepSchedule",
+    "ScriptedStepSchedule",
+    "SemiSyncResult",
+    "SemiSyncSystem",
+    "StepProcess",
+    "StepSchedule",
+]

@@ -1,0 +1,229 @@
+"""The semi-synchronous model of Dolev–Dwork–Stockmeyer (Section 5).
+
+The model the paper takes from [DDS]:
+
+- processes are asynchronous (no bound on relative speeds) and fail by
+  crashing;
+- a *step* is atomic: receive everything the communication subsystem has
+  buffered since the last step, then (optionally) broadcast one message;
+- communication is broadcast: a message received by anyone is received by
+  all correct processes;
+- **every message sent is delivered before any process can take steps** —
+  i.e. a broadcast lands in all buffers immediately, visible from each
+  recipient's very next step.
+
+That last property is what makes the first receive/send of a round behave
+as an atomic read-modify-write ("if the receive returns an empty set of
+messages then a message is broadcast, otherwise it is not" — Section 5),
+which is how the 2-step detector implementation of Theorem 5.1 works.
+
+The scheduler is the adversary: it picks which alive process steps next.
+Crashes remove a process from scheduling (in an asynchronous system this is
+indistinguishable from being arbitrarily slow).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = [
+    "StepProcess",
+    "StepSchedule",
+    "RandomStepSchedule",
+    "ScriptedStepSchedule",
+    "SemiSyncResult",
+    "SemiSyncSystem",
+]
+
+
+class StepProcess(ABC):
+    """A process in the semi-synchronous model.
+
+    :meth:`step` is called with the messages buffered since the last step
+    (as ``(src, payload)`` pairs, in send order) and returns the payload to
+    broadcast, or ``None`` to stay silent this step.
+    """
+
+    def __init__(self, pid: int, n: int, input_value: Any) -> None:
+        self.pid = pid
+        self.n = n
+        self.input_value = input_value
+        self.decision: Any = None
+        self.steps_executed = 0
+
+    @abstractmethod
+    def step(self, received: list[tuple[int, Any]]) -> Any | None:
+        """One atomic receive/send step."""
+
+    @property
+    def decided(self) -> bool:
+        return self.decision is not None
+
+    def decide(self, value: Any) -> None:
+        if value is None:
+            raise ValueError("decision value may not be None")
+        if self.decision is not None and self.decision != value:
+            raise RuntimeError(
+                f"process {self.pid} changed decision {self.decision!r} → {value!r}"
+            )
+        self.decision = value
+
+
+class StepSchedule(ABC):
+    """The adversary choosing which process takes the next step."""
+
+    @abstractmethod
+    def choose(self, alive_undecided: Sequence[int], step_index: int) -> int:
+        """Pick a pid from ``alive_undecided`` (non-empty)."""
+
+
+class RandomStepSchedule(StepSchedule):
+    """Uniformly random (probabilistically fair) step order."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def choose(self, alive_undecided: Sequence[int], step_index: int) -> int:
+        return self.rng.choice(list(alive_undecided))
+
+
+class ScriptedStepSchedule(StepSchedule):
+    """Explicit step order, falling back to round robin when exhausted."""
+
+    def __init__(self, script: Sequence[int]) -> None:
+        self.script = list(script)
+        self._cursor = 0
+
+    def choose(self, alive_undecided: Sequence[int], step_index: int) -> int:
+        while self._cursor < len(self.script):
+            pid = self.script[self._cursor]
+            self._cursor += 1
+            if pid in alive_undecided:
+                return pid
+        return sorted(alive_undecided)[step_index % len(alive_undecided)]
+
+
+@dataclass
+class SemiSyncResult:
+    """Outcome of a semi-synchronous execution."""
+
+    n: int
+    inputs: tuple[Any, ...]
+    processes: list[StepProcess]
+    crashed: frozenset[int]
+    total_steps: int
+
+    @property
+    def decisions(self) -> list[Any]:
+        return [proc.decision for proc in self.processes]
+
+    def steps_of(self, pid: int) -> int:
+        return self.processes[pid].steps_executed
+
+    def max_steps_to_decide(self) -> int:
+        """Largest per-process step count among processes that decided."""
+        return max(
+            (proc.steps_executed for proc in self.processes if proc.decided),
+            default=0,
+        )
+
+
+class SemiSyncSystem:
+    """Execute :class:`StepProcess` objects under an adversarial schedule.
+
+    ``crash_after[pid] = s`` crashes ``pid`` after it has executed ``s``
+    steps (0 = never scheduled).  Decided processes keep their buffers but
+    are no longer scheduled — every protocol here decides within a bounded
+    number of own-steps, so this loses nothing and makes quiescence crisp.
+
+    ``delivery_slack`` is the ablation knob for the model's delivery
+    property.  The paper's model has slack 0: "every message sent is
+    delivered before any process can take steps" — a broadcast is in every
+    buffer for the recipient's very next step.  With slack ``s > 0`` the
+    adversary may hold each (message, recipient) pair for up to ``s``
+    additional recipient steps.  Theorem 5.1's equation (5) depends on
+    slack 0; the benchmarks measure how it (and consensus itself)
+    degrades when the property is weakened.
+    """
+
+    def __init__(
+        self,
+        processes: list[StepProcess],
+        schedule: StepSchedule,
+        *,
+        crash_after: dict[int, int] | None = None,
+        delivery_slack: int = 0,
+        slack_rng: random.Random | None = None,
+    ) -> None:
+        if delivery_slack < 0:
+            raise ValueError(f"delivery_slack must be ≥ 0, got {delivery_slack}")
+        if delivery_slack > 0 and slack_rng is None:
+            raise ValueError("delivery_slack > 0 requires a slack_rng")
+        self.processes = processes
+        self.n = len(processes)
+        self.schedule = schedule
+        self.crash_after = dict(crash_after or {})
+        self.delivery_slack = delivery_slack
+        self.slack_rng = slack_rng
+        # buffer entries: (src, payload, remaining_hold_steps)
+        self.buffers: list[list[list[Any]]] = [[] for _ in range(self.n)]
+        self.total_steps = 0
+
+    def _is_crashed(self, pid: int) -> bool:
+        return (
+            pid in self.crash_after
+            and self.processes[pid].steps_executed >= self.crash_after[pid]
+        )
+
+    def _schedulable(self) -> list[int]:
+        return [
+            pid
+            for pid in range(self.n)
+            if not self._is_crashed(pid) and not self.processes[pid].decided
+        ]
+
+    def run(self, *, max_steps: int = 100_000) -> SemiSyncResult:
+        while self.total_steps < max_steps:
+            runnable = self._schedulable()
+            if not runnable:
+                break
+            pid = self.schedule.choose(runnable, self.total_steps)
+            self._step(pid)
+        return SemiSyncResult(
+            n=self.n,
+            inputs=tuple(proc.input_value for proc in self.processes),
+            processes=self.processes,
+            crashed=frozenset(
+                pid for pid in range(self.n) if self._is_crashed(pid)
+            ),
+            total_steps=self.total_steps,
+        )
+
+    def _step(self, pid: int) -> None:
+        process = self.processes[pid]
+        ready: list[tuple[int, Any]] = []
+        still_held: list[list[Any]] = []
+        for entry in self.buffers[pid]:
+            src, payload, hold = entry
+            if hold <= 0:
+                ready.append((src, payload))
+            else:
+                still_held.append([src, payload, hold - 1])
+        self.buffers[pid] = still_held
+        outgoing = process.step(ready)
+        process.steps_executed += 1
+        self.total_steps += 1
+        if outgoing is not None:
+            # Slack 0 = the model's synchronous-communication property:
+            # in every other process's buffer before its next step.
+            for dst in range(self.n):
+                if dst != pid:
+                    hold = (
+                        self.slack_rng.randint(0, self.delivery_slack)
+                        if self.delivery_slack
+                        else 0
+                    )
+                    self.buffers[dst].append([pid, outgoing, hold])

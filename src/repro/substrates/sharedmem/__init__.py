@@ -1,0 +1,68 @@
+"""Shared-memory substrates: SWMR registers, snapshots, shared objects.
+
+Items 4–5 of the paper's Section 2 plus the Section 4.2 machinery:
+
+- :mod:`~repro.substrates.sharedmem.ops` / :mod:`~repro.substrates.sharedmem.memory`
+  / :mod:`~repro.substrates.sharedmem.scheduler` — the linearizable register
+  space and the asynchronous step-interleaving engine;
+- :mod:`~repro.substrates.sharedmem.snapshot` — atomic snapshot, both as a
+  primitive (``Scan``) and built wait-free from registers;
+- :mod:`~repro.substrates.sharedmem.adopt_commit` — the paper's literal
+  two-array adopt-commit protocol;
+- :mod:`~repro.substrates.sharedmem.swmr_rounds` — item 4's
+  write-then-read-until-fresh round construction (RRFD over shared memory).
+"""
+
+from repro.substrates.sharedmem.adopt_commit import adopt_commit_program, run_adopt_commit
+from repro.substrates.sharedmem.immediate_snapshot import (
+    ImmediateSnapshotViolation,
+    check_immediate_snapshot,
+    immediate_snapshot_program,
+)
+from repro.substrates.sharedmem.memory import KSetConsensusObject, SharedMemory
+from repro.substrates.sharedmem.ops import KSetPropose, Op, Read, Scan, Write
+from repro.substrates.sharedmem.scheduler import (
+    MemoryRunResult,
+    Program,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    SharedMemorySystem,
+    StepScheduler,
+)
+from repro.substrates.sharedmem.snapshot import (
+    AtomicSnapshotFromRegisters,
+    SnapshotCell,
+    collect,
+)
+from repro.substrates.sharedmem.scan_rounds import ScanRoundsResult, run_scan_rounds
+from repro.substrates.sharedmem.swmr_rounds import SWMRRoundsResult, run_swmr_rounds
+
+__all__ = [
+    "adopt_commit_program",
+    "run_adopt_commit",
+    "KSetConsensusObject",
+    "SharedMemory",
+    "KSetPropose",
+    "Op",
+    "Read",
+    "Scan",
+    "Write",
+    "MemoryRunResult",
+    "Program",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+    "SharedMemorySystem",
+    "StepScheduler",
+    "AtomicSnapshotFromRegisters",
+    "SnapshotCell",
+    "collect",
+    "SWMRRoundsResult",
+    "run_swmr_rounds",
+    "ScanRoundsResult",
+    "run_scan_rounds",
+    "ImmediateSnapshotViolation",
+    "check_immediate_snapshot",
+    "immediate_snapshot_program",
+]

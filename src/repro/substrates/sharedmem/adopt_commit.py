@@ -1,0 +1,122 @@
+"""The paper's literal adopt-commit protocol on SWMR registers (Section 4.2).
+
+Two register arrays ``C·,1`` and ``C·,2``, initialised to ⊥ (``None``)::
+
+    write v_i to C_{i,1}
+    S := ⋃_j read C_{j,1}
+    if S − {⊥} = {v}:   C_{i,2} := ("commit", v)
+    else:               C_{i,2} := ("adopt", v_i)
+    S := ⋃_j read C_{j,2}
+    if S − {⊥} = {("commit", v)}:  return commit v
+    elif ("commit", v) ∈ S:        return adopt v
+    else:                          return adopt v_i
+
+Wait-free (f = n − 1 resilient): no operation ever waits.  Correctness rests
+on write-before-read ordering: of two phase-1 values, whichever was written
+*first* is seen by the other writer's read-all, so at most one value reaches
+phase "commit"; and a committer wrote its commit before reading, so any
+process whose read-all missed it was itself seen by the committer — forcing
+the committer's all-commit view to contain that process's (then commit-``v``)
+value.
+
+The RRFD-rounds rendering of the same protocol is
+:class:`repro.protocols.adopt_commit.AdoptCommitRoundsProcess`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator, Sequence
+
+from repro.protocols.adopt_commit import AdoptCommitOutcome
+from repro.substrates.sharedmem.memory import SharedMemory
+from repro.substrates.sharedmem.ops import Op, Read, Write
+from repro.substrates.sharedmem.scheduler import (
+    MemoryRunResult,
+    RandomScheduler,
+    SharedMemorySystem,
+    StepScheduler,
+)
+
+__all__ = ["adopt_commit_program", "run_adopt_commit"]
+
+_PHASE1 = "ac-phase1"
+_PHASE2 = "ac-phase2"
+
+
+def adopt_commit_program(
+    value: Any,
+    *,
+    read_order_rng: random.Random | None = None,
+    phase1_array: str = _PHASE1,
+    phase2_array: str = _PHASE2,
+) -> Any:
+    """Build the per-process adopt-commit program proposing ``value``.
+
+    ``read_order_rng`` shuffles each read-all pass (the paper allows "some
+    arbitrary order"); ``None`` reads in pid order.  The array names are
+    parameters so callers can run many independent instances in one memory
+    (the detector-consensus protocol uses one instance per phase).
+    """
+
+    def program(pid: int, n: int) -> Generator[Op, Any, AdoptCommitOutcome]:
+        def read_all(array: str) -> Generator[Op, Any, list[Any]]:
+            order = list(range(n))
+            if read_order_rng is not None:
+                read_order_rng.shuffle(order)
+            seen = []
+            for owner in order:
+                cell = yield Read(owner, array)
+                if cell is not None:
+                    seen.append(cell)
+            return seen
+
+        yield Write(phase1_array, value)
+        phase1 = yield from read_all(phase1_array)
+        if set(phase1) == {value}:
+            my_phase2 = ("commit", value)
+        else:
+            my_phase2 = ("adopt", value)
+        yield Write(phase2_array, my_phase2)
+        phase2 = yield from read_all(phase2_array)
+        commits = {v for tag, v in phase2 if tag == "commit"}
+        if commits and all(tag == "commit" for tag, _ in phase2):
+            return AdoptCommitOutcome(True, next(iter(commits)))
+        if commits:
+            # At most one committed value can exist; sorted() is belt and
+            # braces for the assertion-checked invariant.
+            return AdoptCommitOutcome(False, sorted(commits, key=repr)[0])
+        return AdoptCommitOutcome(False, value)
+
+    return program
+
+
+def run_adopt_commit(
+    values: Sequence[Any],
+    *,
+    scheduler: StepScheduler | None = None,
+    seed: int = 0,
+    crash_after: dict[int, int] | None = None,
+    shuffle_reads: bool = False,
+) -> MemoryRunResult:
+    """Run one adopt-commit instance with the given proposals.
+
+    Returns the raw :class:`MemoryRunResult`; finished processes' outputs
+    are :class:`~repro.protocols.adopt_commit.AdoptCommitOutcome` values.
+    """
+    n = len(values)
+    rng = random.Random(seed)
+    memory = SharedMemory(n)
+    programs = [
+        adopt_commit_program(
+            values[pid], read_order_rng=rng if shuffle_reads else None
+        )
+        for pid in range(n)
+    ]
+    system = SharedMemorySystem(
+        memory,
+        programs,
+        scheduler or RandomScheduler(rng),
+        crash_after=crash_after,
+    )
+    return system.run()

@@ -1,0 +1,114 @@
+"""One-shot immediate snapshot (Borowsky–Gafni), the object behind item 5.
+
+The paper's item 5 predicate — suspicion sets ⊆-chain-ordered, self never
+suspected — is the signature of the *iterated immediate snapshot* model of
+the paper's reference [4].  An immediate snapshot object supports a single
+``write_read(v)`` per process, returning a view ``V_i ⊆ {(j, v_j)}`` with:
+
+- *self-inclusion*: ``(i, v_i) ∈ V_i``;
+- *containment*: ``V_i ⊆ V_j`` or ``V_j ⊆ V_i``;
+- *immediacy*: ``(j, v_j) ∈ V_i  ⟹  V_j ⊆ V_i``.
+
+(Containment alone is the plain snapshot; immediacy is the extra "write and
+read happen together" property that makes one round of the model look like
+a barycentric subdivision.)
+
+The classic wait-free recursive implementation on SWMR registers: at level
+``L = n, n−1, ...`` each participant writes its value tagged with the
+level and collects; if it sees ≥ L participants at levels ≤ L it *returns*
+the set of those with level ≤ L, else it descends to level L−1.  All
+returners at the same level get the same view; lower levels get strictly
+smaller views.
+
+Run it with programs on the shared-memory step scheduler::
+
+    out = {}
+    programs = [immediate_snapshot_program(f"v{i}", out) for i in range(n)]
+    SharedMemorySystem(SharedMemory(n), programs, scheduler).run()
+
+``out[pid]`` is then the view dict of each finished process, and
+:func:`check_immediate_snapshot` asserts the three properties.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Mapping
+
+from repro.substrates.sharedmem.ops import Op, Read, Write
+
+__all__ = [
+    "immediate_snapshot_program",
+    "check_immediate_snapshot",
+    "ImmediateSnapshotViolation",
+]
+
+_ARRAY = "imsnap"
+
+
+class ImmediateSnapshotViolation(AssertionError):
+    """One of the three immediate-snapshot properties failed."""
+
+
+def immediate_snapshot_program(value: Any, out: dict[int, dict[int, Any]]) -> Any:
+    """Build the one-shot write-read program for one process.
+
+    The returned view (also stored in ``out[pid]``) maps participant id →
+    value for every participant the process "sees".
+    """
+
+    def program(pid: int, n: int) -> Generator[Op, Any, dict[int, Any]]:
+        for level in range(n, 0, -1):
+            yield Write(_ARRAY, (level, value))
+            cells: list[Any] = []
+            for owner in range(n):
+                cell = yield Read(owner, _ARRAY)
+                cells.append(cell)
+            at_or_below = {
+                owner: cell_value
+                for owner, cell in enumerate(cells)
+                if cell is not None and cell[0] <= level
+                for cell_value in (cell[1],)
+            }
+            if len(at_or_below) >= level:
+                out[pid] = at_or_below
+                return at_or_below
+        raise AssertionError("level 1 always returns: the process sees itself")
+
+    return program
+
+
+def check_immediate_snapshot(
+    views: Mapping[int, Mapping[int, Any]],
+    values: Mapping[int, Any],
+) -> None:
+    """Assert self-inclusion, containment and immediacy over ``views``.
+
+    ``views[pid]`` is the view returned to ``pid``; ``values[pid]`` its
+    input.  Raises :class:`ImmediateSnapshotViolation` with a precise
+    message on the first failure.
+    """
+    for pid, view in views.items():
+        if pid not in view or view[pid] != values[pid]:
+            raise ImmediateSnapshotViolation(
+                f"self-inclusion: p{pid}'s view {dict(view)} lacks its own value"
+            )
+        for member, value in view.items():
+            if values[member] != value:
+                raise ImmediateSnapshotViolation(
+                    f"validity: p{pid} saw {value!r} for p{member}, "
+                    f"actual input {values[member]!r}"
+                )
+    pids = sorted(views)
+    for a in pids:
+        for b in pids:
+            seen_a, seen_b = set(views[a]), set(views[b])
+            if not (seen_a <= seen_b or seen_b <= seen_a):
+                raise ImmediateSnapshotViolation(
+                    f"containment: views of p{a} ({sorted(seen_a)}) and "
+                    f"p{b} ({sorted(seen_b)}) are incomparable"
+                )
+            if b in seen_a and not seen_b <= seen_a:
+                raise ImmediateSnapshotViolation(
+                    f"immediacy: p{a} sees p{b} but not all of p{b}'s view "
+                    f"({sorted(seen_b - seen_a)} missing)"
+                )

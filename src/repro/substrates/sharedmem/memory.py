@@ -1,0 +1,133 @@
+"""Linearizable shared memory: SWMR registers, scans, k-set objects.
+
+The memory is the passive half of the shared-memory substrate: it applies
+one operation at a time (the step scheduler guarantees that), so every
+operation is trivially linearizable.  A full history of states is retained
+for the ``name`` arrays under audit, which is what the snapshot-
+linearizability tests check returned vectors against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.substrates.sharedmem.ops import KSetPropose, Op, Read, Scan, Write
+
+__all__ = ["SharedMemory", "KSetConsensusObject", "MemoryError_"]
+
+
+class MemoryError_(RuntimeError):
+    """An illegal memory operation (wrong writer, scan without support...)."""
+
+
+class KSetConsensusObject:
+    """A linearizable k-set-consensus object (the substrate of Theorem 3.3).
+
+    Semantics: ``propose(v)`` returns a value that was proposed by some
+    process at or before this invocation, and across the object's lifetime
+    at most ``k`` distinct values are returned.  The implementation keeps
+    the first ``k`` proposals as the "anchor" set and answers each proposal
+    with an adversarially/randomly chosen anchor — the weakest behaviour the
+    specification permits, which is what a simulation built on top must
+    tolerate.
+    """
+
+    def __init__(self, k: int, rng: random.Random | None = None) -> None:
+        if k < 1:
+            raise ValueError(f"k must be ≥ 1, got {k}")
+        self.k = k
+        self.rng = rng
+        self.anchors: list[Any] = []
+        self.returned: set[Any] = set()
+
+    def propose(self, value: Any) -> Any:
+        if len(self.anchors) < self.k:
+            self.anchors.append(value)
+        if self.rng is None:
+            result = self.anchors[0]
+        else:
+            result = self.rng.choice(self.anchors)
+        self.returned.add(result)
+        assert len(self.returned) <= self.k
+        return result
+
+
+@dataclass
+class OpRecord:
+    """One applied operation, for audit trails and linearizability checks."""
+
+    step: int
+    pid: int
+    op: Op
+    result: Any
+
+
+class SharedMemory:
+    """The register space: ``n`` owners × named arrays, plus shared objects.
+
+    Args:
+        n: number of processes.
+        atomic_scan: allow the :class:`~repro.substrates.sharedmem.ops.Scan`
+            primitive.  Off, algorithms must build snapshots from registers.
+        kset_objects: mapping object-name → :class:`KSetConsensusObject`.
+        audit_arrays: array names whose full state history is recorded
+            (as ``(step, tuple_of_n_values)``) for atomicity checking.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        atomic_scan: bool = False,
+        kset_objects: dict[str, KSetConsensusObject] | None = None,
+        audit_arrays: tuple[str, ...] = (),
+    ) -> None:
+        self.n = n
+        self.atomic_scan = atomic_scan
+        self.cells: dict[tuple[int, str], Any] = {}
+        self.kset_objects = dict(kset_objects or {})
+        self.audit_arrays = audit_arrays
+        self.history: dict[str, list[tuple[int, tuple[Any, ...]]]] = {
+            name: [] for name in audit_arrays
+        }
+        self.records: list[OpRecord] = []
+        self._step = 0
+
+    def array(self, name: str) -> tuple[Any, ...]:
+        """The current contents of array ``name`` (length ``n``)."""
+        return tuple(self.cells.get((owner, name)) for owner in range(self.n))
+
+    def apply(self, pid: int, op: Op) -> Any:
+        """Apply one operation atomically on behalf of ``pid``."""
+        self._step += 1
+        if isinstance(op, Write):
+            self.cells[(pid, op.name)] = op.value
+            if op.name in self.history:
+                self.history[op.name].append((self._step, self.array(op.name)))
+            result: Any = None
+        elif isinstance(op, Read):
+            if not 0 <= op.owner < self.n:
+                raise MemoryError_(f"read of unknown owner {op.owner}")
+            result = self.cells.get((op.owner, op.name))
+        elif isinstance(op, Scan):
+            if not self.atomic_scan:
+                raise MemoryError_(
+                    "Scan used but this memory has no atomic-scan primitive; "
+                    "build SharedMemory(atomic_scan=True) or use the register "
+                    "construction in repro.substrates.sharedmem.snapshot"
+                )
+            result = self.array(op.name)
+        elif isinstance(op, KSetPropose):
+            if op.obj not in self.kset_objects:
+                raise MemoryError_(f"unknown k-set object {op.obj!r}")
+            result = self.kset_objects[op.obj].propose(op.value)
+        else:  # pragma: no cover - exhaustive over Op
+            raise MemoryError_(f"unknown operation {op!r}")
+        self.records.append(OpRecord(self._step, pid, op, result))
+        return result
+
+    @property
+    def steps_applied(self) -> int:
+        return self._step

@@ -1,0 +1,64 @@
+"""Operation vocabulary for the shared-memory step scheduler.
+
+Programs are Python generators that *yield* operations and are resumed with
+the operation's result.  Each yielded operation executes atomically — the
+scheduler interleaves whole operations, never their internals — which makes
+the simulated registers linearizable by construction and puts all the
+nondeterminism where the asynchronous model has it: between operations.
+
+Register naming: a register is identified by ``(owner, name)`` and is
+single-writer multi-reader — only ``owner`` may write it.  ``name`` lets one
+algorithm use several register arrays (the adopt-commit protocol uses two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Write", "Read", "Scan", "KSetPropose", "Op"]
+
+
+@dataclass(frozen=True)
+class Write:
+    """Write ``value`` to the invoker's own register ``name``.  Result: None."""
+
+    name: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read register ``(owner, name)``.  Result: its value (None if unwritten)."""
+
+    owner: int
+    name: str
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Atomically read all ``n`` registers of array ``name``.
+
+    Result: a tuple of length ``n``.  Only legal when the memory was built
+    with ``atomic_scan=True`` — this is the atomic-snapshot *primitive*
+    (Section 2 item 5).  The register-only construction of the same
+    functionality lives in :mod:`repro.substrates.sharedmem.snapshot`.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class KSetPropose:
+    """Propose ``value`` to the k-set-consensus object ``obj``.
+
+    Result: some value proposed to ``obj`` no later than this operation,
+    with at most ``k`` distinct results ever returned by the object.  This
+    is the black-box object Theorem 3.3 assumes.
+    """
+
+    obj: str
+    value: Any
+
+
+Op = Write | Read | Scan | KSetPropose

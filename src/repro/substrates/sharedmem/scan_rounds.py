@@ -1,0 +1,168 @@
+"""RRFD rounds over the atomic-snapshot *primitive* (item 5, Corollary 3.2).
+
+Like :mod:`repro.substrates.sharedmem.swmr_rounds`, but each read pass is a
+single atomic ``Scan``.  Because scans linearize, the round-``r`` "seen"
+sets at different processes are totally ordered by inclusion (cells only
+*gain* round-``r`` values over time), each process sees itself, and the
+``n − f`` stopping rule bounds every miss set — exactly the
+:class:`repro.core.predicates.AtomicSnapshot` predicate.
+
+With ``f = k − 1`` this substrate satisfies the k-set detector of Theorem
+3.1, so running the one-round k-set agreement algorithm on it *is*
+Corollary 3.2: k-set agreement is solvable in asynchronous snapshot shared
+memory with at most ``k − 1`` crash failures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Generator, Sequence
+
+from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.predicate import round_intersection, round_union
+from repro.core.types import RoundView
+from repro.substrates.sharedmem.memory import SharedMemory
+from repro.substrates.sharedmem.ops import Op, Scan, Write
+from repro.substrates.sharedmem.scheduler import (
+    RandomScheduler,
+    SharedMemorySystem,
+    StepScheduler,
+)
+
+__all__ = ["ScanRoundsResult", "run_scan_rounds"]
+
+_ARRAY = "snap-cells"
+
+
+def _round_program(
+    process: RoundProcess,
+    f: int,
+    max_rounds: int,
+    views_out: list[RoundView],
+    *,
+    stop_on_decision: bool,
+) -> Any:
+    def program(pid: int, n: int) -> Generator[Op, Any, Any]:
+        emissions: dict[int, Any] = {}
+        for r in range(1, max_rounds + 1):
+            emissions[r] = process.emit(r)
+            yield Write(_ARRAY, dict(emissions))
+            while True:
+                cells = yield Scan(_ARRAY)
+                fresh = {
+                    owner: cell[r]
+                    for owner, cell in enumerate(cells)
+                    if cell is not None and r in cell
+                }
+                if len(fresh) >= n - f:
+                    break
+            suspected = frozenset(range(n)) - frozenset(fresh)
+            view = RoundView(
+                pid=pid, round=r, messages=fresh, suspected=suspected, n=n
+            )
+            views_out.append(view)
+            process.absorb(view)
+            if stop_on_decision and process.decided:
+                break
+        return process.decision
+
+    return program
+
+
+@dataclass
+class ScanRoundsResult:
+    """Outcome of an RRFD-over-atomic-snapshot execution."""
+
+    n: int
+    f: int
+    inputs: tuple[Any, ...]
+    processes: list[RoundProcess]
+    views: list[list[RoundView]]
+    crashed: frozenset[int]
+    total_steps: int
+
+    @property
+    def decisions(self) -> list[Any]:
+        return [proc.decision for proc in self.processes]
+
+    def d_rows(self, round_number: int) -> dict[int, frozenset[int]]:
+        return {
+            pid: view.suspected
+            for pid in range(self.n)
+            for view in self.views[pid]
+            if view.round == round_number
+        }
+
+    def max_completed_round(self) -> int:
+        return max((len(per) for per in self.views), default=0)
+
+    def snapshot_predicate_holds(self) -> bool:
+        """Per round: |D| ≤ f, self-trust, and ⊆-chain order (item 5)."""
+        for r in range(1, self.max_completed_round() + 1):
+            rows = self.d_rows(r)
+            for pid, suspected in rows.items():
+                if len(suspected) > self.f or pid in suspected:
+                    return False
+            ordered = sorted(rows.values(), key=len)
+            for smaller, larger in zip(ordered, ordered[1:]):
+                if not smaller <= larger:
+                    return False
+        return True
+
+    def kset_detector_holds(self, k: int) -> bool:
+        """|⋃D − ⋂D| < k per round (Theorem 3.1's detector)."""
+        for r in range(1, self.max_completed_round() + 1):
+            rows = tuple(self.d_rows(r).values())
+            if rows and len(round_union(rows) - round_intersection(rows)) >= k:
+                return False
+        return True
+
+
+def run_scan_rounds(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    f: int,
+    *,
+    max_rounds: int,
+    scheduler: StepScheduler | None = None,
+    seed: int = 0,
+    crash_after: dict[int, int] | None = None,
+    stop_on_decision: bool = True,
+    max_steps: int = 2_000_000,
+) -> ScanRoundsResult:
+    """Run ``protocol`` as RRFD rounds over the atomic-snapshot primitive."""
+    n = len(inputs)
+    if not 0 <= f < n:
+        raise ValueError(f"need 0 ≤ f < n, got f={f}, n={n}")
+    crash_after = dict(crash_after or {})
+    if len(crash_after) > f:
+        raise ValueError(
+            f"{len(crash_after)} crashes scheduled but the model tolerates f={f}"
+        )
+    memory = SharedMemory(n, atomic_scan=True)
+    processes = protocol.spawn_all(tuple(inputs))
+    views: list[list[RoundView]] = [[] for _ in range(n)]
+    programs = [
+        _round_program(
+            processes[pid], f, max_rounds, views[pid],
+            stop_on_decision=stop_on_decision,
+        )
+        for pid in range(n)
+    ]
+    system = SharedMemorySystem(
+        memory,
+        programs,
+        scheduler or RandomScheduler(random.Random(seed)),
+        crash_after=crash_after,
+    )
+    run = system.run(max_steps=max_steps)
+    return ScanRoundsResult(
+        n=n,
+        f=f,
+        inputs=tuple(inputs),
+        processes=processes,
+        views=views,
+        crashed=run.crashed,
+        total_steps=run.total_steps,
+    )

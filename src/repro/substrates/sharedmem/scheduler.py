@@ -1,0 +1,196 @@
+"""Step schedulers and the shared-memory execution engine (item 4).
+
+Programs are generator functions ``fn(pid, n)`` yielding operations from
+:mod:`repro.substrates.sharedmem.ops`; the engine resumes each with its
+result.  Between operations the *scheduler* — the asynchronous adversary —
+picks which process moves next.  Crashes are scheduler-level: a crashed
+process is simply never scheduled again, which in an asynchronous system is
+indistinguishable from being very slow (the standard reading of a crash).
+
+Wait-free algorithms must terminate for every scheduling and any number of
+crashes; ``f``-resilient ones only when at most ``f`` processes crash.  The
+tests drive both random and adversarially scripted schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Sequence
+
+from repro.substrates.sharedmem.memory import SharedMemory
+from repro.substrates.sharedmem.ops import Op
+
+__all__ = [
+    "Program",
+    "StepScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+    "MemoryRunResult",
+    "SharedMemorySystem",
+]
+
+# A program is spawned per process: fn(pid, n) -> generator of ops.
+Program = Callable[[int, int], Generator[Op, Any, Any]]
+
+
+class StepScheduler(ABC):
+    """Chooses, at each step, which runnable process takes its next op."""
+
+    @abstractmethod
+    def choose(self, runnable: Sequence[int], step_index: int) -> int:
+        """Pick one pid from ``runnable`` (non-empty)."""
+
+
+class RandomScheduler(StepScheduler):
+    """Uniformly random interleaving (probabilistically fair)."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def choose(self, runnable: Sequence[int], step_index: int) -> int:
+        return self.rng.choice(list(runnable))
+
+
+class RoundRobinScheduler(StepScheduler):
+    """Cycle through runnable processes — the most synchronous-looking run."""
+
+    def choose(self, runnable: Sequence[int], step_index: int) -> int:
+        return sorted(runnable)[step_index % len(runnable)]
+
+
+class ScriptedScheduler(StepScheduler):
+    """Follow an explicit pid sequence; fall back to lowest-id when the
+    scripted pid is not runnable or the script is exhausted.
+
+    Scripts express worst-case interleavings in tests ("p0 runs solo, then
+    p1 catches up"), where the fallback keeps executions well-defined."""
+
+    def __init__(self, script: Sequence[int]) -> None:
+        self.script = list(script)
+        self._cursor = 0
+
+    def choose(self, runnable: Sequence[int], step_index: int) -> int:
+        while self._cursor < len(self.script):
+            pid = self.script[self._cursor]
+            self._cursor += 1
+            if pid in runnable:
+                return pid
+        return sorted(runnable)[0]
+
+
+@dataclass
+class MemoryRunResult:
+    """Outcome of a shared-memory execution."""
+
+    outputs: list[Any]
+    steps_taken: list[int]
+    crashed: frozenset[int]
+    memory: SharedMemory
+    total_steps: int
+
+    def output_of(self, pid: int) -> Any:
+        return self.outputs[pid]
+
+    @property
+    def finished(self) -> frozenset[int]:
+        return frozenset(
+            pid for pid, out in enumerate(self.outputs) if out is not _RUNNING
+        )
+
+
+class _Running:
+    """Sentinel for a process that has not returned."""
+
+    def __repr__(self) -> str:
+        return "<running>"
+
+
+_RUNNING = _Running()
+
+
+class SharedMemorySystem:
+    """Run one program per process against a :class:`SharedMemory`.
+
+    Args:
+        memory: the register space (its ``n`` fixes the process count).
+        programs: one generator factory per process (or one factory reused
+            for all, passed via :meth:`run_uniform`).
+        scheduler: the interleaving adversary.
+        crash_after: pid → number of *own* steps after which it crashes
+            (0 = crashes before its first operation).
+    """
+
+    def __init__(
+        self,
+        memory: SharedMemory,
+        programs: Sequence[Program],
+        scheduler: StepScheduler,
+        *,
+        crash_after: dict[int, int] | None = None,
+    ) -> None:
+        if len(programs) != memory.n:
+            raise ValueError(
+                f"{len(programs)} programs for n={memory.n} processes"
+            )
+        self.memory = memory
+        self.n = memory.n
+        self.scheduler = scheduler
+        self.crash_after = dict(crash_after or {})
+        self._gens = [programs[pid](pid, self.n) for pid in range(self.n)]
+        self.outputs: list[Any] = [_RUNNING] * self.n
+        self.steps_taken = [0] * self.n
+        self._pending_result: list[Any] = [None] * self.n
+        self._started = [False] * self.n
+        self._done = [False] * self.n
+
+    def _is_crashed(self, pid: int) -> bool:
+        return pid in self.crash_after and self.steps_taken[pid] >= self.crash_after[pid]
+
+    def _runnable(self) -> list[int]:
+        return [
+            pid
+            for pid in range(self.n)
+            if not self._done[pid] and not self._is_crashed(pid)
+        ]
+
+    def run(self, *, max_steps: int = 1_000_000) -> MemoryRunResult:
+        """Drive the system until all runnable processes finish or crash."""
+        total = 0
+        while total < max_steps:
+            runnable = self._runnable()
+            if not runnable:
+                break
+            pid = self.scheduler.choose(runnable, total)
+            if pid not in runnable:
+                raise RuntimeError(
+                    f"scheduler chose non-runnable pid {pid} from {runnable}"
+                )
+            self._advance(pid)
+            total += 1
+        return MemoryRunResult(
+            outputs=list(self.outputs),
+            steps_taken=list(self.steps_taken),
+            crashed=frozenset(
+                pid for pid in range(self.n) if self._is_crashed(pid)
+            ),
+            memory=self.memory,
+            total_steps=total,
+        )
+
+    def _advance(self, pid: int) -> None:
+        gen = self._gens[pid]
+        try:
+            if not self._started[pid]:
+                self._started[pid] = True
+                op = next(gen)
+            else:
+                op = gen.send(self._pending_result[pid])
+        except StopIteration as stop:
+            self._done[pid] = True
+            self.outputs[pid] = stop.value
+            return
+        self._pending_result[pid] = self.memory.apply(pid, op)
+        self.steps_taken[pid] += 1

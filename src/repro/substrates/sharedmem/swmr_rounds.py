@@ -1,0 +1,190 @@
+"""Item 4's round construction: RRFD rounds on SWMR shared memory.
+
+The paper's operational description of the asynchronous SWMR system:
+
+    Process ``p_i``, repeatedly, writes into ``C_i`` and then reads all the
+    other variables in some arbitrary order, at least once, until it reads
+    at least ``n − f`` values it did not read before.
+
+Run in full-information mode (each cell holds the owner's emissions for
+*all* rounds so far), this implements one RRFD round: ``D(i, r)`` is the set
+of processes whose round-``r`` value ``p_i`` had not read when it stopped.
+The resulting suspicions satisfy eq. (3) (``|D| ≤ f``) by the stopping rule,
+and eq. (4) (``|⋃_i D(i,r)| < n``) because *the first process to write a
+round-``r`` value is read by all*: every other process's read passes start
+only after its own round-``r`` write, which follows the first writer's.
+
+:func:`run_swmr_rounds` executes any emit/receive algorithm this way and
+returns the per-process views plus the derived suspicion structure, which
+experiment E7's tests validate against
+:class:`repro.core.predicates.SharedMemorySWMR`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Generator, Sequence
+
+from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.types import RoundView
+from repro.substrates.sharedmem.memory import SharedMemory
+from repro.substrates.sharedmem.ops import Op, Read, Write
+from repro.substrates.sharedmem.scheduler import (
+    RandomScheduler,
+    SharedMemorySystem,
+    StepScheduler,
+)
+
+__all__ = ["SWMRRoundsResult", "run_swmr_rounds"]
+
+_ARRAY = "rrfd-cells"
+
+
+def _round_program(
+    process: RoundProcess,
+    f: int,
+    max_rounds: int,
+    views_out: list[RoundView],
+    *,
+    stop_on_decision: bool,
+    read_order_rng: random.Random | None = None,
+) -> Any:
+    """Build the write-then-read-all round loop for one process."""
+
+    def program(pid: int, n: int) -> Generator[Op, Any, Any]:
+        emissions: dict[int, Any] = {}
+        for r in range(1, max_rounds + 1):
+            emissions[r] = process.emit(r)
+            yield Write(_ARRAY, dict(emissions))
+            fresh: dict[int, Any] = {}
+            while True:
+                order = list(range(n))
+                if read_order_rng is not None:
+                    read_order_rng.shuffle(order)
+                for owner in order:
+                    cell = yield Read(owner, _ARRAY)
+                    if cell is not None and r in cell:
+                        fresh[owner] = cell[r]
+                if len(fresh) >= n - f:
+                    break
+            suspected = frozenset(range(n)) - frozenset(fresh)
+            view = RoundView(
+                pid=pid, round=r, messages=fresh, suspected=suspected, n=n
+            )
+            views_out.append(view)
+            process.absorb(view)
+            if stop_on_decision and process.decided:
+                break
+        return process.decision
+
+    return program
+
+
+@dataclass
+class SWMRRoundsResult:
+    """Outcome of an RRFD-over-SWMR execution."""
+
+    n: int
+    f: int
+    inputs: tuple[Any, ...]
+    processes: list[RoundProcess]
+    views: list[list[RoundView]]
+    crashed: frozenset[int]
+    total_steps: int
+
+    @property
+    def decisions(self) -> list[Any]:
+        return [proc.decision for proc in self.processes]
+
+    def d_rows(self, round_number: int) -> dict[int, frozenset[int]]:
+        """``D(i, r)`` for every process that completed round ``r``."""
+        rows = {}
+        for pid in range(self.n):
+            for view in self.views[pid]:
+                if view.round == round_number:
+                    rows[pid] = view.suspected
+        return rows
+
+    def max_completed_round(self) -> int:
+        return max((len(v) for v in self.views), default=0)
+
+    def eq3_holds(self) -> bool:
+        """``|D(i, r)| ≤ f`` for every completed view (eq. (3))."""
+        return all(
+            len(view.suspected) <= self.f
+            for per_process in self.views
+            for view in per_process
+        )
+
+    def eq4_holds(self) -> bool:
+        """Per round, someone is suspected by nobody (eq. (4))."""
+        for r in range(1, self.max_completed_round() + 1):
+            rows = self.d_rows(r)
+            if not rows:
+                continue
+            union: frozenset[int] = frozenset()
+            for suspected in rows.values():
+                union |= suspected
+            if len(union) >= self.n:
+                return False
+        return True
+
+
+def run_swmr_rounds(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    f: int,
+    *,
+    max_rounds: int,
+    scheduler: StepScheduler | None = None,
+    seed: int = 0,
+    crash_after: dict[int, int] | None = None,
+    stop_on_decision: bool = True,
+    shuffle_reads: bool = True,
+    max_steps: int = 2_000_000,
+) -> SWMRRoundsResult:
+    """Run ``protocol`` as RRFD rounds over simulated SWMR shared memory.
+
+    ``crash_after`` (pid → own-step count) injects at most ``f`` crashes;
+    more would let the read loops spin forever, exactly as the model says.
+    """
+    n = len(inputs)
+    if not 0 <= f < n:
+        raise ValueError(f"need 0 ≤ f < n, got f={f}, n={n}")
+    crash_after = dict(crash_after or {})
+    if len(crash_after) > f:
+        raise ValueError(
+            f"{len(crash_after)} crashes scheduled but the model tolerates f={f}"
+        )
+    rng = random.Random(seed)
+    memory = SharedMemory(n)
+    processes = protocol.spawn_all(tuple(inputs))
+    views: list[list[RoundView]] = [[] for _ in range(n)]
+    programs = [
+        _round_program(
+            processes[pid],
+            f,
+            max_rounds,
+            views[pid],
+            stop_on_decision=stop_on_decision,
+            read_order_rng=rng if shuffle_reads else None,
+        )
+        for pid in range(n)
+    ]
+    system = SharedMemorySystem(
+        memory,
+        programs,
+        scheduler or RandomScheduler(rng),
+        crash_after=crash_after,
+    )
+    run = system.run(max_steps=max_steps)
+    return SWMRRoundsResult(
+        n=n,
+        f=f,
+        inputs=tuple(inputs),
+        processes=processes,
+        views=views,
+        crashed=run.crashed,
+        total_steps=run.total_steps,
+    )

@@ -1,0 +1,23 @@
+"""Synchronous message passing with crash/omission faults (items 1–2)."""
+
+from repro.substrates.sync.engine import SyncResult, SynchronousEngine, run_synchronous
+from repro.substrates.sync.faults import (
+    CrashScheduleInjector,
+    FaultInjector,
+    NoFaults,
+    OmissionInjector,
+    RandomCrashInjector,
+    RoundFaults,
+)
+
+__all__ = [
+    "SyncResult",
+    "SynchronousEngine",
+    "run_synchronous",
+    "CrashScheduleInjector",
+    "FaultInjector",
+    "NoFaults",
+    "OmissionInjector",
+    "RandomCrashInjector",
+    "RoundFaults",
+]

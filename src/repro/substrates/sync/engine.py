@@ -1,0 +1,159 @@
+"""Lock-step synchronous message passing (Section 2, items 1–2).
+
+Computation proceeds in global rounds: every alive process broadcasts, the
+fault injector deletes some deliveries, and by the round's end each process
+has received the messages of all alive, non-omitting senders.  The engine
+then *derives* the suspicion sets — ``D(i, r)`` is exactly the set of
+processes from which ``i`` failed to receive a round-``r`` message — which
+is the paper's construction showing the synchronous system implements its
+RRFD counterpart (items 1 and 2).
+
+The derived suspicion history is exposed on the result so tests can verify
+it satisfies :class:`repro.core.predicates.SendOmissionSync` /
+:class:`repro.core.predicates.CrashSync`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.types import DHistory, RoundView
+from repro.substrates.sync.faults import FaultInjector, NoFaults
+
+__all__ = ["SyncResult", "SynchronousEngine", "run_synchronous"]
+
+
+@dataclass
+class SyncResult:
+    """Outcome of a synchronous execution."""
+
+    n: int
+    inputs: tuple[Any, ...]
+    processes: list[RoundProcess]
+    views: list[list[RoundView]]
+    d_history: DHistory
+    crashed_at: dict[int, int]
+    rounds_run: int
+
+    @property
+    def decisions(self) -> list[Any]:
+        return [proc.decision for proc in self.processes]
+
+    @property
+    def alive(self) -> frozenset[int]:
+        return frozenset(range(self.n)) - frozenset(self.crashed_at)
+
+    def decisions_of_alive(self) -> dict[int, Any]:
+        return {pid: self.processes[pid].decision for pid in sorted(self.alive)}
+
+
+class SynchronousEngine:
+    """Run an emit/receive protocol on the synchronous substrate.
+
+    Crashed processes stop emitting and receiving; their rows in the derived
+    suspicion history are synthesised (everything-suspected-except-self) so
+    the history stays a well-formed ``n``-row family — a crashed process's
+    view is irrelevant to the model predicates, which quantify over alive
+    processes (see the modelling note in :mod:`repro.core.predicates`).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        injector: FaultInjector | None = None,
+    ) -> None:
+        self.n = len(inputs)
+        self.inputs = tuple(inputs)
+        self.injector = injector or NoFaults(self.n)
+        if self.injector.n != self.n:
+            raise ValueError(
+                f"injector is for n={self.injector.n}, inputs give n={self.n}"
+            )
+        self.processes = protocol.spawn_all(self.inputs)
+        self.views: list[list[RoundView]] = [[] for _ in range(self.n)]
+        self.d_rounds: list[tuple[frozenset[int], ...]] = []
+        self.crashed_at: dict[int, int] = {}
+        self.rounds_run = 0
+
+    @property
+    def alive(self) -> frozenset[int]:
+        return frozenset(range(self.n)) - frozenset(self.crashed_at)
+
+    def step(self) -> None:
+        """Execute one synchronous round."""
+        r = self.rounds_run + 1
+        alive_at_start = self.alive
+        faults = self.injector.plan_round(r, alive_at_start)
+
+        payloads: dict[int, Any] = {
+            pid: self.processes[pid].emit(r) for pid in sorted(alive_at_start)
+        }
+        alive_rows: dict[int, frozenset[int]] = {}
+        for pid in sorted(alive_at_start):
+            received = {
+                src: payload
+                for src, payload in payloads.items()
+                if (src, pid) not in faults.lost
+            }
+            suspected = frozenset(range(self.n)) - frozenset(received)
+            alive_rows[pid] = suspected
+            view = RoundView(
+                pid=pid, round=r, messages=received, suspected=suspected, n=self.n
+            )
+            self.views[pid].append(view)
+            self.processes[pid].absorb(view)
+
+        # Crashed processes have no view; synthesise predicate-consistent
+        # rows (suspect exactly what's known faulty, never yourself) so the
+        # derived history remains a well-formed n-row family.
+        prior: frozenset[int] = frozenset()
+        for past_round in self.d_rounds:
+            for row in past_round:
+                prior |= row
+        this_round_union: frozenset[int] = frozenset()
+        for row in alive_rows.values():
+            this_round_union |= row
+        suspicions = tuple(
+            alive_rows[pid]
+            if pid in alive_rows
+            else (prior | this_round_union) - {pid}
+            for pid in range(self.n)
+        )
+
+        for pid in faults.crashes:
+            self.crashed_at.setdefault(pid, r)
+        self.d_rounds.append(suspicions)
+        self.rounds_run = r
+
+    def run(self, max_rounds: int, *, stop_when_alive_decided: bool = True) -> SyncResult:
+        for _ in range(max_rounds):
+            if stop_when_alive_decided and all(
+                self.processes[pid].decided for pid in self.alive
+            ):
+                break
+            self.step()
+        return SyncResult(
+            n=self.n,
+            inputs=self.inputs,
+            processes=self.processes,
+            views=self.views,
+            d_history=tuple(self.d_rounds),
+            crashed_at=dict(self.crashed_at),
+            rounds_run=self.rounds_run,
+        )
+
+
+def run_synchronous(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    injector: FaultInjector | None = None,
+    *,
+    max_rounds: int,
+    stop_when_alive_decided: bool = True,
+) -> SyncResult:
+    """One-shot convenience wrapper around :class:`SynchronousEngine`."""
+    engine = SynchronousEngine(protocol, inputs, injector)
+    return engine.run(max_rounds, stop_when_alive_decided=stop_when_alive_decided)

@@ -1,0 +1,180 @@
+"""Fault injectors for the synchronous substrate.
+
+A synchronous round delivers every alive process's message to everyone —
+unless a fault interferes.  Two classic benign fault types (Section 2,
+items 1–2):
+
+- *crash*: a process stops mid-round; an adversary-chosen subset of
+  recipients misses its last message, after which it sends nothing;
+- *send-omission*: a faulty process stays alive but intermittently fails to
+  send to adversary-chosen targets; at most ``f`` processes are faulty over
+  the whole run.
+
+An injector plans, per round, which ``(src, dst)`` deliveries are lost and
+which processes crash.  The engine derives ``D(i, r)`` from the resulting
+missed receptions — this is the paper's "System N implements A" direction.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RoundFaults",
+    "FaultInjector",
+    "NoFaults",
+    "CrashScheduleInjector",
+    "RandomCrashInjector",
+    "OmissionInjector",
+]
+
+
+@dataclass(frozen=True)
+class RoundFaults:
+    """One round's planned faults: lost deliveries and new crashes."""
+
+    lost: frozenset[tuple[int, int]] = frozenset()
+    crashes: frozenset[int] = frozenset()
+
+
+class FaultInjector(ABC):
+    """Plans faults round by round, respecting a global budget."""
+
+    def __init__(self, n: int, f: int) -> None:
+        if not 0 <= f < n:
+            raise ValueError(f"need 0 ≤ f < n, got f={f}, n={n}")
+        self.n = n
+        self.f = f
+
+    @abstractmethod
+    def plan_round(self, round_number: int, alive: frozenset[int]) -> RoundFaults:
+        """Faults for ``round_number``; ``alive`` excludes earlier crashes."""
+
+
+class NoFaults(FaultInjector):
+    """The failure-free injector."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n, 0)
+
+    def plan_round(self, round_number: int, alive: frozenset[int]) -> RoundFaults:
+        return RoundFaults()
+
+
+class CrashScheduleInjector(FaultInjector):
+    """Crash processes per an explicit schedule.
+
+    ``schedule[pid] = r`` crashes ``pid`` during round ``r``.
+    ``missed_by[pid]`` fixes who misses its round-``r`` message (default:
+    everyone but itself — the worst case); pass ``rng`` instead for a random
+    subset per crash.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        schedule: dict[int, int],
+        *,
+        missed_by: dict[int, frozenset[int]] | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(n, f)
+        if len(schedule) > f:
+            raise ValueError(
+                f"{len(schedule)} crashes scheduled, budget is f={f}"
+            )
+        self.schedule = dict(schedule)
+        self.missed_by = dict(missed_by or {})
+        self.rng = rng
+
+    def plan_round(self, round_number: int, alive: frozenset[int]) -> RoundFaults:
+        crashing = frozenset(
+            pid
+            for pid, r in self.schedule.items()
+            if r == round_number and pid in alive
+        )
+        lost: set[tuple[int, int]] = set()
+        for pid in crashing:
+            if pid in self.missed_by:
+                misses = self.missed_by[pid]
+            elif self.rng is not None:
+                misses = frozenset(
+                    dst
+                    for dst in range(self.n)
+                    if dst != pid and self.rng.random() < 0.5
+                )
+            else:
+                misses = frozenset(range(self.n)) - {pid}
+            lost.update((pid, dst) for dst in misses if dst != pid)
+        return RoundFaults(lost=frozenset(lost), crashes=crashing)
+
+
+class RandomCrashInjector(FaultInjector):
+    """Crash up to ``f`` random processes at random rounds.
+
+    ``crash_prob`` is the per-round, per-alive-process crash probability
+    while budget remains.  The worst-case pattern for round lower bounds
+    (one crash per round) is better expressed with
+    :class:`CrashScheduleInjector`.
+    """
+
+    def __init__(
+        self, n: int, f: int, rng: random.Random, *, crash_prob: float = 0.2
+    ) -> None:
+        super().__init__(n, f)
+        self.rng = rng
+        self.crash_prob = crash_prob
+        self._crashed: set[int] = set()
+
+    def plan_round(self, round_number: int, alive: frozenset[int]) -> RoundFaults:
+        lost: set[tuple[int, int]] = set()
+        crashing: set[int] = set()
+        for pid in sorted(alive):
+            if len(self._crashed) + len(crashing) >= self.f:
+                break
+            if self.rng.random() < self.crash_prob:
+                crashing.add(pid)
+                for dst in range(self.n):
+                    if dst != pid and self.rng.random() < 0.5:
+                        lost.add((pid, dst))
+        self._crashed.update(crashing)
+        return RoundFaults(lost=frozenset(lost), crashes=frozenset(crashing))
+
+
+class OmissionInjector(FaultInjector):
+    """Send-omission faults: ≤ f fixed faulty processes drop sends at random.
+
+    Faulty processes never crash; each round, each of their outgoing
+    messages (except to themselves) is dropped with ``drop_prob``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        faulty: frozenset[int] | set[int],
+        rng: random.Random,
+        *,
+        drop_prob: float = 0.4,
+    ) -> None:
+        super().__init__(n, f)
+        faulty = frozenset(faulty)
+        if len(faulty) > f:
+            raise ValueError(f"|faulty|={len(faulty)} exceeds budget f={f}")
+        if any(not 0 <= pid < n for pid in faulty):
+            raise ValueError(f"faulty ids out of range: {sorted(faulty)}")
+        self.faulty = faulty
+        self.rng = rng
+        self.drop_prob = drop_prob
+
+    def plan_round(self, round_number: int, alive: frozenset[int]) -> RoundFaults:
+        lost = frozenset(
+            (src, dst)
+            for src in sorted(self.faulty)
+            for dst in range(self.n)
+            if dst != src and self.rng.random() < self.drop_prob
+        )
+        return RoundFaults(lost=lost, crashes=frozenset())

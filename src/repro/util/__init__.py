@@ -1,0 +1,27 @@
+"""Shared utilities for the RRFD reproduction.
+
+This package holds small, dependency-free helpers used across the core
+kernel, the substrates and the analysis tools: seeded random number
+handling, set/combinatorics helpers and structured trace logging.
+"""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.sets import (
+    all_subsets,
+    all_subset_families,
+    frozen,
+    powerset_size,
+    random_subset,
+    random_subset_of_size,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "all_subsets",
+    "all_subset_families",
+    "frozen",
+    "powerset_size",
+    "random_subset",
+    "random_subset_of_size",
+]

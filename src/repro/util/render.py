@@ -1,0 +1,67 @@
+"""ASCII rendering of executions — make a trace legible at a glance.
+
+Round suspicion matrices and decision summaries as fixed-width text, used
+by the CLI and the examples.  The convention throughout: one block of
+``n`` characters per process row, ``x`` at column ``j`` meaning
+"this process suspects ``j``", ``.`` meaning trusted.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import DRound, ExecutionTrace
+
+__all__ = ["render_d_round", "render_trace", "render_suspicion_history"]
+
+
+def render_d_round(d_round: DRound) -> list[str]:
+    """One line per process: ``p0 x..`` means p0 suspects process 0 only."""
+    n = len(d_round)
+    width = len(f"p{n - 1}")
+    return [
+        f"{f'p{pid}':<{width}} "
+        + "".join("x" if j in suspected else "." for j in range(n))
+        for pid, suspected in enumerate(d_round)
+    ]
+
+
+def render_suspicion_history(history: tuple[DRound, ...]) -> str:
+    """All rounds side by side, one process per line."""
+    if not history:
+        return "(no rounds)"
+    n = len(history[0])
+    width = len(f"p{n - 1}")
+    header = (
+        " " * (width + 1)
+        + " ".join(f"r{r + 1:<{max(n - 2, 1)}}" for r in range(len(history)))
+    )
+    lines = [header]
+    for pid in range(n):
+        blocks = [
+            "".join("x" if j in d_round[pid] else "." for j in range(n))
+            for d_round in history
+        ]
+        lines.append(f"{f'p{pid}':<{width}} " + " ".join(blocks))
+    return "\n".join(lines)
+
+
+def render_trace(trace: ExecutionTrace) -> str:
+    """A compact, human-readable account of one execution."""
+    parts = [
+        f"n={trace.n}, rounds={trace.num_rounds}",
+        f"inputs:    {list(trace.inputs)}",
+        "",
+        "suspicions (row = process, column = suspected id, block = round):",
+        render_suspicion_history(trace.d_history),
+        "",
+    ]
+    decided = [
+        f"p{pid}→{value!r}@r{trace.decided_at[pid]}"
+        for pid, value in enumerate(trace.decisions)
+        if value is not None
+    ]
+    undecided = [f"p{pid}" for pid, v in enumerate(trace.decisions) if v is None]
+    parts.append("decisions: " + (", ".join(decided) if decided else "(none)"))
+    if undecided:
+        parts.append("undecided: " + ", ".join(undecided))
+    parts.append(f"distinct:  {len(trace.decided_values)}")
+    return "\n".join(parts)

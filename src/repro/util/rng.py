@@ -1,0 +1,43 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (adversaries, schedulers, workload
+generators) takes an explicit :class:`random.Random` instance rather than
+using the module-level global.  This keeps executions reproducible: a seed
+fully determines an execution, which is essential both for debugging
+distributed runs and for the paper's experiments, where a "run" is a sampled
+adversary schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | None = None) -> random.Random:
+    """Return a fresh :class:`random.Random` seeded with ``seed``.
+
+    ``None`` produces an OS-seeded generator; experiments should always pass
+    an explicit integer seed.
+    """
+    return random.Random(seed)
+
+
+def spawn_rngs(parent: random.Random, count: int) -> list[random.Random]:
+    """Derive ``count`` independent child generators from ``parent``.
+
+    Children are seeded from the parent's stream, so a single top-level seed
+    reproducibly determines every per-process / per-component generator
+    without the components sharing (and thus racing on) one stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [random.Random(parent.getrandbits(64)) for _ in range(count)]
+
+
+def stream(parent: random.Random) -> Iterator[random.Random]:
+    """Yield an unbounded sequence of child generators derived from ``parent``."""
+    while True:
+        yield random.Random(parent.getrandbits(64))

@@ -1,0 +1,106 @@
+"""Set and combinatorics helpers used by predicates and exhaustive checkers.
+
+The RRFD model is defined entirely in terms of per-round families of
+"suspected" sets ``D(i, r) ⊆ S``.  Exhaustive submodel checking and
+lower-bound searches enumerate such families for small ``n``; the helpers
+here keep that enumeration code readable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "frozen",
+    "all_subsets",
+    "all_subset_families",
+    "powerset_size",
+    "random_subset",
+    "random_subset_of_size",
+]
+
+
+def frozen(items: Iterable[int]) -> frozenset[int]:
+    """Return ``items`` as a frozenset (tiny alias that keeps call sites terse)."""
+    return frozenset(items)
+
+
+def all_subsets(
+    universe: Iterable[int], *, min_size: int = 0, max_size: int | None = None
+) -> Iterator[frozenset[int]]:
+    """Yield every subset of ``universe`` with size in ``[min_size, max_size]``.
+
+    Subsets are yielded in order of increasing size, which lets callers that
+    search for small witnesses terminate early.
+    """
+    elems = sorted(set(universe))
+    if max_size is None:
+        max_size = len(elems)
+    for size in range(min_size, max_size + 1):
+        for combo in itertools.combinations(elems, size):
+            yield frozenset(combo)
+
+
+def all_subset_families(
+    n: int, *, max_size: int | None = None
+) -> Iterator[tuple[frozenset[int], ...]]:
+    """Yield every family ``(D_0, ..., D_{n-1})`` of subsets of ``range(n)``.
+
+    This is the raw search space for one RRFD round with ``n`` processes:
+    ``D_i`` is the set process ``i`` suspects.  ``max_size`` bounds each
+    ``D_i`` (useful when a predicate like ``|D(i,r)| ≤ f`` prunes the space).
+
+    The space has ``(2^n)^n`` points unbounded, so callers must keep ``n``
+    tiny (``n ≤ 4``) or pass ``max_size``.
+    """
+    subsets = list(all_subsets(range(n), max_size=max_size))
+    yield from itertools.product(subsets, repeat=n)
+
+
+def powerset_size(n: int, max_size: int | None = None) -> int:
+    """Number of subsets of an ``n``-element set with size ≤ ``max_size``."""
+    if max_size is None or max_size >= n:
+        return 2**n
+    return sum(_binomial(n, k) for k in range(max_size + 1))
+
+
+def _binomial(n: int, k: int) -> int:
+    if k < 0 or k > n:
+        return 0
+    result = 1
+    for i in range(min(k, n - k)):
+        result = result * (n - i) // (i + 1)
+    return result
+
+
+def random_subset(
+    universe: Iterable[int],
+    rng: random.Random,
+    *,
+    exclude: Iterable[int] = (),
+    max_size: int | None = None,
+) -> frozenset[int]:
+    """Sample a uniformly random subset of ``universe`` minus ``exclude``.
+
+    When ``max_size`` is given, a size is drawn uniformly from
+    ``0..max_size`` first and then a subset of that size — this biases toward
+    small sets, which matches how fault patterns are sampled in experiments
+    (few suspicions are the common case).
+    """
+    pool = sorted(set(universe) - set(exclude))
+    if max_size is None:
+        return frozenset(e for e in pool if rng.random() < 0.5)
+    size = rng.randint(0, min(max_size, len(pool)))
+    return frozenset(rng.sample(pool, size))
+
+
+def random_subset_of_size(
+    universe: Iterable[int], size: int, rng: random.Random
+) -> frozenset[int]:
+    """Sample a uniformly random ``size``-element subset of ``universe``."""
+    pool = sorted(set(universe))
+    if size > len(pool):
+        raise ValueError(f"cannot sample {size} elements from {len(pool)}")
+    return frozenset(rng.sample(pool, size))

@@ -1,0 +1,68 @@
+"""Small statistics helpers for the experiment harness.
+
+The benchmarks report empirical rates (eq. (4) satisfaction, detector
+quality, commit rates).  A rate from a few thousand samples deserves an
+interval, not just a point — these helpers provide the Wilson score
+interval (well-behaved at the 0%/100% edges the experiments often sit on)
+and a tiny summary container the report tables render.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Rate", "wilson_interval", "estimate_rate"]
+
+
+def wilson_interval(
+    successes: int, trials: int, *, z: float = 1.96
+) -> tuple[float, float]:
+    """The Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)``; ``z = 1.96`` gives ~95% coverage.  Unlike the
+    normal approximation it never leaves ``[0, 1]`` and stays sane when the
+    observed rate is exactly 0 or 1 — the common case in these experiments
+    (predicates that *always* or *never* hold).
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"need 0 ≤ successes ≤ trials, got {successes}/{trials}")
+    p = successes / trials
+    denom = 1 + z**2 / trials
+    centre = (p + z**2 / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    low = 0.0 if successes == 0 else max(0.0, centre - margin)
+    high = 1.0 if successes == trials else min(1.0, centre + margin)
+    return (low, high)
+
+
+@dataclass(frozen=True)
+class Rate:
+    """An empirical proportion with its Wilson interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def point(self) -> float:
+        return self.successes / self.trials
+
+    def __str__(self) -> str:
+        return (
+            f"{100 * self.point:.1f}% "
+            f"[{100 * self.low:.1f}, {100 * self.high:.1f}]"
+        )
+
+
+def estimate_rate(successes: int, trials: int, *, z: float = 1.96) -> Rate:
+    """Bundle a proportion with its interval for the report tables."""
+    low, high = wilson_interval(successes, trials, z=z)
+    return Rate(successes=successes, trials=trials, low=low, high=high)

@@ -1,0 +1,80 @@
+"""Exhaustive worst-case adversary search."""
+
+import pytest
+
+from repro.analysis.adversary_search import (
+    holds_for_every_adversary,
+    search_worst_case,
+)
+from repro.core.predicates import (
+    AsyncMessagePassing,
+    KSetDetector,
+    SemiSyncEquality,
+)
+from repro.core.replay import replay
+from repro.protocols.kset import kset_protocol
+from repro.protocols.properties import check_kset_agreement
+
+
+class TestSearchWorstCase:
+    def test_kset_bound_is_achieved_by_search(self):
+        # Theorem 3.1's bound is tight: the worst adversary of KSet(k)
+        # forces exactly k distinct decisions (n = 3, exhaustive).
+        for k in (1, 2):
+            worst = search_worst_case(
+                kset_protocol(), list(range(3)), KSetDetector(3, k), rounds=1
+            )
+            assert worst.objective_value == k, k
+            assert worst.histories_explored > 0
+
+    def test_async_model_can_force_n_minus_something(self):
+        # Without the detector-agreement bound, the one-round algorithm
+        # splinters: async MP at f = 2, n = 3 forces 3 distinct decisions.
+        worst = search_worst_case(
+            kset_protocol(), list(range(3)), AsyncMessagePassing(3, 2), rounds=1
+        )
+        assert worst.objective_value == 3
+
+    def test_equality_model_cannot_split(self):
+        worst = search_worst_case(
+            kset_protocol(), list(range(3)), SemiSyncEquality(3), rounds=1
+        )
+        assert worst.objective_value == 1
+
+    def test_worst_history_replays(self):
+        worst = search_worst_case(
+            kset_protocol(), list(range(3)), KSetDetector(3, 2), rounds=1
+        )
+        again = replay(worst.trace, kset_protocol())
+        assert again.decisions == worst.trace.decisions
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(ValueError):
+            search_worst_case(
+                kset_protocol(), list(range(3)), KSetDetector(4, 2)
+            )
+
+
+class TestHoldsForEveryAdversary:
+    def test_theorem_31_exhaustively_n3(self):
+        # The headline theorem, proven by exhaustion for n = 3: EVERY
+        # adversary of KSet(k) yields ≤ k distinct decisions.
+        for k in (1, 2):
+            count = holds_for_every_adversary(
+                kset_protocol(),
+                list(range(3)),
+                KSetDetector(3, k),
+                lambda trace, k=k: check_kset_agreement(trace, k),
+                rounds=1,
+            )
+            assert count > 0
+
+    def test_violations_propagate(self):
+        with pytest.raises(AssertionError):
+            holds_for_every_adversary(
+                kset_protocol(),
+                list(range(3)),
+                AsyncMessagePassing(3, 2),
+                lambda trace: check_kset_agreement(trace, 1),
+                rounds=1,
+            )

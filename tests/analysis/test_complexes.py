@@ -1,0 +1,148 @@
+"""Protocol complexes: the topological shadow of the RRFD models."""
+
+import pytest
+
+from repro.analysis.complexes import (
+    ProtocolComplex,
+    consensus_disconnection,
+    one_round_complex,
+)
+from repro.core.predicates import (
+    AsyncMessagePassing,
+    AtomicSnapshot,
+    KSetDetector,
+    SemiSyncEquality,
+    SendOmissionSync,
+    SharedMemorySWMR,
+)
+
+F = frozenset
+
+
+class TestOneRoundComplexes:
+    def test_consensus_impossible_models_are_connected(self):
+        # Async MP, SWMR, snapshot, kset(2): one-round consensus is
+        # impossible — their complexes are connected.
+        for predicate in [
+            AsyncMessagePassing(3, 1),
+            SharedMemorySWMR(3, 1),
+            AtomicSnapshot(3, 1),
+            AtomicSnapshot(3, 2),
+            KSetDetector(3, 2),
+        ]:
+            assert one_round_complex(predicate).is_connected(), predicate
+
+    def test_equality_model_disconnects(self):
+        # kset(1)/semisync: one component per common suspicion set — the
+        # 2^n − 1 legal values of D (everything except D = S).
+        complex_ = one_round_complex(SemiSyncEquality(3))
+        assert not complex_.is_connected()
+        assert len(complex_.components()) == 2**3 - 1
+        assert complex_.facet_count == 2**3 - 1
+
+    def test_snapshot_complex_is_contractible_shaped(self):
+        # The one-round snapshot complex is the (iterated) standard
+        # chromatic subdivision — contractible, so Euler characteristic 1.
+        for f in (1, 2):
+            complex_ = one_round_complex(AtomicSnapshot(3, f))
+            assert complex_.euler_characteristic() == 1, f
+
+    def test_failure_free_facet_always_present(self):
+        everyone = F(range(3))
+        for predicate in [
+            AsyncMessagePassing(3, 1),
+            AtomicSnapshot(3, 2),
+            SemiSyncEquality(3),
+            SendOmissionSync(3, 1),
+        ]:
+            complex_ = one_round_complex(predicate)
+            facet = F((pid, everyone) for pid in range(3))
+            assert facet in complex_.facets, predicate
+
+    def test_f0_complex_is_a_single_simplex(self):
+        complex_ = one_round_complex(AsyncMessagePassing(3, 0))
+        assert complex_.facet_count == 1
+        assert complex_.is_connected()
+        assert complex_.euler_characteristic() == 1
+
+    def test_vertex_and_face_accounting(self):
+        complex_ = one_round_complex(AsyncMessagePassing(2, 1))
+        # per process, heard ∈ {S, S−{0}, S−{1}} (self-misses are legal in
+        # the async model) — 6 vertices total
+        assert len(complex_.vertices) == 6
+        # every face is a subset of some facet; edges+vertices count
+        faces = complex_.faces()
+        assert all(1 <= len(face) <= 2 for face in faces)
+
+    def test_consensus_disconnection_summary(self):
+        summary = consensus_disconnection(SemiSyncEquality(3))
+        assert summary["connected"] is False
+        assert summary["components"] == 7
+        assert summary["facets"] == 7
+        summary = consensus_disconnection(AsyncMessagePassing(3, 1))
+        assert summary["connected"] is True
+
+
+class TestComplexPrimitives:
+    def test_components_of_disjoint_facets(self):
+        complex_ = ProtocolComplex(
+            n=2,
+            facets=[
+                F({(0, F({0})), (1, F({1}))}),
+                F({(0, F({0, 1})), (1, F({0, 1}))}),
+            ],
+        )
+        assert len(complex_.components()) == 2
+
+    def test_euler_of_a_triangle_boundary(self):
+        # three edges forming a hollow triangle: χ = 3 − 3 = 0
+        a, b, c = (0, F({0})), (1, F({1})), (0, F({0, 1}))
+        complex_ = ProtocolComplex(
+            n=2, facets=[F({a, b}), F({b, c}), F({a, c})]
+        )
+        assert complex_.euler_characteristic() == 0
+        assert complex_.is_connected()
+
+
+class TestIteratedComplexes:
+    def test_wait_free_snapshot_stays_contractible_shaped(self):
+        # [4]'s iterated standard chromatic subdivision: χ = 1 at every
+        # iteration depth for the wait-free (f = n−1) snapshot model.
+        from repro.analysis.complexes import iterated_complex
+        from repro.core.predicates import AtomicSnapshot
+
+        for rounds in (1, 2):
+            complex_ = iterated_complex(AtomicSnapshot(3, 2), rounds)
+            assert complex_.is_connected()
+            assert complex_.euler_characteristic() == 1, rounds
+
+    def test_one_resilient_snapshot_is_not_contractible_shaped(self):
+        # The t-resilient (non-wait-free) iterated complex differs: at
+        # f = 1, two rounds yield χ = −2 — holes appear.  A measured fact
+        # the one-round picture (χ = 1) hides.
+        from repro.analysis.complexes import iterated_complex
+        from repro.core.predicates import AtomicSnapshot
+
+        complex_ = iterated_complex(AtomicSnapshot(3, 1), 2)
+        assert complex_.is_connected()
+        assert complex_.euler_characteristic() == -2
+
+    def test_equality_model_components_multiply(self):
+        # kset(1): components compose per-round — (2^n − 1)^rounds.
+        from repro.analysis.complexes import iterated_complex
+        from repro.core.predicates import SemiSyncEquality
+
+        complex_ = iterated_complex(SemiSyncEquality(3), 2)
+        assert len(complex_.components()) == 49
+        assert complex_.facet_count == 49
+
+    def test_iteration_depth_one_matches_structure(self):
+        from repro.analysis.complexes import iterated_complex, one_round_complex
+        from repro.core.predicates import AtomicSnapshot
+
+        # same facet count as the one-round complex (views are richer but
+        # in bijection after one round)
+        a = iterated_complex(AtomicSnapshot(3, 1), 1)
+        b = one_round_complex(AtomicSnapshot(3, 1))
+        assert a.facet_count == b.facet_count
+        assert len(a.components()) == len(b.components())

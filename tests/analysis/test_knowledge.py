@@ -1,0 +1,94 @@
+"""E8 — knowledge propagation under the antisymmetric predicate (item 4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.knowledge import (
+    all_antisymmetric_rounds,
+    propagate_knowledge,
+    rounds_until_some_known_by_all,
+    two_round_conjecture_counterexample,
+)
+from repro.core.predicates import SharedMemoryAntisymmetric
+
+F = frozenset
+
+
+class TestPropagation:
+    def test_failure_free_one_round(self):
+        history = ((F(), F(), F()),)
+        assert rounds_until_some_known_by_all(3, history) == 1
+
+    def test_cycle_needs_more_rounds(self):
+        # p0 misses p1, p1 misses p2, p2 misses p0: after one round nobody
+        # is known by all; information around the cycle fixes it by round 2.
+        cycle = (F({1}), F({2}), F({0}))
+        assert rounds_until_some_known_by_all(3, (cycle,)) is None
+        assert rounds_until_some_known_by_all(3, (cycle, cycle)) == 2
+
+    def test_propagate_shapes(self):
+        history = ((F({1}), F(), F()),)
+        evolution = propagate_knowledge(3, history)
+        assert len(evolution) == 1
+        assert evolution[0][0] == F({0, 2})  # p0 missed p1
+        assert evolution[0][1] == F({0, 1, 2})
+
+
+class TestPaperTheorem:
+    def test_n_rounds_always_suffice(self, rng):
+        # The paper's cycle-length argument: after n rounds some process is
+        # known by all, for every antisymmetric history.
+        for trial in range(300):
+            n = rng.randint(2, 6)
+            predicate = SharedMemoryAntisymmetric(n, n - 1)
+            history = ()
+            for _ in range(n):
+                history = history + (predicate.sample_round(rng, history),)
+            result = rounds_until_some_known_by_all(n, history)
+            assert result is not None and result <= n
+
+    def test_exhaustive_n3(self):
+        # Exhaustively for n = 3: every 2-round antisymmetric history makes
+        # someone known by all (so for n = 3 the conjecture is a theorem).
+        assert two_round_conjecture_counterexample(3, 2, exhaustive=True) is None
+
+    def test_single_round_can_fail(self):
+        # One round is NOT enough (the cycle) — the conjecture is about two.
+        cycle = (F({1}), F({2}), F({0}))
+        assert rounds_until_some_known_by_all(3, (cycle,)) is None
+
+
+class TestConjectureSearch:
+    def test_sampled_search_n4_finds_nothing(self):
+        assert (
+            two_round_conjecture_counterexample(
+                4, 3, samples=4000, rng=random.Random(0)
+            )
+            is None
+        )
+
+    def test_all_antisymmetric_rounds_are_antisymmetric(self):
+        predicate = SharedMemoryAntisymmetric(3, 2)
+        rounds = list(all_antisymmetric_rounds(3, 2))
+        assert rounds  # non-empty
+        for d_round in rounds:
+            assert predicate.allows((d_round,))
+
+    def test_round_budget_respected(self):
+        for d_round in all_antisymmetric_rounds(3, 1):
+            assert all(len(s) <= 1 for s in d_round)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 2**31), n=st.integers(2, 6))
+def test_property_two_rounds_suffice_empirically(seed, n):
+    """The paper's conjecture, as a property: no sampled 2-round
+    antisymmetric history leaves every process unknown to someone."""
+    predicate = SharedMemoryAntisymmetric(n, n - 1)
+    sampler = random.Random(seed)
+    history = ()
+    for _ in range(2):
+        history = history + (predicate.sample_round(sampler, history),)
+    assert rounds_until_some_known_by_all(n, history) is not None

@@ -1,0 +1,28 @@
+"""The symmetry-reduced exhaustive conjecture decision procedure."""
+
+import pytest
+
+from repro.analysis.knowledge import (
+    two_round_conjecture_counterexample,
+    two_round_conjecture_exhaustive_symmetric,
+)
+
+
+class TestSymmetricExhaustive:
+    def test_agrees_with_naive_for_n3(self):
+        naive = two_round_conjecture_counterexample(3, 2, exhaustive=True)
+        fast = two_round_conjecture_exhaustive_symmetric(3)
+        assert (naive is None) == (fast is None) == True  # noqa: E712
+
+    def test_proves_n4(self):
+        assert two_round_conjecture_exhaustive_symmetric(4) is None
+
+    def test_n2_trivial(self):
+        # antisymmetry on two processes: at most one misses the other, so
+        # someone is always heard by both — no candidates at all.
+        assert two_round_conjecture_exhaustive_symmetric(2) is None
+
+    @pytest.mark.slow
+    def test_proves_n5(self):
+        # ~1–2 minutes; the headline strengthening of the paper's conjecture.
+        assert two_round_conjecture_exhaustive_symmetric(5) is None

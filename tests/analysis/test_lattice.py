@@ -1,0 +1,77 @@
+"""E9 — the submodel lattice of Section 2."""
+
+import pytest
+
+from repro.analysis.lattice import EXPECTED_EDGES, compute_lattice, standard_catalog
+from repro.core.submodel import implies_exhaustive
+from repro.core.predicates import (
+    AtomicSnapshot,
+    EventuallyStrong,
+    KSetDetector,
+    SemiSyncEquality,
+    SendOmissionSync,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    # canonical tiny instantiation: n=3, f=1, k=2 (= f+1), t=1
+    return compute_lattice(3, f=1, k=2, t=1, rounds=2)
+
+
+class TestLattice:
+    def test_expected_edges_hold(self, report):
+        for a, b in EXPECTED_EDGES:
+            assert report.holds(a, b) is True, (a, b)
+
+    def test_strictness_of_key_edges(self, report):
+        # reverses of the paper's strict inclusions must fail
+        for a, b in [
+            ("omission", "crash"),
+            ("async-mp", "swmr"),
+            ("async-mp", "snapshot"),
+            ("swmr", "snapshot"),
+        ]:
+            assert report.holds(a, b) is False, (a, b)
+
+    def test_swmr_and_antisym_incomparable(self, report):
+        assert report.holds("swmr", "antisym") is False
+        assert report.holds("antisym", "swmr") is False
+
+    def test_corollary_32_edge(self, report):
+        # snapshot(f = k−1) ⊆ kset(k)
+        assert report.holds("snapshot", "kset(2)") is True
+
+    def test_semisync_equals_kset1(self):
+        a = implies_exhaustive(SemiSyncEquality(3), KSetDetector(3, 1), rounds=2)
+        b = implies_exhaustive(KSetDetector(3, 1), SemiSyncEquality(3), rounds=2)
+        assert a.holds and b.holds
+
+    def test_item6_identity(self):
+        # omission(n−1) ⊆ ◇S; ◇S ⊄ omission(n−1) (self-suspicion allowed)
+        assert implies_exhaustive(
+            SendOmissionSync(3, 2), EventuallyStrong(3), rounds=2
+        ).holds
+        assert not implies_exhaustive(
+            EventuallyStrong(3), SendOmissionSync(3, 2), rounds=1
+        ).holds
+
+    def test_format_renders_matrix(self, report):
+        text = report.format()
+        assert "crash" in text and "snapshot" in text
+        assert text.count("\n") == len(report.names)
+
+    def test_catalog_names_unique(self):
+        names = [name for name, _ in standard_catalog(4, 1, 2, 1)]
+        assert len(names) == len(set(names))
+
+    def test_kset_hierarchy(self):
+        # kset(k) ⊆ kset(k+1)
+        assert implies_exhaustive(KSetDetector(3, 1), KSetDetector(3, 2), rounds=1).holds
+        assert not implies_exhaustive(KSetDetector(3, 2), KSetDetector(3, 1), rounds=1).holds
+
+    def test_snapshot_resilience_vs_kset_sharpness(self):
+        # snapshot(k−1) ⊆ kset(k) but snapshot(k) ⊄ kset(k): Corollary 3.2's
+        # resilience bound is sharp.
+        assert implies_exhaustive(AtomicSnapshot(4, 1), KSetDetector(4, 2), rounds=1, max_d_size=1).holds
+        assert not implies_exhaustive(AtomicSnapshot(4, 2), KSetDetector(4, 2), rounds=1, max_d_size=2).holds

@@ -1,0 +1,127 @@
+"""E5 — exhaustive lower-bound certificates (Corollaries 4.2/4.4, k = 1).
+
+For tiny systems we enumerate every execution and decide whether *any*
+decision map exists.  The k = 1 instances are the Fischer–Lynch bound the
+paper derives as the special case of Corollary 4.4; the k = 2 boundary cases
+document where the CHLT threshold ``n ≥ f + k + 1`` bites (below it, the
+"⌊f/k⌋ rounds impossible" claim is actually false and our solver constructs
+the one-round algorithm).
+"""
+
+import pytest
+
+from repro.analysis.enumeration import (
+    CrashPattern,
+    enumerate_crash_patterns,
+    enumerate_executions,
+    run_pattern,
+)
+from repro.analysis.solvability import (
+    build_constraints,
+    consensus_solvable,
+    kset_solvable,
+)
+
+
+class TestEnumeration:
+    def test_pattern_count_one_round_one_fault(self):
+        # no-crash (1) + 3 crashers × 2^2 receiver subsets = 13
+        patterns = list(enumerate_crash_patterns(3, 1, 1))
+        assert len(patterns) == 13
+
+    def test_pattern_count_two_faults(self):
+        # 1 + 3·4 + 3·16 = 61
+        patterns = list(enumerate_crash_patterns(3, 2, 1))
+        assert len(patterns) == 61
+
+    def test_run_pattern_alive_views(self):
+        pattern = CrashPattern(
+            crash_round=((0, 1),), missed_by=((0, frozenset({1})),)
+        )
+        execution = run_pattern((0, 1, 1), pattern, rounds=1, f=1)
+        pids = [pid for pid, _ in execution.alive_views]
+        assert pids == [1, 2]
+
+    def test_identical_views_collapse(self):
+        # Two executions differing only in a crashed process's unseen input
+        # must produce identical view keys for the survivors who missed it.
+        pattern = CrashPattern(
+            crash_round=((0, 1),), missed_by=((0, frozenset({1, 2})),)
+        )
+        e_a = run_pattern((0, 1, 1), pattern, rounds=1, f=1)
+        e_b = run_pattern((1, 1, 1), pattern, rounds=1, f=1)
+        assert e_a.alive_views == e_b.alive_views
+
+    def test_failure_free_views_differ_with_inputs(self):
+        pattern = CrashPattern(crash_round=(), missed_by=())
+        e_a = run_pattern((0, 1), pattern, rounds=1, f=1)
+        e_b = run_pattern((1, 1), pattern, rounds=1, f=1)
+        assert e_a.alive_views != e_b.alive_views
+
+
+class TestConsensusLowerBound:
+    def test_fischer_lynch_r1_unsolvable(self):
+        # f = 1: one round is not enough (needs f + 1 = 2).
+        executions = enumerate_executions(3, 1, 1, input_domain=[0, 1])
+        assert not consensus_solvable(executions).solvable
+
+    def test_fischer_lynch_r2_solvable(self):
+        executions = enumerate_executions(3, 1, 2, input_domain=[0, 1])
+        result = consensus_solvable(executions)
+        assert result.solvable
+        # the found decision map is sane: values are inputs
+        assert all(v in (0, 1) for v in result.assignment.values())
+
+    def test_no_faults_one_round_suffices(self):
+        executions = enumerate_executions(3, 0, 1, input_domain=[0, 1])
+        assert consensus_solvable(executions).solvable
+
+    def test_n2_f1_one_round_solvable_below_threshold(self):
+        # n = 2 < f + 2: with one crash only one decider remains, so one
+        # round suffices — the Fischer–Lynch bound needs n ≥ f + 2.
+        executions = enumerate_executions(2, 1, 1, input_domain=[0, 1])
+        assert consensus_solvable(executions).solvable
+
+
+class TestKSetBoundaries:
+    def test_below_chlt_threshold_one_round_solvable(self):
+        # n = 3 < f + k + 1 = 5: with ≤ 2 crashes at most 2 deciders remain,
+        # so 2-set agreement in one round is trivially achievable — the
+        # lower bound genuinely needs n ≥ f + k + 1.
+        executions = enumerate_executions(3, 2, 1, input_domain=[0, 1, 2])
+        result = kset_solvable(executions, 2)
+        assert result.solvable
+
+    def test_assignment_is_a_valid_algorithm(self):
+        executions = enumerate_executions(3, 2, 1, input_domain=[0, 1, 2])
+        result = kset_solvable(executions, 2)
+        assignment = result.assignment
+        for execution in executions:
+            values = {assignment[key] for key in execution.alive_views}
+            assert len(values) <= 2
+            assert values <= set(execution.inputs)
+
+    def test_k_equals_group_size_always_solvable(self):
+        executions = enumerate_executions(3, 1, 1, input_domain=[0, 1, 2])
+        assert kset_solvable(executions, 3).solvable
+
+    def test_kset_k1_delegates_to_consensus(self):
+        executions = enumerate_executions(3, 1, 1, input_domain=[0, 1])
+        result = kset_solvable(executions, 1)
+        assert result.k == 1 and not result.solvable
+
+
+class TestConstraints:
+    def test_validity_intersects_across_executions(self):
+        executions = enumerate_executions(2, 1, 1, input_domain=[0, 1])
+        allowed, groups = build_constraints(executions)
+        # A solo view that occurs with both counterparts' inputs unknown
+        # keeps only values valid in all its executions.
+        for key, values in allowed.items():
+            assert values  # never empty here
+            assert values <= {0, 1}
+
+    def test_str_of_result(self):
+        executions = enumerate_executions(2, 0, 1, input_domain=[0, 1])
+        result = consensus_solvable(executions)
+        assert "SOLVABLE" in str(result)

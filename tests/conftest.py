@@ -1,0 +1,46 @@
+"""Shared fixtures for the RRFD test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.predicates import (
+    AsyncMessagePassing,
+    AtomicSnapshot,
+    CrashSync,
+    EventuallyStrong,
+    KSetDetector,
+    MixedResilience,
+    SemiSyncEquality,
+    SendOmissionSync,
+    SharedMemoryAntisymmetric,
+    SharedMemorySWMR,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def catalog(n: int = 5, f: int = 2):
+    """One instance of every predicate in the paper's catalog."""
+    return [
+        SendOmissionSync(n, f),
+        CrashSync(n, f),
+        AsyncMessagePassing(n, f),
+        MixedResilience(n + 2, f + 1, f),
+        SharedMemorySWMR(n, f),
+        SharedMemoryAntisymmetric(n, f),
+        AtomicSnapshot(n, f),
+        EventuallyStrong(n),
+        KSetDetector(n, f),
+        SemiSyncEquality(n),
+    ]
+
+
+@pytest.fixture(params=range(10), ids=lambda i: f"pred{i}")
+def any_predicate(request):
+    return catalog()[request.param]

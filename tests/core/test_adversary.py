@@ -1,0 +1,122 @@
+"""Unit tests for the adversary strategies (the RRFD itself)."""
+
+import random
+
+import pytest
+
+from repro.core.adversary import (
+    CrashPatternAdversary,
+    FailureFreeAdversary,
+    FunctionAdversary,
+    PredicateAdversary,
+    ScriptedAdversary,
+    surviving,
+)
+from repro.core.predicates import AsyncMessagePassing, CrashSync, KSetDetector
+
+F = frozenset
+
+
+class TestFailureFree:
+    def test_never_suspects(self):
+        adv = FailureFreeAdversary(4)
+        for r in range(1, 5):
+            assert adv.suspicions(r, (), [None] * 4) == tuple(F() for _ in range(4))
+
+    def test_no_extras(self):
+        adv = FailureFreeAdversary(3)
+        d = adv.suspicions(1, (), [None] * 3)
+        assert adv.extras(1, (), d) == (F(), F(), F())
+
+
+class TestPredicateAdversary:
+    def test_respects_predicate(self, rng):
+        predicate = KSetDetector(5, 2)
+        adv = PredicateAdversary(predicate, rng)
+        history = ()
+        for r in range(1, 8):
+            d = adv.suspicions(r, history, [None] * 5)
+            history = history + (d,)
+            assert predicate.allows(history)
+
+    def test_overlap_extras_subset_of_suspected(self, rng):
+        adv = PredicateAdversary(AsyncMessagePassing(5, 3), rng, overlap_prob=1.0)
+        d = adv.suspicions(1, (), [None] * 5)
+        extras = adv.extras(1, (), d)
+        assert extras == d  # prob 1.0: every suspected sender still delivers
+
+    def test_overlap_prob_zero_gives_no_extras(self, rng):
+        adv = PredicateAdversary(AsyncMessagePassing(5, 3), rng, overlap_prob=0.0)
+        d = adv.suspicions(1, (), [None] * 5)
+        assert all(e == F() for e in adv.extras(1, (), d))
+
+    def test_invalid_overlap_prob(self, rng):
+        with pytest.raises(ValueError):
+            PredicateAdversary(AsyncMessagePassing(3, 1), rng, overlap_prob=1.5)
+
+
+class TestScriptedAdversary:
+    def test_replays_script_then_failure_free(self):
+        script = [(F({1}), F(), F()), (F(), F({0}), F())]
+        adv = ScriptedAdversary(3, script)
+        assert adv.suspicions(1, (), []) == script[0]
+        assert adv.suspicions(2, (), []) == script[1]
+        assert adv.suspicions(3, (), []) == (F(), F(), F())
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedAdversary(3, [(F(), F())])
+
+
+class TestCrashPatternAdversary:
+    def test_crash_round_partial_then_total(self):
+        adv = CrashPatternAdversary(4, {1: 2}, missed_by={1: F({0, 3})})
+        r1 = adv.suspicions(1, (), [])
+        assert r1 == tuple(F() for _ in range(4))
+        r2 = adv.suspicions(2, (r1,), [])
+        assert r2[0] == F({1}) and r2[3] == F({1})
+        assert r2[2] == F()  # process 2 still received the last message
+        r3 = adv.suspicions(3, (r1, r2), [])
+        for pid in (0, 2, 3):
+            assert r3[pid] == F({1})
+
+    def test_default_worst_case_missed_by_everyone(self):
+        adv = CrashPatternAdversary(3, {0: 1})
+        r1 = adv.suspicions(1, (), [])
+        assert r1[1] == F({0}) and r1[2] == F({0})
+
+    def test_history_satisfies_crash_predicate(self, rng):
+        for trial in range(100):
+            n, f = 5, 3
+            pids = rng.sample(range(n), rng.randint(0, f))
+            crashes = {pid: rng.randint(1, 4) for pid in pids}
+            adv = CrashPatternAdversary(n, crashes, rng=rng)
+            history = ()
+            for r in range(1, 6):
+                history = history + (adv.suspicions(r, history, []),)
+            assert CrashSync(n, f).allows(history), (crashes, history)
+
+    def test_crashed_process_never_self_suspects_while_silent(self):
+        # A silent crash (nobody misses the final message) must not make the
+        # process self-suspect the next round.
+        adv = CrashPatternAdversary(3, {0: 1}, missed_by={0: F()})
+        r1 = adv.suspicions(1, (), [])
+        r2 = adv.suspicions(2, (r1,), [])
+        assert 0 not in r2[0]
+
+    def test_rejects_bad_schedule(self):
+        with pytest.raises(ValueError):
+            CrashPatternAdversary(3, {5: 1})
+        with pytest.raises(ValueError):
+            CrashPatternAdversary(3, {0: 0})
+
+
+class TestFunctionAdversary:
+    def test_delegates(self):
+        adv = FunctionAdversary(2, lambda r, h, p: (F({1}), F()))
+        assert adv.suspicions(1, (), []) == (F({1}), F())
+
+
+def test_surviving_excludes_everyone_ever_suspected():
+    history = ((F({1}), F(), F()), (F(), F({2}), F()))
+    assert surviving(3, history) == F({0})

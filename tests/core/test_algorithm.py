@@ -1,0 +1,98 @@
+"""Unit tests for the algorithm format: protocols and processes."""
+
+import pytest
+
+from repro.core.algorithm import (
+    FullInformationProcess,
+    Protocol,
+    RoundProcess,
+    make_protocol,
+)
+from repro.core.types import RoundView
+
+F = frozenset
+
+
+class Constant(RoundProcess):
+    def __init__(self, pid, n, input_value, *, tag="t"):
+        super().__init__(pid, n, input_value)
+        self.tag = tag
+
+    def emit(self, round_number):
+        return (self.tag, self.input_value)
+
+    def absorb(self, view):
+        pass
+
+
+class TestProtocol:
+    def test_spawn_all_assigns_pids_and_inputs(self):
+        protocol = make_protocol(Constant)
+        procs = protocol.spawn_all(["a", "b", "c"])
+        assert [p.pid for p in procs] == [0, 1, 2]
+        assert [p.input_value for p in procs] == ["a", "b", "c"]
+        assert all(p.n == 3 for p in procs)
+
+    def test_make_protocol_forwards_kwargs(self):
+        protocol = make_protocol(Constant, name="tagged", tag="X")
+        proc = protocol.spawn(0, 2, "v")
+        assert proc.emit(1) == ("X", "v")
+        assert protocol.name == "tagged"
+
+    def test_pid_out_of_range(self):
+        with pytest.raises(ValueError):
+            Constant(5, 3, "v")
+
+
+class TestDecide:
+    def test_decide_none_rejected(self):
+        proc = Constant(0, 1, "v")
+        with pytest.raises(ValueError):
+            proc.decide(None)
+
+    def test_redecide_same_value_is_noop(self):
+        proc = Constant(0, 1, "v")
+        proc.decide("x")
+        proc.decide("x")
+        assert proc.decision == "x"
+
+    def test_conflicting_redecision_raises(self):
+        proc = Constant(0, 1, "v")
+        proc.decide("x")
+        with pytest.raises(RuntimeError):
+            proc.decide("y")
+
+
+class TestFullInformation:
+    def view(self, proc, round_number, messages, suspected=F()):
+        return RoundView(
+            pid=proc.pid,
+            round=round_number,
+            messages=messages,
+            suspected=F(range(proc.n)) - F(messages) | suspected,
+            n=proc.n,
+        )
+
+    def test_round_one_emits_input(self):
+        proc = FullInformationProcess(0, 3, "in0")
+        assert proc.emit(1) == ("input", "in0")
+
+    def test_later_rounds_emit_previous_view(self):
+        proc = FullInformationProcess(0, 2, "in0")
+        view = self.view(proc, 1, {0: ("input", "in0"), 1: ("input", "in1")})
+        proc.absorb(view)
+        kind, messages, suspected = proc.emit(2)
+        assert kind == "view"
+        assert messages == {0: ("input", "in0"), 1: ("input", "in1")}
+
+    def test_knowledge_tracks_transitive_inputs(self):
+        # p0 hears only p1 in round 1; in round 2, p1 relays p2's input.
+        p0 = FullInformationProcess(0, 3, "x")
+        p0.absorb(self.view(p0, 1, {0: ("input", "x"), 1: ("input", "y")}))
+        relay = ("view", {1: ("input", "y"), 2: ("input", "z")}, F())
+        p0.absorb(self.view(p0, 2, {0: p0.emit(2), 1: relay}))
+        assert p0.knowledge() == F({0, 1, 2})
+
+    def test_knowledge_without_views(self):
+        proc = FullInformationProcess(1, 3, "x")
+        assert proc.knowledge() == F({1})

@@ -1,0 +1,61 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "crash" in out and "kset" in out and "D(i, r)" in out
+
+    def test_run_kset(self, capsys):
+        assert main(["run", "kset", "--n", "6", "--k", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "decisions:" in out
+        assert "distinct:" in out
+        distinct = int(out.strip().splitlines()[-1].split()[-1])
+        assert distinct <= 2
+
+    def test_run_consensus(self, capsys):
+        assert main(["run", "consensus", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct:  1" in out
+
+    def test_run_floodmin(self, capsys):
+        assert main(["run", "floodmin", "--n", "5", "--f", "2", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "r3" in out  # f+1 = 3 round blocks rendered
+
+    def test_lattice(self, capsys):
+        assert main(["lattice", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "crash" in out and "submodel" in out
+
+    def test_complex(self, capsys):
+        assert main(["complex", "--n", "3", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "solvable" in out and "impossible" in out
+
+    def test_certify_unsolvable(self, capsys):
+        assert main(["certify", "--n", "3", "--f", "1", "--k", "1",
+                     "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "UNSOLVABLE" in out
+        assert "certificate" in out
+
+    def test_certify_solvable(self, capsys):
+        assert main(["certify", "--n", "3", "--f", "1", "--k", "1",
+                     "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SOLVABLE" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

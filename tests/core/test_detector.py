@@ -1,0 +1,55 @@
+"""The RoundByRoundFaultDetector facade."""
+
+import pytest
+
+from repro.core.adversary import FailureFreeAdversary, ScriptedAdversary
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.predicates import AsyncMessagePassing, KSetDetector
+from repro.core.types import PredicateViolation
+from repro.protocols.kset import kset_protocol
+
+F = frozenset
+
+
+class TestFacade:
+    def test_runs_and_validates(self):
+        rrfd = RoundByRoundFaultDetector(KSetDetector(4, 2), seed=1)
+        trace = rrfd.run(kset_protocol(), inputs=[1, 2, 3, 4], max_rounds=1)
+        assert trace.all_decided
+        assert KSetDetector(4, 2).allows(trace.d_history)
+
+    def test_same_seed_same_execution(self):
+        runs = [
+            RoundByRoundFaultDetector(AsyncMessagePassing(5, 2), seed=9).run(
+                kset_protocol(), inputs=list(range(5)), max_rounds=1
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].d_history == runs[1].d_history
+        assert runs[0].decisions == runs[1].decisions
+
+    def test_custom_adversary_still_validated(self):
+        bad = ScriptedAdversary(3, [(F({0, 1}), F(), F())])
+        rrfd = RoundByRoundFaultDetector(
+            AsyncMessagePassing(3, 1), adversary=bad
+        )
+        with pytest.raises(PredicateViolation):
+            rrfd.run(kset_protocol(), inputs=[1, 2, 3], max_rounds=1)
+
+    def test_custom_benign_adversary(self):
+        rrfd = RoundByRoundFaultDetector(
+            KSetDetector(3, 1), adversary=FailureFreeAdversary(3)
+        )
+        trace = rrfd.run(kset_protocol(), inputs=[7, 8, 9], max_rounds=1)
+        assert trace.decisions == [7, 7, 7]
+
+    def test_mismatched_adversary_rejected(self):
+        with pytest.raises(ValueError):
+            RoundByRoundFaultDetector(
+                KSetDetector(3, 1), adversary=FailureFreeAdversary(4)
+            )
+
+    def test_describe_and_n(self):
+        rrfd = RoundByRoundFaultDetector(KSetDetector(6, 2))
+        assert rrfd.n == 6
+        assert "⋃" in rrfd.describe()

@@ -1,0 +1,164 @@
+"""Unit tests for the round engine."""
+
+import pytest
+
+from repro.core.adversary import (
+    FailureFreeAdversary,
+    PredicateAdversary,
+    ScriptedAdversary,
+    FunctionAdversary,
+)
+from repro.core.algorithm import FullInformationProcess, RoundProcess, make_protocol
+from repro.core.executor import RoundExecutor, run_protocol
+from repro.core.predicates import AsyncMessagePassing, KSetDetector
+from repro.core.types import PredicateViolation
+from repro.util.rng import make_rng
+
+F = frozenset
+
+
+class EchoProcess(RoundProcess):
+    """Emits its input, decides it at a configured round."""
+
+    def __init__(self, pid, n, input_value, *, decide_at=1):
+        super().__init__(pid, n, input_value)
+        self.decide_at = decide_at
+        self.seen_views = []
+
+    def emit(self, round_number):
+        return (self.pid, round_number, self.input_value)
+
+    def absorb(self, view):
+        self.seen_views.append(view)
+        if view.round >= self.decide_at and not self.decided:
+            self.decide(self.input_value)
+
+
+class TestRoundExecutor:
+    def test_failure_free_views_deliver_everything(self):
+        trace = run_protocol(
+            make_protocol(EchoProcess),
+            ["a", "b", "c"],
+            FailureFreeAdversary(3),
+            max_rounds=1,
+        )
+        view = trace.rounds[0].views[1]
+        assert view.messages == {0: (0, 1, "a"), 1: (1, 1, "b"), 2: (2, 1, "c")}
+        assert view.suspected == F()
+
+    def test_decisions_recorded_with_round(self):
+        trace = run_protocol(
+            make_protocol(EchoProcess, decide_at=2),
+            [1, 2],
+            FailureFreeAdversary(2),
+            max_rounds=5,
+        )
+        assert trace.decisions == [1, 2]
+        assert trace.decided_at == [2, 2]
+        assert trace.num_rounds == 2  # stops once everyone has decided
+
+    def test_max_rounds_limits_execution(self):
+        trace = run_protocol(
+            make_protocol(EchoProcess, decide_at=100),
+            [1, 2],
+            FailureFreeAdversary(2),
+            max_rounds=3,
+        )
+        assert trace.num_rounds == 3
+        assert not trace.all_decided
+
+    def test_predicate_violation_raises(self):
+        bad = ScriptedAdversary(3, [(F({0, 1}), F(), F())])
+        with pytest.raises(PredicateViolation):
+            run_protocol(
+                make_protocol(EchoProcess),
+                [1, 2, 3],
+                bad,
+                max_rounds=1,
+                predicate=AsyncMessagePassing(3, 1),
+            )
+
+    def test_suspected_senders_not_delivered_without_extras(self):
+        adv = ScriptedAdversary(3, [(F({2}), F(), F())])
+        trace = run_protocol(
+            make_protocol(EchoProcess), [1, 2, 3], adv, max_rounds=1
+        )
+        view0 = trace.rounds[0].views[0]
+        assert 2 not in view0.messages
+        assert 2 in view0.suspected
+
+    def test_crashed_stop_emitting_replaces_payloads(self):
+        adv = ScriptedAdversary(
+            2, [(F(), F({0})), (F({0}), F({0}))]
+        )
+        trace = run_protocol(
+            make_protocol(EchoProcess, decide_at=3),
+            ["x", "y"],
+            adv,
+            max_rounds=2,
+            crashed_stop_emitting=True,
+        )
+        # 0 was suspected in round 1, so its round-2 payload is None.
+        assert trace.rounds[1].payloads[0] is None
+        assert trace.rounds[1].payloads[1] == (1, 2, "y")
+
+    def test_mismatched_adversary_n_rejected(self):
+        with pytest.raises(ValueError):
+            RoundExecutor(
+                make_protocol(EchoProcess), [1, 2], FailureFreeAdversary(3)
+            )
+
+    def test_mismatched_predicate_n_rejected(self):
+        with pytest.raises(ValueError):
+            RoundExecutor(
+                make_protocol(EchoProcess),
+                [1, 2],
+                FailureFreeAdversary(2),
+                predicate=AsyncMessagePassing(3, 1),
+            )
+
+    def test_adversary_returning_wrong_arity_rejected(self):
+        adv = FunctionAdversary(2, lambda r, h, p: (F(),))
+        with pytest.raises(ValueError):
+            run_protocol(make_protocol(EchoProcess), [1, 2], adv, max_rounds=1)
+
+    def test_trace_d_history_matches_adversary(self):
+        script = [(F({1}), F()), (F(), F({0}))]
+        adv = ScriptedAdversary(2, script)
+        trace = run_protocol(
+            make_protocol(EchoProcess, decide_at=2), [1, 2], adv, max_rounds=2
+        )
+        assert trace.d_history == tuple(script)
+
+    def test_step_by_step_execution(self):
+        executor = RoundExecutor(
+            make_protocol(EchoProcess, decide_at=10),
+            [1, 2],
+            FailureFreeAdversary(2),
+        )
+        record = executor.step()
+        assert record.round == 1
+        record = executor.step()
+        assert record.round == 2
+        assert executor.trace.num_rounds == 2
+
+    def test_full_information_knowledge_spreads(self):
+        trace = run_protocol(
+            make_protocol(FullInformationProcess),
+            list(range(4)),
+            FailureFreeAdversary(4),
+            max_rounds=2,
+        )
+        # after one failure-free round everyone knows everyone
+        assert trace.rounds[0].views[0].heard == F(range(4))
+
+    def test_overlap_delivery_includes_suspected_message(self, rng):
+        adv = PredicateAdversary(
+            AsyncMessagePassing(4, 2), make_rng(7), overlap_prob=1.0
+        )
+        trace = run_protocol(
+            make_protocol(EchoProcess), list(range(4)), adv, max_rounds=1
+        )
+        for view in trace.rounds[0].views:
+            # with overlap 1.0 every message is delivered despite suspicions
+            assert set(view.messages) == set(range(4))

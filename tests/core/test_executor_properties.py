@@ -1,0 +1,69 @@
+"""Hypothesis properties of the round engine: invariants across models."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.replay import replay, verify_trace_consistency
+
+from tests.conftest import catalog
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    index=st.integers(0, 9),
+    seed=st.integers(0, 2**31),
+    rounds=st.integers(1, 4),
+)
+def test_property_every_model_produces_consistent_traces(index, seed, rounds):
+    """For every catalog model and seed: the run satisfies its own predicate,
+    views cover S, and the trace passes the consistency audit."""
+    predicate = catalog()[index]
+    rrfd = RoundByRoundFaultDetector(predicate, seed=seed)
+    trace = rrfd.run(
+        make_protocol(FullInformationProcess),
+        inputs=list(range(predicate.n)),
+        max_rounds=rounds,
+    )
+    assert trace.num_rounds == rounds
+    assert predicate.allows(trace.d_history)
+    verify_trace_consistency(trace)
+    everyone = frozenset(range(predicate.n))
+    for record in trace.rounds:
+        for view in record.views:
+            assert view.heard | view.suspected == everyone
+
+
+@settings(max_examples=80, deadline=None)
+@given(index=st.integers(0, 9), seed=st.integers(0, 2**31))
+def test_property_replay_is_deterministic(index, seed):
+    """Replaying any model's trace through the scripted adversary reproduces
+    the suspicion history and payload evolution exactly."""
+    predicate = catalog()[index]
+    rrfd = RoundByRoundFaultDetector(predicate, seed=seed)
+    trace = rrfd.run(
+        make_protocol(FullInformationProcess),
+        inputs=list(range(predicate.n)),
+        max_rounds=3,
+    )
+    again = replay(trace, make_protocol(FullInformationProcess))
+    assert again.d_history == trace.d_history
+    for original, rerun in zip(trace.rounds, again.rounds):
+        assert original.payloads == rerun.payloads
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 2**31), index=st.integers(0, 9))
+def test_property_same_seed_same_run(seed, index):
+    predicate = catalog()[index]
+
+    def run():
+        return RoundByRoundFaultDetector(predicate, seed=seed).run(
+            make_protocol(FullInformationProcess),
+            inputs=list(range(predicate.n)),
+            max_rounds=2,
+        )
+
+    assert run().d_history == run().d_history

@@ -1,0 +1,312 @@
+"""Per-predicate unit tests: hand-crafted histories plus sampler properties.
+
+Each model's predicate is checked against small concrete histories that
+exercise every clause of its definition, and (via hypothesis) against its
+own constructive sampler — a sampler must never produce a history its
+predicate rejects.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.predicate import (
+    Conjunction,
+    Unconstrained,
+    cumulative_suspected,
+    round_intersection,
+    round_union,
+)
+from repro.core.predicates import (
+    AsyncMessagePassing,
+    AtomicSnapshot,
+    CrashSync,
+    EventuallyStrong,
+    KSetDetector,
+    MixedResilience,
+    SemiSyncEquality,
+    SendOmissionSync,
+    SharedMemoryAntisymmetric,
+    SharedMemorySWMR,
+)
+
+from tests.conftest import catalog
+
+F = frozenset
+
+
+def rounds(*rows):
+    """Shorthand: rounds(((1,),(0,),()),...) -> DHistory of frozensets."""
+    return tuple(tuple(F(cell) for cell in row) for row in rows)
+
+
+class TestFrameworkRules:
+    def test_d_equals_s_is_rejected_by_every_model(self, any_predicate):
+        n = any_predicate.n
+        full = tuple(F(range(n)) if i == 0 else F() for i in range(n))
+        assert not any_predicate.allows((full,))
+
+    def test_wrong_arity_raises(self, any_predicate):
+        with pytest.raises(ValueError):
+            any_predicate.allows(((F(), F()),) if any_predicate.n != 2 else ((F(),),))
+
+    def test_out_of_range_ids_raise(self, any_predicate):
+        n = any_predicate.n
+        bad = tuple(F({n + 5}) if i == 0 else F() for i in range(n))
+        with pytest.raises(ValueError):
+            any_predicate.allows((bad,))
+
+    def test_empty_history_allowed(self, any_predicate):
+        assert any_predicate.allows(())
+
+
+class TestHelpers:
+    def test_round_union_and_intersection(self):
+        d = (F({0, 1}), F({1}), F({1, 2}))
+        assert round_union(d) == F({0, 1, 2})
+        assert round_intersection(d) == F({1})
+
+    def test_cumulative_suspected(self):
+        h = rounds(((0,), (), ()), ((), (2,), ()))
+        assert cumulative_suspected(h) == F({0, 2})
+
+
+class TestSendOmissionSync:
+    def test_within_budget(self):
+        p = SendOmissionSync(3, 1)
+        assert p.allows(rounds(((2,), (2,), ()), ((2,), (), (2,))))
+
+    def test_budget_exceeded_cumulatively(self):
+        p = SendOmissionSync(3, 1)
+        assert not p.allows(rounds(((2,), (), ()), ((1,), (), ())))
+
+    def test_self_suspicion_forbidden_for_alive(self):
+        p = SendOmissionSync(3, 2)
+        assert not p.allows(rounds(((0,), (), ())))
+
+    def test_self_suspicion_allowed_after_suspected(self):
+        p = SendOmissionSync(3, 2)
+        # 0 is suspected by 1 at round 1, may self-suspect at round 2.
+        assert p.allows(rounds(((), (0,), ()), ((0,), (0,), ())))
+
+    def test_f_zero_forces_empty(self):
+        p = SendOmissionSync(3, 0)
+        assert p.allows(rounds(((), (), ())))
+        assert not p.allows(rounds(((), (2,), ())))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SendOmissionSync(3, 3)
+        with pytest.raises(ValueError):
+            SendOmissionSync(3, -1)
+
+
+class TestCrashSync:
+    def test_growth_clause_enforced(self):
+        p = CrashSync(3, 2)
+        # 0 suspected at round 1 but process 1 forgets it at round 2.
+        assert not p.allows(rounds(((), (0,), ()), ((), (), (0,))))
+
+    def test_growth_clause_satisfied(self):
+        p = CrashSync(3, 2)
+        assert p.allows(rounds(((), (0,), ()), ((0,), (0,), (0,))))
+
+    def test_crashed_process_row_exempt(self):
+        p = CrashSync(3, 2)
+        # Process 0 crashed at round 1; its own row at round 2 need not
+        # contain the required set.
+        history = rounds(((), (0,), (0,)), ((), (0,), (0,)))
+        assert p.allows(history)
+
+    def test_is_submodel_of_omission(self, rng):
+        crash, omission = CrashSync(4, 2), SendOmissionSync(4, 2)
+        for _ in range(200):
+            h = ()
+            for _ in range(3):
+                h = h + (crash.sample_round(rng, h),)
+            assert omission.allows(h)
+
+
+class TestAsyncMessagePassing:
+    def test_per_round_bound(self):
+        p = AsyncMessagePassing(4, 2)
+        assert p.allows(rounds(((1, 2), (0, 3), (0, 1), ())))
+        assert not p.allows(rounds(((1, 2, 3), (), (), ())))
+
+    def test_no_cumulative_budget(self):
+        # Unlike the synchronous models, different processes may be missed
+        # in different rounds without bound.
+        p = AsyncMessagePassing(4, 1)
+        h = rounds(((1,), (), (), ()), ((2,), (), (), ()), ((3,), (), (), ()))
+        assert p.allows(h)
+
+    def test_self_miss_allowed(self):
+        p = AsyncMessagePassing(3, 1)
+        assert p.allows(rounds(((0,), (), ())))
+
+
+class TestMixedResilience:
+    def test_q_is_fixed_across_rounds(self):
+        p = MixedResilience(5, 2, 1)
+        # Three distinct processes exceed f over the run: no Q of size 2 fits.
+        h = rounds(
+            ((1, 2), (), (), (), ()),
+            ((), (0, 2), (), (), ()),
+            ((), (), (0, 1), (), ()),
+        )
+        assert not p.allows(h)
+
+    def test_within_q(self):
+        p = MixedResilience(5, 2, 1)
+        h = rounds(
+            ((1, 2), (0, 2), (), (), ()),
+            ((3, 4), (1, 4), (), (), ()),
+        )
+        assert p.allows(h)
+
+    def test_t_bound_is_hard(self):
+        p = MixedResilience(5, 2, 1)
+        assert not p.allows(rounds(((1, 2, 3), (), (), (), ())))
+
+    def test_async_mp_is_submodel(self, rng):
+        a = AsyncMessagePassing(5, 1)
+        b = MixedResilience(5, 2, 1)
+        for _ in range(200):
+            h = ()
+            for _ in range(3):
+                h = h + (a.sample_round(rng, h),)
+            assert b.allows(h)
+
+
+class TestSharedMemorySWMR:
+    def test_eq4_enforced(self):
+        p = SharedMemorySWMR(3, 2)
+        # Everyone suspected by someone: 0 by 1, 1 by 2, 2 by 0.
+        assert not p.allows(rounds(((2,), (0,), (1,))))
+
+    def test_eq4_satisfied(self):
+        p = SharedMemorySWMR(3, 2)
+        assert p.allows(rounds(((2,), (2,), ())))
+
+
+class TestSharedMemoryAntisymmetric:
+    def test_mutual_miss_forbidden(self):
+        p = SharedMemoryAntisymmetric(3, 2)
+        assert not p.allows(rounds(((1,), (0,), ())))
+
+    def test_cycle_allowed(self):
+        # The paper's point: a does-not-know cycle does NOT violate this
+        # predicate (so it does not imply eq. (4)).
+        p = SharedMemoryAntisymmetric(3, 2)
+        cycle = rounds(((1,), (2,), (0,)))
+        assert p.allows(cycle)
+        assert not SharedMemorySWMR(3, 2).allows(cycle)
+
+
+class TestAtomicSnapshot:
+    def test_chain_order_enforced(self):
+        p = AtomicSnapshot(4, 2)
+        assert not p.allows(rounds(((1,), (0,), (), ())))  # incomparable
+        assert p.allows(rounds(((1,), (), (1, 3), ())))  # {1} ⊆ {1,3}, ∅ ⊆ both
+
+    def test_self_suspicion_forbidden(self):
+        p = AtomicSnapshot(3, 2)
+        assert not p.allows(rounds(((0,), (0,), (0,))))
+
+    def test_implies_swmr(self, rng):
+        snap, swmr = AtomicSnapshot(5, 2), SharedMemorySWMR(5, 2)
+        for _ in range(200):
+            h = ()
+            for _ in range(3):
+                h = h + (snap.sample_round(rng, h),)
+            assert swmr.allows(h)
+
+
+class TestEventuallyStrong:
+    def test_someone_never_suspected(self):
+        p = EventuallyStrong(3)
+        assert p.allows(rounds(((1,), (0,), (0, 1))))
+        assert not p.allows(rounds(((1, 2), (0, 2), (0, 1))))
+
+    def test_large_suspicions_fine(self):
+        p = EventuallyStrong(4)
+        h = rounds(((1, 2, 0), (0, 2), (0,), (0, 1, 2)))
+        assert p.allows(h)  # process 3 never suspected
+
+
+class TestKSetDetector:
+    def test_disagreement_bound(self):
+        p = KSetDetector(4, 2)
+        # union={0,1}, intersection={} -> |diff|=2 >= k
+        assert not p.allows(rounds(((0,), (1,), (), ())))
+        # union={0,1}, intersection={0} -> |diff|=1 < 2
+        assert p.allows(rounds(((0,), (0, 1), (0,), (0,))))
+
+    def test_k1_means_equality(self):
+        p1 = KSetDetector(3, 1)
+        assert p1.allows(rounds(((2,), (2,), (2,))))
+        assert not p1.allows(rounds(((2,), (), (2,))))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KSetDetector(3, 0)
+        with pytest.raises(ValueError):
+            KSetDetector(3, 4)
+
+
+class TestSemiSyncEquality:
+    def test_equality_required(self):
+        p = SemiSyncEquality(3)
+        assert p.allows(rounds(((1,), (1,), (1,))))
+        assert not p.allows(rounds(((1,), (1,), ())))
+
+    def test_equals_kset_one(self, rng):
+        eq, k1 = SemiSyncEquality(4), KSetDetector(4, 1)
+        for _ in range(300):
+            h = (eq.sample_round(rng, ()),)
+            assert k1.allows(h)
+            h = (k1.sample_round(rng, ()),)
+            assert eq.allows(h)
+
+
+class TestConjunctionAndUnconstrained:
+    def test_conjunction_allows_iff_all(self):
+        combo = Conjunction(AsyncMessagePassing(3, 1), SharedMemorySWMR(3, 2))
+        assert combo.allows(rounds(((2,), (2,), ())))
+        assert not combo.allows(rounds(((1, 2), (), ())))  # violates |D|<=1
+
+    def test_conjunction_operator(self):
+        combo = AsyncMessagePassing(3, 1) & EventuallyStrong(3)
+        assert combo.allows(rounds(((1,), (1,), ())))
+
+    def test_conjunction_sampler(self, rng):
+        combo = Conjunction(AtomicSnapshot(4, 2), KSetDetector(4, 3))
+        h = ()
+        for _ in range(4):
+            h = h + (combo.sample_round(rng, h),)
+            assert combo.allows(h)
+
+    def test_conjunction_mismatched_n(self):
+        with pytest.raises(ValueError):
+            Conjunction(AsyncMessagePassing(3, 1), AsyncMessagePassing(4, 1))
+
+    def test_unconstrained_allows_anything_legal(self):
+        p = Unconstrained(3)
+        assert p.allows(rounds(((0, 1), (0, 2), (1, 2))))
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    index=st.integers(min_value=0, max_value=9),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    length=st.integers(min_value=1, max_value=6),
+)
+def test_property_samplers_always_satisfy_their_predicate(index, seed, length):
+    """Every constructive sampler only produces histories its model allows."""
+    predicate = catalog()[index]
+    sampler_rng = random.Random(seed)
+    history = ()
+    for _ in range(length):
+        history = history + (predicate.sample_round(sampler_rng, history),)
+    assert predicate.allows(history)

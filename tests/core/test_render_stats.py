@@ -1,0 +1,85 @@
+"""Rendering and statistics utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.predicates import KSetDetector
+from repro.protocols.kset import kset_protocol
+from repro.util.render import render_d_round, render_suspicion_history, render_trace
+from repro.util.stats import Rate, estimate_rate, wilson_interval
+
+F = frozenset
+
+
+class TestRender:
+    def test_render_d_round(self):
+        lines = render_d_round((F({1}), F(), F({0, 1})))
+        assert lines == ["p0 .x.", "p1 ...", "p2 xx."]
+
+    def test_render_history_columns(self):
+        history = ((F({1}), F(), F()), (F(), F({2}), F()))
+        text = render_suspicion_history(history)
+        assert "p0 .x. ..." in text
+        assert "p1 ... ..x" in text
+
+    def test_render_empty_history(self):
+        assert render_suspicion_history(()) == "(no rounds)"
+
+    def test_render_trace_summary(self):
+        rrfd = RoundByRoundFaultDetector(KSetDetector(4, 2), seed=1)
+        trace = rrfd.run(kset_protocol(), inputs=[5, 6, 7, 8], max_rounds=1)
+        text = render_trace(trace)
+        assert "n=4, rounds=1" in text
+        assert "inputs:    [5, 6, 7, 8]" in text
+        assert "decisions:" in text
+        assert "distinct:" in text
+
+    def test_render_trace_undecided(self):
+        from repro.core.types import ExecutionTrace
+
+        trace = ExecutionTrace(n=2, inputs=(1, 2))
+        trace.record_decision(0, 1, 1)
+        text = render_trace(trace)
+        assert "undecided: p1" in text
+
+
+class TestWilson:
+    def test_interval_contains_point(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_edges_stay_in_unit_interval(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0 and 0 < high < 0.15
+        low, high = wilson_interval(50, 50)
+        assert 0.85 < low < 1 and high == 1.0
+
+    def test_narrower_with_more_trials(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_rate_rendering(self):
+        rate = estimate_rate(42, 100)
+        assert rate.point == 0.42
+        text = str(rate)
+        assert text.startswith("42.0% [")
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    trials=st.integers(1, 10_000),
+    data=st.data(),
+)
+def test_property_wilson_bounds(trials, data):
+    successes = data.draw(st.integers(0, trials))
+    low, high = wilson_interval(successes, trials)
+    assert 0.0 <= low <= high <= 1.0
+    assert low <= successes / trials <= high

@@ -1,0 +1,77 @@
+"""Record/replay: determinism as a checked invariant."""
+
+import pytest
+
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.predicates import CrashSync, KSetDetector
+from repro.core.replay import adversary_from_trace, replay, verify_trace_consistency
+from repro.protocols.consensus import floodset_consensus_protocol
+from repro.protocols.floodset import floodmin_protocol
+from repro.protocols.kset import kset_protocol
+
+
+def record_kset_trace(seed=5, n=6, k=2):
+    rrfd = RoundByRoundFaultDetector(KSetDetector(n, k), seed=seed)
+    return rrfd.run(kset_protocol(), inputs=list(range(n)), max_rounds=1)
+
+
+class TestReplay:
+    def test_replay_reproduces_decisions(self):
+        for seed in range(40):
+            trace = record_kset_trace(seed)
+            again = replay(trace, kset_protocol())
+            assert again.decisions == trace.decisions
+            assert again.d_history == trace.d_history
+
+    def test_replay_with_different_inputs(self):
+        trace = record_kset_trace()
+        again = replay(trace, kset_protocol(), inputs=[f"x{i}" for i in range(6)])
+        # same suspicion pattern, relabelled values: decisions map over
+        mapping = {i: f"x{i}" for i in range(6)}
+        assert again.decisions == [mapping[d] for d in trace.decisions]
+
+    def test_differential_protocols_same_history(self):
+        # FloodMin(k=1) and FloodSet consensus are the same algorithm; under
+        # one recorded crash history they decide identically.
+        n, f = 5, 2
+        rrfd = RoundByRoundFaultDetector(CrashSync(n, f), seed=9)
+        trace = rrfd.run(floodmin_protocol(f, 1), inputs=[4, 2, 7, 1, 9],
+                         max_rounds=f + 1)
+        other = replay(trace, floodset_consensus_protocol(f))
+        assert other.decisions == trace.decisions
+
+    def test_adversary_from_trace_replays_script(self):
+        trace = record_kset_trace()
+        adversary = adversary_from_trace(trace)
+        assert adversary.suspicions(1, (), []) == trace.d_history[0]
+
+
+class TestConsistency:
+    def test_recorded_traces_are_consistent(self):
+        for seed in range(20):
+            verify_trace_consistency(record_kset_trace(seed))
+
+    def test_detects_views_in_wrong_slots(self):
+        trace = record_kset_trace()
+        record = trace.rounds[0]
+        from repro.core.types import ExecutionRound
+
+        swapped = (record.views[1], record.views[0]) + record.views[2:]
+        trace.rounds[0] = ExecutionRound(
+            round=record.round, payloads=record.payloads, views=swapped
+        )
+        with pytest.raises(AssertionError):
+            verify_trace_consistency(trace)
+
+    def test_detects_wrong_payload(self):
+        trace = record_kset_trace()
+        record = trace.rounds[0]
+        from repro.core.types import ExecutionRound
+
+        trace.rounds[0] = ExecutionRound(
+            round=record.round,
+            payloads=tuple("CORRUPT" for _ in record.payloads),
+            views=record.views,
+        )
+        with pytest.raises(AssertionError):
+            verify_trace_consistency(trace)

@@ -1,0 +1,117 @@
+"""Unit tests for the submodel relation checker."""
+
+import random
+
+import pytest
+
+from repro.core.predicates import (
+    AsyncMessagePassing,
+    AtomicSnapshot,
+    CrashSync,
+    EventuallyStrong,
+    KSetDetector,
+    SemiSyncEquality,
+    SendOmissionSync,
+    SharedMemorySWMR,
+)
+from repro.core.submodel import (
+    check_submodel,
+    implies_exhaustive,
+    refute_by_sampling,
+)
+
+
+class TestExhaustive:
+    def test_crash_implies_omission(self):
+        result = implies_exhaustive(CrashSync(3, 1), SendOmissionSync(3, 1), rounds=2)
+        assert result.holds is True
+        assert result.counterexample is None
+        assert result.histories_checked > 0
+
+    def test_omission_does_not_imply_crash(self):
+        result = implies_exhaustive(SendOmissionSync(3, 1), CrashSync(3, 1), rounds=2)
+        assert result.holds is False
+        # The counterexample must witness the failure: allowed by omission,
+        # rejected by crash.
+        cx = result.counterexample
+        assert SendOmissionSync(3, 1).allows(cx)
+        assert not CrashSync(3, 1).allows(cx)
+
+    def test_swmr_implies_async(self):
+        result = implies_exhaustive(
+            SharedMemorySWMR(3, 1), AsyncMessagePassing(3, 1), rounds=1, max_d_size=1
+        )
+        assert result.holds is True
+
+    def test_async_does_not_imply_swmr(self):
+        result = implies_exhaustive(
+            AsyncMessagePassing(3, 1), SharedMemorySWMR(3, 1), rounds=1, max_d_size=1
+        )
+        assert result.holds is False
+
+    def test_semisync_equals_kset1_both_directions(self):
+        a = implies_exhaustive(SemiSyncEquality(3), KSetDetector(3, 1), rounds=1)
+        b = implies_exhaustive(KSetDetector(3, 1), SemiSyncEquality(3), rounds=1)
+        assert a.holds is True and b.holds is True
+
+    def test_corollary_32_edge(self):
+        # AtomicSnapshot(k-1) is a submodel of KSetDetector(k).
+        result = implies_exhaustive(AtomicSnapshot(3, 1), KSetDetector(3, 2), rounds=1)
+        assert result.holds is True
+
+    def test_omission_n_minus_1_implies_diamond_s(self):
+        result = implies_exhaustive(
+            SendOmissionSync(3, 2), EventuallyStrong(3), rounds=2
+        )
+        assert result.holds is True
+
+    def test_diamond_s_does_not_imply_omission(self):
+        result = implies_exhaustive(
+            EventuallyStrong(3), SendOmissionSync(3, 2), rounds=1
+        )
+        assert result.holds is False
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(ValueError):
+            implies_exhaustive(CrashSync(3, 1), CrashSync(4, 1))
+
+
+class TestSampling:
+    def test_refutes_false_implication(self):
+        result = refute_by_sampling(
+            AsyncMessagePassing(6, 2),
+            KSetDetector(6, 2),
+            rounds=2,
+            samples=500,
+            rng=random.Random(0),
+        )
+        assert result.holds is False
+        assert result.counterexample is not None
+
+    def test_cannot_refute_true_implication(self):
+        result = refute_by_sampling(
+            CrashSync(6, 2),
+            SendOmissionSync(6, 2),
+            rounds=3,
+            samples=300,
+            rng=random.Random(1),
+        )
+        assert result.holds is None  # "not refuted", not a proof
+
+    def test_str_rendering(self):
+        result = refute_by_sampling(
+            CrashSync(6, 2), SendOmissionSync(6, 2), samples=10
+        )
+        assert "not refuted" in str(result)
+
+
+class TestCheckSubmodel:
+    def test_small_goes_exhaustive(self):
+        result = check_submodel(CrashSync(3, 1), SendOmissionSync(3, 1), rounds=1)
+        assert result.holds is True  # definite answer => exhaustive path
+
+    def test_large_falls_back_to_sampling(self):
+        result = check_submodel(
+            CrashSync(8, 3), SendOmissionSync(8, 3), rounds=3, samples=50
+        )
+        assert result.holds is None  # sampled, not refuted

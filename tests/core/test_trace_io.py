@@ -1,0 +1,112 @@
+"""Trace serialization: save, load, replay."""
+
+import pytest
+
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.predicates import AtomicSnapshot, CrashSync, KSetDetector
+from repro.core.replay import replay, verify_trace_consistency
+from repro.core.trace_io import (
+    TraceEncodingError,
+    decode_value,
+    encode_value,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.protocols.kset import kset_protocol
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            42,
+            3.5,
+            "text",
+            (1, 2, "three"),
+            [1, [2, (3,)]],
+            frozenset({1, 2}),
+            {"a": 1, 2: (3, 4)},
+            {("tuple", "key"): frozenset({9})},
+            ("view", {0: ("input", 5)}, frozenset({1})),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_nested_empty_containers(self):
+        value = ((), {}, frozenset(), [])
+        assert decode_value(encode_value(value)) == value
+
+    def test_unencodable_type_raises(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TraceEncodingError):
+            encode_value(Weird())
+
+    def test_bad_tag_raises(self):
+        with pytest.raises(TraceEncodingError):
+            decode_value({"__rrfd__": "nonsense"})
+
+
+def sample_trace(seed=3):
+    rrfd = RoundByRoundFaultDetector(KSetDetector(5, 2), seed=seed)
+    return rrfd.run(kset_protocol(), inputs=list(range(5)), max_rounds=1)
+
+
+class TestTraceRoundtrip:
+    def test_dict_roundtrip(self):
+        trace = sample_trace()
+        again = trace_from_dict(trace_to_dict(trace))
+        assert again.n == trace.n
+        assert again.inputs == trace.inputs
+        assert again.decisions == trace.decisions
+        assert again.decided_at == trace.decided_at
+        assert again.d_history == trace.d_history
+        verify_trace_consistency(again)
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        again = load_trace(path)
+        assert again.d_history == trace.d_history
+        assert again.decisions == trace.decisions
+
+    def test_loaded_trace_replays(self, tmp_path):
+        trace = sample_trace(seed=11)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        again = replay(load_trace(path), kset_protocol())
+        assert again.decisions == trace.decisions
+
+    def test_full_information_payloads_roundtrip(self, tmp_path):
+        # nested view payloads (tuples of dicts of tuples...) survive
+        rrfd = RoundByRoundFaultDetector(AtomicSnapshot(4, 2), seed=2)
+        trace = rrfd.run(
+            make_protocol(FullInformationProcess), inputs=list(range(4)),
+            max_rounds=3,
+        )
+        path = tmp_path / "fi.json"
+        save_trace(trace, path)
+        again = load_trace(path)
+        assert again.rounds[2].payloads == trace.rounds[2].payloads
+
+    def test_multi_round_crash_trace(self, tmp_path):
+        rrfd = RoundByRoundFaultDetector(CrashSync(4, 2), seed=6)
+        trace = rrfd.run(
+            make_protocol(FullInformationProcess), inputs=list(range(4)),
+            max_rounds=4,
+        )
+        path = tmp_path / "crash.json"
+        save_trace(trace, path)
+        assert load_trace(path).d_history == trace.d_history
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(TraceEncodingError):
+            trace_from_dict({"format": "something-else"})

@@ -1,0 +1,86 @@
+"""Unit tests for the core types: views, traces, the RRFD guarantee."""
+
+import pytest
+
+from repro.core.types import (
+    ExecutionTrace,
+    GuaranteeViolation,
+    RoundView,
+)
+
+
+def make_view(n=3, messages=None, suspected=frozenset(), pid=0, round=1):
+    if messages is None:
+        messages = {j: f"m{j}" for j in range(n) if j not in suspected}
+    return RoundView(pid=pid, round=round, messages=messages, suspected=suspected, n=n)
+
+
+class TestRoundView:
+    def test_guarantee_holds_when_everyone_covered(self):
+        view = make_view(suspected=frozenset({2}))
+        assert view.heard == frozenset({0, 1})
+        assert view.silent == frozenset({2})
+
+    def test_guarantee_violation_raises(self):
+        with pytest.raises(GuaranteeViolation) as err:
+            RoundView(pid=0, round=1, messages={0: "a"}, suspected=frozenset({1}), n=3)
+        assert "2" in str(err.value)
+
+    def test_suspected_and_delivered_may_overlap(self):
+        # The unreliable detector can deliver from a suspected sender.
+        view = RoundView(
+            pid=0,
+            round=1,
+            messages={0: "a", 1: "b", 2: "c"},
+            suspected=frozenset({2}),
+            n=3,
+        )
+        assert 2 in view.heard
+        assert view.silent == frozenset()
+
+    def test_self_suspicion_is_legal(self):
+        view = RoundView(
+            pid=0,
+            round=1,
+            messages={1: "b", 2: "c"},
+            suspected=frozenset({0}),
+            n=3,
+        )
+        assert 0 in view.suspected
+
+    def test_value_from_silent_sender_raises(self):
+        view = make_view(suspected=frozenset({2}))
+        with pytest.raises(KeyError):
+            view.value_from(2)
+
+    def test_heard_property(self):
+        view = make_view(suspected=frozenset({1, 2}))
+        assert view.heard == frozenset({0})
+
+
+class TestExecutionTrace:
+    def test_initial_state(self):
+        trace = ExecutionTrace(n=3, inputs=(1, 2, 3))
+        assert trace.decisions == [None, None, None]
+        assert not trace.all_decided
+        assert trace.num_rounds == 0
+        assert trace.decided_values == frozenset()
+
+    def test_record_decision_first_wins(self):
+        trace = ExecutionTrace(n=2, inputs=(0, 1))
+        trace.record_decision(0, "v", at_round=3)
+        trace.record_decision(0, "w", at_round=4)  # ignored: already decided
+        assert trace.decisions[0] == "v"
+        assert trace.decided_at[0] == 3
+
+    def test_all_decided_and_values(self):
+        trace = ExecutionTrace(n=2, inputs=(0, 1))
+        trace.record_decision(0, 7, at_round=1)
+        assert not trace.all_decided
+        trace.record_decision(1, 7, at_round=2)
+        assert trace.all_decided
+        assert trace.decided_values == frozenset({7})
+
+    def test_d_history_empty_initially(self):
+        trace = ExecutionTrace(n=2, inputs=(0, 1))
+        assert trace.d_history == ()

@@ -1,0 +1,95 @@
+"""Utility-layer unit tests: RNG discipline and set combinatorics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import make_rng, spawn_rngs, stream
+from repro.util.sets import (
+    all_subset_families,
+    all_subsets,
+    powerset_size,
+    random_subset,
+    random_subset_of_size,
+)
+
+
+class TestRng:
+    def test_make_rng_is_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_spawn_rngs_are_independent_and_reproducible(self):
+        a = spawn_rngs(make_rng(1), 3)
+        b = spawn_rngs(make_rng(1), 3)
+        assert [r.random() for r in a] == [r.random() for r in b]
+        assert len({r.random() for r in spawn_rngs(make_rng(2), 5)}) == 5
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(make_rng(0), -1)
+
+    def test_stream_yields_fresh_generators(self):
+        gen = stream(make_rng(3))
+        first, second = next(gen), next(gen)
+        assert first.random() != second.random()
+
+
+class TestAllSubsets:
+    def test_counts(self):
+        assert len(list(all_subsets(range(4)))) == 16
+        assert len(list(all_subsets(range(4), max_size=1))) == 5
+        assert len(list(all_subsets(range(4), min_size=3))) == 5
+
+    def test_ordered_by_size(self):
+        sizes = [len(s) for s in all_subsets(range(3))]
+        assert sizes == sorted(sizes)
+
+    def test_families_count(self):
+        assert len(list(all_subset_families(2))) == 16  # (2^2)^2
+        assert len(list(all_subset_families(2, max_size=1))) == 9  # 3^2
+
+
+class TestPowersetSize:
+    @pytest.mark.parametrize(
+        "n,max_size,expected",
+        [(3, None, 8), (3, 3, 8), (3, 1, 4), (4, 2, 11), (5, 0, 1)],
+    )
+    def test_values(self, n, max_size, expected):
+        assert powerset_size(n, max_size) == expected
+
+    def test_matches_enumeration(self):
+        for n in range(5):
+            for cap in range(n + 1):
+                assert powerset_size(n, cap) == len(
+                    list(all_subsets(range(n), max_size=cap))
+                )
+
+
+class TestRandomSubsets:
+    def test_respects_exclusions_and_bounds(self, rng):
+        for _ in range(200):
+            subset = random_subset(range(6), rng, exclude=(2,), max_size=3)
+            assert 2 not in subset
+            assert len(subset) <= 3
+            assert subset <= set(range(6))
+
+    def test_exact_size(self, rng):
+        for size in range(5):
+            assert len(random_subset_of_size(range(5), size, rng)) == size
+
+    def test_oversized_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_subset_of_size(range(3), 4, rng)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(1, 8),
+    max_size=st.integers(0, 8),
+    seed=st.integers(0, 2**31),
+)
+def test_property_random_subset_within_spec(n, max_size, seed):
+    subset = random_subset(range(n), random.Random(seed), max_size=max_size)
+    assert subset <= set(range(n))
+    assert len(subset) <= max_size

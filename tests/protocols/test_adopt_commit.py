@@ -1,0 +1,145 @@
+"""E13 — adopt-commit: both the RRFD-rounds and the register renderings."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.predicates import AtomicSnapshot
+from repro.protocols.adopt_commit import AdoptCommitOutcome, adopt_commit_protocol
+from repro.substrates.sharedmem import ScriptedScheduler
+from repro.substrates.sharedmem.adopt_commit import run_adopt_commit
+
+
+def assert_adopt_commit_properties(inputs, outcomes, crashed=frozenset()):
+    """The three properties of Section 4.2, on the finished processes."""
+    finished = {
+        pid: out
+        for pid, out in enumerate(outcomes)
+        if out is not None and pid not in crashed
+        and isinstance(out, AdoptCommitOutcome)
+    }
+    committed = {out.value for out in finished.values() if out.committed}
+    assert len(committed) <= 1, f"two committed values: {committed}"
+    if committed:
+        value = next(iter(committed))
+        assert all(out.value == value for out in finished.values()), (
+            "agreement-on-commit violated"
+        )
+    for pid, out in finished.items():
+        assert out.value in inputs, "validity violated"
+    if len(set(inputs)) == 1 and not crashed:
+        assert all(out.committed for out in finished.values()), (
+            "commit-on-unanimity violated"
+        )
+
+
+class TestRoundsVersion:
+    def test_unanimous_commits(self):
+        rrfd = RoundByRoundFaultDetector(AtomicSnapshot(4, 3), seed=1)
+        trace = rrfd.run(adopt_commit_protocol(), inputs=["v"] * 4, max_rounds=2)
+        assert all(out.committed and out.value == "v" for out in trace.decisions)
+
+    def test_split_never_double_commits(self):
+        for seed in range(120):
+            n = 5
+            rng = random.Random(seed)
+            inputs = [rng.choice("ab") for _ in range(n)]
+            rrfd = RoundByRoundFaultDetector(AtomicSnapshot(n, n - 1), seed=seed)
+            trace = rrfd.run(adopt_commit_protocol(), inputs=inputs, max_rounds=2)
+            assert_adopt_commit_properties(inputs, trace.decisions)
+
+    def test_decides_in_two_rounds(self):
+        rrfd = RoundByRoundFaultDetector(AtomicSnapshot(3, 2), seed=0)
+        trace = rrfd.run(adopt_commit_protocol(), inputs=[1, 2, 3], max_rounds=4)
+        assert trace.num_rounds == 2
+        assert all(at == 2 for at in trace.decided_at)
+
+    def test_emit_before_absorb_raises(self):
+        from repro.protocols.adopt_commit import AdoptCommitRoundsProcess
+
+        proc = AdoptCommitRoundsProcess(0, 2, "v")
+        proc.emit(1)
+        with pytest.raises(RuntimeError):
+            proc.emit(2)  # round 1 view never absorbed
+
+
+class TestRegisterVersion:
+    @pytest.mark.parametrize("shuffle", [False, True])
+    def test_random_schedules(self, shuffle):
+        rng = random.Random(3)
+        for trial in range(150):
+            n = rng.randint(2, 6)
+            inputs = [rng.choice("abc") for _ in range(n)]
+            result = run_adopt_commit(inputs, seed=trial, shuffle_reads=shuffle)
+            assert_adopt_commit_properties(inputs, result.outputs)
+
+    def test_wait_free_under_crashes(self):
+        rng = random.Random(9)
+        for trial in range(150):
+            n = rng.randint(2, 6)
+            inputs = [rng.choice("ab") for _ in range(n)]
+            crash = {
+                pid: rng.randint(0, 12)
+                for pid in range(n)
+                if rng.random() < 0.4
+            }
+            if len(crash) == n:  # keep one process alive
+                crash.pop(next(iter(crash)))
+            result = run_adopt_commit(inputs, seed=trial, crash_after=crash)
+            # every non-crashed process finished despite any crash pattern
+            for pid in range(n):
+                if pid not in result.crashed:
+                    assert pid in result.finished
+            assert_adopt_commit_properties(
+                inputs, result.outputs, crashed=result.crashed
+            )
+
+    def test_solo_run_commits(self):
+        # A process running completely alone (everyone else crashed at step
+        # 0) must commit its own value: it sees only itself.
+        n = 4
+        result = run_adopt_commit(
+            ["x", "y", "z", "w"],
+            crash_after={1: 0, 2: 0, 3: 0},
+        )
+        out = result.outputs[0]
+        assert out.committed and out.value == "x"
+
+    def test_scripted_interleaving_adopt_path(self):
+        # p0 writes and reads alone (sees only "a": commits); p1 then runs
+        # and must adopt "a" even though it proposed "b".
+        n = 2
+        script = [0] * 20 + [1] * 20
+        result = run_adopt_commit(
+            ["a", "b"], scheduler=ScriptedScheduler(script)
+        )
+        assert result.outputs[0] == AdoptCommitOutcome(True, "a")
+        assert result.outputs[1].value == "a"
+
+    def test_interleaved_writes_prevent_commit_of_two(self):
+        # Fully alternating: both see both values; nobody can commit.
+        script = [0, 1] * 40
+        result = run_adopt_commit(["a", "b"], scheduler=ScriptedScheduler(script))
+        committed = [out for out in result.outputs if out.committed]
+        assert len({out.value for out in committed}) <= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    seed=st.integers(min_value=0, max_value=2**31),
+    data=st.data(),
+)
+def test_property_register_adopt_commit(n, seed, data):
+    inputs = data.draw(st.lists(st.sampled_from("abc"), min_size=n, max_size=n))
+    crash_count = data.draw(st.integers(min_value=0, max_value=n - 1))
+    crash_pids = data.draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=crash_count, max_size=crash_count, unique=True
+        )
+    )
+    crash = {pid: data.draw(st.integers(0, 15)) for pid in crash_pids}
+    result = run_adopt_commit(inputs, seed=seed, crash_after=crash)
+    assert_adopt_commit_properties(inputs, result.outputs, crashed=result.crashed)

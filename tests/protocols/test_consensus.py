@@ -1,0 +1,82 @@
+"""Consensus protocols: the k=1 face of Theorem 3.1 and ◇S consensus."""
+
+import pytest
+
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.predicates import EventuallyStrong, KSetDetector, SemiSyncEquality
+from repro.protocols.consensus import consensus_protocol
+from repro.protocols.properties import (
+    check_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.simulations.eventually_strong import rotating_coordinator_protocol
+
+
+class TestOneRoundConsensus:
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 16])
+    def test_under_semisync_equality(self, n):
+        for seed in range(40):
+            rrfd = RoundByRoundFaultDetector(SemiSyncEquality(n), seed=seed)
+            trace = rrfd.run(
+                consensus_protocol(), inputs=[i * 3 for i in range(n)], max_rounds=1
+            )
+            check_agreement(trace)
+            check_validity(trace)
+            check_termination(trace, by_round=1)
+
+    def test_under_kset_detector_k1(self):
+        for seed in range(60):
+            rrfd = RoundByRoundFaultDetector(KSetDetector(7, 1), seed=seed)
+            trace = rrfd.run(consensus_protocol(), inputs=list(range(7)), max_rounds=1)
+            check_agreement(trace)
+
+
+class TestRotatingCoordinator:
+    def test_under_diamond_s(self):
+        for seed in range(120):
+            n = 6
+            rrfd = RoundByRoundFaultDetector(EventuallyStrong(n), seed=seed)
+            trace = rrfd.run(
+                rotating_coordinator_protocol(),
+                inputs=[f"v{i}" for i in range(n)],
+                max_rounds=n,
+            )
+            check_agreement(trace)
+            check_validity(trace)
+            check_termination(trace, by_round=n)
+
+    def test_adopts_never_suspected_process_value(self):
+        # When only process 2 is never suspected and the adversary suspects
+        # everyone else everywhere, all must decide p2's value.
+        from repro.core.adversary import FunctionAdversary
+        from repro.core.executor import run_protocol
+
+        n = 4
+        F = frozenset
+
+        def strategy(r, history, payloads):
+            return tuple(F({0, 1, 3}) - {pid} for pid in range(n))
+
+        trace = run_protocol(
+            rotating_coordinator_protocol(),
+            ["a", "b", "c", "d"],
+            FunctionAdversary(n, strategy),
+            max_rounds=n,
+            predicate=EventuallyStrong(n),
+        )
+        assert set(trace.decided_values) == {"c"}
+
+    def test_failure_free_decides_lowest(self):
+        from repro.core.adversary import FailureFreeAdversary
+        from repro.core.executor import run_protocol
+
+        trace = run_protocol(
+            rotating_coordinator_protocol(),
+            ["a", "b", "c"],
+            FailureFreeAdversary(3),
+            max_rounds=3,
+        )
+        # every round everyone adopts the coordinator's value; the round-n
+        # coordinator holds whatever round 1's adoption produced: "a".
+        assert set(trace.decided_values) == {"a"}

@@ -1,0 +1,121 @@
+"""Consensus from ◇S via adopt-commit (the reference-[16] composition)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.detector_consensus import (
+    DiamondSOracle,
+    run_diamond_s_consensus,
+)
+from repro.substrates.sharedmem import ScriptedScheduler
+
+
+def assert_consensus(vals, res):
+    for pid in range(res.n):
+        if pid not in res.crashed:
+            assert pid in res.decisions, (pid, res.crashed)
+    decided = set(res.decisions.values())
+    assert len(decided) == 1
+    assert decided <= set(vals)
+
+
+class TestDiamondSConsensus:
+    def test_failure_free_unanimous(self):
+        res = run_diamond_s_consensus(["v"] * 4, seed=1)
+        assert set(res.decisions.values()) == {"v"}
+        assert len(res.decisions) == 4
+
+    def test_random_crashes_and_slander(self):
+        rng = random.Random(0)
+        for trial in range(100):
+            n = rng.randint(2, 6)
+            vals = [rng.randint(0, 3) for _ in range(n)]
+            crash = {
+                pid: rng.randint(0, 50)
+                for pid in rng.sample(range(n), rng.randint(0, n - 1))
+            }
+            res = run_diamond_s_consensus(
+                vals, seed=trial, crash_after=crash,
+                stabilization_step=rng.randint(0, 400),
+            )
+            assert_consensus(vals, res)
+
+    def test_heavy_slander_only_delays(self):
+        res = run_diamond_s_consensus(
+            list(range(5)), seed=3, slander_prob=0.9, stabilization_step=500,
+            max_phases=200,
+        )
+        assert len(set(res.decisions.values())) == 1
+
+    def test_wait_free_all_but_one_crash_immediately(self):
+        n = 5
+        crash = {pid: 0 for pid in range(1, n)}
+        res = run_diamond_s_consensus(list(range(n)), seed=4, crash_after=crash)
+        assert res.decisions[0] in range(n)
+
+    def test_uniform_agreement_includes_decided_then_crashed(self):
+        # A process that decides and (conceptually) crashes later still
+        # agrees: decisions are pinned by the first commit.
+        rng = random.Random(7)
+        for trial in range(60):
+            n = 4
+            vals = [rng.randint(0, 2) for _ in range(n)]
+            crash = {1: rng.randint(10, 300)}
+            res = run_diamond_s_consensus(vals, seed=trial, crash_after=crash)
+            assert len(set(res.decisions.values())) == 1
+
+    def test_trusted_must_be_correct(self):
+        with pytest.raises(ValueError):
+            run_diamond_s_consensus([1, 2, 3], crash_after={0: 5}, trusted=0)
+
+    def test_everyone_crashing_rejected(self):
+        with pytest.raises(ValueError):
+            run_diamond_s_consensus([1, 2], crash_after={0: 1, 1: 1})
+
+    def test_phase_budget_exhaustion_raises(self):
+        # A hand-crafted schedule where (i) each phase's non-coordinator
+        # checks the coordinator's estimate before it is written (and the
+        # never-stabilising oracle approves the suspicion), and (ii) the
+        # adopt-commit writes interleave so both values are always seen —
+        # so no phase ever commits, and the phase budget must fail loudly.
+        script = (
+            [0] * 5 + [1] * 5 + [0] * 5 + [1] * 5   # phase 1
+            + [1] * 5 + [0] * 5 + [1] * 5 + [0] * 5  # phase 2 (coord 0)
+            + [0, 1, 0, 1]
+        )
+        with pytest.raises(RuntimeError):
+            run_diamond_s_consensus(
+                [1, 2], seed=5, stabilization_step=10**9,
+                slander_prob=1.0, max_phases=2,
+                scheduler=ScriptedScheduler(script),
+            )
+
+    def test_solo_schedule_decides_alone(self):
+        # p0 runs to completion before anyone else steps: it must decide
+        # (wait-freedom) — suspicion of silent peers unblocks its waits.
+        res = run_diamond_s_consensus(
+            ["a", "b", "c"], seed=6,
+            scheduler=ScriptedScheduler([0] * 4000),
+            stabilization_step=0, slander_prob=0.5,
+        )
+        assert res.decisions[0] == "a"
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**31), data=st.data())
+def test_property_diamond_s_consensus(seed, data):
+    n = data.draw(st.integers(2, 6))
+    vals = data.draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    crash_count = data.draw(st.integers(0, n - 1))
+    crashers = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=crash_count,
+                 max_size=crash_count, unique=True)
+    )
+    crash = {pid: data.draw(st.integers(0, 60)) for pid in crashers}
+    res = run_diamond_s_consensus(
+        vals, seed=seed, crash_after=crash,
+        stabilization_step=data.draw(st.integers(0, 300)),
+    )
+    assert_consensus(vals, res)

@@ -1,0 +1,114 @@
+"""Early-deciding FloodMin: clean-round decisions, machine-verified.
+
+The clean-round argument is checked against EVERY crash adversary for
+small systems (inputs × crash patterns, exhaustive) and against random
+ones for larger — agreement and validity among the processes alive at the
+end, plus the early-stopping round bound min(f' + 2, f + 1).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.enumeration import enumerate_crash_patterns
+from repro.core.adversary import CrashPatternAdversary
+from repro.core.executor import run_protocol
+from repro.core.predicates import CrashSync
+from repro.protocols.early_stopping import early_floodmin_protocol
+from repro.substrates.sync import CrashScheduleInjector, run_synchronous
+
+
+def run_pattern(inputs, pattern, f):
+    n = len(inputs)
+    injector = CrashScheduleInjector(
+        n, f, dict(pattern.crash_round), missed_by=dict(pattern.missed_by)
+    )
+    return run_synchronous(
+        early_floodmin_protocol(f), inputs, injector, max_rounds=f + 1
+    )
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("n,f", [(3, 1), (3, 2), (4, 2)])
+    def test_every_adversary_every_binary_input(self, n, f):
+        import itertools
+
+        patterns = list(enumerate_crash_patterns(n, f, f + 1))
+        for inputs in itertools.product([0, 1], repeat=n):
+            for pattern in patterns:
+                result = run_pattern(list(inputs), pattern, f)
+                alive = result.alive
+                decisions = {result.decisions[pid] for pid in alive}
+                assert len(decisions) == 1, (inputs, pattern)
+                assert decisions <= set(inputs), (inputs, pattern)
+
+
+class TestEarlyStopping:
+    def test_failure_free_decides_in_two_rounds(self):
+        result = run_synchronous(
+            early_floodmin_protocol(4), [5, 3, 9, 7, 8, 6], None, max_rounds=5
+        )
+        assert result.rounds_run == 2
+        assert set(result.decisions) == {3}
+
+    def test_round_bound_min_fprime_plus_2(self):
+        rng = random.Random(0)
+        for trial in range(150):
+            n, f = 6, 4
+            actual = rng.randint(0, f)
+            schedule = {
+                pid: rng.randint(1, f + 1)
+                for pid in rng.sample(range(n), actual)
+            }
+            injector = CrashScheduleInjector(n, f, schedule, rng=rng)
+            result = run_synchronous(
+                early_floodmin_protocol(f), list(range(n)), injector,
+                max_rounds=f + 1, stop_when_alive_decided=False,
+            )
+            bound = min(actual + 2, f + 1)
+            for pid in sorted(result.alive):
+                proc = result.processes[pid]
+                assert proc.decided, (trial, pid)
+            decisions = {result.processes[pid].decision for pid in result.alive}
+            assert len(decisions) == 1
+
+    def test_agreement_under_worst_case_staggered_crashes(self):
+        rng = random.Random(1)
+        for trial in range(200):
+            n, f = 6, 3
+            crashers = rng.sample(range(n), f)
+            crashes = {pid: r + 1 for r, pid in enumerate(crashers)}
+            adv = CrashPatternAdversary(n, crashes, rng=rng)
+            trace = run_protocol(
+                early_floodmin_protocol(f), list(range(n)), adv,
+                max_rounds=f + 1, predicate=CrashSync(n, f),
+                crashed_stop_emitting=True,
+            )
+            alive = set(range(n)) - set(crashes)
+            assert len({trace.decisions[pid] for pid in alive}) == 1, (
+                trial, crashes, trace.decisions,
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            early_floodmin_protocol(3).spawn(0, 3, 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 2**31), f=st.integers(0, 4), data=st.data())
+def test_property_early_floodmin_agreement(seed, f, data):
+    rng = random.Random(seed)
+    n = max(3, f + 2)
+    inputs = data.draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    crashers = rng.sample(range(n), rng.randint(0, f))
+    crashes = {pid: rng.randint(1, f + 1) for pid in crashers}
+    adv = CrashPatternAdversary(n, crashes, rng=rng)
+    trace = run_protocol(
+        early_floodmin_protocol(f), inputs, adv,
+        max_rounds=f + 1, crashed_stop_emitting=True,
+    )
+    alive = set(range(n)) - set(crashes)
+    decisions = {trace.decisions[pid] for pid in alive}
+    assert len(decisions) == 1
+    assert decisions <= set(inputs)

@@ -1,0 +1,160 @@
+"""FloodMin: the ⌊f/k⌋+1-round synchronous upper bound (E5's other half)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adversary import CrashPatternAdversary
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.executor import run_protocol
+from repro.core.predicates import CrashSync
+from repro.protocols.floodset import FloodMinProcess, floodmin_protocol, rounds_needed
+from repro.protocols.consensus import floodset_consensus_protocol
+from repro.substrates.sync import CrashScheduleInjector, OmissionInjector, run_synchronous
+
+
+class TestRoundsNeeded:
+    @pytest.mark.parametrize(
+        "f,k,expected", [(0, 1, 1), (1, 1, 2), (3, 1, 4), (4, 2, 3), (5, 2, 3), (6, 3, 3)]
+    )
+    def test_formula(self, f, k, expected):
+        assert rounds_needed(f, k) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            rounds_needed(1, 0)
+        with pytest.raises(ValueError):
+            rounds_needed(-1, 1)
+
+
+class TestFloodMin:
+    def test_failure_free_decides_global_min(self):
+        res = run_synchronous(
+            floodmin_protocol(2, 1), [5, 3, 9, 7], None, max_rounds=3
+        )
+        assert res.decisions == [3, 3, 3, 3]
+
+    def test_decides_exactly_at_deadline(self):
+        f, k = 3, 1
+        res = run_synchronous(
+            floodmin_protocol(f, k), [4, 2, 8, 6, 5], None, max_rounds=10
+        )
+        assert res.rounds_run == rounds_needed(f, k)
+
+    @pytest.mark.parametrize("f,k", [(2, 1), (3, 1), (4, 2), (3, 3)])
+    def test_worst_case_one_crash_per_round(self, f, k):
+        # The adversary that makes the bound tight: one fresh crash per
+        # round, each missing as many processes as possible.
+        rng = random.Random(f * 31 + k)
+        for trial in range(80):
+            n = f + k + 1 + rng.randint(0, 2)
+            crashers = rng.sample(range(n), f)
+            crashes = {pid: r + 1 for r, pid in enumerate(crashers)}
+            adv = CrashPatternAdversary(n, crashes, rng=rng)
+            trace = run_protocol(
+                floodmin_protocol(f, k),
+                list(range(n)),
+                adv,
+                max_rounds=rounds_needed(f, k),
+                predicate=CrashSync(n, f),
+                crashed_stop_emitting=True,
+            )
+            alive = set(range(n)) - set(crashes)
+            decisions = {trace.decisions[pid] for pid in alive}
+            assert len(decisions) <= k, (crashes, trace.decisions)
+            assert decisions <= set(range(n))
+
+    def test_on_sync_substrate_with_injected_crashes(self):
+        rng = random.Random(5)
+        for trial in range(80):
+            n, f, k = 6, 3, 2
+            schedule = {
+                pid: rng.randint(1, rounds_needed(f, k))
+                for pid in rng.sample(range(n), rng.randint(0, f))
+            }
+            injector = CrashScheduleInjector(n, f, schedule, rng=rng)
+            res = run_synchronous(
+                floodmin_protocol(f, k), list(range(n)), injector,
+                max_rounds=rounds_needed(f, k),
+            )
+            decisions = set(res.decisions_of_alive().values())
+            assert len(decisions) <= k
+
+    def test_omission_faults_can_break_floodmin(self):
+        # Documented negative result: FloodMin is a crash-model algorithm.
+        # A faulty-but-alive process that reveals its minimum to only one
+        # process in the last round splits the correct processes.
+        n, f, k = 3, 1, 1
+        from repro.core.adversary import ScriptedAdversary
+
+        F = frozenset
+        # p0 (value 0) omits to everyone in round 1, then to p2 in round 2.
+        script = [
+            (F(), F({0}), F({0})),
+            (F(), F(), F({0})),
+        ]
+        trace = run_protocol(
+            floodmin_protocol(f, k),
+            [0, 1, 2],
+            ScriptedAdversary(3, script),
+            max_rounds=rounds_needed(f, k),
+        )
+        # correct processes 1 and 2 disagree: 1 saw the 0, 2 did not
+        assert trace.decisions[1] == 0 and trace.decisions[2] == 1
+
+    def test_ignores_none_payloads_from_crashed(self):
+        proc = FloodMinProcess(0, 3, 5, f=1, k=1)
+        from repro.core.types import RoundView
+
+        view = RoundView(
+            pid=0,
+            round=1,
+            messages={0: 5, 1: None, 2: 3},
+            suspected=frozenset({1}),
+            n=3,
+        )
+        proc.absorb(view)
+        assert proc.minimum == 3
+
+
+class TestFloodSetConsensus:
+    def test_f_plus_one_rounds(self):
+        protocol = floodset_consensus_protocol(f=2)
+        res = run_synchronous(protocol, [3, 1, 4, 1], None, max_rounds=5)
+        assert res.rounds_run == 3
+        assert set(res.decisions) == {1}
+
+    def test_under_random_crash_predicate(self):
+        for seed in range(60):
+            n, f = 5, 2
+            rrfd = RoundByRoundFaultDetector(CrashSync(n, f), seed=seed)
+            trace = rrfd.run(
+                floodset_consensus_protocol(f), inputs=[7, 3, 9, 1, 5],
+                max_rounds=f + 1,
+            )
+            assert len(trace.decided_values) == 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    f=st.integers(min_value=0, max_value=4),
+    k=st.integers(min_value=1, max_value=3),
+)
+def test_property_floodmin_k_agreement_under_crashes(seed, f, k):
+    rng = random.Random(seed)
+    n = max(f + k + 1, 3)
+    crashers = rng.sample(range(n), rng.randint(0, f))
+    crashes = {pid: rng.randint(1, rounds_needed(f, k)) for pid in crashers}
+    adv = CrashPatternAdversary(n, crashes, rng=rng)
+    trace = run_protocol(
+        floodmin_protocol(f, k),
+        list(range(n)),
+        adv,
+        max_rounds=rounds_needed(f, k),
+        predicate=CrashSync(n, f),
+        crashed_stop_emitting=True,
+    )
+    alive = set(range(n)) - set(crashes)
+    assert len({trace.decisions[pid] for pid in alive}) <= k

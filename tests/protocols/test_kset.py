@@ -1,0 +1,115 @@
+"""E1 — Theorem 3.1: k-set agreement in one round under the k-set detector."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adversary import FunctionAdversary, ScriptedAdversary
+from repro.core.detector import RoundByRoundFaultDetector
+from repro.core.executor import run_protocol
+from repro.core.predicates import KSetDetector
+from repro.protocols.kset import kset_protocol
+from repro.protocols.properties import (
+    PropertyFailure,
+    check_kset_agreement,
+    check_termination,
+    check_validity,
+)
+
+F = frozenset
+
+
+class TestOneRoundKSet:
+    def test_failure_free_everyone_adopts_lowest(self):
+        rrfd = RoundByRoundFaultDetector(KSetDetector(4, 2), seed=None,
+                                         adversary=ScriptedAdversary(4, []))
+        trace = rrfd.run(kset_protocol(), inputs=[10, 11, 12, 13], max_rounds=1)
+        assert trace.decisions == [10, 10, 10, 10]
+
+    def test_contested_lowest_splits_but_within_k(self):
+        # Processes 0,1 trust p0; processes 2,3 suspect p0 (and everyone
+        # suspects nobody else): union-minus-intersection = {0}, size 1 < 2.
+        script = [(F(), F(), F({0}), F({0}))]
+        trace = run_protocol(
+            kset_protocol(),
+            [5, 6, 7, 8],
+            ScriptedAdversary(4, script),
+            max_rounds=1,
+            predicate=KSetDetector(4, 2),
+        )
+        assert trace.decisions == [5, 5, 6, 6]
+        check_kset_agreement(trace, 2)
+
+    def test_decides_in_exactly_one_round(self):
+        rrfd = RoundByRoundFaultDetector(KSetDetector(6, 3), seed=11)
+        trace = rrfd.run(kset_protocol(), inputs=list(range(6)), max_rounds=5)
+        check_termination(trace, by_round=1)
+        assert trace.num_rounds == 1
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (8, 3), (12, 5), (6, 5)])
+    def test_many_random_adversaries(self, n, k):
+        for seed in range(60):
+            rrfd = RoundByRoundFaultDetector(KSetDetector(n, k), seed=seed)
+            trace = rrfd.run(kset_protocol(), inputs=list(range(n)), max_rounds=1)
+            check_kset_agreement(trace, k)
+            check_validity(trace)
+            check_termination(trace, by_round=1)
+
+    def test_unreliable_detector_overlap_does_not_break_agreement(self):
+        # Deliveries from suspected senders are ignored by the algorithm
+        # (it only trusts S − D), so overlap must not add decided values.
+        for seed in range(40):
+            rrfd = RoundByRoundFaultDetector(
+                KSetDetector(6, 2), seed=seed, overlap_prob=0.7
+            )
+            trace = rrfd.run(kset_protocol(), inputs=list(range(6)), max_rounds=1)
+            check_kset_agreement(trace, 2)
+
+    def test_worst_case_adversary_achieves_exactly_k_values(self):
+        # A targeted adversary can force k distinct decisions — the bound of
+        # Theorem 3.1 is tight.
+        n, k = 6, 3
+        contested = [0, 1]  # k-1 contested processes
+
+        def strategy(r, history, payloads):
+            rows = []
+            for pid in range(n):
+                # process pid suspects the contested processes below it
+                rows.append(F(c for c in contested if c < pid))
+            return tuple(rows)
+
+        trace = run_protocol(
+            kset_protocol(),
+            list(range(n)),
+            FunctionAdversary(n, strategy),
+            max_rounds=1,
+            predicate=KSetDetector(n, k),
+        )
+        assert len(trace.decided_values) == k
+
+    def test_property_checker_rejects_violations(self):
+        # sanity for the checker itself
+        rrfd = RoundByRoundFaultDetector(KSetDetector(4, 3), seed=3)
+        trace = rrfd.run(kset_protocol(), inputs=list(range(4)), max_rounds=1)
+        with pytest.raises(PropertyFailure):
+            check_kset_agreement(trace, 0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    data=st.data(),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_one_round_kset_agreement(n, data, seed):
+    """Theorem 3.1 as a hypothesis property over (n, k, adversary seed)."""
+    k = data.draw(st.integers(min_value=1, max_value=n - 1)) if n > 1 else 1
+    inputs = data.draw(
+        st.lists(st.integers(0, 5), min_size=n, max_size=n)
+    )
+    rrfd = RoundByRoundFaultDetector(KSetDetector(n, k), seed=seed)
+    trace = rrfd.run(kset_protocol(), inputs=inputs, max_rounds=1)
+    check_kset_agreement(trace, k)
+    check_validity(trace)
+    check_termination(trace, by_round=1)

@@ -1,0 +1,78 @@
+"""The task-property checkers themselves (they guard every experiment)."""
+
+import pytest
+
+from repro.core.types import ExecutionTrace
+from repro.protocols.properties import (
+    PropertyFailure,
+    check_agreement,
+    check_kset_agreement,
+    check_termination,
+    check_validity,
+)
+
+
+def trace_with(decisions, inputs=None, decided_at=None, n=None):
+    n = n or len(decisions)
+    trace = ExecutionTrace(
+        n=n,
+        inputs=tuple(inputs if inputs is not None else range(n)),
+        decisions=list(decisions),
+        decided_at=list(decided_at if decided_at is not None else [1] * n),
+    )
+    return trace
+
+
+class TestKSetAgreement:
+    def test_accepts_within_k(self):
+        check_kset_agreement(trace_with([1, 1, 2]), 2)
+
+    def test_rejects_beyond_k(self):
+        with pytest.raises(PropertyFailure):
+            check_kset_agreement(trace_with([1, 2, 3]), 2)
+
+    def test_ignores_undecided(self):
+        check_kset_agreement(trace_with([1, None, None]), 1)
+
+    def test_agreement_is_k1(self):
+        check_agreement(trace_with([5, 5, 5]))
+        with pytest.raises(PropertyFailure):
+            check_agreement(trace_with([5, 6, 5]))
+
+
+class TestValidity:
+    def test_accepts_inputs(self):
+        check_validity(trace_with([0, 2, 2], inputs=[0, 1, 2]))
+
+    def test_rejects_invented_values(self):
+        with pytest.raises(PropertyFailure):
+            check_validity(trace_with([99, 0, 1], inputs=[0, 1, 2]))
+
+    def test_custom_allowed_set(self):
+        check_validity(trace_with(["x", "x", "x"]), allowed={"x", "y"})
+        with pytest.raises(PropertyFailure):
+            check_validity(trace_with(["z", "z", "z"]), allowed={"x"})
+
+    def test_undecided_skipped(self):
+        check_validity(trace_with([None, 1, None], inputs=[0, 1, 2]))
+
+
+class TestTermination:
+    def test_all_decided(self):
+        check_termination(trace_with([1, 1, 1]))
+
+    def test_missing_decider_rejected(self):
+        with pytest.raises(PropertyFailure):
+            check_termination(trace_with([1, None, 1]))
+
+    def test_by_round_bound(self):
+        trace = trace_with([1, 1], decided_at=[1, 3])
+        check_termination(trace, by_round=3)
+        with pytest.raises(PropertyFailure):
+            check_termination(trace, by_round=2)
+
+    def test_deciders_subset(self):
+        trace = trace_with([1, None, 1])
+        check_termination(trace, deciders={0, 2})
+        with pytest.raises(PropertyFailure):
+            check_termination(trace, deciders={0, 1})

@@ -1,0 +1,148 @@
+"""E6 — Section 5: 2-step consensus in the semi-synchronous model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.predicates import SemiSyncEquality
+from repro.protocols.semisync_consensus import (
+    SequentialBaselineProcess,
+    TwoStepConsensusProcess,
+)
+from repro.substrates.semisync import (
+    RandomStepSchedule,
+    ScriptedStepSchedule,
+    SemiSyncSystem,
+)
+
+
+def run_two_step(n, inputs, seed, crash_after=None):
+    procs = [TwoStepConsensusProcess(pid, n, inputs[pid]) for pid in range(n)]
+    system = SemiSyncSystem(
+        procs, RandomStepSchedule(random.Random(seed)), crash_after=crash_after
+    )
+    result = system.run()
+    return procs, result
+
+
+class TestTwoStepConsensus:
+    def test_two_steps_exactly(self):
+        procs, result = run_two_step(5, list(range(5)), seed=0)
+        assert all(p.decided for p in procs)
+        assert all(p.steps_executed == 2 for p in procs)
+        assert result.max_steps_to_decide() == 2
+
+    def test_agreement_and_validity_random_schedules(self):
+        rng = random.Random(1)
+        for trial in range(200):
+            n = rng.randint(2, 9)
+            inputs = [rng.randint(0, 4) for _ in range(n)]
+            procs, _ = run_two_step(n, inputs, seed=trial)
+            values = {p.decision for p in procs}
+            assert len(values) == 1
+            assert values <= set(inputs)
+
+    def test_tolerates_all_but_one_crash(self):
+        rng = random.Random(2)
+        for trial in range(120):
+            n = rng.randint(2, 7)
+            inputs = [rng.randint(0, 3) for _ in range(n)]
+            crashers = rng.sample(range(n), n - 1)
+            crash_after = {pid: rng.randint(0, 2) for pid in crashers}
+            procs, _ = run_two_step(n, inputs, seed=trial, crash_after=crash_after)
+            values = {p.decision for p in procs if p.decided}
+            assert len(values) <= 1
+            if values:
+                assert values <= set(inputs)
+
+    def test_detector_equality_holds(self):
+        # Theorem 5.1: the recorded D(i, 1) sets are identical at every
+        # process — equation (5).
+        rng = random.Random(3)
+        for trial in range(150):
+            n = rng.randint(2, 8)
+            procs, _ = run_two_step(n, list(range(n)), seed=trial)
+            rows = [p.views[0].suspected for p in procs if p.views]
+            assert len(set(rows)) == 1
+            history = (tuple(p.views[0].suspected for p in procs),)
+            assert SemiSyncEquality(n).allows(history)
+
+    def test_exactly_one_broadcaster_per_round(self):
+        # With immediate delivery the round-r step-1 winner is the unique
+        # broadcaster; everyone trusts exactly that one process.
+        procs, _ = run_two_step(6, list(range(6)), seed=9)
+        trusted = {frozenset(range(6)) - p.views[0].suspected for p in procs}
+        assert len(trusted) == 1
+        assert len(next(iter(trusted))) == 1
+
+    def test_scripted_slow_process_still_agrees(self):
+        n = 3
+        # p0 does both its steps first; p2 runs last.
+        script = [0, 0, 1, 1, 2, 2]
+        procs = [TwoStepConsensusProcess(pid, n, [7, 8, 9][pid]) for pid in range(n)]
+        system = SemiSyncSystem(procs, ScriptedStepSchedule(script))
+        system.run()
+        assert {p.decision for p in procs} == {7}  # p0 was first: its value wins
+
+    def test_round_budget_exhaustion_raises(self):
+        from repro.core.algorithm import RoundProcess
+        from repro.protocols.semisync_consensus import TwoStepRRFDAdapter
+
+        class NeverDecides(RoundProcess):
+            def emit(self, round_number):
+                return "m"
+
+            def absorb(self, view):
+                pass
+
+        adapter = TwoStepRRFDAdapter(0, 2, 1, NeverDecides(0, 2, 1), max_rounds=1)
+        adapter.step([])
+        with pytest.raises(RuntimeError):
+            adapter.step([])
+
+
+class TestSequentialBaseline:
+    def test_two_n_steps(self):
+        n = 5
+        procs = [SequentialBaselineProcess(pid, n, pid) for pid in range(n)]
+        system = SemiSyncSystem(procs, RandomStepSchedule(random.Random(0)))
+        system.run()
+        assert all(p.steps_executed == 2 * n for p in procs)
+        assert len({p.decision for p in procs}) == 1
+
+    def test_same_decision_as_two_step(self):
+        # Both algorithms decide the first-scheduled process's value under
+        # the same schedule prefix; with a deterministic script they agree.
+        n = 4
+        script = [2, 2, 0, 0, 1, 1, 3, 3] * n
+        fast = [TwoStepConsensusProcess(pid, n, pid * 10) for pid in range(n)]
+        SemiSyncSystem(fast, ScriptedStepSchedule(list(script))).run()
+        slow = [SequentialBaselineProcess(pid, n, pid * 10) for pid in range(n)]
+        SemiSyncSystem(slow, ScriptedStepSchedule(list(script))).run()
+        assert {p.decision for p in fast} == {p.decision for p in slow} == {20}
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31),
+    data=st.data(),
+)
+def test_property_two_step_consensus(n, seed, data):
+    inputs = data.draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    crash_count = data.draw(st.integers(min_value=0, max_value=n - 1))
+    crashers = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=crash_count,
+                 max_size=crash_count, unique=True)
+    )
+    crash_after = {pid: data.draw(st.integers(0, 3)) for pid in crashers}
+    procs, _ = run_two_step(n, inputs, seed=seed, crash_after=crash_after)
+    decided = [p for p in procs if p.decided]
+    values = {p.decision for p in decided}
+    assert len(values) <= 1
+    if values:
+        assert values <= set(inputs)
+    for pid in range(n):
+        if pid not in crash_after:
+            assert procs[pid].decided and procs[pid].steps_executed == 2

@@ -1,0 +1,95 @@
+"""Full-stack: adopt-commit over ABD registers over async messages."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.adopt_commit import AdoptCommitOutcome
+from repro.simulations.adopt_commit_over_abd import run_adopt_commit_over_abd
+from repro.substrates.messaging.network import AdversarialDelays
+
+
+def assert_properties(inputs, result):
+    survivors = {
+        pid: out for pid, out in result.outcomes.items()
+        if pid not in result.crashed
+    }
+    committed = {out.value for out in survivors.values() if out.committed}
+    assert len(committed) <= 1
+    if committed:
+        value = next(iter(committed))
+        assert all(out.value == value for out in survivors.values())
+    for out in survivors.values():
+        assert out.value in inputs
+
+
+class TestAdoptCommitOverABD:
+    def test_unanimous_commits(self):
+        result = run_adopt_commit_over_abd(["v"] * 5, seed=1)
+        assert all(
+            out == AdoptCommitOutcome(True, "v") for out in result.outcomes.values()
+        )
+
+    def test_random_delays_and_inputs(self):
+        rng = random.Random(0)
+        for trial in range(60):
+            n = rng.randint(3, 7)
+            inputs = [rng.choice("abc") for _ in range(n)]
+            result = run_adopt_commit_over_abd(inputs, seed=trial)
+            assert result.finished() == frozenset(range(n))
+            assert_properties(inputs, result)
+
+    def test_minority_crashes_tolerated(self):
+        rng = random.Random(2)
+        for trial in range(60):
+            n = rng.randint(3, 7)
+            inputs = [rng.choice("ab") for _ in range(n)]
+            crash = {
+                pid: rng.uniform(0, 40)
+                for pid in rng.sample(range(n), (n - 1) // 2)
+            }
+            result = run_adopt_commit_over_abd(inputs, seed=trial, crash_times=crash)
+            for pid in range(n):
+                if pid not in result.crashed:
+                    assert pid in result.outcomes, (trial, pid)
+            assert_properties(inputs, result)
+
+    def test_majority_crashes_rejected(self):
+        with pytest.raises(ValueError):
+            run_adopt_commit_over_abd(["a"] * 4, crash_times={0: 1.0, 1: 1.0})
+
+    def test_slow_process_adopts_first_committer(self):
+        # p0's links are fast, p2's are glacial: p0 finishes alone and
+        # commits; p2 must still converge to p0's value.
+        delays = AdversarialDelays(default=1.0)
+        n = 3
+        for a in range(n):
+            for b in range(n):
+                if 2 in (a, b) and a != b:
+                    delays.table[(a, b)] = 500.0
+        result = run_adopt_commit_over_abd(["x", "x", "y"], delays=delays)
+        assert result.outcomes[0].value == "x"
+        assert result.outcomes[2].value == "x"  # adopted despite proposing y
+
+    def test_message_cost_scales_with_n(self):
+        small = run_adopt_commit_over_abd(["a"] * 3, seed=5)
+        large = run_adopt_commit_over_abd(["a"] * 9, seed=5)
+        assert large.messages_sent > small.messages_sent
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(3, 7), seed=st.integers(0, 2**31), data=st.data())
+def test_property_adopt_commit_over_abd(n, seed, data):
+    inputs = data.draw(st.lists(st.sampled_from("ab"), min_size=n, max_size=n))
+    crash_count = data.draw(st.integers(0, (n - 1) // 2))
+    crashers = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=crash_count,
+                 max_size=crash_count, unique=True)
+    )
+    crash = {pid: data.draw(st.floats(0, 50)) for pid in crashers}
+    result = run_adopt_commit_over_abd(inputs, seed=seed, crash_times=crash)
+    assert_properties(inputs, result)
+    for pid in range(n):
+        if pid not in result.crashed:
+            assert pid in result.outcomes

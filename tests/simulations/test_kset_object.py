@@ -1,0 +1,86 @@
+"""E10 — Theorem 3.3: k-set-consensus object + SWMR ⟹ k-set detector."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.protocols.kset import kset_protocol
+from repro.simulations.kset_object_to_rrfd import run_kset_object_rrfd
+from repro.substrates.sharedmem import ScriptedScheduler
+
+
+def fi():
+    return make_protocol(FullInformationProcess)
+
+
+class TestTheorem33:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_detector_property_holds(self, k):
+        for seed in range(40):
+            n = 6
+            res = run_kset_object_rrfd(fi(), list(range(n)), k,
+                                       max_rounds=3, seed=seed)
+            assert res.detector_property_holds()
+
+    def test_deterministic_object_still_satisfies_property(self):
+        for seed in range(30):
+            res = run_kset_object_rrfd(fi(), list(range(5)), 2, max_rounds=2,
+                                       seed=seed, adversarial_object=False)
+            assert res.detector_property_holds()
+
+    def test_round_trip_with_theorem_31(self):
+        # Thm 3.3 detector + Thm 3.1 algorithm = k-set agreement on shared
+        # memory, closing the equivalence circle of Section 3.
+        for seed in range(60):
+            n, k = 7, 3
+            res = run_kset_object_rrfd(kset_protocol(), list(range(n)), k,
+                                       max_rounds=1, seed=seed)
+            decided = {d for d in res.decisions if d is not None}
+            assert len(decided) <= k
+            assert decided <= set(range(n))
+
+    def test_crashed_processes_tolerated(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            n, k = 6, 2
+            crash = {pid: rng.randint(0, 20) for pid in rng.sample(range(n), 2)}
+            res = run_kset_object_rrfd(fi(), list(range(n)), k, max_rounds=2,
+                                       seed=seed, crash_after=crash)
+            assert res.detector_property_holds()
+            for pid in range(n):
+                if pid not in res.crashed:
+                    assert len(res.views[pid]) == 2
+
+    def test_first_choice_writer_is_trusted_by_all(self):
+        # The proof's pivot: the chosen id written first to a choice cell is
+        # in everyone's Q — i.e. missing from every D(i, r).
+        for seed in range(40):
+            n, k = 6, 3
+            res = run_kset_object_rrfd(fi(), list(range(n)), k, max_rounds=1,
+                                       seed=seed)
+            rows = res.d_rows(1)
+            universally_trusted = frozenset(range(n)).difference(*rows.values()) \
+                if rows else frozenset()
+            assert universally_trusted, seed
+
+    def test_solo_process_trusts_only_its_choice(self):
+        # A process that runs alone reads only its own choice cell.
+        n, k = 3, 2
+        script = [0] * 200 + [1] * 200 + [2] * 200
+        res = run_kset_object_rrfd(fi(), list(range(n)), k, max_rounds=1,
+                                   scheduler=ScriptedScheduler(script),
+                                   adversarial_object=False)
+        first = res.views[0][0]
+        # p0 ran solo: the object returned its own id, so it trusts itself.
+        assert first.suspected == frozenset({1, 2})
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**31), k=st.integers(1, 4), rounds=st.integers(1, 3))
+def test_property_detector_bound(seed, k, rounds):
+    n = 6
+    res = run_kset_object_rrfd(fi(), list(range(n)), k, max_rounds=rounds, seed=seed)
+    assert res.detector_property_holds()
+    assert res.max_completed_round() == rounds

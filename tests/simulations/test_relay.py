@@ -1,0 +1,93 @@
+"""E7 / E11 — the two-round relay constructions of Section 2 items 3–4."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.core.predicates import (
+    AsyncMessagePassing,
+    MixedResilience,
+    SharedMemorySWMR,
+)
+from repro.core.submodel import refute_by_sampling
+from repro.protocols.kset import kset_protocol
+from repro.simulations.relay import simulate_mixed_to_async, simulate_mp_to_swmr
+
+
+def fi():
+    return make_protocol(FullInformationProcess)
+
+
+class TestMpToSwmr:
+    def test_simulated_rounds_satisfy_swmr_predicate(self):
+        for seed in range(80):
+            n, f = 7, 3
+            res = simulate_mp_to_swmr(fi(), list(range(n)), f,
+                                      simulated_rounds=3, seed=seed)
+            assert SharedMemorySWMR(n, f).allows(res.simulated_history)
+
+    def test_base_rounds_satisfy_async_predicate(self):
+        for seed in range(40):
+            n, f = 5, 2
+            res = simulate_mp_to_swmr(fi(), list(range(n)), f,
+                                      simulated_rounds=3, seed=seed)
+            assert AsyncMessagePassing(n, f).allows(res.base_history)
+            assert res.base_rounds_used == 6
+
+    def test_requires_majority(self):
+        with pytest.raises(ValueError):
+            simulate_mp_to_swmr(fi(), list(range(4)), 2, simulated_rounds=1)
+
+    def test_swmr_is_not_submodel_of_async(self):
+        # The relay is necessary: async MP alone does NOT satisfy eq. (4).
+        result = refute_by_sampling(
+            AsyncMessagePassing(5, 2), SharedMemorySWMR(5, 2), rounds=2, samples=500
+        )
+        assert result.holds is False
+
+    def test_views_carry_round_payloads(self):
+        res = simulate_mp_to_swmr(fi(), list(range(5)), 2, simulated_rounds=1, seed=1)
+        for views in res.simulated_views:
+            view = views[0]
+            for sender, payload in view.messages.items():
+                assert payload == ("input", sender)
+
+
+class TestMixedToAsync:
+    def test_simulated_rounds_satisfy_async_f(self):
+        for seed in range(80):
+            n, t, f = 9, 3, 1
+            res = simulate_mixed_to_async(fi(), list(range(n)), t, f,
+                                          simulated_rounds=3, seed=seed)
+            assert AsyncMessagePassing(n, f).allows(res.simulated_history)
+
+    def test_base_rounds_only_satisfy_mixed(self):
+        n, t, f = 9, 3, 1
+        res = simulate_mixed_to_async(fi(), list(range(n)), t, f,
+                                      simulated_rounds=4, seed=7)
+        assert MixedResilience(n, t, f).allows(res.base_history)
+
+    def test_b_is_strictly_weaker_than_a(self):
+        # Model B allows histories A rejects (so B is NOT a submodel of A) —
+        # yet two B-rounds implement one A-round.  Exactly item 3's point.
+        result = refute_by_sampling(
+            MixedResilience(9, 3, 1), AsyncMessagePassing(9, 1),
+            rounds=2, samples=1000,
+        )
+        assert result.holds is False
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            simulate_mixed_to_async(fi(), list(range(6)), 3, 1, simulated_rounds=1)
+        with pytest.raises(ValueError):
+            simulate_mixed_to_async(fi(), list(range(9)), 2, 3, simulated_rounds=1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**31), rounds=st.integers(1, 4))
+def test_property_relay_preserves_swmr_predicate(seed, rounds):
+    n, f = 7, 3
+    res = simulate_mp_to_swmr(fi(), list(range(n)), f,
+                              simulated_rounds=rounds, seed=seed)
+    assert SharedMemorySWMR(n, f).allows(res.simulated_history)
+    assert len(res.simulated_history) == rounds

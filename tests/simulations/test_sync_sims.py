@@ -1,0 +1,129 @@
+"""E3 / E4 — Theorems 4.1 and 4.3: asynchrony implements bounded synchrony."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.core.predicates import AtomicSnapshot, CrashSync, SendOmissionSync
+from repro.core.submodel import implies_exhaustive
+from repro.protocols.floodset import floodmin_protocol, rounds_needed
+from repro.simulations.async_to_sync_crash import simulate_crash_rounds
+from repro.simulations.async_to_sync_omission import (
+    simulate_omission_rounds,
+    sync_rounds_obtained,
+)
+
+
+def fi():
+    return make_protocol(FullInformationProcess)
+
+
+class TestTheorem41:
+    @pytest.mark.parametrize("f,k", [(2, 1), (4, 2), (5, 2), (6, 3), (3, 3)])
+    def test_simulated_execution_is_an_omission_execution(self, f, k):
+        n = max(6, f + 1)
+        for seed in range(40):
+            res = simulate_omission_rounds(fi(), list(range(n)), f, k, seed=seed)
+            assert res.omission_predicate_holds
+            assert res.within_budget
+            assert res.sync_rounds == f // k
+            assert res.trace.num_rounds == f // k
+
+    def test_predicate_level_implication(self):
+        # The theorem at predicate granularity, proven exhaustively for a
+        # tiny system: every ⌊f/k⌋-round snapshot(k) history is an
+        # omission(f) history.
+        f, k, n = 2, 1, 3
+        result = implies_exhaustive(
+            AtomicSnapshot(n, k), SendOmissionSync(n, f), rounds=f // k
+        )
+        assert result.holds is True
+
+    def test_budget_is_tight_at_k_per_round(self):
+        # k·⌊f/k⌋ ≤ f and no more.
+        res = simulate_omission_rounds(fi(), list(range(6)), 5, 2, seed=1)
+        assert res.cumulative_faults <= 2 * (5 // 2) <= 5
+
+    def test_needs_f_at_least_k(self):
+        with pytest.raises(ValueError):
+            sync_rounds_obtained(1, 2)
+
+
+class TestTheorem43:
+    @pytest.mark.parametrize("f,k", [(2, 1), (4, 2), (6, 2), (3, 1)])
+    def test_simulated_execution_is_a_crash_execution(self, f, k):
+        n = max(6, f + 1)
+        for seed in range(40):
+            res = simulate_crash_rounds(fi(), list(range(n)), f, k, seed=seed)
+            assert res.crash_predicate_holds()
+            assert res.cumulative_simulated_faults() <= f
+            assert res.sync_rounds == f // k
+            assert res.async_rounds_used == 3 * (f // k)
+
+    def test_base_history_is_snapshot_model(self):
+        n, f, k = 6, 4, 2
+        res = simulate_crash_rounds(fi(), list(range(n)), f, k, seed=3)
+        assert AtomicSnapshot(n, k).allows(res.base_history)
+
+    def test_simulated_views_are_well_formed(self):
+        n, f, k = 5, 2, 1
+        for seed in range(40):
+            res = simulate_crash_rounds(fi(), list(range(n)), f, k, seed=seed)
+            for r in range(1, res.sync_rounds + 1):
+                for pid in range(n):
+                    view = res.simulated_views[pid][r - 1]
+                    assert view.heard | view.suspected == frozenset(range(n))
+
+    def test_message_values_match_across_processes(self):
+        # Two processes that both deliver j's round-r message deliver the
+        # SAME value (adopt-commit agreement on the carried value).
+        n, f, k = 6, 4, 2
+        for seed in range(60):
+            res = simulate_crash_rounds(fi(), list(range(n)), f, k, seed=seed)
+            for r in range(1, res.sync_rounds + 1):
+                for j in range(n):
+                    delivered = {
+                        repr(res.simulated_views[pid][r - 1].messages[j])
+                        for pid in range(n)
+                        if j in res.simulated_views[pid][r - 1].messages
+                    }
+                    assert len(delivered) <= 1, (seed, r, j)
+
+    def test_crash_grows_monotone(self):
+        # Once suspected by all (committed faulty), suspected forever.
+        n, f, k = 6, 4, 2
+        for seed in range(60):
+            res = simulate_crash_rounds(fi(), list(range(n)), f, k, seed=seed)
+            h = res.simulated_history
+            for r in range(1, len(h)):
+                union_prev = frozenset().union(*h[r - 1])
+                for pid in range(n):
+                    required = union_prev - {pid}
+                    assert required <= h[r][pid] | union_prev  # eq. (2) shape
+
+    def test_corollary_42_arithmetic_floodmin_cannot_decide(self):
+        # The heart of Corollary 4.2/4.4: the simulation provides exactly
+        # ⌊f/k⌋ synchronous rounds, one short of FloodMin's ⌊f/k⌋+1-round
+        # deadline — so FloodMin, run inside the simulation, NEVER decides.
+        # Were a ⌊f/k⌋-round algorithm to exist, it would decide here and
+        # contradict asynchronous k-set impossibility.
+        for f, k in [(2, 1), (4, 2), (6, 3)]:
+            n = f + k + 1
+            assert rounds_needed(f, k) == f // k + 1  # one more than provided
+            for seed in range(20):
+                res = simulate_crash_rounds(
+                    floodmin_protocol(f, k), list(range(n)), f, k, seed=seed
+                )
+                assert res.sync_rounds == f // k
+                assert all(d is None for d in res.decisions), seed
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**31), f=st.integers(1, 6), k=st.integers(1, 3))
+def test_property_crash_simulation_predicate(seed, f, k):
+    if f < k:
+        f = k
+    n = max(6, f + 1)
+    res = simulate_crash_rounds(fi(), list(range(n)), f, k, seed=seed)
+    assert res.crash_predicate_holds()
+    assert res.cumulative_simulated_faults() <= f

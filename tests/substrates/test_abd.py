@@ -1,0 +1,132 @@
+"""ABD register emulation over message passing (paper reference [22])."""
+
+import random
+
+import pytest
+
+from repro.substrates.abd import ABDNode, majority
+from repro.substrates.events import EventSimulator
+from repro.substrates.messaging.network import (
+    AdversarialDelays,
+    AsyncNetwork,
+    UniformDelays,
+)
+
+
+def build(n, seed=0, delays=None):
+    sim = EventSimulator()
+    nodes = [ABDNode(pid, n) for pid in range(n)]
+    net = AsyncNetwork(
+        nodes, sim, delays=delays or UniformDelays(random.Random(seed))
+    )
+    return sim, nodes, net
+
+
+class TestMajority:
+    @pytest.mark.parametrize("n,q", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (9, 5)])
+    def test_quorum_size(self, n, q):
+        assert majority(n) == q
+
+
+class TestReadWrite:
+    def test_read_your_write(self):
+        for seed in range(20):
+            sim, nodes, net = build(5, seed)
+            out = {}
+            nodes[0].write("v", lambda _: nodes[0].read(0, lambda v: out.setdefault("r", v)))
+            net.run()
+            assert out == {"r": "v"}
+
+    def test_read_others_write(self):
+        for seed in range(20):
+            sim, nodes, net = build(4, seed)
+            out = {}
+            nodes[1].write(
+                99, lambda _: nodes[3].read(1, lambda v: out.setdefault("r", v))
+            )
+            net.run()
+            assert out == {"r": 99}
+
+    def test_unwritten_register_reads_none(self):
+        sim, nodes, net = build(3)
+        out = {}
+        nodes[0].read(2, lambda v: out.setdefault("r", v))
+        net.run()
+        assert out == {"r": None}
+
+    def test_last_write_wins(self):
+        sim, nodes, net = build(3)
+        out = {}
+
+        def second(_):
+            nodes[0].write("second", lambda _: nodes[1].read(0, lambda v: out.setdefault("r", v)))
+
+        nodes[0].write("first", second)
+        net.run()
+        assert out == {"r": "second"}
+
+    def test_register_atomicity_read_after_read(self):
+        # Once a read returns v (after write-back), any subsequent read
+        # returns v too — even by a different process.
+        for seed in range(20):
+            sim, nodes, net = build(5, seed)
+            out = {}
+
+            def after_first(v1):
+                out["r1"] = v1
+                nodes[2].read(0, lambda v2: out.setdefault("r2", v2))
+
+            nodes[0].write("x", lambda _: nodes[1].read(0, after_first))
+            net.run()
+            assert out["r1"] == "x" and out["r2"] == "x"
+
+
+class TestFaultTolerance:
+    def test_operations_complete_with_minority_crashes(self):
+        for seed in range(20):
+            n = 5
+            sim, nodes, net = build(n, seed)
+            net.crash(3, 0.0)
+            net.crash(4, 0.0)
+            out = {}
+            nodes[0].write(1, lambda _: nodes[1].read(0, lambda v: out.setdefault("r", v)))
+            net.run()
+            assert out == {"r": 1}
+
+    def test_majority_crashes_block(self):
+        n = 5
+        sim, nodes, net = build(n)
+        for pid in (2, 3, 4):
+            net.crash(pid, 0.0)
+        out = {}
+        nodes[0].write(1, lambda _: out.setdefault("w", True))
+        net.run(max_events=10_000)
+        assert "w" not in out  # the quorum never assembles: partition price
+
+    def test_slow_links_only_delay_not_lose(self):
+        delays = AdversarialDelays({(0, 1): 500.0, (1, 0): 500.0}, default=1.0)
+        sim, nodes, net = build(5, delays=delays)
+        out = {}
+        nodes[0].write("slow", lambda _: nodes[2].read(0, lambda v: out.setdefault("r", v)))
+        net.run()
+        assert out == {"r": "slow"}
+
+
+class TestSWMRDiscipline:
+    def test_tags_are_per_owner(self):
+        sim, nodes, net = build(3)
+        out = {}
+        nodes[0].write("a", lambda _: None)
+        nodes[1].write("b", lambda _: None)
+        net.run()
+        out0, out1 = {}, {}
+        nodes[2].read(0, lambda v: out0.setdefault("r", v))
+        nodes[2].read(1, lambda v: out1.setdefault("r", v))
+        net.sim.run()
+        assert out0 == {"r": "a"} and out1 == {"r": "b"}
+
+    def test_ops_completed_counter(self):
+        sim, nodes, net = build(3)
+        nodes[0].write("a", lambda _: None)
+        net.run()
+        assert nodes[0].ops_completed >= 1

@@ -1,0 +1,96 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.substrates.events import EventSimulator, SimulationError
+
+
+class TestEventSimulator:
+    def test_events_run_in_time_order(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_schedule_order(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("first"))
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_callbacks_may_schedule_more(self):
+        sim = EventSimulator()
+        log = []
+
+        def chain(i):
+            log.append(i)
+            if i < 4:
+                sim.schedule(1.0, lambda: chain(i + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+        assert sim.now == 4.0
+
+    def test_cancel_prevents_execution(self):
+        sim = EventSimulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("x"))
+        sim.cancel(handle)
+        sim.run()
+        assert log == []
+        assert handle.cancelled
+
+    def test_until_stops_before_later_events(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(5.0, lambda: log.append("b"))
+        sim.run(until=2.0)
+        assert log == ["a"]
+        assert sim.pending == 1
+
+    def test_max_events_guard(self):
+        sim = EventSimulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        processed = sim.run(max_events=100)
+        assert processed == 100
+
+    def test_negative_delay_rejected(self):
+        sim = EventSimulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(2.0, lambda: sim.schedule_at(5.0, lambda: log.append(sim.now)))
+        sim.run()
+        assert log == [5.0]
+
+    def test_step_single_event(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(2.0, lambda: log.append(2))
+        assert sim.step()
+        assert log == [1]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_deterministic_counts(self):
+        sim = EventSimulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run() == 10
+        assert sim.events_processed == 10

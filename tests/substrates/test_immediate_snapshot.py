@@ -1,0 +1,110 @@
+"""The one-shot immediate snapshot object (Borowsky–Gafni, item 5's root)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.substrates.sharedmem import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    SharedMemory,
+    SharedMemorySystem,
+)
+from repro.substrates.sharedmem.immediate_snapshot import (
+    ImmediateSnapshotViolation,
+    check_immediate_snapshot,
+    immediate_snapshot_program,
+)
+
+
+def run(n, scheduler, crash_after=None):
+    values = {pid: f"v{pid}" for pid in range(n)}
+    out = {}
+    system = SharedMemorySystem(
+        SharedMemory(n),
+        [immediate_snapshot_program(values[pid], out) for pid in range(n)],
+        scheduler,
+        crash_after=crash_after,
+    )
+    result = system.run()
+    return values, out, result
+
+
+class TestImmediateSnapshot:
+    def test_properties_hold_under_random_schedules(self):
+        for seed in range(100):
+            values, out, result = run(5, RandomScheduler(random.Random(seed)))
+            assert set(out) == set(range(5))
+            check_immediate_snapshot(out, values)
+
+    def test_wait_free_with_crashes(self):
+        rng = random.Random(1)
+        for seed in range(80):
+            n = rng.randint(2, 6)
+            crash = {
+                pid: rng.randint(0, 20)
+                for pid in range(n)
+                if rng.random() < 0.3
+            }
+            values, out, result = run(
+                n, RandomScheduler(random.Random(seed)), crash_after=crash
+            )
+            for pid in range(n):
+                if pid not in result.crashed:
+                    assert pid in out
+            check_immediate_snapshot(out, values)
+
+    def test_sequential_schedule_gives_staircase(self):
+        # Solo-first execution: p0 sees {0}, p1 sees {0,1}, p2 sees all.
+        values, out, _ = run(
+            3, ScriptedScheduler([0] * 50 + [1] * 50 + [2] * 50)
+        )
+        assert sorted(out[0]) == [0]
+        assert sorted(out[1]) == [0, 1]
+        assert sorted(out[2]) == [0, 1, 2]
+
+    def test_simultaneous_schedule_gives_full_views(self):
+        # Perfectly interleaved round-robin: everyone lands at level n
+        # together and sees everyone.
+        values, out, _ = run(3, RoundRobinScheduler())
+        assert all(sorted(view) == [0, 1, 2] for view in out.values())
+
+    def test_solo_process(self):
+        values, out, _ = run(1, RoundRobinScheduler())
+        assert sorted(out[0]) == [0]
+
+
+class TestChecker:
+    def test_rejects_missing_self(self):
+        with pytest.raises(ImmediateSnapshotViolation):
+            check_immediate_snapshot({0: {1: "v1"}}, {0: "v0", 1: "v1"})
+
+    def test_rejects_incomparable_views(self):
+        views = {0: {0: "v0"}, 1: {1: "v1"}}
+        with pytest.raises(ImmediateSnapshotViolation):
+            check_immediate_snapshot(views, {0: "v0", 1: "v1"})
+
+    def test_rejects_immediacy_violation(self):
+        # p0 sees p1 but p1's view is bigger than p0's — and comparable the
+        # wrong way is fine; craft: p1 sees {0,1,2}, p0 sees {0,1}: p0 sees
+        # p1 without containing p1's view.
+        views = {
+            0: {0: "v0", 1: "v1"},
+            1: {0: "v0", 1: "v1", 2: "v2"},
+            2: {0: "v0", 1: "v1", 2: "v2"},
+        }
+        with pytest.raises(ImmediateSnapshotViolation):
+            check_immediate_snapshot(views, {0: "v0", 1: "v1", 2: "v2"})
+
+    def test_rejects_wrong_values(self):
+        with pytest.raises(ImmediateSnapshotViolation):
+            check_immediate_snapshot({0: {0: "WRONG"}}, {0: "v0"})
+
+
+@settings(max_examples=80, deadline=None)
+@given(n=st.integers(1, 6), seed=st.integers(0, 2**31))
+def test_property_immediate_snapshot(n, seed):
+    values, out, _ = run(n, RandomScheduler(random.Random(seed)))
+    check_immediate_snapshot(out, values)

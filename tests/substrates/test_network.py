@@ -1,0 +1,144 @@
+"""Unit tests for the asynchronous message-passing network."""
+
+import random
+
+import pytest
+
+from repro.substrates.events import EventSimulator
+from repro.substrates.messaging.network import (
+    AdversarialDelays,
+    AsyncNetwork,
+    Node,
+    UniformDelays,
+)
+
+
+class Recorder(Node):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+        self.started = False
+
+    def on_start(self):
+        self.started = True
+
+    def on_message(self, src, payload):
+        self.received.append((src, payload))
+
+
+def build(n, *, delays=None, fifo=True):
+    sim = EventSimulator()
+    nodes = [Recorder(pid) for pid in range(n)]
+    net = AsyncNetwork(nodes, sim, delays=delays or UniformDelays(random.Random(0)), fifo=fifo)
+    return sim, nodes, net
+
+
+class TestDelivery:
+    def test_point_to_point(self):
+        sim, nodes, net = build(2)
+        net.send(0, 1, "hello")
+        sim.run()
+        assert nodes[1].received == [(0, "hello")]
+
+    def test_broadcast_includes_self_immediately(self):
+        sim, nodes, net = build(3)
+        nodes[0].broadcast("m")
+        # self-delivery happens synchronously, before the event loop runs
+        assert (0, "m") in nodes[0].received
+        sim.run()
+        assert all((0, "m") in node.received for node in nodes)
+
+    def test_broadcast_exclude_self(self):
+        sim, nodes, net = build(3)
+        nodes[0].broadcast("m", include_self=False)
+        sim.run()
+        assert nodes[0].received == []
+
+    def test_fifo_preserves_per_channel_order(self):
+        # Adversarial delays that would reorder without FIFO clamping.
+        delays = AdversarialDelays(default=1.0)
+        sim, nodes, net = build(2, delays=delays)
+        delays.table[(0, 1)] = 10.0
+        net.send(0, 1, "first")
+        delays.table[(0, 1)] = 1.0
+        net.send(0, 1, "second")
+        sim.run()
+        assert [p for _, p in nodes[1].received] == ["first", "second"]
+
+    def test_non_fifo_can_reorder(self):
+        delays = AdversarialDelays(default=1.0)
+        sim, nodes, net = build(2, delays=delays, fifo=False)
+        delays.table[(0, 1)] = 10.0
+        net.send(0, 1, "first")
+        delays.table[(0, 1)] = 1.0
+        net.send(0, 1, "second")
+        sim.run()
+        assert [p for _, p in nodes[1].received] == ["second", "first"]
+
+    def test_start_invokes_on_start(self):
+        sim, nodes, net = build(3)
+        net.run()
+        assert all(node.started for node in nodes)
+
+
+class TestCrash:
+    def test_crashed_sender_sends_nothing(self):
+        sim, nodes, net = build(2)
+        net.crash(0, 0.0)
+        sim.run(until=1.0)
+        net.send(0, 1, "late")
+        sim.run()
+        assert nodes[1].received == []
+        assert net.stats.messages_dropped_crash == 1
+
+    def test_crashed_receiver_drops_delivery(self):
+        sim, nodes, net = build(2)
+        net.send(0, 1, "m")
+        net.crash(1, 0.0)
+        sim.run()
+        assert nodes[1].received == []
+
+    def test_messages_in_flight_from_crasher_still_delivered(self):
+        delays = AdversarialDelays(default=5.0)
+        sim, nodes, net = build(2, delays=delays)
+        net.send(0, 1, "in-flight")
+        net.crash(0, 1.0)  # crashes after sending
+        sim.run()
+        assert nodes[1].received == [(0, "in-flight")]
+
+    def test_earliest_crash_time_wins(self):
+        sim, nodes, net = build(2)
+        net.crash(0, 5.0)
+        net.crash(0, 2.0)
+        assert net.crashed_at[0] == 2.0
+
+    def test_correct_set(self):
+        sim, nodes, net = build(3)
+        net.crash(1, 10.0)
+        assert net.correct == frozenset({0, 2})
+
+
+class TestStats:
+    def test_counters(self):
+        sim, nodes, net = build(3)
+        nodes[0].broadcast("m")
+        sim.run()
+        assert net.stats.messages_sent == 3
+        assert net.stats.messages_delivered == 3
+
+
+class TestDelayModels:
+    def test_uniform_bounds(self):
+        model = UniformDelays(random.Random(1), low=0.5, high=2.0)
+        for _ in range(100):
+            latency = model.latency(0, 1, 0.0)
+            assert 0.5 <= latency <= 2.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformDelays(random.Random(0), low=0, high=1)
+
+    def test_adversarial_table_and_default(self):
+        model = AdversarialDelays({(0, 1): 9.0}, default=2.0)
+        assert model.latency(0, 1, 0.0) == 9.0
+        assert model.latency(1, 0, 0.0) == 2.0

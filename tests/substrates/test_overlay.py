@@ -1,0 +1,120 @@
+"""The round overlay (item 3): communication-closedness over async MP."""
+
+import pytest
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.protocols.kset import kset_protocol
+from repro.substrates.messaging import run_round_overlay
+from repro.substrates.messaging.rounds import RoundOverlayNode
+
+
+def fi_protocol():
+    return make_protocol(FullInformationProcess)
+
+
+class TestOverlay:
+    def test_failure_free_all_rounds_complete(self):
+        res = run_round_overlay(
+            fi_protocol(), list(range(5)), f=2, max_rounds=4, seed=1,
+            stop_on_decision=False,
+        )
+        assert all(res.rounds_completed(pid) == 4 for pid in range(5))
+        assert res.suspicion_bound_respected()
+
+    def test_late_messages_are_discarded(self):
+        res = run_round_overlay(
+            fi_protocol(), list(range(6)), f=2, max_rounds=6, seed=3,
+            stop_on_decision=False,
+        )
+        # with f=2 a process may advance before slow peers; their round-r
+        # messages then arrive late and are dropped
+        assert res.total_late_discarded > 0
+
+    def test_f_zero_never_suspects(self):
+        res = run_round_overlay(
+            fi_protocol(), list(range(4)), f=0, max_rounds=3, seed=2,
+            stop_on_decision=False,
+        )
+        for node in res.nodes:
+            for view in node.views:
+                assert view.suspected == frozenset()
+
+    def test_correct_processes_finish_despite_f_crashes(self):
+        res = run_round_overlay(
+            fi_protocol(), list(range(5)), f=2, max_rounds=5, seed=4,
+            crash_times={0: 3.0, 2: 8.0}, stop_on_decision=False,
+        )
+        for pid in range(5):
+            if pid not in res.crashed:
+                assert res.rounds_completed(pid) == 5
+        assert res.suspicion_bound_respected()
+
+    def test_more_crashes_than_f_rejected(self):
+        with pytest.raises(ValueError):
+            run_round_overlay(
+                fi_protocol(), list(range(4)), f=1, max_rounds=2,
+                crash_times={0: 1.0, 1: 1.0},
+            )
+
+    def test_too_many_crashes_block_progress(self):
+        # The model's own prediction: with > f actual crash-like silences the
+        # overlay cannot gather n - f messages and stalls.  We emulate by
+        # crashing 2 processes while telling the overlay f=2 but requiring
+        # n - f = 4 messages among only 3 alive senders... i.e. crash 3 with
+        # f raised artificially via direct node construction.
+        from repro.substrates.events import EventSimulator
+        from repro.substrates.messaging.network import AsyncNetwork
+
+        n = 5
+        sim = EventSimulator()
+        nodes = [
+            RoundOverlayNode(
+                pid, n, 1, FullInformationProcess(pid, n, pid), max_rounds=4
+            )
+            for pid in range(n)
+        ]
+        net = AsyncNetwork(nodes, sim)
+        for pid in (0, 1):  # two crashes, model tolerates one
+            net.crash(pid, 0.0)
+        net.run(max_events=50_000)
+        # nobody can finish round 1..4: only 3 senders < n - f = 4
+        assert all(node.current_round <= 4 for node in nodes)
+        assert all(len(node.views) < 4 for node in nodes)
+
+    def test_eq3_by_construction(self):
+        for seed in range(20):
+            res = run_round_overlay(
+                fi_protocol(), list(range(6)), f=3, max_rounds=4, seed=seed,
+                stop_on_decision=False,
+            )
+            assert res.suspicion_bound_respected()
+
+    def test_kset_decides_on_overlay(self):
+        # Theorem 3.1's algorithm needs the k-set detector, which the plain
+        # overlay does not guarantee — but it must still *terminate* here
+        # and produce inputs as outputs (validity); agreement is exercised
+        # under the proper detector elsewhere.
+        res = run_round_overlay(
+            kset_protocol(), list(range(5)), f=1, max_rounds=1, seed=5
+        )
+        assert all(d in range(5) for d in res.decisions)
+
+    def test_views_are_well_formed(self):
+        res = run_round_overlay(
+            fi_protocol(), list(range(4)), f=1, max_rounds=3, seed=6,
+            stop_on_decision=False,
+        )
+        for node in res.nodes:
+            for r, view in enumerate(node.views, start=1):
+                assert view.round == r
+                assert view.heard | view.suspected == frozenset(range(4))
+                assert node.pid in view.heard  # self-delivery is immediate
+
+    def test_emissions_recorded_per_round(self):
+        res = run_round_overlay(
+            fi_protocol(), list(range(3)), f=1, max_rounds=3, seed=7,
+            stop_on_decision=False,
+        )
+        for node in res.nodes:
+            assert set(node.emissions) == {1, 2, 3}
+            assert node.emissions[1] == ("input", node.pid)

@@ -1,0 +1,66 @@
+"""RRFD rounds over the atomic-snapshot primitive (item 5, Corollary 3.2)."""
+
+import random
+
+import pytest
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.protocols.kset import kset_protocol
+from repro.substrates.sharedmem import ScriptedScheduler, run_scan_rounds
+
+
+def fi():
+    return make_protocol(FullInformationProcess)
+
+
+class TestScanRounds:
+    def test_snapshot_predicate_holds(self):
+        for seed in range(40):
+            res = run_scan_rounds(fi(), list(range(5)), 2, max_rounds=3,
+                                  seed=seed, stop_on_decision=False)
+            assert res.snapshot_predicate_holds()
+
+    def test_kset_detector_with_k_minus_1_failures(self):
+        for seed in range(40):
+            n, k = 6, 3
+            res = run_scan_rounds(fi(), list(range(n)), k - 1, max_rounds=2,
+                                  seed=seed, stop_on_decision=False)
+            assert res.kset_detector_holds(k)
+
+    def test_corollary_32_end_to_end(self):
+        # One-round k-set agreement on snapshot shared memory, ≤ k−1 crashes.
+        for seed in range(60):
+            n, k = 7, 3
+            rng = random.Random(seed)
+            crash = {
+                pid: rng.randint(0, 15)
+                for pid in rng.sample(range(n), rng.randint(0, k - 1))
+            }
+            res = run_scan_rounds(kset_protocol(), list(range(n)), k - 1,
+                                  max_rounds=1, seed=seed, crash_after=crash)
+            decided = {v for v in res.decisions if v is not None}
+            assert len(decided) <= k
+            assert decided <= set(range(n))
+            for pid in range(n):
+                if pid not in res.crashed:
+                    assert res.decisions[pid] is not None
+
+    def test_sequential_schedule_gives_clean_chain(self):
+        n = 3
+        script = [0] * 10 + [1] * 10 + [2] * 10
+        res = run_scan_rounds(fi(), list(range(n)), 2, max_rounds=1,
+                              scheduler=ScriptedScheduler(script),
+                              stop_on_decision=False)
+        rows = res.d_rows(1)
+        # p0 ran solo and saw only itself; p2 ran last and saw everyone
+        assert rows[0] == frozenset({1, 2})
+        assert rows[2] == frozenset()
+
+    def test_crash_budget_validation(self):
+        with pytest.raises(ValueError):
+            run_scan_rounds(fi(), list(range(4)), 1, max_rounds=1,
+                            crash_after={0: 1, 1: 1})
+
+    def test_f_bounds_validation(self):
+        with pytest.raises(ValueError):
+            run_scan_rounds(fi(), list(range(4)), 4, max_rounds=1)

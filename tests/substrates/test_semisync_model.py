@@ -1,0 +1,109 @@
+"""The semi-synchronous DDS model: atomic steps, immediate broadcast."""
+
+import random
+
+import pytest
+
+from repro.substrates.semisync.model import (
+    RandomStepSchedule,
+    ScriptedStepSchedule,
+    SemiSyncSystem,
+    StepProcess,
+)
+
+
+class Chatter(StepProcess):
+    """Broadcasts a numbered message each step; decides after `talk` steps."""
+
+    def __init__(self, pid, n, input_value, *, talk=3):
+        super().__init__(pid, n, input_value)
+        self.talk = talk
+        self.inbox = []
+
+    def step(self, received):
+        self.inbox.extend(received)
+        count = self.steps_executed  # steps before this one
+        if count + 1 >= self.talk and not self.decided:
+            self.decide(("done", self.pid))
+        return (self.pid, count)
+
+
+class Silent(StepProcess):
+    def __init__(self, pid, n, input_value, *, steps=2):
+        super().__init__(pid, n, input_value)
+        self.steps = steps
+        self.inbox = []
+
+    def step(self, received):
+        self.inbox.extend(received)
+        if self.steps_executed + 1 >= self.steps:
+            self.decide("quiet")
+        return None
+
+
+class TestSemiSyncSystem:
+    def test_broadcast_reaches_all_before_their_next_step(self):
+        procs = [Chatter(pid, 3, pid) for pid in range(3)]
+        system = SemiSyncSystem(procs, ScriptedStepSchedule([0, 1, 2, 0, 1, 2, 0, 1, 2]))
+        system.run()
+        # p1's first step happens right after p0's broadcast: must include it
+        assert (0, (0, 0)) in procs[1].inbox
+
+    def test_silent_step_sends_nothing(self):
+        procs = [Silent(0, 2, 0), Chatter(1, 2, 1)]
+        system = SemiSyncSystem(procs, ScriptedStepSchedule([0, 1, 0, 1, 1]))
+        system.run()
+        assert all(src != 0 for src, _ in procs[1].inbox)
+
+    def test_no_self_delivery(self):
+        procs = [Chatter(pid, 2, pid) for pid in range(2)]
+        SemiSyncSystem(procs, ScriptedStepSchedule([0, 1] * 3)).run()
+        assert all(src != 0 for src, _ in procs[0].inbox)
+
+    def test_crash_after_steps(self):
+        procs = [Chatter(pid, 2, pid, talk=10) for pid in range(2)]
+        system = SemiSyncSystem(
+            procs, ScriptedStepSchedule([0, 1] * 30), crash_after={0: 2}
+        )
+        result = system.run(max_steps=50)
+        assert procs[0].steps_executed == 2
+        assert 0 in result.crashed
+
+    def test_decided_processes_stop_stepping(self):
+        procs = [Chatter(pid, 2, pid, talk=1) for pid in range(2)]
+        result = SemiSyncSystem(procs, RandomStepSchedule(random.Random(0))).run()
+        assert all(p.steps_executed == 1 for p in procs)
+        assert result.total_steps == 2
+
+    def test_decide_none_rejected(self):
+        proc = Chatter(0, 1, 0)
+        with pytest.raises(ValueError):
+            proc.decide(None)
+
+    def test_conflicting_decision_rejected(self):
+        proc = Chatter(0, 1, 0)
+        proc.decide("a")
+        with pytest.raises(RuntimeError):
+            proc.decide("b")
+
+    def test_buffers_drain_once(self):
+        procs = [Chatter(pid, 2, pid, talk=5) for pid in range(2)]
+        SemiSyncSystem(procs, ScriptedStepSchedule([0, 1, 1, 1, 1, 0, 0, 0, 0, 1])).run()
+        # p1's later steps (with no new p0 broadcasts) receive nothing again:
+        # total p0-messages received == number of p0 broadcasts
+        p0_msgs = [m for m in procs[1].inbox if m[0] == 0]
+        assert len(p0_msgs) == len(set(p0_msgs))
+
+    def test_max_steps_guard(self):
+        procs = [Chatter(pid, 2, pid, talk=10**9) for pid in range(2)]
+        result = SemiSyncSystem(procs, RandomStepSchedule(random.Random(1))).run(
+            max_steps=77
+        )
+        assert result.total_steps == 77
+
+    def test_steps_of_reporting(self):
+        procs = [Chatter(0, 2, 0, talk=2), Chatter(1, 2, 1, talk=4)]
+        result = SemiSyncSystem(procs, ScriptedStepSchedule([0, 1] * 10)).run()
+        assert result.steps_of(0) == 2
+        assert result.steps_of(1) == 4
+        assert result.max_steps_to_decide() == 4

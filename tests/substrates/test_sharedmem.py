@@ -1,0 +1,197 @@
+"""The shared-memory substrate: registers, scheduler, k-set objects."""
+
+import random
+
+import pytest
+
+from repro.substrates.sharedmem.memory import (
+    KSetConsensusObject,
+    MemoryError_,
+    SharedMemory,
+)
+from repro.substrates.sharedmem.ops import KSetPropose, Read, Scan, Write
+from repro.substrates.sharedmem.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    SharedMemorySystem,
+)
+
+
+class TestSharedMemory:
+    def test_write_then_read(self):
+        mem = SharedMemory(2)
+        mem.apply(0, Write("cell", 42))
+        assert mem.apply(1, Read(0, "cell")) == 42
+
+    def test_unwritten_reads_none(self):
+        mem = SharedMemory(2)
+        assert mem.apply(0, Read(1, "cell")) is None
+
+    def test_swmr_namespaces_by_owner(self):
+        mem = SharedMemory(2)
+        mem.apply(0, Write("c", "zero"))
+        mem.apply(1, Write("c", "one"))
+        assert mem.apply(0, Read(0, "c")) == "zero"
+        assert mem.apply(0, Read(1, "c")) == "one"
+
+    def test_scan_requires_capability(self):
+        mem = SharedMemory(2)
+        with pytest.raises(MemoryError_):
+            mem.apply(0, Scan("c"))
+
+    def test_atomic_scan(self):
+        mem = SharedMemory(3, atomic_scan=True)
+        mem.apply(0, Write("c", "a"))
+        mem.apply(2, Write("c", "b"))
+        assert mem.apply(1, Scan("c")) == ("a", None, "b")
+
+    def test_read_unknown_owner(self):
+        mem = SharedMemory(2)
+        with pytest.raises(MemoryError_):
+            mem.apply(0, Read(5, "c"))
+
+    def test_audit_history_records_states(self):
+        mem = SharedMemory(2, audit_arrays=("c",))
+        mem.apply(0, Write("c", 1))
+        mem.apply(1, Write("c", 2))
+        states = [state for _, state in mem.history["c"]]
+        assert states == [(1, None), (1, 2)]
+
+    def test_op_records(self):
+        mem = SharedMemory(1)
+        mem.apply(0, Write("c", 9))
+        mem.apply(0, Read(0, "c"))
+        assert [rec.result for rec in mem.records] == [None, 9]
+
+
+class TestKSetConsensusObject:
+    def test_at_most_k_distinct_outputs(self):
+        rng = random.Random(0)
+        for trial in range(100):
+            k = rng.randint(1, 4)
+            obj = KSetConsensusObject(k, rng=random.Random(trial))
+            outputs = {obj.propose(i) for i in range(10)}
+            assert len(outputs) <= k
+
+    def test_validity_first_proposal_always_anchor(self):
+        obj = KSetConsensusObject(2, rng=random.Random(1))
+        out = obj.propose("a")
+        assert out == "a"
+        for value in "bcdef":
+            assert obj.propose(value) in ("a", "b")
+
+    def test_deterministic_mode_returns_first(self):
+        obj = KSetConsensusObject(3)
+        obj.propose("x")
+        assert obj.propose("y") == "x"
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KSetConsensusObject(0)
+
+    def test_propose_via_memory_op(self):
+        mem = SharedMemory(2, kset_objects={"o": KSetConsensusObject(1)})
+        assert mem.apply(0, KSetPropose("o", "v")) == "v"
+        assert mem.apply(1, KSetPropose("o", "w")) == "v"
+
+    def test_unknown_object(self):
+        mem = SharedMemory(1)
+        with pytest.raises(MemoryError_):
+            mem.apply(0, KSetPropose("missing", 1))
+
+
+def writer_reader(value):
+    def program(pid, n):
+        yield Write("c", value)
+        seen = []
+        for owner in range(n):
+            cell = yield Read(owner, "c")
+            seen.append(cell)
+        return seen
+
+    return program
+
+
+class TestSharedMemorySystem:
+    def test_all_programs_finish(self):
+        mem = SharedMemory(3)
+        system = SharedMemorySystem(
+            mem, [writer_reader(i) for i in range(3)], RandomScheduler(random.Random(0))
+        )
+        result = system.run()
+        assert result.finished == frozenset({0, 1, 2})
+        # Every process sees at least its own value.
+        for pid in range(3):
+            assert result.outputs[pid][pid] == pid
+
+    def test_round_robin_schedule_sees_everything(self):
+        mem = SharedMemory(2)
+        system = SharedMemorySystem(
+            mem, [writer_reader(i) for i in range(2)], RoundRobinScheduler()
+        )
+        result = system.run()
+        assert result.outputs[0] == [0, 1]
+        assert result.outputs[1] == [0, 1]
+
+    def test_scripted_solo_run(self):
+        # p0 completes before p1 starts: p0 sees only itself.
+        mem = SharedMemory(2)
+        system = SharedMemorySystem(
+            mem,
+            [writer_reader(i) for i in range(2)],
+            ScriptedScheduler([0, 0, 0, 1, 1, 1]),
+        )
+        result = system.run()
+        assert result.outputs[0] == [0, None]
+        assert result.outputs[1] == [0, 1]
+
+    def test_crash_after_k_steps(self):
+        mem = SharedMemory(2)
+        system = SharedMemorySystem(
+            mem,
+            [writer_reader(i) for i in range(2)],
+            RoundRobinScheduler(),
+            crash_after={0: 1},  # p0 writes, then crashes
+        )
+        result = system.run()
+        assert 0 in result.crashed
+        assert result.outputs[1] == [0, 1]  # its write survives
+
+    def test_crash_before_first_step(self):
+        mem = SharedMemory(2)
+        system = SharedMemorySystem(
+            mem,
+            [writer_reader(i) for i in range(2)],
+            RoundRobinScheduler(),
+            crash_after={0: 0},
+        )
+        result = system.run()
+        assert result.outputs[1] == [None, 1]
+
+    def test_steps_accounting(self):
+        mem = SharedMemory(2)
+        system = SharedMemorySystem(
+            mem, [writer_reader(i) for i in range(2)], RoundRobinScheduler()
+        )
+        result = system.run()
+        assert result.steps_taken == [3, 3]  # 1 write + 2 reads each
+        # scheduler activations: 6 operations + 2 completion resumes
+        assert result.total_steps == 8
+
+    def test_program_count_mismatch(self):
+        with pytest.raises(ValueError):
+            SharedMemorySystem(
+                SharedMemory(3), [writer_reader(0)], RoundRobinScheduler()
+            )
+
+    def test_max_steps_guard(self):
+        def spinner(pid, n):
+            while True:
+                yield Read(0, "c")
+
+        mem = SharedMemory(1)
+        system = SharedMemorySystem(mem, [spinner], RoundRobinScheduler())
+        result = system.run(max_steps=500)
+        assert result.total_steps == 500
+        assert result.finished == frozenset()

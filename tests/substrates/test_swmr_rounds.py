@@ -1,0 +1,90 @@
+"""Item 4's write-then-read-until-fresh rounds over SWMR registers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.protocols.kset import kset_protocol
+from repro.substrates.sharedmem import ScriptedScheduler, run_swmr_rounds
+
+
+def fi():
+    return make_protocol(FullInformationProcess)
+
+
+class TestSWMRRounds:
+    def test_eq3_and_eq4_hold(self):
+        for seed in range(40):
+            res = run_swmr_rounds(fi(), list(range(5)), 2, max_rounds=3,
+                                  seed=seed, stop_on_decision=False)
+            assert res.eq3_holds()
+            assert res.eq4_holds()
+            assert res.max_completed_round() == 3
+
+    def test_first_writer_heard_by_all(self):
+        # The paper's argument for eq.(4): the first process to write a
+        # round-r value is read by all — equivalently, per round some
+        # process is in nobody's suspicion set.
+        for seed in range(40):
+            res = run_swmr_rounds(fi(), list(range(5)), 2, max_rounds=2,
+                                  seed=seed, stop_on_decision=False)
+            for r in (1, 2):
+                rows = res.d_rows(r)
+                union = frozenset()
+                for suspected in rows.values():
+                    union |= suspected
+                assert len(union) < 5, (seed, r)
+
+    def test_crashes_do_not_block_within_budget(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            crash = {pid: rng.randint(0, 40) for pid in rng.sample(range(5), 2)}
+            res = run_swmr_rounds(fi(), list(range(5)), 2, max_rounds=3,
+                                  seed=seed, crash_after=crash,
+                                  stop_on_decision=False, max_steps=500_000)
+            for pid in range(5):
+                if pid not in res.crashed:
+                    assert len(res.views[pid]) == 3, (seed, pid)
+
+    def test_too_many_crashes_rejected(self):
+        with pytest.raises(ValueError):
+            run_swmr_rounds(fi(), list(range(4)), 1, max_rounds=1,
+                            crash_after={0: 0, 1: 0})
+
+    def test_invalid_f_rejected(self):
+        with pytest.raises(ValueError):
+            run_swmr_rounds(fi(), list(range(4)), 4, max_rounds=1)
+
+    def test_solo_first_schedule_sees_self_only(self):
+        script = [0] * 40 + [1] * 40 + [2] * 40
+        res = run_swmr_rounds(fi(), list(range(3)), 2, max_rounds=1,
+                              scheduler=ScriptedScheduler(script),
+                              stop_on_decision=False, shuffle_reads=False)
+        rows = res.d_rows(1)
+        assert rows[0] == frozenset({1, 2})
+        assert rows[2] == frozenset()
+
+    def test_self_always_fresh(self):
+        for seed in range(20):
+            res = run_swmr_rounds(fi(), list(range(4)), 2, max_rounds=2,
+                                  seed=seed, stop_on_decision=False)
+            for pid in range(4):
+                for view in res.views[pid]:
+                    assert pid in view.heard
+
+    def test_kset_on_swmr_terminates_with_valid_outputs(self):
+        res = run_swmr_rounds(kset_protocol(), list(range(5)), 1, max_rounds=1,
+                              seed=3)
+        assert all(d in range(5) for d in res.decisions)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31), f=st.integers(0, 3))
+def test_property_swmr_rounds_predicates(seed, f):
+    n = 5
+    res = run_swmr_rounds(fi(), list(range(n)), f, max_rounds=2, seed=seed,
+                          stop_on_decision=False)
+    assert res.eq3_holds()
+    assert res.eq4_holds()

@@ -1,0 +1,122 @@
+"""The synchronous substrate (items 1–2): engine + fault injectors."""
+
+import random
+
+import pytest
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.core.predicates import CrashSync, SendOmissionSync
+from repro.protocols.floodset import floodmin_protocol
+from repro.substrates.sync import (
+    CrashScheduleInjector,
+    NoFaults,
+    OmissionInjector,
+    RandomCrashInjector,
+    SynchronousEngine,
+    run_synchronous,
+)
+
+
+def fi_protocol():
+    return make_protocol(FullInformationProcess)
+
+
+class TestEngine:
+    def test_failure_free_round(self):
+        res = run_synchronous(fi_protocol(), [1, 2, 3], None, max_rounds=2,
+                              stop_when_alive_decided=False)
+        assert res.rounds_run == 2
+        for views in res.views:
+            for view in views:
+                assert view.suspected == frozenset()
+                assert len(view.messages) == 3
+
+    def test_crash_mid_round_partial_delivery(self):
+        inj = CrashScheduleInjector(
+            3, 1, {0: 1}, missed_by={0: frozenset({1})}
+        )
+        res = run_synchronous(fi_protocol(), [1, 2, 3], inj, max_rounds=2,
+                              stop_when_alive_decided=False)
+        # round 1: process 1 missed p0's message, process 2 did not
+        assert 0 in res.views[1][0].suspected
+        assert 0 not in res.views[2][0].suspected
+        # round 2: everyone alive suspects the crashed p0
+        assert 0 in res.views[1][1].suspected
+        assert 0 in res.views[2][1].suspected
+        assert res.crashed_at == {0: 1}
+
+    def test_crashed_process_gets_no_views(self):
+        inj = CrashScheduleInjector(3, 1, {0: 1})
+        res = run_synchronous(fi_protocol(), [1, 2, 3], inj, max_rounds=3,
+                              stop_when_alive_decided=False)
+        assert len(res.views[0]) == 1  # it participated in its crash round
+        assert len(res.views[1]) == 3
+
+    def test_derived_history_satisfies_crash_predicate(self):
+        rng = random.Random(0)
+        for trial in range(150):
+            n, f = 6, 3
+            schedule = {
+                pid: rng.randint(1, 4)
+                for pid in rng.sample(range(n), rng.randint(0, f))
+            }
+            inj = CrashScheduleInjector(n, f, schedule, rng=rng)
+            res = run_synchronous(fi_protocol(), list(range(n)), inj,
+                                  max_rounds=4, stop_when_alive_decided=False)
+            assert CrashSync(n, f).allows(res.d_history), (schedule, res.d_history)
+
+    def test_derived_history_satisfies_omission_predicate(self):
+        rng = random.Random(1)
+        for trial in range(150):
+            n, f = 6, 3
+            faulty = frozenset(rng.sample(range(n), rng.randint(0, f)))
+            inj = OmissionInjector(n, f, faulty, rng, drop_prob=0.5)
+            res = run_synchronous(fi_protocol(), list(range(n)), inj,
+                                  max_rounds=4, stop_when_alive_decided=False)
+            assert SendOmissionSync(n, f).allows(res.d_history)
+
+    def test_random_crash_injector_respects_budget(self):
+        rng = random.Random(2)
+        for trial in range(100):
+            inj = RandomCrashInjector(5, 2, rng, crash_prob=0.5)
+            res = run_synchronous(fi_protocol(), list(range(5)), inj,
+                                  max_rounds=5, stop_when_alive_decided=False)
+            assert len(res.crashed_at) <= 2
+            assert CrashSync(5, 2).allows(res.d_history)
+
+    def test_stop_when_alive_decided(self):
+        res = run_synchronous(floodmin_protocol(1, 1), [3, 1, 2], None,
+                              max_rounds=10)
+        assert res.rounds_run == 2  # f+1 rounds then everyone has decided
+
+    def test_injector_n_mismatch(self):
+        with pytest.raises(ValueError):
+            SynchronousEngine(fi_protocol(), [1, 2], NoFaults(3))
+
+
+class TestInjectors:
+    def test_schedule_budget_enforced(self):
+        with pytest.raises(ValueError):
+            CrashScheduleInjector(4, 1, {0: 1, 1: 2})
+
+    def test_omission_faulty_set_bounds(self):
+        with pytest.raises(ValueError):
+            OmissionInjector(4, 1, {0, 1}, random.Random(0))
+        with pytest.raises(ValueError):
+            OmissionInjector(4, 2, {7}, random.Random(0))
+
+    def test_no_faults(self):
+        inj = NoFaults(3)
+        faults = inj.plan_round(1, frozenset({0, 1, 2}))
+        assert not faults.lost and not faults.crashes
+
+    def test_omission_never_crashes(self):
+        inj = OmissionInjector(4, 2, {0, 1}, random.Random(3), drop_prob=1.0)
+        faults = inj.plan_round(1, frozenset(range(4)))
+        assert not faults.crashes
+        assert all(src in (0, 1) for src, _ in faults.lost)
+
+    def test_worst_case_default_missed_by(self):
+        inj = CrashScheduleInjector(3, 1, {1: 1})
+        faults = inj.plan_round(1, frozenset(range(3)))
+        assert faults.lost == frozenset({(1, 0), (1, 2)})
