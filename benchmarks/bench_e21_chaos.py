@@ -1,0 +1,135 @@
+"""E21 — chaos: the reliable round overlay under message-level fault injection.
+
+Expected shape: the plain overlay's contract (reliable channels) breaks under
+any loss, but ack + retransmission restores it — across a drop-rate × f grid
+the reliable overlay reaches decision on *every* seed, the auditor finds zero
+invariant violations (eq. (3) holds on measured suspicions, communication
+closure holds on every delivered payload), and retransmission cost grows with
+the drop rate.  A deliberately under-provisioned run (crashes > f) produces a
+structured stall report instead of hanging or returning partial decisions.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_table
+from repro.core.algorithm import RoundProcess, make_protocol
+from repro.core.audit import StallDetected
+from repro.substrates.messaging.chaos import CrashWindow, FaultPlan, LinkFaults
+from repro.substrates.messaging.reliable import run_reliable_round_overlay
+
+N = 6
+DECIDE_AFTER = 3
+GRID = [(drop, f) for drop in (0.0, 0.1, 0.2, 0.3) for f in (1, 2)]
+
+
+class AsyncFloodMin(RoundProcess):
+    """Flood the minimum for a fixed number of rounds, then decide it."""
+
+    def __init__(self, pid, n, input_value, *, rounds=DECIDE_AFTER):
+        super().__init__(pid, n, input_value)
+        self.value = input_value
+        self.rounds = rounds
+
+    def emit(self, round_number):
+        return self.value
+
+    def absorb(self, view):
+        self.value = min([self.value, *view.messages.values()])
+        if view.round >= self.rounds and not self.decided:
+            self.decide(self.value)
+
+
+def flood_min_protocol():
+    return make_protocol(AsyncFloodMin, name="async-floodmin")
+
+
+def crash_plan(drop: float, crashes: int) -> FaultPlan:
+    return FaultPlan(
+        default=LinkFaults(drop_prob=drop, dup_prob=0.05, jitter=4.0),
+        crashes={pid: [CrashWindow(4.0 * (pid + 1))] for pid in range(crashes)},
+    )
+
+
+def run_cell(drop: float, f: int, samples: int) -> dict:
+    completed = 0
+    retransmissions = 0
+    rounds = 0
+    violations = 0
+    for seed in range(samples):
+        result = run_reliable_round_overlay(
+            flood_min_protocol(), list(range(N)), f,
+            max_rounds=DECIDE_AFTER, seed=seed, plan=crash_plan(drop, f),
+            # above the worst-case RTT (delay ≤ 10 + jitter 4, both ways), so
+            # retransmissions measure actual loss, not impatience
+            base_timeout=30.0,
+        )
+        live = [pid for pid in range(N) if pid not in result.crashed]
+        if all(result.decisions[pid] is not None for pid in live):
+            completed += 1
+        retransmissions += result.total_retransmissions
+        rounds += max(result.rounds_completed(pid) for pid in live)
+        violations += len(result.audit.violations)
+    return {
+        "completed": completed,
+        "runs": samples,
+        "mean_retx": retransmissions / samples,
+        "mean_rounds": rounds / samples,
+        "violations": violations,
+    }
+
+
+@pytest.mark.parametrize("drop,f", GRID)
+def test_e21_reliable_overlay_survives_chaos(benchmark, drop, f):
+    cell = benchmark.pedantic(run_cell, args=(drop, f, 5), rounds=1, iterations=1)
+    assert cell["completed"] == cell["runs"], "reliable overlay must always decide"
+    assert cell["violations"] == 0, "auditor must find no invariant violations"
+
+
+def test_e21_underprovisioned_stalls_structurally():
+    # crashes = f + 1: the model predicts a stall; the watchdog must report
+    # it (who, which round, waiting for whom) instead of hanging or letting
+    # partial decisions pass as results.
+    f = 1
+    with pytest.raises(StallDetected) as excinfo:
+        run_reliable_round_overlay(
+            flood_min_protocol(), list(range(N)), f,
+            max_rounds=DECIDE_AFTER, seed=0, plan=crash_plan(0.1, f + 1),
+            enforce_crash_budget=False,
+        )
+    report = excinfo.value.report
+    assert report.stalled
+    assert report.crashed == frozenset({0, 1})
+    for stalled in report.blocked:
+        assert stalled.need == N - f
+        assert stalled.waiting_for & report.crashed
+
+
+def test_e21_report(benchmark):
+    rows = []
+    for drop, f in GRID:
+        cell = run_cell(drop, f, 5)
+        rows.append([
+            drop, f,
+            f"{cell['completed']}/{cell['runs']}",
+            f"{cell['mean_retx']:.1f}",
+            f"{cell['mean_rounds']:.1f}",
+            cell["violations"],
+        ])
+    try:
+        run_reliable_round_overlay(
+            flood_min_protocol(), list(range(N)), 1,
+            max_rounds=DECIDE_AFTER, seed=0, plan=crash_plan(0.1, 2),
+            enforce_crash_budget=False,
+        )
+        stall_row = "NOT DETECTED (bug)"
+    except StallDetected as exc:
+        blocked = exc.report.blocked
+        stall_row = (f"{len(blocked)} blocked in round "
+                     f"{min(s.round for s in blocked)}")
+    rows.append(["0.1", "1 (2 crashes)", "stall", "—", "—", stall_row])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report_table(
+        "E21 (chaos): reliable overlay vs drop rate × f — completion, cost, audit",
+        ["drop", "f", "completed", "mean retx", "mean rounds", "audit violations"],
+        rows,
+    )

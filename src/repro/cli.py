@@ -9,6 +9,7 @@ Subcommands::
     python -m repro lattice --n 3 --f 1 --k 2   # the submodel matrix
     python -m repro complex --n 3               # one-round protocol complexes
     python -m repro certify --n 3 --f 1 --rounds 1   # lower-bound search
+    python -m repro chaos --n 6 --f 2 --drop 0.2     # overlay under fault injection
 
 All commands are deterministic given ``--seed``.
 """
@@ -23,6 +24,7 @@ from repro.analysis.complexes import consensus_disconnection
 from repro.analysis.enumeration import enumerate_executions
 from repro.analysis.lattice import compute_lattice, standard_catalog
 from repro.analysis.solvability import kset_solvable
+from repro.core.audit import ExecutionAuditor
 from repro.core.detector import RoundByRoundFaultDetector
 from repro.core.predicates import (
     AsyncMessagePassing,
@@ -80,6 +82,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--domain", type=int, default=None,
         help="input domain size (default k+1)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the reliable round overlay under message-level fault injection",
+    )
+    chaos.add_argument("--n", type=int, default=6)
+    chaos.add_argument("--f", type=int, default=2)
+    chaos.add_argument("--rounds", type=int, default=5)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--drop", type=float, default=0.2,
+                       help="per-message drop probability")
+    chaos.add_argument("--dup", type=float, default=0.05,
+                       help="per-message duplication probability")
+    chaos.add_argument("--jitter", type=float, default=5.0,
+                       help="extra uniform latency (reorders messages)")
+    chaos.add_argument("--crashes", type=int, default=0,
+                       help="crash this many processes at staggered times")
+    chaos.add_argument("--recover-after", type=float, default=None,
+                       help="crashed processes come back after this long")
+    chaos.add_argument("--unreliable", action="store_true",
+                       help="plain overlay (no ack/retransmit) — expect a stall")
     return parser
 
 
@@ -158,6 +181,72 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.algorithm import FullInformationProcess, make_protocol
+    from repro.substrates.events import EventSimulator
+    from repro.substrates.messaging.chaos import (
+        ChaosNetwork, CrashWindow, FaultPlan, LinkFaults,
+    )
+    from repro.substrates.messaging.reliable import run_reliable_round_overlay
+    from repro.substrates.messaging.rounds import RoundOverlayNode
+
+    n, f = args.n, args.f
+    faults = LinkFaults(drop_prob=args.drop, dup_prob=args.dup, jitter=args.jitter)
+    crashes = {
+        pid: [CrashWindow(
+            5.0 * (pid + 1),
+            None if args.recover_after is None
+            else 5.0 * (pid + 1) + args.recover_after,
+        )]
+        for pid in range(args.crashes)
+    }
+    plan = FaultPlan(default=faults, crashes=crashes)
+    protocol = make_protocol(FullInformationProcess)
+    inputs = list(range(n))
+
+    if args.unreliable:
+        # The plain overlay has no retransmission; over a lossy network the
+        # expected outcome is a stall, which the watchdog attributes below.
+        sim = EventSimulator()
+        nodes = [
+            RoundOverlayNode(
+                pid, n, f, protocol.spawn(pid, n, inputs[pid]),
+                max_rounds=args.rounds, stop_on_decision=False,
+            )
+            for pid in range(n)
+        ]
+        network = ChaosNetwork(nodes, sim, plan=plan, seed=args.seed)
+        network.run(max_events=500_000)
+        report = ExecutionAuditor(n, f).audit_overlay(nodes, network)
+        retransmissions = 0
+    else:
+        result = run_reliable_round_overlay(
+            protocol, inputs, f,
+            max_rounds=args.rounds, seed=args.seed, plan=plan,
+            stop_on_decision=False, enforce_crash_budget=False,
+            on_stall="report",
+        )
+        network, report = result.network, result.audit
+        retransmissions = result.total_retransmissions
+
+    stats = network.stats
+    overlay = "plain (no retransmit)" if args.unreliable else "reliable (ack+retry)"
+    print(f"overlay:   {overlay}")
+    print(f"plan:      drop={args.drop} dup={args.dup} jitter={args.jitter} "
+          f"crashes={args.crashes}"
+          + (f" recover_after={args.recover_after}" if args.recover_after else ""))
+    print(f"traffic:   sent={stats.messages_sent} delivered={stats.messages_delivered} "
+          f"dropped={stats.messages_dropped_chaos} dup={stats.messages_duplicated} "
+          f"reordered={stats.messages_reordered} retransmitted={retransmissions}")
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  {violation}")
+    if report.stall is not None and report.stall.stalled:
+        print(report.stall)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -166,6 +255,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "lattice": _cmd_lattice,
         "complex": _cmd_complex,
         "certify": _cmd_certify,
+        "chaos": _cmd_chaos,
     }[args.command]
     return handler(args)
 

@@ -9,7 +9,8 @@ Public surface:
 - :mod:`repro.core.adversary` — RRFD strategies (the detector as adversary);
 - :mod:`repro.core.executor` — the round engine;
 - :mod:`repro.core.detector` — predicate + adversary facade;
-- :mod:`repro.core.submodel` — the submodel relation, checked exhaustively.
+- :mod:`repro.core.submodel` — the submodel relation, checked exhaustively;
+- :mod:`repro.core.audit` — invariant auditing and the stall watchdog.
 """
 
 from repro.core.adversary import (
@@ -25,6 +26,14 @@ from repro.core.algorithm import (
     Protocol,
     RoundProcess,
     make_protocol,
+)
+from repro.core.audit import (
+    AuditReport,
+    AuditViolation,
+    ExecutionAuditor,
+    StallDetected,
+    StalledProcess,
+    StallReport,
 )
 from repro.core.detector import RoundByRoundFaultDetector
 from repro.core.executor import RoundExecutor, run_protocol
@@ -117,4 +126,11 @@ __all__ = [
     "implies_exhaustive",
     "refute_by_sampling",
     "check_submodel",
+    # auditing
+    "AuditReport",
+    "AuditViolation",
+    "ExecutionAuditor",
+    "StallDetected",
+    "StalledProcess",
+    "StallReport",
 ]

@@ -1,0 +1,263 @@
+"""Execution auditing: check the RRFD invariants on *measured* runs.
+
+The substrates are supposed to make the paper's guarantees emerge from
+message-level behaviour; this module checks that they actually did, on every
+run, instead of assuming it:
+
+- the RRFD guarantee ``S(i,r) ∪ D(i,r) = S`` (every process heard or
+  suspected, eq. before (1));
+- the async message-passing predicate ``|D(i,r)| ≤ f`` (eq. (3));
+- communication closure (Elrad–Francez, via Damian et al.): a round-``r``
+  view contains only payloads the sender emitted *for round r* — no message
+  crosses a round boundary;
+- round ordering: each process's views are rounds ``1, 2, ...`` in order.
+
+The stall watchdog turns the overlay's failure mode — silent quiescence
+without decisions, exactly what the model predicts when more than ``f``
+processes fall silent — into a structured :class:`StallReport`: who is
+blocked, in which round, holding how many messages, waiting for whom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.types import RoundView, RRFDError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.substrates.messaging.network import AsyncNetwork
+    from repro.substrates.messaging.rounds import RoundOverlayNode
+
+__all__ = [
+    "AuditViolation",
+    "StalledProcess",
+    "StallReport",
+    "StallDetected",
+    "AuditReport",
+    "ExecutionAuditor",
+]
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One broken invariant, attributed to a process and round."""
+
+    kind: str  # "guarantee" | "suspicion-bound" | "communication-closure" | "round-order"
+    pid: int
+    round: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] p{self.pid} r{self.round}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class StalledProcess:
+    """One blocked process: stuck in ``round`` with ``have < need`` messages."""
+
+    pid: int
+    round: int
+    have: int
+    need: int
+    waiting_for: frozenset[int]
+
+    def __str__(self) -> str:
+        waiting = ",".join(f"p{j}" for j in sorted(self.waiting_for))
+        return (
+            f"p{self.pid} blocked in round {self.round}: "
+            f"{self.have}/{self.need} messages, waiting for {{{waiting}}}"
+        )
+
+
+@dataclass
+class StallReport:
+    """Quiescence without completion, decomposed per process."""
+
+    blocked: tuple[StalledProcess, ...]
+    completed: frozenset[int]
+    crashed: frozenset[int]
+
+    @property
+    def stalled(self) -> bool:
+        return bool(self.blocked)
+
+    def __str__(self) -> str:
+        if not self.blocked:
+            return "no stall: every live process completed"
+        lines = [
+            f"STALL: {len(self.blocked)} blocked, "
+            f"{len(self.completed)} completed, {len(self.crashed)} crashed"
+        ]
+        lines.extend(f"  {p}" for p in self.blocked)
+        return "\n".join(lines)
+
+
+class StallDetected(RRFDError):
+    """The execution went quiescent with live, undecided processes."""
+
+    def __init__(self, report: StallReport) -> None:
+        super().__init__(str(report))
+        self.report = report
+
+
+@dataclass
+class AuditReport:
+    """Outcome of auditing one execution."""
+
+    violations: tuple[AuditViolation, ...] = ()
+    stall: StallReport | None = None
+    views_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and (self.stall is None or not self.stall.stalled)
+
+    def summary(self) -> str:
+        stall = "stalled" if self.stall and self.stall.stalled else "no stall"
+        verdict = "OK" if self.ok else ("VIOLATIONS" if self.violations else "STALLED")
+        return (
+            f"audit {verdict}: {self.views_checked} views, "
+            f"{len(self.violations)} violations, {stall}"
+        )
+
+
+class ExecutionAuditor:
+    """Checks RRFD invariants on overlay executions and heartbeat runs.
+
+    One auditor instance is parameterised by the system (``n``, ``f``) and
+    can audit any number of executions of it.
+    """
+
+    def __init__(self, n: int, f: int) -> None:
+        if not 0 <= f < n:
+            raise ValueError(f"need 0 ≤ f < n, got f={f}, n={n}")
+        self.n = n
+        self.f = f
+
+    # ----------------------------------------------------------- view checks
+
+    def check_views(
+        self,
+        pid: int,
+        views: Iterable[RoundView],
+        emissions_of: "list[RoundOverlayNode] | None" = None,
+    ) -> list[AuditViolation]:
+        """Invariant-check one process's view sequence."""
+        everyone = frozenset(range(self.n))
+        violations: list[AuditViolation] = []
+        for index, view in enumerate(views, start=1):
+            if view.round != index:
+                violations.append(AuditViolation(
+                    "round-order", pid, view.round,
+                    f"view #{index} is for round {view.round}",
+                ))
+            covered = view.heard | view.suspected
+            if covered != everyone:
+                missing = sorted(everyone - covered)
+                violations.append(AuditViolation(
+                    "guarantee", pid, view.round,
+                    f"processes {missing} neither heard nor suspected "
+                    "(S(i,r) ∪ D(i,r) ≠ S)",
+                ))
+            if len(view.suspected) > self.f:
+                violations.append(AuditViolation(
+                    "suspicion-bound", pid, view.round,
+                    f"|D(i,r)| = {len(view.suspected)} > f = {self.f}",
+                ))
+            if emissions_of is not None:
+                for src, data in sorted(view.messages.items()):
+                    emitted = emissions_of[src].emissions
+                    if view.round not in emitted:
+                        violations.append(AuditViolation(
+                            "communication-closure", pid, view.round,
+                            f"message from p{src} for a round it never emitted",
+                        ))
+                    elif emitted[view.round] != data:
+                        violations.append(AuditViolation(
+                            "communication-closure", pid, view.round,
+                            f"payload from p{src} differs from its round-"
+                            f"{view.round} emission (cross-round leak?)",
+                        ))
+        return violations
+
+    # -------------------------------------------------------------- overlays
+
+    def audit_overlay(
+        self,
+        nodes: "list[RoundOverlayNode]",
+        network: "AsyncNetwork",
+    ) -> AuditReport:
+        """Audit a quiesced round-overlay execution, stall watchdog included.
+
+        Must be called after the network ran to quiescence (a truncated run
+        should raise :class:`~repro.substrates.events.BudgetExhausted`
+        instead of being audited — partial executions prove nothing).
+        """
+        violations: list[AuditViolation] = []
+        views_checked = 0
+        for node in nodes:
+            violations.extend(self.check_views(node.pid, node.views, nodes))
+            views_checked += len(node.views)
+        return AuditReport(
+            violations=tuple(violations),
+            stall=self.detect_stall(nodes, network),
+            views_checked=views_checked,
+        )
+
+    def detect_stall(
+        self,
+        nodes: "list[RoundOverlayNode]",
+        network: "AsyncNetwork",
+    ) -> StallReport:
+        """The watchdog: any live process that has not halted is blocked.
+
+        At quiescence no further delivery can unblock anyone, so a live
+        node with ``halted == False`` is stuck in ``current_round`` waiting
+        for senders it has not heard from.
+        """
+        everyone = frozenset(range(self.n))
+        crashed = everyone - network.correct
+        blocked: list[StalledProcess] = []
+        completed: set[int] = set()
+        for node in nodes:
+            if node.pid in crashed:
+                continue
+            if node.halted:
+                completed.add(node.pid)
+                continue
+            have = dict(node.buffers.get(node.current_round, {}))
+            blocked.append(StalledProcess(
+                pid=node.pid,
+                round=node.current_round,
+                have=len(have),
+                need=self.n - self.f,
+                waiting_for=everyone - frozenset(have),
+            ))
+        return StallReport(
+            blocked=tuple(blocked),
+            completed=frozenset(completed),
+            crashed=crashed,
+        )
+
+    # -------------------------------------------------------------- heartbeat
+
+    def audit_heartbeat(self, system) -> AuditReport:
+        """Audit a heartbeat run: strong completeness at the horizon.
+
+        Every crashed process must be suspected by every correct process by
+        the time the run stops (chaos can only *help* suspicion — dropped
+        heartbeats look like silence).  Accuracy is eventual and therefore
+        not a per-run invariant; the quality benchmarks measure it instead.
+        """
+        violations: list[AuditViolation] = []
+        correct = system.network.correct
+        crashed = frozenset(range(system.n)) - correct
+        for pid in sorted(correct):
+            missing = crashed - system.nodes[pid].suspected
+            for dead in sorted(missing):
+                violations.append(AuditViolation(
+                    "completeness", pid, 0,
+                    f"crashed p{dead} not suspected by p{pid} at horizon",
+                ))
+        return AuditReport(violations=tuple(violations))

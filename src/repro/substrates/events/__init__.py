@@ -1,9 +1,10 @@
 """Discrete-event simulation kernel underlying all asynchronous substrates."""
 
 from repro.substrates.events.simulator import (
+    BudgetExhausted,
     EventHandle,
     EventSimulator,
     SimulationError,
 )
 
-__all__ = ["EventSimulator", "EventHandle", "SimulationError"]
+__all__ = ["EventSimulator", "EventHandle", "SimulationError", "BudgetExhausted"]

@@ -15,11 +15,19 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["EventSimulator", "EventHandle", "SimulationError"]
+__all__ = ["EventSimulator", "EventHandle", "SimulationError", "BudgetExhausted"]
 
 
 class SimulationError(RuntimeError):
     """The simulation was driven incorrectly (e.g. scheduling in the past)."""
+
+
+class BudgetExhausted(SimulationError):
+    """``run`` stopped on ``max_events`` with work still queued.
+
+    Raised by callers (not by :meth:`EventSimulator.run` itself) that must
+    not let a truncated execution masquerade as a quiescent one.
+    """
 
 
 @dataclass(order=True)
@@ -63,6 +71,7 @@ class EventSimulator:
         self._seq = itertools.count()
         self.now: float = 0.0
         self.events_processed: int = 0
+        self.exhausted: bool = False
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` time units from now."""
@@ -95,11 +104,15 @@ class EventSimulator:
 
         Stops when the queue is empty, simulated time would pass ``until``,
         or ``max_events`` have been processed — whichever comes first.
-        ``max_events`` is the guard rail against non-quiescent protocols.
+        ``max_events`` is the guard rail against non-quiescent protocols;
+        when it fires with runnable events still queued, :attr:`exhausted`
+        is set so callers can distinguish truncation from quiescence.
         """
         processed = 0
+        self.exhausted = False
         while self._queue:
             if max_events is not None and processed >= max_events:
+                self.exhausted = any(not e.cancelled for e in self._queue)
                 break
             event = self._queue[0]
             if event.cancelled:
@@ -118,4 +131,7 @@ class EventSimulator:
 
     def step(self) -> bool:
         """Process exactly one event; return False if the queue was empty."""
-        return self.run(max_events=1) == 1
+        processed = self.run(max_events=1) == 1
+        # Stepping one event is deliberate, not a truncated run.
+        self.exhausted = False
+        return processed

@@ -1,5 +1,13 @@
 """Asynchronous message passing with crash faults (Section 2 item 3)."""
 
+from repro.substrates.messaging.chaos import (
+    ChaosNetwork,
+    ChaosStats,
+    CrashWindow,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
 from repro.substrates.messaging.heartbeat import (
     HeartbeatDetectorNode,
     HeartbeatSystem,
@@ -9,8 +17,14 @@ from repro.substrates.messaging.network import (
     AdversarialDelays,
     AsyncNetwork,
     DelayModel,
+    NetworkStats,
     Node,
     UniformDelays,
+)
+from repro.substrates.messaging.reliable import (
+    ReliableOverlayResult,
+    ReliableRoundOverlayNode,
+    run_reliable_round_overlay,
 )
 from repro.substrates.messaging.rounds import (
     OverlayResult,
@@ -25,8 +39,18 @@ __all__ = [
     "AdversarialDelays",
     "AsyncNetwork",
     "DelayModel",
+    "NetworkStats",
     "Node",
     "UniformDelays",
+    "ChaosNetwork",
+    "ChaosStats",
+    "CrashWindow",
+    "FaultPlan",
+    "LinkFaults",
+    "Partition",
+    "ReliableOverlayResult",
+    "ReliableRoundOverlayNode",
+    "run_reliable_round_overlay",
     "OverlayResult",
     "RoundOverlayNode",
     "run_round_overlay",

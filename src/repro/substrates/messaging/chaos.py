@@ -1,0 +1,285 @@
+"""Fault injection for the messaging substrate: the RRFD adversary made real.
+
+The paper's detector is an *adversary*; at the network layer the only
+executable adversary so far was a clean crash.  This module supplies the
+message-level fault processes from which round-by-round predicates actually
+emerge (cf. Shimi et al.'s derivation of heard-of predicates from message
+behaviours): per-link drop probability, duplication, reorder jitter, delay
+spikes, timed partitions, and crash **with recovery**.
+
+Everything is seed-deterministic: all chaos decisions draw from one
+``random.Random(seed)`` owned by the :class:`ChaosNetwork`, separate from the
+delay model's RNG, so the same seed reproduces the same drops, duplicates and
+spikes event for event (and therefore the same :class:`ChaosStats`).
+
+A plain :class:`~repro.substrates.messaging.rounds.RoundOverlayNode` stalls
+over a lossy link — one dropped round-``r`` message can leave a process short
+of ``n − f`` forever.  The reliable overlay
+(:mod:`repro.substrates.messaging.reliable`) adds ack/retransmit so rounds
+complete anyway, and :mod:`repro.core.audit` measures the emergent suspicion
+sets against the predicate catalog.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.substrates.events.simulator import EventSimulator
+from repro.substrates.messaging.network import (
+    AsyncNetwork,
+    DelayModel,
+    NetworkStats,
+    Node,
+    UniformDelays,
+)
+
+__all__ = [
+    "LinkFaults",
+    "Partition",
+    "CrashWindow",
+    "FaultPlan",
+    "ChaosStats",
+    "ChaosNetwork",
+]
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link fault process: each message independently suffers these.
+
+    Attributes:
+        drop_prob: probability the message is silently lost.
+        dup_prob: probability the message is delivered twice (the duplicate
+            gets its own independent latency, so copies may interleave).
+        jitter: extra latency drawn uniformly from ``[0, jitter]`` — with
+            FIFO clamping disabled this reorders messages on the link.
+        spike_prob: probability of a delay spike.
+        spike: extra latency added on a spike (a transient slow link).
+    """
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    jitter: float = 0.0
+    spike_prob: float = 0.0
+    spike: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "spike_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.jitter < 0 or self.spike < 0:
+            raise ValueError(
+                f"jitter/spike must be ≥ 0, got {self.jitter}, {self.spike}"
+            )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A timed network partition: during ``[start, end)`` messages may only
+    cross between processes in the same group.  Processes listed in no group
+    are isolated for the window."""
+
+    start: float
+    end: float
+    groups: tuple[frozenset[int], ...]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise ValueError(f"need 0 ≤ start < end, got {self.start}, {self.end}")
+        seen: set[int] = set()
+        for group in self.groups:
+            if seen & group:
+                raise ValueError(f"partition groups overlap: {sorted(seen & group)}")
+            seen |= group
+
+    def blocks(self, src: int, dst: int, time: float) -> bool:
+        if not self.start <= time < self.end:
+            return False
+        for group in self.groups:
+            if src in group:
+                return dst not in group
+        return True  # src in no group: isolated
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Process downtime ``(down, up)``: crashed strictly after ``down``,
+    alive again from ``up`` onward.  ``up=None`` is a permanent crash."""
+
+    down: float
+    up: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.up is not None and self.up <= self.down:
+            raise ValueError(f"need up > down, got {self.down}, {self.up}")
+
+    def covers(self, time: float) -> bool:
+        return time > self.down and (self.up is None or time < self.up)
+
+
+@dataclass
+class FaultPlan:
+    """The complete chaos schedule for one execution.
+
+    Attributes:
+        default: faults applied to every link not listed in ``links``.
+        links: per-``(src, dst)`` overrides.
+        partitions: timed partition windows (may overlap).
+        crashes: downtime windows per process; a window with ``up=None`` is
+            the classic permanent crash, one with ``up`` set models
+            crash-recovery (the process misses everything in between — with
+            retransmission the reliable overlay catches it back up).
+    """
+
+    default: LinkFaults = field(default_factory=LinkFaults)
+    links: dict[tuple[int, int], LinkFaults] = field(default_factory=dict)
+    partitions: list[Partition] = field(default_factory=list)
+    crashes: dict[int, list[CrashWindow]] = field(default_factory=dict)
+
+    def faults_for(self, src: int, dst: int) -> LinkFaults:
+        return self.links.get((src, dst), self.default)
+
+    def blocked(self, src: int, dst: int, time: float) -> bool:
+        return any(p.blocks(src, dst, time) for p in self.partitions)
+
+    def permanent_crashes(self) -> frozenset[int]:
+        """Processes with an open-ended (never-recovering) window."""
+        return frozenset(
+            pid
+            for pid, windows in self.crashes.items()
+            if any(w.up is None for w in windows)
+        )
+
+    @classmethod
+    def lossy(cls, drop_prob: float, **kwargs: Any) -> "FaultPlan":
+        """Shorthand for a uniformly lossy network."""
+        return cls(default=LinkFaults(drop_prob=drop_prob, **kwargs))
+
+
+@dataclass
+class ChaosStats(NetworkStats):
+    """Network counters plus one per injected fault kind."""
+
+    messages_dropped_chaos: int = 0
+    messages_duplicated: int = 0
+    messages_reordered: int = 0
+    messages_partition_blocked: int = 0
+    delay_spikes: int = 0
+
+    @property
+    def total_lost(self) -> int:
+        """Messages that never reached their destination's callback."""
+        return (
+            self.messages_dropped_crash
+            + self.messages_dropped_chaos
+            + self.messages_partition_blocked
+        )
+
+
+class ChaosNetwork(AsyncNetwork):
+    """An :class:`AsyncNetwork` whose channels misbehave on schedule.
+
+    The fault pipeline per message, in order: partition check (send time),
+    drop, duplication, then per-copy latency = delay model + jitter + spike.
+    Per-channel FIFO clamping is **disabled** — reordering is the point —
+    and :attr:`ChaosStats.messages_reordered` counts deliveries scheduled
+    earlier than a previously scheduled one on the same channel.
+
+    Crash windows from the plan support recovery: a process in downtime
+    neither sends nor receives, and resumes both once the window closes.
+    ``crash()`` (the base API) still records permanent crashes.
+    """
+
+    def __init__(
+        self,
+        nodes: list[Node],
+        sim: EventSimulator,
+        *,
+        plan: FaultPlan | None = None,
+        seed: int = 0,
+        delays: DelayModel | None = None,
+    ) -> None:
+        super().__init__(
+            nodes,
+            sim,
+            delays=delays or UniformDelays(random.Random(seed ^ 0x5EED)),
+            fifo=False,
+        )
+        self.plan = plan or FaultPlan()
+        self.chaos_rng = random.Random(seed)
+        self.stats: ChaosStats = ChaosStats()
+        self._windows: dict[int, list[CrashWindow]] = {
+            pid: list(windows) for pid, windows in self.plan.crashes.items()
+        }
+        for pid in self._windows:
+            if not 0 <= pid < self.n:
+                raise ValueError(f"crash window for unknown process {pid}")
+        # Keep the base bookkeeping consistent for permanent crashes so
+        # ``correct`` and friends agree with the plan.
+        for pid in self.plan.permanent_crashes():
+            earliest = min(
+                w.down for w in self._windows[pid] if w.up is None
+            )
+            self.crashed_at[pid] = earliest
+
+    # ---------------------------------------------------------------- faults
+
+    def crash(self, pid: int, at_time: float | None = None) -> None:
+        super().crash(pid, at_time)
+        self._windows.setdefault(pid, []).append(
+            CrashWindow(self.crashed_at[pid])
+        )
+
+    def is_crashed(self, pid: int, at_time: float | None = None) -> bool:
+        time = self.sim.now if at_time is None else at_time
+        return any(w.covers(time) for w in self._windows.get(pid, ()))
+
+    @property
+    def correct(self) -> frozenset[int]:
+        """Processes with no *permanent* downtime (recovered ones count)."""
+        down_forever = {
+            pid
+            for pid, windows in self._windows.items()
+            if any(w.up is None for w in windows)
+        }
+        return frozenset(range(self.n)) - down_forever
+
+    # ------------------------------------------------------------- messaging
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        if self.is_crashed(src):
+            self.stats.messages_dropped_crash += 1
+            return
+        self.stats.messages_sent += 1
+        if src == dst:
+            self._deliver(src, dst, payload)
+            return
+        if self.plan.blocked(src, dst, self.sim.now):
+            self.stats.messages_partition_blocked += 1
+            return
+        faults = self.plan.faults_for(src, dst)
+        if faults.drop_prob and self.chaos_rng.random() < faults.drop_prob:
+            self.stats.messages_dropped_chaos += 1
+            return
+        copies = 1
+        if faults.dup_prob and self.chaos_rng.random() < faults.dup_prob:
+            copies = 2
+            self.stats.messages_duplicated += 1
+        for _ in range(copies):
+            latency = self.delays.latency(src, dst, self.sim.now)
+            if faults.jitter:
+                latency += self.chaos_rng.uniform(0.0, faults.jitter)
+            if faults.spike_prob and self.chaos_rng.random() < faults.spike_prob:
+                latency += faults.spike
+                self.stats.delay_spikes += 1
+            delivery_time = self.sim.now + latency
+            last = self._last_delivery.get((src, dst), 0.0)
+            if delivery_time < last:
+                self.stats.messages_reordered += 1
+            self._last_delivery[(src, dst)] = max(last, delivery_time)
+            self.sim.schedule_at(
+                delivery_time, lambda p=payload: self._deliver(src, dst, p)
+            )

@@ -28,7 +28,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.core.audit import AuditReport, ExecutionAuditor
 from repro.substrates.events.simulator import EventSimulator
+from repro.substrates.messaging.chaos import ChaosNetwork, FaultPlan
 from repro.substrates.messaging.network import AsyncNetwork, DelayModel, Node
 
 __all__ = ["PartialSynchronyDelays", "HeartbeatDetectorNode", "HeartbeatSystem"]
@@ -128,22 +130,29 @@ class HeartbeatSystem:
         gst: float = 40.0,
         delta: float = 0.5,
         beat: float = 1.0,
+        plan: FaultPlan | None = None,
     ) -> "HeartbeatSystem":
+        """Build the system; pass a :class:`FaultPlan` to run the detector
+        over a :class:`ChaosNetwork` (lost heartbeats look like silence, so
+        chaos stresses accuracy while completeness survives by design)."""
         sim = EventSimulator()
         nodes = [HeartbeatDetectorNode(pid, n, sim, beat=beat) for pid in range(n)]
-        network = AsyncNetwork(
-            nodes,
-            sim,
-            delays=PartialSynchronyDelays(
-                random.Random(seed), gst=gst, delta=delta
-            ),
-            fifo=False,
-        )
+        delays = PartialSynchronyDelays(random.Random(seed), gst=gst, delta=delta)
+        if plan is not None:
+            network: AsyncNetwork = ChaosNetwork(
+                nodes, sim, plan=plan, seed=seed, delays=delays
+            )
+        else:
+            network = AsyncNetwork(nodes, sim, delays=delays, fifo=False)
         return cls(n=n, sim=sim, network=network, nodes=nodes)
 
     def run(self, until: float, *, max_events: int = 2_000_000) -> None:
         self.network.start()
         self.sim.run(until=until, max_events=max_events)
+
+    def audit(self) -> AuditReport:
+        """Invariant-check the run so far (strong completeness at horizon)."""
+        return ExecutionAuditor(self.n, self.n - 1).audit_heartbeat(self)
 
     def suspected_by(self, pid: int) -> frozenset[int]:
         return frozenset(self.nodes[pid].suspected)

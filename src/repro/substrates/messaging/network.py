@@ -19,7 +19,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any
 
-from repro.substrates.events.simulator import EventSimulator
+from repro.substrates.events.simulator import EventSimulator, SimulationError
 
 __all__ = [
     "DelayModel",
@@ -150,8 +150,18 @@ class AsyncNetwork:
 
     def crash(self, pid: int, at_time: float | None = None) -> None:
         """Crash ``pid`` at ``at_time`` (default: now).  Idempotent-ish:
-        only the earliest crash time is kept."""
+        only the earliest crash time is kept.
+
+        Once the simulation has started delivering events, ``at_time`` must
+        not lie in the past: a retroactive crash could contradict messages
+        already delivered on behalf of the "crashed" process.
+        """
         time = self.sim.now if at_time is None else at_time
+        if self.sim.events_processed > 0 and time < self.sim.now:
+            raise SimulationError(
+                f"cannot crash process {pid} retroactively at t={time} "
+                f"(simulation has already reached t={self.sim.now})"
+            )
         if pid in self.crashed_at:
             self.crashed_at[pid] = min(self.crashed_at[pid], time)
         else:
@@ -203,6 +213,15 @@ class AsyncNetwork:
                 self.sim.schedule(0.0, node.on_start)
 
     def run(self, *, max_events: int | None = 1_000_000) -> int:
-        """Start all nodes and run the simulation to quiescence."""
+        """Start all nodes and run the simulation to quiescence.
+
+        Returns the number of events processed; check :attr:`exhausted`
+        afterwards to tell quiescence from a truncated run.
+        """
         self.start()
         return self.sim.run(max_events=max_events)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the last ``run`` hit ``max_events`` before quiescence."""
+        return self.sim.exhausted

@@ -1,0 +1,253 @@
+"""A reliable round overlay: acks + retransmission over chaotic channels.
+
+The plain overlay (:mod:`repro.substrates.messaging.rounds`) assumes the
+network of Section 2 item 3 — reliable channels, crash faults only.  One
+dropped message breaks that contract and the overlay stalls forever: the
+receiver stays short of ``n − f`` round-``r`` messages and nobody resends.
+
+:class:`ReliableRoundOverlayNode` restores the contract over a
+:class:`~repro.substrates.messaging.chaos.ChaosNetwork` the classical way:
+
+- every round-``r`` broadcast is a ``("data", r, payload)`` message that the
+  receiver explicitly acks with ``("ack", r)``;
+- unacked peers are retransmitted to with exponential backoff, up to a retry
+  cap (so crashed peers cannot keep the execution alive forever);
+- duplicate deliveries (retransmits racing acks, or chaos duplication) are
+  deduplicated by ``(sender, round)`` before they reach the algorithm.
+
+The emergent suspicion sets ``D(i,r)`` are then *measured* — the auditor
+(:class:`repro.core.audit.ExecutionAuditor`) checks them against the
+predicate catalog instead of assuming eq. (3) by construction, and the stall
+watchdog reports structured blame when the fault process exceeds what the
+retry budget can mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.audit import AuditReport, ExecutionAuditor, StallDetected
+from repro.substrates.events.simulator import BudgetExhausted, EventSimulator
+from repro.substrates.messaging.chaos import ChaosNetwork, FaultPlan
+from repro.substrates.messaging.network import DelayModel
+from repro.substrates.messaging.rounds import OverlayResult, RoundOverlayNode
+
+__all__ = [
+    "ReliableRoundOverlayNode",
+    "ReliableOverlayResult",
+    "run_reliable_round_overlay",
+]
+
+
+class ReliableRoundOverlayNode(RoundOverlayNode):
+    """A :class:`RoundOverlayNode` that survives lossy links.
+
+    Args:
+        sim: the event simulator (needed for retransmission timers).
+        base_timeout: wait before the first retransmission of a round.
+        backoff: multiplier applied to the timeout per attempt.
+        max_retries: retransmissions per round per peer before giving up —
+            the cap is what lets executions with crashed peers quiesce.
+
+    A node keeps retransmitting rounds it has already left as long as some
+    peer has not acked them: laggards must still be able to complete old
+    rounds (communication closure cuts *receipt* across rounds, not resend).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        f: int,
+        process: RoundProcess,
+        sim: EventSimulator,
+        *,
+        max_rounds: int,
+        stop_on_decision: bool = True,
+        base_timeout: float = 8.0,
+        backoff: float = 2.0,
+        max_retries: int = 8,
+    ) -> None:
+        super().__init__(
+            pid, n, f, process,
+            max_rounds=max_rounds, stop_on_decision=stop_on_decision,
+        )
+        if base_timeout <= 0 or backoff < 1 or max_retries < 0:
+            raise ValueError(
+                f"need base_timeout > 0, backoff ≥ 1, max_retries ≥ 0; got "
+                f"{base_timeout}, {backoff}, {max_retries}"
+            )
+        self.sim = sim
+        self.base_timeout = base_timeout
+        self.backoff = backoff
+        self.max_retries = max_retries
+        self.retransmissions = 0
+        self.acks_received = 0
+        self.duplicates_ignored = 0
+        self.gave_up_on: dict[int, frozenset[int]] = {}  # round → unacked peers
+        self._unacked: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------- emission
+
+    def _emit_current(self) -> None:
+        payload = self.process.emit(self.current_round)
+        round_number = self.current_round
+        self.emissions[round_number] = payload
+        self._unacked[round_number] = set(range(self.n)) - {self.pid}
+        self.broadcast(("data", round_number, payload))
+        self._schedule_retry(round_number, attempt=1)
+
+    def _schedule_retry(self, round_number: int, attempt: int) -> None:
+        delay = self.base_timeout * (self.backoff ** (attempt - 1))
+        self.sim.schedule(delay, lambda: self._retry(round_number, attempt))
+
+    def _retry(self, round_number: int, attempt: int) -> None:
+        pending = self._unacked.get(round_number)
+        if not pending:
+            self._unacked.pop(round_number, None)
+            return
+        if attempt > self.max_retries:
+            # Peers that never acked are presumed crashed; stop paying for
+            # them so the execution can quiesce.
+            self.gave_up_on[round_number] = frozenset(pending)
+            del self._unacked[round_number]
+            return
+        payload = ("data", round_number, self.emissions[round_number])
+        for dst in sorted(pending):
+            self.send(dst, payload)
+            self.retransmissions += 1
+        self._schedule_retry(round_number, attempt + 1)
+
+    # ------------------------------------------------------------- reception
+
+    def on_message(self, src: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "ack":
+            self.acks_received += 1
+            pending = self._unacked.get(payload[1])
+            if pending is not None:
+                pending.discard(src)
+            return
+        _, round_number, data = payload
+        if src != self.pid:
+            # Ack every data delivery, duplicates included — the previous
+            # ack may itself have been lost.
+            self.send(src, ("ack", round_number))
+        if self.halted:
+            return
+        if round_number < self.current_round:
+            self.late_discarded += 1
+            return
+        buffer = self.buffers.setdefault(round_number, {})
+        if src in buffer:
+            self.duplicates_ignored += 1
+            return
+        buffer[src] = data
+        self._try_advance()
+
+
+@dataclass
+class ReliableOverlayResult(OverlayResult):
+    """An :class:`OverlayResult` plus reliability counters."""
+
+    @property
+    def total_retransmissions(self) -> int:
+        return sum(node.retransmissions for node in self.nodes)
+
+    @property
+    def total_duplicates_ignored(self) -> int:
+        return sum(node.duplicates_ignored for node in self.nodes)
+
+    @property
+    def completed(self) -> bool:
+        """Every live process halted (decided or ran out its rounds)."""
+        return self.audit is not None and (
+            self.audit.stall is None or not self.audit.stall.stalled
+        )
+
+
+def run_reliable_round_overlay(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    f: int,
+    *,
+    max_rounds: int,
+    seed: int = 0,
+    plan: FaultPlan | None = None,
+    delays: DelayModel | None = None,
+    crash_times: dict[int, float] | None = None,
+    stop_on_decision: bool = True,
+    max_events: int = 2_000_000,
+    base_timeout: float = 8.0,
+    backoff: float = 2.0,
+    max_retries: int = 8,
+    enforce_crash_budget: bool = True,
+    on_stall: str = "raise",
+    raise_on_exhaustion: bool = True,
+) -> ReliableOverlayResult:
+    """Run ``protocol`` on the reliable overlay over a chaotic network.
+
+    ``crash_times`` and the plan's open-ended crash windows are permanent
+    crashes and count against ``f`` (set ``enforce_crash_budget=False`` to
+    deliberately under-provision and watch the stall watchdog fire); crash
+    windows *with* recovery are treated as message loss, which the overlay
+    is expected to mask, and do not count.
+
+    ``on_stall`` is ``"raise"`` (default — quiescence without completion
+    raises :class:`~repro.core.audit.StallDetected`, so partial decisions
+    can never be mistaken for results) or ``"report"`` (the stall lands in
+    ``result.audit.stall`` for inspection).
+    """
+    if on_stall not in ("raise", "report"):
+        raise ValueError(f"on_stall must be 'raise' or 'report', got {on_stall!r}")
+    n = len(inputs)
+    plan = plan or FaultPlan()
+    crash_times = dict(crash_times or {})
+    permanent = frozenset(crash_times) | plan.permanent_crashes()
+    if enforce_crash_budget and len(permanent) > f:
+        raise ValueError(
+            f"{len(permanent)} permanent crashes scheduled but the model "
+            f"tolerates f={f} (pass enforce_crash_budget=False on purpose)"
+        )
+    sim = EventSimulator()
+    nodes = [
+        ReliableRoundOverlayNode(
+            pid,
+            n,
+            f,
+            protocol.spawn(pid, n, inputs[pid]),
+            sim,
+            max_rounds=max_rounds,
+            stop_on_decision=stop_on_decision,
+            base_timeout=base_timeout,
+            backoff=backoff,
+            max_retries=max_retries,
+        )
+        for pid in range(n)
+    ]
+    network = ChaosNetwork(nodes, sim, plan=plan, seed=seed, delays=delays)
+    for pid, time in crash_times.items():
+        network.crash(pid, time)
+    network.run(max_events=max_events)
+    if network.exhausted and raise_on_exhaustion:
+        raise BudgetExhausted(
+            f"reliable overlay stopped after {max_events} events with work "
+            "still queued — raise max_events or treat results as partial"
+        )
+    auditor = ExecutionAuditor(n, f)
+    report = auditor.audit_overlay(nodes, network)
+    result = ReliableOverlayResult(
+        n=n,
+        f=f,
+        inputs=tuple(inputs),
+        nodes=nodes,
+        network=network,
+        crashed=frozenset(range(n)) - network.correct,
+        audit=report,
+        exhausted=network.exhausted,
+    )
+    if on_stall == "raise" and report.stall is not None and report.stall.stalled:
+        raise StallDetected(report.stall)
+    return result

@@ -24,8 +24,9 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.audit import AuditReport, ExecutionAuditor
 from repro.core.types import RoundView
-from repro.substrates.events.simulator import EventSimulator
+from repro.substrates.events.simulator import BudgetExhausted, EventSimulator
 from repro.substrates.messaging.network import AsyncNetwork, DelayModel, Node, UniformDelays
 
 __all__ = ["RoundOverlayNode", "OverlayResult", "run_round_overlay"]
@@ -133,6 +134,8 @@ class OverlayResult:
     nodes: list[RoundOverlayNode]
     network: AsyncNetwork
     crashed: frozenset[int]
+    audit: AuditReport | None = None
+    exhausted: bool = False
 
     @property
     def decisions(self) -> list[Any]:
@@ -169,12 +172,22 @@ def run_round_overlay(
     crash_times: dict[int, float] | None = None,
     stop_on_decision: bool = True,
     max_events: int = 1_000_000,
+    raise_on_exhaustion: bool = True,
+    audit: bool = True,
 ) -> OverlayResult:
     """Run ``protocol`` in the round-based asynchronous system of item 3.
 
     ``crash_times`` maps pid → simulated crash time; at most ``f`` crashes
     are permitted (more would let the overlay block, exactly as the model
     predicts).
+
+    A run that stops on ``max_events`` with events still queued is *not* a
+    completed execution; by default it raises
+    :class:`~repro.substrates.events.BudgetExhausted` rather than returning
+    partial decisions (pass ``raise_on_exhaustion=False`` to inspect the
+    truncated state — ``result.exhausted`` stays set).  When ``audit`` is on,
+    the result carries an :class:`~repro.core.audit.AuditReport` checking the
+    RRFD invariants and the stall watchdog on the finished run.
     """
     n = len(inputs)
     crash_times = dict(crash_times or {})
@@ -200,6 +213,14 @@ def run_round_overlay(
     for pid, time in crash_times.items():
         network.crash(pid, time)
     network.run(max_events=max_events)
+    if network.exhausted and raise_on_exhaustion:
+        raise BudgetExhausted(
+            f"round overlay stopped after {max_events} events with work "
+            "still queued — a non-quiescent run is not a result"
+        )
+    report = None
+    if audit and not network.exhausted:
+        report = ExecutionAuditor(n, f).audit_overlay(nodes, network)
     return OverlayResult(
         n=n,
         f=f,
@@ -207,4 +228,6 @@ def run_round_overlay(
         nodes=nodes,
         network=network,
         crashed=frozenset(crash_times),
+        audit=report,
+        exhausted=network.exhausted,
     )

@@ -1,0 +1,170 @@
+"""Unit tests for the execution auditor and stall watchdog."""
+
+import pytest
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.core.audit import (
+    AuditReport,
+    AuditViolation,
+    ExecutionAuditor,
+    StallDetected,
+    StalledProcess,
+    StallReport,
+)
+from repro.core.types import RoundView
+from repro.substrates.messaging import (
+    HeartbeatSystem,
+    run_round_overlay,
+)
+
+
+def fi_protocol():
+    return make_protocol(FullInformationProcess)
+
+
+class TestViewChecks:
+    def test_clean_views_pass(self):
+        auditor = ExecutionAuditor(3, 1)
+        views = [RoundView(
+            pid=0, round=1,
+            messages={0: "a", 1: "b", 2: "c"}, suspected=frozenset(), n=3,
+        )]
+        assert auditor.check_views(0, views) == []
+
+    def test_suspicion_bound_violation(self):
+        auditor = ExecutionAuditor(3, 1)
+        views = [RoundView(
+            pid=0, round=1,
+            messages={0: "a"}, suspected=frozenset({1, 2}), n=3,
+        )]
+        violations = auditor.check_views(0, views)
+        assert [v.kind for v in violations] == ["suspicion-bound"]
+        assert "f = 1" in violations[0].detail
+
+    def test_round_order_violation(self):
+        auditor = ExecutionAuditor(3, 2)
+        views = [RoundView(
+            pid=0, round=2,  # first view claims round 2
+            messages={0: "a", 1: "b", 2: "c"}, suspected=frozenset(), n=3,
+        )]
+        violations = auditor.check_views(0, views)
+        assert [v.kind for v in violations] == ["round-order"]
+
+    def test_communication_closure_violation(self):
+        auditor = ExecutionAuditor(2, 1)
+
+        class FakeNode:
+            emissions = {1: "round-1-payload"}
+
+        views = [RoundView(
+            pid=0, round=1,
+            messages={0: "round-1-payload", 1: "stale-round-0-payload"},
+            suspected=frozenset(), n=2,
+        )]
+        violations = auditor.check_views(0, views, [FakeNode(), FakeNode()])
+        assert [v.kind for v in violations] == ["communication-closure"]
+        assert "p1" in violations[0].detail
+
+    def test_never_emitted_round_flagged(self):
+        auditor = ExecutionAuditor(2, 1)
+
+        class FakeNode:
+            emissions = {}
+
+        views = [RoundView(
+            pid=0, round=1,
+            messages={0: "x", 1: "y"}, suspected=frozenset(), n=2,
+        )]
+        violations = auditor.check_views(0, views, [FakeNode(), FakeNode()])
+        assert {v.kind for v in violations} == {"communication-closure"}
+        assert len(violations) == 2
+
+    def test_auditor_validates_parameters(self):
+        with pytest.raises(ValueError):
+            ExecutionAuditor(3, 3)
+
+
+class TestOverlayAudit:
+    def test_overlay_runs_come_audited(self):
+        res = run_round_overlay(
+            fi_protocol(), list(range(5)), 2, max_rounds=4, seed=1,
+            stop_on_decision=False,
+        )
+        assert res.audit is not None
+        assert res.audit.ok
+        assert res.audit.views_checked == 20
+        assert not res.audit.stall.stalled
+
+    def test_audit_can_be_disabled(self):
+        res = run_round_overlay(
+            fi_protocol(), list(range(4)), 1, max_rounds=2, seed=0,
+            audit=False,
+        )
+        assert res.audit is None
+
+    def test_crashed_processes_not_reported_as_stalled(self):
+        res = run_round_overlay(
+            fi_protocol(), list(range(5)), 2, max_rounds=4, seed=4,
+            crash_times={0: 3.0, 2: 8.0}, stop_on_decision=False,
+        )
+        stall = res.audit.stall
+        assert not stall.stalled
+        assert stall.crashed == frozenset({0, 2})
+
+
+class TestReportRendering:
+    def test_summary_strings(self):
+        ok = AuditReport(views_checked=7)
+        assert "OK" in ok.summary()
+        bad = AuditReport(violations=(
+            AuditViolation("guarantee", 0, 1, "detail"),
+        ))
+        assert "VIOLATIONS" in bad.summary()
+        stalled = AuditReport(stall=StallReport(
+            blocked=(StalledProcess(0, 2, 1, 3, frozenset({1, 2})),),
+            completed=frozenset(), crashed=frozenset(),
+        ))
+        assert "STALLED" in stalled.summary()
+        assert not stalled.ok
+
+    def test_stall_report_str_names_the_blocked(self):
+        report = StallReport(
+            blocked=(StalledProcess(3, 2, 1, 4, frozenset({0, 1})),),
+            completed=frozenset({2}), crashed=frozenset({0, 1}),
+        )
+        text = str(report)
+        assert "p3 blocked in round 2" in text
+        assert "1/4" in text
+        assert "p0,p1" in text
+
+    def test_no_stall_str(self):
+        report = StallReport(
+            blocked=(), completed=frozenset({0, 1}), crashed=frozenset(),
+        )
+        assert "no stall" in str(report)
+
+    def test_stall_detected_carries_report(self):
+        report = StallReport(
+            blocked=(StalledProcess(0, 1, 0, 2, frozenset({1})),),
+            completed=frozenset(), crashed=frozenset(),
+        )
+        exc = StallDetected(report)
+        assert exc.report is report
+        assert "blocked" in str(exc)
+
+
+class TestHeartbeatAudit:
+    def test_completeness_clean_after_horizon(self):
+        system = HeartbeatSystem.build(4, seed=0, gst=10.0)
+        system.network.crash(1, 15.0)
+        system.run(until=120.0)
+        report = system.audit()
+        assert report.ok
+
+    def test_completeness_violation_before_detection(self):
+        system = HeartbeatSystem.build(4, seed=0, gst=10.0)
+        system.network.crash(1, 15.0)
+        system.run(until=15.5)  # crash just happened: nobody suspects yet
+        report = system.audit()
+        assert not report.ok
+        assert all(v.kind == "completeness" for v in report.violations)

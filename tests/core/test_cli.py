@@ -52,6 +52,29 @@ class TestCli:
         out = capsys.readouterr().out
         assert "SOLVABLE" in out
 
+    def test_chaos_reliable_completes(self, capsys):
+        assert main(["chaos", "--n", "5", "--f", "2", "--drop", "0.25",
+                     "--rounds", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "reliable (ack+retry)" in out
+        assert "audit OK" in out
+        assert "retransmitted=" in out
+
+    def test_chaos_unreliable_stalls(self, capsys):
+        assert main(["chaos", "--n", "6", "--f", "2", "--drop", "0.3",
+                     "--unreliable", "--seed", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "plain (no retransmit)" in out
+        assert "STALL" in out
+        assert "waiting for" in out
+
+    def test_chaos_underprovisioned_reports_stall(self, capsys):
+        assert main(["chaos", "--n", "5", "--f", "1", "--crashes", "2",
+                     "--drop", "0.1", "--seed", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "STALL" in out
+        assert "crashed" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nonsense"])

@@ -1,0 +1,210 @@
+"""Unit tests for the chaos/fault-injection network layer."""
+
+import random
+
+import pytest
+
+from repro.substrates.events import EventSimulator
+from repro.substrates.messaging.chaos import (
+    ChaosNetwork,
+    ChaosStats,
+    CrashWindow,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
+from repro.substrates.messaging.network import AdversarialDelays, Node
+
+
+class Recorder(Node):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def on_message(self, src, payload):
+        self.received.append((src, payload))
+
+
+def build(n, *, plan=None, seed=0, delays=None):
+    sim = EventSimulator()
+    nodes = [Recorder(pid) for pid in range(n)]
+    net = ChaosNetwork(nodes, sim, plan=plan, seed=seed, delays=delays)
+    return sim, nodes, net
+
+
+class TestValidation:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            LinkFaults(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            LinkFaults(dup_prob=-0.1)
+        with pytest.raises(ValueError):
+            LinkFaults(jitter=-1.0)
+
+    def test_partition_window_validated(self):
+        with pytest.raises(ValueError):
+            Partition(5.0, 5.0, (frozenset({0}),))
+        with pytest.raises(ValueError):
+            Partition(-1.0, 5.0, (frozenset({0}),))
+
+    def test_partition_groups_must_be_disjoint(self):
+        with pytest.raises(ValueError):
+            Partition(0.0, 1.0, (frozenset({0, 1}), frozenset({1, 2})))
+
+    def test_crash_window_validated(self):
+        with pytest.raises(ValueError):
+            CrashWindow(5.0, 5.0)
+
+    def test_unknown_pid_in_plan_rejected(self):
+        plan = FaultPlan(crashes={9: [CrashWindow(1.0)]})
+        with pytest.raises(ValueError):
+            build(3, plan=plan)
+
+
+class TestDrop:
+    def test_all_messages_dropped_at_prob_one(self):
+        sim, nodes, net = build(2, plan=FaultPlan.lossy(1.0))
+        for _ in range(10):
+            net.send(0, 1, "m")
+        sim.run()
+        assert nodes[1].received == []
+        assert net.stats.messages_dropped_chaos == 10
+
+    def test_no_drops_at_prob_zero(self):
+        sim, nodes, net = build(2, plan=FaultPlan())
+        for _ in range(10):
+            net.send(0, 1, "m")
+        sim.run()
+        assert len(nodes[1].received) == 10
+        assert net.stats.messages_dropped_chaos == 0
+
+    def test_self_delivery_immune_to_chaos(self):
+        sim, nodes, net = build(2, plan=FaultPlan.lossy(1.0))
+        net.send(0, 0, "self")
+        assert nodes[0].received == [(0, "self")]
+
+
+class TestDuplication:
+    def test_duplicates_delivered_and_counted(self):
+        plan = FaultPlan(default=LinkFaults(dup_prob=1.0))
+        sim, nodes, net = build(2, plan=plan)
+        net.send(0, 1, "m")
+        sim.run()
+        assert [p for _, p in nodes[1].received] == ["m", "m"]
+        assert net.stats.messages_duplicated == 1
+
+
+class TestPartition:
+    def test_partition_blocks_across_groups(self):
+        plan = FaultPlan(partitions=[
+            Partition(0.0, 10.0, (frozenset({0, 1}), frozenset({2}))),
+        ])
+        sim, nodes, net = build(3, plan=plan)
+        net.send(0, 1, "inside")
+        net.send(0, 2, "across")
+        sim.run()
+        assert [p for _, p in nodes[1].received] == ["inside"]
+        assert nodes[2].received == []
+        assert net.stats.messages_partition_blocked == 1
+
+    def test_partition_heals_after_window(self):
+        plan = FaultPlan(partitions=[
+            Partition(0.0, 10.0, (frozenset({0}), frozenset({1}))),
+        ])
+        sim, nodes, net = build(2, plan=plan, delays=AdversarialDelays(default=1.0))
+        net.send(0, 1, "blocked")
+        sim.schedule(11.0, lambda: net.send(0, 1, "healed"))
+        sim.run()
+        assert [p for _, p in nodes[1].received] == ["healed"]
+
+    def test_unlisted_process_is_isolated(self):
+        plan = FaultPlan(partitions=[
+            Partition(0.0, 10.0, (frozenset({0, 1}),)),
+        ])
+        sim, nodes, net = build(3, plan=plan)
+        net.send(2, 0, "from-isolated")
+        sim.run()
+        assert nodes[0].received == []
+
+
+class TestCrashRecovery:
+    def test_process_down_then_up(self):
+        plan = FaultPlan(crashes={1: [CrashWindow(5.0, 20.0)]})
+        sim, nodes, net = build(2, plan=plan, delays=AdversarialDelays(default=1.0))
+        sim.schedule(10.0, lambda: net.send(0, 1, "while-down"))
+        sim.schedule(25.0, lambda: net.send(0, 1, "after-up"))
+        sim.run()
+        assert [p for _, p in nodes[1].received] == ["after-up"]
+
+    def test_recovered_process_counts_as_correct(self):
+        plan = FaultPlan(crashes={1: [CrashWindow(5.0, 20.0)]})
+        sim, nodes, net = build(3, plan=plan)
+        assert net.correct == frozenset({0, 1, 2})
+
+    def test_permanent_crash_in_plan_counts_as_faulty(self):
+        plan = FaultPlan(crashes={1: [CrashWindow(5.0)]})
+        sim, nodes, net = build(3, plan=plan)
+        assert net.correct == frozenset({0, 2})
+        assert plan.permanent_crashes() == frozenset({1})
+
+    def test_base_crash_api_still_permanent(self):
+        sim, nodes, net = build(3)
+        net.crash(1, 2.0)
+        assert net.correct == frozenset({0, 2})
+        assert net.is_crashed(1, 3.0)
+
+    def test_downed_process_does_not_send(self):
+        plan = FaultPlan(crashes={0: [CrashWindow(5.0, 20.0)]})
+        sim, nodes, net = build(2, plan=plan, delays=AdversarialDelays(default=1.0))
+        sim.schedule(10.0, lambda: net.send(0, 1, "from-down"))
+        sim.run()
+        assert nodes[1].received == []
+        assert net.stats.messages_dropped_crash == 1
+
+
+class TestDeterminism:
+    def run_once(self, seed):
+        plan = FaultPlan(default=LinkFaults(
+            drop_prob=0.3, dup_prob=0.2, jitter=5.0, spike_prob=0.1, spike=20.0,
+        ))
+        sim, nodes, net = build(4, plan=plan, seed=seed)
+        for src in range(4):
+            for dst in range(4):
+                if src != dst:
+                    for i in range(20):
+                        net.send(src, dst, (src, dst, i))
+        sim.run()
+        return net.stats, [node.received for node in nodes]
+
+    def test_same_seed_same_stats_and_deliveries(self):
+        stats_a, recv_a = self.run_once(seed=42)
+        stats_b, recv_b = self.run_once(seed=42)
+        assert stats_a == stats_b
+        assert recv_a == recv_b
+
+    def test_different_seed_different_outcome(self):
+        stats_a, _ = self.run_once(seed=1)
+        stats_b, _ = self.run_once(seed=2)
+        assert stats_a != stats_b
+
+
+class TestStats:
+    def test_reorder_counter(self):
+        # Huge jitter on a fast link: later sends can overtake earlier ones.
+        plan = FaultPlan(default=LinkFaults(jitter=50.0))
+        sim, nodes, net = build(2, plan=plan, delays=AdversarialDelays(default=1.0))
+        for i in range(30):
+            net.send(0, 1, i)
+        sim.run()
+        assert net.stats.messages_reordered > 0
+        assert [p for _, p in nodes[1].received] != sorted(
+            p for _, p in nodes[1].received
+        )
+
+    def test_total_lost(self):
+        stats = ChaosStats(
+            messages_dropped_crash=1,
+            messages_dropped_chaos=2,
+            messages_partition_blocked=3,
+        )
+        assert stats.total_lost == 6

@@ -66,6 +66,51 @@ class TestEventSimulator:
         processed = sim.run(max_events=100)
         assert processed == 100
 
+    def test_exhausted_flag_set_on_truncation(self):
+        sim = EventSimulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        sim.run(max_events=100)
+        assert sim.exhausted
+
+    def test_exhausted_flag_clear_on_quiescence(self):
+        sim = EventSimulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(max_events=100)
+        assert not sim.exhausted
+
+    def test_exhausted_flag_resets_between_runs(self):
+        sim = EventSimulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        sim.run(max_events=10)
+        assert sim.exhausted
+        # stopping on `until` is not budget exhaustion, and clears the flag
+        sim.run(until=sim.now + 0.5)
+        assert not sim.exhausted
+
+    def test_exhausted_only_counts_live_events(self):
+        sim = EventSimulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        sim.cancel(handle)
+        sim.run(max_events=1)
+        # the only queued event left is cancelled: not a truncation
+        assert not sim.exhausted
+
+    def test_step_does_not_mark_exhausted(self):
+        sim = EventSimulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.step()
+        assert not sim.exhausted
+
     def test_negative_delay_rejected(self):
         sim = EventSimulator()
         with pytest.raises(SimulationError):

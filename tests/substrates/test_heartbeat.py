@@ -90,3 +90,52 @@ class TestHeartbeatDetector:
         system.run(until=400.0)
         for j, timeout in system.nodes[0].timeouts.items():
             assert timeout >= initial[j]
+
+
+class TestHeartbeatUnderChaos:
+    def test_completeness_survives_message_loss(self):
+        # Dropped heartbeats only ever look like silence: a crashed process
+        # must still be suspected by every correct one, chaos or not.
+        from repro.substrates.messaging.chaos import FaultPlan
+
+        system = HeartbeatSystem.build(
+            4, seed=5, gst=20.0, delta=0.5, plan=FaultPlan.lossy(0.2)
+        )
+        system.network.crash(2, 30.0)
+        system.run(until=300.0)
+        assert system.completeness_holds()
+        assert system.audit().ok
+
+    def test_chaos_provokes_false_suspicions_that_heal(self):
+        from repro.substrates.messaging.chaos import FaultPlan
+
+        saw_false_suspicion = False
+        for seed in range(10):
+            system = HeartbeatSystem.build(
+                4, seed=seed, gst=10.0, delta=0.5, plan=FaultPlan.lossy(0.3)
+            )
+            system.run(until=800.0)
+            saw_false_suspicion = saw_false_suspicion or any(
+                suspected
+                for node in system.nodes
+                for _, suspected in node.suspicion_log
+            )
+            # adaptation must eventually out-wait a 30% loss process: each
+            # false timeout bumps the timeout, and completeness is vacuous
+            assert system.completeness_holds()
+        assert saw_false_suspicion
+
+    def test_chaos_build_is_seed_deterministic(self):
+        from repro.substrates.messaging.chaos import FaultPlan
+
+        def run(seed):
+            system = HeartbeatSystem.build(
+                4, seed=seed, gst=20.0, delta=0.5, plan=FaultPlan.lossy(0.25)
+            )
+            system.run(until=200.0)
+            return (
+                system.network.stats,
+                [frozenset(node.suspected) for node in system.nodes],
+            )
+
+        assert run(7) == run(7)

@@ -112,6 +112,31 @@ class TestCrash:
         net.crash(0, 2.0)
         assert net.crashed_at[0] == 2.0
 
+    def test_retroactive_crash_rejected_after_start(self):
+        from repro.substrates.events import SimulationError
+
+        sim, nodes, net = build(2)
+        net.send(0, 1, "m")
+        sim.run()  # delivery happened; the past is now fixed
+        with pytest.raises(SimulationError):
+            net.crash(0, sim.now - 1.0)
+
+    def test_future_and_present_crashes_still_allowed_after_start(self):
+        sim, nodes, net = build(2)
+        net.send(0, 1, "m")
+        sim.run()
+        net.crash(0, sim.now)  # crash "now" is fine
+        net.crash(1, sim.now + 5.0)  # and so is the future
+        assert 0 in net.crashed_at and 1 in net.crashed_at
+
+    def test_retroactive_crash_allowed_before_start(self):
+        # Scheduling the whole fault pattern up front (crash at t=0 included)
+        # must keep working: nothing has been delivered yet.
+        sim, nodes, net = build(2)
+        net.crash(0, 0.0)
+        net.run()
+        assert nodes[1].received == []
+
     def test_correct_set(self):
         sim, nodes, net = build(3)
         net.crash(1, 10.0)

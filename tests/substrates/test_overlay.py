@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.protocols.kset import kset_protocol
+from repro.substrates.events import BudgetExhausted
 from repro.substrates.messaging import run_round_overlay
 from repro.substrates.messaging.rounds import RoundOverlayNode
 
@@ -109,6 +110,62 @@ class TestOverlay:
                 assert view.round == r
                 assert view.heard | view.suspected == frozenset(range(4))
                 assert node.pid in view.heard  # self-delivery is immediate
+
+    def test_f_zero_every_message_waited_for(self):
+        # f = 0: the overlay must gather all n messages every round — no
+        # suspicion ever, no message ever discarded as late.
+        res = run_round_overlay(
+            fi_protocol(), list(range(4)), f=0, max_rounds=4, seed=9,
+            stop_on_decision=False,
+        )
+        assert res.total_late_discarded == 0
+        assert all(res.rounds_completed(pid) == 4 for pid in range(4))
+        assert res.audit.ok
+
+    def test_crash_at_time_zero(self):
+        # A crash at exactly t = 0.0 still lets the t = 0 broadcast out
+        # (crash suppresses strictly after its time) — the overlay completes
+        # either way because f = 1 covers the silent process.
+        res = run_round_overlay(
+            fi_protocol(), list(range(4)), f=1, max_rounds=3, seed=2,
+            crash_times={3: 0.0}, stop_on_decision=False,
+        )
+        for pid in range(3):
+            assert res.rounds_completed(pid) == 3
+        assert res.audit.ok
+
+    def test_crash_mid_round(self):
+        # Crash a process mid-execution: messages already in flight still
+        # arrive, later rounds see it suspected; nothing blocks.
+        res = run_round_overlay(
+            fi_protocol(), list(range(5)), f=1, max_rounds=5, seed=11,
+            crash_times={2: 7.5}, stop_on_decision=False,
+        )
+        for pid in (0, 1, 3, 4):
+            assert res.rounds_completed(pid) == 5
+        suspected_somewhere = any(
+            2 in view.suspected
+            for node in res.nodes if node.pid != 2
+            for view in node.views
+        )
+        assert suspected_somewhere
+        assert res.audit.ok
+
+    def test_exhausted_budget_raises_by_default(self):
+        with pytest.raises(BudgetExhausted):
+            run_round_overlay(
+                fi_protocol(), list(range(5)), f=2, max_rounds=4, seed=1,
+                stop_on_decision=False, max_events=10,
+            )
+
+    def test_exhausted_budget_reportable_on_request(self):
+        res = run_round_overlay(
+            fi_protocol(), list(range(5)), f=2, max_rounds=4, seed=1,
+            stop_on_decision=False, max_events=10,
+            raise_on_exhaustion=False,
+        )
+        assert res.exhausted
+        assert res.audit is None  # a truncated run is never audited
 
     def test_emissions_recorded_per_round(self):
         res = run_round_overlay(

@@ -1,0 +1,181 @@
+"""The reliable round overlay: rounds complete over lossy links."""
+
+import pytest
+
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.core.audit import StallDetected
+from repro.substrates.events import EventSimulator
+from repro.substrates.messaging.chaos import (
+    ChaosNetwork,
+    CrashWindow,
+    FaultPlan,
+    LinkFaults,
+)
+from repro.substrates.messaging.reliable import (
+    ReliableRoundOverlayNode,
+    run_reliable_round_overlay,
+)
+from repro.substrates.messaging.rounds import RoundOverlayNode
+
+
+def fi_protocol():
+    return make_protocol(FullInformationProcess)
+
+
+def run(n=5, f=2, *, drop=0.3, rounds=4, seed=0, **kwargs):
+    return run_reliable_round_overlay(
+        fi_protocol(), list(range(n)), f,
+        max_rounds=rounds, seed=seed, plan=FaultPlan.lossy(drop),
+        stop_on_decision=False, **kwargs,
+    )
+
+
+class TestReliability:
+    def test_completes_over_lossy_links(self):
+        res = run(drop=0.3)
+        assert all(res.rounds_completed(pid) == 4 for pid in range(5))
+        assert res.audit.ok
+
+    def test_plain_overlay_stalls_where_reliable_succeeds(self):
+        # Same chaos, same seed: the overlay without retransmission stalls.
+        n, f, rounds, seed = 5, 2, 4, 0
+        sim = EventSimulator()
+        nodes = [
+            RoundOverlayNode(
+                pid, n, f, FullInformationProcess(pid, n, pid),
+                max_rounds=rounds, stop_on_decision=False,
+            )
+            for pid in range(n)
+        ]
+        net = ChaosNetwork(nodes, sim, plan=FaultPlan.lossy(0.3), seed=seed)
+        net.run(max_events=100_000)
+        assert not net.exhausted  # quiesced — but incomplete
+        assert any(len(node.views) < rounds for node in nodes)
+        # ... while the reliable overlay on the identical fault process works
+        res = run(n=n, f=f, drop=0.3, rounds=rounds, seed=seed)
+        assert all(res.rounds_completed(pid) == rounds for pid in range(n))
+
+    def test_retransmissions_happen_and_are_counted(self):
+        res = run(drop=0.4)
+        assert res.total_retransmissions > 0
+
+    def test_no_loss_no_gaps(self):
+        res = run(drop=0.0)
+        assert res.audit.ok
+        assert res.total_duplicates_ignored == 0
+
+    def test_chaos_duplicates_deduplicated(self):
+        res = run_reliable_round_overlay(
+            fi_protocol(), list(range(4)), 1,
+            max_rounds=3, seed=1,
+            plan=FaultPlan(default=LinkFaults(dup_prob=0.5)),
+            stop_on_decision=False,
+        )
+        assert res.total_duplicates_ignored > 0
+        assert res.audit.ok  # dedup keeps views well-formed
+
+    def test_seed_determinism(self):
+        a = run(seed=7)
+        b = run(seed=7)
+        assert a.network.stats == b.network.stats
+        assert a.decisions == b.decisions
+        assert a.total_retransmissions == b.total_retransmissions
+        assert [n.views for n in a.nodes] == [n.views for n in b.nodes]
+
+    def test_suspicion_bound_holds_measured(self):
+        for seed in range(5):
+            res = run(drop=0.25, seed=seed)
+            assert res.suspicion_bound_respected()
+            assert res.audit.ok
+
+
+class TestCrashAndRecovery:
+    def test_crashed_peers_suspected_not_blocking(self):
+        res = run_reliable_round_overlay(
+            fi_protocol(), list(range(5)), 2,
+            max_rounds=4, seed=3, plan=FaultPlan.lossy(0.2),
+            crash_times={0: 1.0, 1: 6.0}, stop_on_decision=False,
+        )
+        assert res.crashed == frozenset({0, 1})
+        for pid in (2, 3, 4):
+            assert res.rounds_completed(pid) == 4
+        assert res.audit.ok
+
+    def test_recovered_process_catches_up(self):
+        plan = FaultPlan(crashes={2: [CrashWindow(3.0, 80.0)]})
+        res = run_reliable_round_overlay(
+            fi_protocol(), list(range(5)), 1,
+            max_rounds=3, seed=2, plan=plan, stop_on_decision=False,
+        )
+        # recovery windows do not count against f, and retransmission
+        # re-delivers what the process missed while down
+        assert res.crashed == frozenset()
+        assert res.rounds_completed(2) == 3
+        assert res.audit.ok
+
+    def test_budget_counts_plan_and_crash_times(self):
+        plan = FaultPlan(crashes={0: [CrashWindow(1.0)]})
+        with pytest.raises(ValueError):
+            run_reliable_round_overlay(
+                fi_protocol(), list(range(4)), 1,
+                max_rounds=2, plan=plan, crash_times={1: 1.0},
+            )
+
+    def test_underprovisioned_raises_stall(self):
+        with pytest.raises(StallDetected) as excinfo:
+            run_reliable_round_overlay(
+                fi_protocol(), list(range(5)), 1,
+                max_rounds=4, seed=0,
+                crash_times={0: 0.5, 1: 0.5},
+                enforce_crash_budget=False, stop_on_decision=False,
+            )
+        report = excinfo.value.report
+        assert report.stalled
+        assert all(s.need == 4 for s in report.blocked)
+        assert all({0, 1} & s.waiting_for for s in report.blocked)
+
+    def test_underprovisioned_report_mode(self):
+        res = run_reliable_round_overlay(
+            fi_protocol(), list(range(5)), 1,
+            max_rounds=4, seed=0,
+            crash_times={0: 0.5, 1: 0.5},
+            enforce_crash_budget=False, stop_on_decision=False,
+            on_stall="report",
+        )
+        assert res.audit.stall.stalled
+        assert not res.completed
+
+    def test_on_stall_validated(self):
+        with pytest.raises(ValueError):
+            run(on_stall="ignore")
+
+
+class TestNodeValidation:
+    def test_retry_parameters_validated(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            ReliableRoundOverlayNode(
+                0, 3, 1, FullInformationProcess(0, 3, 0), sim,
+                max_rounds=2, base_timeout=0.0,
+            )
+        with pytest.raises(ValueError):
+            ReliableRoundOverlayNode(
+                0, 3, 1, FullInformationProcess(0, 3, 0), sim,
+                max_rounds=2, backoff=0.5,
+            )
+
+    def test_gave_up_tracks_silent_peers(self):
+        res = run_reliable_round_overlay(
+            fi_protocol(), list(range(4)), 1,
+            max_rounds=2, seed=1, crash_times={3: 0.5},
+            stop_on_decision=False, max_retries=2,
+        )
+        # live senders give up on the crashed peer only (the crashed node's
+        # own bookkeeping is moot — its sends were suppressed)
+        gave_up = set()
+        for node in res.nodes:
+            if node.pid in res.crashed:
+                continue
+            for peers in node.gave_up_on.values():
+                gave_up |= peers
+        assert gave_up == {3}
