@@ -7,57 +7,71 @@ algorithm closes the circle (≤ k decisions on shared memory).
 
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.core.predicate import round_intersection, round_union
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.protocols.kset import kset_protocol
 from repro.simulations.kset_object_to_rrfd import run_kset_object_rrfd
 
-GRID = [(4, 1), (6, 2), (8, 3), (12, 4)]
+GRID_ROWS = [(4, 1), (6, 2), (8, 3), (12, 4)]
 
 
-def run_cell(n: int, k: int, samples: int) -> dict:
-    worst_disagreement = 0
-    for seed in range(samples):
-        res = run_kset_object_rrfd(
-            make_protocol(FullInformationProcess), list(range(n)), k,
-            max_rounds=2, seed=seed,
-        )
-        assert res.detector_property_holds()
-        for r in range(1, res.max_completed_round() + 1):
-            rows = tuple(res.d_rows(r).values())
-            if rows:
-                disagreement = len(round_union(rows) - round_intersection(rows))
-                worst_disagreement = max(worst_disagreement, disagreement)
-    return {"worst_disagreement": worst_disagreement}
+def run_cell(ctx) -> dict:
+    n, k = ctx["n"], ctx["k"]
+    res = run_kset_object_rrfd(
+        make_protocol(FullInformationProcess), list(range(n)), k,
+        max_rounds=2, seed=ctx.seed,
+    )
+    assert res.detector_property_holds()
+    disagreement = 0
+    for r in range(1, res.max_completed_round() + 1):
+        rows = tuple(res.d_rows(r).values())
+        if rows:
+            disagreement = max(
+                disagreement, len(round_union(rows) - round_intersection(rows))
+            )
+
+    # Theorem 3.1 round-trip: the built detector drives k-set consensus.
+    trip = run_kset_object_rrfd(
+        kset_protocol(), list(range(n)), k, max_rounds=1,
+        seed=ctx.sub_seed("roundtrip"),
+    )
+    decided = {d for d in trip.decisions if d is not None}
+    return {"disagreement": disagreement, "decided": len(decided)}
 
 
-def round_trip(n: int, k: int, samples: int) -> int:
-    worst = 0
-    for seed in range(samples):
-        res = run_kset_object_rrfd(
-            kset_protocol(), list(range(n)), k, max_rounds=1, seed=seed
-        )
-        decided = {d for d in res.decisions if d is not None}
-        worst = max(worst, len(decided))
-    return worst
+EXPERIMENT = Experiment(
+    id="E10",
+    title="E10 (Thm 3.3): detector built from k-set object + SWMR memory",
+    grid=Grid.explicit("n,k", GRID_ROWS),
+    run_cell=run_cell,
+    samples=25,
+    reduce={"disagreement": "max", "decided": "max"},
+    table=(
+        ("n", "n"), ("k", "k"),
+        ("worst |⋃D − ⋂D| vs bound", lambda c: f"{c['disagreement']} < {c['k']}"),
+        ("Thm 3.1 round-trip decisions", lambda c: f"{c['decided']} <= {c['k']}"),
+    ),
+    notes="Theorem 3.3 + Theorem 3.1 round trip.",
+)
 
 
-@pytest.mark.parametrize("n,k", GRID)
+@pytest.mark.parametrize("n,k", GRID_ROWS)
 def test_e10_detector_property(benchmark, n, k):
-    result = benchmark.pedantic(run_cell, args=(n, k, 25), rounds=1, iterations=1)
-    assert result["worst_disagreement"] < k
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"n": n, "k": k},
+        rounds=1, iterations=1,
+    )
+    assert cell["disagreement"] < k
+    assert cell["decided"] <= k
 
 
 def test_e10_report(benchmark):
-    rows = []
-    for n, k in GRID:
-        cell = run_cell(n, k, 15)
-        decided = round_trip(n, k, 15)
-        rows.append([n, k, f"{cell['worst_disagreement']} < {k}", f"{decided} <= {k}"])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E10 (Thm 3.3): detector built from k-set object + SWMR memory",
-        ["n", "k", "worst |⋃D − ⋂D| vs bound", "Thm 3.1 round-trip decisions"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), kwargs={"samples": 15},
+        rounds=1, iterations=1,
     )
+    result.check(lambda c: c["disagreement"] < c["k"], "detector bound")
+    result.check(lambda c: c["decided"] <= c["k"], "round-trip decisions")
+    report_experiment(EXPERIMENT, result)

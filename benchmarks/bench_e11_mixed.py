@@ -5,55 +5,85 @@ Expected shape: raw B-histories violate A's predicate at a measurable rate
 relayed round satisfies A exactly, at a 2× round cost.
 """
 
-import random
-
 import pytest
 
 from benchmarks.conftest import report_table
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.core.predicates import AsyncMessagePassing, MixedResilience
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.simulations.relay import simulate_mixed_to_async
 
-GRID = [(7, 3, 1), (9, 3, 1), (9, 4, 2), (13, 5, 2)]
+GRID_ROWS = [(7, 3, 1), (9, 3, 1), (9, 4, 2), (13, 5, 2)]
 
 
-def run_cell(n: int, t: int, f: int, samples: int) -> bool:
-    for seed in range(samples):
-        res = simulate_mixed_to_async(
-            make_protocol(FullInformationProcess), list(range(n)), t, f,
-            simulated_rounds=3, seed=seed,
-        )
-        assert AsyncMessagePassing(n, f).allows(res.simulated_history)
-        assert res.base_rounds_used == 6
-    return True
+def relay_cell(ctx) -> dict:
+    n, t, f = ctx["n"], ctx["t"], ctx["f"]
+    res = simulate_mixed_to_async(
+        make_protocol(FullInformationProcess), list(range(n)), t, f,
+        simulated_rounds=3, seed=ctx.seed,
+    )
+    assert AsyncMessagePassing(n, f).allows(res.simulated_history)
+    assert res.base_rounds_used == 6
+    return {"ok": True}
 
 
-def raw_violation_rate(n: int, t: int, f: int, samples: int) -> float:
-    b = MixedResilience(n, t, f)
-    a = AsyncMessagePassing(n, f)
-    rng = random.Random(0)
-    violations = 0
-    for _ in range(samples):
-        history = (b.sample_round(rng, ()),)
-        if not a.allows(history):
-            violations += 1
-    return violations / samples
+EXPERIMENT = Experiment(
+    id="E11",
+    title="E11 (item 3, model B): two-round relay implements model A exactly",
+    grid=Grid.explicit("n,t,f", GRID_ROWS),
+    run_cell=relay_cell,
+    samples=25,
+    reduce={"ok": "all"},
+    table=(
+        ("n", "n"), ("t", "t"), ("f", "f"),
+        ("relayed violates A", lambda c: "0% (after relay)" if c["ok"] else "VIOLATION"),
+        ("cost", lambda c: "2 rounds / round"),
+    ),
+    notes="Item 3 model B; A restored by relay.",
+)
 
 
-@pytest.mark.parametrize("n,t,f", GRID)
+def raw_cell(ctx) -> dict:
+    n, t, f = ctx["n"], ctx["t"], ctx["f"]
+    history = (MixedResilience(n, t, f).sample_round(ctx.rng, ()),)
+    return {"violation": not AsyncMessagePassing(n, f).allows(history)}
+
+
+EXPERIMENT_RAW = Experiment(
+    id="E11b",
+    title="E11b: raw B-histories violate A's bound at measurable rates",
+    grid=Grid.explicit("n,t,f", GRID_ROWS),
+    run_cell=raw_cell,
+    samples=2000,
+    reduce={"violation": "rate"},
+    table=(
+        ("n", "n"), ("t", "t"), ("f", "f"),
+        ("raw B violates A", lambda c: f"{100 * c['violation']['rate']:.1f}%"),
+    ),
+    notes="Why B ⊄ A: the raw violation rate.",
+)
+
+
+@pytest.mark.parametrize("n,t,f", GRID_ROWS)
 def test_e11_relay(benchmark, n, t, f):
-    assert benchmark.pedantic(run_cell, args=(n, t, f, 25), rounds=1, iterations=1)
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"n": n, "t": t, "f": f},
+        rounds=1, iterations=1,
+    )
+    assert cell["ok"]
 
 
 def test_e11_report(benchmark):
+    def sweep():
+        return run_experiment(EXPERIMENT, samples=10), run_experiment(EXPERIMENT_RAW)
+
+    relay, raw = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    relay.check(lambda c: c["ok"], "A holds after relay")
     rows = []
-    for n, t, f in GRID:
-        run_cell(n, t, f, 10)
-        raw = raw_violation_rate(n, t, f, 2000)
-        rows.append([
-            n, t, f, f"{100 * raw:.1f}%", "0% (after relay)", "2 rounds / round",
-        ])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n, t, f in GRID_ROWS:
+        rate = raw.cell(n=n, t=t, f=f)["violation"]["rate"]
+        rows.append([n, t, f, f"{100 * rate:.1f}%", "0% (after relay)",
+                     "2 rounds / round"])
     report_table(
         "E11 (item 3, model B): raw B violates A's bound; two-round relay restores it",
         ["n", "t", "f", "raw B violates A", "relayed violates A", "cost"],

@@ -7,56 +7,61 @@ carried — certifying the equivalence the paper settles.
 
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.simulations.full_information import verify_overlay_equivalence
 from repro.substrates.messaging import run_round_overlay
 
-GRID = [(5, 2, 5), (7, 3, 5), (9, 4, 6), (13, 6, 4)]
+GRID_ROWS = [(5, 2, 5), (7, 3, 5), (9, 4, 6), (13, 6, 4)]
 
 
-def run_cell(n: int, f: int, rounds: int, samples: int) -> dict:
-    discarded = 0
-    recovered = 0
-    direct = 0
-    gaps = 0
-    for seed in range(samples):
-        res = run_round_overlay(
-            make_protocol(FullInformationProcess), list(range(n)), f,
-            max_rounds=rounds, seed=seed, stop_on_decision=False,
-        )
-        stats = verify_overlay_equivalence(res)  # raises on any mismatch
-        discarded += res.total_late_discarded
-        recovered += stats["recovered"]
-        direct += stats["direct"]
-        gaps += stats["gaps_filled"]
+def run_cell(ctx) -> dict:
+    n, f, rounds = ctx["n"], ctx["f"], ctx["rounds"]
+    res = run_round_overlay(
+        make_protocol(FullInformationProcess), list(range(n)), f,
+        max_rounds=rounds, seed=ctx.seed, stop_on_decision=False,
+    )
+    stats = verify_overlay_equivalence(res)  # raises on any mismatch
     return {
-        "discarded": discarded,
-        "recovered": recovered,
-        "direct": direct,
-        "gaps": gaps,
+        "discarded": res.total_late_discarded,
+        "recovered": stats["recovered"],
+        "direct": stats["direct"],
+        "gaps": stats["gaps_filled"],
     }
 
 
-@pytest.mark.parametrize("n,f,rounds", GRID)
+EXPERIMENT = Experiment(
+    id="E12",
+    title="E12 (item 3): overlay discards late messages; full information "
+    "recovers them",
+    grid=Grid.explicit("n,f,rounds", GRID_ROWS),
+    run_cell=run_cell,
+    samples=8,
+    reduce={"discarded": "sum", "recovered": "sum", "direct": "sum", "gaps": "sum"},
+    table=(
+        ("n", "n"), ("f", "f"), ("rounds", "rounds"),
+        ("late msgs discarded", "discarded"),
+        ("gaps reconstructed", "gaps"),
+        ("recovery accuracy", lambda c: "100% (checked)"),
+    ),
+    notes="Item 3 equivalence; recovery verified per sample.",
+)
+
+
+@pytest.mark.parametrize("n,f,rounds", GRID_ROWS)
 def test_e12_overlay_equivalence(benchmark, n, f, rounds):
-    result = benchmark.pedantic(
-        run_cell, args=(n, f, rounds, 10), rounds=1, iterations=1
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,),
+        kwargs={"n": n, "f": f, "rounds": rounds, "samples": 10},
+        rounds=1, iterations=1,
     )
-    assert result["recovered"] >= result["direct"]
+    assert cell["recovered"] >= cell["direct"]
 
 
 def test_e12_report(benchmark):
-    rows = []
-    for n, f, rounds in GRID:
-        cell = run_cell(n, f, rounds, 8)
-        rows.append([
-            n, f, rounds, cell["discarded"], cell["gaps"],
-            "100% (checked)",
-        ])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E12 (item 3): overlay discards late messages; full information recovers them",
-        ["n", "f", "rounds", "late msgs discarded", "gaps reconstructed", "recovery accuracy"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), rounds=1, iterations=1
     )
+    result.check(lambda c: c["recovered"] >= c["direct"], "recovery coverage")
+    report_experiment(EXPERIMENT, result)

@@ -6,81 +6,98 @@ version's step count is Θ(n) per process (2 writes + 2n reads); commit
 rates fall as proposals diverge (unanimity ⇒ 100% commit).
 """
 
-import random
-
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.core.detector import RoundByRoundFaultDetector
 from repro.core.predicates import AtomicSnapshot
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.protocols.adopt_commit import adopt_commit_protocol
 from repro.substrates.sharedmem.adopt_commit import run_adopt_commit
 
-GRID = [3, 6, 12, 24]
+GRID_NS = [3, 6, 12, 24]
 
 
-def run_rounds_version(n: int, samples: int) -> dict:
-    commits = 0
-    total = 0
-    for seed in range(samples):
-        rng = random.Random(seed)
-        inputs = [rng.choice("ab") for _ in range(n)]
-        rrfd = RoundByRoundFaultDetector(AtomicSnapshot(n, n - 1), seed=seed)
-        trace = rrfd.run(adopt_commit_protocol(), inputs=inputs, max_rounds=2)
-        outs = trace.decisions
-        committed = {o.value for o in outs if o.committed}
-        assert len(committed) <= 1
-        commits += sum(1 for o in outs if o.committed)
-        total += n
-    return {"commit_rate": commits / total}
+def run_cell(ctx) -> dict:
+    n = ctx["n"]
+    inputs = [ctx.sub_rng("inputs").choice("ab") for _ in range(n)]
+
+    rrfd = RoundByRoundFaultDetector(
+        AtomicSnapshot(n, n - 1), seed=ctx.sub_seed("rounds")
+    )
+    trace = rrfd.run(adopt_commit_protocol(), inputs=inputs, max_rounds=2)
+    committed = {o.value for o in trace.decisions if o.committed}
+    assert len(committed) <= 1
+    rounds_commits = sum(1 for o in trace.decisions if o.committed)
+
+    mixed = run_adopt_commit(inputs, seed=ctx.sub_seed("registers"))
+    committed = {o.value for o in mixed.outputs if o.committed}
+    assert len(committed) <= 1
+    mixed_commits = sum(1 for o in mixed.outputs if o.committed)
+    steps = max(mixed.steps_taken)
+
+    unanimous = run_adopt_commit(["v"] * n, seed=ctx.sub_seed("unanimous"))
+    unan_commits = sum(1 for o in unanimous.outputs if o.committed)
+
+    return {
+        "rounds_commits": rounds_commits,
+        "mixed_commits": mixed_commits,
+        "unan_commits": unan_commits,
+        "outputs": n,
+        "steps": steps,
+    }
 
 
-def run_register_version(n: int, samples: int, *, unanimous: bool) -> dict:
-    commits = 0
-    total = 0
-    steps = 0
-    for seed in range(samples):
-        rng = random.Random(seed)
-        inputs = ["v"] * n if unanimous else [rng.choice("ab") for _ in range(n)]
-        result = run_adopt_commit(inputs, seed=seed)
-        outs = [o for o in result.outputs]
-        committed = {o.value for o in outs if o.committed}
-        assert len(committed) <= 1
-        commits += sum(1 for o in outs if o.committed)
-        total += n
-        steps = max(steps, max(result.steps_taken))
-    return {"commit_rate": commits / total, "steps_per_process": steps}
+def finalize(params: dict, value: dict) -> dict:
+    total = value["outputs"]
+    return {
+        "rounds_rate": value["rounds_commits"] / total,
+        "mixed_rate": value["mixed_commits"] / total,
+        "unan_rate": value["unan_commits"] / total,
+    }
 
 
-@pytest.mark.parametrize("n", GRID)
-def test_e13_rounds_version(benchmark, n):
-    result = benchmark.pedantic(run_rounds_version, args=(n, 30), rounds=1, iterations=1)
-    assert 0.0 <= result["commit_rate"] <= 1.0
+EXPERIMENT = Experiment(
+    id="E13",
+    title="E13 (Sec 4.2): adopt-commit — commit rates and costs",
+    grid=Grid.explicit("n", GRID_NS),
+    run_cell=run_cell,
+    samples=20,
+    reduce={
+        "rounds_commits": "sum",
+        "mixed_commits": "sum",
+        "unan_commits": "sum",
+        "outputs": "sum",
+        "steps": "max",
+    },
+    finalize=finalize,
+    table=(
+        ("n", "n"),
+        ("commit% (rounds, mixed)", lambda c: f"{100 * c['rounds_rate']:.0f}%"),
+        ("commit% (registers, mixed)", lambda c: f"{100 * c['mixed_rate']:.0f}%"),
+        ("commit% (unanimous)", lambda c: f"{100 * c['unan_rate']:.0f}%"),
+        ("register steps/process", "steps"),
+        ("RRFD rounds", lambda c: 2),
+    ),
+    notes="Section 4.2; two renderings of adopt-commit.",
+)
 
 
-@pytest.mark.parametrize("n", GRID)
-def test_e13_register_version(benchmark, n):
-    result = benchmark.pedantic(
-        run_register_version, args=(n, 30), kwargs={"unanimous": False},
+@pytest.mark.parametrize("n", GRID_NS)
+def test_e13_both_versions(benchmark, n):
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"n": n, "samples": 30},
         rounds=1, iterations=1,
     )
-    assert result["steps_per_process"] == 2 + 2 * n  # 2 writes + 2 read-alls
+    assert 0.0 <= cell["rounds_rate"] <= 1.0
+    assert cell["steps"] == 2 + 2 * n  # 2 writes + 2 read-alls
+    assert cell["unan_rate"] == 1.0  # unanimity always commits
 
 
 def test_e13_report(benchmark):
-    rows = []
-    for n in GRID:
-        rounds_rate = run_rounds_version(n, 20)["commit_rate"]
-        mixed = run_register_version(n, 20, unanimous=False)
-        unanimous = run_register_version(n, 10, unanimous=True)
-        rows.append([
-            n, f"{100 * rounds_rate:.0f}%", f"{100 * mixed['commit_rate']:.0f}%",
-            f"{100 * unanimous['commit_rate']:.0f}%", mixed["steps_per_process"], 2,
-        ])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E13 (Sec 4.2): adopt-commit — commit rates and costs",
-        ["n", "commit% (rounds, mixed)", "commit% (registers, mixed)",
-         "commit% (unanimous)", "register steps/process", "RRFD rounds"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), rounds=1, iterations=1
     )
+    result.check(lambda c: c["steps"] == 2 + 2 * c["n"], "register step count")
+    result.check(lambda c: c["unan_rate"] == 1.0, "unanimity commits")
+    report_experiment(EXPERIMENT, result)

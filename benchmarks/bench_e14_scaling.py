@@ -3,37 +3,97 @@
 Not a paper claim — the scaling data that makes the other experiments'
 runtimes interpretable, plus the adversary-sampling ablation DESIGN.md
 calls out (constructive predicate samplers vs conjunction rejection
-sampling).
+sampling).  This experiment is also the harness's parallel-speedup probe:
+``python -m repro bench E14 --speedup --workers 4``.
 """
-
-import random
 
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.core.detector import RoundByRoundFaultDetector
 from repro.core.predicate import Conjunction
 from repro.core.predicates import AsyncMessagePassing, KSetDetector, SharedMemorySWMR
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.protocols.kset import kset_protocol
 
-GRID = [8, 16, 32, 64, 128]
+GRID_NS = [8, 16, 32, 64, 128]
 ROUNDS = 5
 
 
-def run_rounds(n: int) -> int:
-    rrfd = RoundByRoundFaultDetector(AsyncMessagePassing(n, n // 3), seed=1)
+def kernel_cell(ctx) -> dict:
+    n = ctx["n"]
+    rrfd = RoundByRoundFaultDetector(AsyncMessagePassing(n, n // 3), seed=ctx.seed)
     trace = rrfd.run(
         make_protocol(FullInformationProcess), inputs=list(range(n)),
         max_rounds=ROUNDS,
     )
-    return trace.num_rounds
+    assert trace.num_rounds == ROUNDS
+    return {"rounds": trace.num_rounds}
 
 
-@pytest.mark.parametrize("n", GRID)
+EXPERIMENT = Experiment(
+    id="E14",
+    title="E14: RRFD kernel scaling (full-information protocol)",
+    grid=Grid.explicit("n", GRID_NS),
+    run_cell=kernel_cell,
+    samples=5,
+    chunk=1,  # one sample per task: maximal fan-out for the speedup probe
+    reduce={"rounds": "last"},
+    table=(
+        ("n", "n"),
+        ("rounds", "rounds"),
+        ("wall time", lambda c: f"{1000 * c.wall_time:.1f} ms"),
+        ("throughput",
+         lambda c: f"{c.samples * ROUNDS / c.wall_time:.0f} rounds/s"
+         if c.wall_time > 0 else "-"),
+    ),
+    notes="Engineering baseline; the CLI's --speedup probe.",
+)
+
+
+def sampler_cell(ctx) -> dict:
+    n, rounds, style = ctx["n"], ctx["rounds"], ctx["style"]
+    if style == "constructive":
+        predicate = SharedMemorySWMR(n, n // 3)
+    else:
+        # Ablation: the same model expressed as a conjunction sampled by
+        # rejection from the weaker AsyncMessagePassing base.  (The snapshot
+        # model's chain condition makes rejection infeasible outright — only
+        # constructive samplers work there; SWMR's eq. (4) is the heaviest
+        # condition rejection can still hit.)
+        predicate = Conjunction(
+            AsyncMessagePassing(n, n // 3), SharedMemorySWMR(n, n // 3)
+        )
+    history = ()
+    for _ in range(rounds):
+        history = history + (predicate.sample_round(ctx.rng, history),)
+    return {"ok": True}
+
+
+EXPERIMENT_SAMPLERS = Experiment(
+    id="E14b",
+    title="E14b: constructive predicate samplers vs rejection sampling",
+    grid=Grid.product(n=[12], rounds=[10], style=["constructive", "rejection"]),
+    run_cell=sampler_cell,
+    samples=3,
+    reduce={"ok": "all"},
+    table=(
+        ("sampler", "style"),
+        ("n", "n"), ("rounds", "rounds"),
+        ("wall time", lambda c: f"{1000 * c.wall_time:.1f} ms"),
+    ),
+    notes="DESIGN.md sampler ablation.",
+)
+
+
+@pytest.mark.parametrize("n", GRID_NS)
 def test_e14_kernel_scaling(benchmark, n):
-    rounds = benchmark(run_rounds, n)
-    assert rounds == ROUNDS
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"n": n, "samples": 1},
+        rounds=1, iterations=1,
+    )
+    assert cell["rounds"] == ROUNDS
 
 
 @pytest.mark.parametrize("n", [8, 32])
@@ -48,48 +108,21 @@ def test_e14_one_round_kset_latency(benchmark, n):
     assert trace.all_decided
 
 
-def sample_constructive(n: int, rounds: int) -> None:
-    predicate = SharedMemorySWMR(n, n // 3)
-    rng = random.Random(0)
-    history = ()
-    for _ in range(rounds):
-        history = history + (predicate.sample_round(rng, history),)
-
-
-def sample_rejection(n: int, rounds: int) -> None:
-    # Ablation: the same model expressed as a conjunction sampled by
-    # rejection from the weaker AsyncMessagePassing base.  (The snapshot
-    # model's chain condition makes rejection infeasible outright — only
-    # constructive samplers work there; SWMR's eq. (4) is the heaviest
-    # condition rejection can still hit.)
-    predicate = Conjunction(
-        AsyncMessagePassing(n, n // 3), SharedMemorySWMR(n, n // 3)
-    )
-    rng = random.Random(0)
-    history = ()
-    for _ in range(rounds):
-        history = history + (predicate.sample_round(rng, history),)
-
-
 @pytest.mark.parametrize("style", ["constructive", "rejection"])
 def test_e14_sampler_ablation(benchmark, style):
-    fn = sample_constructive if style == "constructive" else sample_rejection
-    benchmark(fn, 12, 10)
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT_SAMPLERS,),
+        kwargs={"n": 12, "rounds": 10, "style": style, "samples": 1},
+        rounds=1, iterations=1,
+    )
+    assert cell["ok"]
 
 
 def test_e14_report(benchmark):
-    import time
+    def sweep():
+        return run_experiment(EXPERIMENT), run_experiment(EXPERIMENT_SAMPLERS)
 
-    rows = []
-    for n in GRID:
-        start = time.perf_counter()
-        run_rounds(n)
-        elapsed = time.perf_counter() - start
-        rows.append([n, ROUNDS, f"{elapsed * 1000:.1f} ms",
-                     f"{ROUNDS / elapsed:.0f} rounds/s"])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E14: RRFD kernel scaling (full-information protocol)",
-        ["n", "rounds", "wall time", "throughput"],
-        rows,
-    )
+    kernel, samplers = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    kernel.check(lambda c: c["rounds"] == ROUNDS)
+    report_experiment(EXPERIMENT, kernel)
+    report_experiment(EXPERIMENT_SAMPLERS, samplers)

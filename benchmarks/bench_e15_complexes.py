@@ -15,7 +15,7 @@ standard chromatic subdivision of [4].
 
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.analysis.complexes import consensus_disconnection, iterated_complex
 from repro.core.predicates import (
     AsyncMessagePassing,
@@ -24,60 +24,96 @@ from repro.core.predicates import (
     SemiSyncEquality,
     SharedMemorySWMR,
 )
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 
-CATALOG = [
-    ("async-mp(1)", lambda: AsyncMessagePassing(3, 1), True),
-    ("swmr(1)", lambda: SharedMemorySWMR(3, 1), True),
-    ("snapshot(1)", lambda: AtomicSnapshot(3, 1), True),
-    ("snapshot(2)", lambda: AtomicSnapshot(3, 2), True),
-    ("kset(2)", lambda: KSetDetector(3, 2), True),
-    ("kset(1)=semisync", lambda: SemiSyncEquality(3), False),
-]
+CATALOG = {
+    "async-mp(1)": (lambda: AsyncMessagePassing(3, 1), True),
+    "swmr(1)": (lambda: SharedMemorySWMR(3, 1), True),
+    "snapshot(1)": (lambda: AtomicSnapshot(3, 1), True),
+    "snapshot(2)": (lambda: AtomicSnapshot(3, 2), True),
+    "kset(2)": (lambda: KSetDetector(3, 2), True),
+    "kset(1)=semisync": (lambda: SemiSyncEquality(3), False),
+}
 
 
-@pytest.mark.parametrize("name,factory,connected", CATALOG)
-def test_e15_complex(benchmark, name, factory, connected):
-    summary = benchmark.pedantic(
-        consensus_disconnection, args=(factory(),), rounds=1, iterations=1
+def complex_cell(ctx) -> dict:
+    factory, _ = CATALOG[ctx["model"]]
+    summary = consensus_disconnection(factory())
+    return {
+        "facets": summary["facets"],
+        "vertices": summary["vertices"],
+        "components": summary["components"],
+        "euler": summary["euler"],
+        "connected": summary["connected"],
+    }
+
+
+EXPERIMENT = Experiment(
+    id="E15",
+    title="E15 (extension): one-round protocol complexes, n=3",
+    grid=Grid.explicit("model", list(CATALOG)),
+    run_cell=complex_cell,
+    samples=1,
+    table=(
+        ("model", "model"),
+        ("facets", "facets"),
+        ("vertices", "vertices"),
+        ("components", "components"),
+        ("χ", "euler"),
+        ("one-round consensus",
+         lambda c: "impossible (connected)" if c["connected"]
+         else "solvable (disconnected)"),
+    ),
+    notes="Topological extension; Section 6 programme.",
+)
+
+ITERATED = {
+    "snapshot(2) [wait-free]": lambda: AtomicSnapshot(3, 2),
+    "snapshot(1) [1-resilient]": lambda: AtomicSnapshot(3, 1),
+    "kset(1)=semisync": lambda: SemiSyncEquality(3),
+}
+
+
+def iterated_cell(ctx) -> dict:
+    complex_ = iterated_complex(ITERATED[ctx["model"]](), ctx["rounds"])
+    return {
+        "facets": complex_.facet_count,
+        "components": len(complex_.components()),
+        "euler": complex_.euler_characteristic(),
+    }
+
+
+EXPERIMENT_ITERATED = Experiment(
+    id="E15b",
+    title="E15b: iterated (2-round) complexes — the wait-free snapshot iteration "
+    "stays contractible-shaped (χ=1); 1-resilience opens holes (χ=−2)",
+    grid=Grid.explicit("model,rounds", [(name, 2) for name in ITERATED]),
+    run_cell=iterated_cell,
+    samples=1,
+    table=(
+        ("model", "model"), ("rounds", "rounds"),
+        ("facets", "facets"), ("components", "components"), ("χ", "euler"),
+    ),
+    notes="Iterated complexes; resilience opens holes.",
+)
+
+
+@pytest.mark.parametrize("model", list(CATALOG))
+def test_e15_complex(benchmark, model):
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"model": model},
+        rounds=1, iterations=1,
     )
-    assert summary["connected"] is connected
+    assert cell["connected"] is CATALOG[model][1]
 
 
 def test_e15_report(benchmark):
-    rows = []
-    for name, factory, _ in CATALOG:
-        summary = consensus_disconnection(factory())
-        rows.append([
-            name,
-            summary["facets"],
-            summary["vertices"],
-            summary["components"],
-            summary["euler"],
-            "impossible (connected)" if summary["connected"]
-            else "solvable (disconnected)",
-        ])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E15 (extension): one-round protocol complexes, n=3",
-        ["model", "facets", "vertices", "components", "χ", "one-round consensus"],
-        rows,
-    )
+    def sweep():
+        return run_experiment(EXPERIMENT), run_experiment(EXPERIMENT_ITERATED)
+
+    one_round, iterated = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    one_round.check(lambda c: c["connected"] is CATALOG[c["model"]][1])
     # the equality model splits into exactly 2^n − 1 components
-    assert rows[-1][3] == 7
-    iterated_rows = []
-    for name, factory, rounds in [
-        ("snapshot(2) [wait-free]", lambda: AtomicSnapshot(3, 2), 2),
-        ("snapshot(1) [1-resilient]", lambda: AtomicSnapshot(3, 1), 2),
-        ("kset(1)=semisync", lambda: SemiSyncEquality(3), 2),
-    ]:
-        complex_ = iterated_complex(factory(), rounds)
-        iterated_rows.append([
-            name, rounds, complex_.facet_count,
-            len(complex_.components()), complex_.euler_characteristic(),
-        ])
-    report_table(
-        "E15b: iterated (2-round) complexes — the wait-free snapshot iteration "
-        "stays contractible-shaped (χ=1); 1-resilience opens holes (χ=−2)",
-        ["model", "rounds", "facets", "components", "χ"],
-        iterated_rows,
-    )
+    assert one_round.cell(model="kset(1)=semisync")["components"] == 7
+    report_experiment(EXPERIMENT, one_round)
+    report_experiment(EXPERIMENT_ITERATED, iterated)

@@ -8,59 +8,78 @@ message cost grows as Θ(n²) per process-operation quorum (each of the
 2 + 2n register ops broadcasts and gathers a majority), i.e. Θ(n³) total.
 """
 
-import random
-
 import pytest
 
 from benchmarks.conftest import report_table
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.simulations.adopt_commit_over_abd import run_adopt_commit_over_abd
 
-GRID = [3, 5, 9, 15]
+GRID_NS = [3, 5, 9, 15]
 
 
-def run_cell(n: int, samples: int) -> dict:
-    messages = 0
-    commit_hits = 0
-    for seed in range(samples):
-        rng = random.Random(seed)
-        inputs = [rng.choice("ab") for _ in range(n)]
-        crash = {
-            pid: rng.uniform(0, 30)
-            for pid in rng.sample(range(n), (n - 1) // 2)
-        }
-        result = run_adopt_commit_over_abd(inputs, seed=seed, crash_times=crash)
-        survivors = {
-            pid: out for pid, out in result.outcomes.items()
-            if pid not in result.crashed
-        }
-        committed = {out.value for out in survivors.values() if out.committed}
-        assert len(committed) <= 1
-        if committed:
-            value = next(iter(committed))
-            assert all(out.value == value for out in survivors.values())
-        commit_hits += bool(committed)
-        messages = max(messages, result.messages_sent)
-    return {"messages": messages, "commit_rate": commit_hits / samples}
+def run_cell(ctx) -> dict:
+    n = ctx["n"]
+    rng = ctx.sub_rng("scenario")
+    inputs = [rng.choice("ab") for _ in range(n)]
+    crash = {
+        pid: rng.uniform(0, 30)
+        for pid in rng.sample(range(n), (n - 1) // 2)
+    }
+    result = run_adopt_commit_over_abd(
+        inputs, seed=ctx.sub_seed("abd"), crash_times=crash
+    )
+    survivors = {
+        pid: out for pid, out in result.outcomes.items()
+        if pid not in result.crashed
+    }
+    committed = {out.value for out in survivors.values() if out.committed}
+    assert len(committed) <= 1
+    if committed:
+        value = next(iter(committed))
+        assert all(out.value == value for out in survivors.values())
+    return {"messages": result.messages_sent, "commit": bool(committed)}
 
 
-@pytest.mark.parametrize("n", GRID)
+EXPERIMENT = Experiment(
+    id="E16",
+    title="E16 (extension): adopt-commit over ABD over messages — cost of the stack",
+    grid=Grid.explicit("n", GRID_NS),
+    run_cell=run_cell,
+    samples=10,
+    reduce={"messages": "max", "commit": "rate"},
+    table=(
+        ("n", "n"),
+        ("crashes", lambda c: (c["n"] - 1) // 2),
+        ("worst messages/instance", "messages"),
+        ("some-commit rate", lambda c: f"{100 * c['commit']['rate']:.0f}%"),
+    ),
+    notes="End-to-end composition; Θ(n³) message cost.",
+)
+
+
+@pytest.mark.parametrize("n", GRID_NS)
 def test_e16_stack(benchmark, n):
-    result = benchmark.pedantic(run_cell, args=(n, 15), rounds=1, iterations=1)
-    assert result["messages"] > 0
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"n": n, "samples": 15},
+        rounds=1, iterations=1,
+    )
+    assert cell["messages"] > 0
 
 
 def test_e16_report(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), rounds=1, iterations=1
+    )
+    result.check(lambda c: c["messages"] > 0)
     rows = []
     prev = None
-    for n in GRID:
-        cell = run_cell(n, 10)
+    for cell in result.cells:
         growth = f"{cell['messages'] / prev:.1f}x" if prev else "-"
         prev = cell["messages"]
         rows.append([
-            n, (n - 1) // 2, cell["messages"], growth,
-            f"{100 * cell['commit_rate']:.0f}%",
+            cell["n"], (cell["n"] - 1) // 2, cell["messages"], growth,
+            f"{100 * cell['commit']['rate']:.0f}%",
         ])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     report_table(
         "E16 (extension): adopt-commit over ABD over messages — cost of the stack",
         ["n", "crashes", "worst messages/instance", "growth", "some-commit rate"],

@@ -9,41 +9,73 @@ and why the paper's detector hierarchy is the right axis (the probability
 collapses as n grows, for every fixed k).
 """
 
-import random
-
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.core.predicate import round_intersection, round_union
 from repro.core.predicates import AsyncMessagePassing
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.util.stats import estimate_rate
 
 NS = [4, 6, 8, 12, 16]
-SAMPLES = 3000
 
 
-def satisfaction_rate(n: int, f: int, k: int, samples: int = SAMPLES) -> float:
-    return satisfaction_estimate(n, f, k, samples).point
+def _f_for(n: int) -> int:
+    return max(1, n // 3)
 
 
-def satisfaction_estimate(n: int, f: int, k: int, samples: int = SAMPLES):
-    predicate = AsyncMessagePassing(n, f)
-    rng = random.Random(n * 1000 + f * 10 + k)
-    hits = 0
-    for _ in range(samples):
-        d_round = predicate.sample_round(rng, ())
-        disagreement = round_union(d_round) - round_intersection(d_round)
-        if len(disagreement) < k:
-            hits += 1
-    return estimate_rate(hits, samples)
+def _ks_for(n: int) -> list:
+    return sorted({1, 2, max(2, n // 2), n - 1})
+
+
+GRID_ROWS = [(n, _f_for(n), k) for n in NS for k in _ks_for(n)]
+
+
+def run_cell(ctx) -> dict:
+    n, f, k = ctx["n"], ctx["f"], ctx["k"]
+    d_round = AsyncMessagePassing(n, f).sample_round(ctx.rng, ())
+    disagreement = round_union(d_round) - round_intersection(d_round)
+    return {"hit": len(disagreement) < k}
+
+
+def render(result) -> list:
+    rows = []
+    for n in NS:
+        f = _f_for(n)
+        cells = []
+        for k in (1, 2, max(2, n // 2), n - 1):
+            hit = result.cell(n=n, f=f, k=k)["hit"]
+            cells.append(str(estimate_rate(hit["hits"], hit["trials"])))
+        rows.append([n, f, *cells])
+    return [(
+        "E17 (extension): P[random async-MP round satisfies kset(k)] — why the "
+        "detector hierarchy matters",
+        ["n", "f", "k=1", "k=2", "k=n/2", "k=n−1"],
+        rows,
+    )]
+
+
+EXPERIMENT = Experiment(
+    id="E17",
+    title="E17 (extension): P[random async-MP round satisfies kset(k)]",
+    grid=Grid.explicit("n,f,k", GRID_ROWS),
+    run_cell=run_cell,
+    samples=3000,
+    reduce={"hit": "rate"},
+    render=render,
+    notes="Detector-quality sweep; the CLI's other --speedup probe.",
+)
 
 
 @pytest.mark.parametrize("n", NS)
-def test_e17_sweep(benchmark, n):
-    f = max(1, n // 3)
+def test_e17_monotone_in_k(benchmark, n):
+    f = _f_for(n)
 
     def sweep():
-        return {k: satisfaction_rate(n, f, k, samples=800) for k in (1, 2, n // 2)}
+        return {
+            k: run_one_cell(EXPERIMENT, n=n, f=f, k=k, samples=800)["hit"]["rate"]
+            for k in (1, 2, n // 2)
+        }
 
     rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
     # monotone in k: a weaker requirement is satisfied at least as often
@@ -52,21 +84,11 @@ def test_e17_sweep(benchmark, n):
 
 
 def test_e17_report(benchmark):
-    rows = []
-    for n in NS:
-        f = max(1, n // 3)
-        cells = [
-            str(satisfaction_estimate(n, f, k))
-            for k in (1, 2, max(2, n // 2), n - 1)
-        ]
-        rows.append([n, f, *cells])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E17 (extension): P[random async-MP round satisfies kset(k)] — why the "
-        "detector hierarchy matters",
-        ["n", "f", "k=1", "k=2", "k=n/2", "k=n−1"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), rounds=1, iterations=1
     )
+    report_experiment(EXPERIMENT, result)
     # the shape: vanishing for small k as n grows, rising toward 1 at k≈n
-    assert satisfaction_estimate(NS[-1], NS[-1] // 3, 1, 500).point <= \
-        satisfaction_estimate(NS[0], max(1, NS[0] // 3), 1, 500).point + 0.05
+    big = result.cell(n=NS[-1], f=_f_for(NS[-1]), k=1)["hit"]["rate"]
+    small = result.cell(n=NS[0], f=_f_for(NS[0]), k=1)["hit"]["rate"]
+    assert big <= small + 0.05

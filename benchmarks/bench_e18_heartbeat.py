@@ -8,58 +8,69 @@ pre-GST false suspicions occur and are all healed by adaptation.
 
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.substrates.messaging.heartbeat import HeartbeatSystem
 
-GRID = [(20.0, 0.5), (60.0, 0.5), (60.0, 2.0)]
+GRID_ROWS = [(20.0, 0.5), (60.0, 0.5), (60.0, 2.0)]
 
 
-def run_cell(gst: float, delta: float, samples: int) -> dict:
-    false_total = 0
-    detect_latency = 0.0
-    for seed in range(samples):
-        system = HeartbeatSystem.build(5, seed=seed, gst=gst, delta=delta)
-        crash_time = gst + 20.0
-        system.network.crash(2, crash_time)
-        system.run(until=gst + 300.0)
-        assert system.completeness_holds()
-        assert system.accuracy_holds()
-        assert system.eventually_strong_holds()
-        # when did the last correct process start suspecting the crashed one?
-        latest = crash_time
-        for pid in (0, 1, 3, 4):
-            for time, suspected in system.nodes[pid].suspicion_log:
-                if 2 in suspected and time >= crash_time:
-                    latest = max(latest, time)
-                    break
-        detect_latency = max(detect_latency, latest - crash_time)
-        false_total += sum(
-            1
-            for node in system.nodes
-            for time, suspected in node.suspicion_log
-            if time < gst and suspected
-        )
-    return {"detect_latency": detect_latency, "false_events": false_total}
+def run_cell(ctx) -> dict:
+    gst, delta = ctx["gst"], ctx["delta"]
+    system = HeartbeatSystem.build(5, seed=ctx.seed, gst=gst, delta=delta)
+    crash_time = gst + 20.0
+    system.network.crash(2, crash_time)
+    system.run(until=gst + 300.0)
+    assert system.completeness_holds()
+    assert system.accuracy_holds()
+    assert system.eventually_strong_holds()
+    # when did the last correct process start suspecting the crashed one?
+    latest = crash_time
+    for pid in (0, 1, 3, 4):
+        for time, suspected in system.nodes[pid].suspicion_log:
+            if 2 in suspected and time >= crash_time:
+                latest = max(latest, time)
+                break
+    false_events = sum(
+        1
+        for node in system.nodes
+        for time, suspected in node.suspicion_log
+        if time < gst and suspected
+    )
+    return {"detect_latency": latest - crash_time, "false_events": false_events}
 
 
-@pytest.mark.parametrize("gst,delta", GRID)
+EXPERIMENT = Experiment(
+    id="E18",
+    title="E18 (extension): heartbeat ◇S over partial synchrony (n=5, crash at "
+    "GST+20)",
+    grid=Grid.explicit("gst,delta", GRID_ROWS),
+    run_cell=run_cell,
+    samples=5,
+    reduce={"detect_latency": "max", "false_events": "sum"},
+    table=(
+        ("GST", "gst"), ("Δ", "delta"),
+        ("worst detection latency", lambda c: f"{c['detect_latency']:.1f}"),
+        ("pre-GST false-suspicion events", "false_events"),
+        ("verdict", lambda c: "completeness+accuracy+◇S held"),
+    ),
+    notes="Item 6's system realised; every sample asserts ◇S.",
+)
+
+
+@pytest.mark.parametrize("gst,delta", GRID_ROWS)
 def test_e18_heartbeat(benchmark, gst, delta):
-    result = benchmark.pedantic(run_cell, args=(gst, delta, 6), rounds=1, iterations=1)
-    assert result["detect_latency"] > 0
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,),
+        kwargs={"gst": gst, "delta": delta, "samples": 6},
+        rounds=1, iterations=1,
+    )
+    assert cell["detect_latency"] > 0
 
 
 def test_e18_report(benchmark):
-    rows = []
-    for gst, delta in GRID:
-        cell = run_cell(gst, delta, 5)
-        rows.append([
-            gst, delta, f"{cell['detect_latency']:.1f}",
-            cell["false_events"], "completeness+accuracy+◇S held",
-        ])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E18 (extension): heartbeat ◇S over partial synchrony (n=5, crash at GST+20)",
-        ["GST", "Δ", "worst detection latency", "pre-GST false-suspicion events",
-         "verdict"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), rounds=1, iterations=1
     )
+    result.check(lambda c: c["detect_latency"] > 0, "crash detected")
+    report_experiment(EXPERIMENT, result)

@@ -8,67 +8,75 @@ adversary makes the bound tight); agreement holds against every adversary
 (exhaustively verified in the tests for small systems).
 """
 
-import random
-
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.protocols.early_stopping import early_floodmin_protocol
 from repro.protocols.floodset import floodmin_protocol
 from repro.substrates.sync import CrashScheduleInjector, run_synchronous
 
 
-def measure_rounds(f: int, actual: int, samples: int) -> int:
+def run_cell(ctx) -> dict:
+    f, actual = ctx["f"], ctx["actual"]
     n = f + 2
-    worst = 0
-    rng = random.Random(actual * 7 + f)
-    for seed in range(samples):
-        crashers = rng.sample(range(n), actual)
-        schedule = {pid: r + 1 for r, pid in enumerate(crashers)}
-        injector = CrashScheduleInjector(n, f, schedule)
-        result = run_synchronous(
-            early_floodmin_protocol(f), list(range(n)), injector,
-            max_rounds=f + 1,
-        )
-        decisions = {result.decisions[pid] for pid in result.alive}
-        assert len(decisions) == 1
-        worst = max(worst, result.rounds_run)
-    return worst
+    crashers = ctx.rng.sample(range(n), actual)
+    schedule = {pid: r + 1 for r, pid in enumerate(crashers)}
+    injector = CrashScheduleInjector(n, f, schedule)
+    result = run_synchronous(
+        early_floodmin_protocol(f), list(range(n)), injector, max_rounds=f + 1
+    )
+    decisions = {result.decisions[pid] for pid in result.alive}
+    assert len(decisions) == 1
+    return {"worst_round": result.rounds_run}
 
 
-def plain_floodmin_rounds(f: int, actual: int) -> int:
+def finalize(params: dict, value: dict) -> dict:
+    f, actual = params["f"], params["actual"]
     n = f + 2
     schedule = {pid: r + 1 for r, pid in enumerate(range(actual))}
     injector = CrashScheduleInjector(n, f, schedule)
-    result = run_synchronous(
+    plain = run_synchronous(
         floodmin_protocol(f, 1), list(range(n)), injector, max_rounds=f + 1
     )
-    return result.rounds_run
+    return {"bound": min(actual + 2, f + 1), "plain_rounds": plain.rounds_run}
+
+
+EXPERIMENT = Experiment(
+    id="E19",
+    title="E19 (extension): early-deciding consensus — rounds vs actual failures "
+    "(n = f + 2, staggered worst-case crashes)",
+    grid=Grid.explicit("f,actual", [(5, actual) for actual in range(6)]),
+    run_cell=run_cell,
+    samples=20,
+    reduce={"worst_round": "max"},
+    finalize=finalize,
+    table=(
+        ("f (budget)", "f"),
+        ("f' (actual)", "actual"),
+        ("early-deciding rounds", "worst_round"),
+        ("bound", lambda c: f"min(f'+2, f+1) = {c['bound']}"),
+        ("plain FloodMin", "plain_rounds"),
+    ),
+    notes="Early stopping; the clean-round rule.",
+)
 
 
 @pytest.mark.parametrize("f,actual", [(4, 0), (4, 2), (4, 4), (6, 1), (6, 3)])
 def test_e19_early_decision_bound(benchmark, f, actual):
-    worst = benchmark.pedantic(
-        measure_rounds, args=(f, actual, 25), rounds=1, iterations=1
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,),
+        kwargs={"f": f, "actual": actual, "samples": 25},
+        rounds=1, iterations=1,
     )
-    assert worst <= min(actual + 2, f + 1)
+    assert cell["worst_round"] <= min(actual + 2, f + 1)
 
 
 def test_e19_report(benchmark):
-    rows = []
-    f = 5
-    for actual in range(f + 1):
-        early = measure_rounds(f, actual, 20)
-        plain = plain_floodmin_rounds(f, actual)
-        rows.append([
-            f, actual, early, f"min(f'+2, f+1) = {min(actual + 2, f + 1)}",
-            plain,
-        ])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E19 (extension): early-deciding consensus — rounds vs actual failures "
-        "(n = f + 2, staggered worst-case crashes)",
-        ["f (budget)", "f' (actual)", "early-deciding rounds", "bound", "plain FloodMin"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), rounds=1, iterations=1
     )
-    assert rows[0][2] == 2  # failure-free: two rounds, not f+1
+    result.check(lambda c: c["worst_round"] <= c["bound"], "early-decision bound")
+    # failure-free: two rounds, not f+1
+    assert result.cell(f=5, actual=0)["worst_round"] == 2
+    report_experiment(EXPERIMENT, result)

@@ -8,27 +8,24 @@ and a targeted adversary achieves exactly k (the bound is tight).
 
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.core.adversary import FunctionAdversary
 from repro.core.detector import RoundByRoundFaultDetector
 from repro.core.executor import run_protocol
 from repro.core.predicates import KSetDetector
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.protocols.kset import kset_protocol
 from repro.protocols.properties import check_kset_agreement, check_termination, check_validity
 
-SAMPLES = 200
 
-
-def run_cell(n: int, k: int, samples: int = SAMPLES) -> dict:
-    worst = 0
-    for seed in range(samples):
-        rrfd = RoundByRoundFaultDetector(KSetDetector(n, k), seed=seed)
-        trace = rrfd.run(kset_protocol(), inputs=list(range(n)), max_rounds=1)
-        check_kset_agreement(trace, k)
-        check_validity(trace)
-        check_termination(trace, by_round=1)
-        worst = max(worst, len(trace.decided_values))
-    return {"n": n, "k": k, "worst_distinct": worst, "rounds": 1}
+def run_cell(ctx) -> dict:
+    n, k = ctx["n"], ctx["k"]
+    rrfd = RoundByRoundFaultDetector(KSetDetector(n, k), seed=ctx.seed)
+    trace = rrfd.run(kset_protocol(), inputs=list(range(n)), max_rounds=1)
+    check_kset_agreement(trace, k)
+    check_validity(trace)
+    check_termination(trace, by_round=1)
+    return {"distinct": len(trace.decided_values), "rounds": trace.num_rounds}
 
 
 def targeted_worst_case(n: int, k: int) -> int:
@@ -46,25 +43,45 @@ def targeted_worst_case(n: int, k: int) -> int:
     return len(trace.decided_values)
 
 
-GRID = [(4, 1), (4, 2), (8, 2), (8, 4), (16, 3), (16, 8), (32, 5)]
+def finalize(params: dict, value: dict) -> dict:
+    return {"targeted": targeted_worst_case(params["n"], params["k"])}
 
 
-@pytest.mark.parametrize("n,k", GRID)
+EXPERIMENT = Experiment(
+    id="E1",
+    title="E1 (Thm 3.1): one-round k-set agreement under KSetDetector(k)",
+    grid=Grid.explicit("n,k", [(4, 1), (4, 2), (8, 2), (8, 4), (16, 3), (16, 8), (32, 5)]),
+    run_cell=run_cell,
+    samples=200,
+    reduce={"distinct": "max", "rounds": "max"},
+    finalize=finalize,
+    table=(
+        ("n", "n"),
+        ("k", "k"),
+        ("max distinct (random adv)", "distinct"),
+        ("distinct (targeted adv)", "targeted"),
+        ("rounds", "rounds"),
+        ("verdict", lambda c: "<= k" if c["distinct"] <= c["k"] else "VIOLATION"),
+    ),
+    notes="Theorem 3.1; the targeted adversary shows the bound is tight.",
+)
+
+
+@pytest.mark.parametrize("n,k", [(c["n"], c["k"]) for c in EXPERIMENT.grid])
 def test_e1_one_round_kset(benchmark, n, k):
-    result = benchmark.pedantic(run_cell, args=(n, k), rounds=1, iterations=1)
-    assert result["worst_distinct"] <= k
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"n": n, "k": k},
+        rounds=1, iterations=1,
+    )
+    assert cell["distinct"] <= k
+    assert cell["rounds"] == 1
 
 
 def test_e1_report(benchmark):
-    rows = []
-    for n, k in GRID:
-        cell = run_cell(n, k, samples=60)
-        tight = targeted_worst_case(n, k)
-        rows.append([n, k, cell["worst_distinct"], tight, 1, "<= k" if cell["worst_distinct"] <= k else "VIOLATION"])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E1 (Thm 3.1): one-round k-set agreement under KSetDetector(k)",
-        ["n", "k", "max distinct (random adv)", "distinct (targeted adv)", "rounds", "verdict"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), kwargs={"samples": 60},
+        rounds=1, iterations=1,
     )
-    assert all(int(row[3]) == int(row[1]) for row in rows)  # tightness
+    result.check(lambda c: c["distinct"] <= c["k"])
+    result.check(lambda c: c["targeted"] == c["k"], "tightness")
+    report_experiment(EXPERIMENT, result)

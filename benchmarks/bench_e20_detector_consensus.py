@@ -11,50 +11,65 @@ oracle behaviour (safety never depends on the detector); steps-to-decide
 grow as the oracle stabilises later — the detector buys liveness only.
 """
 
-import random
-
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.protocols.detector_consensus import run_diamond_s_consensus
 
-GRID = [3, 5, 8]
+GRID_NS = [3, 5, 8]
 
 
-def run_cell(n: int, stabilization: int, samples: int) -> dict:
-    steps = 0
-    for seed in range(samples):
-        rng = random.Random(seed)
-        vals = [rng.randint(0, 3) for _ in range(n)]
-        crash = {
-            pid: rng.randint(0, 80)
-            for pid in rng.sample(range(n), rng.randint(0, n - 1))
-        }
-        res = run_diamond_s_consensus(
-            vals, seed=seed, crash_after=crash,
-            stabilization_step=stabilization, max_phases=120,
-        )
-        assert len(set(res.decisions.values())) == 1
-        assert set(res.decisions.values()) <= set(vals)
-        steps = max(steps, res.total_steps)
-    return {"worst_steps": steps}
+def run_cell(ctx) -> dict:
+    n, stabilization = ctx["n"], ctx["stab"]
+    rng = ctx.sub_rng("scenario")
+    vals = [rng.randint(0, 3) for _ in range(n)]
+    crash = {
+        pid: rng.randint(0, 80)
+        for pid in rng.sample(range(n), rng.randint(0, n - 1))
+    }
+    res = run_diamond_s_consensus(
+        vals, seed=ctx.sub_seed("run"), crash_after=crash,
+        stabilization_step=stabilization, max_phases=120,
+    )
+    assert len(set(res.decisions.values())) == 1
+    assert set(res.decisions.values()) <= set(vals)
+    return {"worst_steps": res.total_steps}
 
 
-@pytest.mark.parametrize("n", GRID)
+EXPERIMENT = Experiment(
+    id="E20",
+    title="E20 (extension): ◇S consensus via per-phase adopt-commit (ref [16])",
+    grid=Grid.product(n=GRID_NS, stab=[0, 600]),
+    run_cell=run_cell,
+    samples=15,
+    reduce={"worst_steps": "max"},
+    render=lambda result: [(
+        "E20 (extension): ◇S consensus via per-phase adopt-commit (ref [16])",
+        ["n", "crashes", "worst steps (stab.=0)", "worst steps (stab.=600)",
+         "verdict"],
+        [[n, "<= n-1 random",
+          result.cell(n=n, stab=0)["worst_steps"],
+          result.cell(n=n, stab=600)["worst_steps"],
+          "agreement+validity held"] for n in GRID_NS],
+    )],
+    notes="Reference [16]'s composition; safety is oracle-independent.",
+)
+
+
+@pytest.mark.parametrize("n", GRID_NS)
 def test_e20_consensus(benchmark, n):
-    result = benchmark.pedantic(run_cell, args=(n, 150, 25), rounds=1, iterations=1)
-    assert result["worst_steps"] > 0
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,),
+        kwargs={"n": n, "stab": 150, "samples": 25},
+        rounds=1, iterations=1,
+    )
+    assert cell["worst_steps"] > 0
 
 
 def test_e20_report(benchmark):
-    rows = []
-    for n in GRID:
-        early = run_cell(n, 0, 15)["worst_steps"]
-        late = run_cell(n, 600, 15)["worst_steps"]
-        rows.append([n, "<= n-1 random", early, late, "agreement+validity held"])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E20 (extension): ◇S consensus via per-phase adopt-commit (ref [16])",
-        ["n", "crashes", "worst steps (stab.=0)", "worst steps (stab.=600)", "verdict"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), rounds=1, iterations=1
     )
+    result.check(lambda c: c["worst_steps"] > 0)
+    report_experiment(EXPERIMENT, result)

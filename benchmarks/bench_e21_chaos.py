@@ -14,12 +14,13 @@ import pytest
 from benchmarks.conftest import report_table
 from repro.core.algorithm import RoundProcess, make_protocol
 from repro.core.audit import StallDetected
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.substrates.messaging.chaos import CrashWindow, FaultPlan, LinkFaults
 from repro.substrates.messaging.reliable import run_reliable_round_overlay
 
 N = 6
 DECIDE_AFTER = 3
-GRID = [(drop, f) for drop in (0.0, 0.1, 0.2, 0.3) for f in (1, 2)]
+GRID_ROWS = [(drop, f) for drop in (0.0, 0.1, 0.2, 0.3) for f in (1, 2)]
 
 
 class AsyncFloodMin(RoundProcess):
@@ -50,38 +51,51 @@ def crash_plan(drop: float, crashes: int) -> FaultPlan:
     )
 
 
-def run_cell(drop: float, f: int, samples: int) -> dict:
-    completed = 0
-    retransmissions = 0
-    rounds = 0
-    violations = 0
-    for seed in range(samples):
-        result = run_reliable_round_overlay(
-            flood_min_protocol(), list(range(N)), f,
-            max_rounds=DECIDE_AFTER, seed=seed, plan=crash_plan(drop, f),
-            # above the worst-case RTT (delay ≤ 10 + jitter 4, both ways), so
-            # retransmissions measure actual loss, not impatience
-            base_timeout=30.0,
-        )
-        live = [pid for pid in range(N) if pid not in result.crashed]
-        if all(result.decisions[pid] is not None for pid in live):
-            completed += 1
-        retransmissions += result.total_retransmissions
-        rounds += max(result.rounds_completed(pid) for pid in live)
-        violations += len(result.audit.violations)
+def run_cell(ctx) -> dict:
+    drop, f = ctx["drop"], ctx["f"]
+    result = run_reliable_round_overlay(
+        flood_min_protocol(), list(range(N)), f,
+        max_rounds=DECIDE_AFTER, seed=ctx.seed, plan=crash_plan(drop, f),
+        # above the worst-case RTT (delay ≤ 10 + jitter 4, both ways), so
+        # retransmissions measure actual loss, not impatience
+        base_timeout=30.0,
+    )
+    live = [pid for pid in range(N) if pid not in result.crashed]
     return {
-        "completed": completed,
-        "runs": samples,
-        "mean_retx": retransmissions / samples,
-        "mean_rounds": rounds / samples,
-        "violations": violations,
+        "completed": all(result.decisions[pid] is not None for pid in live),
+        "retx": result.total_retransmissions,
+        "rounds": max(result.rounds_completed(pid) for pid in live),
+        "violations": len(result.audit.violations),
     }
 
 
-@pytest.mark.parametrize("drop,f", GRID)
+EXPERIMENT = Experiment(
+    id="E21",
+    title="E21 (chaos): reliable overlay vs drop rate × f — completion, cost, audit",
+    grid=Grid.explicit("drop,f", GRID_ROWS),
+    run_cell=run_cell,
+    samples=5,
+    reduce={"completed": "rate", "retx": "mean", "rounds": "mean",
+            "violations": "sum"},
+    table=(
+        ("drop", "drop"), ("f", "f"),
+        ("completed",
+         lambda c: f"{c['completed']['hits']}/{c['completed']['trials']}"),
+        ("mean retx", lambda c: f"{c['retx']:.1f}"),
+        ("mean rounds", lambda c: f"{c['rounds']:.1f}"),
+        ("audit violations", "violations"),
+    ),
+    notes="Fault-injection chaos grid; auditor checks eq.(3) + closure.",
+)
+
+
+@pytest.mark.parametrize("drop,f", GRID_ROWS)
 def test_e21_reliable_overlay_survives_chaos(benchmark, drop, f):
-    cell = benchmark.pedantic(run_cell, args=(drop, f, 5), rounds=1, iterations=1)
-    assert cell["completed"] == cell["runs"], "reliable overlay must always decide"
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"drop": drop, "f": f},
+        rounds=1, iterations=1,
+    )
+    assert cell["completed"]["rate"] == 1.0, "reliable overlay must always decide"
     assert cell["violations"] == 0, "auditor must find no invariant violations"
 
 
@@ -105,15 +119,17 @@ def test_e21_underprovisioned_stalls_structurally():
 
 
 def test_e21_report(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), rounds=1, iterations=1
+    )
+    result.check(lambda c: c["completed"]["rate"] == 1.0, "always decides")
+    result.check(lambda c: c["violations"] == 0, "clean audit")
     rows = []
-    for drop, f in GRID:
-        cell = run_cell(drop, f, 5)
+    for cell in result.cells:
         rows.append([
-            drop, f,
-            f"{cell['completed']}/{cell['runs']}",
-            f"{cell['mean_retx']:.1f}",
-            f"{cell['mean_rounds']:.1f}",
-            cell["violations"],
+            cell["drop"], cell["f"],
+            f"{cell['completed']['hits']}/{cell['completed']['trials']}",
+            f"{cell['retx']:.1f}", f"{cell['rounds']:.1f}", cell["violations"],
         ])
     try:
         run_reliable_round_overlay(
@@ -127,7 +143,6 @@ def test_e21_report(benchmark):
         stall_row = (f"{len(blocked)} blocked in round "
                      f"{min(s.round for s in blocked)}")
     rows.append(["0.1", "1 (2 crashes)", "stall", "—", "—", stall_row])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     report_table(
         "E21 (chaos): reliable overlay vs drop rate × f — completion, cost, audit",
         ["drop", "f", "completed", "mean retx", "mean rounds", "audit violations"],

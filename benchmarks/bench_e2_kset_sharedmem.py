@@ -9,70 +9,77 @@ snapshot model — with every non-crashed process deciding.
 Ablation (DESIGN.md): primitive-scan substrate vs predicate-sampled model.
 """
 
-import random
-
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.core.detector import RoundByRoundFaultDetector
 from repro.core.predicates import AtomicSnapshot
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.protocols.kset import kset_protocol
 from repro.protocols.properties import check_kset_agreement, check_validity
 from repro.substrates.sharedmem import run_scan_rounds
 
-GRID = [(4, 2), (6, 2), (8, 3), (12, 4), (16, 5)]
+
+def run_cell(ctx) -> dict:
+    n, k = ctx["n"], ctx["k"]
+
+    crash_rng = ctx.sub_rng("crash")
+    crash = {
+        pid: crash_rng.randint(0, 20)
+        for pid in crash_rng.sample(range(n), crash_rng.randint(0, k - 1))
+    }
+    res = run_scan_rounds(
+        kset_protocol(), list(range(n)), k - 1, max_rounds=1,
+        seed=ctx.sub_seed("substrate"), crash_after=crash,
+    )
+    substrate_decided = {v for v in res.decisions if v is not None}
+    assert substrate_decided <= set(range(n))
+
+    rrfd = RoundByRoundFaultDetector(AtomicSnapshot(n, k - 1), seed=ctx.seed)
+    trace = rrfd.run(kset_protocol(), inputs=list(range(n)), max_rounds=1)
+    check_kset_agreement(trace, k)
+    check_validity(trace)
+
+    return {
+        "substrate": len(substrate_decided),
+        "model": len(trace.decided_values),
+    }
 
 
-def run_substrate(n: int, k: int, samples: int) -> int:
-    worst = 0
-    for seed in range(samples):
-        rng = random.Random(seed)
-        crash = {
-            pid: rng.randint(0, 20)
-            for pid in rng.sample(range(n), rng.randint(0, k - 1))
-        }
-        res = run_scan_rounds(
-            kset_protocol(), list(range(n)), k - 1, max_rounds=1,
-            seed=seed, crash_after=crash,
-        )
-        decided = {v for v in res.decisions if v is not None}
-        assert decided <= set(range(n))
-        worst = max(worst, len(decided))
-    return worst
+EXPERIMENT = Experiment(
+    id="E2",
+    title="E2 (Cor 3.2): k-set agreement, snapshot shared memory, ≤ k−1 crashes",
+    grid=Grid.explicit("n,k", [(4, 2), (6, 2), (8, 3), (12, 4), (16, 5)]),
+    run_cell=run_cell,
+    samples=40,
+    reduce={"substrate": "max", "model": "max"},
+    table=(
+        ("n", "n"),
+        ("k", "k"),
+        ("crashes", lambda c: c["k"] - 1),
+        ("distinct (scan substrate)", "substrate"),
+        ("distinct (predicate model)", "model"),
+        ("verdict", lambda c: "<= k" if max(c["substrate"], c["model"]) <= c["k"]
+         else "VIOLATION"),
+    ),
+    notes="Corollary 3.2; DESIGN.md substrate-vs-model ablation.",
+)
 
 
-def run_model(n: int, k: int, samples: int) -> int:
-    worst = 0
-    for seed in range(samples):
-        rrfd = RoundByRoundFaultDetector(AtomicSnapshot(n, k - 1), seed=seed)
-        trace = rrfd.run(kset_protocol(), inputs=list(range(n)), max_rounds=1)
-        check_kset_agreement(trace, k)
-        check_validity(trace)
-        worst = max(worst, len(trace.decided_values))
-    return worst
-
-
-@pytest.mark.parametrize("n,k", GRID)
-def test_e2_substrate(benchmark, n, k):
-    worst = benchmark.pedantic(run_substrate, args=(n, k, 40), rounds=1, iterations=1)
-    assert worst <= k
-
-
-@pytest.mark.parametrize("n,k", GRID)
-def test_e2_model(benchmark, n, k):
-    worst = benchmark.pedantic(run_model, args=(n, k, 60), rounds=1, iterations=1)
-    assert worst <= k
+@pytest.mark.parametrize("n,k", [(c["n"], c["k"]) for c in EXPERIMENT.grid])
+def test_e2_substrate_and_model(benchmark, n, k):
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"n": n, "k": k},
+        rounds=1, iterations=1,
+    )
+    assert cell["substrate"] <= k
+    assert cell["model"] <= k
 
 
 def test_e2_report(benchmark):
-    rows = []
-    for n, k in GRID:
-        substrate = run_substrate(n, k, 30)
-        model = run_model(n, k, 30)
-        rows.append([n, k, k - 1, substrate, model, "<= k"])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E2 (Cor 3.2): k-set agreement, snapshot shared memory, ≤ k−1 crashes",
-        ["n", "k", "crashes", "distinct (scan substrate)", "distinct (predicate model)", "verdict"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), kwargs={"samples": 30},
+        rounds=1, iterations=1,
     )
+    result.check(lambda c: c["substrate"] <= c["k"] and c["model"] <= c["k"])
+    report_experiment(EXPERIMENT, result)

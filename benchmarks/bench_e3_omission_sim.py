@@ -7,48 +7,62 @@ send-omission predicate, its cumulative fault count never exceeds
 
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.simulations.async_to_sync_omission import simulate_omission_rounds
 
-GRID = [(2, 1), (4, 1), (4, 2), (6, 2), (8, 2), (9, 3), (12, 4)]
 
-
-def run_cell(f: int, k: int, samples: int) -> dict:
+def run_cell(ctx) -> dict:
+    f, k = ctx["f"], ctx["k"]
     n = max(6, f + 1)
-    worst_faults = 0
-    for seed in range(samples):
-        res = simulate_omission_rounds(
-            make_protocol(FullInformationProcess), list(range(n)), f, k, seed=seed
-        )
-        assert res.omission_predicate_holds
-        assert res.within_budget
-        worst_faults = max(worst_faults, res.cumulative_faults)
-    return {
-        "n": n,
-        "sync_rounds": f // k,
-        "async_rounds": f // k,
-        "worst_faults": worst_faults,
-    }
+    res = simulate_omission_rounds(
+        make_protocol(FullInformationProcess), list(range(n)), f, k, seed=ctx.seed
+    )
+    assert res.omission_predicate_holds
+    assert res.within_budget
+    return {"faults": res.cumulative_faults}
 
 
-@pytest.mark.parametrize("f,k", GRID)
+def finalize(params: dict, value: dict) -> dict:
+    f, k = params["f"], params["k"]
+    return {"n": max(6, f + 1), "sync_rounds": f // k, "async_rounds": f // k}
+
+
+EXPERIMENT = Experiment(
+    id="E3",
+    title="E3 (Thm 4.1): async snapshot(k) implements ⌊f/k⌋ sync omission rounds",
+    grid=Grid.explicit("f,k", [(2, 1), (4, 1), (4, 2), (6, 2), (8, 2), (9, 3), (12, 4)]),
+    run_cell=run_cell,
+    samples=40,
+    reduce={"faults": "max"},
+    finalize=finalize,
+    table=(
+        ("n", "n"),
+        ("f", "f"),
+        ("k", "k"),
+        ("sync rounds", "sync_rounds"),
+        ("async rounds", "async_rounds"),
+        ("worst faults vs budget", lambda c: f"{c['faults']} <= {c['f']}"),
+        ("cost", lambda c: "1 async round / sync round"),
+    ),
+    notes="Theorem 4.1; 1:1 exchange rate.",
+)
+
+
+@pytest.mark.parametrize("f,k", [(c["f"], c["k"]) for c in EXPERIMENT.grid])
 def test_e3_omission_simulation(benchmark, f, k):
-    result = benchmark.pedantic(run_cell, args=(f, k, 40), rounds=1, iterations=1)
-    assert result["worst_faults"] <= f
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"f": f, "k": k},
+        rounds=1, iterations=1,
+    )
+    assert cell["faults"] <= f
 
 
 def test_e3_report(benchmark):
-    rows = []
-    for f, k in GRID:
-        cell = run_cell(f, k, 30)
-        rows.append([
-            cell["n"], f, k, cell["sync_rounds"], cell["async_rounds"],
-            f"{cell['worst_faults']} <= {f}", "1 async round / sync round",
-        ])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E3 (Thm 4.1): async snapshot(k) implements ⌊f/k⌋ sync omission rounds",
-        ["n", "f", "k", "sync rounds", "async rounds", "worst faults vs budget", "cost"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), kwargs={"samples": 30},
+        rounds=1, iterations=1,
     )
+    result.check(lambda c: c["faults"] <= c["f"], "fault budget")
+    report_experiment(EXPERIMENT, result)

@@ -9,66 +9,79 @@ DESIGN.md calls out).  Also reproduces Corollary 4.2's arithmetic: FloodMin
 
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.protocols.floodset import floodmin_protocol, rounds_needed
 from repro.simulations.async_to_sync_crash import simulate_crash_rounds
 
-GRID = [(2, 1), (4, 1), (4, 2), (6, 2), (8, 2), (9, 3)]
 
-
-def run_cell(f: int, k: int, samples: int) -> dict:
+def run_cell(ctx) -> dict:
+    f, k = ctx["f"], ctx["k"]
     n = max(6, f + 1)
-    worst_faults = 0
-    async_rounds = 0
-    for seed in range(samples):
-        res = simulate_crash_rounds(
-            make_protocol(FullInformationProcess), list(range(n)), f, k, seed=seed
-        )
-        assert res.crash_predicate_holds()
-        worst_faults = max(worst_faults, res.cumulative_simulated_faults())
-        async_rounds = res.async_rounds_used
+    res = simulate_crash_rounds(
+        make_protocol(FullInformationProcess), list(range(n)), f, k, seed=ctx.seed
+    )
+    assert res.crash_predicate_holds()
+
+    # Corollary 4.2's arithmetic: FloodMin's deadline exceeds the window.
+    floodmin = simulate_crash_rounds(
+        floodmin_protocol(f, k), list(range(f + k + 1)), f, k,
+        seed=ctx.sub_seed("floodmin"),
+    )
     return {
-        "n": n,
-        "sync_rounds": f // k,
-        "async_rounds": async_rounds,
-        "worst_faults": worst_faults,
+        "faults": res.cumulative_simulated_faults(),
+        "async_rounds": res.async_rounds_used,
+        "floodmin_decided": any(d is not None for d in floodmin.decisions),
     }
 
 
-def floodmin_decides_inside(f: int, k: int, samples: int) -> bool:
-    n = f + k + 1
-    for seed in range(samples):
-        res = simulate_crash_rounds(
-            floodmin_protocol(f, k), list(range(n)), f, k, seed=seed
-        )
-        if any(d is not None for d in res.decisions):
-            return True
-    return False
+def finalize(params: dict, value: dict) -> dict:
+    f, k = params["f"], params["k"]
+    return {"n": max(6, f + 1), "sync_rounds": f // k}
 
 
-@pytest.mark.parametrize("f,k", GRID)
+EXPERIMENT = Experiment(
+    id="E4",
+    title="E4 (Thm 4.3): async snapshot(k) implements ⌊f/k⌋ sync crash rounds "
+    "(3 async rounds each); FloodMin deadline exceeds the window (Cor 4.2)",
+    grid=Grid.explicit("f,k", [(2, 1), (4, 1), (4, 2), (6, 2), (8, 2), (9, 3)]),
+    run_cell=run_cell,
+    samples=40,
+    reduce={"faults": "max", "async_rounds": "last", "floodmin_decided": "any"},
+    finalize=finalize,
+    table=(
+        ("n", "n"),
+        ("f", "f"),
+        ("k", "k"),
+        ("sync rounds", "sync_rounds"),
+        ("async rounds (3x)", "async_rounds"),
+        ("worst faults vs budget", lambda c: f"{c['faults']} <= {c['f']}"),
+        ("FloodMin deadline vs window",
+         lambda c: f"{rounds_needed(c['f'], c['k'])} > {c['f'] // c['k']}"
+         + (" (BROKEN)" if c["floodmin_decided"] else "")),
+    ),
+    notes="Theorem 4.3 + Corollary 4.2; 3:1 exchange rate vs E3's 1:1.",
+)
+
+
+@pytest.mark.parametrize("f,k", [(c["f"], c["k"]) for c in EXPERIMENT.grid])
 def test_e4_crash_simulation(benchmark, f, k):
-    result = benchmark.pedantic(run_cell, args=(f, k, 40), rounds=1, iterations=1)
-    assert result["worst_faults"] <= f
-    assert result["async_rounds"] == 3 * (f // k)
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"f": f, "k": k},
+        rounds=1, iterations=1,
+    )
+    assert cell["faults"] <= f
+    assert cell["async_rounds"] == 3 * (f // k)
+    assert not cell["floodmin_decided"]
 
 
 def test_e4_report(benchmark):
-    rows = []
-    for f, k in GRID:
-        cell = run_cell(f, k, 30)
-        decided = floodmin_decides_inside(f, k, 20)
-        rows.append([
-            cell["n"], f, k, cell["sync_rounds"], cell["async_rounds"],
-            f"{cell['worst_faults']} <= {f}",
-            f"{rounds_needed(f, k)} > {f // k}" + (" (BROKEN)" if decided else ""),
-        ])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E4 (Thm 4.3): async snapshot(k) implements ⌊f/k⌋ sync crash rounds "
-        "(3 async rounds each); FloodMin deadline exceeds the window (Cor 4.2)",
-        ["n", "f", "k", "sync rounds", "async rounds (3x)", "worst faults vs budget",
-         "FloodMin deadline vs window"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), kwargs={"samples": 30},
+        rounds=1, iterations=1,
     )
+    result.check(lambda c: c["faults"] <= c["f"], "fault budget")
+    result.check(lambda c: c["async_rounds"] == 3 * (c["f"] // c["k"]), "3x cost")
+    result.check(lambda c: not c["floodmin_decided"], "Cor 4.2 window")
+    report_experiment(EXPERIMENT, result)

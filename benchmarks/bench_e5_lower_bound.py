@@ -14,103 +14,176 @@ algorithm), which is why the k ≥ 2 brute-force certificate needs n ≥ 5 and
 is out of laptop reach; the paper's own k ≥ 2 argument is the E4 reduction.
 """
 
-import random
-
 import pytest
 
 from benchmarks.conftest import report_table
 from repro.analysis.enumeration import enumerate_executions
-from repro.analysis.solvability import consensus_solvable, kset_solvable
+from repro.analysis.solvability import kset_solvable
 from repro.core.adversary import CrashPatternAdversary
 from repro.core.executor import run_protocol
 from repro.core.predicates import CrashSync
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.protocols.floodset import floodmin_protocol, rounds_needed
 
 
 def certificate(n, f, k, r, domain):
     executions = enumerate_executions(n, f, r, input_domain=domain)
-    result = kset_solvable(executions, k)
-    return result
+    return kset_solvable(executions, k)
 
 
-def floodmin_rounds_to_decide(n, f, k, samples=40) -> int:
-    worst = 0
-    rng = random.Random(0)
-    for trial in range(samples):
-        crashers = rng.sample(range(n), f)
-        crashes = {pid: r + 1 for r, pid in enumerate(crashers)}
-        adv = CrashPatternAdversary(n, crashes, rng=rng)
-        trace = run_protocol(
-            floodmin_protocol(f, k), list(range(n)), adv,
-            max_rounds=rounds_needed(f, k) + 2,
-            predicate=CrashSync(n, f), crashed_stop_emitting=True,
-        )
-        alive = set(range(n)) - set(crashes)
-        assert len({trace.decisions[p] for p in alive}) <= k
-        worst = max(worst, max(trace.decided_at[p] for p in alive))
-    return worst
+def cert_cell(ctx) -> dict:
+    n, f, k, d = ctx["n"], ctx["f"], ctx["k"], ctx["domain"]
+    domain = list(range(d))
+    at_bound = certificate(n, f, k, f // k, domain)
+    above = certificate(n, f, k, f // k + 1, domain)
+    return {
+        "at_bound_solvable": at_bound.solvable,
+        "above_solvable": above.solvable,
+        "executions": at_bound.executions,
+        "views": at_bound.views,
+    }
 
 
-CERT_GRID = [
-    # (n, f, k, domain) — k=1 certificates at the FL threshold n ≥ f+2
-    (3, 1, 1, [0, 1]),
-    (4, 1, 1, [0, 1]),
-]
+EXPERIMENT_CERT = Experiment(
+    id="E5",
+    title="E5 (Cor 4.2): exhaustive lower-bound certificates (k=1, FL threshold)",
+    grid=Grid.explicit("n,f,k,domain", [(3, 1, 1, 2), (4, 1, 1, 2)]),
+    run_cell=cert_cell,
+    samples=1,
+    table=(
+        ("n", "n"), ("f", "f"), ("k", "k"),
+        ("r", lambda c: c["f"] // c["k"]),
+        ("verdict at bound",
+         lambda c: "UNSOLVABLE" if not c["at_bound_solvable"] else "solvable?!"),
+        ("one more round",
+         lambda c: f"r={c['f'] // c['k'] + 1}: "
+         + ("SOLVABLE" if c["above_solvable"] else "?!")),
+        ("search size", lambda c: f"{c['executions']} exec / {c['views']} views"),
+    ),
+    notes="Corollary 4.2 lower bound; exhaustive decision-map search.",
+)
+
+def boundary_cell(ctx) -> dict:
+    result = certificate(
+        ctx["n"], ctx["f"], ctx["k"], ctx["rounds"], list(range(ctx["domain"]))
+    )
+    return {
+        "solvable": result.solvable,
+        "executions": result.executions,
+        "views": result.views,
+    }
 
 
-@pytest.mark.parametrize("n,f,k,domain", CERT_GRID)
+EXPERIMENT_BOUNDARY = Experiment(
+    id="E5b",
+    title="E5b: below the CHLT threshold (n < f+k+1) the one-round algorithm exists",
+    grid=Grid.single(n=3, f=2, k=2, domain=3, rounds=1),
+    run_cell=boundary_cell,
+    samples=1,
+    table=(
+        ("n", "n"), ("f", "f"), ("k", "k"), ("rounds", "rounds"),
+        ("verdict", lambda c: "SOLVABLE (n < f+k+1)" if c["solvable"] else "?!"),
+        ("search size", lambda c: f"{c['executions']} exec / {c['views']} views"),
+    ),
+    notes="CHLT threshold effect.",
+)
+
+
+def floodmin_cell(ctx) -> dict:
+    n, f, k = ctx["n"], ctx["f"], ctx["k"]
+    crashers = ctx.rng.sample(range(n), f)
+    crashes = {pid: r + 1 for r, pid in enumerate(crashers)}
+    adv = CrashPatternAdversary(n, crashes, rng=ctx.sub_rng("adv"))
+    trace = run_protocol(
+        floodmin_protocol(f, k), list(range(n)), adv,
+        max_rounds=rounds_needed(f, k) + 2,
+        predicate=CrashSync(n, f), crashed_stop_emitting=True,
+    )
+    alive = set(range(n)) - set(crashes)
+    assert len({trace.decisions[p] for p in alive}) <= k
+    return {"worst_round": max(trace.decided_at[p] for p in alive)}
+
+
+EXPERIMENT_FLOODMIN = Experiment(
+    id="E5c",
+    title="E5c (Cor 4.4): FloodMin decides in exactly ⌊f/k⌋+1 rounds (upper bound)",
+    grid=Grid.explicit("n,f,k", [(4, 2, 1), (5, 2, 1), (4, 3, 1), (7, 4, 2), (7, 2, 2)]),
+    run_cell=floodmin_cell,
+    samples=40,
+    reduce={"worst_round": "max"},
+    table=(
+        ("n", "n"), ("f", "f"), ("k", "k"),
+        ("worst decision round", "worst_round"),
+        ("bound", lambda c: f"⌊f/k⌋+1 = {rounds_needed(c['f'], c['k'])}"),
+        ("verdict", lambda c: "tight" if c["worst_round"] ==
+         rounds_needed(c["f"], c["k"]) else "BELOW BOUND?!"),
+    ),
+    notes="Corollary 4.4 upper bound under staggered crashes.",
+)
+
+
+@pytest.mark.parametrize(
+    "n,f,k,domain", [(c["n"], c["f"], c["k"], c["domain"]) for c in EXPERIMENT_CERT.grid]
+)
 def test_e5_lower_bound_certificate(benchmark, n, f, k, domain):
-    def both():
-        at_bound = certificate(n, f, k, f // k, domain)
-        above = certificate(n, f, k, f // k + 1, domain)
-        return at_bound, above
-
-    at_bound, above = benchmark.pedantic(both, rounds=1, iterations=1)
-    assert not at_bound.solvable
-    assert above.solvable
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT_CERT,),
+        kwargs={"n": n, "f": f, "k": k, "domain": domain},
+        rounds=1, iterations=1,
+    )
+    assert not cell["at_bound_solvable"]
+    assert cell["above_solvable"]
 
 
 def test_e5_below_threshold_boundary(benchmark):
-    # n < f + k + 1: the one-round algorithm exists and the search finds it.
     result = benchmark.pedantic(
-        certificate, args=(3, 2, 2, 1, [0, 1, 2]), rounds=1, iterations=1
+        run_experiment, args=(EXPERIMENT_BOUNDARY,), rounds=1, iterations=1
     )
-    assert result.solvable
+    assert result.cells[0]["solvable"]
 
 
-@pytest.mark.parametrize("n,f,k", [(4, 2, 1), (5, 2, 1), (4, 3, 1), (7, 4, 2), (7, 2, 2)])
+@pytest.mark.parametrize("n,f,k", [(c["n"], c["f"], c["k"]) for c in EXPERIMENT_FLOODMIN.grid])
 def test_e5_floodmin_upper_bound(benchmark, n, f, k):
-    worst = benchmark.pedantic(
-        floodmin_rounds_to_decide, args=(n, f, k), rounds=1, iterations=1
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT_FLOODMIN,), kwargs={"n": n, "f": f, "k": k},
+        rounds=1, iterations=1,
     )
-    assert worst == rounds_needed(f, k)
+    assert cell["worst_round"] == rounds_needed(f, k)
 
 
 def test_e5_report(benchmark):
+    def sweep():
+        return (
+            run_experiment(EXPERIMENT_CERT),
+            run_experiment(EXPERIMENT_BOUNDARY),
+            run_experiment(EXPERIMENT_FLOODMIN, samples=20),
+        )
+
+    cert, boundary, floodmin = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    cert.check(lambda c: not c["at_bound_solvable"] and c["above_solvable"])
+    boundary.check(lambda c: c["solvable"])
+
     rows = []
-    for n, f, k, domain in CERT_GRID:
-        at_bound = certificate(n, f, k, f // k, domain)
-        above = certificate(n, f, k, f // k + 1, domain)
+    for c in cert.cells:
         rows.append([
-            n, f, k, f // k,
-            "UNSOLVABLE" if not at_bound.solvable else "solvable?!",
-            f"r={f // k + 1}: " + ("SOLVABLE" if above.solvable else "?!"),
-            f"{at_bound.executions} exec / {at_bound.views} views",
+            c["n"], c["f"], c["k"], c["f"] // c["k"],
+            "UNSOLVABLE" if not c["at_bound_solvable"] else "solvable?!",
+            f"r={c['f'] // c['k'] + 1}: "
+            + ("SOLVABLE" if c["above_solvable"] else "?!"),
+            f"{c['executions']} exec / {c['views']} views",
         ])
-    boundary = certificate(3, 2, 2, 1, [0, 1, 2])
+    b = boundary.cells[0]
     rows.append([
-        3, 2, 2, 1,
-        "SOLVABLE (n < f+k+1)",
-        "threshold effect",
-        f"{boundary.executions} exec / {boundary.views} views",
+        b["n"], b["f"], b["k"], b["rounds"],
+        "SOLVABLE (n < f+k+1)", "threshold effect",
+        f"{b['executions']} exec / {b['views']} views",
     ])
-    for n, f, k in [(4, 2, 1), (7, 4, 2)]:
-        worst = floodmin_rounds_to_decide(n, f, k, samples=20)
+    for params in [{"n": 4, "f": 2, "k": 1}, {"n": 7, "f": 4, "k": 2}]:
+        c = floodmin.cell(**params)
         rows.append([
-            n, f, k, f"FloodMin: {worst}",
-            f"= ⌊f/k⌋+1 = {rounds_needed(f, k)}", "upper bound tight", "-",
+            c["n"], c["f"], c["k"], f"FloodMin: {c['worst_round']}",
+            f"= ⌊f/k⌋+1 = {rounds_needed(c['f'], c['k'])}", "upper bound tight", "-",
         ])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     report_table(
         "E5 (Cor 4.2/4.4): ⌊f/k⌋ rounds impossible, ⌊f/k⌋+1 achievable",
         ["n", "f", "k", "r / rounds", "verdict at bound", "one more round", "search size"],

@@ -6,142 +6,161 @@ flat 2 across n, the baseline's is 2n (linear), equation (5) holds on every
 recorded round, and both tolerate n−1 crashes.
 """
 
-import random
-
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.protocols.semisync_consensus import (
     SequentialBaselineProcess,
     TwoStepConsensusProcess,
 )
 from repro.substrates.semisync import RandomStepSchedule, SemiSyncSystem
 
-GRID = [3, 6, 12, 24]
+
+def run_cell(ctx) -> dict:
+    n = ctx["n"]
+
+    procs = [TwoStepConsensusProcess(pid, n, pid) for pid in range(n)]
+    system = SemiSyncSystem(procs, RandomStepSchedule(ctx.sub_rng("fast")))
+    result = system.run()
+    assert len({p.decision for p in procs}) == 1
+    rows = {p.views[0].suspected for p in procs if p.views}
+    assert len(rows) == 1  # equation (5)
+    fast = result.max_steps_to_decide()
+
+    procs = [SequentialBaselineProcess(pid, n, pid) for pid in range(n)]
+    system = SemiSyncSystem(procs, RandomStepSchedule(ctx.sub_rng("slow")))
+    result = system.run()
+    assert len({p.decision for p in procs}) == 1
+    slow = result.max_steps_to_decide()
+
+    return {"fast_steps": fast, "slow_steps": slow}
 
 
-def run_two_step(n: int, samples: int) -> dict:
-    steps = 0
-    for seed in range(samples):
-        procs = [TwoStepConsensusProcess(pid, n, pid) for pid in range(n)]
-        system = SemiSyncSystem(procs, RandomStepSchedule(random.Random(seed)))
-        result = system.run()
-        assert len({p.decision for p in procs}) == 1
-        rows = {p.views[0].suspected for p in procs if p.views}
-        assert len(rows) == 1  # equation (5)
-        steps = max(steps, result.max_steps_to_decide())
-    return {"steps": steps}
+EXPERIMENT = Experiment(
+    id="E6",
+    title="E6 (Sec 5 / Thm 5.1): steps to consensus — 2-step RRFD algorithm vs "
+    "2n-step baseline",
+    grid=Grid.explicit("n", [3, 6, 12, 24]),
+    run_cell=run_cell,
+    samples=20,
+    reduce={"fast_steps": "max", "slow_steps": "max"},
+    table=(
+        ("n", "n"),
+        ("2-step algorithm", "fast_steps"),
+        ("2n baseline", "slow_steps"),
+        ("speedup", lambda c: f"{c['slow_steps'] / c['fast_steps']:.0f}x"),
+        ("detector", lambda c: "eq.(5) held"),
+    ),
+    notes="Theorem 5.1; 2 steps vs Θ(n).",
+)
 
 
-def run_baseline(n: int, samples: int) -> dict:
-    steps = 0
-    for seed in range(samples):
-        procs = [SequentialBaselineProcess(pid, n, pid) for pid in range(n)]
-        system = SemiSyncSystem(procs, RandomStepSchedule(random.Random(seed)))
-        result = system.run()
-        assert len({p.decision for p in procs}) == 1
-        steps = max(steps, result.max_steps_to_decide())
-    return {"steps": steps}
-
-
-def slack_ablation(n: int, slack: int, samples: int) -> dict:
+def ablation_cell(ctx) -> dict:
     """Weaken the delivery property: how often do eq.(5) and agreement fail?"""
-    eq5_violations = 0
-    agreement_violations = 0
-    for seed in range(samples):
-        procs = [TwoStepConsensusProcess(pid, n, pid) for pid in range(n)]
-        system = SemiSyncSystem(
-            procs,
-            RandomStepSchedule(random.Random(seed)),
-            delivery_slack=slack,
-            slack_rng=random.Random(seed + 1) if slack else None,
-        )
-        try:
-            system.run()
-        except RuntimeError:
-            # round budget exhausted without decision: count as a failure
-            agreement_violations += 1
-            continue
-        rows = {p.views[0].suspected for p in procs if p.views}
-        if len(rows) > 1:
-            eq5_violations += 1
-        if len({p.decision for p in procs if p.decided}) > 1:
-            agreement_violations += 1
+    n, slack = ctx["n"], ctx["slack"]
+    procs = [TwoStepConsensusProcess(pid, n, pid) for pid in range(n)]
+    system = SemiSyncSystem(
+        procs,
+        RandomStepSchedule(ctx.sub_rng("schedule")),
+        delivery_slack=slack,
+        slack_rng=ctx.sub_rng("slack") if slack else None,
+    )
+    try:
+        system.run()
+    except RuntimeError:
+        # round budget exhausted without decision: count as a failure
+        return {"eq5_violation": False, "agreement_violation": True}
+    rows = {p.views[0].suspected for p in procs if p.views}
     return {
-        "eq5_violation_rate": eq5_violations / samples,
-        "agreement_violation_rate": agreement_violations / samples,
+        "eq5_violation": len(rows) > 1,
+        "agreement_violation": len({p.decision for p in procs if p.decided}) > 1,
     }
 
 
-def run_two_step_with_crashes(n: int, samples: int) -> bool:
-    rng = random.Random(7)
-    for seed in range(samples):
-        crashers = rng.sample(range(n), n - 1)
-        crash_after = {pid: rng.randint(0, 2) for pid in crashers}
-        procs = [TwoStepConsensusProcess(pid, n, pid) for pid in range(n)]
-        SemiSyncSystem(
-            procs, RandomStepSchedule(random.Random(seed)), crash_after=crash_after
-        ).run()
-        values = {p.decision for p in procs if p.decided}
-        assert len(values) <= 1
-    return True
+EXPERIMENT_ABLATION = Experiment(
+    id="E6b",
+    title="E6 ablation: weakening the delivery property (slack = extra recipient "
+    "steps a message may be held) breaks eq.(5) and the 2-step algorithm",
+    grid=Grid.product(n=[6], slack=[0, 1, 2]),
+    run_cell=ablation_cell,
+    samples=80,
+    reduce={"eq5_violation": "rate", "agreement_violation": "rate"},
+    table=(
+        ("delivery slack", "slack"),
+        ("eq.(5) violated", lambda c: f"{100 * c['eq5_violation']['rate']:.0f}%"),
+        ("agreement violated",
+         lambda c: f"{100 * c['agreement_violation']['rate']:.0f}%"),
+    ),
+    notes="The delivery property is load-bearing for equation (5).",
+)
 
 
-@pytest.mark.parametrize("n", GRID)
-def test_e6_two_step(benchmark, n):
-    result = benchmark.pedantic(run_two_step, args=(n, 30), rounds=1, iterations=1)
-    assert result["steps"] == 2
+def waitfree_cell(ctx) -> dict:
+    n = ctx["n"]
+    crash_rng = ctx.sub_rng("crash")
+    crashers = crash_rng.sample(range(n), n - 1)
+    crash_after = {pid: crash_rng.randint(0, 2) for pid in crashers}
+    procs = [TwoStepConsensusProcess(pid, n, pid) for pid in range(n)]
+    SemiSyncSystem(
+        procs, RandomStepSchedule(ctx.sub_rng("schedule")), crash_after=crash_after
+    ).run()
+    values = {p.decision for p in procs if p.decided}
+    assert len(values) <= 1
+    return {"ok": True}
 
 
-@pytest.mark.parametrize("n", GRID)
-def test_e6_baseline(benchmark, n):
-    result = benchmark.pedantic(run_baseline, args=(n, 20), rounds=1, iterations=1)
-    assert result["steps"] == 2 * n
+EXPERIMENT_WAITFREE = Experiment(
+    id="E6c",
+    title="E6 wait-freedom: 2-step consensus under n−1 crashes",
+    grid=Grid.single(n=8),
+    run_cell=waitfree_cell,
+    samples=40,
+    reduce={"ok": "all"},
+    table=(("n", "n"), ("crashes", lambda c: c["n"] - 1),
+           ("verdict", lambda c: "agreement held" if c["ok"] else "VIOLATION")),
+    notes="Tolerates n−1 crashes.",
+)
+
+
+@pytest.mark.parametrize("n", [c["n"] for c in EXPERIMENT.grid])
+def test_e6_two_step_vs_baseline(benchmark, n):
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"n": n}, rounds=1, iterations=1
+    )
+    assert cell["fast_steps"] == 2
+    assert cell["slow_steps"] == 2 * n
 
 
 def test_e6_wait_free(benchmark):
-    assert benchmark.pedantic(
-        run_two_step_with_crashes, args=(8, 40), rounds=1, iterations=1
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT_WAITFREE,), kwargs={"n": 8},
+        rounds=1, iterations=1,
     )
+    assert cell["ok"]
 
 
 @pytest.mark.parametrize("slack", [0, 1, 2])
 def test_e6_delivery_slack_ablation(benchmark, slack):
-    result = benchmark.pedantic(
-        slack_ablation, args=(5, slack, 60), rounds=1, iterations=1
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT_ABLATION,),
+        kwargs={"n": 5, "slack": slack, "samples": 60},
+        rounds=1, iterations=1,
     )
     if slack == 0:
-        assert result["eq5_violation_rate"] == 0.0
-        assert result["agreement_violation_rate"] == 0.0
+        assert cell["eq5_violation"]["rate"] == 0.0
+        assert cell["agreement_violation"]["rate"] == 0.0
     else:
         # the model's delivery property is load-bearing: weakening it
         # breaks equation (5) (and with it, the 2-step algorithm)
-        assert result["eq5_violation_rate"] > 0.3
+        assert cell["eq5_violation"]["rate"] > 0.3
 
 
 def test_e6_report(benchmark):
-    rows = []
-    for n in GRID:
-        fast = run_two_step(n, 20)["steps"]
-        slow = run_baseline(n, 10)["steps"]
-        rows.append([n, fast, slow, f"{slow / fast:.0f}x", "eq.(5) held"])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E6 (Sec 5 / Thm 5.1): steps to consensus — 2-step RRFD algorithm vs 2n-step baseline",
-        ["n", "2-step algorithm", "2n baseline", "speedup", "detector"],
-        rows,
-    )
-    ablation_rows = []
-    for slack in (0, 1, 2):
-        cell = slack_ablation(6, slack, 80)
-        ablation_rows.append([
-            slack,
-            f"{100 * cell['eq5_violation_rate']:.0f}%",
-            f"{100 * cell['agreement_violation_rate']:.0f}%",
-        ])
-    report_table(
-        "E6 ablation: weakening the delivery property (slack = extra recipient "
-        "steps a message may be held) breaks eq.(5) and the 2-step algorithm",
-        ["delivery slack", "eq.(5) violated", "agreement violated"],
-        ablation_rows,
-    )
+    def sweep():
+        return run_experiment(EXPERIMENT), run_experiment(EXPERIMENT_ABLATION)
+
+    main, ablation = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    main.check(lambda c: c["fast_steps"] == 2 and c["slow_steps"] == 2 * c["n"])
+    report_experiment(EXPERIMENT, main)
+    report_experiment(EXPERIMENT_ABLATION, ablation)

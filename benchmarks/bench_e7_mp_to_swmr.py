@@ -6,54 +6,86 @@ simulated round; plain async MP fails eq. (4) at measurable rates (why the
 relay is needed).
 """
 
-import random
-
 import pytest
 
 from benchmarks.conftest import report_table
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.core.predicate import round_union
 from repro.core.predicates import AsyncMessagePassing, SharedMemorySWMR
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
 from repro.simulations.relay import simulate_mp_to_swmr
 
-GRID = [(5, 2), (9, 4), (15, 7), (25, 12)]
+GRID_ROWS = [(5, 2), (9, 4), (15, 7), (25, 12)]
 
 
-def run_cell(n: int, f: int, samples: int) -> dict:
-    for seed in range(samples):
-        res = simulate_mp_to_swmr(
-            make_protocol(FullInformationProcess), list(range(n)), f,
-            simulated_rounds=4, seed=seed,
-        )
-        assert SharedMemorySWMR(n, f).allows(res.simulated_history)
-        assert res.base_rounds_used == 8
-    return {"cost": 2}
+def relay_cell(ctx) -> dict:
+    n, f = ctx["n"], ctx["f"]
+    res = simulate_mp_to_swmr(
+        make_protocol(FullInformationProcess), list(range(n)), f,
+        simulated_rounds=4, seed=ctx.seed,
+    )
+    assert SharedMemorySWMR(n, f).allows(res.simulated_history)
+    assert res.base_rounds_used == 8
+    return {"ok": True}
 
 
-def raw_async_eq4_violation_rate(n: int, f: int, samples: int) -> float:
+EXPERIMENT = Experiment(
+    id="E7",
+    title="E7 (item 4): two-round relay satisfies eq.(4) on every simulated round",
+    grid=Grid.explicit("n,f", GRID_ROWS),
+    run_cell=relay_cell,
+    samples=25,
+    reduce={"ok": "all"},
+    table=(
+        ("n", "n"), ("f", "f"),
+        ("relay eq.(4) rate", lambda c: "100%" if c["ok"] else "VIOLATION"),
+        ("relay cost", lambda c: "2 rounds / round"),
+    ),
+    notes="Item 4; eq.(4) by relay.",
+)
+
+
+def raw_cell(ctx) -> dict:
+    n, f = ctx["n"], ctx["f"]
     predicate = AsyncMessagePassing(n, f)
-    rng = random.Random(0)
-    violations = 0
-    for _ in range(samples):
-        d_round = predicate.sample_round(rng, ())
-        if len(round_union(d_round)) >= n:
-            violations += 1
-    return violations / samples
+    d_round = predicate.sample_round(ctx.rng, ())
+    return {"violation": len(round_union(d_round)) >= n}
 
 
-@pytest.mark.parametrize("n,f", GRID)
+EXPERIMENT_RAW = Experiment(
+    id="E7b",
+    title="E7b: raw async MP violates eq.(4) at measurable rates",
+    grid=Grid.explicit("n,f", GRID_ROWS),
+    run_cell=raw_cell,
+    samples=2000,
+    reduce={"violation": "rate"},
+    table=(
+        ("n", "n"), ("f", "f"),
+        ("raw eq.(4) rate", lambda c: f"{100 * (1 - c['violation']['rate']):.1f}%"),
+    ),
+    notes="Why the relay is needed.",
+)
+
+
+@pytest.mark.parametrize("n,f", GRID_ROWS)
 def test_e7_relay(benchmark, n, f):
-    result = benchmark.pedantic(run_cell, args=(n, f, 25), rounds=1, iterations=1)
-    assert result["cost"] == 2
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"n": n, "f": f},
+        rounds=1, iterations=1,
+    )
+    assert cell["ok"]
 
 
 def test_e7_report(benchmark):
+    def sweep():
+        return run_experiment(EXPERIMENT, samples=10), run_experiment(EXPERIMENT_RAW)
+
+    relay, raw = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    relay.check(lambda c: c["ok"], "eq.(4) after relay")
     rows = []
-    for n, f in GRID:
-        run_cell(n, f, 10)
-        raw = raw_async_eq4_violation_rate(n, f, 2000)
-        rows.append([n, f, "100%", f"{100 * (1 - raw):.1f}%", "2 rounds / round"])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n, f in GRID_ROWS:
+        raw_rate = raw.cell(n=n, f=f)["violation"]["rate"]
+        rows.append([n, f, "100%", f"{100 * (1 - raw_rate):.1f}%", "2 rounds / round"])
     report_table(
         "E7 (item 4): eq.(4) satisfaction — two-round relay vs raw async MP",
         ["n", "f", "relay eq.(4) rate", "raw async eq.(4) rate", "relay cost"],

@@ -10,39 +10,68 @@ measured distribution starts at 1 and tops out at 2 if the conjecture is
 true.
 """
 
-import random
-
 import pytest
 
-from benchmarks.conftest import report_table
+from benchmarks.conftest import report_experiment
 from repro.analysis.knowledge import (
     rounds_until_some_known_by_all,
     two_round_conjecture_counterexample,
     two_round_conjecture_exhaustive_symmetric,
 )
 from repro.core.predicates import SharedMemoryAntisymmetric
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
+from repro.util.rng import derive_seed, make_rng
 
-GRID = [3, 4, 5, 6, 8]
 
-
-def measure_worst_rounds(n: int, samples: int) -> int:
+def run_cell(ctx) -> dict:
+    n = ctx["n"]
     predicate = SharedMemoryAntisymmetric(n, n - 1)
-    rng = random.Random(n)
-    worst = 0
-    for _ in range(samples):
-        history = ()
-        for _ in range(n):
-            history = history + (predicate.sample_round(rng, history),)
-        result = rounds_until_some_known_by_all(n, history)
-        assert result is not None and result <= n
-        worst = max(worst, result)
-    return worst
+    history = ()
+    for _ in range(n):
+        history = history + (predicate.sample_round(ctx.rng, history),)
+    result = rounds_until_some_known_by_all(n, history)
+    assert result is not None and result <= n
+    return {"rounds": result}
 
 
-@pytest.mark.parametrize("n", GRID)
+def finalize(params: dict, value: dict) -> dict:
+    n = params["n"]
+    if n <= 5:
+        # proven exhaustively by the test suite (n=3,4 full; n=5 symmetric)
+        return {"conjecture": "2-round conjecture PROVEN (exhaustive)"}
+    cx = two_round_conjecture_counterexample(
+        n, n - 1, samples=3000, rng=make_rng(derive_seed("E8-conjecture", n))
+    )
+    return {
+        "conjecture": "no counterexample in 3000 samples" if cx is None
+        else f"COUNTEREXAMPLE: {cx}"
+    }
+
+
+EXPERIMENT = Experiment(
+    id="E8",
+    title="E8 (item 4, antisymmetric predicate): rounds until someone is known by all",
+    grid=Grid.explicit("n", [3, 4, 5, 6, 8]),
+    run_cell=run_cell,
+    samples=300,
+    reduce={"rounds": "max"},
+    finalize=finalize,
+    table=(
+        ("n", "n"),
+        ("measured worst", "rounds"),
+        ("paper bound (n)", "n"),
+        ("2-round conjecture status", "conjecture"),
+    ),
+    notes="Item 4 antisymmetric predicate; paper's 2-round conjecture.",
+)
+
+
+@pytest.mark.parametrize("n", [c["n"] for c in EXPERIMENT.grid])
 def test_e8_n_round_bound(benchmark, n):
-    worst = benchmark.pedantic(measure_worst_rounds, args=(n, 300), rounds=1, iterations=1)
-    assert worst <= n
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,), kwargs={"n": n}, rounds=1, iterations=1
+    )
+    assert cell["rounds"] <= n
 
 
 def test_e8_conjecture_exhaustive_n3(benchmark):
@@ -76,30 +105,16 @@ def test_e8_conjecture_exhaustive_n5_symmetric(benchmark):
 def test_e8_conjecture_sampled(benchmark, n):
     cx = benchmark.pedantic(
         two_round_conjecture_counterexample, args=(n, n - 1),
-        kwargs={"samples": 5000, "rng": random.Random(0)},
+        kwargs={"samples": 5000, "rng": make_rng(derive_seed("E8-sampled", n))},
         rounds=1, iterations=1,
     )
     assert cx is None
 
 
 def test_e8_report(benchmark):
-    rows = []
-    for n in GRID:
-        worst = measure_worst_rounds(n, 200)
-        if n <= 5:
-            verdict = "2-round conjecture PROVEN (exhaustive)"
-        else:
-            cx = two_round_conjecture_counterexample(
-                n, n - 1, samples=3000, rng=random.Random(n)
-            )
-            verdict = (
-                "no counterexample in 3000 samples" if cx is None
-                else f"COUNTEREXAMPLE: {cx}"
-            )
-        rows.append([n, worst, n, verdict])
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    report_table(
-        "E8 (item 4, antisymmetric predicate): rounds until someone is known by all",
-        ["n", "measured worst", "paper bound (n)", "2-round conjecture status"],
-        rows,
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), kwargs={"samples": 200},
+        rounds=1, iterations=1,
     )
+    result.check(lambda c: c["rounds"] <= c["n"], "n-round bound")
+    report_experiment(EXPERIMENT, result)

@@ -8,9 +8,6 @@ Expected shape: exactly the paper's ordering —
     omission(n−1) ⊂ ◇S (strictly).
 """
 
-import pytest
-
-from benchmarks.conftest import report_table
 from repro.analysis.lattice import EXPECTED_EDGES, compute_lattice
 from repro.core.predicates import (
     EventuallyStrong,
@@ -19,42 +16,66 @@ from repro.core.predicates import (
     SendOmissionSync,
 )
 from repro.core.submodel import implies_exhaustive
+from repro.harness import Experiment, Grid, run_experiment
 
 
-@pytest.fixture(scope="module")
-def report():
-    return compute_lattice(3, f=1, k=2, t=1, rounds=2)
+def run_cell(ctx) -> dict:
+    n, rounds = ctx["n"], ctx["rounds"]
+    report = compute_lattice(n, f=1, k=2, t=1, rounds=rounds)
+    edges = []
+    for a, b in EXPECTED_EDGES:
+        assert report.holds(a, b) is True, (a, b)
+        reverse = report.holds(b, a)
+        edges.append([f"{a} ⊆ {b}", "holds",
+                      "strict" if reverse is False else "equal/unknown"])
+    # the identities and strict non-inclusions the paper states
+    semisync = implies_exhaustive(KSetDetector(n, 1), SemiSyncEquality(n), rounds=rounds)
+    kset1 = implies_exhaustive(SemiSyncEquality(n), KSetDetector(n, 1), rounds=rounds)
+    edges.append(["semisync-eq = kset(1)",
+                  "holds" if (semisync.holds and kset1.holds) else "FAILS", "equality"])
+    om = implies_exhaustive(SendOmissionSync(n, n - 1), EventuallyStrong(n), rounds=rounds)
+    om_rev = implies_exhaustive(EventuallyStrong(n), SendOmissionSync(n, n - 1), rounds=1)
+    edges.append(["omission(n−1) ⊆ ◇S",
+                  "holds" if om.holds else "FAILS",
+                  "strict" if om_rev.holds is False else "?"])
+    return {"edges": edges, "matrix": report.format().splitlines()}
+
+
+def render(result) -> list:
+    cell = result.cells[0]
+    return [
+        (
+            "E9 (Sec 2): the submodel lattice (exhaustively checked, n=3, 2 rounds)",
+            ["relation", "verdict", "strictness"],
+            [list(row) for row in cell["edges"]],
+        ),
+        (
+            "E9 full pairwise matrix (row ⇒ column: Y submodel / n not)",
+            ["matrix"],
+            [[line] for line in cell["matrix"]],
+        ),
+    ]
+
+
+EXPERIMENT = Experiment(
+    id="E9",
+    title="E9 (Sec 2): the submodel lattice (exhaustively checked)",
+    grid=Grid.single(n=3, rounds=2),
+    run_cell=run_cell,
+    samples=1,
+    render=render,
+    notes="Section 2 lattice; exhaustive submodel checks.",
+)
 
 
 def test_e9_full_lattice(benchmark):
-    report = benchmark.pedantic(
-        compute_lattice, args=(3,), kwargs={"f": 1, "k": 2, "t": 1, "rounds": 2},
-        rounds=1, iterations=1,
+    from benchmarks.conftest import report_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), rounds=1, iterations=1
     )
-    for a, b in EXPECTED_EDGES:
-        assert report.holds(a, b) is True, (a, b)
-    rows = []
-    for a, b in EXPECTED_EDGES:
-        reverse = report.holds(b, a)
-        rows.append([f"{a} ⊆ {b}", "holds",
-                     "strict" if reverse is False else "equal/unknown"])
-    # the identities and strict non-inclusions the paper states
-    semisync = implies_exhaustive(SemiSyncEquality(3), KSetDetector(3, 1), rounds=2)
-    kset1 = implies_exhaustive(KSetDetector(3, 1), SemiSyncEquality(3), rounds=2)
-    rows.append(["semisync-eq = kset(1)",
-                 "holds" if (semisync.holds and kset1.holds) else "FAILS", "equality"])
-    om = implies_exhaustive(SendOmissionSync(3, 2), EventuallyStrong(3), rounds=2)
-    om_rev = implies_exhaustive(EventuallyStrong(3), SendOmissionSync(3, 2), rounds=1)
-    rows.append(["omission(n−1) ⊆ ◇S",
-                 "holds" if om.holds else "FAILS",
-                 "strict" if om_rev.holds is False else "?"])
-    report_table(
-        "E9 (Sec 2): the submodel lattice (exhaustively checked, n=3, 2 rounds)",
-        ["relation", "verdict", "strictness"],
-        rows,
+    result.check(
+        lambda c: all(verdict == "holds" for _, verdict, _ in c["edges"]),
+        "every paper edge holds",
     )
-    report_table(
-        "E9 full pairwise matrix (row ⇒ column: Y submodel / n not)",
-        ["matrix"],
-        [[line] for line in report.format().splitlines()],
-    )
+    report_experiment(EXPERIMENT, result)

@@ -1,13 +1,17 @@
 """Benchmark-suite plumbing: collect paper-style result tables.
 
-Each bench module measures timing through pytest-benchmark *and* produces
-the rows the paper's claims predict (who wins, by what factor, where the
-crossovers sit).  Rows are registered with :func:`report_table` and printed
-in the terminal summary so `pytest benchmarks/ --benchmark-only` ends with
-the full experiment report.
+Each bench module declares its sweep as a :class:`repro.harness.Experiment`
+and measures timing through pytest-benchmark.  Report tables render from
+:class:`repro.harness.ExperimentResult` via :func:`report_experiment` (or
+are registered row-by-row with :func:`report_table` for hand-assembled
+tables) and are printed in the terminal summary, so
+`pytest benchmarks/ --benchmark-only` ends with the full experiment report.
 """
 
 from __future__ import annotations
+
+from repro.harness import ExperimentResult
+from repro.harness.runner import Experiment, experiment_tables
 
 _TABLES: list[tuple[str, list[str], list[list[str]]]] = []
 
@@ -15,6 +19,12 @@ _TABLES: list[tuple[str, list[str], list[list[str]]]] = []
 def report_table(title: str, header: list[str], rows: list[list[object]]) -> None:
     """Register one experiment table for the end-of-run report."""
     _TABLES.append((title, header, [[str(c) for c in row] for row in rows]))
+
+
+def report_experiment(exp: Experiment, result: ExperimentResult) -> None:
+    """Register every table an experiment's result renders to."""
+    for title, header, rows in experiment_tables(exp, result):
+        report_table(title, header, rows)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

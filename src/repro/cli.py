@@ -10,8 +10,10 @@ Subcommands::
     python -m repro complex --n 3               # one-round protocol complexes
     python -m repro certify --n 3 --f 1 --rounds 1   # lower-bound search
     python -m repro chaos --n 6 --f 2 --drop 0.2     # overlay under fault injection
+    python -m repro bench E1 E5 --workers 8 --json out/   # experiment sweeps
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed``; ``bench`` results are
+deterministic for every worker count by construction.
 """
 
 from __future__ import annotations
@@ -103,6 +105,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="crashed processes come back after this long")
     chaos.add_argument("--unreliable", action="store_true",
                        help="plain overlay (no ack/retransmit) — expect a stall")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run declarative experiment sweeps; emit BENCH_*.json artifacts",
+    )
+    bench.add_argument(
+        "ids", nargs="*", metavar="ID",
+        help="experiment ids (E1, E5, ...); a base id selects its variants "
+        "(E6 -> E6, E6b); none selects all",
+    )
+    bench.add_argument("--list", action="store_true", dest="list_experiments",
+                       help="list registered experiments and exit")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: RRFD_BENCH_WORKERS or 1)")
+    bench.add_argument("--samples", type=int, default=None,
+                       help="override each experiment's per-cell sample count")
+    bench.add_argument("--json", dest="json_dir", default=None, metavar="DIR",
+                       help="write BENCH_<id>.json per experiment plus a "
+                       "merged BENCH_SUMMARY.json to DIR")
+    bench.add_argument("--speedup", action="store_true",
+                       help="also run serially, verify identical results, and "
+                       "record the parallel speedup in the artifacts")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress the report tables (artifacts only)")
     return parser
 
 
@@ -247,6 +273,57 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        experiment_tables,
+        render_table,
+        resolve_workers,
+        run_experiment,
+        run_with_speedup,
+    )
+    from repro.harness.artifacts import (
+        experiment_to_doc,
+        write_experiment,
+        write_summary,
+    )
+    from repro.harness.registry import load_experiments, select
+
+    registry = load_experiments()
+    if args.list_experiments:
+        for exp in registry.values():
+            cells = len(exp.grid.cells)
+            print(f"  {exp.id:<5} {cells:>3} cells x {exp.samples:>5} samples  "
+                  f"{exp.title}")
+        return 0
+    experiments = select(registry, args.ids)
+    workers = resolve_workers(args.workers)
+    docs = []
+    for exp in experiments:
+        if args.speedup:
+            result = run_with_speedup(exp, samples=args.samples, workers=workers)
+        else:
+            result = run_experiment(exp, samples=args.samples, workers=workers)
+        if not args.quiet:
+            for title, header, rows in experiment_tables(exp, result):
+                print(render_table(title, header, rows))
+                print()
+        line = (f"[{exp.id}] {len(result.cells)} cells x {result.samples} samples "
+                f"in {result.wall_time:.2f}s ({result.workers} worker(s))")
+        speedup = result.meta.get("speedup")
+        if speedup and speedup.get("speedup") is not None:
+            line += (f"; speedup {speedup['speedup']:.2f}x over serial "
+                     f"{speedup['serial_wall_time_s']:.2f}s")
+        print(line)
+        if args.json_dir:
+            path = write_experiment(result, args.json_dir)
+            docs.append(experiment_to_doc(result))
+            print(f"  wrote {path}")
+    if args.json_dir and docs:
+        path = write_summary(docs, args.json_dir)
+        print(f"  wrote {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -256,6 +333,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "complex": _cmd_complex,
         "certify": _cmd_certify,
         "chaos": _cmd_chaos,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args)
 

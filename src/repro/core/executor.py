@@ -106,6 +106,10 @@ class RoundExecutor:
                 f"{self.predicate.describe()}"
             )
         extras = self.adversary.extras(r, history, d_round)
+        if len(extras) != self.n:
+            raise ValueError(
+                f"adversary returned {len(extras)} extras sets, expected {self.n}"
+            )
 
         views = []
         for pid, proc in enumerate(self.processes):

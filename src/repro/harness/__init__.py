@@ -1,0 +1,81 @@
+"""The unified experiment harness.
+
+Declarative grids (:mod:`~repro.harness.grid`), seed-deterministic and
+process-parallel execution (:mod:`~repro.harness.runner`), typed results
+with paper-shape assertions (:mod:`~repro.harness.results`), and stable
+machine-readable JSON artifacts (:mod:`~repro.harness.artifacts`).
+
+A benchmark module declares::
+
+    EXPERIMENT = Experiment(
+        id="E1",
+        title="E1 (Thm 3.1): ...",
+        grid=Grid.explicit("n,k", [(4, 1), (8, 2)]),
+        run_cell=run_cell,            # pure, top-level, one seeded sample
+        samples=200,
+        reduce={"distinct": "max"},
+        table=(("n", "n"), ("k", "k"), ("max distinct", "distinct")),
+    )
+
+and everything else — the sample loop, the worker fan-out, determinism
+across worker counts, report tables, BENCH_*.json — is the harness's job.
+"""
+
+from repro.harness.artifacts import (
+    ArtifactError,
+    canonical_payload,
+    experiment_to_doc,
+    load_doc,
+    summarize,
+    validate_bench_doc,
+    write_experiment,
+    write_summary,
+)
+from repro.harness.grid import Cell, Grid
+from repro.harness.results import (
+    CellResult,
+    ExperimentResult,
+    REDUCERS,
+    Reducer,
+    ShapeError,
+    render_table,
+)
+from repro.harness.runner import (
+    CellExecutionError,
+    Experiment,
+    SampleCtx,
+    WORKERS_ENV,
+    experiment_tables,
+    resolve_workers,
+    run_experiment,
+    run_one_cell,
+    run_with_speedup,
+)
+
+__all__ = [
+    "ArtifactError",
+    "Cell",
+    "CellExecutionError",
+    "CellResult",
+    "Experiment",
+    "ExperimentResult",
+    "Grid",
+    "REDUCERS",
+    "Reducer",
+    "SampleCtx",
+    "ShapeError",
+    "WORKERS_ENV",
+    "canonical_payload",
+    "experiment_tables",
+    "experiment_to_doc",
+    "load_doc",
+    "render_table",
+    "resolve_workers",
+    "run_experiment",
+    "run_one_cell",
+    "run_with_speedup",
+    "summarize",
+    "validate_bench_doc",
+    "write_experiment",
+    "write_summary",
+]

@@ -1,0 +1,224 @@
+"""Machine-readable benchmark artifacts with a stable, validated schema.
+
+Each experiment run can be persisted as ``BENCH_<id>.json`` and merged into
+``BENCH_SUMMARY.json`` — the perf trajectory ROADMAP.md asks for: every
+future optimisation PR reruns the bench and diffs these files.
+
+Schema ``rrfd-bench-v1`` separates the *deterministic* payload from the
+*environmental* one:
+
+* ``results`` — cell parameters, sample counts, reduced values.  A function
+  of (experiment, samples, seed derivation) only; bit-identical across
+  worker counts and machines.
+* ``timing`` — wall-times, throughput, worker count, optional serial-vs-
+  parallel speedup.  Varies run to run.
+
+:func:`canonical_payload` strips the environmental half, which is what the
+parallel-determinism test (and CI) compares across worker counts.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.harness.results import ExperimentResult
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "SUMMARY_SCHEMA",
+    "ArtifactError",
+    "experiment_to_doc",
+    "canonical_payload",
+    "validate_bench_doc",
+    "summarize",
+    "write_experiment",
+    "write_summary",
+    "load_doc",
+]
+
+BENCH_SCHEMA = "rrfd-bench-v1"
+SUMMARY_SCHEMA = "rrfd-bench-summary-v1"
+
+
+class ArtifactError(ValueError):
+    """A bench document does not conform to the schema."""
+
+
+def _check_json_value(value: Any, where: str, problems: list[str]) -> None:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, list):
+        for i, item in enumerate(value):
+            _check_json_value(item, f"{where}[{i}]", problems)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                problems.append(f"{where}: non-string key {key!r}")
+            _check_json_value(item, f"{where}.{key}", problems)
+        return
+    problems.append(f"{where}: non-JSON value of type {type(value).__name__}")
+
+
+def experiment_to_doc(result: ExperimentResult) -> dict[str, Any]:
+    """The JSON document for one experiment run."""
+    axes = list(result.cells[0].cell) if result.cells else []
+    doc: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "experiment": result.experiment,
+        "title": result.title,
+        "samples": result.samples,
+        "axes": axes,
+        "results": {
+            "cells": [
+                {
+                    "params": cell.params,
+                    "samples": cell.samples,
+                    # a copy: callers may annotate the doc without mutating
+                    # the CellResult it came from
+                    "value": copy.deepcopy(cell.value),
+                }
+                for cell in result.cells
+            ],
+        },
+        "timing": {
+            "workers": result.workers,
+            "wall_time_s": result.wall_time,
+            "samples_per_s": result.samples_per_s,
+            "cells": [
+                {
+                    "params": cell.params,
+                    "wall_time_s": cell.wall_time,
+                    "samples_per_s": cell.samples_per_s,
+                }
+                for cell in result.cells
+            ],
+        },
+    }
+    notes = result.meta.get("notes")
+    if notes:
+        doc["notes"] = notes
+    speedup = result.meta.get("speedup")
+    if speedup:
+        doc["timing"]["speedup"] = speedup
+    return doc
+
+
+def canonical_payload(doc: dict[str, Any]) -> dict[str, Any]:
+    """The worker-count-invariant half of a bench document."""
+    return {
+        "schema": doc["schema"],
+        "experiment": doc["experiment"],
+        "title": doc["title"],
+        "samples": doc["samples"],
+        "axes": doc["axes"],
+        "results": doc["results"],
+    }
+
+
+def validate_bench_doc(doc: Any) -> list[str]:
+    """Every way ``doc`` fails schema ``rrfd-bench-v1`` (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    for key, kind in (
+        ("experiment", str), ("title", str), ("samples", int), ("axes", list),
+        ("results", dict), ("timing", dict),
+    ):
+        if not isinstance(doc.get(key), kind):
+            problems.append(f"{key}: missing or not a {kind.__name__}")
+    if problems:
+        return problems
+    axes = doc["axes"]
+    if not all(isinstance(a, str) for a in axes):
+        problems.append("axes: entries must be strings")
+    cells = doc["results"].get("cells")
+    if not isinstance(cells, list):
+        return problems + ["results.cells: missing or not a list"]
+    for i, cell in enumerate(cells):
+        where = f"results.cells[{i}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        params = cell.get("params")
+        if not isinstance(params, dict):
+            problems.append(f"{where}.params: missing or not an object")
+        elif sorted(params) != sorted(axes):
+            # order-insensitive: json.dumps(sort_keys=True) alphabetises
+            # params on disk while ``axes`` preserves declaration order
+            problems.append(
+                f"{where}.params keys {sorted(params)} do not match axes "
+                f"{sorted(axes)}"
+            )
+        if not isinstance(cell.get("samples"), int) or cell.get("samples") < 1:
+            problems.append(f"{where}.samples: missing or not a positive int")
+        if not isinstance(cell.get("value"), dict):
+            problems.append(f"{where}.value: missing or not an object")
+        else:
+            _check_json_value(cell["value"], f"{where}.value", problems)
+    timing = doc["timing"]
+    for key in ("workers", "wall_time_s"):
+        if not isinstance(timing.get(key), (int, float)):
+            problems.append(f"timing.{key}: missing or not a number")
+    return problems
+
+
+def _validated(doc: dict[str, Any]) -> dict[str, Any]:
+    problems = validate_bench_doc(doc)
+    if problems:
+        raise ArtifactError(
+            "bench document violates rrfd-bench-v1:\n  " + "\n  ".join(problems)
+        )
+    return doc
+
+
+def summarize(docs: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge per-experiment docs into the ``BENCH_SUMMARY.json`` document."""
+    experiments: dict[str, Any] = {}
+    for doc in docs:
+        _validated(doc)
+        timing = doc["timing"]
+        entry: dict[str, Any] = {
+            "title": doc["title"],
+            "cells": len(doc["results"]["cells"]),
+            "samples_per_cell": doc["samples"],
+            "total_samples": sum(c["samples"] for c in doc["results"]["cells"]),
+            "wall_time_s": timing["wall_time_s"],
+            "samples_per_s": timing.get("samples_per_s"),
+            "workers": timing["workers"],
+        }
+        if "speedup" in timing:
+            entry["speedup"] = timing["speedup"]
+        experiments[doc["experiment"]] = entry
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "experiments": dict(sorted(experiments.items())),
+        "total_wall_time_s": sum(e["wall_time_s"] for e in experiments.values()),
+    }
+
+
+def _write_json(doc: dict[str, Any], path: Path) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_experiment(result: ExperimentResult, out_dir: str | Path) -> Path:
+    """Write ``BENCH_<id>.json`` for one run; validates before writing."""
+    doc = _validated(experiment_to_doc(result))
+    return _write_json(doc, Path(out_dir) / f"BENCH_{result.experiment}.json")
+
+
+def write_summary(docs: list[dict[str, Any]], out_dir: str | Path) -> Path:
+    """Write the merged ``BENCH_SUMMARY.json``."""
+    return _write_json(summarize(docs), Path(out_dir) / "BENCH_SUMMARY.json")
+
+
+def load_doc(path: str | Path) -> dict[str, Any]:
+    """Load and validate a ``BENCH_*.json`` document."""
+    return _validated(json.loads(Path(path).read_text()))

@@ -1,0 +1,157 @@
+"""Declarative experiment grids: named axes, enumerable cells.
+
+Every experiment in ``benchmarks/`` sweeps a small parameter space — the
+``(n, k)`` pairs of Theorem 3.1, the ``(f, k)`` pairs of the simulations,
+the ``(drop, f)`` chaos grid.  A :class:`Grid` names those axes and
+enumerates the :class:`Cell`\\ s, so the runner can fan the sweep out across
+worker processes, the artifact writer can emit a stable JSON record of what
+was swept, and a cell's identity (``"n=4,k=2"``) can seed its randomness
+deterministically.
+
+Cells carry only JSON-scalar parameter values (int/float/str/bool).  A cell
+whose parameter is conceptually an object (a model predicate, a protocol
+factory) names it with a string and lets ``run_cell`` resolve the name —
+that keeps every cell printable, serialisable and picklable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from itertools import product as _product
+from typing import Any, Sequence
+
+__all__ = ["Cell", "Grid"]
+
+_SCALARS = (bool, int, float, str)
+
+
+def _check_scalar(axis: str, value: Any) -> Any:
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    raise TypeError(
+        f"grid axis {axis!r} holds a {type(value).__name__}; cells carry "
+        "JSON scalars only (name objects with strings and resolve them in "
+        "run_cell)"
+    )
+
+
+class Cell(Mapping):
+    """One point of a grid: an ordered, immutable ``axis → value`` mapping."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Mapping[str, Any] | Sequence[tuple[str, Any]]):
+        pairs = tuple(items.items()) if isinstance(items, Mapping) else tuple(items)
+        seen: set[str] = set()
+        for axis, value in pairs:
+            if axis in seen:
+                raise ValueError(f"duplicate axis {axis!r} in cell")
+            seen.add(axis)
+            _check_scalar(axis, value)
+        self._items: tuple[tuple[str, Any], ...] = pairs
+
+    # Mapping protocol -----------------------------------------------------
+    def __getitem__(self, axis: str) -> Any:
+        for name, value in self._items:
+            if name == axis:
+                return value
+        raise KeyError(axis)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(name for name, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Cell):
+            return self._items == other._items
+        return Mapping.__eq__(self, other)  # type: ignore[misc]
+
+    # identity -------------------------------------------------------------
+    @property
+    def id(self) -> str:
+        """Stable string identity, e.g. ``"n=4,k=2"`` — axis order preserved."""
+        return ",".join(f"{name}={value}" for name, value in self._items)
+
+    @property
+    def params(self) -> dict[str, Any]:
+        """A plain dict copy (JSON-ready)."""
+        return dict(self._items)
+
+    def __repr__(self) -> str:
+        return f"Cell({self.id})"
+
+
+class Grid:
+    """A named-axis sweep: the declarative half of an experiment.
+
+    Construction styles::
+
+        Grid.product(n=[4, 8], k=[1, 2])        # cartesian product, 4 cells
+        Grid.explicit("n,k", [(4, 1), (8, 2)])  # hand-picked cells
+        Grid.zip(n=[4, 8], f=[1, 3])            # paired axes, 2 cells
+        Grid.single(n=8)                        # one cell
+    """
+
+    __slots__ = ("axes", "cells")
+
+    def __init__(self, axes: Sequence[str], cells: Sequence[Cell]):
+        self.axes: tuple[str, ...] = tuple(axes)
+        for cell in cells:
+            if tuple(cell) != self.axes:
+                raise ValueError(
+                    f"cell axes {tuple(cell)} do not match grid axes {self.axes}"
+                )
+        if len({cell.id for cell in cells}) != len(cells):
+            raise ValueError("grid contains duplicate cells")
+        self.cells: tuple[Cell, ...] = tuple(cells)
+
+    @classmethod
+    def product(cls, **axes: Sequence[Any]) -> "Grid":
+        names = tuple(axes)
+        cells = [
+            Cell(tuple(zip(names, combo)))
+            for combo in _product(*(tuple(values) for values in axes.values()))
+        ]
+        return cls(names, cells)
+
+    @classmethod
+    def zip(cls, **axes: Sequence[Any]) -> "Grid":
+        names = tuple(axes)
+        lengths = {len(tuple(v)) for v in axes.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"zip axes have unequal lengths {sorted(lengths)}")
+        cells = [Cell(tuple(zip(names, combo))) for combo in zip(*axes.values())]
+        return cls(names, cells)
+
+    @classmethod
+    def explicit(
+        cls, axes: str | Sequence[str], rows: Sequence[Sequence[Any] | Any]
+    ) -> "Grid":
+        names = tuple(a.strip() for a in axes.split(",")) if isinstance(axes, str) \
+            else tuple(axes)
+        cells = []
+        for row in rows:
+            values = (row,) if len(names) == 1 and not isinstance(row, (tuple, list)) \
+                else tuple(row)
+            if len(values) != len(names):
+                raise ValueError(f"row {row!r} does not fill axes {names}")
+            cells.append(Cell(tuple(zip(names, values))))
+        return cls(names, cells)
+
+    @classmethod
+    def single(cls, **params: Any) -> "Grid":
+        return cls(tuple(params), [Cell(params)])
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:
+        return f"Grid(axes={self.axes}, cells={len(self.cells)})"

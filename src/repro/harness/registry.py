@@ -1,0 +1,107 @@
+"""Discover experiment declarations from the ``benchmarks`` package.
+
+Bench modules declare module-level :class:`~repro.harness.runner.Experiment`
+instances; this registry imports every ``benchmarks/bench_*.py`` and
+collects them, keyed by experiment id.  Both the pytest suite and the
+``python -m repro bench`` CLI resolve experiments through here, so there is
+exactly one definition of each sweep.
+
+``benchmarks`` is repo-level code (not installed with the library); when it
+is not already importable the loader searches the working directory and the
+``RRFD_BENCH_PATH`` environment variable for it.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+from repro.harness.runner import Experiment
+
+__all__ = ["load_experiments", "select", "experiment_sort_key", "BENCH_PATH_ENV"]
+
+BENCH_PATH_ENV = "RRFD_BENCH_PATH"
+
+
+def _import_package(package: str):
+    try:
+        return importlib.import_module(package)
+    except ImportError:
+        pass
+    candidates = []
+    env = os.environ.get(BENCH_PATH_ENV, "").strip()
+    if env:
+        candidates.append(Path(env))
+    candidates.append(Path.cwd())
+    for root in candidates:
+        if (root / package / "__init__.py").is_file():
+            entry = str(root)
+            if entry not in sys.path:
+                sys.path.insert(0, entry)
+            return importlib.import_module(package)
+    raise ImportError(
+        f"cannot import the {package!r} package; run from the repository root "
+        f"or point {BENCH_PATH_ENV} at the directory containing it"
+    )
+
+
+def experiment_sort_key(exp_id: str) -> tuple:
+    """Natural order: E2 before E10, suffixed ids (E6b) after their base."""
+    match = re.fullmatch(r"([A-Za-z]*)(\d+)(.*)", exp_id)
+    if match:
+        prefix, number, suffix = match.groups()
+        return (prefix.upper(), int(number), suffix)
+    return (exp_id.upper(), 0, "")
+
+
+def load_experiments(package: str = "benchmarks") -> dict[str, Experiment]:
+    """Import every ``bench_*`` module and collect its experiments."""
+    pkg = _import_package(package)
+    found: dict[str, Experiment] = {}
+    owners: dict[str, str] = {}
+    for info in pkgutil.iter_modules(pkg.__path__):
+        if not info.name.startswith("bench_"):
+            continue
+        module = importlib.import_module(f"{package}.{info.name}")
+        for attr in vars(module).values():
+            if not isinstance(attr, Experiment):
+                continue
+            if attr.id in found and found[attr.id] is not attr:
+                raise ValueError(
+                    f"experiment id {attr.id!r} declared in both "
+                    f"{owners[attr.id]} and {info.name}"
+                )
+            found[attr.id] = attr
+            owners[attr.id] = info.name
+    return dict(sorted(found.items(), key=lambda kv: experiment_sort_key(kv[0])))
+
+
+def select(
+    registry: dict[str, Experiment], ids: list[str] | None
+) -> list[Experiment]:
+    """Resolve requested ids (case-insensitive); empty/None selects all.
+
+    A bare base id selects its variants too: ``E6`` picks E6 and E6b.
+    """
+    if not ids:
+        return list(registry.values())
+    by_lower = {key.lower(): key for key in registry}
+    chosen: dict[str, Experiment] = {}
+    for requested in ids:
+        needle = requested.lower()
+        hits = [
+            key for low, key in by_lower.items()
+            if low == needle or low.startswith(needle) and low[len(needle):].isalpha()
+        ]
+        if not hits:
+            raise KeyError(
+                f"unknown experiment {requested!r}; available: "
+                + ", ".join(registry)
+            )
+        for key in hits:
+            chosen[key] = registry[key]
+    return sorted(chosen.values(), key=lambda e: experiment_sort_key(e.id))

@@ -1,0 +1,375 @@
+"""Typed experiment results, declarative reducers, and shape checks.
+
+A benchmark sample returns a small dict of observations; a *reducer* folds
+those per-sample dicts into one per-cell value.  Reducers are written as
+``init / step / merge / final`` so a cell's samples can be split into
+chunks, reduced independently (possibly in different worker processes) and
+merged back — exactly, so the merged result is bit-identical to a serial
+fold.  That property (plus fixed chunk boundaries) is what makes
+``--workers 1`` and ``--workers N`` produce the same JSON.
+
+:class:`CellResult` / :class:`ExperimentResult` carry the reduced values
+together with wall-time and throughput, and provide the *paper-shape
+assertion* hook: :meth:`ExperimentResult.check` runs a predicate over every
+cell and converts a bare ``AssertionError`` into a :class:`ShapeError`
+naming the experiment and cell that broke the paper's predicted shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence, Union
+
+from repro.harness.grid import Cell
+
+__all__ = [
+    "Reducer",
+    "REDUCERS",
+    "resolve_reducer",
+    "CellResult",
+    "ExperimentResult",
+    "ShapeError",
+    "Column",
+    "render_table",
+]
+
+
+# --------------------------------------------------------------------------
+# reducers
+
+
+class Reducer:
+    """An exact, mergeable fold over per-sample observations.
+
+    ``merge(a, b)`` must equal folding b's samples after a's — chunks are
+    always merged in sample order, so any associative-in-order fold
+    (max, sum, last, ...) round-trips exactly through chunking.
+    """
+
+    name = "reducer"
+
+    def init(self) -> Any:
+        raise NotImplementedError
+
+    def step(self, state: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def merge(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def final(self, state: Any) -> Any:
+        raise NotImplementedError
+
+
+_MISSING = ("__rrfd_missing__",)
+
+
+class _Extremum(Reducer):
+    def __init__(self, name: str, pick: Callable[[Any, Any], Any]):
+        self.name = name
+        self._pick = pick
+
+    def init(self) -> Any:
+        return _MISSING
+
+    def step(self, state: Any, value: Any) -> Any:
+        return value if state is _MISSING else self._pick(state, value)
+
+    def merge(self, a: Any, b: Any) -> Any:
+        if a is _MISSING:
+            return b
+        if b is _MISSING:
+            return a
+        return self._pick(a, b)
+
+    def final(self, state: Any) -> Any:
+        return None if state is _MISSING else state
+
+
+class _Sum(Reducer):
+    name = "sum"
+
+    def init(self) -> Any:
+        return 0
+
+    def step(self, state: Any, value: Any) -> Any:
+        return state + value
+
+    def merge(self, a: Any, b: Any) -> Any:
+        return a + b
+
+    def final(self, state: Any) -> Any:
+        return state
+
+
+class _Any(Reducer):
+    name = "any"
+
+    def init(self) -> bool:
+        return False
+
+    def step(self, state: bool, value: Any) -> bool:
+        return state or bool(value)
+
+    def merge(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def final(self, state: bool) -> bool:
+        return state
+
+
+class _All(Reducer):
+    name = "all"
+
+    def init(self) -> bool:
+        return True
+
+    def step(self, state: bool, value: Any) -> bool:
+        return state and bool(value)
+
+    def merge(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def final(self, state: bool) -> bool:
+        return state
+
+
+class _Edge(Reducer):
+    """``last`` / ``first``: keep one end of the sample order."""
+
+    def __init__(self, name: str, keep_last: bool):
+        self.name = name
+        self._keep_last = keep_last
+
+    def init(self) -> Any:
+        return _MISSING
+
+    def step(self, state: Any, value: Any) -> Any:
+        if self._keep_last:
+            return value
+        return value if state is _MISSING else state
+
+    def merge(self, a: Any, b: Any) -> Any:
+        if self._keep_last:
+            return a if b is _MISSING else b
+        return b if a is _MISSING else a
+
+    def final(self, state: Any) -> Any:
+        return None if state is _MISSING else state
+
+
+class _Mean(Reducer):
+    name = "mean"
+
+    def init(self) -> tuple[float, int]:
+        return (0.0, 0)
+
+    def step(self, state: tuple[float, int], value: Any) -> tuple[float, int]:
+        return (state[0] + value, state[1] + 1)
+
+    def merge(self, a: tuple[float, int], b: tuple[float, int]) -> tuple[float, int]:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def final(self, state: tuple[float, int]) -> float | None:
+        return None if state[1] == 0 else state[0] / state[1]
+
+
+class _RateReducer(Reducer):
+    """Truthy-sample fraction, kept as exact counts for interval rendering."""
+
+    name = "rate"
+
+    def init(self) -> tuple[int, int]:
+        return (0, 0)
+
+    def step(self, state: tuple[int, int], value: Any) -> tuple[int, int]:
+        return (state[0] + bool(value), state[1] + 1)
+
+    def merge(self, a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def final(self, state: tuple[int, int]) -> dict[str, Any]:
+        hits, trials = state
+        return {
+            "hits": hits,
+            "trials": trials,
+            "rate": hits / trials if trials else None,
+        }
+
+
+class _Collect(Reducer):
+    name = "collect"
+
+    def init(self) -> list:
+        return []
+
+    def step(self, state: list, value: Any) -> list:
+        state.append(value)
+        return state
+
+    def merge(self, a: list, b: list) -> list:
+        return a + b
+
+    def final(self, state: list) -> list:
+        return state
+
+
+REDUCERS: dict[str, Reducer] = {
+    "max": _Extremum("max", max),
+    "min": _Extremum("min", min),
+    "sum": _Sum(),
+    "any": _Any(),
+    "all": _All(),
+    "last": _Edge("last", keep_last=True),
+    "first": _Edge("first", keep_last=False),
+    "mean": _Mean(),
+    "rate": _RateReducer(),
+    "collect": _Collect(),
+}
+
+
+def resolve_reducer(spec: Union[str, Reducer]) -> Reducer:
+    if isinstance(spec, Reducer):
+        return spec
+    try:
+        return REDUCERS[spec]
+    except KeyError:
+        raise KeyError(
+            f"unknown reducer {spec!r}; available: {sorted(REDUCERS)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+# results
+
+
+class ShapeError(AssertionError):
+    """A cell's result contradicts the paper's predicted shape."""
+
+    def __init__(self, experiment: str, cell_id: str, detail: str):
+        super().__init__(f"[{experiment} cell {cell_id}] {detail}")
+        self.experiment = experiment
+        self.cell_id = cell_id
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One grid cell's reduced observations plus its cost."""
+
+    experiment: str
+    cell: Cell
+    samples: int
+    value: dict[str, Any]
+    wall_time: float
+
+    @property
+    def params(self) -> dict[str, Any]:
+        return self.cell.params
+
+    @property
+    def samples_per_s(self) -> float | None:
+        if self.wall_time <= 0:
+            return None
+        return self.samples / self.wall_time
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look ``key`` up in the reduced value, then the cell parameters."""
+        if key in self.value:
+            return self.value[key]
+        if key in self.cell:
+            return self.cell[key]
+        return default
+
+    def __getitem__(self, key: str) -> Any:
+        if key in self.value:
+            return self.value[key]
+        return self.cell[key]
+
+
+# a table column: (header, key-or-callable over CellResult)
+Column = tuple[str, Union[str, Callable[[CellResult], Any]]]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All cells of one experiment run, with run-level metadata."""
+
+    experiment: str
+    title: str
+    cells: tuple[CellResult, ...]
+    samples: int
+    workers: int
+    wall_time: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(cell.samples for cell in self.cells)
+
+    @property
+    def samples_per_s(self) -> float | None:
+        if self.wall_time <= 0:
+            return None
+        return self.total_samples / self.wall_time
+
+    def cell(self, **params: Any) -> CellResult:
+        """The unique cell matching every given parameter."""
+        matches = [
+            c for c in self.cells
+            if all(c.cell.get(k) == v for k, v in params.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{self.experiment}: {len(matches)} cells match {params!r}"
+            )
+        return matches[0]
+
+    def values(self, key: str) -> list[Any]:
+        return [cell[key] for cell in self.cells]
+
+    def check(
+        self, assertion: Callable[[CellResult], Any], what: str = "paper shape"
+    ) -> "ExperimentResult":
+        """Run a per-cell shape assertion; raise :class:`ShapeError` with context.
+
+        The assertion may either raise ``AssertionError`` itself or return a
+        truthiness verdict (``None`` counts as success, so plain ``assert``
+        bodies work too).
+        """
+        for cell in self.cells:
+            try:
+                verdict = assertion(cell)
+            except AssertionError as exc:
+                detail = str(exc) or what
+                raise ShapeError(self.experiment, cell.cell.id, detail) from exc
+            if verdict is not None and not verdict:
+                raise ShapeError(self.experiment, cell.cell.id, what)
+        return self
+
+    def table(self, columns: Sequence[Column]) -> tuple[list[str], list[list[Any]]]:
+        """Render ``(header, rows)`` from a column spec, one row per cell."""
+        header = [name for name, _ in columns]
+        rows = []
+        for cell in self.cells:
+            row = []
+            for _, source in columns:
+                row.append(source(cell) if callable(source) else cell.get(source))
+            rows.append(row)
+        return header, rows
+
+
+def render_table(title: str, header: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Plain-text table, the same layout the pytest terminal report uses."""
+    text_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in text_rows)) if text_rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

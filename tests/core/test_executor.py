@@ -119,8 +119,19 @@ class TestRoundExecutor:
 
     def test_adversary_returning_wrong_arity_rejected(self):
         adv = FunctionAdversary(2, lambda r, h, p: (F(),))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="suspicion sets"):
             run_protocol(make_protocol(EchoProcess), [1, 2], adv, max_rounds=1)
+
+    def test_adversary_returning_wrong_extras_arity_rejected(self):
+        # extras length is validated symmetrically to d_round length
+        class BrokenExtras(FailureFreeAdversary):
+            def extras(self, round_number, history, d_round):
+                return (F(),)  # n == 2, one extras set short
+
+        with pytest.raises(ValueError, match="extras sets"):
+            run_protocol(
+                make_protocol(EchoProcess), [1, 2], BrokenExtras(2), max_rounds=1
+            )
 
     def test_trace_d_history_matches_adversary(self):
         script = [(F({1}), F()), (F(), F({0}))]

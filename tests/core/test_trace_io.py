@@ -1,6 +1,9 @@
 """Trace serialization: save, load, replay."""
 
+import json
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.detector import RoundByRoundFaultDetector
 from repro.core.predicates import AtomicSnapshot, CrashSync, KSetDetector
@@ -110,3 +113,77 @@ class TestTraceRoundtrip:
     def test_wrong_format_rejected(self):
         with pytest.raises(TraceEncodingError):
             trace_from_dict({"format": "something-else"})
+
+
+# ---------------------------------------------------------------------------
+# hypothesis properties: the codec round-trips every encodable payload
+
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(-(10**9), 10**9)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=8)
+)
+
+# set elements and dict keys must be hashable: scalars, tuples, frozensets
+_hashables = st.recursive(
+    _scalars,
+    lambda inner: (
+        st.lists(inner, max_size=3).map(tuple)
+        | st.frozensets(inner, max_size=3)
+    ),
+    max_leaves=8,
+)
+
+# arbitrary payloads: everything encode_value() documents as supported
+_payloads = st.recursive(
+    _scalars,
+    lambda inner: (
+        st.lists(inner, max_size=3)
+        | st.lists(inner, max_size=3).map(tuple)
+        | st.sets(_hashables, max_size=3)
+        | st.frozensets(_hashables, max_size=3)
+        | st.dictionaries(_hashables, inner, max_size=3)
+    ),
+    max_leaves=15,
+)
+
+
+class TestCodecProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(value=_payloads)
+    def test_property_codec_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=_payloads)
+    def test_property_encoded_form_is_json(self, value):
+        # the encoded form must survive an actual JSON serialisation, the
+        # same path save_trace/load_trace takes through the filesystem
+        wire = json.loads(json.dumps(encode_value(value)))
+        assert decode_value(wire) == value
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**31), rounds=st.integers(1, 3))
+    def test_property_trace_roundtrip(self, seed, rounds):
+        rrfd = RoundByRoundFaultDetector(AtomicSnapshot(4, 2), seed=seed)
+        trace = rrfd.run(
+            make_protocol(FullInformationProcess),
+            inputs=list(range(4)),
+            max_rounds=rounds,
+        )
+        again = trace_from_dict(
+            json.loads(json.dumps(trace_to_dict(trace)))
+        )
+        assert again.n == trace.n
+        assert again.inputs == trace.inputs
+        assert again.decisions == trace.decisions
+        assert again.decided_at == trace.decided_at
+        assert again.d_history == trace.d_history
+        for mine, theirs in zip(again.rounds, trace.rounds):
+            assert mine.payloads == theirs.payloads
+            assert [v.messages for v in mine.views] == [
+                v.messages for v in theirs.views
+            ]
+        verify_trace_consistency(again)

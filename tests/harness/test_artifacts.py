@@ -1,0 +1,137 @@
+"""Bench artifacts: schema, validation, summary, round trip."""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    Experiment,
+    Grid,
+    run_experiment,
+    run_with_speedup,
+)
+from repro.harness.artifacts import (
+    ArtifactError,
+    BENCH_SCHEMA,
+    SUMMARY_SCHEMA,
+    canonical_payload,
+    experiment_to_doc,
+    load_doc,
+    summarize,
+    validate_bench_doc,
+    write_experiment,
+    write_summary,
+)
+
+
+def sample_cell(ctx):
+    return {"value": ctx.rng.randint(0, 9), "hit": ctx.rng.random() < 0.5}
+
+
+EXP = Experiment(
+    id="TA1",
+    title="artifact test",
+    grid=Grid.product(n=[2, 4], k=[1]),
+    run_cell=sample_cell,
+    samples=6,
+    reduce={"value": "max", "hit": "rate"},
+    notes="artifact provenance",
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(EXP)
+
+
+class TestExperimentToDoc:
+    def test_shape(self, result):
+        doc = experiment_to_doc(result)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["experiment"] == "TA1"
+        assert doc["axes"] == ["n", "k"]
+        assert len(doc["results"]["cells"]) == 2
+        assert doc["results"]["cells"][0]["params"] == {"n": 2, "k": 1}
+        assert doc["timing"]["workers"] == 1
+        assert doc["notes"] == "artifact provenance"
+        assert validate_bench_doc(doc) == []
+
+    def test_speedup_recorded(self):
+        sped = run_with_speedup(EXP, workers=2)
+        doc = experiment_to_doc(sped)
+        assert set(doc["timing"]["speedup"]) == {
+            "serial_wall_time_s", "parallel_wall_time_s", "workers", "speedup",
+        }
+
+    def test_canonical_strips_timing(self, result):
+        doc = experiment_to_doc(result)
+        assert "timing" not in canonical_payload(doc)
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_bench_doc([1, 2]) != []
+
+    def test_rejects_wrong_schema(self, result):
+        doc = experiment_to_doc(result)
+        doc["schema"] = "rrfd-bench-v0"
+        assert any("schema" in p for p in validate_bench_doc(doc))
+
+    def test_rejects_param_axis_mismatch(self, result):
+        doc = experiment_to_doc(result)
+        doc["results"]["cells"][0]["params"] = {"wrong": 1}
+        assert any("do not match axes" in p for p in validate_bench_doc(doc))
+
+    def test_param_order_is_irrelevant(self, result):
+        # json.dumps(sort_keys=True) alphabetises params on disk
+        doc = experiment_to_doc(result)
+        cell = doc["results"]["cells"][0]
+        cell["params"] = dict(sorted(cell["params"].items()))
+        assert validate_bench_doc(doc) == []
+
+    def test_rejects_non_json_value(self, result):
+        doc = experiment_to_doc(result)
+        doc["results"]["cells"][0]["value"]["bad"] = object()
+        assert any("non-JSON" in p for p in validate_bench_doc(doc))
+
+    def test_rejects_bad_samples(self, result):
+        doc = experiment_to_doc(result)
+        doc["results"]["cells"][0]["samples"] = 0
+        assert any("positive int" in p for p in validate_bench_doc(doc))
+
+
+class TestFiles:
+    def test_write_and_load_round_trip(self, result, tmp_path):
+        path = write_experiment(result, tmp_path)
+        assert path.name == "BENCH_TA1.json"
+        loaded = load_doc(path)
+        assert canonical_payload(loaded) == canonical_payload(
+            json.loads(json.dumps(experiment_to_doc(result)))
+        )
+
+    def test_output_is_stable_text(self, result, tmp_path):
+        a = write_experiment(result, tmp_path / "a").read_text()
+        b = write_experiment(result, tmp_path / "b").read_text()
+        assert a == b
+        assert a.endswith("\n")
+
+    def test_load_rejects_corrupt_doc(self, tmp_path):
+        path = tmp_path / "BENCH_X.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ArtifactError):
+            load_doc(path)
+
+    def test_summary(self, result, tmp_path):
+        doc = experiment_to_doc(result)
+        summary = summarize([doc])
+        assert summary["schema"] == SUMMARY_SCHEMA
+        entry = summary["experiments"]["TA1"]
+        assert entry["cells"] == 2
+        assert entry["total_samples"] == 12
+        assert summary["total_wall_time_s"] == doc["timing"]["wall_time_s"]
+        path = write_summary([doc], tmp_path)
+        assert json.loads(path.read_text())["experiments"].keys() == {"TA1"}
+
+    def test_summarize_validates_inputs(self):
+        with pytest.raises(ArtifactError):
+            summarize([{"schema": "nope"}])

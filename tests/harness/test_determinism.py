@@ -1,0 +1,66 @@
+"""The parallel-safety contract: workers must not change results.
+
+The acceptance test for the harness's central claim — randomness is a
+function of (experiment, cell, sample index) and chunk boundaries are a
+function of the sample count, so ``--workers 1`` and ``--workers N``
+produce byte-identical canonical JSON.
+"""
+
+import json
+
+from repro.harness import (
+    Experiment,
+    Grid,
+    canonical_payload,
+    experiment_to_doc,
+    run_experiment,
+)
+
+
+def chaotic_cell(ctx):
+    """Consumes randomness from several streams, like real experiments do."""
+    primary = ctx.rng.randint(0, 10**9)
+    side = ctx.sub_rng("side").random()
+    return {
+        "worst": primary,
+        "total": primary % 97,
+        "hit": side < 0.5,
+        "mean_side": side,
+    }
+
+
+EXP = Experiment(
+    id="TDET",
+    title="determinism probe",
+    grid=Grid.product(n=[3, 5, 8], f=[1, 2]),
+    run_cell=chaotic_cell,
+    samples=40,
+    reduce={"worst": "max", "total": "sum", "hit": "rate", "mean_side": "mean"},
+)
+
+
+def canonical_json(workers: int) -> str:
+    result = run_experiment(EXP, workers=workers)
+    doc = experiment_to_doc(result)
+    return json.dumps(canonical_payload(doc), sort_keys=True)
+
+
+def test_workers_do_not_change_results():
+    serial = canonical_json(workers=1)
+    for workers in (2, 4):
+        assert canonical_json(workers) == serial, (
+            f"workers={workers} changed the canonical payload"
+        )
+
+
+def test_reruns_are_bit_identical():
+    assert canonical_json(workers=1) == canonical_json(workers=1)
+
+
+def test_timing_is_the_only_varying_section():
+    doc = experiment_to_doc(run_experiment(EXP, workers=2))
+    canonical = canonical_payload(doc)
+    assert "timing" not in canonical
+    assert set(canonical) == {
+        "schema", "experiment", "title", "samples", "axes", "results",
+    }

@@ -1,0 +1,88 @@
+"""Grid and Cell: named axes, JSON-scalar cells, stable identities."""
+
+import pytest
+
+from repro.harness import Cell, Grid
+
+
+class TestCell:
+    def test_mapping_access_and_order(self):
+        cell = Cell({"n": 4, "k": 2})
+        assert cell["n"] == 4
+        assert list(cell) == ["n", "k"]
+        assert len(cell) == 2
+        assert dict(cell) == {"n": 4, "k": 2}
+
+    def test_id_preserves_axis_order(self):
+        assert Cell({"n": 4, "k": 2}).id == "n=4,k=2"
+        assert Cell({"k": 2, "n": 4}).id == "k=2,n=4"
+
+    def test_params_is_plain_dict(self):
+        params = Cell({"n": 4}).params
+        assert params == {"n": 4}
+        params["n"] = 99  # a copy, not a view
+        assert Cell({"n": 4})["n"] == 4
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="duplicate axis"):
+            Cell([("n", 4), ("n", 5)])
+
+    def test_non_scalar_value_rejected(self):
+        with pytest.raises(TypeError, match="JSON scalars only"):
+            Cell({"model": object()})
+        with pytest.raises(TypeError):
+            Cell({"xs": [1, 2]})
+
+    def test_scalars_and_none_accepted(self):
+        cell = Cell({"a": 1, "b": 1.5, "c": "s", "d": True, "e": None})
+        assert cell["e"] is None
+
+    def test_equality_and_hash(self):
+        assert Cell({"n": 4}) == Cell({"n": 4})
+        assert Cell({"n": 4}) != Cell({"n": 5})
+        assert hash(Cell({"n": 4})) == hash(Cell({"n": 4}))
+
+    def test_missing_axis_raises(self):
+        with pytest.raises(KeyError):
+            Cell({"n": 4})["k"]
+
+
+class TestGrid:
+    def test_product(self):
+        grid = Grid.product(n=[4, 8], k=[1, 2])
+        assert grid.axes == ("n", "k")
+        assert [c.id for c in grid] == ["n=4,k=1", "n=4,k=2", "n=8,k=1", "n=8,k=2"]
+
+    def test_zip(self):
+        grid = Grid.zip(n=[4, 8], f=[1, 3])
+        assert [c.params for c in grid] == [{"n": 4, "f": 1}, {"n": 8, "f": 3}]
+
+    def test_zip_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="unequal lengths"):
+            Grid.zip(n=[4, 8], f=[1])
+
+    def test_explicit_with_axis_string(self):
+        grid = Grid.explicit("n, k", [(4, 1), (8, 2)])
+        assert grid.axes == ("n", "k")
+        assert grid.cells[1].params == {"n": 8, "k": 2}
+
+    def test_explicit_single_axis_bare_values(self):
+        grid = Grid.explicit("n", [3, 5])
+        assert [c["n"] for c in grid] == [3, 5]
+
+    def test_explicit_row_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not fill axes"):
+            Grid.explicit("n,k", [(4,)])
+
+    def test_single(self):
+        grid = Grid.single(n=8, f=2)
+        assert len(grid) == 1
+        assert grid.cells[0].id == "n=8,f=2"
+
+    def test_mismatched_cell_axes_rejected(self):
+        with pytest.raises(ValueError, match="do not match grid axes"):
+            Grid(("n",), [Cell({"k": 1})])
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(ValueError, match="duplicate cells"):
+            Grid(("n",), [Cell({"n": 4}), Cell({"n": 4})])

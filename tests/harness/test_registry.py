@@ -1,0 +1,77 @@
+"""Experiment discovery and id selection."""
+
+import pytest
+
+from repro.harness import Experiment, Grid
+from repro.harness.registry import (
+    experiment_sort_key,
+    load_experiments,
+    select,
+)
+
+
+def dummy_cell(ctx):
+    return {"ok": True}
+
+
+def make(exp_id):
+    return Experiment(id=exp_id, title=exp_id, grid=Grid.single(n=1),
+                      run_cell=dummy_cell)
+
+
+class TestSortKey:
+    def test_natural_numeric_order(self):
+        ids = ["E10", "E2", "E1", "E21"]
+        assert sorted(ids, key=experiment_sort_key) == ["E1", "E2", "E10", "E21"]
+
+    def test_suffix_after_base(self):
+        ids = ["E6b", "E6", "E6c", "E7"]
+        assert sorted(ids, key=experiment_sort_key) == ["E6", "E6b", "E6c", "E7"]
+
+
+class TestSelect:
+    @pytest.fixture
+    def registry(self):
+        return {e.id: e for e in map(make, ["E1", "E6", "E6b", "E6c", "E10"])}
+
+    def test_none_selects_all(self, registry):
+        assert [e.id for e in select(registry, None)] == \
+            ["E1", "E6", "E6b", "E6c", "E10"]
+
+    def test_exact_id(self, registry):
+        assert [e.id for e in select(registry, ["E10"])] == ["E10"]
+
+    def test_base_id_selects_variants(self, registry):
+        assert [e.id for e in select(registry, ["E6"])] == ["E6", "E6b", "E6c"]
+
+    def test_variant_id_selects_only_itself(self, registry):
+        assert [e.id for e in select(registry, ["E6b"])] == ["E6b"]
+
+    def test_case_insensitive(self, registry):
+        assert [e.id for e in select(registry, ["e10"])] == ["E10"]
+
+    def test_duplicates_collapse(self, registry):
+        assert [e.id for e in select(registry, ["E1", "e1"])] == ["E1"]
+
+    def test_unknown_id_raises(self, registry):
+        with pytest.raises(KeyError, match="unknown experiment 'E99'"):
+            select(registry, ["E99"])
+
+    def test_numeric_prefix_is_not_a_variant(self, registry):
+        # E1 must not swallow E10: variant suffixes are alphabetic only
+        assert [e.id for e in select(registry, ["E1"])] == ["E1"]
+
+
+class TestLoadExperiments:
+    def test_discovers_the_bench_suite(self):
+        registry = load_experiments()
+        # every experiment of the paper-reproduction suite, E1 .. E21
+        for exp_id in [f"E{i}" for i in range(1, 22)]:
+            assert exp_id in registry, f"{exp_id} missing from registry"
+        assert "E6b" in registry and "E7b" in registry
+        assert list(registry) == sorted(registry, key=experiment_sort_key)
+
+    def test_registry_entries_are_experiments(self):
+        for exp in load_experiments().values():
+            assert isinstance(exp, Experiment)
+            assert len(exp.grid.cells) >= 1

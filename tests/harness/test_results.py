@@ -1,0 +1,147 @@
+"""Reducers (exact chunk-merge semantics), results, and shape checks."""
+
+import pytest
+
+from repro.harness import Cell, CellResult, ExperimentResult, ShapeError
+from repro.harness.results import REDUCERS, render_table, resolve_reducer
+
+
+def fold(reducer, values):
+    state = reducer.init()
+    for v in values:
+        state = reducer.step(state, v)
+    return state
+
+
+def fold_chunked(reducer, values, split):
+    a = fold(reducer, values[:split])
+    b = fold(reducer, values[split:])
+    return reducer.merge(a, b)
+
+
+CASES = [
+    ("max", [3, 1, 4, 1, 5], 5),
+    ("min", [3, 1, 4, 1, 5], 1),
+    ("sum", [1, 2, 3], 6),
+    ("any", [False, False, True], True),
+    ("any", [False, False], False),
+    ("all", [True, True], True),
+    ("all", [True, False, True], False),
+    ("last", [7, 8, 9], 9),
+    ("first", [7, 8, 9], 7),
+    ("mean", [2, 4, 6], 4.0),
+    ("collect", [1, "a"], [1, "a"]),
+]
+
+
+class TestReducers:
+    @pytest.mark.parametrize("name,values,expected", CASES)
+    def test_serial_fold(self, name, values, expected):
+        reducer = REDUCERS[name]
+        assert reducer.final(fold(reducer, values)) == expected
+
+    @pytest.mark.parametrize("name,values,expected", CASES)
+    @pytest.mark.parametrize("split", [0, 1, 2])
+    def test_chunked_fold_identical(self, name, values, expected, split):
+        # the property the parallel runner relies on: splitting the sample
+        # stream at any boundary and merging in order changes nothing
+        reducer = REDUCERS[name]
+        split = min(split, len(values))
+        assert reducer.final(fold_chunked(reducer, values, split)) == expected
+
+    def test_rate_reducer_keeps_counts(self):
+        reducer = REDUCERS["rate"]
+        out = reducer.final(fold(reducer, [True, False, True, True]))
+        assert out == {"hits": 3, "trials": 4, "rate": 0.75}
+
+    def test_rate_reducer_chunked(self):
+        reducer = REDUCERS["rate"]
+        values = [True, False, True]
+        assert reducer.final(fold_chunked(reducer, values, 1)) == \
+            reducer.final(fold(reducer, values))
+
+    def test_empty_extremum_is_none(self):
+        assert REDUCERS["max"].final(REDUCERS["max"].init()) is None
+
+    def test_resolve_reducer_by_name_and_instance(self):
+        assert resolve_reducer("max") is REDUCERS["max"]
+        assert resolve_reducer(REDUCERS["sum"]) is REDUCERS["sum"]
+
+    def test_resolve_unknown_reducer(self):
+        with pytest.raises(KeyError, match="unknown reducer"):
+            resolve_reducer("median")
+
+
+def make_cell(params, value, samples=10, wall=0.5):
+    return CellResult(
+        experiment="EX", cell=Cell(params), samples=samples, value=value,
+        wall_time=wall,
+    )
+
+
+def make_result(cells):
+    return ExperimentResult(
+        experiment="EX", title="EX test", cells=tuple(cells), samples=10,
+        workers=1, wall_time=1.0,
+    )
+
+
+class TestCellResult:
+    def test_lookup_value_then_params(self):
+        cell = make_cell({"n": 4}, {"rounds": 2})
+        assert cell["rounds"] == 2
+        assert cell["n"] == 4
+        assert cell.get("absent", "dflt") == "dflt"
+        with pytest.raises(KeyError):
+            cell["absent"]
+
+    def test_value_shadows_param(self):
+        cell = make_cell({"n": 4}, {"n": 99})
+        assert cell["n"] == 99
+
+    def test_throughput(self):
+        assert make_cell({"n": 1}, {}, samples=10, wall=2.0).samples_per_s == 5.0
+        assert make_cell({"n": 1}, {}, wall=0.0).samples_per_s is None
+
+
+class TestExperimentResult:
+    def test_cell_lookup(self):
+        result = make_result([
+            make_cell({"n": 4, "k": 1}, {}), make_cell({"n": 4, "k": 2}, {}),
+        ])
+        assert result.cell(n=4, k=2)["k"] == 2
+        with pytest.raises(KeyError, match="2 cells match"):
+            result.cell(n=4)
+        with pytest.raises(KeyError, match="0 cells match"):
+            result.cell(n=9)
+
+    def test_check_passes_and_chains(self):
+        result = make_result([make_cell({"n": 4}, {"rounds": 2})])
+        assert result.check(lambda c: c["rounds"] == 2) is result
+
+    def test_check_wraps_assertion_with_context(self):
+        result = make_result([make_cell({"n": 4}, {"rounds": 3})])
+        with pytest.raises(ShapeError, match=r"\[EX cell n=4\]"):
+            result.check(lambda c: c["rounds"] == 2, "round bound")
+
+    def test_table_from_columns(self):
+        result = make_result([make_cell({"n": 4}, {"rounds": 2})])
+        header, rows = result.table(
+            (("n", "n"), ("r", "rounds"), ("2r", lambda c: 2 * c["rounds"]))
+        )
+        assert header == ["n", "r", "2r"]
+        assert rows == [[4, 2, 4]]
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table("T", ["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].split() == ["col", "x"]
+        assert set(lines[2].strip()) <= {"-", " "}
+        assert "bbbb" in lines[4]
+
+    def test_empty_rows(self):
+        text = render_table("T", ["a"], [])
+        assert "a" in text

@@ -1,0 +1,202 @@
+"""The runner: sample contexts, execution, chunking, tables, speedup."""
+
+import pytest
+
+from repro.harness import (
+    Cell,
+    CellExecutionError,
+    Experiment,
+    Grid,
+    SampleCtx,
+    WORKERS_ENV,
+    experiment_tables,
+    resolve_workers,
+    run_experiment,
+    run_one_cell,
+    run_with_speedup,
+)
+from repro.util.rng import sample_seed
+
+
+# top-level, picklable sample functions -------------------------------------
+
+def observe_cell(ctx):
+    """Deterministic observations derived only from the sample identity."""
+    roll = ctx.rng.randint(0, 1000)
+    return {
+        "roll_max": roll,
+        "roll_sum": roll,
+        "even": roll % 2 == 0,
+        "index_last": ctx.index,
+    }
+
+
+def failing_cell(ctx):
+    if ctx.index == 3:
+        raise ValueError("boom")
+    return {"ok": True}
+
+
+EXP = Experiment(
+    id="T1",
+    title="runner test experiment",
+    grid=Grid.product(n=[2, 3], k=[1]),
+    run_cell=observe_cell,
+    samples=24,
+    reduce={"roll_max": "max", "roll_sum": "sum", "even": "rate",
+            "index_last": "last"},
+)
+
+
+class TestSampleCtx:
+    def test_params_and_identity(self):
+        ctx = SampleCtx("E1", Cell({"n": 4}), 7)
+        assert ctx["n"] == 4
+        assert dict(ctx) == {"n": 4}
+        assert ctx.seed == sample_seed("E1", "n=4", 7)
+
+    def test_seed_varies_with_every_identity_part(self):
+        base = SampleCtx("E1", Cell({"n": 4}), 0).seed
+        assert SampleCtx("E1", Cell({"n": 4}), 1).seed != base
+        assert SampleCtx("E1", Cell({"n": 5}), 0).seed != base
+        assert SampleCtx("E2", Cell({"n": 4}), 0).seed != base
+
+    def test_sub_streams_independent(self):
+        ctx = SampleCtx("E1", Cell({"n": 4}), 0)
+        assert ctx.sub_seed("a") != ctx.sub_seed("b")
+        assert ctx.sub_seed("a") != ctx.seed
+        assert ctx.sub_rng("a").random() == ctx.sub_rng("a").random()
+
+    def test_rng_is_cached_per_ctx(self):
+        ctx = SampleCtx("E1", Cell({"n": 4}), 0)
+        assert ctx.rng is ctx.rng
+
+
+class TestExperimentDeclaration:
+    def test_bad_reducer_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown reducer"):
+            Experiment(id="X", title="x", grid=Grid.single(n=1),
+                       run_cell=observe_cell, reduce={"v": "median"})
+
+    def test_bad_samples_and_chunk(self):
+        with pytest.raises(ValueError):
+            Experiment(id="X", title="x", grid=Grid.single(n=1),
+                       run_cell=observe_cell, samples=0)
+        with pytest.raises(ValueError):
+            Experiment(id="X", title="x", grid=Grid.single(n=1),
+                       run_cell=observe_cell, chunk=0)
+
+    def test_chunk_size_depends_only_on_samples(self):
+        assert EXP.chunk_size(24) == 3  # ceil(24/8)
+        assert EXP.chunk_size(7) == 1
+        explicit = Experiment(id="X", title="x", grid=Grid.single(n=1),
+                              run_cell=observe_cell, chunk=5)
+        assert explicit.chunk_size(1000) == 5
+
+
+class TestRunExperiment:
+    def test_reduction_and_shape(self):
+        result = run_experiment(EXP)
+        assert result.experiment == "T1"
+        assert len(result.cells) == 2
+        for cell in result.cells:
+            assert cell.samples == 24
+            assert cell["roll_max"] <= 1000
+            assert cell["even"]["trials"] == 24
+            assert cell["index_last"] == 23  # chunks merged in sample order
+        assert result.total_samples == 48
+
+    def test_samples_override(self):
+        result = run_experiment(EXP, samples=6)
+        assert all(c["even"]["trials"] == 6 for c in result.cells)
+
+    def test_finalize_adds_derived_columns(self):
+        exp = Experiment(
+            id="T2", title="x", grid=Grid.single(n=3), run_cell=observe_cell,
+            samples=4, reduce={"roll_sum": "sum"},
+            finalize=lambda params, value: {"scaled": value["roll_sum"] * params["n"]},
+        )
+        cell = run_experiment(exp).cells[0]
+        assert cell["scaled"] == cell["roll_sum"] * 3
+
+    def test_worker_error_carries_context(self):
+        exp = Experiment(id="T3", title="x", grid=Grid.single(n=1),
+                         run_cell=failing_cell, samples=8)
+        with pytest.raises(CellExecutionError, match="T3 cell n=1 sample 3"):
+            run_experiment(exp)
+
+    def test_notes_land_in_meta(self):
+        exp = Experiment(id="T4", title="x", grid=Grid.single(n=1),
+                         run_cell=observe_cell, samples=1, notes="provenance")
+        assert run_experiment(exp).meta["notes"] == "provenance"
+
+
+class TestRunOneCell:
+    def test_ad_hoc_params_allowed(self):
+        # (n=9, k=9) is not a grid cell; run_cell only needs the axes it reads
+        cell = run_one_cell(EXP, n=9, k=9, samples=3)
+        assert cell.samples == 3
+        assert cell["n"] == 9
+
+    def test_matches_full_run(self):
+        full = run_experiment(EXP).cell(n=2, k=1)
+        probe = run_one_cell(EXP, n=2, k=1)
+        assert probe.value == full.value
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_floor_is_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-4) == 1
+
+
+class TestExperimentTables:
+    def test_table_spec(self):
+        exp = Experiment(
+            id="T5", title="spec title", grid=Grid.single(n=2),
+            run_cell=observe_cell, samples=2, reduce={"roll_max": "max"},
+            table=(("n", "n"), ("max", "roll_max")),
+        )
+        [(title, header, rows)] = experiment_tables(exp, run_experiment(exp))
+        assert title == "spec title"
+        assert header == ["n", "max"]
+        assert rows[0][0] == 2
+
+    def test_render_hook_wins(self):
+        exp = Experiment(
+            id="T6", title="x", grid=Grid.single(n=2), run_cell=observe_cell,
+            samples=1, table=(("n", "n"),),
+            render=lambda result: [("custom", ["a"], [[1]])],
+        )
+        assert experiment_tables(exp, run_experiment(exp)) == \
+            [("custom", ["a"], [[1]])]
+
+    def test_json_fallback(self):
+        exp = Experiment(id="T7", title="x", grid=Grid.single(n=2),
+                         run_cell=observe_cell, samples=1)
+        [(_, header, rows)] = experiment_tables(exp, run_experiment(exp))
+        assert header == ["cell", "value"]
+        assert rows[0][0] == "n=2"
+
+
+class TestRunWithSpeedup:
+    def test_values_verified_and_speedup_attached(self):
+        result = run_with_speedup(EXP, samples=8, workers=2)
+        speedup = result.meta["speedup"]
+        assert speedup["workers"] == result.workers
+        assert speedup["serial_wall_time_s"] > 0
+        assert speedup["parallel_wall_time_s"] > 0
+        serial = run_experiment(EXP, samples=8, workers=1)
+        assert [c.value for c in result.cells] == [c.value for c in serial.cells]
