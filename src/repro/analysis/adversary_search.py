@@ -14,28 +14,117 @@ Uses:
   adversary of a model, not just sampled ones (exhaustive for ``n ≤ 4``);
 - debugging: the returned worst suspicion history replays directly via
   :mod:`repro.core.replay`.
+
+The admissible-history enumerator (:func:`iter_admissible_histories`) is
+shared with the conformance kit's bounded model checker
+(:mod:`repro.check.explore`): depth-first with prefix pruning — every
+catalog predicate is prefix-closed — and a hard error when a reachable
+prefix admits *no* extension, so an over-constrained search (e.g. a
+``max_d_size`` below what ``CrashSync`` forces alive processes to suspect)
+can never be mistaken for a vacuous proof.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.core.adversary import ScriptedAdversary
 from repro.core.algorithm import Protocol
 from repro.core.executor import run_protocol
 from repro.core.predicate import Predicate
-from repro.core.types import DHistory, ExecutionTrace
+from repro.core.types import DHistory, DRound, ExecutionTrace, RRFDError
 from repro.util.sets import all_subset_families
 
-__all__ = ["WorstCase", "search_worst_case", "holds_for_every_adversary"]
+__all__ = [
+    "NoAdmissibleExtension",
+    "WorstCase",
+    "admissible_rounds",
+    "iter_admissible_histories",
+    "search_worst_case",
+    "holds_for_every_adversary",
+]
 
 Objective = Callable[[ExecutionTrace], float]
+
+
+class NoAdmissibleExtension(RRFDError, ValueError):
+    """A reachable prefix admits no next round of suspicions.
+
+    Raised instead of silently enumerating nothing: an exhaustive check that
+    visits zero histories proves nothing, and the usual cause — a
+    ``max_d_size`` bound tighter than what the predicate forces (e.g.
+    :class:`~repro.core.predicates.CrashSync` requiring alive processes to
+    suspect every previously-suspected process) — is a caller bug worth a
+    loud, attributed error.
+    """
+
+    def __init__(self, predicate: Predicate, history: DHistory) -> None:
+        self.predicate = predicate
+        self.history = history
+        super().__init__(
+            f"{predicate.describe()} admits no round-{len(history) + 1} "
+            f"suspicion family extending the admissible prefix "
+            f"{_render_history(history)} — if a max_d_size bound is in "
+            "force, it is below what the predicate requires"
+        )
+
+
+def _render_history(history: DHistory) -> str:
+    if not history:
+        return "()"
+    return "(" + "; ".join(
+        "[" + ", ".join("{" + ",".join(map(str, sorted(d))) + "}" for d in d_round) + "]"
+        for d_round in history
+    ) + ")"
 
 
 def distinct_decisions(trace: ExecutionTrace) -> float:
     """The default objective: number of distinct decided values."""
     return float(len(trace.decided_values))
+
+
+def admissible_rounds(
+    predicate: Predicate,
+    history: DHistory,
+    *,
+    max_d_size: int | None = None,
+) -> Iterator[DRound]:
+    """Yield every suspicion family that admissibly extends ``history``."""
+    for d_round in all_subset_families(predicate.n, max_size=max_d_size):
+        if predicate.allows_extension(history, d_round):
+            yield d_round
+
+
+def iter_admissible_histories(
+    predicate: Predicate,
+    rounds: int,
+    *,
+    max_d_size: int | None = None,
+    prefix: DHistory = (),
+) -> Iterator[DHistory]:
+    """Depth-first enumeration of every admissible ``rounds``-round history.
+
+    Prefix-pruned: a round is only extended if the predicate allows it, so
+    subtrees below inadmissible prefixes are never visited.  Raises
+    :class:`NoAdmissibleExtension` if some reachable prefix has no allowed
+    next round — exhaustion must never be silent.  ``prefix`` (assumed
+    admissible) lets callers resume below a frontier, which is how the
+    conformance kit parallelises the first round across workers.
+    """
+    if rounds < 0:
+        raise ValueError(f"rounds must be ≥ 0, got {rounds}")
+    if len(prefix) == rounds:
+        yield prefix
+        return
+    extended = False
+    for d_round in admissible_rounds(predicate, prefix, max_d_size=max_d_size):
+        extended = True
+        yield from iter_admissible_histories(
+            predicate, rounds, max_d_size=max_d_size, prefix=prefix + (d_round,)
+        )
+    if not extended:
+        raise NoAdmissibleExtension(predicate, prefix)
 
 
 @dataclass
@@ -71,38 +160,29 @@ def search_worst_case(
     Enumerates every allowed suspicion history of the given length
     (depth-first with prefix pruning — all catalog predicates are
     prefix-closed) and runs the protocol against each.  Exponential: keep
-    ``n ≤ 4`` unbounded or pass ``max_d_size``.
+    ``n ≤ 4`` unbounded or pass ``max_d_size``.  Raises
+    :class:`NoAdmissibleExtension` if the predicate (under ``max_d_size``)
+    dead-ends before ``rounds`` rounds.
     """
     n = len(inputs)
     if predicate.n != n:
         raise ValueError(f"predicate is for n={predicate.n}, inputs give {n}")
     best: WorstCase | None = None
     explored = 0
-
-    def extend(history: DHistory) -> None:
-        nonlocal best, explored
-        if len(history) == rounds:
-            explored += 1
-            trace = _run_history(protocol, inputs, history)
-            value = objective(trace)
-            if best is None or value > best.objective_value:
-                best = WorstCase(
-                    objective_value=value,
-                    history=history,
-                    trace=trace,
-                    histories_explored=0,
-                )
-            return
-        for d_round in all_subset_families(n, max_size=max_d_size):
-            candidate = history + (d_round,)
-            if predicate.allows(candidate):
-                extend(candidate)
-
-    extend(())
-    if best is None:
-        raise ValueError(
-            f"{predicate.describe()} allows no {rounds}-round history"
-        )
+    for history in iter_admissible_histories(
+        predicate, rounds, max_d_size=max_d_size
+    ):
+        explored += 1
+        trace = _run_history(protocol, inputs, history)
+        value = objective(trace)
+        if best is None or value > best.objective_value:
+            best = WorstCase(
+                objective_value=value,
+                history=history,
+                trace=trace,
+                histories_explored=0,
+            )
+    assert best is not None  # rounds=0 yields (); dead-ends raised above
     best.histories_explored = explored
     return best
 
@@ -119,21 +199,18 @@ def holds_for_every_adversary(
     """Run ``check`` (raising on failure) against every allowed adversary.
 
     Returns the number of histories verified — an exhaustive proof of the
-    property for this (protocol, model, inputs, round count).
+    property for this (protocol, model, inputs, round count).  A vacuous
+    proof is impossible: if the predicate admits no suspicion family in
+    some round, :class:`NoAdmissibleExtension` is raised instead of
+    returning 0.
     """
     n = len(inputs)
+    if predicate.n != n:
+        raise ValueError(f"predicate is for n={predicate.n}, inputs give {n}")
     verified = 0
-
-    def extend(history: DHistory) -> None:
-        nonlocal verified
-        if len(history) == rounds:
-            check(_run_history(protocol, inputs, history))
-            verified += 1
-            return
-        for d_round in all_subset_families(n, max_size=max_d_size):
-            candidate = history + (d_round,)
-            if predicate.allows(candidate):
-                extend(candidate)
-
-    extend(())
+    for history in iter_admissible_histories(
+        predicate, rounds, max_d_size=max_d_size
+    ):
+        check(_run_history(protocol, inputs, history))
+        verified += 1
     return verified

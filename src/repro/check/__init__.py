@@ -1,0 +1,56 @@
+"""Conformance kit: one correctness-tooling layer for every protocol.
+
+The paper's solvability claims quantify over *every* admissible D-family;
+this package checks that quantifier uniformly instead of piecemeal:
+
+- :mod:`repro.check.spec` — :class:`ConformanceSpec` binds a protocol
+  factory, a model predicate, an input space and trace invariants; the
+  registry maps names to the library's specs (:mod:`repro.check.specs`).
+- :mod:`repro.check.explore` — bounded model checking (exhaustive for small
+  ``n``, with decided-prefix pruning and a parallel round-1 frontier) and
+  seeded fuzzing for larger ``n``.
+- :mod:`repro.check.shrink` — delta-debugging of failing histories down to
+  minimal replayable counterexamples, serialized as ``tests/golden/``
+  artifacts.
+- :mod:`repro.check.strategies` — the suite-wide hypothesis strategies
+  (imports hypothesis; keep it out of non-test code paths).
+
+CLI: ``python -m repro check --spec kset --exhaustive``.
+"""
+
+from repro.check.spec import (
+    ConformanceSpec,
+    InvariantFailure,
+    TraceInvariant,
+    all_specs,
+    get_spec,
+    register,
+    spec_names,
+)
+from repro.check.explore import ExploreResult, Violation, explore, fuzz
+from repro.check.shrink import (
+    ShrinkResult,
+    load_counterexample,
+    replay_counterexample,
+    save_counterexample,
+    shrink,
+)
+
+__all__ = [
+    "ConformanceSpec",
+    "TraceInvariant",
+    "InvariantFailure",
+    "register",
+    "get_spec",
+    "spec_names",
+    "all_specs",
+    "ExploreResult",
+    "Violation",
+    "explore",
+    "fuzz",
+    "ShrinkResult",
+    "shrink",
+    "save_counterexample",
+    "load_counterexample",
+    "replay_counterexample",
+]

@@ -1,0 +1,370 @@
+"""Bounded model checking and fuzzing over a conformance spec.
+
+:func:`explore` discharges the paper's universal quantifier *exactly* for
+small systems: it streams every admissible suspicion history of the given
+depth (via :func:`repro.analysis.adversary_search.iter_admissible_histories`,
+depth-first with prefix pruning) for every input assignment in the spec's
+exhaustive input space, runs the protocol on each, and checks every
+invariant.  Zero violations over the whole product is a proof of the spec's
+claims for that ``(n, rounds)`` — not a sample.
+
+Two throughput levers for ``n = 4`` (where e.g. ``KSetDetector`` admits
+4 235 first-round families):
+
+- ``prune_decided=True`` stops extending a history once every process has
+  decided — sound for invariants that are insensitive to post-decision
+  rounds (all registered task invariants; termination bounds are checked at
+  decision time), and it collapses the depth-``r`` tree to near the
+  depth-of-decision tree.
+- ``workers > 1`` splits the *first round* across processes (the harness
+  runner's spawn pattern): each worker resumes the DFS below its chunk of
+  the round-1 frontier via the enumerator's ``prefix`` parameter.  Requires
+  a registered spec (workers re-resolve it by name — specs close over
+  lambdas and do not pickle).
+
+:func:`fuzz` covers what exhaustion cannot: larger ``n`` via the
+predicate's constructive sampler, and scheduler-driven specs
+(``supports_exhaustive=False``) via their custom ``sample_run``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.adversary_search import (
+    NoAdmissibleExtension,
+    admissible_rounds,
+)
+from repro.check.spec import ConformanceSpec, InvariantFailure, get_spec
+from repro.core.types import DHistory, ExecutionTrace
+from repro.harness.runner import _init_worker, resolve_workers
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = ["Violation", "ExploreResult", "explore", "fuzz"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One execution that broke one or more invariants — fully replayable."""
+
+    spec: str
+    inputs: tuple[Any, ...]
+    history: DHistory
+    failures: tuple[InvariantFailure, ...]
+
+    def __str__(self) -> str:
+        probs = "; ".join(str(f) for f in self.failures)
+        return (
+            f"[{self.spec}] inputs={self.inputs!r} "
+            f"rounds={len(self.history)}: {probs}"
+        )
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one :func:`explore` or :func:`fuzz` run."""
+
+    spec: str
+    n: int
+    rounds: int
+    mode: str  # "exhaustive" | "fuzz"
+    executions: int = 0
+    histories: int = 0
+    pruned: int = 0
+    inputs_checked: int = 0
+    workers: int = 1
+    elapsed: float = 0.0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = (
+            "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        )
+        pruned = f", {self.pruned} pruned early" if self.pruned else ""
+        return (
+            f"{self.spec}: {verdict} — {self.mode} n={self.n} "
+            f"rounds={self.rounds}, {self.executions} executions over "
+            f"{self.histories} histories × {self.inputs_checked} input "
+            f"assignment(s){pruned} in {self.elapsed:.2f}s"
+            + (f" ({self.workers} workers)" if self.workers > 1 else "")
+        )
+
+
+# ---------------------------------------------------------------------------
+# exhaustive exploration
+
+
+def _check_history(
+    spec: ConformanceSpec,
+    inputs: tuple[Any, ...],
+    history: DHistory,
+    result: ExploreResult,
+) -> ExecutionTrace:
+    trace = spec.run(inputs, history)
+    result.executions += 1
+    failures = spec.failures(trace, len(inputs))
+    if failures:
+        result.violations.append(
+            Violation(spec.name, inputs, history, tuple(failures))
+        )
+    return trace
+
+
+def _explore_serial(
+    spec: ConformanceSpec,
+    inputs: tuple[Any, ...],
+    n: int,
+    rounds: int,
+    *,
+    prune_decided: bool,
+    max_d_size: int | None,
+    result: ExploreResult,
+    prefix: DHistory = (),
+    max_violations: int | None = None,
+) -> None:
+    """DFS over admissible histories below ``prefix``, checking each leaf.
+
+    With ``prune_decided`` the protocol is re-run on interior prefixes and a
+    branch is cut as soon as every process has decided: the executions are
+    deterministic, so the shallower trace *is* every deeper one up to
+    post-decision rounds, and it is checked in the leaves' stead.  Interior
+    prefixes where some process is still undecided are *not* checked —
+    termination invariants legitimately fail mid-run.
+    """
+    predicate = spec.predicate(n)
+    stack: list[DHistory] = [prefix]
+    while stack:
+        node = stack.pop()
+        if (
+            max_violations is not None
+            and len(result.violations) >= max_violations
+        ):
+            return
+        if len(node) == rounds:
+            result.histories += 1
+            _check_history(spec, inputs, node, result)
+            continue
+        if prune_decided and len(node) > 0:
+            trace = spec.run(inputs, node)
+            if trace.all_decided:
+                result.histories += 1
+                result.pruned += 1
+                _check_history(spec, inputs, node, result)
+                continue
+        children = list(
+            admissible_rounds(predicate, node, max_d_size=max_d_size)
+        )
+        if not children:
+            raise NoAdmissibleExtension(predicate, node)
+        for d_round in children:
+            stack.append(node + (d_round,))
+
+
+def _frontier_chunks(
+    predicate: Any, workers: int, max_d_size: int | None
+) -> list[list[DHistory]]:
+    """Round-robin the round-1 admissible families into ``workers`` chunks."""
+    chunks: list[list[DHistory]] = [[] for _ in range(workers)]
+    for i, d_round in enumerate(
+        admissible_rounds(predicate, (), max_d_size=max_d_size)
+    ):
+        chunks[i % workers].append((d_round,))
+    return [c for c in chunks if c]
+
+
+def _explore_chunk(payload: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry: resume the DFS below each frontier prefix in the chunk."""
+    spec = get_spec(payload["spec"])
+    inputs = tuple(payload["inputs"])
+    n = payload["n"]
+    result = ExploreResult(
+        spec=spec.name, n=n, rounds=payload["rounds"], mode="exhaustive"
+    )
+    for prefix in payload["prefixes"]:
+        _explore_serial(
+            spec, inputs, n, payload["rounds"],
+            prune_decided=payload["prune_decided"],
+            max_d_size=payload["max_d_size"],
+            result=result, prefix=prefix,
+        )
+    return {
+        "executions": result.executions,
+        "histories": result.histories,
+        "pruned": result.pruned,
+        "violations": [
+            (v.inputs, v.history, [(f.invariant, f.message) for f in v.failures])
+            for v in result.violations
+        ],
+    }
+
+
+def explore(
+    spec: ConformanceSpec | str,
+    *,
+    n: int | None = None,
+    rounds: int | None = None,
+    prune_decided: bool = False,
+    max_d_size: int | None = None,
+    workers: int = 1,
+    max_violations: int | None = None,
+) -> ExploreResult:
+    """Exhaustively check ``spec`` over every admissible history and input.
+
+    Args:
+        spec: a :class:`ConformanceSpec` or its registry name.
+        n: system size (default ``spec.exhaustive_n``).
+        rounds: history depth (default ``spec.rounds(n)``).
+        prune_decided: stop extending once all processes decided (interior
+            prefixes are still checked, so no violation is lost for the
+            registered invariants).
+        max_d_size: cap per-process suspicion-set size (passed through to
+            the enumerator; dead ends raise rather than vanish).
+        workers: >1 splits the round-1 frontier across processes; the spec
+            must then be registered by name.
+        max_violations: stop early after this many violations (serial only).
+
+    Returns:
+        An :class:`ExploreResult`; ``result.ok`` is the verdict.
+    """
+    if isinstance(spec, str):
+        spec = get_spec(spec)
+    if not spec.supports_exhaustive:
+        raise ValueError(
+            f"spec {spec.name!r} is not a pure function of (inputs, "
+            "D-history); use fuzz() instead"
+        )
+    n = spec.exhaustive_n if n is None else n
+    rounds = spec.rounds(n) if rounds is None else rounds
+    workers = resolve_workers(workers)
+    result = ExploreResult(
+        spec=spec.name, n=n, rounds=rounds, mode="exhaustive", workers=workers
+    )
+    started = time.perf_counter()
+    input_space = [tuple(i) for i in spec.exhaustive_inputs(n)]
+    result.inputs_checked = len(input_space)
+
+    if workers <= 1 or rounds == 0:
+        result.workers = 1
+        for inputs in input_space:
+            _explore_serial(
+                spec, inputs, n, rounds,
+                prune_decided=prune_decided, max_d_size=max_d_size,
+                result=result, max_violations=max_violations,
+            )
+            if (
+                max_violations is not None
+                and len(result.violations) >= max_violations
+            ):
+                break
+    else:
+        _explore_parallel(
+            spec, input_space, n, rounds,
+            prune_decided=prune_decided, max_d_size=max_d_size,
+            workers=workers, result=result,
+        )
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def _explore_parallel(
+    spec: ConformanceSpec,
+    input_space: list[tuple[Any, ...]],
+    n: int,
+    rounds: int,
+    *,
+    prune_decided: bool,
+    max_d_size: int | None,
+    workers: int,
+    result: ExploreResult,
+) -> None:
+    try:
+        registered = get_spec(spec.name)
+    except KeyError:
+        registered = None
+    if registered is not spec:
+        raise ValueError(
+            f"workers>1 needs a registered spec; {spec.name!r} is not the "
+            "registered instance (register it, or run with workers=1)"
+        )
+    chunks = _frontier_chunks(spec.predicate(n), workers, max_d_size)
+    payloads = [
+        {
+            "spec": spec.name, "inputs": inputs, "n": n, "rounds": rounds,
+            "prune_decided": prune_decided, "max_d_size": max_d_size,
+            "prefixes": chunk,
+        }
+        for inputs in input_space
+        for chunk in chunks
+    ]
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(list(sys.path),)
+    ) as pool:
+        for payload, part in zip(payloads, pool.map(_explore_chunk, payloads)):
+            result.executions += part["executions"]
+            result.histories += part["histories"]
+            result.pruned += part["pruned"]
+            for inputs, history, failures in part["violations"]:
+                result.violations.append(Violation(
+                    spec.name, tuple(inputs), history,
+                    tuple(InvariantFailure(i, m) for i, m in failures),
+                ))
+
+
+# ---------------------------------------------------------------------------
+# fuzzing
+
+
+def fuzz(
+    spec: ConformanceSpec | str,
+    samples: int = 200,
+    *,
+    n: int | None = None,
+    rounds: int | None = None,
+    seed: int = 0,
+) -> ExploreResult:
+    """Randomized conformance runs: sampled inputs × sampled histories.
+
+    Histories come from the predicate's constructive sampler
+    (``predicate.sample_round``), so every sample is admissible by
+    construction; specs with a custom ``sample_run`` (scheduler-driven
+    protocols) draw whole traces instead.  Deterministic in ``seed``.
+    """
+    if isinstance(spec, str):
+        spec = get_spec(spec)
+    n = spec.fuzz_n if n is None else n
+    rounds = spec.rounds(n) if rounds is None else rounds
+    result = ExploreResult(spec=spec.name, n=n, rounds=rounds, mode="fuzz")
+    started = time.perf_counter()
+    seen_inputs: set[tuple[Any, ...]] = set()
+    for i in range(samples):
+        rng = make_rng(derive_seed("rrfd-check", spec.name, n, seed, i))
+        if spec.sample_run is not None:
+            trace = spec.sample_run(n, rng)
+            inputs = trace.inputs
+            history = trace.d_history
+        else:
+            predicate = spec.predicate(n)
+            inputs = spec.sample_inputs(n, rng)
+            history: DHistory = ()
+            for _ in range(rounds):
+                history = history + (predicate.sample_round(rng, history),)
+            trace = spec.run(inputs, history)
+        seen_inputs.add(tuple(inputs))
+        result.executions += 1
+        result.histories += 1
+        failures = spec.failures(trace, n)
+        if failures:
+            result.violations.append(
+                Violation(spec.name, tuple(inputs), history, tuple(failures))
+            )
+    result.inputs_checked = len(seen_inputs)
+    result.elapsed = time.perf_counter() - started
+    return result

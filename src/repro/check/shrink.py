@@ -1,0 +1,314 @@
+"""Delta-debugging shrinker: minimal replayable counterexamples.
+
+A violation found by :func:`repro.check.explore.explore` (or by hypothesis)
+is rarely minimal — exhaustive enumeration reports the first failing leaf in
+DFS order, fuzzing reports whatever the dice rolled.  :func:`shrink` reduces
+a failing ``(inputs, history)`` pair while preserving two things:
+
+1. **admissibility** — the shrunk history still satisfies the spec's model
+   predicate (for a deliberately weakened spec, the weakened predicate:
+   counterexamples must stay inside the model that admitted them);
+2. **the same failure** — the shrunk execution violates the *same named
+   invariant* as the original (not merely "some invariant"), so the
+   minimized artifact witnesses the original bug, not a different one.
+
+Three reduction passes run to fixpoint, cheapest structural win first:
+
+- *drop rounds* (prefer removing whole suffixes, then interior rounds);
+- *shrink suspicion sets* (remove one suspected pid at a time);
+- *merge inputs* (replace each input with a smaller already-present one,
+  reducing the number of distinct values).
+
+Executions are pure functions of ``(inputs, history)``, so the result is
+exactly reproducible; :func:`save_counterexample` serializes it — via
+:mod:`repro.core.trace_io`'s tagged-JSON encoding — into the
+``rrfd-counterexample-v1`` artifacts checked into ``tests/golden/``, and
+:func:`replay_counterexample` re-runs one and confirms the recorded
+invariant still fails with the recorded message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from repro.check.spec import ConformanceSpec, get_spec
+from repro.core.predicate import Predicate
+from repro.core.trace_io import decode_value, encode_value
+from repro.core.types import DHistory, ExecutionTrace
+
+__all__ = [
+    "ShrinkResult",
+    "shrink",
+    "counterexample_to_dict",
+    "counterexample_from_dict",
+    "save_counterexample",
+    "load_counterexample",
+    "replay_counterexample",
+]
+
+COUNTEREXAMPLE_FORMAT = "rrfd-counterexample-v1"
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimized counterexample plus the statistics of getting there."""
+
+    spec: str
+    inputs: tuple[Any, ...]
+    history: DHistory
+    invariant: str
+    message: str
+    original_rounds: int
+    original_suspicions: int
+    candidates_tried: int
+    passes: int
+
+    @property
+    def rounds(self) -> int:
+        return len(self.history)
+
+    @property
+    def suspicions(self) -> int:
+        return sum(len(d) for d_round in self.history for d in d_round)
+
+    def summary(self) -> str:
+        return (
+            f"{self.spec}/{self.invariant}: shrunk "
+            f"{self.original_rounds}r/{self.original_suspicions}s -> "
+            f"{self.rounds}r/{self.suspicions}s "
+            f"({self.candidates_tried} candidates, {self.passes} passes)"
+        )
+
+
+def _history_candidates(
+    inputs: tuple[Any, ...], history: DHistory
+) -> Iterator[tuple[tuple[Any, ...], DHistory]]:
+    """Single-step reductions, roughly in decreasing order of payoff."""
+    # Drop whole rounds: suffix truncation first (largest cut), then each
+    # single round.  Never below one round — the executor needs a schedule.
+    for keep in range(1, len(history)):
+        yield inputs, history[:keep]
+    if len(history) > 1:
+        for r in range(len(history)):
+            yield inputs, history[:r] + history[r + 1:]
+    # Shrink suspicion sets one element at a time.
+    for r, d_round in enumerate(history):
+        for i, suspected in enumerate(d_round):
+            for pid in sorted(suspected):
+                smaller = d_round[:i] + (suspected - {pid},) + d_round[i + 1:]
+                yield inputs, history[:r] + (smaller,) + history[r + 1:]
+    # Merge inputs: replace each input with a strictly "smaller" value that
+    # another process already holds, shrinking the distinct-value count.
+    try:
+        ordered = sorted(set(inputs))
+    except TypeError:  # unorderable payloads: fall back to first-seen order
+        ordered = list(dict.fromkeys(inputs))
+    for i, value in enumerate(inputs):
+        for candidate in ordered:
+            if candidate == value:
+                break
+            yield inputs[:i] + (candidate,) + inputs[i + 1:], history
+
+
+def shrink(
+    spec: ConformanceSpec | str,
+    inputs: Sequence[Any],
+    history: DHistory,
+    *,
+    invariant: str | None = None,
+    max_passes: int = 50,
+) -> ShrinkResult:
+    """Minimize a failing ``(inputs, history)`` pair for ``spec``.
+
+    Args:
+        spec: the spec (or registry name) whose invariant the pair violates.
+            For sanity-harness use, pass the *weakened* spec — its predicate
+            defines which shrunk histories stay admissible.
+        inputs: the failing input assignment.
+        history: the failing suspicion history (must be non-empty).
+        invariant: which invariant to preserve; default = the first one the
+            original execution violates.
+        max_passes: fixpoint iteration cap (each pass tries every
+            single-step reduction once).
+
+    Raises:
+        ValueError: if the original pair does not actually fail, or fails
+            only invariants other than the requested one.
+    """
+    if isinstance(spec, str):
+        spec = get_spec(spec)
+    inputs = tuple(inputs)
+    if not history:
+        raise ValueError("cannot shrink an empty history")
+    n = len(inputs)
+    predicate: Predicate = spec.predicate(n)
+    if not predicate.allows(history):
+        raise ValueError(
+            f"original history is not admissible under {predicate.describe()}"
+        )
+
+    failures = spec.failures(spec.run(inputs, history), n)
+    if not failures:
+        raise ValueError(
+            f"nothing to shrink: spec {spec.name!r} holds on this execution"
+        )
+    if invariant is None:
+        invariant = failures[0].invariant
+    else:
+        spec.invariant(invariant)  # KeyError on unknown names
+    matching = [f for f in failures if f.invariant == invariant]
+    if not matching:
+        raise ValueError(
+            f"execution does not violate {invariant!r} "
+            f"(it violates: {[f.invariant for f in failures]})"
+        )
+    message = matching[0].message
+
+    tried = 0
+
+    def failing_message(
+        cand_inputs: tuple[Any, ...], cand_history: DHistory
+    ) -> str | None:
+        nonlocal tried
+        tried += 1
+        if not predicate.allows(cand_history):
+            return None
+        trace = spec.run(cand_inputs, cand_history)
+        for failure in spec.failures(trace, n):
+            if failure.invariant == invariant:
+                return failure.message
+        return None
+
+    original_rounds = len(history)
+    original_suspicions = sum(len(d) for d_round in history for d in d_round)
+    passes = 0
+    improved = True
+    while improved and passes < max_passes:
+        improved = False
+        passes += 1
+        for cand_inputs, cand_history in _history_candidates(inputs, history):
+            cand_message = failing_message(cand_inputs, cand_history)
+            if cand_message is not None:
+                inputs, history, message = cand_inputs, cand_history, cand_message
+                improved = True
+                break  # restart the pass from the (smaller) new base
+
+    return ShrinkResult(
+        spec=spec.name,
+        inputs=inputs,
+        history=history,
+        invariant=invariant,
+        message=message,
+        original_rounds=original_rounds,
+        original_suspicions=original_suspicions,
+        candidates_tried=tried,
+        passes=passes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# golden artifacts
+
+
+def counterexample_to_dict(
+    result: ShrinkResult, *, base_spec: str | None = None
+) -> dict[str, Any]:
+    """Serialize a shrunk counterexample (tagged JSON, stable on disk).
+
+    ``base_spec`` names the *registered* spec to replay against when the
+    shrink ran on an unregistered variant (e.g. a weakened copy) — golden
+    replays then re-weaken explicitly rather than looking up a name that
+    only existed inside one test.
+    """
+    return {
+        "format": COUNTEREXAMPLE_FORMAT,
+        "spec": base_spec or result.spec,
+        "invariant": result.invariant,
+        "message": result.message,
+        "inputs": [encode_value(v) for v in result.inputs],
+        "history": [
+            [sorted(d) for d in d_round] for d_round in result.history
+        ],
+        "stats": {
+            "original_rounds": result.original_rounds,
+            "original_suspicions": result.original_suspicions,
+            "candidates_tried": result.candidates_tried,
+            "passes": result.passes,
+        },
+    }
+
+
+def counterexample_from_dict(data: dict[str, Any]) -> dict[str, Any]:
+    """Decode an artifact into plain fields (inputs tuple, DHistory, ...)."""
+    if data.get("format") != COUNTEREXAMPLE_FORMAT:
+        raise ValueError(
+            f"not a {COUNTEREXAMPLE_FORMAT} artifact: "
+            f"format={data.get('format')!r}"
+        )
+    return {
+        "spec": data["spec"],
+        "invariant": data["invariant"],
+        "message": data["message"],
+        "inputs": tuple(decode_value(v) for v in data["inputs"]),
+        "history": tuple(
+            tuple(frozenset(d) for d in d_round) for d_round in data["history"]
+        ),
+        "stats": dict(data.get("stats", {})),
+    }
+
+
+def save_counterexample(
+    result: ShrinkResult, path: str | Path, *, base_spec: str | None = None
+) -> None:
+    payload = counterexample_to_dict(result, base_spec=base_spec)
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_counterexample(path: str | Path) -> dict[str, Any]:
+    return counterexample_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
+
+
+def replay_counterexample(
+    artifact: dict[str, Any], *, spec: ConformanceSpec | None = None
+) -> ExecutionTrace:
+    """Re-run a loaded artifact and confirm the recorded failure reproduces.
+
+    Args:
+        artifact: output of :func:`load_counterexample`.
+        spec: override the spec to run against (pass the re-weakened variant
+            when the artifact was produced by a sanity-harness shrink).
+
+    Returns:
+        The replayed trace, after asserting the recorded invariant fails
+        with the recorded message.
+
+    Raises:
+        AssertionError: if the failure no longer reproduces — the protocol,
+        invariant, or executor changed behaviour (that is the point of a
+        golden corpus).
+    """
+    if spec is None:
+        spec = get_spec(artifact["spec"])
+    n = len(artifact["inputs"])
+    trace = spec.run(artifact["inputs"], artifact["history"])
+    failures = spec.failures(trace, n)
+    got = {f.invariant: f.message for f in failures}
+    if artifact["invariant"] not in got:
+        raise AssertionError(
+            f"golden counterexample no longer fails {artifact['invariant']!r} "
+            f"(current failures: {sorted(got)})"
+        )
+    if got[artifact["invariant"]] != artifact["message"]:
+        raise AssertionError(
+            "golden counterexample fails with a different message:\n"
+            f"  recorded: {artifact['message']}\n"
+            f"  current:  {got[artifact['invariant']]}"
+        )
+    return trace

@@ -1,0 +1,216 @@
+"""Conformance specs: one object binding everything a protocol must satisfy.
+
+The paper's solvability claims are universally quantified: a protocol solves
+a task under predicate ``P`` only if it meets the task's requirements against
+*every* D-family satisfying ``P``.  A :class:`ConformanceSpec` packages that
+quantifier as data — a protocol factory, a model predicate, an input space,
+and a list of :class:`TraceInvariant`\\ s (task properties from
+:mod:`repro.protocols.properties` plus structural invariants from
+:mod:`repro.core.audit` / :mod:`repro.core.replay`) — so one checker
+(:mod:`repro.check.explore`), one shrinker (:mod:`repro.check.shrink`) and
+one CLI surface (``python -m repro check``) serve every protocol.
+
+Specs are *families* over the system size: every factory takes ``n``, so the
+same spec drives an exhaustive ``n = 3`` certification and an ``n = 6`` fuzz
+run.  The registry maps names (``"kset"``, ``"floodset"``, ...) to specs;
+:mod:`repro.check.specs` populates it with the library's protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
+
+from repro.core.adversary import ScriptedAdversary
+from repro.core.algorithm import Protocol
+from repro.core.executor import run_protocol
+from repro.core.predicate import Predicate
+from repro.core.types import DHistory, ExecutionTrace
+
+__all__ = [
+    "TraceInvariant",
+    "ConformanceSpec",
+    "InvariantFailure",
+    "register",
+    "get_spec",
+    "spec_names",
+    "all_specs",
+]
+
+
+@dataclass(frozen=True)
+class TraceInvariant:
+    """A named check over an execution trace; raises on violation.
+
+    ``check(trace, n)`` must raise ``AssertionError`` (typically a
+    :class:`~repro.protocols.properties.PropertyFailure`) when the trace
+    violates the invariant, and return ``None`` otherwise.
+    """
+
+    name: str
+    check: Callable[[ExecutionTrace, int], None]
+    description: str = ""
+
+    def failure(self, trace: ExecutionTrace, n: int) -> str | None:
+        """The failure message if the invariant is violated, else ``None``."""
+        try:
+            self.check(trace, n)
+        except AssertionError as exc:
+            return str(exc) or self.name
+        return None
+
+
+@dataclass(frozen=True)
+class InvariantFailure:
+    """One violated invariant on one execution."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ConformanceSpec:
+    """Everything needed to conformance-check one protocol in one model.
+
+    Args:
+        name: registry key (``"kset"``) and CLI handle.
+        title: one-line human description.
+        protocol: ``n -> Protocol`` factory.
+        predicate: ``n -> Predicate`` — the model whose *every* adversary
+            the protocol must survive.
+        rounds: ``n -> int`` — how many rounds exploration/fuzzing runs
+            (at least the protocol's decision horizon; more exercises the
+            post-decision rounds too).
+        invariants: the properties every execution must satisfy.
+        exhaustive_inputs: ``n -> input tuples`` enumerated in exhaustive
+            mode (keep it tiny — the D-family space is the expensive axis).
+        sample_inputs: ``(n, rng) -> inputs`` drawn per fuzz sample.
+        exhaustive_n: default ``n`` for exhaustive certification.
+        fuzz_n: default ``n`` for fuzz runs.
+        crashed_stop_emitting: run the executor with crash semantics —
+            ever-suspected processes fall silent (synchronous crash specs).
+        supports_exhaustive: ``False`` for specs whose execution is not a
+            pure function of (inputs, D-history) — e.g. the shared-memory
+            ◇S consensus, which is driven by a step scheduler instead.
+        sample_run: optional custom fuzz sampler ``(n, rng) -> trace`` for
+            such specs; overrides the scripted-executor path.
+        notes: provenance (theorem numbers, caveats).
+    """
+
+    name: str
+    title: str
+    protocol: Callable[[int], Protocol]
+    predicate: Callable[[int], Predicate]
+    rounds: Callable[[int], int]
+    invariants: tuple[TraceInvariant, ...]
+    exhaustive_inputs: Callable[[int], Sequence[tuple[Any, ...]]]
+    sample_inputs: Callable[[int, random.Random], tuple[Any, ...]]
+    exhaustive_n: int = 3
+    fuzz_n: int = 4
+    crashed_stop_emitting: bool = False
+    supports_exhaustive: bool = True
+    sample_run: Callable[[int, random.Random], ExecutionTrace] | None = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("spec name must be non-empty")
+        if not self.invariants:
+            raise ValueError(f"spec {self.name!r} declares no invariants")
+        names = [inv.name for inv in self.invariants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"spec {self.name!r} has duplicate invariants: {names}")
+
+    # ---------------------------------------------------------------- running
+
+    def run(self, inputs: Sequence[Any], history: DHistory) -> ExecutionTrace:
+        """Execute the protocol against a scripted suspicion history.
+
+        The execution is a pure function of ``(inputs, history)`` — the
+        determinism invariant that makes exploration, shrinking and golden
+        replays all agree on what a counterexample *is*.
+        """
+        n = len(inputs)
+        return run_protocol(
+            self.protocol(n),
+            inputs,
+            ScriptedAdversary(n, list(history)),
+            max_rounds=max(len(history), 1),
+            crashed_stop_emitting=self.crashed_stop_emitting,
+        )
+
+    # --------------------------------------------------------------- checking
+
+    def failures(self, trace: ExecutionTrace, n: int) -> list[InvariantFailure]:
+        """Every violated invariant on ``trace`` (empty list = conformant)."""
+        found = []
+        for invariant in self.invariants:
+            message = invariant.failure(trace, n)
+            if message is not None:
+                found.append(InvariantFailure(invariant.name, message))
+        return found
+
+    def invariant(self, name: str) -> TraceInvariant:
+        for inv in self.invariants:
+            if inv.name == name:
+                return inv
+        raise KeyError(
+            f"spec {self.name!r} has no invariant {name!r} "
+            f"(has: {[i.name for i in self.invariants]})"
+        )
+
+    # -------------------------------------------------------------- variants
+
+    def weakened(
+        self, predicate: Callable[[int], Predicate], *, suffix: str = "weakened"
+    ) -> "ConformanceSpec":
+        """A copy of this spec under a weaker model predicate.
+
+        The sanity harness of the conformance kit: checking a protocol
+        against a model weaker than the one it was designed for must produce
+        counterexamples — if it does not, the checker itself is broken.
+        """
+        return replace(self, name=f"{self.name}-{suffix}", predicate=predicate)
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+_REGISTRY: dict[str, ConformanceSpec] = {}
+
+
+def register(spec: ConformanceSpec) -> ConformanceSpec:
+    """Add ``spec`` to the registry (idempotent for identical names re-run)."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ConformanceSpec:
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no conformance spec named {name!r}; registered: {spec_names()}"
+        ) from None
+
+
+def spec_names() -> list[str]:
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def all_specs() -> list[ConformanceSpec]:
+    _ensure_registered()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _ensure_registered() -> None:
+    # The standard specs live in repro.check.specs; importing it populates
+    # the registry.  Deferred to first use so spec.py has no protocol deps.
+    if not _REGISTRY:
+        import repro.check.specs  # noqa: F401

@@ -1,0 +1,374 @@
+"""The registered conformance specs: the library's protocols, as claims.
+
+Each :func:`~repro.check.spec.register` call below is one of the paper's
+solvability statements made checkable:
+
+==================  =======================================================
+``kset``            Theorem 3.1 — one round under ``KSetDetector(k)``
+                    decides ≤ k values, k = n − 1 by default
+``consensus``       the k = 1 face — one round under ``SemiSyncEquality``
+``floodset``        Corollary 4.2/4.4 upper bound — FloodMin under
+                    ``CrashSync(f)`` in ⌊f/k⌋ + 1 rounds
+``early-stopping``  early-deciding FloodMin under ``CrashSync(f)``
+``adopt-commit``    Section 4.2 — two rounds under ``AtomicSnapshot``
+``detector-consensus``  ◇S consensus over shared memory (fuzz-only: its
+                    executions are scheduler-driven, not D-history-driven)
+==================  =======================================================
+
+Task invariants come from :mod:`repro.protocols.properties`; the structural
+invariant reuses :meth:`repro.core.audit.ExecutionAuditor.check_views` and
+:func:`repro.core.replay.verify_trace_consistency` so every conformance run
+also audits round ordering, the coverage guarantee and payload consistency.
+
+Synchronous crash specs check agreement/termination over *survivors* (never
+suspected processes): in the crash model a process suspected mid-run has
+crashed, and its outputs are moot — exactly the task the ⌊f/k⌋ + 1 bound is
+about.  (Uniform variants would bind crashed deciders too; that is a harder
+task the paper does not claim.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.core.audit import ExecutionAuditor
+from repro.core.predicate import cumulative_suspected
+from repro.core.predicates import (
+    AtomicSnapshot,
+    CrashSync,
+    KSetDetector,
+    SemiSyncEquality,
+)
+from repro.core.replay import verify_trace_consistency
+from repro.core.types import ExecutionTrace
+from repro.check.spec import ConformanceSpec, TraceInvariant, register
+from repro.protocols.adopt_commit import AdoptCommitOutcome, adopt_commit_protocol
+from repro.protocols.consensus import consensus_protocol
+from repro.protocols.early_stopping import early_floodmin_protocol
+from repro.protocols.floodset import floodmin_protocol, rounds_needed
+from repro.protocols.kset import kset_protocol
+from repro.protocols.properties import (
+    PropertyFailure,
+    check_kset_agreement,
+    check_termination,
+    check_validity,
+)
+
+__all__ = [
+    "kset_k",
+    "crash_f",
+    "survivors",
+    "structural_invariant",
+]
+
+
+# ---------------------------------------------------------------------------
+# parameter rules (shared between factories and invariants)
+
+
+def kset_k(n: int) -> int:
+    """The k exercised by the ``kset`` spec at size ``n`` (max nontrivial)."""
+    return max(1, n - 1)
+
+
+def crash_f(n: int) -> int:
+    """Fault budget for the synchronous crash specs: 1 keeps ⌊f/k⌋+1 = 2."""
+    return 1
+
+
+def survivors(trace: ExecutionTrace) -> frozenset[int]:
+    """Processes never suspected by anyone — alive at the end, crash model."""
+    return frozenset(range(trace.n)) - cumulative_suspected(trace.d_history)
+
+
+# ---------------------------------------------------------------------------
+# invariants
+
+
+def structural_invariant() -> TraceInvariant:
+    """Round ordering, the RRFD coverage guarantee, payload consistency.
+
+    Reuses the execution auditor's view checks (with the vacuous bound
+    ``f = n − 1``: the per-round suspicion budget is a *model* property and
+    is enforced by the exploration predicate, not here) plus the replay
+    module's trace-consistency audit.
+    """
+
+    def check(trace: ExecutionTrace, n: int) -> None:
+        auditor = ExecutionAuditor(n, n - 1)
+        for pid in range(n):
+            views = [record.views[pid] for record in trace.rounds]
+            violations = auditor.check_views(pid, views)
+            if violations:
+                raise PropertyFailure(
+                    "; ".join(str(v) for v in violations)
+                )
+        verify_trace_consistency(trace)
+
+    return TraceInvariant(
+        "structure", check, "round order, S∪D=S coverage, payload consistency"
+    )
+
+
+def _surviving_kset_agreement(trace: ExecutionTrace, k: int) -> None:
+    alive = survivors(trace)
+    values = {
+        trace.decisions[pid] for pid in alive if trace.decisions[pid] is not None
+    }
+    if len(values) > k:
+        raise PropertyFailure(
+            f"{len(values)} distinct values decided by survivors "
+            f"({sorted(map(repr, values))}), but k={k}"
+        )
+
+
+def _surviving_termination(trace: ExecutionTrace, by_round: int) -> None:
+    check_termination(trace, by_round=by_round, deciders=survivors(trace))
+
+
+# ---------------------------------------------------------------------------
+# kset / consensus (Theorem 3.1 and its k = 1 face)
+
+
+def _distinct_inputs(n: int) -> list[tuple[int, ...]]:
+    return [tuple(range(n))]
+
+
+def _sample_int_inputs(n: int, rng: random.Random) -> tuple[int, ...]:
+    return tuple(rng.randrange(n) for _ in range(n))
+
+
+register(ConformanceSpec(
+    name="kset",
+    title="Theorem 3.1: one-round k-set agreement under KSetDetector(k=n−1)",
+    protocol=lambda n: kset_protocol(),
+    predicate=lambda n: KSetDetector(n, kset_k(n)),
+    rounds=lambda n: 2,
+    invariants=(
+        TraceInvariant(
+            "k-agreement",
+            lambda t, n: check_kset_agreement(t, kset_k(n)),
+            "at most k distinct decided values",
+        ),
+        TraceInvariant("validity", lambda t, n: check_validity(t)),
+        TraceInvariant(
+            "termination",
+            lambda t, n: check_termination(t, by_round=1),
+            "every process decides in round 1",
+        ),
+        structural_invariant(),
+    ),
+    exhaustive_inputs=_distinct_inputs,
+    sample_inputs=_sample_int_inputs,
+    notes="distinct inputs are the hard case: any merge only lowers the "
+          "decided-value count",
+))
+
+
+register(ConformanceSpec(
+    name="consensus",
+    title="k = 1: one-round consensus under SemiSyncEquality (eq. (5))",
+    protocol=lambda n: consensus_protocol(),
+    predicate=lambda n: SemiSyncEquality(n),
+    rounds=lambda n: 2,
+    invariants=(
+        TraceInvariant(
+            "agreement",
+            lambda t, n: check_kset_agreement(t, 1),
+            "a single decided value",
+        ),
+        TraceInvariant("validity", lambda t, n: check_validity(t)),
+        TraceInvariant(
+            "termination", lambda t, n: check_termination(t, by_round=1)
+        ),
+        structural_invariant(),
+    ),
+    exhaustive_inputs=_distinct_inputs,
+    sample_inputs=_sample_int_inputs,
+))
+
+
+# ---------------------------------------------------------------------------
+# synchronous crash specs (FloodMin and the early-deciding variant)
+
+
+def _binary_inputs(n: int) -> list[tuple[int, ...]]:
+    """All 0/1 input assignments — the adversary picks who holds the min."""
+    return [tuple(bits) for bits in itertools.product((0, 1), repeat=n)]
+
+
+register(ConformanceSpec(
+    name="floodset",
+    title="Corollary 4.2/4.4 upper bound: FloodMin under CrashSync(f) "
+          "in ⌊f/k⌋+1 rounds",
+    protocol=lambda n: floodmin_protocol(crash_f(n), 1),
+    predicate=lambda n: CrashSync(n, crash_f(n)),
+    rounds=lambda n: rounds_needed(crash_f(n), 1),
+    invariants=(
+        TraceInvariant(
+            "surviving-agreement",
+            lambda t, n: _surviving_kset_agreement(t, 1),
+            "survivors decide one value (crash-model agreement)",
+        ),
+        TraceInvariant("validity", lambda t, n: check_validity(t)),
+        TraceInvariant(
+            "termination",
+            lambda t, n: _surviving_termination(t, rounds_needed(crash_f(n), 1)),
+            "survivors decide by round ⌊f/k⌋+1",
+        ),
+        structural_invariant(),
+    ),
+    exhaustive_inputs=_binary_inputs,
+    sample_inputs=_sample_int_inputs,
+    crashed_stop_emitting=True,
+))
+
+
+register(ConformanceSpec(
+    name="early-stopping",
+    title="Early-deciding FloodMin under CrashSync(f): clean-round rule",
+    protocol=lambda n: early_floodmin_protocol(crash_f(n)),
+    predicate=lambda n: CrashSync(n, crash_f(n)),
+    rounds=lambda n: crash_f(n) + 1,
+    invariants=(
+        TraceInvariant(
+            "surviving-agreement",
+            lambda t, n: _surviving_kset_agreement(t, 1),
+        ),
+        TraceInvariant("validity", lambda t, n: check_validity(t)),
+        TraceInvariant(
+            "termination",
+            lambda t, n: _surviving_termination(t, crash_f(n) + 1),
+            "survivors decide by round f+1 (earlier when clean)",
+        ),
+        structural_invariant(),
+    ),
+    exhaustive_inputs=_binary_inputs,
+    sample_inputs=_sample_int_inputs,
+    crashed_stop_emitting=True,
+))
+
+
+# ---------------------------------------------------------------------------
+# adopt-commit (Section 4.2, two rounds of the snapshot RRFD)
+
+
+def _ac_outcomes(trace: ExecutionTrace) -> list[tuple[int, AdoptCommitOutcome]]:
+    return [
+        (pid, value)
+        for pid, value in enumerate(trace.decisions)
+        if value is not None
+    ]
+
+
+def _ac_commit_on_unanimity(trace: ExecutionTrace, n: int) -> None:
+    if len(set(trace.inputs)) != 1:
+        return
+    value = trace.inputs[0]
+    for pid, outcome in _ac_outcomes(trace):
+        if not (outcome.committed and outcome.value == value):
+            raise PropertyFailure(
+                f"unanimous input {value!r} but p{pid} output {outcome}"
+            )
+
+
+def _ac_agreement_on_commit(trace: ExecutionTrace, n: int) -> None:
+    committed = {o.value for _, o in _ac_outcomes(trace) if o.committed}
+    if len(committed) > 1:
+        raise PropertyFailure(
+            f"two distinct values committed: {sorted(map(repr, committed))}"
+        )
+    if committed:
+        (value,) = committed
+        for pid, outcome in _ac_outcomes(trace):
+            if outcome.value != value:
+                raise PropertyFailure(
+                    f"{value!r} was committed but p{pid} output {outcome}"
+                )
+
+
+def _ac_validity(trace: ExecutionTrace, n: int) -> None:
+    for pid, outcome in _ac_outcomes(trace):
+        if outcome.value not in trace.inputs:
+            raise PropertyFailure(
+                f"p{pid} output {outcome}, not an input ({list(trace.inputs)!r})"
+            )
+
+
+register(ConformanceSpec(
+    name="adopt-commit",
+    title="Section 4.2: two-round adopt-commit under the snapshot RRFD",
+    protocol=lambda n: adopt_commit_protocol(),
+    predicate=lambda n: AtomicSnapshot(n, n - 1),
+    rounds=lambda n: 2,
+    invariants=(
+        TraceInvariant("commit-on-unanimity", _ac_commit_on_unanimity),
+        TraceInvariant("agreement-on-commit", _ac_agreement_on_commit),
+        TraceInvariant("validity", _ac_validity),
+        TraceInvariant(
+            "termination", lambda t, n: check_termination(t, by_round=2)
+        ),
+        structural_invariant(),
+    ),
+    exhaustive_inputs=_binary_inputs,
+    sample_inputs=lambda n, rng: tuple(rng.choice("ab") for _ in range(n)),
+))
+
+
+# ---------------------------------------------------------------------------
+# ◇S consensus over shared memory (fuzz-only: scheduler-driven, not
+# D-history-driven, so bounded model checking over suspicion families does
+# not apply — the spec still shares the invariant/fuzz/CLI machinery)
+
+
+def _dc_sample_run(n: int, rng: random.Random) -> ExecutionTrace:
+    from repro.protocols.detector_consensus import run_diamond_s_consensus
+
+    inputs = tuple(rng.randrange(3) for _ in range(n))
+    crash_count = rng.randint(0, n - 1)
+    crash_after = {
+        pid: rng.randint(0, 300)
+        for pid in rng.sample(range(n), crash_count)
+    }
+    result = run_diamond_s_consensus(
+        list(inputs),
+        seed=rng.getrandbits(32),
+        crash_after=crash_after,
+        stabilization_step=rng.choice((0, 100, 400)),
+        slander_prob=rng.choice((0.0, 0.2, 0.5)),
+    )
+    trace = ExecutionTrace(n=n, inputs=inputs)
+    for pid, value in result.decisions.items():
+        trace.decisions[pid] = value
+    return trace
+
+
+def _dc_liveness(trace: ExecutionTrace, n: int) -> None:
+    if not any(value is not None for value in trace.decisions):
+        raise PropertyFailure("no process decided")
+
+
+register(ConformanceSpec(
+    name="detector-consensus",
+    title="◇S consensus via adopt-commit phases on shared memory (E20)",
+    protocol=lambda n: consensus_protocol(),  # unused: sample_run drives
+    predicate=lambda n: SemiSyncEquality(n),  # unused: sample_run drives
+    rounds=lambda n: 1,
+    invariants=(
+        TraceInvariant(
+            "agreement",
+            lambda t, n: check_kset_agreement(t, 1),
+            "all deciders agree (safety holds under any scheduler)",
+        ),
+        TraceInvariant("validity", lambda t, n: check_validity(t)),
+        TraceInvariant("liveness", _dc_liveness, "someone decides"),
+    ),
+    exhaustive_inputs=_distinct_inputs,
+    sample_inputs=lambda n, rng: tuple(rng.randrange(3) for _ in range(n)),
+    supports_exhaustive=False,
+    sample_run=_dc_sample_run,
+    fuzz_n=4,
+    notes="scheduler-driven: every fuzz sample draws a fresh step schedule, "
+          "crash pattern and oracle behaviour",
+))

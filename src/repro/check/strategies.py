@@ -1,0 +1,192 @@
+"""Shared hypothesis strategies for the whole test suite.
+
+Before this module existed every property-test file hand-rolled the same
+``st.integers(...)`` ranges for seeds, system sizes, round counts and crash
+schedules — five near-identical copies that drifted independently.  These
+are the canonical versions; tests import them from here
+(``from repro.check.strategies import seeds, system_sizes, ...``).
+
+The interesting strategies are constructive, mirroring the kit's fuzz path:
+
+- :func:`admissible_histories` draws suspicion histories satisfying a model
+  predicate by driving ``predicate.sample_round`` with a hypothesis-chosen
+  seed — every draw is admissible by construction, and hypothesis shrinks
+  the *seed*, keeping shrunken examples admissible too (delta-debugging of
+  the history itself is :mod:`repro.check.shrink`'s job);
+- :func:`fault_plans` draws :class:`~repro.substrates.messaging.chaos.FaultPlan`
+  schedules (lossy/dup/jittery links, timed partitions, crash and
+  crash-recovery windows) for chaos-substrate properties.
+
+Import requires hypothesis, which is a dev dependency — keeping this inside
+``repro.check`` (rather than ``tests/``) makes the strategies part of the
+library's public conformance surface, but nothing outside the test suite
+and the fuzz tooling should import it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from hypothesis import strategies as st
+
+from repro.core.predicate import Predicate
+from repro.core.types import DHistory
+from repro.substrates.messaging.chaos import (
+    CrashWindow,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
+from repro.util.rng import make_rng
+
+__all__ = [
+    "seeds",
+    "system_sizes",
+    "round_counts",
+    "catalog_indices",
+    "process_inputs",
+    "binary_inputs",
+    "alphabet_inputs",
+    "crash_schedules",
+    "admissible_histories",
+    "link_faults",
+    "fault_plans",
+]
+
+MAX_SEED = 2**31
+
+
+def seeds() -> st.SearchStrategy[int]:
+    """RNG seeds — the suite-wide convention is ``[0, 2**31]``."""
+    return st.integers(0, MAX_SEED)
+
+
+def system_sizes(min_n: int = 3, max_n: int = 7) -> st.SearchStrategy[int]:
+    """System sizes ``n``; 3 is the smallest with nontrivial suspicion."""
+    return st.integers(min_n, max_n)
+
+
+def round_counts(min_rounds: int = 1, max_rounds: int = 4) -> st.SearchStrategy[int]:
+    """Execution lengths in rounds."""
+    return st.integers(min_rounds, max_rounds)
+
+
+def catalog_indices(count: int = 10) -> st.SearchStrategy[int]:
+    """An index into the test catalog of model predicates (see conftest)."""
+    return st.integers(0, count - 1)
+
+
+def process_inputs(
+    n: int, values: st.SearchStrategy[Any] | Sequence[Any]
+) -> st.SearchStrategy[tuple[Any, ...]]:
+    """One input per process, each drawn from ``values``."""
+    if not isinstance(values, st.SearchStrategy):
+        values = st.sampled_from(list(values))
+    return st.tuples(*([values] * n))
+
+
+def binary_inputs(n: int) -> st.SearchStrategy[tuple[int, ...]]:
+    """0/1 input assignments — the canonical consensus-hardness inputs."""
+    return process_inputs(n, st.integers(0, 1))
+
+
+def alphabet_inputs(n: int, alphabet: str = "ab") -> st.SearchStrategy[tuple[str, ...]]:
+    """String inputs over a tiny alphabet (adopt-commit style payloads)."""
+    return process_inputs(n, st.sampled_from(alphabet))
+
+
+@st.composite
+def crash_schedules(
+    draw: st.DrawFn,
+    n: int,
+    *,
+    max_crashes: int | None = None,
+    max_time: float = 50.0,
+) -> dict[int, float]:
+    """``pid -> crash time`` maps with at most ``max_crashes`` victims.
+
+    Default budget is a minority (``(n - 1) // 2``), the resilience most
+    asynchronous protocols in the repo assume.
+    """
+    budget = (n - 1) // 2 if max_crashes is None else max_crashes
+    count = draw(st.integers(0, budget))
+    victims = draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=count, max_size=count, unique=True
+        )
+    )
+    return {
+        pid: draw(st.floats(0, max_time, allow_nan=False)) for pid in victims
+    }
+
+
+@st.composite
+def admissible_histories(
+    draw: st.DrawFn,
+    predicate: Predicate,
+    *,
+    min_rounds: int = 1,
+    max_rounds: int = 4,
+) -> DHistory:
+    """Suspicion histories admissible under ``predicate``, by construction.
+
+    Drives the predicate's own constructive sampler with a drawn seed, so
+    ``predicate.allows(history)`` holds for every example hypothesis
+    generates *and* for every shrunk example (hypothesis shrinks the seed
+    and the round count, never the sets themselves).
+    """
+    rounds = draw(st.integers(min_rounds, max_rounds))
+    rng = make_rng(draw(seeds()))
+    history: DHistory = ()
+    for _ in range(rounds):
+        history = history + (predicate.sample_round(rng, history),)
+    return history
+
+
+def link_faults(
+    *, max_drop: float = 0.4, max_dup: float = 0.3, max_jitter: float = 5.0
+) -> st.SearchStrategy[LinkFaults]:
+    """Per-link fault processes: loss, duplication, reordering jitter."""
+    probs = st.floats(0, 1, allow_nan=False)
+    return st.builds(
+        LinkFaults,
+        drop_prob=probs.map(lambda p: p * max_drop),
+        dup_prob=probs.map(lambda p: p * max_dup),
+        jitter=st.floats(0, max_jitter, allow_nan=False),
+    )
+
+
+@st.composite
+def fault_plans(
+    draw: st.DrawFn,
+    n: int,
+    *,
+    max_crashes: int | None = None,
+    allow_partitions: bool = True,
+    max_time: float = 50.0,
+) -> FaultPlan:
+    """Whole chaos schedules: default link faults, partitions, crashes.
+
+    Crash windows include crash-recovery (``up`` set) as well as permanent
+    crashes; the victim budget defaults to a minority, matching
+    :func:`crash_schedules`.
+    """
+    default = draw(link_faults())
+    partitions: list[Partition] = []
+    if allow_partitions and draw(st.booleans()):
+        start = draw(st.floats(0, max_time / 2, allow_nan=False))
+        length = draw(st.floats(0.5, max_time / 2, allow_nan=False))
+        cut = draw(st.integers(1, max(1, n - 1)))
+        members = frozenset(range(n))
+        group_a = frozenset(range(cut))
+        partitions.append(
+            Partition(start, start + length, (group_a, members - group_a))
+        )
+    crashes: dict[int, list[CrashWindow]] = {}
+    for pid, down in draw(crash_schedules(n, max_crashes=max_crashes,
+                                          max_time=max_time)).items():
+        up = None
+        if draw(st.booleans()):
+            up = down + draw(st.floats(0.5, max_time, allow_nan=False))
+        crashes[pid] = [CrashWindow(down, up)]
+    return FaultPlan(default=default, partitions=partitions, crashes=crashes)

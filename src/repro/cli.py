@@ -11,6 +11,8 @@ Subcommands::
     python -m repro certify --n 3 --f 1 --rounds 1   # lower-bound search
     python -m repro chaos --n 6 --f 2 --drop 0.2     # overlay under fault injection
     python -m repro bench E1 E5 --workers 8 --json out/   # experiment sweeps
+    python -m repro check --spec kset --exhaustive   # conformance certification
+    python -m repro check --spec floodset --fuzz 500 --n 6
 
 All commands are deterministic given ``--seed``; ``bench`` results are
 deterministic for every worker count by construction.
@@ -129,6 +131,35 @@ def build_parser() -> argparse.ArgumentParser:
                        "record the parallel speedup in the artifacts")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress the report tables (artifacts only)")
+
+    check = sub.add_parser(
+        "check",
+        help="conformance-check protocols against their model predicates",
+    )
+    check.add_argument("--spec", action="append", dest="specs", metavar="NAME",
+                       help="spec to check (repeatable; default: all)")
+    check.add_argument("--list", action="store_true", dest="list_specs",
+                       help="list registered conformance specs and exit")
+    mode = check.add_mutually_exclusive_group()
+    mode.add_argument("--exhaustive", action="store_true",
+                      help="enumerate EVERY admissible D-history (small n)")
+    mode.add_argument("--fuzz", type=int, default=None, metavar="N",
+                      help="run N randomized conformance samples instead")
+    check.add_argument("--n", type=int, default=None,
+                       help="system size (default: per-spec)")
+    check.add_argument("--rounds", type=int, default=None,
+                       help="history depth (default: per-spec)")
+    check.add_argument("--workers", type=int, default=1,
+                       help="parallelize the exhaustive round-1 frontier")
+    check.add_argument("--prune-decided", action="store_true",
+                       help="stop extending histories once everyone decided")
+    check.add_argument("--seed", type=int, default=0, help="fuzz seed")
+    check.add_argument("--shrink", action="store_true",
+                       help="delta-debug each violation to a minimal "
+                       "counterexample")
+    check.add_argument("--save", metavar="DIR", default=None,
+                       help="write shrunk counterexamples as "
+                       "rrfd-counterexample-v1 JSON under DIR")
     return parser
 
 
@@ -324,6 +355,64 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import (
+        explore, fuzz, get_spec, save_counterexample, shrink, spec_names,
+    )
+
+    if args.list_specs:
+        for name in spec_names():
+            spec = get_spec(name)
+            mode = "exhaustive+fuzz" if spec.supports_exhaustive else "fuzz-only"
+            print(f"  {name:<20} [{mode}] {spec.title}")
+        return 0
+
+    names = args.specs or spec_names()
+    exit_code = 0
+    for name in names:
+        spec = get_spec(name)
+        if args.fuzz is not None or not spec.supports_exhaustive:
+            if args.exhaustive and not spec.supports_exhaustive:
+                print(f"{name}: scheduler-driven — falling back to fuzz")
+            result = fuzz(
+                spec, args.fuzz if args.fuzz is not None else 200,
+                n=args.n, rounds=args.rounds, seed=args.seed,
+            )
+        else:
+            # --exhaustive is also the default mode for capable specs.
+            result = explore(
+                spec, n=args.n, rounds=args.rounds,
+                prune_decided=args.prune_decided, workers=args.workers,
+            )
+        print(result.summary())
+        for violation in result.violations[:10]:
+            print(f"  {violation}")
+        if len(result.violations) > 10:
+            print(f"  ... and {len(result.violations) - 10} more")
+        if result.violations:
+            exit_code = 1
+        if (args.shrink or args.save) and result.violations:
+            seen: set[tuple[str, str]] = set()
+            for violation in result.violations:
+                key = (violation.failures[0].invariant, "")
+                if key in seen or not violation.history:
+                    continue
+                seen.add(key)
+                shrunk = shrink(spec, violation.inputs, violation.history)
+                print(f"  shrunk: {shrunk.summary()}")
+                print(f"    inputs:  {shrunk.inputs!r}")
+                print(f"    history: {shrunk.history!r}")
+                if args.save:
+                    from pathlib import Path
+
+                    out = Path(args.save)
+                    out.mkdir(parents=True, exist_ok=True)
+                    path = out / f"{spec.name}_{shrunk.invariant}.json"
+                    save_counterexample(shrunk, path)
+                    print(f"    wrote {path}")
+    return exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -334,6 +423,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "certify": _cmd_certify,
         "chaos": _cmd_chaos,
         "bench": _cmd_bench,
+        "check": _cmd_check,
     }[args.command]
     return handler(args)
 

@@ -25,7 +25,7 @@ from typing import Any, Sequence
 
 from repro.core.algorithm import Protocol, RoundProcess
 from repro.core.audit import AuditReport, ExecutionAuditor
-from repro.core.types import RoundView
+from repro.core.types import ExecutionRound, ExecutionTrace, RoundView
 from repro.substrates.events.simulator import BudgetExhausted, EventSimulator
 from repro.substrates.messaging.network import AsyncNetwork, DelayModel, Node, UniformDelays
 
@@ -159,6 +159,31 @@ class OverlayResult:
     @property
     def total_late_discarded(self) -> int:
         return sum(node.late_discarded for node in self.nodes)
+
+    def to_trace(self) -> ExecutionTrace:
+        """Project the overlay execution onto an :class:`ExecutionTrace`.
+
+        The projection keeps the *common prefix* of rounds completed by
+        every process — in an asynchronous (or crashy) run, nodes halt at
+        different rounds, and only fully-populated rounds have a view row
+        per process.  The result is replayable: feeding it to
+        :func:`repro.core.replay.adversary_from_trace` reproduces the same
+        suspicion history, and it passes
+        :func:`repro.core.replay.verify_trace_consistency` because each
+        view's messages carry exactly the senders' recorded emissions.
+        """
+        depth = min(len(node.views) for node in self.nodes)
+        trace = ExecutionTrace(n=self.n, inputs=self.inputs)
+        for r in range(depth):
+            views = tuple(node.views[r] for node in self.nodes)
+            payloads = tuple(node.emissions[r + 1] for node in self.nodes)
+            trace.rounds.append(
+                ExecutionRound(round=r + 1, payloads=payloads, views=views)
+            )
+        for pid, node in enumerate(self.nodes):
+            if node.process.decided:
+                trace.decisions[pid] = node.process.decision
+        return trace
 
 
 def run_round_overlay(

@@ -1,0 +1,75 @@
+"""The ``python -m repro check`` surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCheckCLI:
+    def test_list_specs(self, capsys):
+        assert main(["check", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("kset", "floodset", "consensus", "adopt-commit",
+                     "early-stopping", "detector-consensus"):
+            assert name in out
+        assert "fuzz-only" in out
+
+    def test_exhaustive_kset_passes(self, capsys):
+        """Acceptance criterion, via the CLI: full n=3 certification."""
+        assert main(["check", "--spec", "kset", "--exhaustive"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "3721 histories" in out
+
+    def test_fuzz_all_specs_passes(self, capsys):
+        assert main(["check", "--fuzz", "25"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 6
+
+    def test_fuzz_only_spec_falls_back_under_exhaustive(self, capsys):
+        code = main(["check", "--spec", "detector-consensus", "--exhaustive"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "falling back to fuzz" in out
+
+    def test_exhaustive_with_workers_and_prune(self, capsys):
+        code = main([
+            "check", "--spec", "kset", "--exhaustive",
+            "--workers", "2", "--prune-decided",
+        ])
+        assert code == 0
+        assert "pruned early" in capsys.readouterr().out
+
+    def test_unknown_spec_raises_keyerror(self):
+        with pytest.raises(KeyError, match="no conformance spec"):
+            main(["check", "--spec", "nope"])
+
+    def test_violations_exit_nonzero_and_shrink_and_save(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """Wire a weakened spec into the registry, check the full failing
+        path: violations printed, --shrink minimizes, --save writes JSON."""
+        from repro.check.spec import _REGISTRY, get_spec, register
+        from repro.core.predicates import AsyncMessagePassing
+
+        weak = get_spec("kset").weakened(
+            lambda n: AsyncMessagePassing(n, n - 1), suffix="cli-test"
+        )
+        register(weak)
+        try:
+            out_dir = tmp_path / "golden"
+            code = main([
+                "check", "--spec", weak.name, "--exhaustive",
+                "--shrink", "--save", str(out_dir),
+            ])
+            assert code == 1
+            out = capsys.readouterr().out
+            assert "VIOLATION" in out and "shrunk:" in out
+            artifacts = list(out_dir.glob("*.json"))
+            assert len(artifacts) == 1
+            data = json.loads(artifacts[0].read_text())
+            assert data["format"] == "rrfd-counterexample-v1"
+            assert data["invariant"] == "k-agreement"
+        finally:
+            del _REGISTRY[weak.name]

@@ -1,0 +1,61 @@
+"""The golden corpus: every checked-in artifact must still replay.
+
+``tests/golden/`` pins two kinds of execution (see ``tests/golden/regen.py``):
+witness traces (``rrfd-trace-v1``) and shrunk counterexamples
+(``rrfd-counterexample-v1``).  Drift in the executor, a protocol, or an
+invariant shows up here as a failed replay — which is the point.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.shrink import load_counterexample, replay_counterexample
+from repro.core.algorithm import FullInformationProcess, make_protocol
+from repro.core.replay import replay, verify_trace_consistency
+from repro.core.trace_io import load_trace
+
+GOLDEN = Path(__file__).parent.parent / "golden"
+
+ALL_ARTIFACTS = sorted(GOLDEN.glob("*.json"))
+TRACES = [p for p in ALL_ARTIFACTS
+          if json.loads(p.read_text())["format"] == "rrfd-trace-v1"]
+COUNTEREXAMPLES = [p for p in ALL_ARTIFACTS
+                   if json.loads(p.read_text())["format"]
+                   == "rrfd-counterexample-v1"]
+
+
+def test_corpus_is_present_and_fully_classified():
+    assert len(ALL_ARTIFACTS) >= 4
+    assert set(TRACES) | set(COUNTEREXAMPLES) == set(ALL_ARTIFACTS)
+    assert TRACES and COUNTEREXAMPLES
+
+
+@pytest.mark.parametrize("path", TRACES, ids=lambda p: p.stem)
+def test_golden_trace_is_consistent(path):
+    """The satellite requirement: each trace passes the consistency audit."""
+    verify_trace_consistency(load_trace(path))
+
+
+@pytest.mark.parametrize("path", TRACES, ids=lambda p: p.stem)
+def test_golden_trace_replays_deterministically(path):
+    trace = load_trace(path)
+    again = replay(trace, make_protocol(FullInformationProcess))
+    assert again.d_history == trace.d_history
+
+
+@pytest.mark.parametrize("path", COUNTEREXAMPLES, ids=lambda p: p.stem)
+def test_golden_counterexample_still_fails_the_same_way(path):
+    """Each shrunk counterexample reproduces its recorded violation —
+    same invariant, same message — against today's code."""
+    trace = replay_counterexample(load_counterexample(path))
+    assert trace.num_rounds >= 1
+
+
+@pytest.mark.parametrize("path", COUNTEREXAMPLES, ids=lambda p: p.stem)
+def test_golden_counterexamples_are_small(path):
+    """Shrunk means shrunk: ≤ 2 rounds (the acceptance criterion)."""
+    artifact = load_counterexample(path)
+    assert len(artifact["history"]) <= 2
+    assert artifact["stats"]["original_rounds"] >= len(artifact["history"])

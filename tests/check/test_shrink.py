@@ -1,0 +1,134 @@
+"""Delta-debugging shrinker and golden-artifact round-trips."""
+
+import pytest
+
+from repro.check.explore import explore
+from repro.check.shrink import (
+    counterexample_from_dict,
+    counterexample_to_dict,
+    load_counterexample,
+    replay_counterexample,
+    save_counterexample,
+    shrink,
+)
+from repro.check.spec import get_spec
+from repro.core.predicates import AsyncMessagePassing
+
+
+def weakened_kset():
+    """The sanity harness: kset checked against a model too weak for it."""
+    return get_spec("kset").weakened(lambda n: AsyncMessagePassing(n, n - 1))
+
+
+@pytest.fixture(scope="module")
+def violation():
+    result = explore(weakened_kset(), n=3, max_violations=1)
+    assert not result.ok
+    return result.violations[0]
+
+
+class TestShrink:
+    def test_shrinks_to_at_most_two_rounds(self, violation):
+        """The acceptance criterion: weakened kset shrinks to ≤ 2 rounds."""
+        shrunk = shrink(weakened_kset(), violation.inputs, violation.history)
+        assert shrunk.rounds <= 2
+        assert shrunk.invariant == "k-agreement"
+
+    def test_shrunk_counterexample_is_minimal_locally(self, violation):
+        """No single further reduction still fails: 1 round, 3 suspicions
+        is the canonical Theorem 3.1 tightness witness for n=3, k=2."""
+        shrunk = shrink(weakened_kset(), violation.inputs, violation.history)
+        assert shrunk.rounds == 1
+        assert shrunk.suspicions <= 3
+
+    def test_shrunk_history_stays_admissible(self, violation):
+        spec = weakened_kset()
+        shrunk = shrink(spec, violation.inputs, violation.history)
+        assert spec.predicate(len(shrunk.inputs)).allows(shrunk.history)
+
+    def test_shrunk_replays_to_same_failure(self, violation):
+        """The shrunk pair reproduces the SAME invariant violation."""
+        spec = weakened_kset()
+        shrunk = shrink(spec, violation.inputs, violation.history)
+        trace = spec.run(shrunk.inputs, shrunk.history)
+        failures = spec.failures(trace, len(shrunk.inputs))
+        assert any(f.invariant == shrunk.invariant for f in failures)
+        assert any(f.message == shrunk.message for f in failures)
+
+    def test_shrink_reports_reduction_stats(self, violation):
+        shrunk = shrink(weakened_kset(), violation.inputs, violation.history)
+        assert shrunk.original_rounds >= shrunk.rounds
+        assert shrunk.original_suspicions >= shrunk.suspicions
+        assert shrunk.candidates_tried > 0
+        assert "shrunk" in shrunk.summary()
+
+    def test_passing_execution_rejected(self):
+        spec = get_spec("kset")
+        benign = ((frozenset(), frozenset(), frozenset()),)
+        with pytest.raises(ValueError, match="nothing to shrink"):
+            shrink(spec, (0, 1, 2), benign)
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            shrink(get_spec("kset"), (0, 1, 2), ())
+
+    def test_inadmissible_original_rejected(self):
+        spec = get_spec("kset")  # strong predicate: needs a common core
+        bad = ((frozenset({0}), frozenset({1}), frozenset({2})),)
+        assert not spec.predicate(3).allows(bad)
+        with pytest.raises(ValueError, match="not admissible"):
+            shrink(spec, (0, 1, 2), bad)
+
+    def test_unknown_invariant_rejected(self, violation):
+        with pytest.raises(KeyError):
+            shrink(
+                weakened_kset(), violation.inputs, violation.history,
+                invariant="no-such-invariant",
+            )
+
+    def test_wrong_invariant_rejected(self, violation):
+        # The weakened-kset violation breaks k-agreement, not validity.
+        with pytest.raises(ValueError, match="does not violate"):
+            shrink(
+                weakened_kset(), violation.inputs, violation.history,
+                invariant="validity",
+            )
+
+
+class TestArtifacts:
+    def test_round_trip_through_dict(self, violation):
+        spec = weakened_kset()
+        shrunk = shrink(spec, violation.inputs, violation.history)
+        data = counterexample_to_dict(shrunk, base_spec="kset")
+        loaded = counterexample_from_dict(data)
+        assert loaded["spec"] == "kset"
+        assert loaded["inputs"] == shrunk.inputs
+        assert loaded["history"] == shrunk.history
+        assert loaded["invariant"] == shrunk.invariant
+
+    def test_round_trip_through_file(self, tmp_path, violation):
+        spec = weakened_kset()
+        shrunk = shrink(spec, violation.inputs, violation.history)
+        path = tmp_path / "cx.json"
+        save_counterexample(shrunk, path, base_spec="kset")
+        artifact = load_counterexample(path)
+        trace = replay_counterexample(artifact, spec=spec)
+        assert len(trace.decided_values) > 2  # the k-agreement break
+
+    def test_replay_detects_drift(self, tmp_path, violation):
+        """A stale artifact (failure fixed / message changed) must fail."""
+        spec = weakened_kset()
+        shrunk = shrink(spec, violation.inputs, violation.history)
+        path = tmp_path / "cx.json"
+        save_counterexample(shrunk, path, base_spec="kset")
+        artifact = load_counterexample(path)
+        artifact["message"] = "something else entirely"
+        with pytest.raises(AssertionError, match="different message"):
+            replay_counterexample(artifact, spec=spec)
+        artifact["invariant"] = "validity"
+        with pytest.raises(AssertionError, match="no longer fails"):
+            replay_counterexample(artifact, spec=spec)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="rrfd-counterexample-v1"):
+            counterexample_from_dict({"format": "rrfd-trace-v1"})

@@ -1,0 +1,135 @@
+"""The ConformanceSpec registry and the spec objects themselves."""
+
+import dataclasses
+
+import pytest
+
+from repro.check.spec import (
+    ConformanceSpec,
+    TraceInvariant,
+    all_specs,
+    get_spec,
+    spec_names,
+)
+from repro.core.predicates import KSetDetector
+from repro.core.types import ExecutionTrace
+from repro.protocols.properties import PropertyFailure
+
+
+EXPECTED_SPECS = {
+    "kset", "floodset", "consensus", "adopt-commit",
+    "early-stopping", "detector-consensus",
+}
+
+
+class TestRegistry:
+    def test_all_six_specs_registered(self):
+        assert set(spec_names()) == EXPECTED_SPECS
+
+    def test_get_spec_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="kset"):
+            get_spec("nope")
+
+    def test_all_specs_sorted_by_name(self):
+        names = [spec.name for spec in all_specs()]
+        assert names == sorted(names)
+
+    def test_every_spec_factory_family_is_consistent(self):
+        """Factories agree on n: predicate.n matches, rounds ≥ 1."""
+        for spec in all_specs():
+            for n in (3, 4):
+                assert spec.predicate(n).n == n
+                assert spec.rounds(n) >= 1
+                assert spec.protocol(n) is not None
+
+    def test_exhaustive_inputs_have_width_n(self):
+        for spec in all_specs():
+            for inputs in spec.exhaustive_inputs(3):
+                assert len(inputs) == 3
+
+
+class TestSpecValidation:
+    def _minimal(self, **overrides):
+        base = dict(
+            name="tmp",
+            title="t",
+            protocol=lambda n: None,
+            predicate=lambda n: KSetDetector(n, 1),
+            rounds=lambda n: 1,
+            invariants=(TraceInvariant("x", lambda t, n: None),),
+            exhaustive_inputs=lambda n: [tuple(range(n))],
+            sample_inputs=lambda n, rng: tuple(range(n)),
+        )
+        base.update(overrides)
+        return ConformanceSpec(**base)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            self._minimal(name="")
+
+    def test_no_invariants_rejected(self):
+        with pytest.raises(ValueError, match="no invariants"):
+            self._minimal(invariants=())
+
+    def test_duplicate_invariant_names_rejected(self):
+        dup = (
+            TraceInvariant("x", lambda t, n: None),
+            TraceInvariant("x", lambda t, n: None),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            self._minimal(invariants=dup)
+
+    def test_invariant_lookup(self):
+        spec = get_spec("kset")
+        assert spec.invariant("k-agreement").name == "k-agreement"
+        with pytest.raises(KeyError, match="k-agreement"):
+            spec.invariant("missing")
+
+
+class TestTraceInvariant:
+    def test_failure_returns_message_on_property_failure(self):
+        inv = TraceInvariant(
+            "boom", lambda t, n: (_ for _ in ()).throw(PropertyFailure("bad"))
+        )
+        trace = ExecutionTrace(n=2, inputs=(0, 1))
+        assert inv.failure(trace, 2) == "bad"
+
+    def test_failure_returns_none_when_ok(self):
+        inv = TraceInvariant("fine", lambda t, n: None)
+        trace = ExecutionTrace(n=2, inputs=(0, 1))
+        assert inv.failure(trace, 2) is None
+
+    def test_non_assertion_errors_propagate(self):
+        inv = TraceInvariant(
+            "bug", lambda t, n: (_ for _ in ()).throw(RuntimeError("oops"))
+        )
+        trace = ExecutionTrace(n=2, inputs=(0, 1))
+        with pytest.raises(RuntimeError):
+            inv.failure(trace, 2)
+
+
+class TestRunAndWeaken:
+    def test_run_is_deterministic(self):
+        spec = get_spec("kset")
+        history = ((frozenset(), frozenset({0}), frozenset({0, 1})),)
+        t1 = spec.run((0, 1, 2), history)
+        t2 = spec.run((0, 1, 2), history)
+        assert t1.d_history == t2.d_history
+        assert t1.decisions == t2.decisions
+
+    def test_weakened_changes_name_and_predicate_only(self):
+        spec = get_spec("kset")
+        weak = spec.weakened(lambda n: KSetDetector(n, n), suffix="wk")
+        assert weak.name == "kset-wk"
+        assert weak.predicate(3).k == 3
+        assert weak.invariants is spec.invariants
+        assert dataclasses.is_dataclass(weak)
+
+    def test_crash_specs_use_crash_semantics(self):
+        spec = get_spec("floodset")
+        assert spec.crashed_stop_emitting
+
+    def test_detector_consensus_is_fuzz_only_with_sampler(self):
+        spec = get_spec("detector-consensus")
+        assert not spec.supports_exhaustive
+        assert spec.sample_run is not None

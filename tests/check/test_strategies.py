@@ -1,0 +1,94 @@
+"""The shared hypothesis strategies: admissibility by construction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.check.strategies import (
+    admissible_histories,
+    alphabet_inputs,
+    binary_inputs,
+    catalog_indices,
+    crash_schedules,
+    fault_plans,
+    link_faults,
+    process_inputs,
+    round_counts,
+    seeds,
+    system_sizes,
+)
+from repro.core.predicates import CrashSync, KSetDetector
+from repro.substrates.messaging.chaos import FaultPlan
+
+from tests.conftest import catalog
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds(), n=system_sizes(), rounds=round_counts())
+def test_scalar_strategies_stay_in_range(seed, n, rounds):
+    assert 0 <= seed <= 2**31
+    assert 3 <= n <= 7
+    assert 1 <= rounds <= 4
+
+
+@settings(max_examples=30, deadline=None)
+@given(index=catalog_indices())
+def test_catalog_indices_cover_the_catalog(index):
+    assert catalog()[index] is not None
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_process_inputs_have_width_n(data):
+    n = data.draw(system_sizes())
+    inputs = data.draw(binary_inputs(n))
+    assert len(inputs) == n and set(inputs) <= {0, 1}
+    letters = data.draw(alphabet_inputs(n))
+    assert len(letters) == n and set(letters) <= set("ab")
+    custom = data.draw(process_inputs(n, [10, 20]))
+    assert set(custom) <= {10, 20}
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_admissible_histories_satisfy_their_predicate(data):
+    """Every drawn history is admissible — no rejection, no filtering."""
+    n = data.draw(system_sizes(3, 5))
+    predicate = data.draw(
+        st.sampled_from([KSetDetector(n, 2), CrashSync(n, 1)])
+    )
+    history = data.draw(admissible_histories(predicate, max_rounds=3))
+    assert 1 <= len(history) <= 3
+    assert predicate.allows(history)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_crash_schedules_respect_minority_budget(data):
+    n = data.draw(system_sizes())
+    schedule = data.draw(crash_schedules(n))
+    assert len(schedule) <= (n - 1) // 2
+    assert all(0 <= pid < n for pid in schedule)
+    assert all(0 <= t <= 50.0 for t in schedule.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(faults=link_faults())
+def test_link_faults_are_probabilities(faults):
+    assert 0 <= faults.drop_prob <= 0.4
+    assert 0 <= faults.dup_prob <= 0.3
+    assert 0 <= faults.jitter <= 5.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_fault_plans_are_well_formed(data):
+    n = data.draw(system_sizes(3, 6))
+    plan = data.draw(fault_plans(n))
+    assert isinstance(plan, FaultPlan)
+    for partition in plan.partitions:
+        assert partition.start < partition.end
+        members = frozenset().union(*partition.groups)
+        assert members == frozenset(range(n))
+    for pid, windows in plan.crashes.items():
+        assert 0 <= pid < n
+        for window in windows:
+            assert window.up is None or window.up > window.down

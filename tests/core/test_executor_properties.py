@@ -1,9 +1,8 @@
 """Hypothesis properties of the round engine: invariants across models."""
 
-import random
+from hypothesis import given, settings
 
-from hypothesis import given, settings, strategies as st
-
+from repro.check.strategies import catalog_indices, round_counts, seeds
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.core.detector import RoundByRoundFaultDetector
 from repro.core.replay import replay, verify_trace_consistency
@@ -12,11 +11,7 @@ from tests.conftest import catalog
 
 
 @settings(max_examples=120, deadline=None)
-@given(
-    index=st.integers(0, 9),
-    seed=st.integers(0, 2**31),
-    rounds=st.integers(1, 4),
-)
+@given(index=catalog_indices(), seed=seeds(), rounds=round_counts())
 def test_property_every_model_produces_consistent_traces(index, seed, rounds):
     """For every catalog model and seed: the run satisfies its own predicate,
     views cover S, and the trace passes the consistency audit."""
@@ -37,7 +32,7 @@ def test_property_every_model_produces_consistent_traces(index, seed, rounds):
 
 
 @settings(max_examples=80, deadline=None)
-@given(index=st.integers(0, 9), seed=st.integers(0, 2**31))
+@given(index=catalog_indices(), seed=seeds())
 def test_property_replay_is_deterministic(index, seed):
     """Replaying any model's trace through the scripted adversary reproduces
     the suspicion history and payload evolution exactly."""
@@ -55,7 +50,7 @@ def test_property_replay_is_deterministic(index, seed):
 
 
 @settings(max_examples=80, deadline=None)
-@given(seed=st.integers(0, 2**31), index=st.integers(0, 9))
+@given(seed=seeds(), index=catalog_indices())
 def test_property_same_seed_same_run(seed, index):
     predicate = catalog()[index]
 

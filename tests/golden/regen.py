@@ -1,0 +1,85 @@
+"""Regenerate the golden corpus.  Run from the repo root:
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Two kinds of artifact live here, both replayed by ``test_golden_replay.py``:
+
+- ``*_witness.json`` (``rrfd-trace-v1``): executions worth pinning — the
+  worst-case adversary found by exhaustive search achieving a theorem's
+  bound.  Replayed via :func:`repro.core.replay.verify_trace_consistency`
+  and re-executed for bit-equality.
+- ``*_counterexample.json`` (``rrfd-counterexample-v1``): minimized failing
+  executions produced by the conformance kit's shrinker from deliberately
+  *weakened* model predicates (the sanity harness: a protocol checked
+  against a model too weak for it must fail).  Replayed via
+  :func:`repro.check.shrink.replay_counterexample`, which asserts the same
+  invariant still fails with the same message.
+
+Every artifact is deterministic: exhaustive search has no randomness, and
+the shrinker is a deterministic fixpoint iteration, so regeneration is
+byte-stable.
+"""
+
+from pathlib import Path
+
+from repro.analysis.adversary_search import search_worst_case
+from repro.check.explore import explore
+from repro.check.shrink import save_counterexample, shrink
+from repro.check.spec import get_spec
+from repro.core.predicates import AsyncMessagePassing, KSetDetector
+from repro.core.trace_io import save_trace
+from repro.protocols.kset import kset_protocol
+
+HERE = Path(__file__).parent
+
+
+def kset_tightness_witness() -> None:
+    """Theorem 3.1 is tight: the search finds 2 decided values at k = 2."""
+    worst = search_worst_case(
+        kset_protocol(), (0, 1, 2), KSetDetector(3, 2), rounds=1
+    )
+    assert worst.objective_value == 2.0
+    save_trace(worst.trace, HERE / "kset_tightness_witness.json")
+
+
+def floodset_crash_witness() -> None:
+    """FloodMin under one crash: survivors converge despite p0's stale 0."""
+    spec = get_spec("floodset")
+    crashy = ((frozenset(), frozenset({0}), frozenset({0})),) * 2
+    trace = spec.run((0, 1, 1), crashy)
+    assert not spec.failures(trace, 3)
+    save_trace(trace, HERE / "floodset_crash_witness.json")
+
+
+def weakened_counterexample(base: str, weak_predicate, invariant: str) -> None:
+    spec = get_spec(base).weakened(weak_predicate)
+    found = explore(spec, n=3, max_violations=1)
+    assert not found.ok
+    violation = found.violations[0]
+    shrunk = shrink(
+        spec, violation.inputs, violation.history, invariant=invariant
+    )
+    save_counterexample(
+        shrunk,
+        HERE / f"{base}_{invariant}_counterexample.json",
+        base_spec=base,
+    )
+
+
+def main() -> None:
+    kset_tightness_witness()
+    floodset_crash_witness()
+    # kset checked against plain asynchrony (no k-set core): k-agreement falls.
+    weakened_counterexample(
+        "kset", lambda n: AsyncMessagePassing(n, n - 1), "k-agreement"
+    )
+    # consensus checked against a 2-set detector: agreement falls.
+    weakened_counterexample(
+        "consensus", lambda n: KSetDetector(n, 2), "agreement"
+    )
+    for path in sorted(HERE.glob("*.json")):
+        print(f"wrote {path.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.check.strategies import alphabet_inputs, crash_schedules, seeds, system_sizes
 from repro.protocols.adopt_commit import AdoptCommitOutcome
 from repro.simulations.adopt_commit_over_abd import run_adopt_commit_over_abd
 from repro.substrates.messaging.network import AdversarialDelays
@@ -79,15 +80,10 @@ class TestAdoptCommitOverABD:
 
 
 @settings(max_examples=60, deadline=None)
-@given(n=st.integers(3, 7), seed=st.integers(0, 2**31), data=st.data())
+@given(n=system_sizes(), seed=seeds(), data=st.data())
 def test_property_adopt_commit_over_abd(n, seed, data):
-    inputs = data.draw(st.lists(st.sampled_from("ab"), min_size=n, max_size=n))
-    crash_count = data.draw(st.integers(0, (n - 1) // 2))
-    crashers = data.draw(
-        st.lists(st.integers(0, n - 1), min_size=crash_count,
-                 max_size=crash_count, unique=True)
-    )
-    crash = {pid: data.draw(st.floats(0, 50)) for pid in crashers}
+    inputs = list(data.draw(alphabet_inputs(n)))
+    crash = data.draw(crash_schedules(n))
     result = run_adopt_commit_over_abd(inputs, seed=seed, crash_times=crash)
     assert_properties(inputs, result)
     for pid in range(n):

@@ -1,8 +1,9 @@
 """E12 — item 3: round overlay ≡ unconstrained asynchrony, by reconstruction."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
+from repro.check.strategies import round_counts, seeds, system_sizes
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.simulations.full_information import (
     reconstruct_missed,
@@ -61,7 +62,7 @@ class TestReconstruction:
 
 
 @settings(max_examples=40, deadline=None)
-@given(seed=st.integers(0, 2**31), n=st.integers(3, 7), rounds=st.integers(1, 5))
+@given(seed=seeds(), n=system_sizes(), rounds=round_counts(1, 5))
 def test_property_overlay_equivalence(seed, n, rounds):
     f = (n - 1) // 2
     res = run_round_overlay(fi(), list(range(n)), f=f, max_rounds=rounds,

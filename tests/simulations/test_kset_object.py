@@ -5,6 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.check.strategies import round_counts, seeds
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.protocols.kset import kset_protocol
 from repro.simulations.kset_object_to_rrfd import run_kset_object_rrfd
@@ -78,7 +79,7 @@ class TestTheorem33:
 
 
 @settings(max_examples=50, deadline=None)
-@given(seed=st.integers(0, 2**31), k=st.integers(1, 4), rounds=st.integers(1, 3))
+@given(seed=seeds(), k=st.integers(1, 4), rounds=round_counts(1, 3))
 def test_property_detector_bound(seed, k, rounds):
     n = 6
     res = run_kset_object_rrfd(fi(), list(range(n)), k, max_rounds=rounds, seed=seed)

@@ -1,8 +1,9 @@
 """E7 / E11 — the two-round relay constructions of Section 2 items 3–4."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
+from repro.check.strategies import round_counts, seeds
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.core.predicates import (
     AsyncMessagePassing,
@@ -84,7 +85,7 @@ class TestMixedToAsync:
 
 
 @settings(max_examples=60, deadline=None)
-@given(seed=st.integers(0, 2**31), rounds=st.integers(1, 4))
+@given(seed=seeds(), rounds=round_counts())
 def test_property_relay_preserves_swmr_predicate(seed, rounds):
     n, f = 7, 3
     res = simulate_mp_to_swmr(fi(), list(range(n)), f,

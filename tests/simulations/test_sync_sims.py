@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.check.strategies import seeds
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.core.predicates import AtomicSnapshot, CrashSync, SendOmissionSync
 from repro.core.submodel import implies_exhaustive
@@ -119,7 +120,7 @@ class TestTheorem43:
 
 
 @settings(max_examples=60, deadline=None)
-@given(seed=st.integers(0, 2**31), f=st.integers(1, 6), k=st.integers(1, 3))
+@given(seed=seeds(), f=st.integers(1, 6), k=st.integers(1, 3))
 def test_property_crash_simulation_predicate(seed, f, k):
     if f < k:
         f = k
