@@ -154,6 +154,7 @@ def search_worst_case(
     rounds: int = 1,
     objective: Objective = distinct_decisions,
     max_d_size: int | None = None,
+    engine: str = "incremental",
 ) -> WorstCase:
     """Exhaustively maximise ``objective`` over the model's adversaries.
 
@@ -163,25 +164,53 @@ def search_worst_case(
     ``n ≤ 4`` unbounded or pass ``max_d_size``.  Raises
     :class:`NoAdmissibleExtension` if the predicate (under ``max_d_size``)
     dead-ends before ``rounds`` rounds.
+
+    ``engine="incremental"`` (default) walks the tree with forked executors
+    — one protocol round per tree edge (:mod:`repro.check.engine`) —
+    instead of replaying each history from round 1; ``engine="replay"``
+    keeps the original behaviour.  The maximiser found is identical: both
+    engines visit the same histories in the same order and executions are
+    deterministic.  ``rounds == 0`` always uses replay.
     """
     n = len(inputs)
     if predicate.n != n:
         raise ValueError(f"predicate is for n={predicate.n}, inputs give {n}")
+    if engine not in ("incremental", "replay"):
+        raise ValueError(
+            f"engine must be 'incremental' or 'replay', got {engine!r}"
+        )
     best: WorstCase | None = None
     explored = 0
-    for history in iter_admissible_histories(
-        predicate, rounds, max_d_size=max_d_size
-    ):
-        explored += 1
-        trace = _run_history(protocol, inputs, history)
-        value = objective(trace)
-        if best is None or value > best.objective_value:
-            best = WorstCase(
-                objective_value=value,
-                history=history,
-                trace=trace,
-                histories_explored=0,
-            )
+    if engine == "incremental" and rounds >= 1:
+        # Imported here: repro.check.engine imports this module at top level.
+        from repro.check.engine import IncrementalExplorer
+
+        explorer = IncrementalExplorer(protocol, predicate, inputs,
+                                       max_d_size=max_d_size)
+        for run in explorer.runs(rounds):
+            explored += 1
+            value = objective(run.trace)
+            if best is None or value > best.objective_value:
+                best = WorstCase(
+                    objective_value=value,
+                    history=run.history,
+                    trace=run.trace,
+                    histories_explored=0,
+                )
+    else:
+        for history in iter_admissible_histories(
+            predicate, rounds, max_d_size=max_d_size
+        ):
+            explored += 1
+            trace = _run_history(protocol, inputs, history)
+            value = objective(trace)
+            if best is None or value > best.objective_value:
+                best = WorstCase(
+                    objective_value=value,
+                    history=history,
+                    trace=trace,
+                    histories_explored=0,
+                )
     assert best is not None  # rounds=0 yields (); dead-ends raised above
     best.histories_explored = explored
     return best

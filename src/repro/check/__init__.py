@@ -9,6 +9,9 @@ this package checks that quantifier uniformly instead of piecemeal:
 - :mod:`repro.check.explore` — bounded model checking (exhaustive for small
   ``n``, with decided-prefix pruning and a parallel round-1 frontier) and
   seeded fuzzing for larger ``n``.
+- :mod:`repro.check.engine` — the incremental exploration engine behind
+  ``explore(engine="incremental")``: executor forking (one protocol round
+  per tree edge), candidate memoization and orbit-level symmetry reduction.
 - :mod:`repro.check.shrink` — delta-debugging of failing histories down to
   minimal replayable counterexamples, serialized as ``tests/golden/``
   artifacts.
@@ -26,6 +29,12 @@ from repro.check.spec import (
     get_spec,
     register,
     spec_names,
+)
+from repro.check.engine import (
+    MAX_SYMMETRY_N,
+    EngineRun,
+    EngineStats,
+    IncrementalExplorer,
 )
 from repro.check.explore import ExploreResult, Violation, explore, fuzz
 from repro.check.shrink import (
@@ -48,6 +57,10 @@ __all__ = [
     "Violation",
     "explore",
     "fuzz",
+    "IncrementalExplorer",
+    "EngineRun",
+    "EngineStats",
+    "MAX_SYMMETRY_N",
     "ShrinkResult",
     "shrink",
     "save_counterexample",

@@ -1,0 +1,384 @@
+"""Incremental exploration engine: fork executors instead of replaying.
+
+The replay-based checker (:mod:`repro.check.explore`'s legacy path) pays
+``O(len(h))`` protocol rounds per history ``h``: every leaf of the
+admissible-history tree re-executes the protocol from round 1.  Over a tree
+with ``E`` edges that is ``O(E · depth)`` rounds.  This engine instead keeps
+one live :class:`~repro.core.executor.RoundExecutor` per DFS path and
+**forks** it at branch points (:meth:`RoundExecutor.fork` — process states
+copied via :meth:`~repro.core.algorithm.RoundProcess.copy`, per-round trace
+records shared), so each tree edge costs exactly one protocol round:
+``O(E)`` total, with three further reductions layered on top:
+
+- **move semantics** — the child explored last consumes its parent's
+  executor outright, saving one fork per interior node;
+- **decided-subtree sharing** — once every process has decided, the
+  executor stops stepping (matching the legacy ``stop_when_all_decided``
+  truncation), so an entire decided subtree shares one executor and one
+  trace *object*, which lets callers memoize invariant checks by trace
+  identity;
+- **candidate memoization** — ``admissible_rounds`` enumeration is cached
+  per :meth:`~repro.core.predicate.Predicate.extension_state` summary, so
+  e.g. a per-round predicate (``extension_state() == ()``) enumerates its
+  ``(2^n)^n`` candidate families exactly once per run.
+
+Symmetry reduction (optional).  A permutation ``π`` of process ids acts on
+a node ``(inputs, h)`` by ``(π·inputs)(π(i)) = inputs(i)`` and
+``(π·h)(π(i), r) = π(h(i, r))``.  When the predicate is
+:attr:`~repro.core.predicate.Predicate.is_symmetric`, the admissible
+extensions of ``π·h`` are exactly the ``π``-images of those of ``h``; when
+additionally the *spec* declares symmetry (see
+:class:`~repro.check.spec.ConformanceSpec`), exploring one representative
+per orbit suffices.  The engine canonicalizes each node to
+``min over π of serialize(π·(inputs, h))`` and consults a transposition
+table: a node whose canonical form was already claimed by a *visited* node
+is skipped together with its whole subtree.  Because the table only ever
+skips in favour of an explored orbit-equivalent, coverage of one node per
+orbit holds by induction on depth — for any input space, serial or
+per-worker.  Two soundness grades exist (``"exact"`` vs ``"labels"``);
+see ``docs/API.md`` for the argument and the ``kset`` caveat.
+
+Anything the engine cannot handle identically to replay (``rounds == 0``,
+specs that are not pure functions of ``(inputs, D-history)``) stays on the
+replay path — :func:`repro.check.explore.explore` routes automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.analysis.adversary_search import (
+    NoAdmissibleExtension,
+    admissible_rounds,
+)
+from repro.core.adversary import Adversary
+from repro.core.algorithm import Protocol
+from repro.core.executor import RoundExecutor
+from repro.core.predicate import Predicate
+from repro.core.types import DHistory, DRound, ExecutionTrace
+
+__all__ = [
+    "MAX_SYMMETRY_N",
+    "EngineStats",
+    "EngineRun",
+    "IncrementalExplorer",
+]
+
+#: Beyond this system size the n! canonicalization outweighs the pruning.
+MAX_SYMMETRY_N = 6
+
+
+@dataclass
+class EngineStats:
+    """Work counters for one :class:`IncrementalExplorer` (accumulating)."""
+
+    visited: int = 0  # nodes expanded or checked (skipped nodes excluded)
+    skipped_symmetric: int = 0  # subtree roots cut by the transposition table
+    rounds_executed: int = 0  # protocol rounds stepped = tree edges paid for
+    forks: int = 0  # executor forks (edges minus moves minus shared)
+    memo_hits: int = 0  # candidate lists served from the extension-state memo
+    memo_misses: int = 0  # candidate lists enumerated from scratch
+
+
+@dataclass(frozen=True)
+class EngineRun:
+    """One checked node: a full-depth history or a decided interior prefix.
+
+    ``trace`` is byte-identical to what ``spec.run(inputs, history)`` would
+    produce (the executor truncates at all-decided exactly like the legacy
+    runner) but may be *shared* between consecutive runs under a decided
+    subtree — callers can memoize invariant checks via ``trace is last``.
+    """
+
+    history: DHistory
+    trace: ExecutionTrace
+    pruned: bool = False
+
+
+class _CursorAdversary(Adversary):
+    """Feeds the executor exactly one staged suspicion round at a time.
+
+    Unlike :class:`~repro.core.adversary.ScriptedAdversary` it holds no
+    global script — the DFS decides the next round at each edge, stages it,
+    and steps once.
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._staged: DRound | None = None
+
+    def stage(self, d_round: DRound) -> None:
+        self._staged = d_round
+
+    def suspicions(self, round_number: int, history: DHistory, payloads: Any) -> DRound:
+        if self._staged is None:
+            raise RuntimeError("no suspicion round staged for this step")
+        d_round, self._staged = self._staged, None
+        return d_round
+
+
+class _SymmetryTable:
+    """Transposition table over permutation orbits of ``(inputs, history)``.
+
+    ``mode="exact"``: the inputs participate literally, so two nodes collide
+    iff some permutation *in the stabilizer of the inputs* maps one history
+    to the other.  ``mode="labels"``: the permuted inputs are first
+    relabelled by first occurrence, treating input values as interchangeable
+    labels (the ``kset`` distinct-inputs case, where the literal stabilizer
+    is trivial and exact mode would prune nothing).
+
+    Per-``DRound`` permutation images are cached: the DFS re-encounters the
+    same few thousand families at every level, so image computation
+    amortizes to one pass per distinct family.
+    """
+
+    def __init__(self, inputs: tuple[Any, ...], mode: str) -> None:
+        if mode not in ("exact", "labels"):
+            raise ValueError(f"unknown symmetry mode {mode!r}")
+        n = len(inputs)
+        self.perms: list[tuple[int, ...]] = list(
+            itertools.permutations(range(n))
+        )
+        self._round_images: dict[DRound, tuple[tuple[Any, ...], ...]] = {}
+        input_pieces: list[tuple[Any, ...]] = []
+        for perm in self.perms:
+            image: list[Any] = [None] * n
+            for i, value in enumerate(inputs):
+                image[perm[i]] = value
+            if mode == "labels":
+                relabel: dict[Any, int] = {}
+                for value in image:
+                    if value not in relabel:
+                        relabel[value] = len(relabel)
+                input_pieces.append(tuple(relabel[v] for v in image))
+            else:
+                input_pieces.append(tuple(image))
+        self._input_pieces = input_pieces
+        self._seen: set[tuple[Any, ...]] = set()
+
+    def _images(self, d_round: DRound) -> tuple[tuple[Any, ...], ...]:
+        cached = self._round_images.get(d_round)
+        if cached is None:
+            n = len(d_round)
+            images = []
+            for perm in self.perms:
+                image: list[Any] = [None] * n
+                for i, suspected in enumerate(d_round):
+                    image[perm[i]] = tuple(sorted(perm[x] for x in suspected))
+                images.append(tuple(image))
+            cached = tuple(images)
+            self._round_images[d_round] = cached
+        return cached
+
+    def canonical(self, history: DHistory) -> tuple[Any, ...]:
+        """The orbit-minimal serialization of ``(inputs, history)``."""
+        per_round = [self._images(d_round) for d_round in history]
+        best: tuple[Any, ...] | None = None
+        for idx in range(len(self.perms)):
+            piece = (self._input_pieces[idx],) + tuple(
+                images[idx] for images in per_round
+            )
+            if best is None or piece < best:
+                best = piece
+        assert best is not None
+        return best
+
+    def claim(self, history: DHistory) -> bool:
+        """True iff this node's orbit is fresh (caller must explore it)."""
+        key = self.canonical(history)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        return True
+
+
+# Stack-entry tags: how the popped node obtains its executor.
+_READY = 0  # executor already attached (root / resumed prefix)
+_EDGE = 1  # fork (or consume) the parent and step one staged round
+_SHARED = 2  # parent is all-decided: share its executor, step nothing
+
+
+class IncrementalExplorer:
+    """Stateful DFS over admissible histories, one protocol round per edge.
+
+    One instance is bound to a single ``(protocol, predicate, inputs)``
+    triple; :meth:`runs` may be called repeatedly (e.g. once per frontier
+    prefix in the parallel path) and shares the candidate memo, the
+    symmetry table and the :class:`EngineStats` across calls.
+
+    Args:
+        protocol: protocol factory output for this ``n``.
+        predicate: the model predicate (drives admissible extension).
+        inputs: the fixed input assignment explored by this instance.
+        crashed_stop_emitting: executor crash semantics (from the spec).
+        prune_decided: emit decided interior prefixes as (pruned) leaves
+            instead of descending below them.
+        max_d_size: per-process suspicion-set size cap for the enumerator.
+        symmetry: ``None`` (off), ``"exact"`` or ``"labels"`` — see
+            :class:`_SymmetryTable`.  Silently disabled for the rest of the
+            run if canonicalization hits uncomparable/unhashable inputs.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        predicate: Predicate,
+        inputs: Sequence[Any],
+        *,
+        crashed_stop_emitting: bool = False,
+        prune_decided: bool = False,
+        max_d_size: int | None = None,
+        symmetry: str | None = None,
+    ) -> None:
+        self.protocol = protocol
+        self.predicate = predicate
+        self.inputs = tuple(inputs)
+        self.n = len(self.inputs)
+        if predicate.n != self.n:
+            raise ValueError(
+                f"predicate is for n={predicate.n}, inputs give n={self.n}"
+            )
+        self.crashed_stop_emitting = crashed_stop_emitting
+        self.prune_decided = prune_decided
+        self.max_d_size = max_d_size
+        self.stats = EngineStats()
+        self._candidates: dict[Any, list[DRound]] = {}
+        self._table: _SymmetryTable | None = (
+            _SymmetryTable(self.inputs, symmetry) if symmetry else None
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _admissible(self, history: DHistory) -> list[DRound]:
+        """Candidate next rounds, memoized per extension-state summary."""
+        try:
+            key = self.predicate.extension_state(history)
+            cached = self._candidates.get(key)
+        except TypeError:  # unhashable summary: sound, just unmemoized
+            self.stats.memo_misses += 1
+            return list(
+                admissible_rounds(
+                    self.predicate, history, max_d_size=self.max_d_size
+                )
+            )
+        if cached is None:
+            cached = list(
+                admissible_rounds(
+                    self.predicate, history, max_d_size=self.max_d_size
+                )
+            )
+            self._candidates[key] = cached
+            self.stats.memo_misses += 1
+        else:
+            self.stats.memo_hits += 1
+        return cached
+
+    def _claim(self, history: DHistory) -> bool:
+        """Transposition-table probe; disables itself on type errors."""
+        if self._table is None:
+            return True
+        try:
+            return self._table.claim(history)
+        except TypeError:  # uncomparable input values: fall back, stay sound
+            self._table = None
+            return True
+
+    def _root_executor(self, prefix: DHistory) -> RoundExecutor:
+        executor = RoundExecutor(
+            self.protocol,
+            self.inputs,
+            _CursorAdversary(self.n),
+            stop_when_all_decided=True,
+            crashed_stop_emitting=self.crashed_stop_emitting,
+        )
+        for d_round in prefix:
+            if executor.trace.all_decided:
+                break  # legacy truncation: decided runs ignore later rounds
+            executor.adversary.stage(d_round)
+            executor.step()
+            self.stats.rounds_executed += 1
+        return executor
+
+    # ------------------------------------------------------------------- API
+
+    def runs(
+        self, rounds: int, *, prefix: DHistory = ()
+    ) -> Iterator[EngineRun]:
+        """DFS below ``prefix``, yielding every node the checker must judge.
+
+        Yields, in exactly the legacy replay DFS order, an :class:`EngineRun`
+        for every full-depth admissible history (and, with
+        ``prune_decided``, for every decided interior prefix, flagged
+        ``pruned=True``).  Raises :class:`NoAdmissibleExtension` when a
+        reachable prefix dead-ends, like the replay enumerator.
+        """
+        if rounds < 1:
+            raise ValueError(
+                f"the incremental engine needs rounds ≥ 1, got {rounds} "
+                "(use the replay path for empty histories)"
+            )
+        if len(prefix) > rounds:
+            raise ValueError(
+                f"prefix has {len(prefix)} rounds, beyond rounds={rounds}"
+            )
+        root = self._root_executor(prefix)
+        # Entries: (_READY, history, executor)
+        #        | (_EDGE, history, parent_executor, d_round, consume_parent)
+        #        | (_SHARED, history, executor)
+        stack: list[tuple[Any, ...]] = [(_READY, prefix, root)]
+        while stack:
+            entry = stack.pop()
+            tag, history = entry[0], entry[1]
+            if tag == _EDGE:
+                if not self._claim(history):
+                    self.stats.skipped_symmetric += 1
+                    continue
+                parent, d_round, consume = entry[2], entry[3], entry[4]
+                if consume:
+                    executor = parent  # last-popped child: move, don't copy
+                else:
+                    executor = parent.fork(adversary=_CursorAdversary(self.n))
+                    self.stats.forks += 1
+                executor.adversary.stage(d_round)
+                executor.step()
+                self.stats.rounds_executed += 1
+            else:
+                executor = entry[2]
+                if tag == _SHARED and not self._claim(history):
+                    self.stats.skipped_symmetric += 1
+                    continue
+            self.stats.visited += 1
+
+            trace = executor.trace
+            if len(history) == rounds:
+                yield EngineRun(history, trace, pruned=False)
+                continue
+            all_decided = trace.all_decided
+            if self.prune_decided and history and all_decided:
+                yield EngineRun(history, trace, pruned=True)
+                continue
+            children = self._admissible(history)
+            if not children:
+                raise NoAdmissibleExtension(self.predicate, history)
+            # Pushed in reverse so the LIFO pop yields siblings in candidate
+            # order — the same order as iter_admissible_histories, which
+            # keeps the two engines' violation lists byte-identical.
+            if all_decided:
+                # No process will absorb another view: the whole subtree
+                # shares this executor (and thus this trace object).
+                for index in range(len(children) - 1, -1, -1):
+                    stack.append(
+                        (_SHARED, history + (children[index],), executor)
+                    )
+            else:
+                last = len(children) - 1
+                for index in range(last, -1, -1):
+                    d_round = children[index]
+                    # The last candidate is pushed first, hence popped last:
+                    # it may consume the parent executor instead of forking.
+                    stack.append(
+                        (_EDGE, history + (d_round,), executor, d_round,
+                         index == last)
+                    )

@@ -2,13 +2,25 @@
 
 :func:`explore` discharges the paper's universal quantifier *exactly* for
 small systems: it streams every admissible suspicion history of the given
-depth (via :func:`repro.analysis.adversary_search.iter_admissible_histories`,
-depth-first with prefix pruning) for every input assignment in the spec's
-exhaustive input space, runs the protocol on each, and checks every
+depth (depth-first with prefix pruning) for every input assignment in the
+spec's exhaustive input space, runs the protocol on each, and checks every
 invariant.  Zero violations over the whole product is a proof of the spec's
 claims for that ``(n, rounds)`` — not a sample.
 
-Two throughput levers for ``n = 4`` (where e.g. ``KSetDetector`` admits
+Two execution engines produce identical verdicts:
+
+- ``engine="incremental"`` (default) — the stateful DFS of
+  :mod:`repro.check.engine`: executors are *forked* at branch points, so
+  each tree edge costs one protocol round instead of replaying every
+  history from round 1, candidate generation is memoized per
+  ``Predicate.extension_state``, and (opt-in) permutation-equivalent
+  subtrees are cut by a transposition table.
+- ``engine="replay"`` — the original enumerate-and-re-run path (via
+  :func:`repro.analysis.adversary_search.admissible_rounds`); kept as the
+  oracle the incremental engine is differentially tested against, and used
+  automatically when the engine cannot apply (``rounds == 0``).
+
+Throughput levers for ``n = 4`` (where e.g. ``KSetDetector`` admits
 4 235 first-round families):
 
 - ``prune_decided=True`` stops extending a history once every process has
@@ -18,9 +30,13 @@ Two throughput levers for ``n = 4`` (where e.g. ``KSetDetector`` admits
   depth-of-decision tree.
 - ``workers > 1`` splits the *first round* across processes (the harness
   runner's spawn pattern): each worker resumes the DFS below its chunk of
-  the round-1 frontier via the enumerator's ``prefix`` parameter.  Requires
-  a registered spec (workers re-resolve it by name — specs close over
-  lambdas and do not pickle).
+  the round-1 frontier.  Requires a registered spec (workers re-resolve it
+  by name — specs close over lambdas and do not pickle).
+- ``symmetry=True`` checks one representative per process-permutation
+  orbit, for specs that declare a symmetry grade (see
+  :class:`~repro.check.spec.ConformanceSpec`).  Off by default in the
+  library API because it changes the *counts* (``histories``/``executions``
+  cover orbit representatives only); the CLI enables it by default.
 
 :func:`fuzz` covers what exhaustion cannot: larger ``n`` via the
 predicate's constructive sampler, and scheduler-driven specs
@@ -31,13 +47,19 @@ from __future__ import annotations
 
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.analysis.adversary_search import (
     NoAdmissibleExtension,
     admissible_rounds,
+)
+from repro.check.engine import (
+    MAX_SYMMETRY_N,
+    EngineStats,
+    IncrementalExplorer,
+    _SymmetryTable,
 )
 from repro.check.spec import ConformanceSpec, InvariantFailure, get_spec
 from repro.core.types import DHistory, ExecutionTrace
@@ -78,6 +100,11 @@ class ExploreResult:
     inputs_checked: int = 0
     workers: int = 1
     elapsed: float = 0.0
+    engine: str = "replay"  # "incremental" | "replay" (fuzz is replay-like)
+    symmetry: bool = False  # was symmetry reduction in effect?
+    visited: int = 0  # DFS nodes expanded (incremental engine only)
+    skipped_symmetric: int = 0  # subtree roots cut by the transposition table
+    rounds_executed: int = 0  # protocol rounds stepped (incremental only)
     violations: list[Violation] = field(default_factory=list)
 
     @property
@@ -89,11 +116,17 @@ class ExploreResult:
             "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
         )
         pruned = f", {self.pruned} pruned early" if self.pruned else ""
+        skipped = (
+            f", {self.skipped_symmetric} orbits skipped"
+            if self.symmetry
+            else ""
+        )
+        engine = self.engine + ("+symmetry" if self.symmetry else "")
         return (
-            f"{self.spec}: {verdict} — {self.mode} n={self.n} "
+            f"{self.spec}: {verdict} — {self.mode} [{engine}] n={self.n} "
             f"rounds={self.rounds}, {self.executions} executions over "
             f"{self.histories} histories × {self.inputs_checked} input "
-            f"assignment(s){pruned} in {self.elapsed:.2f}s"
+            f"assignment(s){pruned}{skipped} in {self.elapsed:.2f}s"
             + (f" ({self.workers} workers)" if self.workers > 1 else "")
         )
 
@@ -107,8 +140,11 @@ def _check_history(
     inputs: tuple[Any, ...],
     history: DHistory,
     result: ExploreResult,
+    trace: ExecutionTrace | None = None,
 ) -> ExecutionTrace:
-    trace = spec.run(inputs, history)
+    """Judge one history; ``trace`` skips the re-run when already executed."""
+    if trace is None:
+        trace = spec.run(inputs, history)
     result.executions += 1
     failures = spec.failures(trace, len(inputs))
     if failures:
@@ -130,12 +166,13 @@ def _explore_serial(
     prefix: DHistory = (),
     max_violations: int | None = None,
 ) -> None:
-    """DFS over admissible histories below ``prefix``, checking each leaf.
+    """Replay-engine DFS: re-run the protocol from round 1 on every node.
 
-    With ``prune_decided`` the protocol is re-run on interior prefixes and a
+    With ``prune_decided`` the protocol is run on interior prefixes and a
     branch is cut as soon as every process has decided: the executions are
     deterministic, so the shallower trace *is* every deeper one up to
-    post-decision rounds, and it is checked in the leaves' stead.  Interior
+    post-decision rounds, and it is checked in the leaves' stead (reusing
+    the prune-probe trace — the probe is not executed twice).  Interior
     prefixes where some process is still undecided are *not* checked —
     termination invariants legitimately fail mid-run.
     """
@@ -157,26 +194,91 @@ def _explore_serial(
             if trace.all_decided:
                 result.histories += 1
                 result.pruned += 1
-                _check_history(spec, inputs, node, result)
+                _check_history(spec, inputs, node, result, trace=trace)
                 continue
         children = list(
             admissible_rounds(predicate, node, max_d_size=max_d_size)
         )
         if not children:
             raise NoAdmissibleExtension(predicate, node)
-        for d_round in children:
+        # Reverse-pushed so pops visit siblings in candidate order, matching
+        # iter_admissible_histories and the incremental engine exactly.
+        for d_round in reversed(children):
             stack.append(node + (d_round,))
 
 
+def _explore_incremental(
+    spec: ConformanceSpec,
+    explorer: IncrementalExplorer,
+    inputs: tuple[Any, ...],
+    n: int,
+    rounds: int,
+    *,
+    result: ExploreResult,
+    prefix: DHistory = (),
+    max_violations: int | None = None,
+) -> None:
+    """Consume the incremental engine's runs, mirroring the replay loop.
+
+    Decided subtrees share one trace *object*, so invariant checks are
+    memoized by trace identity — safe because shared-trace runs are yielded
+    contiguously by the DFS (no ``id()`` reuse hazard: the previous trace is
+    still referenced while compared).
+    """
+    last_trace: ExecutionTrace | None = None
+    last_failures: list[InvariantFailure] = []
+    for run in explorer.runs(rounds, prefix=prefix):
+        if (
+            max_violations is not None
+            and len(result.violations) >= max_violations
+        ):
+            return
+        result.histories += 1
+        if run.pruned:
+            result.pruned += 1
+        result.executions += 1
+        if run.trace is last_trace:
+            failures = last_failures
+        else:
+            failures = spec.failures(run.trace, n)
+            last_trace, last_failures = run.trace, failures
+        if failures:
+            result.violations.append(
+                Violation(spec.name, inputs, run.history, tuple(failures))
+            )
+
+
+def _merge_stats(result: ExploreResult, stats: EngineStats) -> None:
+    result.visited += stats.visited
+    result.skipped_symmetric += stats.skipped_symmetric
+    result.rounds_executed += stats.rounds_executed
+
+
+def _effective_symmetry(
+    spec: ConformanceSpec, n: int, rounds: int, requested: bool
+) -> str | None:
+    """The symmetry mode actually applied, or ``None``.
+
+    Requires every gate: the caller asked, the spec declares a grade, the
+    model predicate is permutation-invariant, and ``n`` is small enough
+    that canonicalizing over ``n!`` permutations pays for itself.
+    """
+    if not requested or rounds < 1 or n > MAX_SYMMETRY_N:
+        return None
+    if spec.symmetry == "none":
+        return None
+    if not spec.predicate(n).is_symmetric:
+        return None
+    return spec.symmetry
+
+
 def _frontier_chunks(
-    predicate: Any, workers: int, max_d_size: int | None
+    frontier: list[DHistory], workers: int
 ) -> list[list[DHistory]]:
-    """Round-robin the round-1 admissible families into ``workers`` chunks."""
+    """Round-robin depth-1 prefixes into at most ``workers`` chunks."""
     chunks: list[list[DHistory]] = [[] for _ in range(workers)]
-    for i, d_round in enumerate(
-        admissible_rounds(predicate, (), max_d_size=max_d_size)
-    ):
-        chunks[i % workers].append((d_round,))
+    for i, prefix in enumerate(frontier):
+        chunks[i % workers].append(prefix)
     return [c for c in chunks if c]
 
 
@@ -185,20 +287,54 @@ def _explore_chunk(payload: dict[str, Any]) -> dict[str, Any]:
     spec = get_spec(payload["spec"])
     inputs = tuple(payload["inputs"])
     n = payload["n"]
+    rounds = payload["rounds"]
+    max_violations = payload.get("max_violations")
     result = ExploreResult(
-        spec=spec.name, n=n, rounds=payload["rounds"], mode="exhaustive"
+        spec=spec.name, n=n, rounds=rounds, mode="exhaustive"
     )
-    for prefix in payload["prefixes"]:
-        _explore_serial(
-            spec, inputs, n, payload["rounds"],
+    if payload["engine"] == "incremental":
+        # One explorer per chunk: the candidate memo and the (worker-local)
+        # transposition table are shared across the chunk's prefixes.
+        explorer = IncrementalExplorer(
+            spec.protocol(n),
+            spec.predicate(n),
+            inputs,
+            crashed_stop_emitting=spec.crashed_stop_emitting,
             prune_decided=payload["prune_decided"],
             max_d_size=payload["max_d_size"],
-            result=result, prefix=prefix,
+            symmetry=payload["symmetry"],
         )
+        for prefix in payload["prefixes"]:
+            _explore_incremental(
+                spec, explorer, inputs, n, rounds,
+                result=result, prefix=prefix, max_violations=max_violations,
+            )
+            if (
+                max_violations is not None
+                and len(result.violations) >= max_violations
+            ):
+                break
+        _merge_stats(result, explorer.stats)
+    else:
+        for prefix in payload["prefixes"]:
+            _explore_serial(
+                spec, inputs, n, rounds,
+                prune_decided=payload["prune_decided"],
+                max_d_size=payload["max_d_size"],
+                result=result, prefix=prefix, max_violations=max_violations,
+            )
+            if (
+                max_violations is not None
+                and len(result.violations) >= max_violations
+            ):
+                break
     return {
         "executions": result.executions,
         "histories": result.histories,
         "pruned": result.pruned,
+        "visited": result.visited,
+        "skipped_symmetric": result.skipped_symmetric,
+        "rounds_executed": result.rounds_executed,
         "violations": [
             (v.inputs, v.history, [(f.invariant, f.message) for f in v.failures])
             for v in result.violations
@@ -215,6 +351,8 @@ def explore(
     max_d_size: int | None = None,
     workers: int = 1,
     max_violations: int | None = None,
+    engine: str = "incremental",
+    symmetry: bool = False,
 ) -> ExploreResult:
     """Exhaustively check ``spec`` over every admissible history and input.
 
@@ -229,13 +367,29 @@ def explore(
             the enumerator; dead ends raise rather than vanish).
         workers: >1 splits the round-1 frontier across processes; the spec
             must then be registered by name.
-        max_violations: stop early after this many violations (serial only).
+        max_violations: stop early after this many violations.  Parallel
+            runs cancel outstanding chunks once the cap is reached and
+            truncate the merged list to the cap.
+        engine: ``"incremental"`` (fork executors — see
+            :mod:`repro.check.engine`) or ``"replay"`` (re-run each history
+            from round 1).  Verdicts are identical; ``rounds == 0`` always
+            uses replay.
+        symmetry: check one representative per process-permutation orbit.
+            Applied only when every gate passes (incremental engine, spec
+            declares a symmetry grade, predicate ``is_symmetric``,
+            ``n ≤ MAX_SYMMETRY_N``); ``result.symmetry`` records whether it
+            was in effect.  When on, ``histories``/``executions`` count
+            orbit representatives, not raw histories.
 
     Returns:
         An :class:`ExploreResult`; ``result.ok`` is the verdict.
     """
     if isinstance(spec, str):
         spec = get_spec(spec)
+    if engine not in ("incremental", "replay"):
+        raise ValueError(
+            f"engine must be 'incremental' or 'replay', got {engine!r}"
+        )
     if not spec.supports_exhaustive:
         raise ValueError(
             f"spec {spec.name!r} is not a pure function of (inputs, "
@@ -244,8 +398,16 @@ def explore(
     n = spec.exhaustive_n if n is None else n
     rounds = spec.rounds(n) if rounds is None else rounds
     workers = resolve_workers(workers)
+    engine_used = engine if rounds > 0 else "replay"
+    symmetry_mode = (
+        _effective_symmetry(spec, n, rounds, symmetry)
+        if engine_used == "incremental"
+        else None
+    )
     result = ExploreResult(
-        spec=spec.name, n=n, rounds=rounds, mode="exhaustive", workers=workers
+        spec=spec.name, n=n, rounds=rounds, mode="exhaustive",
+        workers=workers, engine=engine_used,
+        symmetry=symmetry_mode is not None,
     )
     started = time.perf_counter()
     input_space = [tuple(i) for i in spec.exhaustive_inputs(n)]
@@ -254,11 +416,27 @@ def explore(
     if workers <= 1 or rounds == 0:
         result.workers = 1
         for inputs in input_space:
-            _explore_serial(
-                spec, inputs, n, rounds,
-                prune_decided=prune_decided, max_d_size=max_d_size,
-                result=result, max_violations=max_violations,
-            )
+            if engine_used == "incremental":
+                explorer = IncrementalExplorer(
+                    spec.protocol(n),
+                    spec.predicate(n),
+                    inputs,
+                    crashed_stop_emitting=spec.crashed_stop_emitting,
+                    prune_decided=prune_decided,
+                    max_d_size=max_d_size,
+                    symmetry=symmetry_mode,
+                )
+                _explore_incremental(
+                    spec, explorer, inputs, n, rounds,
+                    result=result, max_violations=max_violations,
+                )
+                _merge_stats(result, explorer.stats)
+            else:
+                _explore_serial(
+                    spec, inputs, n, rounds,
+                    prune_decided=prune_decided, max_d_size=max_d_size,
+                    result=result, max_violations=max_violations,
+                )
             if (
                 max_violations is not None
                 and len(result.violations) >= max_violations
@@ -268,7 +446,8 @@ def explore(
         _explore_parallel(
             spec, input_space, n, rounds,
             prune_decided=prune_decided, max_d_size=max_d_size,
-            workers=workers, result=result,
+            workers=workers, result=result, engine=engine_used,
+            symmetry_mode=symmetry_mode, max_violations=max_violations,
         )
     result.elapsed = time.perf_counter() - started
     return result
@@ -284,6 +463,9 @@ def _explore_parallel(
     max_d_size: int | None,
     workers: int,
     result: ExploreResult,
+    engine: str,
+    symmetry_mode: str | None,
+    max_violations: int | None,
 ) -> None:
     try:
         registered = get_spec(spec.name)
@@ -294,28 +476,71 @@ def _explore_parallel(
             f"workers>1 needs a registered spec; {spec.name!r} is not the "
             "registered instance (register it, or run with workers=1)"
         )
-    chunks = _frontier_chunks(spec.predicate(n), workers, max_d_size)
-    payloads = [
-        {
-            "spec": spec.name, "inputs": inputs, "n": n, "rounds": rounds,
-            "prune_decided": prune_decided, "max_d_size": max_d_size,
-            "prefixes": chunk,
-        }
-        for inputs in input_space
-        for chunk in chunks
+    base_frontier: list[DHistory] = [
+        (d_round,)
+        for d_round in admissible_rounds(
+            spec.predicate(n), (), max_d_size=max_d_size
+        )
     ]
+    payloads: list[dict[str, Any]] = []
+    for inputs in input_space:
+        frontier = base_frontier
+        if symmetry_mode is not None:
+            # Orbit-dedupe the depth-1 frontier per input assignment (the
+            # orbit structure depends on the inputs' stabilizer).  Workers
+            # then prune deeper levels with their own local tables — local
+            # claims only ever skip in favour of a subtree the same worker
+            # fully explores, so the union of workers still covers every
+            # orbit.
+            table = _SymmetryTable(inputs, symmetry_mode)
+            frontier = [p for p in base_frontier if table.claim(p)]
+        for chunk in _frontier_chunks(frontier, workers):
+            payloads.append({
+                "spec": spec.name, "inputs": inputs, "n": n, "rounds": rounds,
+                "prune_decided": prune_decided, "max_d_size": max_d_size,
+                "prefixes": chunk, "engine": engine,
+                "symmetry": symmetry_mode, "max_violations": max_violations,
+            })
+    parts: dict[int, dict[str, Any]] = {}
     with ProcessPoolExecutor(
         max_workers=workers, initializer=_init_worker, initargs=(list(sys.path),)
     ) as pool:
-        for payload, part in zip(payloads, pool.map(_explore_chunk, payloads)):
-            result.executions += part["executions"]
-            result.histories += part["histories"]
-            result.pruned += part["pruned"]
-            for inputs, history, failures in part["violations"]:
-                result.violations.append(Violation(
-                    spec.name, tuple(inputs), history,
-                    tuple(InvariantFailure(i, m) for i, m in failures),
-                ))
+        futures = {
+            pool.submit(_explore_chunk, payload): index
+            for index, payload in enumerate(payloads)
+        }
+        pending = set(futures)
+        violations_so_far = 0
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                part = future.result()
+                parts[futures[future]] = part
+                violations_so_far += len(part["violations"])
+            if (
+                max_violations is not None
+                and violations_so_far >= max_violations
+            ):
+                for future in pending:
+                    future.cancel()
+                pending = set()
+    # Merge in payload order so results are reproducible regardless of
+    # completion order (modulo which chunks got cancelled under a cap).
+    for index in sorted(parts):
+        part = parts[index]
+        result.executions += part["executions"]
+        result.histories += part["histories"]
+        result.pruned += part["pruned"]
+        result.visited += part["visited"]
+        result.skipped_symmetric += part["skipped_symmetric"]
+        result.rounds_executed += part["rounds_executed"]
+        for inputs, history, failures in part["violations"]:
+            result.violations.append(Violation(
+                spec.name, tuple(inputs), history,
+                tuple(InvariantFailure(i, m) for i, m in failures),
+            ))
+    if max_violations is not None:
+        del result.violations[max_violations:]
 
 
 # ---------------------------------------------------------------------------
@@ -343,6 +568,7 @@ def fuzz(
     rounds = spec.rounds(n) if rounds is None else rounds
     result = ExploreResult(spec=spec.name, n=n, rounds=rounds, mode="fuzz")
     started = time.perf_counter()
+    predicate = spec.predicate(n) if spec.sample_run is None else None
     seen_inputs: set[tuple[Any, ...]] = set()
     for i in range(samples):
         rng = make_rng(derive_seed("rrfd-check", spec.name, n, seed, i))
@@ -351,9 +577,8 @@ def fuzz(
             inputs = trace.inputs
             history = trace.d_history
         else:
-            predicate = spec.predicate(n)
             inputs = spec.sample_inputs(n, rng)
-            history: DHistory = ()
+            history = ()
             for _ in range(rounds):
                 history = history + (predicate.sample_round(rng, history),)
             trace = spec.run(inputs, history)

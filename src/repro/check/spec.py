@@ -98,6 +98,22 @@ class ConformanceSpec:
             ◇S consensus, which is driven by a step scheduler instead.
         sample_run: optional custom fuzz sampler ``(n, rng) -> trace`` for
             such specs; overrides the scripted-executor path.
+        symmetry: how this spec behaves under process permutations, gating
+            the incremental engine's symmetry reduction
+            (:mod:`repro.check.engine`):
+
+            - ``"none"`` (default) — no claim; symmetry reduction is never
+              applied.
+            - ``"exact"`` — renaming processes everywhere (inputs, suspicion
+              history, protocol state) renames the execution: verdicts are
+              identical across a permutation orbit, so checking one
+              representative per orbit checks them all.
+            - ``"labels"`` — inputs are interchangeable *labels* (e.g.
+              ``kset``'s distinct values): a violation exists below some
+              history orbit iff one exists below its canonical relabelling,
+              but per-history verdicts may differ inside an orbit (e.g.
+              lowest-id tie-breaks).  Sound for existence checks, not for
+              exact violation counts.
         notes: provenance (theorem numbers, caveats).
     """
 
@@ -114,11 +130,17 @@ class ConformanceSpec:
     crashed_stop_emitting: bool = False
     supports_exhaustive: bool = True
     sample_run: Callable[[int, random.Random], ExecutionTrace] | None = None
+    symmetry: str = "none"
     notes: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("spec name must be non-empty")
+        if self.symmetry not in ("none", "exact", "labels"):
+            raise ValueError(
+                f"spec {self.name!r}: symmetry must be 'none', 'exact' or "
+                f"'labels', got {self.symmetry!r}"
+            )
         if not self.invariants:
             raise ValueError(f"spec {self.name!r} declares no invariants")
         names = [inv.name for inv in self.invariants]

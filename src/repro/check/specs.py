@@ -161,8 +161,11 @@ register(ConformanceSpec(
     ),
     exhaustive_inputs=_distinct_inputs,
     sample_inputs=_sample_int_inputs,
+    symmetry="labels",
     notes="distinct inputs are the hard case: any merge only lowers the "
-          "decided-value count",
+          "decided-value count; symmetry='labels' because the lowest-id "
+          "tie-break makes per-history verdicts orbit-dependent even though "
+          "violation *existence* is orbit-invariant",
 ))
 
 
@@ -186,6 +189,7 @@ register(ConformanceSpec(
     ),
     exhaustive_inputs=_distinct_inputs,
     sample_inputs=_sample_int_inputs,
+    symmetry="labels",
 ))
 
 
@@ -222,6 +226,7 @@ register(ConformanceSpec(
     exhaustive_inputs=_binary_inputs,
     sample_inputs=_sample_int_inputs,
     crashed_stop_emitting=True,
+    symmetry="exact",
 ))
 
 
@@ -247,6 +252,7 @@ register(ConformanceSpec(
     exhaustive_inputs=_binary_inputs,
     sample_inputs=_sample_int_inputs,
     crashed_stop_emitting=True,
+    symmetry="exact",
 ))
 
 
@@ -313,6 +319,7 @@ register(ConformanceSpec(
     ),
     exhaustive_inputs=_binary_inputs,
     sample_inputs=lambda n, rng: tuple(rng.choice("ab") for _ in range(n)),
+    symmetry="exact",
 ))
 
 

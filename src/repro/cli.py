@@ -153,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallelize the exhaustive round-1 frontier")
     check.add_argument("--prune-decided", action="store_true",
                        help="stop extending histories once everyone decided")
+    check.add_argument("--engine", choices=("incremental", "replay"),
+                       default="incremental",
+                       help="exhaustive engine: fork executors along the DFS "
+                       "(incremental, default) or replay each history from "
+                       "round 1")
+    check.add_argument("--no-symmetry", action="store_true",
+                       help="disable symmetry reduction (on by default for "
+                       "specs that declare a symmetry grade; disable for "
+                       "full-strength per-history certification)")
     check.add_argument("--seed", type=int, default=0, help="fuzz seed")
     check.add_argument("--shrink", action="store_true",
                        help="delta-debug each violation to a minimal "
@@ -383,6 +392,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             result = explore(
                 spec, n=args.n, rounds=args.rounds,
                 prune_decided=args.prune_decided, workers=args.workers,
+                engine=args.engine, symmetry=not args.no_symmetry,
             )
         print(result.summary())
         for violation in result.violations[:10]:

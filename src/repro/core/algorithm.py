@@ -23,6 +23,7 @@ uniformly.
 
 from __future__ import annotations
 
+import copy as _copy
 from abc import ABC, abstractmethod
 from typing import Any, Callable
 
@@ -77,6 +78,34 @@ class RoundProcess(ABC):
                 f"{self.decision!r} to {value!r}"
             )
         self.decision = value
+
+    # ------------------------------------------------------------ forking
+
+    def copy(self) -> "RoundProcess":
+        """An independent copy of this process at its current state.
+
+        The contract behind :meth:`repro.core.executor.RoundExecutor.fork`:
+        the copy must behave exactly like the original under any future
+        sequence of ``emit``/``absorb`` calls, and must share no *mutable*
+        state with it (diverging futures of the two copies may never
+        influence each other).  The default deep-copies the instance, which
+        is always sound; subclasses whose attributes are all immutable
+        (ints, frozensets, tuples, input values that are never mutated in
+        place) should override with ``return self._shallow_copy()`` — the
+        incremental model checker forks once per explored tree edge, so
+        this is a hot path.
+        """
+        return _copy.deepcopy(self)
+
+    def _shallow_copy(self) -> "RoundProcess":
+        """Helper for ``copy()`` overrides: clone sharing attribute values.
+
+        Only sound when every attribute is immutable (or never mutated in
+        place); mutable containers must be re-copied by the caller.
+        """
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__.update(self.__dict__)
+        return clone
 
 
 class Protocol:
@@ -143,6 +172,12 @@ class FullInformationProcess(RoundProcess):
 
     def absorb(self, view: RoundView) -> None:
         self.views.append(view)
+
+    def copy(self) -> "FullInformationProcess":
+        # Views are frozen records; only the list holding them is mutable.
+        clone = self._shallow_copy()
+        clone.views = list(self.views)
+        return clone
 
     def knowledge(self) -> frozenset[ProcessId]:
         """Processes whose round-1 input this process has (transitively) seen.

@@ -30,7 +30,7 @@ from repro.core.types import (
     RoundView,
 )
 
-__all__ = ["RoundExecutor", "run_protocol"]
+__all__ = ["RoundExecutor", "ExecutorSnapshot", "run_protocol"]
 
 
 class RoundExecutor:
@@ -147,6 +147,71 @@ class RoundExecutor:
                 break
             self.step()
         return self.trace
+
+    # ---------------------------------------------------------------- forking
+
+    def fork(self, *, adversary: Adversary | None = None) -> "RoundExecutor":
+        """An independent executor resuming from the current round boundary.
+
+        Copies the process states (via :meth:`RoundProcess.copy`), the trace
+        tail (the per-round records are frozen and shared; the containers
+        and decision arrays are fresh) and the cumulative suspicion set, so
+        the fork and the original can be stepped down *different* suspicion
+        futures without influencing each other.  This is what lets the
+        incremental model checker pay one protocol round per explored tree
+        edge instead of replaying each history from round 1.
+
+        ``adversary`` replaces the RRFD strategy on the fork; by default the
+        fork shares the original's adversary *object* — fine for stateless
+        strategies, but stateful ones should be replaced.
+        """
+        clone = object.__new__(RoundExecutor)
+        clone.n = self.n
+        clone.protocol = self.protocol
+        clone.inputs = self.inputs
+        clone.adversary = self.adversary if adversary is None else adversary
+        if clone.adversary.n != self.n:
+            raise ValueError(
+                f"adversary is for n={clone.adversary.n}, executor has n={self.n}"
+            )
+        clone.predicate = self.predicate
+        clone.stop_when_all_decided = self.stop_when_all_decided
+        clone.crashed_stop_emitting = self.crashed_stop_emitting
+        clone.processes = [proc.copy() for proc in self.processes]
+        clone.trace = ExecutionTrace(
+            n=self.n,
+            inputs=self.inputs,
+            rounds=list(self.trace.rounds),
+            decisions=list(self.trace.decisions),
+            decided_at=list(self.trace.decided_at),
+        )
+        clone._ever_suspected = set(self._ever_suspected)
+        return clone
+
+    def snapshot(self) -> "ExecutorSnapshot":
+        """Capture the executor's state; :meth:`ExecutorSnapshot.restore`
+        later yields fresh executors resuming from this round boundary
+        (restorable any number of times)."""
+        return ExecutorSnapshot(self.fork())
+
+
+class ExecutorSnapshot:
+    """A frozen copy of a :class:`RoundExecutor` at a round boundary.
+
+    Holds a private fork that is never stepped; every :meth:`restore` forks
+    it again, so one snapshot can seed many divergent continuations.
+    """
+
+    def __init__(self, frozen: RoundExecutor) -> None:
+        self._frozen = frozen
+
+    @property
+    def rounds_executed(self) -> int:
+        return self._frozen.trace.num_rounds
+
+    def restore(self, *, adversary: Adversary | None = None) -> RoundExecutor:
+        """A fresh executor continuing from the captured state."""
+        return self._frozen.fork(adversary=adversary)
 
 
 def run_protocol(

@@ -61,7 +61,20 @@ def cumulative_suspected(history: DHistory) -> frozenset[ProcessId]:
 
 
 class Predicate(ABC):
-    """A predicate over finite suspicion histories, defining an RRFD model."""
+    """A predicate over finite suspicion histories, defining an RRFD model.
+
+    ``is_symmetric`` declares invariance under process permutations: for
+    every permutation ``π`` of ``range(n)``, ``allows(π·h) == allows(h)``,
+    where ``(π·h)(π(i), r) = π(h(i, r))`` (both *who* suspects and *whom*
+    they suspect are renamed).  Every catalog predicate
+    (:mod:`repro.core.predicates`) is symmetric — their clauses only
+    mention cardinalities, self-membership and set algebra over renamed
+    ids.  The default is ``False`` so unknown user predicates soundly
+    disable the model checker's symmetry reduction.
+    """
+
+    #: True iff the predicate is invariant under process permutations.
+    is_symmetric: bool = False
 
     def __init__(self, n: int) -> None:
         if n < 1:
@@ -95,6 +108,23 @@ class Predicate(ABC):
         speed; the default re-checks the extended history.
         """
         return self.allows(history + (new_round,))
+
+    def extension_state(self, history: DHistory) -> object:
+        """A hashable summary through which ``allows_extension`` sees history.
+
+        Contract: for every *admissible* history ``h``,
+        ``allows_extension(h, d)`` must be a function of
+        ``(extension_state(h), d)`` alone — two admissible histories with
+        equal summaries admit exactly the same next rounds.  The model
+        checker memoizes admissible-candidate generation per summary, so a
+        tight summary (a cumulative suspected set, ``()`` for per-round
+        predicates) collapses thousands of sibling regenerations into one.
+
+        The default returns the history itself: always sound, shares
+        nothing across distinct histories (it still deduplicates the same
+        history re-explored under different inputs).
+        """
+        return history
 
     @abstractmethod
     def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
@@ -150,9 +180,15 @@ class Conjunction(Predicate):
         super().__init__(parts[0].n)
         self.parts = parts
         self.max_attempts = max_attempts
+        # Symmetric iff every conjunct is (instance attribute shadows the
+        # class default).
+        self.is_symmetric = all(part.is_symmetric for part in parts)
 
     def _allows(self, history: DHistory) -> bool:
         return all(part.allows(history) for part in self.parts)
+
+    def extension_state(self, history: DHistory) -> object:
+        return tuple(part.extension_state(history) for part in self.parts)
 
     def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
         for _ in range(self.max_attempts):
@@ -176,8 +212,13 @@ class Unconstrained(Predicate):
     predicate by :meth:`Predicate.allows`) constrains it.
     """
 
+    is_symmetric = True
+
     def _allows(self, history: DHistory) -> bool:
         return True
+
+    def extension_state(self, history: DHistory) -> object:
+        return ()
 
     def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
         return tuple(

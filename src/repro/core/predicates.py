@@ -64,6 +64,8 @@ class SendOmissionSync(Predicate):
         ∀ p_i alive, r:  p_i ∉ D(i, r)    and    |⋃_{r>0} ⋃_i D(i, r)| ≤ f
     """
 
+    is_symmetric = True
+
     def __init__(self, n: int, f: int) -> None:
         super().__init__(n)
         if not 0 <= f < n:
@@ -80,6 +82,11 @@ class SendOmissionSync(Predicate):
             if len(suspected_before) > self.f:
                 return False
         return True
+
+    def extension_state(self, history: DHistory) -> object:
+        # Whether a new round is allowed depends only on who was already
+        # suspected (self-suspicion clause + remaining fault budget).
+        return cumulative_suspected(history)
 
     def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
         previously = set(cumulative_suspected(history))
@@ -130,6 +137,15 @@ class CrashSync(SendOmissionSync):
                     return False
         return True
 
+    def extension_state(self, history: DHistory) -> object:
+        # Eq. (2) on the new round needs the previous round's union (what
+        # alive processes must now suspect); the inherited clauses need the
+        # cumulative set.
+        return (
+            cumulative_suspected(history),
+            round_union(history[-1]) if history else None,
+        )
+
     def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
         crashed = set(cumulative_suspected(history))
         required = round_union(history[-1]) if history else frozenset()
@@ -169,6 +185,8 @@ class AsyncMessagePassing(Predicate):
     and discarding late ones.
     """
 
+    is_symmetric = True
+
     def __init__(self, n: int, f: int) -> None:
         super().__init__(n)
         if not 0 <= f < n:
@@ -183,6 +201,12 @@ class AsyncMessagePassing(Predicate):
 
     def allows_extension(self, history: DHistory, new_round: DRound) -> bool:
         return self.allows((new_round,))
+
+    def extension_state(self, history: DHistory) -> object:
+        # Purely per-round: extensions are history-independent.  Inherited
+        # by the shared-memory refinements, whose extra clauses are also
+        # per-round.
+        return ()
 
     def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
         return tuple(
@@ -208,6 +232,8 @@ class MixedResilience(Predicate):
     some single ``Q`` works for all its rounds.
     """
 
+    is_symmetric = True
+
     def __init__(self, n: int, t: int, f: int) -> None:
         super().__init__(n)
         if not 0 <= f <= t < n:
@@ -224,6 +250,16 @@ class MixedResilience(Predicate):
             return False
         heavy = sum(1 for w in worst if w > self.f)
         return heavy <= self.t
+
+    def extension_state(self, history: DHistory) -> object:
+        # Admissible extensions depend only on each process's worst |D| so
+        # far (pid identity matters: Q must stay consistent per process).
+        worst = [0] * self.n
+        for d_round in history:
+            for pid, suspected in enumerate(d_round):
+                if len(suspected) > worst[pid]:
+                    worst[pid] = len(suspected)
+        return tuple(worst)
 
     def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
         # Keep Q stable: derive it from which processes were already heavy.
@@ -395,8 +431,13 @@ class EventuallyStrong(Predicate):
     manipulation reducing wait-free ◇S consensus to synchronous consensus.
     """
 
+    is_symmetric = True
+
     def _allows(self, history: DHistory) -> bool:
         return len(cumulative_suspected(history)) < self.n
+
+    def extension_state(self, history: DHistory) -> object:
+        return cumulative_suspected(history)
 
     def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
         already = cumulative_suspected(history)
@@ -429,6 +470,8 @@ class KSetDetector(Predicate):
     :mod:`repro.protocols.kset`).
     """
 
+    is_symmetric = True
+
     def __init__(self, n: int, k: int) -> None:
         super().__init__(n)
         if not 1 <= k <= n:
@@ -444,6 +487,10 @@ class KSetDetector(Predicate):
 
     def allows_extension(self, history: DHistory, new_round: DRound) -> bool:
         return self.allows((new_round,))
+
+    def extension_state(self, history: DHistory) -> object:
+        # Purely per-round (inherited by SemiSyncEquality).
+        return ()
 
     def sample_round(self, rng: random.Random, history: DHistory) -> DRound:
         # A common core everyone suspects (never all of S), plus fewer than k

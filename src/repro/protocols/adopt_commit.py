@@ -108,6 +108,10 @@ class AdoptCommitRoundsProcess(RoundProcess):
             else:
                 self.decide(AdoptCommitOutcome(False, self.input_value))
 
+    def copy(self) -> "AdoptCommitRoundsProcess":
+        # _phase2 is a tuple (or None); every attribute is immutable.
+        return self._shallow_copy()
+
 
 def adopt_commit_protocol() -> Protocol:
     """Two-round wait-free adopt-commit (atomic-snapshot RRFD, item 5)."""

@@ -64,6 +64,10 @@ class EarlyDecidingFloodMinProcess(RoundProcess):
         if not self.decided and (clean or view.round >= self.f + 1):
             self.decide(self.minimum)
 
+    def copy(self) -> "EarlyDecidingFloodMinProcess":
+        # minimum is a value, _previous_heard a frozenset — all immutable.
+        return self._shallow_copy()
+
 
 def early_floodmin_protocol(f: int) -> Protocol:
     """Early-deciding consensus for ≤ f synchronous crash faults."""

@@ -69,6 +69,10 @@ class FloodMinProcess(RoundProcess):
         if view.round >= self.deadline and not self.decided:
             self.decide(self.minimum)
 
+    def copy(self) -> "FloodMinProcess":
+        # All state (f, k, deadline, minimum, decision) is immutable values.
+        return self._shallow_copy()
+
 
 def floodmin_protocol(f: int, k: int = 1) -> Protocol:
     """FloodMin for k-set agreement under ≤ f synchronous crash faults."""

@@ -48,6 +48,10 @@ class KSetAgreementProcess(RoundProcess):
         chosen: ProcessId = trusted[0]
         self.decide(view.value_from(chosen))
 
+    def copy(self) -> "KSetAgreementProcess":
+        # Every attribute (pid, n, input_value, decision) is immutable.
+        return self._shallow_copy()
+
 
 def kset_protocol() -> Protocol:
     """The one-round k-set agreement protocol of Theorem 3.1.

@@ -17,10 +17,30 @@ class TestCheckCLI:
         assert "fuzz-only" in out
 
     def test_exhaustive_kset_passes(self, capsys):
-        """Acceptance criterion, via the CLI: full n=3 certification."""
+        """Acceptance criterion, via the CLI: full n=3 certification.
+
+        Symmetry reduction is on by default, so the CLI covers the 3 721
+        admissible histories through orbit representatives; --no-symmetry
+        restores the literal per-history count.
+        """
         assert main(["check", "--spec", "kset", "--exhaustive"]) == 0
         out = capsys.readouterr().out
+        assert "OK" in out and "incremental+symmetry" in out
+
+    def test_exhaustive_kset_no_symmetry_counts_every_history(self, capsys):
+        assert main([
+            "check", "--spec", "kset", "--exhaustive", "--no-symmetry",
+        ]) == 0
+        out = capsys.readouterr().out
         assert "OK" in out and "3721 histories" in out
+
+    def test_exhaustive_replay_engine(self, capsys):
+        assert main([
+            "check", "--spec", "consensus", "--exhaustive",
+            "--engine", "replay",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "[replay]" in out
 
     def test_fuzz_all_specs_passes(self, capsys):
         assert main(["check", "--fuzz", "25"]) == 0
