@@ -43,10 +43,13 @@ EXPERIMENT = Experiment(
     table=(
         ("n", "n"),
         ("rounds", "rounds"),
+        # cpu = summed chunk compute; wall = true elapsed span (parallel
+        # chunks overlap, so wall ≤ cpu on multi-worker runs).
+        ("cpu time", lambda c: f"{1000 * c.cpu_time:.1f} ms"),
         ("wall time", lambda c: f"{1000 * c.wall_time:.1f} ms"),
         ("throughput",
-         lambda c: f"{c.samples * ROUNDS / c.wall_time:.0f} rounds/s"
-         if c.wall_time > 0 else "-"),
+         lambda c: f"{c.samples * ROUNDS / c.cpu_time:.0f} rounds/s"
+         if c.cpu_time > 0 else "-"),
     ),
     notes="Engineering baseline; the CLI's --speedup probe.",
 )
@@ -81,6 +84,7 @@ EXPERIMENT_SAMPLERS = Experiment(
     table=(
         ("sampler", "style"),
         ("n", "n"), ("rounds", "rounds"),
+        ("cpu time", lambda c: f"{1000 * c.cpu_time:.1f} ms"),
         ("wall time", lambda c: f"{1000 * c.wall_time:.1f} ms"),
     ),
     notes="DESIGN.md sampler ablation.",

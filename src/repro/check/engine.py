@@ -49,6 +49,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
+from repro import obs
 from repro.analysis.adversary_search import (
     NoAdmissibleExtension,
     admissible_rounds,
@@ -72,7 +73,12 @@ MAX_SYMMETRY_N = 6
 
 @dataclass
 class EngineStats:
-    """Work counters for one :class:`IncrementalExplorer` (accumulating)."""
+    """Work counters for one :class:`IncrementalExplorer` (accumulating).
+
+    Fields stay plain ints so the DFS inner loop pays one integer add per
+    count; the observability contract (snapshot / merge / publish) is the
+    shared one from :mod:`repro.obs.metrics`.
+    """
 
     visited: int = 0  # nodes expanded or checked (skipped nodes excluded)
     skipped_symmetric: int = 0  # subtree roots cut by the transposition table
@@ -80,6 +86,19 @@ class EngineStats:
     forks: int = 0  # executor forks (edges minus moves minus shared)
     memo_hits: int = 0  # candidate lists served from the extension-state memo
     memo_misses: int = 0  # candidate lists enumerated from scratch
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain picklable counter snapshot (the shared obs contract)."""
+        return obs.field_snapshot(self)
+
+    def merge(self, other: "EngineStats | dict[str, int]") -> None:
+        """Add another explorer's counters (or their snapshot) into this one."""
+        snapshot = other.snapshot() if isinstance(other, EngineStats) else other
+        obs.merge_field_snapshots(self, snapshot)
+
+    def publish(self, metrics: "obs.Metrics", prefix: str = "engine") -> None:
+        """Export the counters as ``{prefix}.{field}`` metrics."""
+        obs.publish_fields(metrics, prefix, self)
 
 
 @dataclass(frozen=True)
@@ -253,11 +272,14 @@ class IncrementalExplorer:
 
     def _admissible(self, history: DHistory) -> list[DRound]:
         """Candidate next rounds, memoized per extension-state summary."""
+        tracer = obs.current_tracer()
         try:
             key = self.predicate.extension_state(history)
             cached = self._candidates.get(key)
         except TypeError:  # unhashable summary: sound, just unmemoized
             self.stats.memo_misses += 1
+            if tracer.enabled:
+                tracer.event("engine.memo_miss", depth=len(history))
             return list(
                 admissible_rounds(
                     self.predicate, history, max_d_size=self.max_d_size
@@ -271,8 +293,15 @@ class IncrementalExplorer:
             )
             self._candidates[key] = cached
             self.stats.memo_misses += 1
+            if tracer.enabled:
+                tracer.event(
+                    "engine.memo_miss", depth=len(history),
+                    candidates=len(cached),
+                )
         else:
             self.stats.memo_hits += 1
+            if tracer.enabled:
+                tracer.event("engine.memo_hit", depth=len(history))
         return cached
 
     def _claim(self, history: DHistory) -> bool:
@@ -328,12 +357,17 @@ class IncrementalExplorer:
         #        | (_EDGE, history, parent_executor, d_round, consume_parent)
         #        | (_SHARED, history, executor)
         stack: list[tuple[Any, ...]] = [(_READY, prefix, root)]
+        tracer = obs.current_tracer()
         while stack:
             entry = stack.pop()
             tag, history = entry[0], entry[1]
             if tag == _EDGE:
                 if not self._claim(history):
                     self.stats.skipped_symmetric += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "engine.symmetry_skip", depth=len(history)
+                        )
                     continue
                 parent, d_round, consume = entry[2], entry[3], entry[4]
                 if consume:
@@ -341,6 +375,8 @@ class IncrementalExplorer:
                 else:
                     executor = parent.fork(adversary=_CursorAdversary(self.n))
                     self.stats.forks += 1
+                    if tracer.enabled:
+                        tracer.event("engine.fork", depth=len(history))
                 executor.adversary.stage(d_round)
                 executor.step()
                 self.stats.rounds_executed += 1
@@ -348,6 +384,10 @@ class IncrementalExplorer:
                 executor = entry[2]
                 if tag == _SHARED and not self._claim(history):
                     self.stats.skipped_symmetric += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "engine.symmetry_skip", depth=len(history)
+                        )
                     continue
             self.stats.visited += 1
 

@@ -51,6 +51,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import obs
 from repro.analysis.adversary_search import (
     NoAdmissibleExtension,
     admissible_rounds,
@@ -284,7 +285,12 @@ def _frontier_chunks(
 
 def _explore_chunk(payload: dict[str, Any]) -> dict[str, Any]:
     """Worker entry: resume the DFS below each frontier prefix in the chunk."""
-    spec = get_spec(payload["spec"])
+    return _explore_chunk_impl(get_spec(payload["spec"]), payload)
+
+
+def _explore_chunk_impl(
+    spec: ConformanceSpec, payload: dict[str, Any]
+) -> dict[str, Any]:
     inputs = tuple(payload["inputs"])
     n = payload["n"]
     rounds = payload["rounds"]
@@ -292,54 +298,98 @@ def _explore_chunk(payload: dict[str, Any]) -> dict[str, Any]:
     result = ExploreResult(
         spec=spec.name, n=n, rounds=rounds, mode="exhaustive"
     )
-    if payload["engine"] == "incremental":
-        # One explorer per chunk: the candidate memo and the (worker-local)
-        # transposition table are shared across the chunk's prefixes.
-        explorer = IncrementalExplorer(
-            spec.protocol(n),
-            spec.predicate(n),
-            inputs,
-            crashed_stop_emitting=spec.crashed_stop_emitting,
-            prune_decided=payload["prune_decided"],
-            max_d_size=payload["max_d_size"],
-            symmetry=payload["symmetry"],
-        )
-        for prefix in payload["prefixes"]:
-            _explore_incremental(
-                spec, explorer, inputs, n, rounds,
-                result=result, prefix=prefix, max_violations=max_violations,
+    engine_snapshot: dict[str, int] = {}
+
+    def work() -> None:
+        tracer = obs.current_tracer()
+        if tracer.enabled:
+            tracer.begin(
+                "check.chunk",
+                index=payload.get("index", 0),
+                prefixes=len(payload["prefixes"]),
             )
-            if (
-                max_violations is not None
-                and len(result.violations) >= max_violations
-            ):
-                break
-        _merge_stats(result, explorer.stats)
+        try:
+            if payload["engine"] == "incremental":
+                # One explorer per chunk: the candidate memo and the
+                # (worker-local) transposition table are shared across the
+                # chunk's prefixes.
+                explorer = IncrementalExplorer(
+                    spec.protocol(n),
+                    spec.predicate(n),
+                    inputs,
+                    crashed_stop_emitting=spec.crashed_stop_emitting,
+                    prune_decided=payload["prune_decided"],
+                    max_d_size=payload["max_d_size"],
+                    symmetry=payload["symmetry"],
+                )
+                for prefix in payload["prefixes"]:
+                    _explore_incremental(
+                        spec, explorer, inputs, n, rounds,
+                        result=result, prefix=prefix,
+                        max_violations=max_violations,
+                    )
+                    if (
+                        max_violations is not None
+                        and len(result.violations) >= max_violations
+                    ):
+                        break
+                _merge_stats(result, explorer.stats)
+                engine_snapshot.update(explorer.stats.snapshot())
+            else:
+                for prefix in payload["prefixes"]:
+                    _explore_serial(
+                        spec, inputs, n, rounds,
+                        prune_decided=payload["prune_decided"],
+                        max_d_size=payload["max_d_size"],
+                        result=result, prefix=prefix,
+                        max_violations=max_violations,
+                    )
+                    if (
+                        max_violations is not None
+                        and len(result.violations) >= max_violations
+                    ):
+                        break
+        finally:
+            tracer = obs.current_tracer()
+            if tracer.enabled:
+                tracer.end(
+                    "check.chunk",
+                    histories=result.histories,
+                    violations=len(result.violations),
+                )
+
+    part: dict[str, Any]
+    if payload.get("observe"):
+        # Chunk-local instruments: records and snapshots travel back to the
+        # parent, which splices them in deterministic payload order — the
+        # merged stream is the same whether this chunk ran in-process or in
+        # a pool worker.
+        local_tracer = obs.Tracer()
+        local_metrics = obs.Metrics()
+        with obs.tracing(local_tracer), obs.collecting(local_metrics):
+            work()
+        part = {
+            "records": list(local_tracer.records),
+            "dropped": local_tracer.dropped,
+            "metrics": local_metrics.snapshot(),
+        }
     else:
-        for prefix in payload["prefixes"]:
-            _explore_serial(
-                spec, inputs, n, rounds,
-                prune_decided=payload["prune_decided"],
-                max_d_size=payload["max_d_size"],
-                result=result, prefix=prefix, max_violations=max_violations,
-            )
-            if (
-                max_violations is not None
-                and len(result.violations) >= max_violations
-            ):
-                break
-    return {
+        work()
+        part = {}
+    part.update({
         "executions": result.executions,
         "histories": result.histories,
         "pruned": result.pruned,
         "visited": result.visited,
         "skipped_symmetric": result.skipped_symmetric,
         "rounds_executed": result.rounds_executed,
+        "engine_stats": engine_snapshot,
         "violations": [
             (v.inputs, v.history, [(f.invariant, f.message) for f in v.failures])
             for v in result.violations
         ],
-    }
+    })
+    return part
 
 
 def explore(
@@ -406,50 +456,79 @@ def explore(
     )
     result = ExploreResult(
         spec=spec.name, n=n, rounds=rounds, mode="exhaustive",
-        workers=workers, engine=engine_used,
+        workers=1, engine=engine_used,
         symmetry=symmetry_mode is not None,
     )
     started = time.perf_counter()
-    input_space = [tuple(i) for i in spec.exhaustive_inputs(n)]
-    result.inputs_checked = len(input_space)
-
-    if workers <= 1 or rounds == 0:
-        result.workers = 1
-        for inputs in input_space:
-            if engine_used == "incremental":
-                explorer = IncrementalExplorer(
-                    spec.protocol(n),
-                    spec.predicate(n),
-                    inputs,
-                    crashed_stop_emitting=spec.crashed_stop_emitting,
-                    prune_decided=prune_decided,
-                    max_d_size=max_d_size,
-                    symmetry=symmetry_mode,
-                )
-                _explore_incremental(
-                    spec, explorer, inputs, n, rounds,
-                    result=result, max_violations=max_violations,
-                )
-                _merge_stats(result, explorer.stats)
-            else:
-                _explore_serial(
-                    spec, inputs, n, rounds,
-                    prune_decided=prune_decided, max_d_size=max_d_size,
-                    result=result, max_violations=max_violations,
-                )
-            if (
-                max_violations is not None
-                and len(result.violations) >= max_violations
-            ):
-                break
-    else:
-        _explore_parallel(
-            spec, input_space, n, rounds,
-            prune_decided=prune_decided, max_d_size=max_d_size,
-            workers=workers, result=result, engine=engine_used,
-            symmetry_mode=symmetry_mode, max_violations=max_violations,
+    engine_totals = EngineStats()
+    tracer = obs.current_tracer()
+    if tracer.enabled:
+        tracer.begin(
+            "check.explore",
+            spec=spec.name, n=n, rounds=rounds, engine=engine_used,
+            symmetry=result.symmetry,
         )
+    try:
+        input_space = [tuple(i) for i in spec.exhaustive_inputs(n)]
+        result.inputs_checked = len(input_space)
+
+        if workers <= 1 or rounds == 0:
+            for inputs in input_space:
+                if engine_used == "incremental":
+                    explorer = IncrementalExplorer(
+                        spec.protocol(n),
+                        spec.predicate(n),
+                        inputs,
+                        crashed_stop_emitting=spec.crashed_stop_emitting,
+                        prune_decided=prune_decided,
+                        max_d_size=max_d_size,
+                        symmetry=symmetry_mode,
+                    )
+                    _explore_incremental(
+                        spec, explorer, inputs, n, rounds,
+                        result=result, max_violations=max_violations,
+                    )
+                    _merge_stats(result, explorer.stats)
+                    engine_totals.merge(explorer.stats)
+                else:
+                    _explore_serial(
+                        spec, inputs, n, rounds,
+                        prune_decided=prune_decided, max_d_size=max_d_size,
+                        result=result, max_violations=max_violations,
+                    )
+                if (
+                    max_violations is not None
+                    and len(result.violations) >= max_violations
+                ):
+                    break
+        else:
+            _explore_parallel(
+                spec, input_space, n, rounds,
+                prune_decided=prune_decided, max_d_size=max_d_size,
+                workers=workers, result=result, engine=engine_used,
+                symmetry_mode=symmetry_mode, max_violations=max_violations,
+                engine_totals=engine_totals,
+            )
+    finally:
+        tracer = obs.current_tracer()
+        if tracer.enabled:
+            tracer.end(
+                "check.explore",
+                executions=result.executions,
+                histories=result.histories,
+                violations=len(result.violations),
+            )
     result.elapsed = time.perf_counter() - started
+    metrics = obs.current_metrics()
+    if metrics.enabled:
+        obs.publish_fields(
+            metrics, "check", result,
+            fields=("executions", "histories", "pruned", "inputs_checked"),
+        )
+        if engine_used == "incremental":
+            engine_totals.publish(metrics)
+        metrics.gauge("check.workers", env=True).set(result.workers)
+        metrics.histogram("check.elapsed_s", env=True).observe(result.elapsed)
     return result
 
 
@@ -466,16 +545,11 @@ def _explore_parallel(
     engine: str,
     symmetry_mode: str | None,
     max_violations: int | None,
+    engine_totals: EngineStats,
 ) -> None:
-    try:
-        registered = get_spec(spec.name)
-    except KeyError:
-        registered = None
-    if registered is not spec:
-        raise ValueError(
-            f"workers>1 needs a registered spec; {spec.name!r} is not the "
-            "registered instance (register it, or run with workers=1)"
-        )
+    observe = (
+        obs.current_tracer().enabled or obs.current_metrics().enabled
+    )
     base_frontier: list[DHistory] = [
         (d_round,)
         for d_round in admissible_rounds(
@@ -500,32 +574,61 @@ def _explore_parallel(
                 "prune_decided": prune_decided, "max_d_size": max_d_size,
                 "prefixes": chunk, "engine": engine,
                 "symmetry": symmetry_mode, "max_violations": max_violations,
+                "index": len(payloads), "observe": observe,
             })
+    # Record the workers *actually used*: never more than there are chunks,
+    # and never less than one.  A 1-chunk run skips the pool entirely.
+    used = max(1, min(workers, len(payloads)))
+    result.workers = used
     parts: dict[int, dict[str, Any]] = {}
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(list(sys.path),)
-    ) as pool:
-        futures = {
-            pool.submit(_explore_chunk, payload): index
-            for index, payload in enumerate(payloads)
-        }
-        pending = set(futures)
+    if used == 1:
         violations_so_far = 0
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                part = future.result()
-                parts[futures[future]] = part
-                violations_so_far += len(part["violations"])
+        for index, payload in enumerate(payloads):
+            parts[index] = _explore_chunk_impl(spec, payload)
+            violations_so_far += len(parts[index]["violations"])
             if (
                 max_violations is not None
                 and violations_so_far >= max_violations
             ):
-                for future in pending:
-                    future.cancel()
-                pending = set()
+                break
+    else:
+        try:
+            registered = get_spec(spec.name)
+        except KeyError:
+            registered = None
+        if registered is not spec:
+            raise ValueError(
+                f"workers>1 needs a registered spec; {spec.name!r} is not "
+                "the registered instance (register it, or run with "
+                "workers=1)"
+            )
+        with ProcessPoolExecutor(
+            max_workers=used, initializer=_init_worker,
+            initargs=(list(sys.path),),
+        ) as pool:
+            futures = {
+                pool.submit(_explore_chunk, payload): index
+                for index, payload in enumerate(payloads)
+            }
+            pending = set(futures)
+            violations_so_far = 0
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    part = future.result()
+                    parts[futures[future]] = part
+                    violations_so_far += len(part["violations"])
+                if (
+                    max_violations is not None
+                    and violations_so_far >= max_violations
+                ):
+                    for future in pending:
+                        future.cancel()
+                    pending = set()
     # Merge in payload order so results are reproducible regardless of
     # completion order (modulo which chunks got cancelled under a cap).
+    tracer = obs.current_tracer()
+    metrics = obs.current_metrics()
     for index in sorted(parts):
         part = parts[index]
         result.executions += part["executions"]
@@ -534,6 +637,12 @@ def _explore_parallel(
         result.visited += part["visited"]
         result.skipped_symmetric += part["skipped_symmetric"]
         result.rounds_executed += part["rounds_executed"]
+        engine_totals.merge(part.get("engine_stats") or {})
+        if tracer.enabled and part.get("records"):
+            tracer.absorb(part["records"])
+            tracer.dropped += part.get("dropped", 0)
+        if metrics.enabled and part.get("metrics"):
+            metrics.merge(part["metrics"])
         for inputs, history, failures in part["violations"]:
             result.violations.append(Violation(
                 spec.name, tuple(inputs), history,

@@ -107,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="crashed processes come back after this long")
     chaos.add_argument("--unreliable", action="store_true",
                        help="plain overlay (no ack/retransmit) — expect a stall")
+    chaos.add_argument("--metrics", action="store_true", dest="show_metrics",
+                       help="collect and print the unified metrics registry")
+    chaos.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="stream structured events (rrfd-events-v1 JSONL) "
+                       "to PATH")
 
     bench = sub.add_parser(
         "bench",
@@ -131,6 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
                        "record the parallel speedup in the artifacts")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress the report tables (artifacts only)")
+    bench.add_argument("--id", action="append", dest="id_flags", metavar="ID",
+                       default=None,
+                       help="experiment id (repeatable; merged with the "
+                       "positional ids)")
+    bench.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write structured events (rrfd-events-v1 JSONL) "
+                       "to PATH; the deterministic payload is bit-identical "
+                       "across worker counts")
+    bench.add_argument("--metrics", action="store_true", dest="show_metrics",
+                       help="collect the unified metrics registry per "
+                       "experiment, print it, and embed it in the BENCH "
+                       "artifacts")
 
     check = sub.add_parser(
         "check",
@@ -169,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--save", metavar="DIR", default=None,
                        help="write shrunk counterexamples as "
                        "rrfd-counterexample-v1 JSON under DIR")
+    check.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write structured events (rrfd-events-v1 JSONL) "
+                       "to PATH")
+    check.add_argument("--metrics", action="store_true", dest="show_metrics",
+                       help="collect and print the unified metrics registry")
     return parser
 
 
@@ -248,6 +270,7 @@ def _cmd_certify(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.core.algorithm import FullInformationProcess, make_protocol
     from repro.substrates.events import EventSimulator
     from repro.substrates.messaging.chaos import (
@@ -256,6 +279,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.substrates.messaging.reliable import run_reliable_round_overlay
     from repro.substrates.messaging.rounds import RoundOverlayNode
 
+    sink = open(args.trace_out, "w") if args.trace_out else None
+    tracer = obs.Tracer(sink=sink) if sink is not None else None
+    metrics = obs.Metrics() if args.show_metrics else None
     n, f = args.n, args.f
     faults = LinkFaults(drop_prob=args.drop, dup_prob=args.dup, jitter=args.jitter)
     crashes = {
@@ -270,30 +296,34 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     protocol = make_protocol(FullInformationProcess)
     inputs = list(range(n))
 
-    if args.unreliable:
-        # The plain overlay has no retransmission; over a lossy network the
-        # expected outcome is a stall, which the watchdog attributes below.
-        sim = EventSimulator()
-        nodes = [
-            RoundOverlayNode(
-                pid, n, f, protocol.spawn(pid, n, inputs[pid]),
-                max_rounds=args.rounds, stop_on_decision=False,
+    with obs.tracing(tracer), obs.collecting(metrics):
+        if args.unreliable:
+            # The plain overlay has no retransmission; over a lossy network
+            # the expected outcome is a stall, which the watchdog attributes
+            # below.
+            sim = EventSimulator()
+            nodes = [
+                RoundOverlayNode(
+                    pid, n, f, protocol.spawn(pid, n, inputs[pid]),
+                    max_rounds=args.rounds, stop_on_decision=False,
+                )
+                for pid in range(n)
+            ]
+            network = ChaosNetwork(nodes, sim, plan=plan, seed=args.seed)
+            network.run(max_events=500_000)
+            report = ExecutionAuditor(n, f).audit_overlay(nodes, network)
+            retransmissions = 0
+            if metrics is not None:
+                network.stats.publish(metrics, "chaos")
+        else:
+            result = run_reliable_round_overlay(
+                protocol, inputs, f,
+                max_rounds=args.rounds, seed=args.seed, plan=plan,
+                stop_on_decision=False, enforce_crash_budget=False,
+                on_stall="report",
             )
-            for pid in range(n)
-        ]
-        network = ChaosNetwork(nodes, sim, plan=plan, seed=args.seed)
-        network.run(max_events=500_000)
-        report = ExecutionAuditor(n, f).audit_overlay(nodes, network)
-        retransmissions = 0
-    else:
-        result = run_reliable_round_overlay(
-            protocol, inputs, f,
-            max_rounds=args.rounds, seed=args.seed, plan=plan,
-            stop_on_decision=False, enforce_crash_budget=False,
-            on_stall="report",
-        )
-        network, report = result.network, result.audit
-        retransmissions = result.total_retransmissions
+            network, report = result.network, result.audit
+            retransmissions = result.total_retransmissions
 
     stats = network.stats
     overlay = "plain (no retransmit)" if args.unreliable else "reliable (ack+retry)"
@@ -307,6 +337,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(report.summary())
     for violation in report.violations:
         print(f"  {violation}")
+    if metrics is not None:
+        print("metrics:")
+        print(obs.format_metrics(metrics))
+    if tracer is not None:
+        sink.close()
+        print(f"wrote {args.trace_out} ({tracer.emitted} events)")
     if report.stall is not None and report.stall.stalled:
         print(report.stall)
         return 1
@@ -314,6 +350,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.harness import (
         experiment_tables,
         render_table,
@@ -335,36 +372,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"  {exp.id:<5} {cells:>3} cells x {exp.samples:>5} samples  "
                   f"{exp.title}")
         return 0
-    experiments = select(registry, args.ids)
+    ids = list(args.ids) + list(args.id_flags or ())
+    experiments = select(registry, ids)
     workers = resolve_workers(args.workers)
+    # One tracer spans the whole bench run, streaming to the events file as
+    # records are emitted (the sink sees every record; the in-memory ring
+    # may drop old ones).  The metrics registry is fresh per experiment so
+    # each BENCH artifact embeds only its own counters.
+    sink = open(args.trace_out, "w") if args.trace_out else None
+    tracer = obs.Tracer(sink=sink) if sink is not None else None
     docs = []
-    for exp in experiments:
-        if args.speedup:
-            result = run_with_speedup(exp, samples=args.samples, workers=workers)
-        else:
-            result = run_experiment(exp, samples=args.samples, workers=workers)
-        if not args.quiet:
-            for title, header, rows in experiment_tables(exp, result):
-                print(render_table(title, header, rows))
-                print()
-        line = (f"[{exp.id}] {len(result.cells)} cells x {result.samples} samples "
-                f"in {result.wall_time:.2f}s ({result.workers} worker(s))")
-        speedup = result.meta.get("speedup")
-        if speedup and speedup.get("speedup") is not None:
-            line += (f"; speedup {speedup['speedup']:.2f}x over serial "
-                     f"{speedup['serial_wall_time_s']:.2f}s")
-        print(line)
-        if args.json_dir:
-            path = write_experiment(result, args.json_dir)
-            docs.append(experiment_to_doc(result))
-            print(f"  wrote {path}")
+    try:
+        with obs.tracing(tracer):
+            for exp in experiments:
+                metrics = obs.Metrics() if args.show_metrics else None
+                with obs.collecting(metrics):
+                    if args.speedup:
+                        result = run_with_speedup(
+                            exp, samples=args.samples, workers=workers
+                        )
+                    else:
+                        result = run_experiment(
+                            exp, samples=args.samples, workers=workers
+                        )
+                if not args.quiet:
+                    for title, header, rows in experiment_tables(exp, result):
+                        print(render_table(title, header, rows))
+                        print()
+                line = (f"[{exp.id}] {len(result.cells)} cells x "
+                        f"{result.samples} samples "
+                        f"in {result.wall_time:.2f}s "
+                        f"({result.workers} worker(s))")
+                speedup = result.meta.get("speedup")
+                if speedup and speedup.get("speedup") is not None:
+                    line += (f"; speedup {speedup['speedup']:.2f}x over serial "
+                             f"{speedup['serial_wall_time_s']:.2f}s")
+                print(line)
+                if metrics is not None and not args.quiet:
+                    print(f"[{exp.id}] metrics:")
+                    print(obs.format_metrics(metrics))
+                if args.json_dir:
+                    path = write_experiment(result, args.json_dir)
+                    docs.append(experiment_to_doc(result))
+                    print(f"  wrote {path}")
+    finally:
+        if sink is not None:
+            sink.close()
     if args.json_dir and docs:
         path = write_summary(docs, args.json_dir)
         print(f"  wrote {path}")
+    if tracer is not None:
+        print(f"  wrote {args.trace_out} ({tracer.emitted} events)")
     return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.check import (
         explore, fuzz, get_spec, save_counterexample, shrink, spec_names,
     )
@@ -376,24 +439,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
             print(f"  {name:<20} [{mode}] {spec.title}")
         return 0
 
+    sink = open(args.trace_out, "w") if args.trace_out else None
+    tracer = obs.Tracer(sink=sink) if sink is not None else None
+    metrics = obs.Metrics() if args.show_metrics else None
     names = args.specs or spec_names()
     exit_code = 0
     for name in names:
         spec = get_spec(name)
-        if args.fuzz is not None or not spec.supports_exhaustive:
-            if args.exhaustive and not spec.supports_exhaustive:
-                print(f"{name}: scheduler-driven — falling back to fuzz")
-            result = fuzz(
-                spec, args.fuzz if args.fuzz is not None else 200,
-                n=args.n, rounds=args.rounds, seed=args.seed,
-            )
-        else:
-            # --exhaustive is also the default mode for capable specs.
-            result = explore(
-                spec, n=args.n, rounds=args.rounds,
-                prune_decided=args.prune_decided, workers=args.workers,
-                engine=args.engine, symmetry=not args.no_symmetry,
-            )
+        with obs.tracing(tracer), obs.collecting(metrics):
+            if args.fuzz is not None or not spec.supports_exhaustive:
+                if args.exhaustive and not spec.supports_exhaustive:
+                    print(f"{name}: scheduler-driven — falling back to fuzz")
+                result = fuzz(
+                    spec, args.fuzz if args.fuzz is not None else 200,
+                    n=args.n, rounds=args.rounds, seed=args.seed,
+                )
+            else:
+                # --exhaustive is also the default mode for capable specs.
+                result = explore(
+                    spec, n=args.n, rounds=args.rounds,
+                    prune_decided=args.prune_decided, workers=args.workers,
+                    engine=args.engine, symmetry=not args.no_symmetry,
+                )
         print(result.summary())
         for violation in result.violations[:10]:
             print(f"  {violation}")
@@ -420,6 +487,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     path = out / f"{spec.name}_{shrunk.invariant}.json"
                     save_counterexample(shrunk, path)
                     print(f"    wrote {path}")
+    if metrics is not None:
+        print("metrics:")
+        print(obs.format_metrics(metrics))
+    if tracer is not None:
+        sink.close()
+        print(f"wrote {args.trace_out} ({tracer.emitted} events)")
     return exit_code
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro import obs
 from repro.core.adversary import Adversary
 from repro.core.algorithm import Protocol, RoundProcess
 from repro.core.predicate import Predicate
@@ -136,16 +137,35 @@ class RoundExecutor:
 
         record = ExecutionRound(round=r, payloads=payloads, views=tuple(views))
         self.trace.rounds.append(record)
+        tracer = obs.current_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "executor.round",
+                round=r,
+                decided=sum(1 for d in self.trace.decided_at if d is not None),
+                suspected=sorted(self._ever_suspected),
+            )
         return record
 
     def run(self, max_rounds: int) -> ExecutionTrace:
         """Run until all processes decide or ``max_rounds`` rounds elapse."""
         if max_rounds < 0:
             raise ValueError(f"max_rounds must be ≥ 0, got {max_rounds}")
-        for _ in range(max_rounds):
-            if self.stop_when_all_decided and self.trace.all_decided:
-                break
-            self.step()
+        tracer = obs.current_tracer()
+        if tracer.enabled:
+            tracer.begin("executor.run", n=self.n, max_rounds=max_rounds)
+        try:
+            for _ in range(max_rounds):
+                if self.stop_when_all_decided and self.trace.all_decided:
+                    break
+                self.step()
+        finally:
+            if tracer.enabled:
+                tracer.end(
+                    "executor.run",
+                    rounds=self.trace.num_rounds,
+                    all_decided=self.trace.all_decided,
+                )
         return self.trace
 
     # ---------------------------------------------------------------- forking

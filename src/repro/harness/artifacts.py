@@ -87,11 +87,13 @@ def experiment_to_doc(result: ExperimentResult) -> dict[str, Any]:
         "timing": {
             "workers": result.workers,
             "wall_time_s": result.wall_time,
+            "cpu_time_s": sum(cell.cpu_time for cell in result.cells),
             "samples_per_s": result.samples_per_s,
             "cells": [
                 {
                     "params": cell.params,
                     "wall_time_s": cell.wall_time,
+                    "cpu_time_s": cell.cpu_time,
                     "samples_per_s": cell.samples_per_s,
                 }
                 for cell in result.cells
@@ -104,12 +106,17 @@ def experiment_to_doc(result: ExperimentResult) -> dict[str, Any]:
     speedup = result.meta.get("speedup")
     if speedup:
         doc["timing"]["speedup"] = speedup
+    metrics = result.meta.get("metrics")
+    if metrics:
+        # values: deterministic (merged counters — worker-count invariant);
+        # env: environmental (wall-clock histograms, worker gauges).
+        doc["metrics"] = copy.deepcopy(metrics)
     return doc
 
 
 def canonical_payload(doc: dict[str, Any]) -> dict[str, Any]:
     """The worker-count-invariant half of a bench document."""
-    return {
+    payload = {
         "schema": doc["schema"],
         "experiment": doc["experiment"],
         "title": doc["title"],
@@ -117,6 +124,12 @@ def canonical_payload(doc: dict[str, Any]) -> dict[str, Any]:
         "axes": doc["axes"],
         "results": doc["results"],
     }
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict) and "values" in metrics:
+        # Only the deterministic half participates; metrics["env"] holds
+        # the wall-clock observations.
+        payload["metrics"] = metrics["values"]
+    return payload
 
 
 def validate_bench_doc(doc: Any) -> list[str]:
@@ -165,6 +178,18 @@ def validate_bench_doc(doc: Any) -> list[str]:
     for key in ("workers", "wall_time_s"):
         if not isinstance(timing.get(key), (int, float)):
             problems.append(f"timing.{key}: missing or not a number")
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        if (
+            not isinstance(metrics, dict)
+            or not isinstance(metrics.get("values"), dict)
+            or not isinstance(metrics.get("env"), dict)
+        ):
+            problems.append(
+                "metrics: must be an object with 'values' and 'env' objects"
+            )
+        else:
+            _check_json_value(metrics, "metrics", problems)
     return problems
 
 

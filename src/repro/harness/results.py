@@ -255,13 +255,19 @@ class ShapeError(AssertionError):
 
 @dataclass(frozen=True)
 class CellResult:
-    """One grid cell's reduced observations plus its cost."""
+    """One grid cell's reduced observations plus its cost.
+
+    ``wall_time`` is the cell's true elapsed span (its chunks may run
+    concurrently, so this can be far less than the compute spent);
+    ``cpu_time`` is the summed compute duration of the cell's chunks.
+    """
 
     experiment: str
     cell: Cell
     samples: int
     value: dict[str, Any]
     wall_time: float
+    cpu_time: float = 0.0
 
     @property
     def params(self) -> dict[str, Any]:
@@ -269,9 +275,11 @@ class CellResult:
 
     @property
     def samples_per_s(self) -> float | None:
-        if self.wall_time <= 0:
+        """Throughput against compute time (stable across worker counts)."""
+        basis = self.cpu_time if self.cpu_time > 0 else self.wall_time
+        if basis <= 0:
             return None
-        return self.samples / self.wall_time
+        return self.samples / basis
 
     def get(self, key: str, default: Any = None) -> Any:
         """Look ``key`` up in the reduced value, then the cell parameters."""

@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro import obs
 from repro.harness.grid import Cell, Grid
 from repro.harness.results import (
     CellResult,
@@ -162,12 +163,30 @@ class CellExecutionError(RuntimeError):
 
 
 def resolve_workers(workers: int | None = None) -> int:
-    """Explicit argument, else ``RRFD_BENCH_WORKERS``, else 1 (in-process)."""
+    """Explicit argument, else ``RRFD_BENCH_WORKERS``, else 1 (in-process).
+
+    Explicit arguments are clamped to ≥ 1 (callers may pass computed
+    values); the environment variable, being user input, is validated —
+    a non-integer or non-positive setting raises a ``ValueError`` naming
+    the variable and the offending value instead of a bare parse error.
+    """
     if workers is not None:
         return max(1, int(workers))
     env = os.environ.get(WORKERS_ENV, "").strip()
     if env:
-        return max(1, int(env))
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV}={env!r} is not an integer; set it to a "
+                "positive worker count (e.g. 4) or unset it"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"{WORKERS_ENV}={env!r} must be a positive worker count "
+                "(≥ 1); unset it for in-process serial execution"
+            )
+        return value
     return 1
 
 
@@ -183,36 +202,101 @@ def _init_worker(parent_path: list[str]) -> None:
             sys.path.append(entry)
 
 
-def _run_chunk(payload: tuple) -> tuple[int, int, dict[str, Any], float]:
-    """Execute one chunk of samples; returns (cell_index, start, states, wall)."""
-    experiment_id, run_cell, reduce_spec, cell, cell_index, start, count = payload
+@dataclass
+class ChunkOutcome:
+    """One chunk's reduced states plus its cost and observability payload.
+
+    ``cpu_time`` is the chunk's own compute duration (``perf_counter``
+    delta); ``t_begin`` / ``t_end`` are epoch timestamps (``time.time()``),
+    comparable across processes, from which the parent derives each cell's
+    *true* wall time as ``max(t_end) − min(t_begin)`` over its chunks.
+    """
+
+    cell_index: int
+    start: int
+    states: dict[str, Any]
+    cpu_time: float
+    t_begin: float
+    t_end: float
+    records: tuple = ()
+    metrics: dict[str, Any] = field(default_factory=dict)
+    dropped: int = 0
+
+
+def _run_chunk(payload: tuple) -> ChunkOutcome:
+    """Execute one chunk of samples (the worker entry point).
+
+    When the parent is observing, the chunk traces and meters into *fresh
+    chunk-local* instruments — never the parent's — and ships the records
+    and the metrics snapshot back in the outcome.  The parent splices them
+    in deterministic payload order, so the merged stream is identical
+    whether this ran in-process or in a pool worker.
+    """
+    (experiment_id, run_cell, reduce_spec, cell, cell_index, start, count,
+     observe) = payload
     reducers = {key: resolve_reducer(spec) for key, spec in reduce_spec.items()}
     states: dict[str, Any] = {}
-    t0 = time.perf_counter()
-    for index in range(start, start + count):
-        ctx = SampleCtx(experiment_id, cell, index)
+
+    def work() -> None:
+        tracer = obs.current_tracer()
+        if tracer.enabled:
+            tracer.begin(
+                "harness.chunk",
+                experiment=experiment_id, cell=cell.id, start=start,
+                count=count,
+            )
         try:
-            observed = run_cell(ctx)
-        except Exception as exc:
-            raise CellExecutionError(
-                f"{experiment_id} cell {cell.id} sample {index} (seed {ctx.seed}) "
-                f"raised {type(exc).__name__}: {exc}\n{traceback.format_exc()}"
-            ) from None
-        for key, value in observed.items():
-            reducer = reducers.get(key)
-            if reducer is None:
-                reducer = reducers[key] = resolve_reducer("last")
-            if key not in states:
-                states[key] = reducer.init()
-            states[key] = reducer.step(states[key], value)
-    return (cell_index, start, states, time.perf_counter() - t0)
+            for index in range(start, start + count):
+                ctx = SampleCtx(experiment_id, cell, index)
+                try:
+                    observed = run_cell(ctx)
+                except Exception as exc:
+                    raise CellExecutionError(
+                        f"{experiment_id} cell {cell.id} sample {index} "
+                        f"(seed {ctx.seed}) "
+                        f"raised {type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc()}"
+                    ) from None
+                for key, value in observed.items():
+                    reducer = reducers.get(key)
+                    if reducer is None:
+                        reducer = reducers[key] = resolve_reducer("last")
+                    if key not in states:
+                        states[key] = reducer.init()
+                    states[key] = reducer.step(states[key], value)
+        finally:
+            tracer = obs.current_tracer()
+            if tracer.enabled:
+                tracer.end("harness.chunk", samples=count)
+
+    t_begin = time.time()
+    t0 = time.perf_counter()
+    if observe:
+        local_tracer = obs.Tracer()
+        local_metrics = obs.Metrics()
+        with obs.tracing(local_tracer), obs.collecting(local_metrics):
+            work()
+            cpu = time.perf_counter() - t0
+            local_metrics.counter("harness.samples").inc(count)
+            local_metrics.histogram("harness.chunk_s", env=True).observe(cpu)
+        return ChunkOutcome(
+            cell_index, start, states, cpu, t_begin, time.time(),
+            records=local_tracer.records,
+            metrics=local_metrics.snapshot(),
+            dropped=local_tracer.dropped,
+        )
+    work()
+    return ChunkOutcome(
+        cell_index, start, states, time.perf_counter() - t0,
+        t_begin, time.time(),
+    )
 
 
 # --------------------------------------------------------------------------
 # parent side
 
 
-def _plan(exp: Experiment, samples: int) -> list[tuple]:
+def _plan(exp: Experiment, samples: int, *, observe: bool = False) -> list[tuple]:
     chunk = exp.chunk_size(samples)
     payloads = []
     for cell_index, cell in enumerate(exp.grid.cells):
@@ -220,7 +304,8 @@ def _plan(exp: Experiment, samples: int) -> list[tuple]:
         while start < samples:
             count = min(chunk, samples - start)
             payloads.append(
-                (exp.id, exp.run_cell, dict(exp.reduce), cell, cell_index, start, count)
+                (exp.id, exp.run_cell, dict(exp.reduce), cell, cell_index,
+                 start, count, observe)
             )
             start += count
     return payloads
@@ -229,26 +314,35 @@ def _plan(exp: Experiment, samples: int) -> list[tuple]:
 def _merge_cells(
     exp: Experiment,
     samples: int,
-    outcomes: Sequence[tuple[int, int, dict[str, Any], float]],
+    outcomes: Sequence[ChunkOutcome],
 ) -> list[CellResult]:
     reducers = {key: resolve_reducer(spec) for key, spec in exp.reduce.items()}
-    by_cell: dict[int, list[tuple[int, dict[str, Any], float]]] = {}
-    for cell_index, start, states, wall in outcomes:
-        by_cell.setdefault(cell_index, []).append((start, states, wall))
+    by_cell: dict[int, list[ChunkOutcome]] = {}
+    for outcome in outcomes:
+        by_cell.setdefault(outcome.cell_index, []).append(outcome)
     cells = []
     for cell_index, cell in enumerate(exp.grid.cells):
-        chunks = sorted(by_cell.get(cell_index, ()), key=lambda item: item[0])
+        chunks = sorted(by_cell.get(cell_index, ()), key=lambda o: o.start)
         merged: dict[str, Any] = {}
-        wall = 0.0
-        for _, states, chunk_wall in chunks:
-            wall += chunk_wall
-            for key, state in states.items():
+        # cpu_time: the summed compute cost of the cell's chunks.
+        # wall_time: the true elapsed span — concurrent chunks overlap, so
+        # this is max(end) − min(begin), not the sum (which previously
+        # reported aggregate CPU as "wall" and could exceed the
+        # experiment's own total).
+        cpu = 0.0
+        for outcome in chunks:
+            cpu += outcome.cpu_time
+            for key, state in outcome.states.items():
                 reducer = reducers.get(key) or resolve_reducer("last")
                 reducers.setdefault(key, reducer)
                 if key in merged:
                     merged[key] = reducer.merge(merged[key], state)
                 else:
                     merged[key] = state
+        wall = (
+            max(o.t_end for o in chunks) - min(o.t_begin for o in chunks)
+            if chunks else 0.0
+        )
         value = {
             key: (reducers.get(key) or resolve_reducer("last")).final(state)
             for key, state in merged.items()
@@ -261,7 +355,8 @@ def _merge_cells(
                 cell=cell,
                 samples=samples,
                 value=value,
-                wall_time=wall,
+                wall_time=max(0.0, wall),
+                cpu_time=cpu,
             )
         )
     return cells
@@ -281,21 +376,48 @@ def run_experiment(
     """
     effective_samples = exp.samples if samples is None else max(1, int(samples))
     effective_workers = resolve_workers(workers)
-    payloads = _plan(exp, effective_samples)
+    tracer = obs.current_tracer()
+    metrics = obs.current_metrics()
+    observe = tracer.enabled or metrics.enabled
+    payloads = _plan(exp, effective_samples, observe=observe)
+    if tracer.enabled:
+        # Worker count is environmental: it must not show up in the
+        # deterministic attrs, or traces would differ across --workers.
+        tracer.begin(
+            "harness.experiment",
+            experiment=exp.id, cells=len(exp.grid.cells),
+            samples=effective_samples,
+        )
     t0 = time.perf_counter()
-    if effective_workers <= 1 or len(payloads) <= 1:
-        outcomes = [_run_chunk(payload) for payload in payloads]
-        used_workers = 1
-    else:
-        used_workers = min(effective_workers, len(payloads))
-        with ProcessPoolExecutor(
-            max_workers=used_workers,
-            initializer=_init_worker,
-            initargs=(list(sys.path),),
-        ) as pool:
-            outcomes = list(pool.map(_run_chunk, payloads))
-    wall = time.perf_counter() - t0
-    cells = _merge_cells(exp, effective_samples, outcomes)
+    try:
+        if effective_workers <= 1 or len(payloads) <= 1:
+            outcomes = [_run_chunk(payload) for payload in payloads]
+            used_workers = 1
+        else:
+            used_workers = min(effective_workers, len(payloads))
+            with ProcessPoolExecutor(
+                max_workers=used_workers,
+                initializer=_init_worker,
+                initargs=(list(sys.path),),
+            ) as pool:
+                # pool.map preserves payload order: chunk observability is
+                # spliced back exactly as a serial run would have emitted it.
+                outcomes = list(pool.map(_run_chunk, payloads))
+        wall = time.perf_counter() - t0
+        for outcome in outcomes:
+            if tracer.enabled and outcome.records:
+                tracer.absorb(outcome.records)
+                tracer.dropped += outcome.dropped
+            if metrics.enabled and outcome.metrics:
+                metrics.merge(outcome.metrics)
+        cells = _merge_cells(exp, effective_samples, outcomes)
+    finally:
+        if tracer.enabled:
+            tracer.end("harness.experiment", cells=len(exp.grid.cells))
+    meta: dict[str, Any] = {"notes": exp.notes} if exp.notes else {}
+    if metrics.enabled:
+        metrics.gauge("harness.workers", env=True).set(used_workers)
+        meta["metrics"] = metrics.to_doc()
     return ExperimentResult(
         experiment=exp.id,
         title=exp.title,
@@ -303,7 +425,7 @@ def run_experiment(
         samples=effective_samples,
         workers=used_workers,
         wall_time=wall,
-        meta={"notes": exp.notes} if exp.notes else {},
+        meta=meta,
     )
 
 

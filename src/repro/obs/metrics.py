@@ -1,0 +1,351 @@
+"""A unified metrics registry: counters, gauges, fixed-bucket histograms.
+
+Before this module the runtime had four incompatible counter bags —
+``ChaosStats`` (network fault counters), ``EngineStats`` (exploration work
+counters), the reliable overlay's per-node retransmit/ack counters, and the
+harness's ad-hoc chunk wall-times.  Each had its own notion of "snapshot"
+and none could merge.  :class:`Metrics` gives them one contract:
+
+* **instruments** — :class:`Counter` (monotonic int), :class:`Gauge`
+  (last-write scalar), :class:`Histogram` (fixed bucket boundaries, chosen
+  at registration so snapshots from different processes merge exactly);
+* **snapshot** — :meth:`Metrics.snapshot` freezes every instrument into a
+  plain picklable dict;
+* **merge** — :meth:`Metrics.merge` folds a snapshot back in (counters and
+  histograms add; gauges last-write-wins, so callers merge in deterministic
+  chunk order, exactly like the harness's reducer states);
+* **serialize** — :meth:`Metrics.to_doc` splits the registry into the
+  ``values`` (deterministic: a function of the work) and ``env``
+  (environmental: wall-clock observations) halves, mirroring the BENCH
+  artifacts' ``results`` / ``timing`` split.
+
+Instruments are marked ``env=True`` at registration when their readings
+depend on wall time rather than on the work performed; everything else
+lands in the deterministic half and must be bit-identical across worker
+counts.
+
+The legacy counter bags keep their plain-int fields (hot loops stay hot)
+and *publish* into a registry via :func:`publish_fields` — one code path
+turns any int-field dataclass into counters under a prefix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NULL_METRICS",
+    "TIMING_BUCKETS_S",
+    "publish_fields",
+    "field_snapshot",
+    "merge_field_snapshots",
+    "format_metrics",
+]
+
+#: Fixed wall-time bucket boundaries (seconds): sub-ms to minutes.
+TIMING_BUCKETS_S = (0.0001, 0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "env", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, env: bool) -> None:
+        self.name = name
+        self.env = env
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot add {amount}")
+        self.value += amount
+
+    def dump(self) -> dict[str, Any]:
+        return {"kind": "counter", "env": self.env, "value": self.value}
+
+    def fold(self, dumped: Mapping[str, Any]) -> None:
+        self.value += dumped["value"]
+
+    def render(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins scalar (e.g. a high-water mark set explicitly)."""
+
+    __slots__ = ("name", "env", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, env: bool) -> None:
+        self.name = name
+        self.env = env
+        self.value: Any = None
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+    def dump(self) -> dict[str, Any]:
+        return {"kind": "gauge", "env": self.env, "value": self.value}
+
+    def fold(self, dumped: Mapping[str, Any]) -> None:
+        if dumped["value"] is not None:
+            self.value = dumped["value"]
+
+    def render(self) -> Any:
+        return self.value
+
+
+class Histogram:
+    """Counts per fixed bucket; boundaries are part of the instrument.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches the
+    rest.  Because the boundaries are fixed at registration, snapshots from
+    any number of worker processes merge exactly (bucket-wise addition).
+    """
+
+    __slots__ = ("name", "env", "bounds", "counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, env: bool, bounds: tuple[float, ...]
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram {name}: bounds must be non-empty and sorted, "
+                f"got {bounds!r}"
+            )
+        self.name = name
+        self.env = env
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+
+    def dump(self) -> dict[str, Any]:
+        return {
+            "kind": "histogram", "env": self.env, "bounds": list(self.bounds),
+            "counts": list(self.counts), "count": self.count,
+            "total": self.total,
+        }
+
+    def fold(self, dumped: Mapping[str, Any]) -> None:
+        if tuple(dumped["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name}: cannot merge bounds "
+                f"{dumped['bounds']!r} into {self.bounds!r}"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, dumped["counts"])]
+        self.count += dumped["count"]
+        self.total += dumped["total"]
+
+    def render(self) -> dict[str, Any]:
+        return {
+            "buckets": {
+                **{f"<={b:g}": c for b, c in zip(self.bounds, self.counts)},
+                f">{self.bounds[-1]:g}": self.counts[-1],
+            },
+            "count": self.count,
+            "total": self.total,
+        }
+
+
+class _NullInstrument:
+    """Swallows writes; handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: Any) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class Metrics:
+    """The registry: get-or-create instruments by name, snapshot, merge.
+
+    A disabled registry (``enabled=False``) hands out a shared no-op
+    instrument from every accessor — instrumented code does not need to
+    branch, though hot loops may still guard on ``metrics.enabled`` to skip
+    building labels.
+    """
+
+    __slots__ = ("enabled", "_instruments")
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[str, Any] = {}
+
+    # ---------------------------------------------------------- instruments
+
+    def _get(self, name: str, kind: str, factory) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory()
+            return instrument
+        if instrument.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {instrument.kind}, not a {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, *, env: bool = False) -> Counter:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(name, "counter", lambda: Counter(name, env))
+
+    def gauge(self, name: str, *, env: bool = False) -> Gauge:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(name, "gauge", lambda: Gauge(name, env))
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] = TIMING_BUCKETS_S,
+        env: bool = False,
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(
+            name, "histogram", lambda: Histogram(name, env, tuple(buckets))
+        )
+
+    # ------------------------------------------------------ snapshot / merge
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Freeze every instrument into a plain picklable dict."""
+        if not self.enabled:
+            return {}
+        return {
+            name: instrument.dump()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold a snapshot in: counters/histograms add, gauges last-wins.
+
+        Gauge merging is order-sensitive; callers merge worker snapshots in
+        deterministic chunk order (the harness and the explorer both do).
+        """
+        if not self.enabled:
+            return
+        for name, dumped in snapshot.items():
+            kind = dumped["kind"]
+            if kind == "counter":
+                instrument = self._get(
+                    name, kind, lambda: Counter(name, dumped["env"])
+                )
+            elif kind == "gauge":
+                instrument = self._get(
+                    name, kind, lambda: Gauge(name, dumped["env"])
+                )
+            elif kind == "histogram":
+                instrument = self._get(
+                    name, kind,
+                    lambda: Histogram(name, dumped["env"], tuple(dumped["bounds"])),
+                )
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+            instrument.fold(dumped)
+
+    def to_doc(self) -> dict[str, dict[str, Any]]:
+        """Serialize as ``{"values": deterministic, "env": environmental}``."""
+        values: dict[str, Any] = {}
+        env: dict[str, Any] = {}
+        for name, instrument in sorted(self._instruments.items()):
+            (env if instrument.env else values)[name] = instrument.render()
+        return {"values": values, "env": env}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+
+#: The shared disabled registry — the default "observability off" state.
+NULL_METRICS = Metrics(enabled=False)
+
+
+# ---------------------------------------------------------------------------
+# the shared contract for legacy int-field counter bags
+
+
+def _int_fields(obj: Any, fields: Iterable[str] | None) -> list[str]:
+    if fields is not None:
+        return list(fields)
+    return [
+        f.name for f in dataclasses.fields(obj)
+        if isinstance(getattr(obj, f.name), int)
+        and not isinstance(getattr(obj, f.name), bool)
+    ]
+
+
+def field_snapshot(obj: Any, fields: Iterable[str] | None = None) -> dict[str, int]:
+    """A counter bag's int fields as a plain ``{field: value}`` snapshot."""
+    return {name: getattr(obj, name) for name in _int_fields(obj, fields)}
+
+
+def merge_field_snapshots(
+    into: Any, snapshot: Mapping[str, int], fields: Iterable[str] | None = None
+) -> None:
+    """Add a :func:`field_snapshot` into another bag of the same shape."""
+    for name in _int_fields(into, fields):
+        setattr(into, name, getattr(into, name) + snapshot.get(name, 0))
+
+
+def publish_fields(
+    metrics: Metrics,
+    prefix: str,
+    obj: Any,
+    fields: Iterable[str] | None = None,
+) -> None:
+    """Publish a counter bag's int fields as ``{prefix}.{field}`` counters."""
+    if not metrics.enabled:
+        return
+    for name, value in field_snapshot(obj, fields).items():
+        metrics.counter(f"{prefix}.{name}").inc(value)
+
+
+def format_metrics(metrics: Metrics) -> str:
+    """A plain-text rendering of the registry, env metrics marked."""
+    doc = metrics.to_doc()
+    lines: list[str] = []
+    for half, marker in (("values", ""), ("env", "  [env]")):
+        for name, value in doc[half].items():
+            if isinstance(value, dict) and "buckets" in value:
+                lines.append(
+                    f"  {name:<36} count={value['count']} "
+                    f"total={value['total']:.4f}{marker}"
+                )
+                for bucket, count in value["buckets"].items():
+                    if count:
+                        lines.append(f"    {bucket:>12}  {count}")
+            else:
+                lines.append(f"  {name:<36} {value}{marker}")
+    return "\n".join(lines) if lines else "  (no metrics recorded)"

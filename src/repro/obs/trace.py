@@ -1,0 +1,376 @@
+"""Structured event tracing: deterministic spans and events, ``rrfd-events-v1``.
+
+The paper reasons about executions *round by round*; this tracer makes the
+runtime's own behaviour observable at the same granularity.  A
+:class:`Tracer` records two kinds of things:
+
+* **spans** — nested named intervals (``span_start`` / ``span_end`` record
+  pairs) opened either with the :meth:`Tracer.span` context manager or with
+  the explicit :meth:`Tracer.begin` / :meth:`Tracer.end` pair that hot paths
+  prefer (no generator frame when tracing is disabled);
+* **events** — single named points with attributes.
+
+Every record carries a monotonic sequence number, a nesting depth, and a
+dict of caller attributes — that triple is the **deterministic payload**: a
+pure function of the work performed, bit-identical across worker counts and
+machines.  Wall-clock observations (timestamps, span durations) are
+segregated into a separate ``env`` field, mirroring the BENCH artifacts'
+``results`` / ``timing`` split, so :func:`canonical_events` can strip the
+environmental half and diff what remains.
+
+Records land in an in-memory ring buffer (oldest dropped beyond
+``capacity``; the drop count is kept, and dropping is itself deterministic)
+and, when a ``sink`` is attached, are streamed as JSONL lines.  The file
+schema ``rrfd-events-v1`` is one JSON object per line: a header line
+(``{"schema": "rrfd-events-v1", "kind": "header", ...}``) followed by the
+records in sequence order.
+
+Worker processes trace into their own buffered tracer and ship the records
+back; :meth:`Tracer.absorb` splices them into the parent in deterministic
+chunk order, renumbering sequence numbers and offsetting depths so the
+merged log is identical whether the chunks ran in-process or in a pool.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "TraceRecord",
+    "Tracer",
+    "NULL_TRACER",
+    "events_header",
+    "validate_events",
+    "canonical_events",
+    "load_events",
+]
+
+EVENTS_SCHEMA = "rrfd-events-v1"
+
+_KINDS = ("span_start", "span_end", "event")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One line of the event log.
+
+    ``seq``, ``kind``, ``name``, ``depth`` and ``attrs`` form the
+    deterministic payload; ``env`` holds environmental observations
+    (wall-clock timestamps, elapsed seconds) that vary run to run.
+    """
+
+    seq: int
+    kind: str
+    name: str
+    depth: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+    env: dict[str, Any] = field(default_factory=dict)
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "depth": self.depth,
+            "attrs": self.attrs,
+            "env": self.env,
+        }
+
+    def canonical(self) -> dict[str, Any]:
+        """The record minus its environmental half."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "depth": self.depth,
+            "attrs": self.attrs,
+        }
+
+
+def events_header() -> dict[str, Any]:
+    """The header object that opens every ``rrfd-events-v1`` stream."""
+    return {
+        "schema": EVENTS_SCHEMA,
+        "kind": "header",
+        "env": {"created_ts": time.time()},
+    }
+
+
+class Tracer:
+    """A zero-dependency structured tracer with a ring buffer and JSONL sink.
+
+    Args:
+        capacity: ring-buffer size; the oldest records are dropped beyond it
+            (``dropped`` counts them).  Dropping depends only on the record
+            stream, so an overflowing trace is still deterministic.
+        sink: optional open text file; records stream to it as JSONL the
+            moment they are emitted (the header line is written first).
+        enabled: a disabled tracer is a no-op whose :meth:`event` /
+            :meth:`begin` / :meth:`end` return immediately — the overhead
+            contract (<3% on bench E22, see ``tests/obs``) holds because
+            hot call sites guard on ``tracer.enabled`` before building
+            attribute dicts.
+    """
+
+    __slots__ = ("enabled", "capacity", "dropped", "_records", "_seq",
+                 "_depth", "_sink", "_open_spans")
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 65536,
+        sink: Any = None,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be ≥ 1, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.dropped = 0
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self._seq = 0
+        self._depth = 0
+        self._sink = sink
+        self._open_spans: list[tuple[str, float]] = []
+        if sink is not None:
+            sink.write(json.dumps(events_header(), sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------- emission
+
+    def _emit(
+        self,
+        kind: str,
+        name: str,
+        attrs: dict[str, Any],
+        env: dict[str, Any],
+        depth: int | None = None,
+    ) -> None:
+        record = TraceRecord(
+            seq=self._seq, kind=kind, name=name,
+            depth=self._depth if depth is None else depth,
+            attrs=attrs, env=env,
+        )
+        self._seq += 1
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(record)
+        if self._sink is not None:
+            self._sink.write(json.dumps(record.to_obj(), sort_keys=True) + "\n")
+
+    def event(self, name: str, _env: dict[str, Any] | None = None,
+              **attrs: Any) -> None:
+        """Record a point event.  ``_env`` lands in the environmental field."""
+        if not self.enabled:
+            return
+        self._emit("event", name, attrs, dict(_env) if _env else {"ts": time.time()})
+
+    def begin(self, name: str, **attrs: Any) -> None:
+        """Open a span (explicit form; pair with :meth:`end`)."""
+        if not self.enabled:
+            return
+        self._emit("span_start", name, attrs, {"ts": time.time()})
+        self._open_spans.append((name, time.perf_counter()))
+        self._depth += 1
+
+    def end(self, name: str, **attrs: Any) -> None:
+        """Close the innermost open span (must match ``name``)."""
+        if not self.enabled:
+            return
+        if not self._open_spans or self._open_spans[-1][0] != name:
+            open_name = self._open_spans[-1][0] if self._open_spans else None
+            raise RuntimeError(
+                f"span mismatch: end({name!r}) but innermost open span is "
+                f"{open_name!r}"
+            )
+        _, started = self._open_spans.pop()
+        self._depth -= 1
+        self._emit(
+            "span_end", name, attrs,
+            {"ts": time.time(), "elapsed_s": time.perf_counter() - started},
+        )
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Context-manager form of :meth:`begin` / :meth:`end`."""
+        if not self.enabled:
+            yield
+            return
+        self.begin(name, **attrs)
+        try:
+            yield
+        finally:
+            self.end(name)
+
+    # ------------------------------------------------------------ contents
+
+    @property
+    def records(self) -> tuple[TraceRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def emitted(self) -> int:
+        """Total records ever emitted (a streaming sink receives them all,
+        even the ones the ring buffer has since dropped)."""
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def absorb(self, records: Sequence[TraceRecord]) -> None:
+        """Splice a child tracer's records in, renumbered and re-based.
+
+        Sequence numbers continue this tracer's counter and depths are
+        offset by the current nesting depth, so a chunk traced in a worker
+        produces exactly the lines it would have produced inline.  Callers
+        must absorb chunks in deterministic (payload) order.
+        """
+        if not self.enabled:
+            return
+        offset = self._depth
+        for record in records:
+            self._emit(
+                record.kind, record.name, record.attrs, record.env,
+                depth=offset + record.depth,
+            )
+
+    def save(self, path: str | Path) -> Path:
+        """Write header + buffered records as an ``rrfd-events-v1`` JSONL file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            handle.write(json.dumps(events_header(), sort_keys=True) + "\n")
+            for record in self._records:
+                handle.write(json.dumps(record.to_obj(), sort_keys=True) + "\n")
+        return path
+
+
+#: The shared disabled tracer — the default "observability off" state.
+NULL_TRACER = Tracer(enabled=False, capacity=1)
+
+
+# ---------------------------------------------------------------------------
+# file-level helpers
+
+
+def _check_json_value(value: Any, where: str, problems: list[str]) -> None:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, list):
+        for i, item in enumerate(value):
+            _check_json_value(item, f"{where}[{i}]", problems)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                problems.append(f"{where}: non-string key {key!r}")
+            _check_json_value(item, f"{where}.{key}", problems)
+        return
+    problems.append(f"{where}: non-JSON value of type {type(value).__name__}")
+
+
+def validate_events(lines: Iterable[str]) -> list[str]:
+    """Every way a JSONL stream violates ``rrfd-events-v1`` (empty = valid)."""
+    problems: list[str] = []
+    expected_seq = 0
+    depth = 0
+    span_stack: list[str] = []
+    saw_header = False
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"line {lineno}"
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{where}: not JSON ({exc})")
+            continue
+        if not isinstance(obj, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not saw_header:
+            saw_header = True
+            if obj.get("schema") != EVENTS_SCHEMA or obj.get("kind") != "header":
+                problems.append(
+                    f"{where}: first line must be the {EVENTS_SCHEMA!r} header, "
+                    f"got schema={obj.get('schema')!r} kind={obj.get('kind')!r}"
+                )
+            continue
+        kind = obj.get("kind")
+        if kind not in _KINDS:
+            problems.append(f"{where}: kind {kind!r} not in {_KINDS}")
+            continue
+        if obj.get("seq") != expected_seq:
+            problems.append(
+                f"{where}: seq {obj.get('seq')!r}, expected {expected_seq}"
+            )
+        expected_seq = (obj.get("seq") if isinstance(obj.get("seq"), int)
+                        else expected_seq) + 1
+        if not isinstance(obj.get("name"), str) or not obj["name"]:
+            problems.append(f"{where}: name missing or empty")
+        if not isinstance(obj.get("attrs"), dict):
+            problems.append(f"{where}: attrs missing or not an object")
+        else:
+            _check_json_value(obj["attrs"], f"{where}.attrs", problems)
+        if not isinstance(obj.get("env"), dict):
+            problems.append(f"{where}: env missing or not an object")
+        if kind == "span_end":
+            if not span_stack:
+                problems.append(f"{where}: span_end with no open span")
+            else:
+                opened = span_stack.pop()
+                depth -= 1
+                if opened != obj.get("name"):
+                    problems.append(
+                        f"{where}: span_end {obj.get('name')!r} closes "
+                        f"{opened!r}"
+                    )
+        if obj.get("depth") != depth:
+            problems.append(
+                f"{where}: depth {obj.get('depth')!r}, expected {depth}"
+            )
+        if kind == "span_start":
+            span_stack.append(obj.get("name"))
+            depth += 1
+    if not saw_header:
+        problems.append("stream is empty (no header line)")
+    if span_stack:
+        problems.append(f"unclosed spans at end of stream: {span_stack}")
+    return problems
+
+
+def canonical_events(lines: Iterable[str]) -> str:
+    """The deterministic payload of an event stream, one JSON line per record.
+
+    Strips every ``env`` field (and the header's); what remains is
+    bit-identical across worker counts for the same work, which is exactly
+    what the parallel-determinism tests and the CI obs-smoke job diff.
+    """
+    out: list[str] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        obj.pop("env", None)
+        out.append(json.dumps(obj, sort_keys=True))
+    return "\n".join(out) + "\n"
+
+
+def load_events(path: str | Path) -> list[dict[str, Any]]:
+    """Load and validate an ``rrfd-events-v1`` file; returns record objects."""
+    text = Path(path).read_text()
+    lines = text.splitlines()
+    problems = validate_events(lines)
+    if problems:
+        raise ValueError(
+            f"{path} violates {EVENTS_SCHEMA}:\n  " + "\n  ".join(problems)
+        )
+    return [json.loads(line) for line in lines[1:] if line.strip()]

@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any
 
+from repro import obs
 from repro.substrates.events.simulator import EventSimulator, SimulationError
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "UniformDelays",
     "AdversarialDelays",
     "Node",
+    "NetworkStats",
     "AsyncNetwork",
 ]
 
@@ -104,11 +106,32 @@ class Node(ABC):
 
 @dataclass
 class NetworkStats:
-    """Counters the benchmarks report."""
+    """Counters the benchmarks report.
+
+    Plain int fields (the delivery loop pays one add per count); the
+    snapshot / merge / publish contract is the shared one from
+    :mod:`repro.obs.metrics`, so these counters, :class:`ChaosStats` and
+    the overlay node counters all export the same way.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped_crash: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain picklable counter snapshot (the shared obs contract)."""
+        return obs.field_snapshot(self)
+
+    def merge(self, other: "NetworkStats | dict[str, int]") -> None:
+        """Add another run's counters (or their snapshot) into this one."""
+        snapshot = (
+            other.snapshot() if isinstance(other, NetworkStats) else other
+        )
+        obs.merge_field_snapshots(self, snapshot)
+
+    def publish(self, metrics: "obs.Metrics", prefix: str = "network") -> None:
+        """Export the counters as ``{prefix}.{field}`` metrics."""
+        obs.publish_fields(metrics, prefix, self)
 
 
 class AsyncNetwork:

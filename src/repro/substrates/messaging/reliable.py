@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro import obs
 from repro.core.algorithm import Protocol, RoundProcess
 from repro.core.audit import AuditReport, ExecutionAuditor, StallDetected
 from repro.substrates.events.simulator import BudgetExhausted, EventSimulator
@@ -108,12 +109,25 @@ class ReliableRoundOverlayNode(RoundOverlayNode):
         if not pending:
             self._unacked.pop(round_number, None)
             return
+        tracer = obs.current_tracer()
         if attempt > self.max_retries:
             # Peers that never acked are presumed crashed; stop paying for
             # them so the execution can quiesce.
             self.gave_up_on[round_number] = frozenset(pending)
             del self._unacked[round_number]
+            if tracer.enabled:
+                tracer.event(
+                    "reliable.gave_up",
+                    pid=self.pid, round=round_number,
+                    peers=sorted(pending),
+                )
             return
+        if tracer.enabled:
+            tracer.event(
+                "reliable.retry",
+                pid=self.pid, round=round_number, attempt=attempt,
+                pending=sorted(pending),
+            )
         payload = ("data", round_number, self.emissions[round_number])
         for dst in sorted(pending):
             self.send(dst, payload)
@@ -230,7 +244,20 @@ def run_reliable_round_overlay(
     network = ChaosNetwork(nodes, sim, plan=plan, seed=seed, delays=delays)
     for pid, time in crash_times.items():
         network.crash(pid, time)
-    network.run(max_events=max_events)
+    tracer = obs.current_tracer()
+    if tracer.enabled:
+        tracer.begin(
+            "overlay.reliable_run", n=n, f=f, max_rounds=max_rounds,
+        )
+    try:
+        network.run(max_events=max_events)
+    finally:
+        if tracer.enabled:
+            tracer.end(
+                "overlay.reliable_run",
+                exhausted=network.exhausted,
+                decided=sum(1 for node in nodes if node.process.decided),
+            )
     if network.exhausted and raise_on_exhaustion:
         raise BudgetExhausted(
             f"reliable overlay stopped after {max_events} events with work "
@@ -248,6 +275,24 @@ def run_reliable_round_overlay(
         audit=report,
         exhausted=network.exhausted,
     )
+    metrics = obs.current_metrics()
+    if metrics.enabled:
+        network.stats.publish(metrics, "chaos")
+        metrics.counter("overlay.retransmissions").inc(
+            result.total_retransmissions
+        )
+        metrics.counter("overlay.acks_received").inc(
+            sum(node.acks_received for node in nodes)
+        )
+        metrics.counter("overlay.duplicates_ignored").inc(
+            result.total_duplicates_ignored
+        )
+        metrics.counter("overlay.late_discarded").inc(
+            result.total_late_discarded
+        )
+        metrics.counter("overlay.gave_up_rounds").inc(
+            sum(len(node.gave_up_on) for node in nodes)
+        )
     if on_stall == "raise" and report.stall is not None and report.stall.stalled:
         raise StallDetected(report.stall)
     return result

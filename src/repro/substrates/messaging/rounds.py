@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro import obs
 from repro.core.algorithm import Protocol, RoundProcess
 from repro.core.audit import AuditReport, ExecutionAuditor
 from repro.core.types import ExecutionRound, ExecutionTrace, RoundView
@@ -111,6 +112,14 @@ class RoundOverlayNode(Node):
                 )
                 self.views.append(view)
                 self.process.absorb(view)
+                tracer = obs.current_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "overlay.advance",
+                        pid=self.pid, round=self.current_round,
+                        suspected=sorted(suspected),
+                        decided=self.process.decided,
+                    )
                 done = (
                     self.current_round >= self.max_rounds
                     or (self.stop_on_decision and self.process.decided)

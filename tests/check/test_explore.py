@@ -124,6 +124,33 @@ class TestParallel:
         assert parallel.histories == serial.histories
         assert parallel.pruned == serial.pruned
 
+    def test_workers_records_actual_use_not_the_request(self):
+        # f=0 admits exactly one round-1 suspicion assignment (all empty),
+        # so the frontier collapses to a single chunk: four requested
+        # workers must be reported as the one actually used.
+        import dataclasses
+
+        solo = dataclasses.replace(
+            get_spec("floodset"),
+            name="floodset-solo-frontier",
+            predicate=lambda n: CrashSync(n, 0),
+            exhaustive_inputs=lambda n: [tuple(range(n))],
+        )
+        # `solo` is unregistered: reaching a result at all proves the pool
+        # (whose registry check would reject it) was skipped for one chunk
+        result = explore(solo, n=3, workers=4)
+        assert result.workers == 1
+        assert result.histories == 1
+        assert result.ok
+
+    def test_single_chunk_run_matches_serial(self):
+        serial = explore("kset", n=3)
+        # 62 round-1 prefixes but workers=1 requested through the parallel
+        # entry point is the serial path; compare against a many-worker run
+        parallel = explore("kset", n=3, workers=16)
+        assert parallel.executions == serial.executions
+        assert parallel.workers <= 16
+
 
 class TestFuzz:
     def test_fuzz_is_deterministic_in_seed(self):

@@ -37,6 +37,13 @@ def failing_cell(ctx):
     return {"ok": True}
 
 
+def sleepy_cell(ctx):
+    import time
+
+    time.sleep(0.2)
+    return {"ok": True}
+
+
 EXP = Experiment(
     id="T1",
     title="runner test experiment",
@@ -125,6 +132,38 @@ class TestRunExperiment:
         with pytest.raises(CellExecutionError, match="T3 cell n=1 sample 3"):
             run_experiment(exp)
 
+    def test_worker_error_carries_context_through_the_pool(self):
+        # chunk=1 -> 8 payloads, so workers=2 genuinely engages the pool;
+        # the error must survive pickling with its full forensic context
+        exp = Experiment(id="T3P", title="x", grid=Grid.single(n=1),
+                         run_cell=failing_cell, samples=8, chunk=1)
+        expected_seed = sample_seed("T3P", "n=1", 3)
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_experiment(exp, workers=2)
+        message = str(excinfo.value)
+        assert "T3P cell n=1 sample 3" in message
+        assert f"seed {expected_seed}" in message
+        assert "ValueError: boom" in message
+        assert "failing_cell" in message  # the traceback rode along
+
+    def test_cpu_time_vs_true_wall_time(self):
+        # two chunks of one 0.2s sleep each: cpu_time sums both (~0.4s);
+        # with two workers they overlap, so the true wall is about half
+        exp = Experiment(id="T8", title="x", grid=Grid.single(n=1),
+                         run_cell=sleepy_cell, samples=2, chunk=1)
+        serial_cell = run_experiment(exp, workers=1).cells[0]
+        assert serial_cell.cpu_time >= 0.4
+        # serial chunks cannot overlap: wall covers both sleeps
+        assert serial_cell.wall_time >= serial_cell.cpu_time * 0.9
+        parallel_cell = run_experiment(exp, workers=2).cells[0]
+        assert parallel_cell.cpu_time >= 0.4
+        # concurrent chunks overlap: wall < summed cpu (the old code
+        # reported the sum as "wall", which this would catch)
+        assert parallel_cell.wall_time < parallel_cell.cpu_time
+        assert parallel_cell.samples_per_s == pytest.approx(
+            2 / parallel_cell.cpu_time
+        )
+
     def test_notes_land_in_meta(self):
         exp = Experiment(id="T4", title="x", grid=Grid.single(n=1),
                          run_cell=observe_cell, samples=1, notes="provenance")
@@ -160,6 +199,27 @@ class TestResolveWorkers:
     def test_floor_is_one(self):
         assert resolve_workers(0) == 1
         assert resolve_workers(-4) == 1
+
+    def test_env_non_integer_raises_naming_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "four")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_workers()
+        assert WORKERS_ENV in str(excinfo.value)
+        assert "'four'" in str(excinfo.value)
+
+    def test_env_non_positive_raises_naming_variable_and_value(self, monkeypatch):
+        for bad in ("0", "-2"):
+            monkeypatch.setenv(WORKERS_ENV, bad)
+            with pytest.raises(ValueError) as excinfo:
+                resolve_workers()
+            assert WORKERS_ENV in str(excinfo.value)
+            assert repr(bad) in str(excinfo.value)
+
+    def test_explicit_argument_still_clamps_over_bad_env(self, monkeypatch):
+        # computed arguments clamp; only the env var (user input) validates
+        monkeypatch.setenv(WORKERS_ENV, "nope")
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 1
 
 
 class TestExperimentTables:

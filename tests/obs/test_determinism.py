@@ -1,0 +1,77 @@
+"""The deterministic payload contract: traces and metric values are a pure
+function of the work, bit-identical across worker counts."""
+
+from repro import obs
+from repro.harness import Experiment, Grid, run_experiment
+from repro.obs import canonical_events
+
+
+def traced_cell(ctx):
+    """A sample that emits its own events through the ambient tracer."""
+    tracer = obs.current_tracer()
+    roll = ctx.rng.randint(0, 100)
+    if tracer.enabled:
+        tracer.event("sample.roll", index=ctx.index, roll=roll)
+    metrics = obs.current_metrics()
+    metrics.counter("sample.rolls").inc()
+    return {"roll": roll}
+
+
+EXP = Experiment(
+    id="TOBS",
+    title="observability determinism probe",
+    grid=Grid.product(n=[2, 3]),
+    run_cell=traced_cell,
+    samples=12,  # chunk size 2 -> 6 chunks per cell, 12 payloads
+    reduce={"roll": "max"},
+    chunk=2,
+)
+
+
+def run_traced(workers):
+    tracer = obs.Tracer()
+    metrics = obs.Metrics()
+    with obs.tracing(tracer), obs.collecting(metrics):
+        result = run_experiment(EXP, workers=workers)
+    return result, tracer, metrics
+
+
+class TestWorkerCountInvariance:
+    def test_canonical_payload_identical_across_1_2_4_workers(self, tmp_path):
+        payloads = {}
+        values = {}
+        results = {}
+        for workers in (1, 2, 4):
+            result, tracer, metrics = run_traced(workers)
+            path = tmp_path / f"events-w{workers}.jsonl"
+            tracer.save(path)
+            lines = path.read_text().splitlines()
+            assert obs.validate_events(lines) == []
+            payloads[workers] = canonical_events(lines)
+            values[workers] = metrics.to_doc()["values"]
+            results[workers] = [c.value for c in result.cells]
+        assert payloads[1] == payloads[2] == payloads[4]
+        assert values[1] == values[2] == values[4]
+        assert results[1] == results[2] == results[4]
+
+    def test_worker_count_absent_from_deterministic_halves(self):
+        _, tracer, metrics = run_traced(2)
+        for record in tracer.records:
+            assert "workers" not in record.attrs
+        assert "harness.workers" not in metrics.to_doc()["values"]
+        assert metrics.to_doc()["env"]["harness.workers"] == 2
+
+    def test_chunk_spans_wrap_sample_events(self):
+        _, tracer, _ = run_traced(1)
+        names = [r.name for r in tracer.records]
+        assert names[0] == "harness.experiment"
+        assert names[-1] == "harness.experiment"
+        assert names.count("harness.chunk") == 24  # 12 chunks x start/end
+        rolls = [r for r in tracer.records if r.name == "sample.roll"]
+        assert len(rolls) == 24  # 2 cells x 12 samples
+        assert all(r.depth == 2 for r in rolls)
+
+    def test_metrics_counters_survive_the_pool(self):
+        _, _, metrics = run_traced(4)
+        assert metrics.counter("sample.rolls").value == 24
+        assert metrics.counter("harness.samples").value == 24

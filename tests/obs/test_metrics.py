@@ -1,0 +1,169 @@
+"""The metrics registry: instruments, snapshot/merge, env split, field bags."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import (
+    Metrics,
+    NULL_METRICS,
+    TIMING_BUCKETS_S,
+    field_snapshot,
+    format_metrics,
+    merge_field_snapshots,
+    publish_fields,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        metrics = Metrics()
+        counter = metrics.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="cannot add"):
+            counter.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        metrics = Metrics()
+        gauge = metrics.gauge("g")
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_histogram_buckets_by_upper_edge(self):
+        metrics = Metrics()
+        hist = metrics.histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]  # <=1, <=10, overflow
+        assert hist.count == 4
+        assert hist.total == pytest.approx(106.5)
+
+    def test_histogram_bad_bounds_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Metrics().histogram("h", buckets=(2.0, 1.0))
+
+    def test_get_or_create_is_stable(self):
+        metrics = Metrics()
+        assert metrics.counter("c") is metrics.counter("c")
+
+    def test_kind_mismatch_raises(self):
+        metrics = Metrics()
+        metrics.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            metrics.gauge("x")
+
+    def test_disabled_registry_hands_out_noops(self):
+        assert not NULL_METRICS.enabled
+        NULL_METRICS.counter("c").inc()
+        NULL_METRICS.gauge("g").set(1)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.snapshot() == {}
+        assert len(NULL_METRICS) == 0
+
+
+class TestSnapshotMerge:
+    def _populated(self):
+        metrics = Metrics()
+        metrics.counter("c").inc(2)
+        metrics.gauge("g").set(5)
+        metrics.histogram("h", buckets=(1.0,)).observe(0.5)
+        return metrics
+
+    def test_snapshot_is_plain_and_sorted(self):
+        snapshot = self._populated().snapshot()
+        assert list(snapshot) == ["c", "g", "h"]
+        assert snapshot["c"] == {"kind": "counter", "env": False, "value": 2}
+
+    def test_merge_adds_counters_and_histograms(self):
+        parent = self._populated()
+        parent.merge(self._populated().snapshot())
+        assert parent.counter("c").value == 4
+        assert parent.histogram("h", buckets=(1.0,)).count == 2
+
+    def test_merge_gauges_last_wins(self):
+        parent = self._populated()
+        child = Metrics()
+        child.gauge("g").set(9)
+        parent.merge(child.snapshot())
+        assert parent.gauge("g").value == 9
+
+    def test_merge_creates_missing_instruments(self):
+        child = self._populated()
+        parent = Metrics()
+        parent.merge(child.snapshot())
+        assert parent.snapshot() == child.snapshot()
+
+    def test_merge_histogram_bounds_mismatch_raises(self):
+        parent = Metrics()
+        parent.histogram("h", buckets=(1.0,)).observe(0.1)
+        child = Metrics()
+        child.histogram("h", buckets=(2.0,)).observe(0.1)
+        with pytest.raises(ValueError, match="bounds"):
+            parent.merge(child.snapshot())
+
+    def test_to_doc_splits_env_from_values(self):
+        metrics = Metrics()
+        metrics.counter("work").inc(3)
+        metrics.gauge("workers", env=True).set(4)
+        metrics.histogram("elapsed_s", env=True).observe(0.2)
+        doc = metrics.to_doc()
+        assert list(doc["values"]) == ["work"]
+        assert set(doc["env"]) == {"workers", "elapsed_s"}
+
+    def test_format_metrics_marks_env(self):
+        metrics = Metrics()
+        metrics.counter("work").inc(3)
+        metrics.gauge("workers", env=True).set(4)
+        text = format_metrics(metrics)
+        assert "work" in text and "[env]" in text
+        assert format_metrics(Metrics()) == "  (no metrics recorded)"
+
+
+@dataclasses.dataclass
+class Bag:
+    hits: int = 0
+    misses: int = 0
+    active: bool = False  # bools are not counters
+    label: str = "x"
+
+
+class TestFieldContract:
+    def test_field_snapshot_ints_only(self):
+        assert field_snapshot(Bag(hits=3, misses=1)) == {"hits": 3, "misses": 1}
+
+    def test_merge_field_snapshots_adds(self):
+        bag = Bag(hits=1)
+        merge_field_snapshots(bag, {"hits": 2, "misses": 5})
+        assert (bag.hits, bag.misses) == (3, 5)
+
+    def test_publish_fields_prefixes_counters(self):
+        metrics = Metrics()
+        publish_fields(metrics, "bag", Bag(hits=3, misses=1))
+        assert metrics.counter("bag.hits").value == 3
+        assert metrics.counter("bag.misses").value == 1
+        assert "bag.active" not in metrics
+
+    def test_publish_into_disabled_registry_is_noop(self):
+        publish_fields(NULL_METRICS, "bag", Bag(hits=3))
+        assert len(NULL_METRICS) == 0
+
+    def test_stats_bags_share_the_contract(self):
+        from repro.check.engine import EngineStats
+        from repro.substrates.messaging.network import NetworkStats
+
+        stats = NetworkStats(messages_sent=2)
+        stats.merge(NetworkStats(messages_sent=3, messages_delivered=1))
+        assert stats.messages_sent == 5
+        metrics = Metrics()
+        stats.publish(metrics, "net")
+        assert metrics.counter("net.messages_sent").value == 5
+
+        engine = EngineStats()
+        engine.merge({"forks": 2})
+        engine.merge(EngineStats(forks=1))
+        assert engine.forks == 3
+        engine.publish(metrics)
+        assert metrics.counter("engine.forks").value == 3

@@ -1,0 +1,70 @@
+"""The overhead contract: disabled observability costs bench E22 <3%.
+
+A naive A/B wall-clock comparison of "tracing off" vs "baseline" is noise —
+the two runs differ by scheduler jitter alone.  The bound is therefore
+asserted *structurally*:
+
+1. measure the per-call cost of the disabled hot-path guard
+   (``obs.current_tracer()`` + ``.enabled``) by timing a tight loop;
+2. run E22 once with tracing *enabled* and count the records it emits —
+   every emitted record corresponds to one disabled-guard evaluation in an
+   unobserved run (guard sites that do not emit are the same sites, gated);
+3. project: guard cost x record count must stay under 3% of the measured
+   unobserved wall time.
+
+The projection is machine-independent in the way that matters: both the
+guard cost and the wall time scale with the same CPU, so their ratio is
+stable where a raw A/B diff is not.
+"""
+
+import time
+
+from repro import obs
+from repro.harness import run_experiment
+from repro.harness.registry import load_experiments, select
+
+OVERHEAD_BUDGET = 0.03
+GUARD_LOOPS = 200_000
+
+
+def guard_cost_per_call() -> float:
+    """Seconds per disabled fetch-and-guard, the hot-path pattern."""
+    t0 = time.perf_counter()
+    for _ in range(GUARD_LOOPS):
+        tracer = obs.current_tracer()
+        if tracer.enabled:  # pragma: no cover - disabled by construction
+            tracer.event("never")
+    return (time.perf_counter() - t0) / GUARD_LOOPS
+
+
+def test_disabled_tracing_costs_e22_under_three_percent():
+    registry = load_experiments()
+    [e22] = select(registry, ["E22"])
+
+    # Unobserved run: the ambient tracer/metrics are the null instances.
+    assert not obs.current_tracer().enabled
+    assert not obs.current_metrics().enabled
+    t0 = time.perf_counter()
+    baseline = run_experiment(e22, samples=1, workers=1)
+    unobserved_wall = time.perf_counter() - t0
+    assert baseline.total_samples > 0
+
+    # Observed run: count every record the same work emits.
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        run_experiment(e22, samples=1, workers=1)
+    emitted = tracer.emitted  # ring-evicted records are already counted
+    assert emitted > 1000, "E22 should be heavily instrumented"
+
+    per_call = guard_cost_per_call()
+    projected = per_call * emitted
+    ratio = projected / unobserved_wall
+    print(
+        f"guard={per_call * 1e9:.0f}ns x {emitted} records = "
+        f"{projected * 1e3:.2f}ms over {unobserved_wall:.2f}s "
+        f"({ratio:.2%} of wall)"
+    )
+    assert ratio < OVERHEAD_BUDGET, (
+        f"disabled-observability projection {ratio:.2%} exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget on E22"
+    )

@@ -1,0 +1,211 @@
+"""The tracer: records, spans, ring, sink, absorb, and the file schema."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    EVENTS_SCHEMA,
+    NULL_TRACER,
+    Tracer,
+    canonical_events,
+    load_events,
+    validate_events,
+)
+
+
+class TestRecording:
+    def test_events_and_spans_carry_seq_depth_attrs(self):
+        tracer = Tracer()
+        tracer.begin("outer", n=3)
+        tracer.event("point", k=1)
+        tracer.end("outer", done=True)
+        kinds = [(r.seq, r.kind, r.name, r.depth) for r in tracer.records]
+        assert kinds == [
+            (0, "span_start", "outer", 0),
+            (1, "event", "point", 1),
+            (2, "span_end", "outer", 0),
+        ]
+        assert tracer.records[0].attrs == {"n": 3}
+        assert tracer.records[1].attrs == {"k": 1}
+        assert tracer.records[2].attrs == {"done": True}
+
+    def test_wall_clock_lands_in_env_not_attrs(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.event("e")
+        for record in tracer.records:
+            assert "ts" not in record.attrs
+            assert "ts" in record.env
+        assert "elapsed_s" in tracer.records[-1].env
+
+    def test_explicit_env_passthrough(self):
+        tracer = Tracer()
+        tracer.event("e", _env={"ts": 1.0}, a=2)
+        assert tracer.records[0].env == {"ts": 1.0}
+        assert tracer.records[0].attrs == {"a": 2}
+
+    def test_span_mismatch_raises(self):
+        tracer = Tracer()
+        tracer.begin("a")
+        with pytest.raises(RuntimeError, match="span mismatch"):
+            tracer.end("b")
+        with pytest.raises(RuntimeError, match="span mismatch"):
+            Tracer().end("nothing-open")
+
+    def test_disabled_tracer_is_a_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.begin("a")
+        tracer.event("e")
+        tracer.end("zzz")  # no mismatch check either: fully inert
+        assert len(tracer) == 0
+        assert tracer.emitted == 0
+        assert not NULL_TRACER.enabled
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+
+class TestRingAndSink:
+    def test_ring_drops_oldest_deterministically(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.event("e", i=i)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert tracer.emitted == 10
+        assert [r.attrs["i"] for r in tracer.records] == [6, 7, 8, 9]
+        # seq numbering is global, not ring-relative
+        assert [r.seq for r in tracer.records] == [6, 7, 8, 9]
+
+    def test_sink_sees_every_record_past_ring_capacity(self):
+        sink = io.StringIO()
+        tracer = Tracer(capacity=4, sink=sink)
+        for i in range(10):
+            tracer.event("e", i=i)
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 11  # header + all 10 records
+        header = json.loads(lines[0])
+        assert header["schema"] == EVENTS_SCHEMA
+        assert header["kind"] == "header"
+        assert validate_events(lines) == []
+
+    def test_save_round_trips_through_load(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s", n=2):
+            tracer.event("e")
+        path = tmp_path / "events.jsonl"
+        tracer.save(path)
+        records = load_events(path)
+        assert [r["name"] for r in records] == ["s", "e", "s"]
+        assert records[0]["attrs"] == {"n": 2}
+
+
+class TestAbsorb:
+    def test_absorb_renumbers_and_rebases(self):
+        child = Tracer()
+        with child.span("chunk"):
+            child.event("work")
+        parent = Tracer()
+        parent.begin("experiment")
+        parent.absorb(child.records)
+        parent.end("experiment")
+        assert [(r.seq, r.name, r.depth) for r in parent.records] == [
+            (0, "experiment", 0),
+            (1, "chunk", 1),
+            (2, "work", 2),
+            (3, "chunk", 1),
+            (4, "experiment", 0),
+        ]
+
+    def test_absorbed_stream_validates(self, tmp_path):
+        child = Tracer()
+        with child.span("chunk"):
+            child.event("work", i=1)
+        parent = Tracer()
+        parent.begin("run")
+        parent.absorb(child.records)
+        parent.absorb(child.records)
+        parent.end("run")
+        path = tmp_path / "merged.jsonl"
+        parent.save(path)
+        assert validate_events(path.read_text().splitlines()) == []
+
+    def test_absorb_into_disabled_parent_is_noop(self):
+        child = Tracer()
+        child.event("e")
+        parent = Tracer(enabled=False)
+        parent.absorb(child.records)
+        assert parent.emitted == 0
+
+
+class TestSchema:
+    def _lines(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.event("e")
+        sink = io.StringIO()
+        streaming = Tracer(sink=sink)
+        with streaming.span("s"):
+            streaming.event("e")
+        return sink.getvalue().splitlines()
+
+    def test_valid_stream_has_no_problems(self):
+        assert validate_events(self._lines()) == []
+
+    def test_missing_header_reported(self):
+        lines = self._lines()
+        problems = validate_events(lines[1:])
+        assert any("header" in p for p in problems)
+
+    def test_seq_gap_reported(self):
+        lines = self._lines()
+        del lines[2]
+        assert any("seq" in p for p in validate_events(lines))
+
+    def test_unbalanced_span_reported(self):
+        lines = self._lines()[:-1]  # drop the span_end
+        assert any("unclosed" in p for p in validate_events(lines))
+
+    def test_non_json_attrs_flagged(self):
+        from repro.obs.trace import _check_json_value
+
+        problems: list[str] = []
+        _check_json_value({"bad": {1, 2}}, "attrs", problems)
+        assert problems, "a set attribute must be flagged as non-JSON"
+
+    def test_canonical_strips_env_only(self):
+        lines = self._lines()
+        canonical = canonical_events(lines)
+        assert '"env"' not in canonical
+        assert '"ts"' not in canonical
+        parsed = [json.loads(line) for line in canonical.splitlines()]
+        assert parsed[0]["kind"] == "header"
+        assert [p.get("name") for p in parsed[1:]] == ["s", "e", "s"]
+
+    def test_canonical_is_stable_across_runs(self):
+        assert canonical_events(self._lines()) == canonical_events(self._lines())
+
+    def test_load_events_raises_on_violation(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "other", "kind": "header"}\n')
+        with pytest.raises(ValueError, match=EVENTS_SCHEMA):
+            load_events(path)
+
+
+class TestAmbient:
+    def test_default_is_disabled(self):
+        assert obs.current_tracer() is NULL_TRACER or not obs.current_tracer().enabled
+
+    def test_tracing_scopes_and_restores(self):
+        tracer = Tracer()
+        before = obs.current_tracer()
+        with obs.tracing(tracer):
+            assert obs.current_tracer() is tracer
+            with obs.tracing(None):
+                assert not obs.current_tracer().enabled
+            assert obs.current_tracer() is tracer
+        assert obs.current_tracer() is before
