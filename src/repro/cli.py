@@ -11,6 +11,8 @@ Subcommands::
     python -m repro certify --n 3 --f 1 --rounds 1   # lower-bound search
     python -m repro chaos --n 6 --f 2 --drop 0.2     # overlay under fault injection
     python -m repro bench E1 E5 --workers 8 --json out/   # experiment sweeps
+    python -m repro serve --n 4 --instances 5 --plan drop  # live asyncio service
+    python -m repro load --instances 100 --plan ci --metrics  # live load run
     python -m repro check --spec kset --exhaustive   # conformance certification
     python -m repro check --spec floodset --fuzz 500 --n 6
 
@@ -148,6 +150,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="collect the unified metrics registry per "
                        "experiment, print it, and embed it in the BENCH "
                        "artifacts")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run live protocol instances on the asyncio service runtime "
+        "(real localhost sockets) and audit the projected traces",
+    )
+    serve.add_argument("--n", type=int, default=4, help="live processes")
+    serve.add_argument("--f", type=int, default=1, help="fault budget")
+    serve.add_argument("--protocol", default="consensus",
+                       choices=("consensus", "kset", "adopt-commit", "mix"))
+    serve.add_argument("--instances", type=int, default=1,
+                       help="concurrent protocol instances")
+    serve.add_argument("--k", type=int, default=1, help="k for kset")
+    serve.add_argument("--plan", default="none",
+                       help="named fault plan: none|drop|partition|ci|chaos")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--deadline", type=float, default=2.0,
+                       help="per-round deadline in seconds before the round "
+                       "degrades (advance with suspected set, or park)")
+    serve.add_argument("--metrics", action="store_true", dest="show_metrics",
+                       help="collect and print the unified metrics registry "
+                       "(service.* counters + queue high-water gauge)")
+    serve.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="stream structured events (rrfd-events-v1 JSONL) "
+                       "to PATH")
+
+    load = sub.add_parser(
+        "load",
+        help="load-generate many live instances under a named chaos plan; "
+        "report throughput/latency/robustness",
+    )
+    load.add_argument("--n", type=int, default=4)
+    load.add_argument("--f", type=int, default=1)
+    load.add_argument("--instances", type=int, default=100)
+    load.add_argument("--protocol", default="mix",
+                      choices=("consensus", "kset", "adopt-commit", "mix"))
+    load.add_argument("--plan", default="none",
+                      help="named fault plan: none|drop|partition|ci|chaos")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--deadline", type=float, default=2.0,
+                      help="per-round deadline in seconds")
+    load.add_argument("--json", dest="json_path", metavar="PATH", default=None,
+                      help="write the run summary as JSON to PATH")
+    load.add_argument("--metrics", action="store_true", dest="show_metrics",
+                      help="collect and print the unified metrics registry")
+    load.add_argument("--trace-out", metavar="PATH", default=None,
+                      help="stream structured events (rrfd-events-v1 JSONL) "
+                      "to PATH")
 
     check = sub.add_parser(
         "check",
@@ -426,6 +476,107 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.service import (
+        InstanceOutcome,
+        ServiceConfig,
+        audit_instance,
+        named_plan,
+        run_service,
+    )
+    from repro.service.loadgen import make_specs
+
+    sink = open(args.trace_out, "w") if args.trace_out else None
+    tracer = obs.Tracer(sink=sink) if sink is not None else None
+    metrics = obs.Metrics() if args.show_metrics else None
+    config = ServiceConfig(
+        n=args.n, f=args.f, plan=named_plan(args.plan, args.n),
+        seed=args.seed, round_deadline=args.deadline,
+    )
+    specs = make_specs(args.instances, args.n, args.protocol, args.k, args.seed)
+    with obs.tracing(tracer), obs.collecting(metrics):
+        stats, degradations, results = run_service(config, specs)
+        if metrics is not None:
+            stats.publish(metrics)
+    print(f"service:   n={args.n} f={args.f} plan={args.plan} "
+          f"deadline={args.deadline}s")
+    violations = 0
+    for result in results:
+        report = audit_instance(result)
+        violations += len(report.violations)
+        decisions = sorted({repr(d) for d in result.decisions
+                            if d is not None})
+        print(f"  {result.spec.name:<20} {result.outcome.value:<9} "
+              f"latency={result.latency:.3f}s "
+              f"decisions={decisions} "
+              f"audit={'OK' if report.ok else 'VIOLATIONS'}")
+        for violation in report.violations:
+            print(f"    {violation}")
+    if len(degradations):
+        print(f"degraded:  {degradations.summary()}")
+    print(f"traffic:   frames={stats.frames_sent} "
+          f"retries={stats.retries} retransmits={stats.retransmissions} "
+          f"reconnects={stats.reconnects} "
+          f"queue_high_water={stats.queue_high_water}")
+    if metrics is not None:
+        print("metrics:")
+        print(obs.format_metrics(metrics))
+    if tracer is not None:
+        sink.close()
+        print(f"wrote {args.trace_out} ({tracer.emitted} events)")
+    parked = sum(1 for r in results if r.outcome is InstanceOutcome.PARKED)
+    if violations:
+        return 1
+    return 0 if parked == 0 else 2
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.service import run_load
+
+    sink = open(args.trace_out, "w") if args.trace_out else None
+    tracer = obs.Tracer(sink=sink) if sink is not None else None
+    metrics = obs.Metrics() if args.show_metrics else None
+    with obs.tracing(tracer), obs.collecting(metrics):
+        result = run_load(
+            n=args.n, f=args.f, instances=args.instances,
+            protocol=args.protocol, plan=args.plan, seed=args.seed,
+            round_deadline=args.deadline,
+        )
+        if metrics is not None:
+            result.stats.publish(metrics)
+    summary = result.summary()
+    print(f"load:      n={summary['n']} f={summary['f']} "
+          f"plan={summary['plan']} protocol={summary['protocol']}")
+    print(f"outcomes:  {summary['instances']} instances — "
+          f"{summary['decided']} decided, {summary['degraded']} degraded, "
+          f"{summary['parked']} parked ({summary['degradation_events']} "
+          f"degradation events)")
+    print(f"safety:    {summary['violations']} audit violations")
+    print(f"perf:      {summary['throughput']:.1f} instances/s, "
+          f"latency p50={summary['latency_p50']:.3f}s "
+          f"p95={summary['latency_p95']:.3f}s "
+          f"({summary['duration']:.2f}s wall)")
+    print(f"transport: retries={summary['retries']} "
+          f"retransmits={summary['retransmissions']} "
+          f"reconnects={summary['reconnects']} "
+          f"queue_high_water={summary['queue_high_water']}")
+    if args.json_path:
+        with open(args.json_path, "w") as out:
+            json.dump(summary, out, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}")
+    if metrics is not None:
+        print("metrics:")
+        print(obs.format_metrics(metrics))
+    if tracer is not None:
+        sink.close()
+        print(f"wrote {args.trace_out} ({tracer.emitted} events)")
+    return 1 if summary["violations"] else 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.check import (
@@ -506,6 +657,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "certify": _cmd_certify,
         "chaos": _cmd_chaos,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "load": _cmd_load,
         "check": _cmd_check,
     }[args.command]
     return handler(args)

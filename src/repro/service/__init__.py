@@ -1,0 +1,86 @@
+"""``repro.service`` — the live asyncio protocol runtime.
+
+Everything else in the repository runs on the deterministic
+:class:`~repro.substrates.events.simulator.EventSimulator`.  This package is
+the first layer that handles *real traffic*: it runs the protocol catalog
+(consensus, k-set, adopt-commit) over real localhost TCP sockets between
+asyncio tasks, with
+
+- length-prefixed JSON framing, per-message write timeouts, retry with
+  capped exponential backoff **plus jitter**, and connection
+  re-establishment on drop (:mod:`repro.service.transport`);
+- heartbeat-driven suspicion with adaptive (Chandra–Toueg) timeouts and
+  hysteresis feeding each round's ``D(i, r)``
+  (:mod:`repro.service.suspicion`);
+- round batching, bounded send queues with backpressure, and graceful
+  degradation — a round that cannot complete within its deadline emits a
+  structured :class:`~repro.service.degrade.DegradationEvent` and either
+  advances with the suspected set or parks the instance, never hangs
+  (:mod:`repro.service.runtime`, :mod:`repro.service.degrade`);
+- transport-level fault injection reusing
+  :class:`~repro.substrates.messaging.chaos.FaultPlan`
+  (drop/dup/delay/partition/crash+recovery) against live connections;
+- a load generator driving hundreds of concurrent instances
+  (:mod:`repro.service.loadgen`).
+
+Completed instances project onto :class:`~repro.core.types.ExecutionTrace`
+via the existing :meth:`~repro.substrates.messaging.rounds.OverlayResult.to_trace`
+path, so :mod:`repro.core.audit` certifies communication closure and the
+RRFD guarantees (``S∪D=S``, ``|D|≤f``) on *live* runs exactly as it does on
+simulated ones.  Damian–Drăgoi–Widder's reduction (PAPERS.md) is the
+justification: an async runtime whose executions project onto synchronized
+rounds stays checkable against the same round-by-round predicates.
+"""
+
+from repro.service.degrade import DegradationEvent, DegradationReport
+from repro.service.loadgen import (
+    LoadResult,
+    load_cell,
+    named_plan,
+    run_load,
+    service_protocol,
+)
+from repro.service.runtime import (
+    InstanceOutcome,
+    InstanceResult,
+    InstanceSpec,
+    ServiceConfig,
+    ServiceRuntime,
+    audit_instance,
+    run_service,
+)
+from repro.service.suspicion import SuspicionMonitor
+from repro.service.transport import (
+    Backoff,
+    FaultInjector,
+    ServiceStats,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    read_frame,
+)
+
+__all__ = [
+    "Backoff",
+    "DegradationEvent",
+    "DegradationReport",
+    "FaultInjector",
+    "InstanceOutcome",
+    "InstanceResult",
+    "InstanceSpec",
+    "LoadResult",
+    "ServiceConfig",
+    "ServiceRuntime",
+    "ServiceStats",
+    "SuspicionMonitor",
+    "audit_instance",
+    "decode_payload",
+    "encode_frame",
+    "encode_payload",
+    "load_cell",
+    "named_plan",
+    "read_frame",
+    "run_load",
+    "run_service",
+    "service_protocol",
+]

@@ -1,0 +1,100 @@
+"""Graceful degradation: structured events instead of hangs.
+
+When a live round misses its deadline the runtime never blocks on the
+missing peers.  It emits a :class:`DegradationEvent` — the live analogue of
+the simulator's :class:`~repro.core.audit.StallReport` — and takes one of
+two actions:
+
+- ``"advance"`` — at least ``n − f`` round messages arrived, so the round
+  closes with ``D(i, r)`` = the unheard senders, exactly the discard/advance
+  rule of the simulated overlay; the protocol keeps its RRFD guarantees.
+- ``"park"`` — fewer than ``n − f`` arrived; advancing would break the
+  ``|D| ≤ f`` predicate, so the instance is *parked*: terminated
+  undecided with its partial views preserved for audit.  Parking is the
+  honest outcome the model prescribes when more than ``f`` processes are
+  effectively silent — the guarantee is conditional on the fault budget.
+
+Every event also lands on the ambient tracer as ``service.degraded`` /
+``service.parked`` so a collected trace shows exactly where and why a run
+degraded (EXPERIMENTS.md § E23 walks through reading one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DegradationEvent", "DegradationReport"]
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One round that missed its deadline on one process."""
+
+    instance: str
+    pid: int
+    round: int
+    action: str  # "advance" | "park"
+    deadline: float  # the per-round deadline that expired (seconds)
+    heard: frozenset[int]  # senders heard for the round when it expired
+    missing: frozenset[int]  # S − heard at the deadline
+    suspected: frozenset[int]  # heartbeat suspicion at the deadline
+    time: float  # service-clock time of the event
+
+    def __post_init__(self) -> None:
+        if self.action not in ("advance", "park"):
+            raise ValueError(
+                f"action must be 'advance' or 'park', got {self.action!r}"
+            )
+
+    def to_doc(self) -> dict:
+        """JSON-ready form (trace / artifact embedding)."""
+        return {
+            "instance": self.instance,
+            "pid": self.pid,
+            "round": self.round,
+            "action": self.action,
+            "deadline": self.deadline,
+            "heard": sorted(self.heard),
+            "missing": sorted(self.missing),
+            "suspected": sorted(self.suspected),
+            "time": self.time,
+        }
+
+
+@dataclass
+class DegradationReport:
+    """All degradation events of a run, with the summary views the CLI and
+    bench artifacts need."""
+
+    events: list[DegradationEvent] = field(default_factory=list)
+
+    def add(self, event: DegradationEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def degraded_rounds(self) -> int:
+        return sum(1 for e in self.events if e.action == "advance")
+
+    @property
+    def parks(self) -> int:
+        return sum(1 for e in self.events if e.action == "park")
+
+    def for_instance(self, instance: str) -> list[DegradationEvent]:
+        return [e for e in self.events if e.instance == instance]
+
+    def summary(self) -> dict:
+        return {
+            "events": len(self.events),
+            "degraded_rounds": self.degraded_rounds,
+            "parks": self.parks,
+            "instances": sorted({e.instance for e in self.events}),
+        }
+
+    def to_doc(self) -> list[dict]:
+        return [e.to_doc() for e in self.events]

@@ -1,0 +1,121 @@
+"""Heartbeat-driven suspicion for the live runtime.
+
+:class:`SuspicionMonitor` is the live counterpart of the simulated
+:class:`~repro.substrates.messaging.heartbeat.HeartbeatDetectorNode`: per-peer
+adaptive timeouts with the Chandra–Toueg bump — a heartbeat from a suspected
+peer clears the suspicion *and* permanently lengthens that peer's timeout,
+so each false suspicion is made once, not repeatedly.  On top of the
+simulated construction it adds **hysteresis**: a peer must miss
+``hysteresis`` consecutive checks before being suspected, so one scheduling
+hiccup on a loaded event loop does not flap the detector.
+
+The monitor is pure state — the runtime feeds it ``heard(peer, now)`` on
+every inbound frame and drives ``check(now)`` from its ticker.  That keeps
+it unit-testable with a hand-rolled clock, no sockets or sleeps involved.
+The output read by each round is :attr:`suspected`, which becomes the
+``D(i, r)`` candidates when a round degrades (see
+:mod:`repro.service.runtime`).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.service.transport import ServiceStats
+
+__all__ = ["SuspicionMonitor"]
+
+
+class SuspicionMonitor:
+    """Adaptive-timeout heartbeat suspicion with hysteresis for one process."""
+
+    def __init__(
+        self,
+        pid: int,
+        peers: list[int],
+        *,
+        initial_timeout: float = 0.5,
+        timeout_bump: float = 0.5,
+        hysteresis: int = 2,
+        stats: ServiceStats | None = None,
+    ) -> None:
+        if initial_timeout <= 0 or timeout_bump < 0:
+            raise ValueError(
+                f"need initial_timeout > 0 and timeout_bump ≥ 0, got "
+                f"{initial_timeout}, {timeout_bump}"
+            )
+        if hysteresis < 1:
+            raise ValueError(f"hysteresis must be ≥ 1, got {hysteresis}")
+        self.pid = pid
+        self.peers = [j for j in peers if j != pid]
+        self.timeouts = {j: initial_timeout for j in self.peers}
+        self.timeout_bump = timeout_bump
+        self.hysteresis = hysteresis
+        self.stats = stats or ServiceStats()
+        self.last_heard = {j: 0.0 for j in self.peers}
+        self.misses = {j: 0 for j in self.peers}
+        self._suspected: set[int] = set()
+        #: ``(time, frozen suspicion set)`` after every change — the same
+        #: shape as the simulated detector's ``suspicion_log``.
+        self.suspicion_log: list[tuple[float, frozenset[int]]] = []
+
+    @property
+    def suspected(self) -> frozenset[int]:
+        return frozenset(self._suspected)
+
+    def note_start(self, now: float) -> None:
+        """Reset the silence baseline; call when the transport comes up."""
+        for j in self.peers:
+            self.last_heard[j] = now
+            self.misses[j] = 0
+
+    def heard(self, peer: int, now: float) -> None:
+        """Any inbound frame from ``peer`` counts as a sign of life."""
+        if peer not in self.last_heard:
+            return
+        self.last_heard[peer] = now
+        self.misses[peer] = 0
+        if peer in self._suspected:
+            # False suspicion: forgive, and adapt so the same peer does not
+            # get falsely suspected at this timeout again (Chandra–Toueg).
+            self._suspected.discard(peer)
+            self.timeouts[peer] += self.timeout_bump
+            self.stats.suspicions_cleared += 1
+            self.stats.timeout_bumps += 1
+            self.suspicion_log.append((now, self.suspected))
+            tracer = obs.current_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "service.suspicion_cleared",
+                    pid=self.pid, peer=peer,
+                    new_timeout=self.timeouts[peer],
+                )
+
+    def check(self, now: float) -> frozenset[int]:
+        """One detector tick; returns the (possibly updated) suspicion set.
+
+        A silent peer accrues one miss per tick; only ``hysteresis``
+        consecutive misses raise the suspicion.
+        """
+        changed = False
+        for j in self.peers:
+            if j in self._suspected:
+                continue
+            if now - self.last_heard[j] > self.timeouts[j]:
+                self.misses[j] += 1
+                if self.misses[j] >= self.hysteresis:
+                    self._suspected.add(j)
+                    self.stats.suspicions_raised += 1
+                    changed = True
+                    tracer = obs.current_tracer()
+                    if tracer.enabled:
+                        tracer.event(
+                            "service.suspicion_raised",
+                            pid=self.pid, peer=j,
+                            silent_for=now - self.last_heard[j],
+                            timeout=self.timeouts[j],
+                        )
+            else:
+                self.misses[j] = 0
+        if changed:
+            self.suspicion_log.append((now, self.suspected))
+        return self.suspected

@@ -113,8 +113,16 @@ class CrashWindow:
     up: float | None = None
 
     def __post_init__(self) -> None:
+        if self.down < 0:
+            raise ValueError(
+                f"crash window {self}: negative downtime start {self.down}"
+            )
         if self.up is not None and self.up <= self.down:
             raise ValueError(f"need up > down, got {self.down}, {self.up}")
+
+    def __str__(self) -> str:
+        up = "∞" if self.up is None else f"{self.up:g}"
+        return f"CrashWindow({self.down:g} → {up})"
 
     def covers(self, time: float) -> bool:
         return time > self.down and (self.up is None or time < self.up)
@@ -138,6 +146,38 @@ class FaultPlan:
     links: dict[tuple[int, int], LinkFaults] = field(default_factory=dict)
     partitions: list[Partition] = field(default_factory=list)
     crashes: dict[int, list[CrashWindow]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject inconsistent schedules at construction, naming the entry.
+
+        ``LinkFaults``, ``Partition`` and ``CrashWindow`` validate their own
+        fields (probabilities, negative durations, ``end ≤ start``); what
+        only the plan can check is cross-entry consistency: a process's
+        crash windows must not overlap — a window that starts inside
+        another's recovery window (or after a permanent crash) describes a
+        process that is already down, which is a schedule bug, not chaos.
+        """
+        for pid, windows in self.crashes.items():
+            if pid < 0:
+                raise ValueError(f"crash schedule for negative pid {pid}")
+            ordered = sorted(
+                windows, key=lambda w: (w.down, float("inf") if w.up is None else w.up)
+            )
+            for previous, current in zip(ordered, ordered[1:]):
+                if previous.up is None:
+                    raise ValueError(
+                        f"crash schedule for process {pid}: {current} is "
+                        f"scheduled after permanent crash {previous}"
+                    )
+                if current.down < previous.up:
+                    raise ValueError(
+                        f"crash schedule for process {pid}: {current} starts "
+                        f"at {current.down:g}, inside the downtime/recovery "
+                        f"window of {previous}"
+                    )
 
     def faults_for(self, src: int, dst: int) -> LinkFaults:
         return self.links.get((src, dst), self.default)

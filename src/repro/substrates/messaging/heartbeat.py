@@ -92,6 +92,10 @@ class HeartbeatDetectorNode(Node):
     def _tick(self) -> None:
         assert self.network is not None
         if self.network.is_crashed(self.pid):
+            # Down, but possibly not forever: keep the timer alive (silent)
+            # so a process whose crash window closes resumes heartbeating —
+            # without it, crash *recovery* would look permanent to peers.
+            self.sim.schedule(self.beat, self._tick)
             return
         self.broadcast(("heartbeat",), include_self=False)
         now = self.sim.now

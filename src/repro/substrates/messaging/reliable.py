@@ -24,6 +24,7 @@ retry budget can mask.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -34,6 +35,7 @@ from repro.substrates.events.simulator import BudgetExhausted, EventSimulator
 from repro.substrates.messaging.chaos import ChaosNetwork, FaultPlan
 from repro.substrates.messaging.network import DelayModel
 from repro.substrates.messaging.rounds import OverlayResult, RoundOverlayNode
+from repro.util.rng import derive_seed
 
 __all__ = [
     "ReliableRoundOverlayNode",
@@ -51,6 +53,18 @@ class ReliableRoundOverlayNode(RoundOverlayNode):
         backoff: multiplier applied to the timeout per attempt.
         max_retries: retransmissions per round per peer before giving up —
             the cap is what lets executions with crashed peers quiesce.
+        retry_jitter: one-sided multiplicative jitter on each retry delay —
+            attempt ``a`` waits ``base_timeout · backoff^(a−1) · (1 + j·u)``
+            with ``u ~ U[0, 1)`` from this node's own seeded generator.
+            Jitter only *lengthens* delays (it can never cause a premature,
+            spurious retransmission); its purpose is to desynchronise peers
+            that would otherwise all retry in lockstep after a shared loss
+            event — a retransmission storm.  Per-node seeding keeps runs
+            seed-deterministic while making the retry times differ *across*
+            peers.
+        retry_rng: the jitter generator; defaults to a generator derived
+            from the node's pid (the runner derives it from the run seed
+            and the pid instead).
 
     A node keeps retransmitting rounds it has already left as long as some
     peer has not acked them: laggards must still be able to complete old
@@ -70,6 +84,8 @@ class ReliableRoundOverlayNode(RoundOverlayNode):
         base_timeout: float = 8.0,
         backoff: float = 2.0,
         max_retries: int = 8,
+        retry_jitter: float = 0.1,
+        retry_rng: random.Random | None = None,
     ) -> None:
         super().__init__(
             pid, n, f, process,
@@ -80,10 +96,16 @@ class ReliableRoundOverlayNode(RoundOverlayNode):
                 f"need base_timeout > 0, backoff ≥ 1, max_retries ≥ 0; got "
                 f"{base_timeout}, {backoff}, {max_retries}"
             )
+        if retry_jitter < 0:
+            raise ValueError(f"retry_jitter must be ≥ 0, got {retry_jitter}")
         self.sim = sim
         self.base_timeout = base_timeout
         self.backoff = backoff
         self.max_retries = max_retries
+        self.retry_jitter = retry_jitter
+        self.retry_rng = retry_rng or random.Random(
+            derive_seed("reliable-retry-jitter", pid)
+        )
         self.retransmissions = 0
         self.acks_received = 0
         self.duplicates_ignored = 0
@@ -100,9 +122,17 @@ class ReliableRoundOverlayNode(RoundOverlayNode):
         self.broadcast(("data", round_number, payload))
         self._schedule_retry(round_number, attempt=1)
 
-    def _schedule_retry(self, round_number: int, attempt: int) -> None:
+    def retry_delay(self, attempt: int) -> float:
+        """The (jittered) wait before retransmission attempt ``attempt``."""
         delay = self.base_timeout * (self.backoff ** (attempt - 1))
-        self.sim.schedule(delay, lambda: self._retry(round_number, attempt))
+        if self.retry_jitter:
+            delay *= 1.0 + self.retry_jitter * self.retry_rng.random()
+        return delay
+
+    def _schedule_retry(self, round_number: int, attempt: int) -> None:
+        self.sim.schedule(
+            self.retry_delay(attempt), lambda: self._retry(round_number, attempt)
+        )
 
     def _retry(self, round_number: int, attempt: int) -> None:
         pending = self._unacked.get(round_number)
@@ -197,6 +227,7 @@ def run_reliable_round_overlay(
     base_timeout: float = 8.0,
     backoff: float = 2.0,
     max_retries: int = 8,
+    retry_jitter: float = 0.1,
     enforce_crash_budget: bool = True,
     on_stall: str = "raise",
     raise_on_exhaustion: bool = True,
@@ -238,6 +269,8 @@ def run_reliable_round_overlay(
             base_timeout=base_timeout,
             backoff=backoff,
             max_retries=max_retries,
+            retry_jitter=retry_jitter,
+            retry_rng=random.Random(derive_seed("reliable-jitter", seed, pid)),
         )
         for pid in range(n)
     ]

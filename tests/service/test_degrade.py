@@ -1,0 +1,74 @@
+"""Degradation events and the run-level report."""
+
+import pytest
+
+from repro.service.degrade import DegradationEvent, DegradationReport
+
+
+def event(**kwargs):
+    defaults = dict(
+        instance="i0",
+        pid=1,
+        round=2,
+        action="advance",
+        deadline=2.0,
+        heard=frozenset({0, 1, 2}),
+        missing=frozenset({3}),
+        suspected=frozenset({3}),
+        time=4.5,
+    )
+    defaults.update(kwargs)
+    return DegradationEvent(**defaults)
+
+
+class TestDegradationEvent:
+    def test_action_validated(self):
+        with pytest.raises(ValueError):
+            event(action="hang")
+
+    def test_to_doc_is_json_ready(self):
+        doc = event().to_doc()
+        assert doc["action"] == "advance"
+        assert doc["heard"] == [0, 1, 2]  # sorted lists, not frozensets
+        assert doc["missing"] == [3]
+        assert doc["suspected"] == [3]
+        import json
+
+        json.dumps(doc)  # must not raise
+
+
+class TestDegradationReport:
+    def test_counts_split_by_action(self):
+        report = DegradationReport()
+        report.add(event())
+        report.add(event(instance="i1", action="park"))
+        report.add(event(instance="i1", round=3))
+        assert len(report) == 3
+        assert report.degraded_rounds == 2
+        assert report.parks == 1
+
+    def test_for_instance_filters(self):
+        report = DegradationReport()
+        report.add(event(instance="a"))
+        report.add(event(instance="b"))
+        report.add(event(instance="a", round=3))
+        assert [e.round for e in report.for_instance("a")] == [2, 3]
+        assert report.for_instance("missing") == []
+
+    def test_summary_and_to_doc(self):
+        report = DegradationReport()
+        report.add(event(instance="b", action="park"))
+        report.add(event(instance="a"))
+        summary = report.summary()
+        assert summary == {
+            "events": 2,
+            "degraded_rounds": 1,
+            "parks": 1,
+            "instances": ["a", "b"],
+        }
+        assert [d["instance"] for d in report.to_doc()] == ["b", "a"]
+
+    def test_iteration(self):
+        report = DegradationReport()
+        report.add(event())
+        assert list(report) == report.events

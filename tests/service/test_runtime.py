@@ -1,0 +1,247 @@
+"""The live asyncio runtime over real localhost sockets.
+
+These tests run real servers, links, heartbeats and instances.  Timeouts are
+kept tight (fault-free rounds complete in milliseconds) but every assertion
+is on *structure* — outcomes, views, audit verdicts — never on wall-clock
+numbers, so a loaded CI machine cannot flake them.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.replay import verify_trace_consistency
+from repro.service.runtime import (
+    InstanceOutcome,
+    InstanceSpec,
+    ServiceConfig,
+    ServiceRuntime,
+    audit_instance,
+    resolve_protocol,
+    run_service,
+)
+from repro.substrates.messaging.chaos import (
+    CrashWindow,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
+
+
+class TestResolveProtocol:
+    def test_catalog(self):
+        protocol, rounds = resolve_protocol("consensus", f=2)
+        assert rounds == 3
+        assert protocol.name.startswith("floodset")
+        _, rounds = resolve_protocol("kset", f=4, k=2)
+        assert rounds == 3
+        _, rounds = resolve_protocol("adopt-commit", f=1)
+        assert rounds == 2
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            resolve_protocol("paxos", f=1)
+
+
+class TestServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(n=3, f=3)
+        with pytest.raises(ValueError):
+            ServiceConfig(n=3, f=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(n=3, f=1, heartbeat_interval=0.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(n=3, f=1, round_deadline=-1.0)
+
+
+class TestFaultFreeRun:
+    def test_consensus_decides_and_certifies(self):
+        """The headline acceptance check: a fault-free live run must decide,
+        and its projected trace must pass the simulator-grade audit —
+        communication closure included — plus replay consistency."""
+        config = ServiceConfig(n=4, f=1, seed=7)
+        stats, degradations, (result,) = run_service(
+            config, [InstanceSpec("c0", "consensus", inputs=(1, 0, 1, 1))]
+        )
+        assert result.outcome is InstanceOutcome.DECIDED
+        assert len(set(result.decisions)) == 1
+        assert len(degradations) == 0
+
+        report = audit_instance(result)
+        assert report.ok, report.violations
+        assert report.views_checked == 4 * 2  # n=4, f+1=2 rounds
+
+        trace = result.to_trace()
+        assert len(trace.rounds) == 2
+        verify_trace_consistency(trace)
+
+        assert stats.instances_decided == 4
+
+    def test_adopt_commit_unanimous_commits(self):
+        _, _, (result,) = run_service(
+            ServiceConfig(n=3, f=1),
+            [InstanceSpec("ac", "adopt-commit", inputs=(5, 5, 5))],
+        )
+        assert result.outcome is InstanceOutcome.DECIDED
+        for decision in result.decisions:
+            assert decision.committed
+            assert decision.value == 5
+        assert audit_instance(result).ok
+
+    def test_kset_respects_k(self):
+        _, _, (result,) = run_service(
+            ServiceConfig(n=5, f=2),
+            [InstanceSpec("k0", "kset", inputs=(4, 2, 3, 1, 0), k=2)],
+        )
+        assert result.outcome is InstanceOutcome.DECIDED
+        assert len(set(result.decisions)) <= 2
+        assert audit_instance(result).ok
+
+    def test_concurrent_instances_multiplex_one_runtime(self):
+        specs = [
+            InstanceSpec(f"c{i}", "consensus", inputs=(i % 2, 1, 0, 1))
+            for i in range(10)
+        ]
+        stats, _, results = run_service(ServiceConfig(n=4, f=1), specs)
+        assert all(r.outcome is InstanceOutcome.DECIDED for r in results)
+        for result in results:
+            assert audit_instance(result).ok
+        assert stats.instances_decided == 40
+
+    def test_input_arity_checked(self):
+        with pytest.raises(ValueError):
+            run_service(
+                ServiceConfig(n=4, f=1),
+                [InstanceSpec("bad", "consensus", inputs=(1, 2))],
+            )
+
+
+class TestChaosRuns:
+    def test_lossy_links_still_decide(self):
+        """Retransmission + acks mask a 20% loss rate completely."""
+        config = ServiceConfig(
+            n=4, f=1, seed=3,
+            plan=FaultPlan(default=LinkFaults(drop_prob=0.2, dup_prob=0.1)),
+        )
+        stats, _, results = run_service(
+            config,
+            [
+                InstanceSpec(f"c{i}", "consensus", inputs=(1, 0, 1, 0))
+                for i in range(5)
+            ],
+        )
+        for result in results:
+            assert result.outcome in (
+                InstanceOutcome.DECIDED, InstanceOutcome.DEGRADED
+            )
+            assert audit_instance(result).ok
+        assert stats.messages_dropped_chaos > 0
+
+    def test_crash_window_process_reported_crashed_not_parked(self):
+        """A plan-crashed process that misses a round is recorded as
+        crashed — parking it would misreport downtime as degradation."""
+        config = ServiceConfig(
+            n=4, f=1, seed=1,
+            round_deadline=0.6,
+            initial_timeout=0.15,
+            timeout_bump=0.1,
+            heartbeat_interval=0.03,
+            plan=FaultPlan(crashes={2: [CrashWindow(down=0.0, up=30.0)]}),
+        )
+        _, _, results = run_service(
+            config, [InstanceSpec("c0", "consensus", inputs=(0, 1, 1, 1))]
+        )
+        (result,) = results
+        assert 2 in result.crashed
+        assert not result.records[2].parked
+        # The survivors close their rounds with 2 in D and still agree.
+        live = [r for r in result.records if r.pid != 2]
+        assert all(r.process.decided for r in live)
+        assert len({r.process.decision for r in live}) == 1
+        assert audit_instance(result).ok
+
+    def test_partition_beyond_budget_parks_honestly(self):
+        """A 2|2 split exceeds f=1: advancing would break |D| ≤ f, so
+        participants park (structured, audited) instead of hanging."""
+        config = ServiceConfig(
+            n=4, f=1, seed=5,
+            round_deadline=0.4,
+            retransmit_retries=3,
+            retransmit_cap=0.2,
+            plan=FaultPlan(partitions=[
+                Partition(start=0.0, end=30.0,
+                          groups=(frozenset({0, 1}), frozenset({2, 3})))
+            ]),
+        )
+        _, degradations, (result,) = run_service(
+            config, [InstanceSpec("c0", "consensus", inputs=(0, 1, 1, 1))]
+        )
+        assert result.outcome is InstanceOutcome.PARKED
+        assert degradations.parks > 0
+        # Parked views that were recorded still satisfy the predicates.
+        assert audit_instance(result).ok
+
+
+class TestKillMidRun:
+    def test_kill_yields_suspicion_then_decision(self):
+        """Killing a process mid-run: survivors suspect it (it lands in D)
+        and still decide — the acceptance scenario, as a test."""
+
+        async def scenario():
+            config = ServiceConfig(
+                n=4, f=1, seed=2,
+                round_deadline=1.5,
+                initial_timeout=0.12,
+                timeout_bump=0.08,
+                heartbeat_interval=0.025,
+                # Loss slows the rounds enough that the kill lands mid-run.
+                plan=FaultPlan(default=LinkFaults(drop_prob=0.4)),
+            )
+            async with ServiceRuntime(config) as runtime:
+                task = asyncio.get_running_loop().create_task(
+                    runtime.run_instance(
+                        InstanceSpec("c0", "consensus", inputs=(1, 1, 1, 0))
+                    )
+                )
+                await asyncio.sleep(0.02)
+                await runtime.kill(3)
+                return await task, runtime.stats
+
+        result, stats = asyncio.run(scenario())
+        assert 3 in result.crashed
+        survivors = [r for r in result.records if r.pid != 3]
+        for record in survivors:
+            assert record.process.decided
+            # The kill happened before round 1 could complete cleanly, so
+            # the dead peer must appear in some survivor's suspicion set.
+            assert any(3 in view.suspected for view in record.views)
+        assert len({r.process.decision for r in survivors}) == 1
+        assert stats.suspicions_raised >= 1
+        assert audit_instance(result).ok
+
+
+class TestRuntimeLifecycle:
+    def test_double_instance_name_rejected(self):
+        async def scenario():
+            async with ServiceRuntime(ServiceConfig(n=3, f=1)) as runtime:
+                spec = InstanceSpec("dup", "consensus", inputs=(1, 2, 3))
+                task = asyncio.get_running_loop().create_task(
+                    runtime.run_instance(spec)
+                )
+                await asyncio.sleep(0)  # let it register
+                with pytest.raises(ValueError):
+                    await runtime.run_instance(spec)
+                await task
+
+        asyncio.run(scenario())
+
+    def test_stats_rollup_merges_endpoints(self):
+        stats, _, _ = run_service(
+            ServiceConfig(n=3, f=1),
+            [InstanceSpec("c0", "consensus", inputs=(1, 2, 3))],
+        )
+        snap = stats.snapshot()
+        assert snap["frames_sent"] > 0
+        assert snap["messages_delivered"] > 0
+        assert snap["queue_high_water"] >= 1

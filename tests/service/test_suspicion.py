@@ -1,0 +1,120 @@
+"""The live suspicion monitor: pure state driven by a hand-rolled clock."""
+
+import pytest
+
+from repro.service.suspicion import SuspicionMonitor
+from repro.service.transport import ServiceStats
+
+
+def monitor(**kwargs):
+    kwargs.setdefault("initial_timeout", 1.0)
+    kwargs.setdefault("timeout_bump", 0.5)
+    kwargs.setdefault("hysteresis", 2)
+    return SuspicionMonitor(0, [0, 1, 2, 3], **kwargs)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            monitor(initial_timeout=0.0)
+        with pytest.raises(ValueError):
+            monitor(timeout_bump=-1.0)
+        with pytest.raises(ValueError):
+            monitor(hysteresis=0)
+
+    def test_self_excluded_from_peers(self):
+        m = monitor()
+        assert m.peers == [1, 2, 3]
+        m.heard(0, 1.0)  # self and unknown peers are ignored
+        m.heard(99, 1.0)
+
+
+class TestHysteresis:
+    def test_one_missed_check_does_not_suspect(self):
+        m = monitor()
+        m.note_start(0.0)
+        assert m.check(1.5) == frozenset()  # first miss: silent for > 1.0
+        assert m.misses[1] == 1
+
+    def test_consecutive_misses_reach_suspicion(self):
+        m = monitor()
+        m.note_start(0.0)
+        m.check(1.5)
+        assert m.check(2.0) == frozenset({1, 2, 3})
+        assert m.stats.suspicions_raised == 3
+
+    def test_a_heartbeat_resets_the_miss_count(self):
+        # One scheduling hiccup (a single missed check) must not combine
+        # with a later, unrelated miss into a suspicion: heard() zeroes it.
+        m = monitor()
+        m.note_start(0.0)
+        m.check(1.5)  # miss 1 for everyone
+        m.heard(1, 1.6)
+        m.check(1.7)  # peer 1 timely again; 2, 3 hit miss 2
+        assert m.suspected == frozenset({2, 3})
+        m.check(5.0)  # peer 1's first miss of the new silence
+        assert 1 not in m.suspected
+        m.check(5.1)
+        assert 1 in m.suspected
+
+    def test_hysteresis_one_is_immediate(self):
+        m = monitor(hysteresis=1)
+        m.note_start(0.0)
+        assert m.check(1.5) == frozenset({1, 2, 3})
+
+
+class TestAdaptiveTimeouts:
+    def test_false_suspicion_clears_and_bumps(self):
+        m = monitor()
+        m.note_start(0.0)
+        m.check(1.5)
+        m.check(2.0)
+        assert 1 in m.suspected
+        m.heard(1, 2.5)  # the peer was alive after all
+        assert 1 not in m.suspected
+        assert m.timeouts[1] == pytest.approx(1.5)  # 1.0 + bump 0.5
+        assert m.timeouts[2] == pytest.approx(1.0)  # others untouched
+        assert m.stats.suspicions_cleared == 1
+        assert m.stats.timeout_bumps == 1
+
+    def test_bump_prevents_the_same_false_suspicion(self):
+        # Chandra–Toueg adaptation: after one false suspicion at silence x,
+        # the same silence no longer suspects.
+        m = monitor(hysteresis=1)
+        m.note_start(0.0)
+        m.check(1.5)
+        m.heard(1, 1.6)
+        m.heard(2, 1.6)
+        m.heard(3, 1.6)
+        assert m.check(3.0) == frozenset()  # silent 1.4 < bumped 1.5
+        assert m.check(3.2) == frozenset({1, 2, 3})  # 1.6 > 1.5
+
+    def test_timely_peer_never_suspected(self):
+        m = monitor()
+        m.note_start(0.0)
+        now = 0.0
+        for _ in range(50):
+            now += 0.5
+            for peer in (1, 2, 3):
+                m.heard(peer, now)
+            assert m.check(now) == frozenset()
+        assert m.stats.suspicions_raised == 0
+
+
+class TestSuspicionLog:
+    def test_log_records_every_change(self):
+        m = monitor()
+        m.note_start(0.0)
+        m.check(1.5)
+        m.check(2.0)  # everyone suspected
+        m.heard(2, 2.5)  # one cleared
+        assert m.suspicion_log[0] == (2.0, frozenset({1, 2, 3}))
+        assert m.suspicion_log[1] == (2.5, frozenset({1, 3}))
+
+    def test_shared_stats_instance(self):
+        stats = ServiceStats()
+        m = monitor(stats=stats)
+        m.note_start(0.0)
+        m.check(1.5)
+        m.check(2.0)
+        assert stats.suspicions_raised == 3

@@ -1,0 +1,312 @@
+"""The live transport layer: framing, payload codec, backoff, fault
+injection, and the shared stats contract."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro import obs
+from repro.service.transport import (
+    MAX_FRAME,
+    Backoff,
+    FaultInjector,
+    FrameError,
+    ServiceStats,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    read_frame,
+)
+from repro.substrates.messaging.chaos import (
+    CrashWindow,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
+
+
+def _roundtrip_frame(doc, **kwargs):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(encode_frame(doc, **kwargs))
+        reader.feed_eof()
+        return await read_frame(reader, **kwargs)
+
+    return asyncio.run(run())
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        doc = {"kind": "m", "src": 3, "m": {"t": "hb"}}
+        assert _roundtrip_frame(doc) == doc
+
+    def test_several_frames_on_one_stream(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            docs = [{"i": i} for i in range(5)]
+            for doc in docs:
+                reader.feed_data(encode_frame(doc))
+            reader.feed_eof()
+            out = []
+            while (frame := await read_frame(reader)) is not None:
+                out.append(frame)
+            return docs, out
+
+        docs, out = asyncio.run(run())
+        assert out == docs
+
+    def test_eof_at_boundary_is_none(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert asyncio.run(run()) is None
+
+    def test_death_mid_frame_is_none(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"x": 1})[:3])  # truncated header
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert asyncio.run(run()) is None
+
+    def test_oversized_frame_rejected_both_ways(self):
+        with pytest.raises(FrameError):
+            encode_frame({"x": "y" * 100}, max_frame=32)
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"x": "y" * 100}))
+            reader.feed_eof()
+            return await read_frame(reader, max_frame=32)
+
+        with pytest.raises(FrameError):
+            asyncio.run(run())
+
+    def test_non_json_body_rejected(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00\x00\x04nope")
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        with pytest.raises(FrameError):
+            asyncio.run(run())
+
+    def test_default_ceiling(self):
+        assert MAX_FRAME == 1 << 20
+
+
+class TestPayloadCodec:
+    """The codec must round-trip *equal* — communication closure on live
+    runs is payload equality between emission and received view."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            0,
+            -7,
+            3.5,
+            "commit",
+            ("commit", 4),  # adopt-commit emissions are tuples
+            ("propose", ("nested", 1)),
+            [1, 2, 3],
+            frozenset({1, 2, 3}),
+            {1: "a", 2: "b"},  # int keys must survive
+            {0: frozenset({1}), 1: ("adopt", 2)},
+            (frozenset(), (), {}),
+            {("k", 1): [frozenset({0, 2})]},
+        ],
+    )
+    def test_roundtrip_equal(self, value):
+        decoded = decode_payload(encode_payload(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_set_vs_frozenset_preserved(self):
+        assert decode_payload(encode_payload({1, 2})) == {1, 2}
+        assert isinstance(decode_payload(encode_payload({1, 2})), set)
+        assert isinstance(
+            decode_payload(encode_payload(frozenset({1, 2}))), frozenset
+        )
+
+    def test_through_json_frame(self):
+        payload = {0: ("commit", frozenset({1, 2}))}
+        doc = _roundtrip_frame({"p": encode_payload(payload)})
+        assert decode_payload(doc["p"]) == payload
+
+    def test_unencodable_payload_rejected(self):
+        with pytest.raises(FrameError):
+            encode_payload(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(FrameError):
+            decode_payload({"!": "zz", "v": []})
+
+
+class TestBackoff:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Backoff(base=0.0)
+        with pytest.raises(ValueError):
+            Backoff(factor=0.5)
+        with pytest.raises(ValueError):
+            Backoff(base=1.0, cap=0.5)
+        with pytest.raises(ValueError):
+            Backoff(jitter=-0.1)
+        with pytest.raises(ValueError):
+            Backoff().delay(0)
+
+    def test_jitter_is_one_sided(self):
+        # Jitter may only lengthen a delay, never shorten it below the
+        # deterministic schedule — a shortened delay would retransmit early.
+        b = Backoff(base=0.1, factor=2.0, cap=1.0, jitter=0.5,
+                    rng=random.Random(7))
+        for attempt in range(1, 10):
+            deterministic = min(0.1 * 2.0 ** (attempt - 1), 1.0)
+            for _ in range(50):
+                d = b.delay(attempt)
+                assert deterministic <= d <= deterministic * 1.5
+
+    def test_cap_applies_before_jitter(self):
+        b = Backoff(base=0.1, factor=10.0, cap=0.4, jitter=0.0)
+        assert b.delay(10) == pytest.approx(0.4)
+
+    def test_seeded_determinism(self):
+        a = Backoff(jitter=0.25, rng=random.Random(3))
+        b = Backoff(jitter=0.25, rng=random.Random(3))
+        assert [a.delay(i) for i in range(1, 8)] == [
+            b.delay(i) for i in range(1, 8)
+        ]
+
+
+class _Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestFaultInjector:
+    def test_clean_plan_admits_one_copy(self):
+        inj = FaultInjector(FaultPlan(), clock=_Clock())
+        stats = ServiceStats()
+        for _ in range(20):
+            assert inj.admit(0, 1, stats) == [0.0]
+        assert stats.messages_dropped_chaos == 0
+
+    def test_drop_rate(self):
+        inj = FaultInjector(
+            FaultPlan(default=LinkFaults(drop_prob=0.5)),
+            seed=11,
+            clock=_Clock(),
+        )
+        stats = ServiceStats()
+        lost = sum(1 for _ in range(400) if not inj.admit(0, 1, stats))
+        assert stats.messages_dropped_chaos == lost
+        assert 120 < lost < 280  # ~200 expected
+
+    def test_duplication(self):
+        inj = FaultInjector(
+            FaultPlan(default=LinkFaults(dup_prob=1.0)), clock=_Clock()
+        )
+        stats = ServiceStats()
+        assert len(inj.admit(0, 1, stats)) == 2
+        assert stats.messages_duplicated == 1
+
+    def test_partition_blocks_cross_group_only(self):
+        plan = FaultPlan(
+            partitions=[
+                Partition(start=1.0, end=2.0,
+                          groups=(frozenset({0, 1}), frozenset({2, 3})))
+            ]
+        )
+        clock = _Clock(1.5)
+        inj = FaultInjector(plan, clock=clock)
+        stats = ServiceStats()
+        assert inj.admit(0, 2, stats) == []  # cross-group: blocked
+        assert inj.admit(0, 1, stats) == [0.0]  # same group: fine
+        assert stats.messages_partition_blocked == 1
+        clock.now = 2.5  # window over
+        assert inj.admit(0, 2, stats) == [0.0]
+
+    def test_crash_window_silences_sender_and_receiver(self):
+        plan = FaultPlan(crashes={0: [CrashWindow(down=1.0, up=2.0)]})
+        clock = _Clock(1.5)
+        inj = FaultInjector(plan, clock=clock)
+        stats = ServiceStats()
+        assert inj.crashed(0)
+        assert inj.admit(0, 1, stats) == []  # crashed sender
+        assert not inj.deliverable(0, stats)  # crashed receiver
+        assert stats.messages_dropped_crash == 2
+        clock.now = 2.5  # recovered
+        assert not inj.crashed(0)
+        assert inj.admit(0, 1, stats) == [0.0]
+        assert inj.deliverable(0, stats)
+
+    def test_spike_and_jitter_delay_copies(self):
+        inj = FaultInjector(
+            FaultPlan(default=LinkFaults(jitter=0.1, spike_prob=1.0, spike=5.0)),
+            clock=_Clock(),
+        )
+        stats = ServiceStats()
+        (delay,) = inj.admit(0, 1, stats)
+        assert delay >= 5.0
+        assert stats.delay_spikes == 1
+        assert stats.messages_delayed == 1
+
+    def test_seed_determinism(self):
+        plan = FaultPlan(default=LinkFaults(drop_prob=0.3, dup_prob=0.2))
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(plan, seed=42, clock=_Clock())
+            stats = ServiceStats()
+            runs.append([inj.admit(0, 1, stats) for _ in range(100)])
+        assert runs[0] == runs[1]
+
+
+class TestServiceStats:
+    def test_merge_adds_counters_and_maxes_high_water(self):
+        a = ServiceStats(frames_sent=3, retries=1, queue_high_water=10)
+        b = ServiceStats(frames_sent=2, reconnects=4, queue_high_water=7)
+        a.merge(b)
+        assert a.frames_sent == 5
+        assert a.retries == 1
+        assert a.reconnects == 4
+        assert a.queue_high_water == 10  # max, not sum
+
+    def test_merge_accepts_snapshot_dict(self):
+        a = ServiceStats()
+        a.merge({"frames_sent": 9, "queue_high_water": 4})
+        assert a.frames_sent == 9
+        assert a.queue_high_water == 4
+
+    def test_snapshot_covers_every_field(self):
+        snap = ServiceStats(degraded_rounds=2, queue_high_water=5).snapshot()
+        assert snap["degraded_rounds"] == 2
+        assert snap["queue_high_water"] == 5
+        assert set(snap) == set(ServiceStats._COUNTER_FIELDS) | {
+            "queue_high_water"
+        }
+
+    def test_publish_counters_and_gauge(self):
+        metrics = obs.Metrics()
+        stats = ServiceStats(
+            retries=3, reconnects=2, degraded_rounds=1, queue_high_water=17
+        )
+        stats.publish(metrics)
+        assert metrics.counter("service.retries").value == 3
+        assert metrics.counter("service.reconnects").value == 2
+        assert metrics.counter("service.degraded_rounds").value == 1
+        assert metrics.gauge("service.queue_high_water").value == 17
+        # Gauge keeps the high-water mark across publishes.
+        ServiceStats(queue_high_water=9).publish(metrics)
+        assert metrics.gauge("service.queue_high_water").value == 17
+        ServiceStats(queue_high_water=30).publish(metrics)
+        assert metrics.gauge("service.queue_high_water").value == 30

@@ -208,3 +208,48 @@ class TestStats:
             messages_partition_blocked=3,
         )
         assert stats.total_lost == 6
+
+
+class TestFaultPlanValidation:
+    """Cross-entry schedule validation: inconsistent plans are rejected at
+    construction, with messages naming the offending entry."""
+
+    def test_negative_downtime_named(self):
+        with pytest.raises(ValueError, match="negative downtime"):
+            CrashWindow(-1.0)
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ValueError, match="negative pid"):
+            FaultPlan(crashes={-1: [CrashWindow(1.0)]})
+
+    def test_window_inside_recovery_window_rejected(self):
+        # Second crash scheduled while the process is still down: a bug in
+        # the schedule, not a fault to inject.
+        with pytest.raises(ValueError) as err:
+            FaultPlan(crashes={2: [CrashWindow(1.0, 5.0), CrashWindow(3.0, 8.0)]})
+        message = str(err.value)
+        assert "process 2" in message
+        assert "CrashWindow(3 → 8)" in message
+        assert "CrashWindow(1 → 5)" in message
+
+    def test_window_after_permanent_crash_rejected(self):
+        with pytest.raises(ValueError) as err:
+            FaultPlan(crashes={0: [CrashWindow(1.0), CrashWindow(9.0, 10.0)]})
+        message = str(err.value)
+        assert "permanent crash" in message
+        assert "CrashWindow(1 → ∞)" in message
+
+    def test_order_in_the_list_is_irrelevant(self):
+        # Validation sorts by time: listing windows out of order is fine...
+        FaultPlan(crashes={0: [CrashWindow(5.0, 6.0), CrashWindow(1.0, 2.0)]})
+        # ...and out-of-order overlap is still caught.
+        with pytest.raises(ValueError, match="process 0"):
+            FaultPlan(crashes={0: [CrashWindow(5.0, 6.0), CrashWindow(1.0, 5.5)]})
+
+    def test_back_to_back_windows_allowed(self):
+        # down again exactly at recovery is a valid (if brutal) schedule
+        FaultPlan(crashes={1: [CrashWindow(1.0, 2.0), CrashWindow(2.0, 3.0)]})
+
+    def test_valid_plans_unaffected(self):
+        FaultPlan.lossy(0.3)
+        FaultPlan(crashes={0: [CrashWindow(1.0, 2.0)], 1: [CrashWindow(0.5)]})

@@ -139,3 +139,49 @@ class TestHeartbeatUnderChaos:
             )
 
         assert run(7) == run(7)
+
+
+class TestHysteresisUnderChaos:
+    """Adaptive timeouts under a crash+recovery FaultPlan: suspicion must
+    rise during downtime, clear after recovery, and leave the recovered
+    peer's timeout strictly longer (the Chandra–Toueg bump)."""
+
+    def _crash_recovery_system(self, seed=0):
+        from repro.substrates.messaging.chaos import CrashWindow, FaultPlan
+
+        plan = FaultPlan(crashes={2: [CrashWindow(down=20.0, up=60.0)]})
+        system = HeartbeatSystem.build(
+            4, seed=seed, gst=0.0, delta=0.5, plan=plan
+        )
+        system.run(until=200.0)
+        return system
+
+    def test_suspected_while_down_cleared_after_recovery(self):
+        system = self._crash_recovery_system()
+        for pid in (0, 1, 3):
+            log = system.nodes[pid].suspicion_log
+            raised = [t for t, s in log if 2 in s]
+            cleared = [t for t, s in log if 2 not in s]
+            # Raised strictly inside the downtime window...
+            assert raised and 20.0 < min(raised) < 60.0
+            # ...cleared only once heartbeats resumed.
+            assert cleared and min(cleared) > 60.0
+            # Final state: nobody still suspects the recovered process.
+            assert 2 not in system.nodes[pid].suspected
+
+    def test_timeout_strictly_increased_by_the_false_suspicion(self):
+        system = self._crash_recovery_system()
+        for pid in (0, 1, 3):
+            node = system.nodes[pid]
+            # The recovered peer's timeout was bumped at least once; peers
+            # that never went silent kept the initial timeout.
+            assert node.timeouts[2] > 2.0
+            others = [j for j in node.timeouts if j not in (2, pid)]
+            assert all(node.timeouts[j] == 2.0 for j in others)
+
+    def test_downtime_suspicion_is_seed_deterministic(self):
+        logs = [
+            [node.suspicion_log for node in self._crash_recovery_system(5).nodes]
+            for _ in range(2)
+        ]
+        assert logs[0] == logs[1]

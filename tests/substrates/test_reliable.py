@@ -179,3 +179,60 @@ class TestNodeValidation:
             for peers in node.gave_up_on.values():
                 gave_up |= peers
         assert gave_up == {3}
+
+
+class TestRetryJitter:
+    """Seeded one-sided jitter on retransmission backoff."""
+
+    def _node(self, pid, *, jitter=0.1, rng=None):
+        import random
+
+        return ReliableRoundOverlayNode(
+            pid, 5, 1, FullInformationProcess(pid, 5, 0), EventSimulator(),
+            max_rounds=2, base_timeout=4.0, backoff=2.0,
+            retry_jitter=jitter, retry_rng=rng or random.Random(pid),
+        )
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError):
+            self._node(0, jitter=-0.1)
+
+    def test_jitter_only_lengthens(self):
+        node = self._node(0, jitter=0.5)
+        for attempt in range(1, 8):
+            deterministic = 4.0 * 2.0 ** (attempt - 1)
+            for _ in range(30):
+                d = node.retry_delay(attempt)
+                assert deterministic <= d <= deterministic * 1.5
+
+    def test_zero_jitter_is_the_deterministic_schedule(self):
+        node = self._node(0, jitter=0.0)
+        assert [node.retry_delay(a) for a in (1, 2, 3)] == [4.0, 8.0, 16.0]
+
+    def test_retry_times_differ_across_peers(self):
+        # The point of per-node seeding: peers sharing a loss event must not
+        # retry in lockstep (a retransmission storm).
+        schedules = {
+            pid: [self._node(pid).retry_delay(a) for a in range(1, 5)]
+            for pid in range(4)
+        }
+        distinct = {tuple(s) for s in schedules.values()}
+        assert len(distinct) == len(schedules)
+
+    def test_runs_stay_seed_deterministic_with_jitter(self):
+        a = run(seed=12, base_timeout=2.0, max_retries=4)
+        b = run(seed=12, base_timeout=2.0, max_retries=4)
+        assert [n.retransmissions for n in a.nodes] == [
+            n.retransmissions for n in b.nodes
+        ]
+        assert [n.views for n in a.nodes] == [n.views for n in b.nodes]
+
+    def test_different_run_seeds_jitter_differently(self):
+        a = run(seed=1, base_timeout=2.0, max_retries=4)
+        b = run(seed=2, base_timeout=2.0, max_retries=4)
+        # Same topology, different seeds: at least the chaos/jitter draws
+        # diverge — identical per-node retransmission counts across all
+        # nodes would mean the seed is ignored somewhere.
+        assert [n.retransmissions for n in a.nodes] != [
+            n.retransmissions for n in b.nodes
+        ]
