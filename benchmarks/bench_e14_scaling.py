@@ -55,6 +55,63 @@ EXPERIMENT = Experiment(
 )
 
 
+BITSET_GRID_NS = [128, 256, 512, 1024, 2048]
+
+
+def bitset_cell(ctx) -> dict:
+    """Packed-kernel throughput at sizes the frozenset path cannot reach.
+
+    Builds ``ROUNDS`` admissible rounds as rotating suspicion windows of
+    width ``f = n // 3`` directly in mask algebra (no frozensets touched),
+    packs them, and judges them with the :class:`AsyncMessagePassing`
+    fast kernel — admissibility, state folding and round-union popcounts
+    all as big-int bit operations.
+    """
+    n = ctx["n"]
+    f = n // 3
+    fast = AsyncMessagePassing(n, f).packed()
+    assert fast.fast
+    dom = fast.domain
+    window = (1 << f) - 1
+    rints = []
+    for r in range(ROUNDS):
+        masks = []
+        for pid in range(n):
+            start = (pid + r) % n
+            mask = ((window << start) | (window >> (n - start))) & dom.full
+            mask &= ~(1 << pid)  # never suspect yourself: |D(i)| stays ≤ f
+            masks.append(mask)
+        rints.append(dom.pack_masks(masks))
+    state = fast.initial_state()
+    for rint in rints:
+        assert fast.allows_round(state, rint)
+        state = fast.advance(state, rint)
+    suspected = sum(dom.round_union(rint).bit_count() for rint in rints)
+    assert suspected == ROUNDS * n  # every pid lands in some window
+    return {"rounds": ROUNDS, "suspicion_bits": ROUNDS * n * f}
+
+
+EXPERIMENT_BITSET = Experiment(
+    id="E14c",
+    title="E14c: bitset round kernel scaling (mask-algebra admissibility)",
+    grid=Grid.explicit("n", BITSET_GRID_NS),
+    run_cell=bitset_cell,
+    samples=1,  # n=2048 rounds are ~0.5 s each; one sample keeps CI honest
+    reduce={"rounds": "last", "suspicion_bits": "last"},
+    table=(
+        ("n", "n"),
+        ("rounds", "rounds"),
+        ("suspicion bits", "suspicion_bits"),
+        ("cpu time", lambda c: f"{1000 * c.cpu_time:.1f} ms"),
+        ("bits/s",
+         lambda c: f"{c['suspicion_bits'] / c.cpu_time:,.0f}"
+         if c.cpu_time > 0 else "-"),
+    ),
+    notes="Packed rounds are n*n-bit ints; the frozenset path would "
+    "allocate n sets of ~n/3 members per round at these sizes.",
+)
+
+
 def sampler_cell(ctx) -> dict:
     n, rounds, style = ctx["n"], ctx["rounds"], ctx["style"]
     if style == "constructive":
@@ -112,6 +169,16 @@ def test_e14_one_round_kset_latency(benchmark, n):
     assert trace.all_decided
 
 
+@pytest.mark.parametrize("n", [128, 1024])
+def test_e14_bitset_kernel_scaling(benchmark, n):
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT_BITSET,), kwargs={"n": n, "samples": 1},
+        rounds=1, iterations=1,
+    )
+    assert cell["rounds"] == ROUNDS
+    assert cell["suspicion_bits"] == ROUNDS * n * (n // 3)
+
+
 @pytest.mark.parametrize("style", ["constructive", "rejection"])
 def test_e14_sampler_ablation(benchmark, style):
     cell = benchmark.pedantic(
@@ -124,9 +191,15 @@ def test_e14_sampler_ablation(benchmark, style):
 
 def test_e14_report(benchmark):
     def sweep():
-        return run_experiment(EXPERIMENT), run_experiment(EXPERIMENT_SAMPLERS)
+        return (
+            run_experiment(EXPERIMENT),
+            run_experiment(EXPERIMENT_BITSET),
+            run_experiment(EXPERIMENT_SAMPLERS),
+        )
 
-    kernel, samplers = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    kernel, bitset, samplers = benchmark.pedantic(sweep, rounds=1, iterations=1)
     kernel.check(lambda c: c["rounds"] == ROUNDS)
+    bitset.check(lambda c: c["rounds"] == ROUNDS)
     report_experiment(EXPERIMENT, kernel)
+    report_experiment(EXPERIMENT_BITSET, bitset)
     report_experiment(EXPERIMENT_SAMPLERS, samplers)

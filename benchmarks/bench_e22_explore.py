@@ -6,7 +6,12 @@ forks executors at branch points and pays one round per tree edge, shares
 one trace object per decided subtree (so invariant checks memoize by
 identity) and memoizes candidate generation per
 ``Predicate.extension_state``.  Symmetry reduction additionally cuts
-permutation-equivalent subtrees.
+permutation-equivalent subtrees.  The ``+bitset`` configs run the default
+integer-bitmask kernel (:mod:`repro.util.bitset`): whole rounds packed as
+ints, candidate enumeration and symmetry canonicalization in mask algebra.
+The plain ``incremental`` configs pin ``bitset=False`` — the set-based
+reference path the packed engine is differentially certified against
+(``tests/check/test_bitset_differential.py``).
 
 Expected shape: on ``kset`` n=3 rounds=2 (3 721 histories, decided after
 round 1) the incremental engine is well over the acceptance bar of 5×,
@@ -35,8 +40,15 @@ WORKLOADS = {
 
 CONFIGS = {
     "replay": dict(engine="replay"),
-    "incremental": dict(engine="incremental"),
-    "incremental+symmetry": dict(engine="incremental", symmetry=True),
+    # The set-based incremental engine is the differential oracle the
+    # packed path is certified against; pin bitset=False so its cells
+    # keep measuring the reference implementation.
+    "incremental": dict(engine="incremental", bitset=False),
+    "incremental+symmetry": dict(engine="incremental", symmetry=True,
+                                 bitset=False),
+    # The default engine: integer-bitmask rounds end to end.
+    "incremental+bitset": dict(engine="incremental"),
+    "incremental+symmetry+bitset": dict(engine="incremental", symmetry=True),
 }
 
 
@@ -54,6 +66,7 @@ def run_cell(ctx) -> dict:
         "rounds_executed": result.rounds_executed,
         "skipped_symmetric": result.skipped_symmetric,
         "symmetry_applied": 1 if result.symmetry else 0,
+        "bitset": 1 if result.bitset else 0,
     }
 
 
@@ -92,7 +105,9 @@ def _speedup(result, workload: str, config: str) -> float:
 @pytest.mark.parametrize("workload,config", [
     ("kset-n3", "incremental"),
     ("kset-n3", "incremental+symmetry"),
+    ("kset-n3", "incremental+bitset"),
     ("floodset-n3", "incremental"),
+    ("floodset-n3", "incremental+bitset"),
 ])
 def test_e22_cell_counts(benchmark, workload, config):
     cell = benchmark.pedantic(
@@ -116,8 +131,35 @@ def test_e22_report(benchmark):
         incr = result.cell(workload=workload, config="incremental")
         assert replay["executions"] == incr["executions"]
         assert replay["histories"] == incr["histories"]
-    # The acceptance bar: ≥5× on kset n=3 rounds=2 for the full engine.
+        packed = result.cell(workload=workload, config="incremental+bitset")
+        assert replay["executions"] == packed["executions"]
+        assert replay["histories"] == packed["histories"]
+        assert packed["bitset"] == 1
+        assert incr["bitset"] == 0
+    # Set-engine acceptance bar: ≥5× over replay on kset n=3 rounds=2.
     assert _speedup(result, "kset-n3", "incremental+symmetry") >= 5.0
+    # The bitset kernel's bar: ≥10× over replay (measured ~139× here; the
+    # margin absorbs CI noise), and strictly ahead of the set engine on
+    # workloads where exploration — not the shared invariant-checking
+    # floor — dominates.
+    assert _speedup(result, "kset-n3", "incremental+bitset") >= 10.0
+    assert _speedup(result, "kset-n3", "incremental+symmetry+bitset") >= 10.0
+    kset_ratio = (
+        result.cell(workload="kset-n3", config="incremental")["elapsed_ms"]
+        / result.cell(workload="kset-n3", config="incremental+bitset")[
+            "elapsed_ms"
+        ]
+    )
+    assert kset_ratio >= 1.5, f"bitset engine ratio degraded: {kset_ratio:.2f}"
+    flood_ratio = (
+        result.cell(workload="floodset-n3", config="incremental")["elapsed_ms"]
+        / result.cell(workload="floodset-n3", config="incremental+bitset")[
+            "elapsed_ms"
+        ]
+    )
+    assert flood_ratio >= 2.5, (
+        f"bitset engine ratio degraded: {flood_ratio:.2f}"
+    )
     # Symmetry certifies representatives only — strictly fewer histories.
     sym = result.cell(workload="kset-n4-pruned", config="incremental+symmetry")
     full = result.cell(workload="kset-n4-pruned", config="incremental")

@@ -188,12 +188,19 @@ def search_worst_case(
         explorer = IncrementalExplorer(protocol, predicate, inputs,
                                        max_d_size=max_d_size)
         for run in explorer.runs(rounds):
-            explored += 1
+            explored += run.count
             value = objective(run.trace)
             if best is None or value > best.objective_value:
+                # An aggregated run stands for a decided subtree whose
+                # leaves all share this trace: the maximiser the set-based
+                # walk would pick is its DFS-first leaf.
+                history = (
+                    run.history if run.expand is None
+                    else next(run.expand())
+                )
                 best = WorstCase(
                     objective_value=value,
-                    history=run.history,
+                    history=history,
                     trace=run.trace,
                     histories_explored=0,
                 )

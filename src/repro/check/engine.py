@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, NamedTuple, Sequence
 
 from repro import obs
 from repro.analysis.adversary_search import (
@@ -58,7 +58,8 @@ from repro.core.adversary import Adversary
 from repro.core.algorithm import Protocol
 from repro.core.executor import RoundExecutor
 from repro.core.predicate import Predicate
-from repro.core.types import DHistory, DRound, ExecutionTrace
+from repro.core.types import DHistory, DRound, ExecutionTrace, PackedDHistory
+from repro.util.bitset import BitsetDomain, domain as bitset_domain
 
 __all__ = [
     "MAX_SYMMETRY_N",
@@ -84,8 +85,15 @@ class EngineStats:
     skipped_symmetric: int = 0  # subtree roots cut by the transposition table
     rounds_executed: int = 0  # protocol rounds stepped = tree edges paid for
     forks: int = 0  # executor forks (edges minus moves minus shared)
-    memo_hits: int = 0  # candidate lists served from the extension-state memo
-    memo_misses: int = 0  # candidate lists enumerated from scratch
+    memo_hits: int = 0  # set-keyed candidate lists served from the memo
+    memo_misses: int = 0  # set-keyed candidate lists enumerated from scratch
+    # Packed-path twins: keys are int-tuple extension states, never
+    # frozensets.  Kept separate from the set-keyed counters so the
+    # obs-smoke job can confirm *which* representation a run actually used
+    # (a packed E22 run must show packed traffic and zero set traffic).
+    memo_hits_packed: int = 0  # packed-keyed candidate lists served from memo
+    memo_misses_packed: int = 0  # packed-keyed candidate lists enumerated
+    aggregated_subtrees: int = 0  # decided subtrees counted without expansion
 
     def snapshot(self) -> dict[str, int]:
         """Plain picklable counter snapshot (the shared obs contract)."""
@@ -101,19 +109,30 @@ class EngineStats:
         obs.publish_fields(metrics, prefix, self)
 
 
-@dataclass(frozen=True)
-class EngineRun:
+class EngineRun(NamedTuple):
     """One checked node: a full-depth history or a decided interior prefix.
 
     ``trace`` is byte-identical to what ``spec.run(inputs, history)`` would
     produce (the executor truncates at all-decided exactly like the legacy
     runner) but may be *shared* between consecutive runs under a decided
     subtree — callers can memoize invariant checks via ``trace is last``.
+
+    On the packed path (symmetry off), an entire decided subtree whose
+    leaves all share this trace may arrive as a *single* run with
+    ``count`` set to the number of full-depth histories it stands for and
+    ``history`` the decided prefix; ``expand()`` lazily enumerates the
+    individual leaf histories in DFS order (callers only need them when
+    the shared trace fails an invariant).  Plain runs have ``count == 1``
+    and ``expand is None``.  (A NamedTuple rather than a dataclass: the
+    engine creates one per visited node, and tuple construction is ~3×
+    cheaper than a frozen dataclass — measurable at E22 node counts.)
     """
 
     history: DHistory
     trace: ExecutionTrace
     pruned: bool = False
+    count: int = 1
+    expand: Callable[[], Iterator[DHistory]] | None = None
 
 
 class _CursorAdversary(Adversary):
@@ -123,6 +142,8 @@ class _CursorAdversary(Adversary):
     global script — the DFS decides the next round at each edge, stages it,
     and steps once.
     """
+
+    needs_history = False  # the staged round is the whole strategy
 
     def __init__(self, n: int) -> None:
         super().__init__(n)
@@ -213,6 +234,92 @@ class _SymmetryTable:
         return True
 
 
+class _PackedSymmetryTable:
+    """The transposition table of :class:`_SymmetryTable` over packed rounds.
+
+    Claim decisions depend only on the orbit partition, not on how a
+    canonical representative is serialized, so this table makes *exactly*
+    the same claim/skip decisions as the set-based one for the same claim
+    sequence — the differential tests compare skip counts across the two.
+    What changes is the cost: per-round permutation images are ints
+    (computed once per distinct round through the domain's per-permutation
+    ``2^n`` mask maps), and canonicalization narrows the candidate
+    permutations level by level — first to those minimizing the input
+    piece (precomputed), then per round — instead of building all ``n!``
+    serializations.
+    """
+
+    def __init__(self, inputs: tuple[Any, ...], mode: str, dom: BitsetDomain) -> None:
+        if mode not in ("exact", "labels"):
+            raise ValueError(f"unknown symmetry mode {mode!r}")
+        self.dom = dom
+        n = len(inputs)
+        self.perms: list[tuple[int, ...]] = list(
+            itertools.permutations(range(n))
+        )
+        self._round_images: dict[int, tuple[int, ...]] = {}
+        input_pieces: list[tuple[Any, ...]] = []
+        for perm in self.perms:
+            image: list[Any] = [None] * n
+            for i, value in enumerate(inputs):
+                image[perm[i]] = value
+            if mode == "labels":
+                relabel: dict[Any, int] = {}
+                for value in image:
+                    if value not in relabel:
+                        relabel[value] = len(relabel)
+                input_pieces.append(tuple(relabel[v] for v in image))
+            else:
+                input_pieces.append(tuple(image))
+        min_piece = min(input_pieces)
+        self._min_piece = min_piece
+        self._min_idx: tuple[int, ...] = tuple(
+            idx for idx, piece in enumerate(input_pieces) if piece == min_piece
+        )
+        self._seen: set[tuple[Any, ...]] = set()
+
+    def _images(self, rint: int) -> tuple[int, ...]:
+        cached = self._round_images.get(rint)
+        if cached is None:
+            dom = self.dom
+            cached = tuple(dom.permute_round(rint, perm) for perm in self.perms)
+            self._round_images[rint] = cached
+        return cached
+
+    def canonical(self, history: PackedDHistory) -> tuple[Any, ...]:
+        """Orbit-minimal serialization of ``(inputs, packed history)``.
+
+        Only permutations minimizing the input piece can produce the
+        lexicographic minimum; each round then narrows the survivors to
+        those minimizing its image, so most claims touch a handful of
+        permutations instead of all ``n!``.
+        """
+        survivors = self._min_idx
+        key: list[Any] = [self._min_piece]
+        depth = len(history)
+        for level, rint in enumerate(history):
+            images = self._images(rint)
+            if len(survivors) == 1:
+                idx = survivors[0]
+                key.extend(self._images(r)[idx] for r in history[level:])
+                break
+            best = min(images[idx] for idx in survivors)
+            key.append(best)
+            if level + 1 < depth:
+                survivors = tuple(
+                    idx for idx in survivors if images[idx] == best
+                )
+        return tuple(key)
+
+    def claim(self, history: PackedDHistory) -> bool:
+        """True iff this node's orbit is fresh (caller must explore it)."""
+        key = self.canonical(history)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        return True
+
+
 # Stack-entry tags: how the popped node obtains its executor.
 _READY = 0  # executor already attached (root / resumed prefix)
 _EDGE = 1  # fork (or consume) the parent and step one staged round
@@ -238,6 +345,13 @@ class IncrementalExplorer:
         symmetry: ``None`` (off), ``"exact"`` or ``"labels"`` — see
             :class:`_SymmetryTable`.  Silently disabled for the rest of the
             run if canonicalization hits uncomparable/unhashable inputs.
+        bitset: route onto the packed (integer-bitmask) hot path when the
+            predicate provides a fast packed kernel
+            (``predicate.packed().fast``); otherwise — and always with
+            ``bitset=False`` — the set-based reference path runs.  Both
+            paths yield identical histories, violations and orbit skips;
+            the packed path may additionally aggregate decided subtrees
+            (symmetry off), which only changes ``visited`` accounting.
     """
 
     def __init__(
@@ -250,6 +364,7 @@ class IncrementalExplorer:
         prune_decided: bool = False,
         max_d_size: int | None = None,
         symmetry: str | None = None,
+        bitset: bool = True,
     ) -> None:
         self.protocol = protocol
         self.predicate = predicate
@@ -263,10 +378,31 @@ class IncrementalExplorer:
         self.prune_decided = prune_decided
         self.max_d_size = max_d_size
         self.stats = EngineStats()
+        # One cursor serves every executor this explorer forks: stage() is
+        # always consumed by the very next step() before control returns to
+        # the DFS, so the staged slot never holds two rounds at once.
+        self._cursor = _CursorAdversary(self.n)
         self._candidates: dict[Any, list[DRound]] = {}
-        self._table: _SymmetryTable | None = (
-            _SymmetryTable(self.inputs, symmetry) if symmetry else None
-        )
+        packed = predicate.packed() if bitset else None
+        self._packed = packed if packed is not None and packed.fast else None
+        self.bitset = self._packed is not None
+        self._packed_candidates: dict[Any, list[int]] = {}
+        self._agg_counts: dict[Any, int] = {}
+        self._table: _SymmetryTable | None = None
+        self._packed_table: _PackedSymmetryTable | None = None
+        if symmetry:
+            if self._packed is not None:
+                try:
+                    self._packed_table = _PackedSymmetryTable(
+                        self.inputs, symmetry, self._packed.domain
+                    )
+                except TypeError:
+                    # Uncomparable input values: the set-based table would
+                    # disable itself on first claim — match that (sound:
+                    # everything is explored).
+                    self._packed_table = None
+            else:
+                self._table = _SymmetryTable(self.inputs, symmetry)
 
     # ------------------------------------------------------------- internals
 
@@ -314,11 +450,117 @@ class IncrementalExplorer:
             self._table = None
             return True
 
+    def _claim_packed(self, phistory: PackedDHistory) -> bool:
+        """Packed transposition-table probe; disables itself on type errors."""
+        table = self._packed_table
+        if table is None:
+            return True
+        try:
+            return table.claim(phistory)
+        except TypeError:  # unhashable input values: fall back, stay sound
+            self._packed_table = None
+            return True
+
+    def _admissible_packed(
+        self, state: object, depth: int, tracer: "obs.Tracer"
+    ) -> list[int]:
+        """Packed candidate rounds, memoized per folded predicate state.
+
+        Unlike the set path there is no ``extension_state`` recomputation
+        per node — the DFS threads ``state`` through ``advance`` — and the
+        memo key is the state itself (ints/int tuples by construction, so
+        no unhashable escape hatch is needed).
+        """
+        cached = self._packed_candidates.get(state)
+        if cached is None:
+            cached = self._packed.admissible_round_ints(
+                (), max_d_size=self.max_d_size, state=state
+            )
+            self._packed_candidates[state] = cached
+            self.stats.memo_misses_packed += 1
+            if tracer.enabled:
+                tracer.event(
+                    "engine.memo_miss", depth=depth, candidates=len(cached)
+                )
+        else:
+            self.stats.memo_hits_packed += 1
+            if tracer.enabled:
+                tracer.event("engine.memo_hit", depth=depth)
+        return cached
+
+    def _subtree_count(
+        self, state: object, depth: int, depth_left: int, tracer: "obs.Tracer"
+    ) -> int | None:
+        """Leaves below a (decided) node, by DP over ``(state, depth_left)``.
+
+        Returns ``None`` if any completion dead-ends: the caller then walks
+        the subtree explicitly so :class:`NoAdmissibleExtension` is raised
+        at the DFS-first dead end, exactly like the set-based path.  Cache
+        hits count as packed memo hits — one aggregated subtree costs the
+        same memo traffic as one explicit ``_admissible`` probe.
+        """
+        if depth_left == 0:
+            return 1
+        key = (state, depth_left)
+        cached = self._agg_counts.get(key)
+        if cached is not None:
+            self.stats.memo_hits_packed += 1
+            if tracer.enabled:
+                tracer.event("engine.memo_hit", depth=depth)
+            return cached
+        children = self._admissible_packed(state, depth, tracer)
+        if not children:
+            return None
+        advance = self._packed.advance
+        total = 0
+        for rint in children:
+            sub = self._subtree_count(
+                advance(state, rint), depth + 1, depth_left - 1, tracer
+            )
+            if sub is None:
+                return None
+            total += sub
+        self._agg_counts[key] = total
+        return total
+
+    def _make_expand(
+        self, history: DHistory, state: object, depth_left: int
+    ) -> Callable[[], Iterator[DHistory]]:
+        """Lazy DFS-order leaf enumeration below an aggregated subtree.
+
+        Runs outside the engine loop (only when a shared trace fails an
+        invariant), so it must not touch ``stats`` or the tracer; candidate
+        lists are read from — or quietly added to — the packed memo.
+        """
+        packed = self._packed
+        dom = packed.domain
+        candidates = self._packed_candidates
+        max_d_size = self.max_d_size
+
+        def walk(h: DHistory, s: object, left: int) -> Iterator[DHistory]:
+            if left == 0:
+                yield h
+                return
+            cached = candidates.get(s)
+            if cached is None:
+                cached = packed.admissible_round_ints(
+                    (), max_d_size=max_d_size, state=s
+                )
+                candidates[s] = cached
+            for rint in cached:
+                yield from walk(
+                    h + (dom.unpack_round(rint),),
+                    packed.advance(s, rint),
+                    left - 1,
+                )
+
+        return lambda: walk(history, state, depth_left)
+
     def _root_executor(self, prefix: DHistory) -> RoundExecutor:
         executor = RoundExecutor(
             self.protocol,
             self.inputs,
-            _CursorAdversary(self.n),
+            self._cursor,
             stop_when_all_decided=True,
             crashed_stop_emitting=self.crashed_stop_emitting,
         )
@@ -342,6 +584,10 @@ class IncrementalExplorer:
         ``prune_decided``, for every decided interior prefix, flagged
         ``pruned=True``).  Raises :class:`NoAdmissibleExtension` when a
         reachable prefix dead-ends, like the replay enumerator.
+
+        ``prefix`` may be given packed (a tuple of round ints) — the
+        parallel path ships its round-1 frontier that way to keep chunk
+        payloads small at large ``n``.
         """
         if rounds < 1:
             raise ValueError(
@@ -352,6 +598,13 @@ class IncrementalExplorer:
             raise ValueError(
                 f"prefix has {len(prefix)} rounds, beyond rounds={rounds}"
             )
+        if prefix and type(prefix[0]) is int:
+            prefix = bitset_domain(self.n).unpack_history(prefix)
+        else:
+            prefix = tuple(prefix)
+        if self._packed is not None:
+            yield from self._runs_packed(rounds, prefix)
+            return
         root = self._root_executor(prefix)
         # Entries: (_READY, history, executor)
         #        | (_EDGE, history, parent_executor, d_round, consume_parent)
@@ -373,7 +626,7 @@ class IncrementalExplorer:
                 if consume:
                     executor = parent  # last-popped child: move, don't copy
                 else:
-                    executor = parent.fork(adversary=_CursorAdversary(self.n))
+                    executor = parent.fork()
                     self.stats.forks += 1
                     if tracer.enabled:
                         tracer.event("engine.fork", depth=len(history))
@@ -422,3 +675,115 @@ class IncrementalExplorer:
                         (_EDGE, history + (d_round,), executor, d_round,
                          index == last)
                     )
+
+    # ------------------------------------------------------------ packed path
+
+    def _runs_packed(
+        self, rounds: int, prefix: DHistory
+    ) -> Iterator[EngineRun]:
+        """The packed twin of the set-based DFS (identical yield order).
+
+        Differences are cost-only: candidate memoization is keyed on the
+        folded packed state (no per-node ``extension_state`` recomputation),
+        symmetry claims go through :class:`_PackedSymmetryTable`, and —
+        symmetry off, ``prune_decided`` off — a decided subtree is counted
+        by DP and yielded as one aggregated run instead of being walked.
+        """
+        packed = self._packed
+        root = self._root_executor(prefix)
+        phistory = packed.domain.pack_history(prefix)
+        state = packed.extension_state(phistory)
+        tracer = obs.current_tracer()
+        # The root is never claimed, matching the set path's _READY entries
+        # (parallel-mode prefixes were claimed by the parent process).
+        yield from self._packed_visit(
+            rounds, prefix, phistory, state, root, tracer
+        )
+
+    def _packed_visit(
+        self,
+        rounds: int,
+        history: DHistory,
+        phistory: PackedDHistory,
+        state: object,
+        executor: RoundExecutor,
+        tracer: "obs.Tracer",
+    ) -> Iterator[EngineRun]:
+        """Visit one claimed node and its subtree (recursion depth ≤ rounds).
+
+        The frame owns ``executor``: children fork it, except the last,
+        which consumes it (the move semantics of the stack-based walk).
+        """
+        self.stats.visited += 1
+        trace = executor.trace
+        depth = len(history)
+        if depth == rounds:
+            yield EngineRun(history, trace)
+            return
+        all_decided = trace.all_decided
+        if all_decided:
+            if self.prune_decided:
+                if history:
+                    yield EngineRun(history, trace, pruned=True)
+                    return
+            elif self._packed_table is None:
+                count = self._subtree_count(
+                    state, depth, rounds - depth, tracer
+                )
+                if count is not None:
+                    self.stats.aggregated_subtrees += 1
+                    yield EngineRun(
+                        history, trace, False, count,
+                        self._make_expand(history, state, rounds - depth),
+                    )
+                    return
+                # A completion dead-ends somewhere below: walk explicitly so
+                # NoAdmissibleExtension fires at the DFS-first dead end.
+        children = self._admissible_packed(state, depth, tracer)
+        if not children:
+            raise NoAdmissibleExtension(self.predicate, history)
+        packed = self._packed
+        dom = packed.domain
+        visit = self._packed_visit
+        if all_decided:
+            # No process will absorb another view: the whole subtree shares
+            # this executor (and thus this trace object).
+            for rint in children:
+                child_ph = phistory + (rint,)
+                if self._packed_table is not None and not self._claim_packed(
+                    child_ph
+                ):
+                    self.stats.skipped_symmetric += 1
+                    if tracer.enabled:
+                        tracer.event("engine.symmetry_skip", depth=depth + 1)
+                    continue
+                yield from visit(
+                    rounds, history + (dom.unpack_round(rint),), child_ph,
+                    packed.advance(state, rint), executor, tracer,
+                )
+        else:
+            last = len(children) - 1
+            for index, rint in enumerate(children):
+                child_ph = phistory + (rint,)
+                if self._packed_table is not None and not self._claim_packed(
+                    child_ph
+                ):
+                    self.stats.skipped_symmetric += 1
+                    if tracer.enabled:
+                        tracer.event("engine.symmetry_skip", depth=depth + 1)
+                    continue
+                if index == last:
+                    child_exec = executor  # last sibling: move, don't copy
+                else:
+                    child_exec = executor.fork()
+                    self.stats.forks += 1
+                    if tracer.enabled:
+                        tracer.event("engine.fork", depth=depth + 1)
+                d_round = dom.unpack_round(rint)
+                child_exec.adversary.stage(d_round)
+                child_exec.step()
+                self.stats.rounds_executed += 1
+                yield from visit(
+                    rounds, history + (d_round,), child_ph,
+                    packed.advance(state, rint), child_exec, tracer,
+                )

@@ -60,6 +60,7 @@ from repro.check.engine import (
     MAX_SYMMETRY_N,
     EngineStats,
     IncrementalExplorer,
+    _PackedSymmetryTable,
     _SymmetryTable,
 )
 from repro.check.spec import ConformanceSpec, InvariantFailure, get_spec
@@ -103,6 +104,7 @@ class ExploreResult:
     elapsed: float = 0.0
     engine: str = "replay"  # "incremental" | "replay" (fuzz is replay-like)
     symmetry: bool = False  # was symmetry reduction in effect?
+    bitset: bool = False  # did the packed (integer-bitmask) hot path run?
     visited: int = 0  # DFS nodes expanded (incremental engine only)
     skipped_symmetric: int = 0  # subtree roots cut by the transposition table
     rounds_executed: int = 0  # protocol rounds stepped (incremental only)
@@ -122,7 +124,11 @@ class ExploreResult:
             if self.symmetry
             else ""
         )
-        engine = self.engine + ("+symmetry" if self.symmetry else "")
+        engine = (
+            self.engine
+            + ("+symmetry" if self.symmetry else "")
+            + ("+bitset" if self.bitset else "")
+        )
         return (
             f"{self.spec}: {verdict} — {self.mode} [{engine}] n={self.n} "
             f"rounds={self.rounds}, {self.executions} executions over "
@@ -225,6 +231,12 @@ def _explore_incremental(
     memoized by trace identity — safe because shared-trace runs are yielded
     contiguously by the DFS (no ``id()`` reuse hazard: the previous trace is
     still referenced while compared).
+
+    On the packed path a whole decided subtree may arrive as one aggregated
+    run (``count`` leaves, ``expand`` for their histories): counts roll
+    straight into the totals, and only a failing shared trace pays for the
+    leaf enumeration — one violation per leaf, byte-identical to the
+    set-based path's list.
     """
     last_trace: ExecutionTrace | None = None
     last_failures: list[InvariantFailure] = []
@@ -234,19 +246,31 @@ def _explore_incremental(
             and len(result.violations) >= max_violations
         ):
             return
-        result.histories += 1
+        result.histories += run.count
         if run.pruned:
             result.pruned += 1
-        result.executions += 1
+        result.executions += run.count
         if run.trace is last_trace:
             failures = last_failures
         else:
             failures = spec.failures(run.trace, n)
             last_trace, last_failures = run.trace, failures
         if failures:
-            result.violations.append(
-                Violation(spec.name, inputs, run.history, tuple(failures))
-            )
+            problems = tuple(failures)
+            if run.expand is None:
+                result.violations.append(
+                    Violation(spec.name, inputs, run.history, problems)
+                )
+            else:
+                for history in run.expand():
+                    result.violations.append(
+                        Violation(spec.name, inputs, history, problems)
+                    )
+                    if (
+                        max_violations is not None
+                        and len(result.violations) >= max_violations
+                    ):
+                        return
 
 
 def _merge_stats(result: ExploreResult, stats: EngineStats) -> None:
@@ -274,10 +298,10 @@ def _effective_symmetry(
 
 
 def _frontier_chunks(
-    frontier: list[DHistory], workers: int
-) -> list[list[DHistory]]:
-    """Round-robin depth-1 prefixes into at most ``workers`` chunks."""
-    chunks: list[list[DHistory]] = [[] for _ in range(workers)]
+    frontier: list[Any], workers: int
+) -> list[list[Any]]:
+    """Round-robin depth-1 prefixes (set-based or packed) into chunks."""
+    chunks: list[list[Any]] = [[] for _ in range(workers)]
     for i, prefix in enumerate(frontier):
         chunks[i % workers].append(prefix)
     return [c for c in chunks if c]
@@ -321,7 +345,9 @@ def _explore_chunk_impl(
                     prune_decided=payload["prune_decided"],
                     max_d_size=payload["max_d_size"],
                     symmetry=payload["symmetry"],
+                    bitset=payload.get("bitset", True),
                 )
+                result.bitset = explorer.bitset
                 for prefix in payload["prefixes"]:
                     _explore_incremental(
                         spec, explorer, inputs, n, rounds,
@@ -380,6 +406,7 @@ def _explore_chunk_impl(
         "executions": result.executions,
         "histories": result.histories,
         "pruned": result.pruned,
+        "bitset": result.bitset,
         "visited": result.visited,
         "skipped_symmetric": result.skipped_symmetric,
         "rounds_executed": result.rounds_executed,
@@ -403,6 +430,7 @@ def explore(
     max_violations: int | None = None,
     engine: str = "incremental",
     symmetry: bool = False,
+    bitset: bool = True,
 ) -> ExploreResult:
     """Exhaustively check ``spec`` over every admissible history and input.
 
@@ -430,6 +458,11 @@ def explore(
             ``n ≤ MAX_SYMMETRY_N``); ``result.symmetry`` records whether it
             was in effect.  When on, ``histories``/``executions`` count
             orbit representatives, not raw histories.
+        bitset: allow the engine's packed (integer-bitmask) hot path when
+            the predicate provides a fast packed kernel; ``bitset=False``
+            forces the set-based reference path.  Verdicts, histories and
+            violations are identical either way — ``result.bitset`` records
+            whether the packed path actually ran.
 
     Returns:
         An :class:`ExploreResult`; ``result.ok`` is the verdict.
@@ -483,7 +516,9 @@ def explore(
                         prune_decided=prune_decided,
                         max_d_size=max_d_size,
                         symmetry=symmetry_mode,
+                        bitset=bitset,
                     )
+                    result.bitset = explorer.bitset
                     _explore_incremental(
                         spec, explorer, inputs, n, rounds,
                         result=result, max_violations=max_violations,
@@ -507,7 +542,7 @@ def explore(
                 prune_decided=prune_decided, max_d_size=max_d_size,
                 workers=workers, result=result, engine=engine_used,
                 symmetry_mode=symmetry_mode, max_violations=max_violations,
-                engine_totals=engine_totals,
+                engine_totals=engine_totals, bitset=bitset,
             )
     finally:
         tracer = obs.current_tracer()
@@ -546,16 +581,37 @@ def _explore_parallel(
     symmetry_mode: str | None,
     max_violations: int | None,
     engine_totals: EngineStats,
+    bitset: bool = True,
 ) -> None:
     observe = (
         obs.current_tracer().enabled or obs.current_metrics().enabled
     )
-    base_frontier: list[DHistory] = [
-        (d_round,)
-        for d_round in admissible_rounds(
-            spec.predicate(n), (), max_d_size=max_d_size
-        )
-    ]
+    # With a fast packed kernel the round-1 frontier is enumerated and
+    # shipped as packed round ints — identical candidates in identical
+    # order, but chunk payloads stay tuples of small ints instead of
+    # frozenset trees (the difference between MBs and GBs of pickle at
+    # thousands of round-1 families).  Workers unpack via the interned
+    # per-n domain; IncrementalExplorer.runs() accepts either form.
+    packed = (
+        spec.predicate(n).packed()
+        if bitset and engine == "incremental"
+        else None
+    )
+    if packed is not None and packed.fast:
+        base_frontier: list[Any] = [
+            (rint,)
+            for rint in packed.admissible_round_ints(
+                (), max_d_size=max_d_size
+            )
+        ]
+    else:
+        packed = None
+        base_frontier = [
+            (d_round,)
+            for d_round in admissible_rounds(
+                spec.predicate(n), (), max_d_size=max_d_size
+            )
+        ]
     payloads: list[dict[str, Any]] = []
     for inputs in input_space:
         frontier = base_frontier
@@ -566,8 +622,17 @@ def _explore_parallel(
             # claims only ever skip in favour of a subtree the same worker
             # fully explores, so the union of workers still covers every
             # orbit.
-            table = _SymmetryTable(inputs, symmetry_mode)
-            frontier = [p for p in base_frontier if table.claim(p)]
+            if packed is not None:
+                try:
+                    ptable = _PackedSymmetryTable(
+                        inputs, symmetry_mode, packed.domain
+                    )
+                    frontier = [p for p in base_frontier if ptable.claim(p)]
+                except TypeError:
+                    pass  # uncomparable inputs: skip dedupe, stay sound
+            else:
+                table = _SymmetryTable(inputs, symmetry_mode)
+                frontier = [p for p in base_frontier if table.claim(p)]
         for chunk in _frontier_chunks(frontier, workers):
             payloads.append({
                 "spec": spec.name, "inputs": inputs, "n": n, "rounds": rounds,
@@ -575,6 +640,7 @@ def _explore_parallel(
                 "prefixes": chunk, "engine": engine,
                 "symmetry": symmetry_mode, "max_violations": max_violations,
                 "index": len(payloads), "observe": observe,
+                "bitset": bitset,
             })
     # Record the workers *actually used*: never more than there are chunks,
     # and never less than one.  A 1-chunk run skips the pool entirely.
@@ -634,6 +700,7 @@ def _explore_parallel(
         result.executions += part["executions"]
         result.histories += part["histories"]
         result.pruned += part["pruned"]
+        result.bitset = result.bitset or part.get("bitset", False)
         result.visited += part["visited"]
         result.skipped_symmetric += part["skipped_symmetric"]
         result.rounds_executed += part["rounds_executed"]

@@ -145,7 +145,20 @@ def shrink(
         raise ValueError("cannot shrink an empty history")
     n = len(inputs)
     predicate: Predicate = spec.predicate(n)
-    if not predicate.allows(history):
+    packed = predicate.packed()
+    if packed.fast:
+        # Bitset fast path: the shrinker tries thousands of candidate
+        # histories, and the fast kernels judge a packed history with a
+        # handful of int ops per round.  The set-based ``allows`` below
+        # stays as the fallback for predicates without a kernel.
+        dom = packed.domain
+
+        def admissible(cand_history: DHistory) -> bool:
+            return packed.allows_history(dom.pack_history(cand_history))
+
+    else:
+        admissible = predicate.allows
+    if not admissible(history):
         raise ValueError(
             f"original history is not admissible under {predicate.describe()}"
         )
@@ -174,7 +187,7 @@ def shrink(
     ) -> str | None:
         nonlocal tried
         tried += 1
-        if not predicate.allows(cand_history):
+        if not admissible(cand_history):
             return None
         trace = spec.run(cand_inputs, cand_history)
         for failure in spec.failures(trace, n):

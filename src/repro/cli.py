@@ -229,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable symmetry reduction (on by default for "
                        "specs that declare a symmetry grade; disable for "
                        "full-strength per-history certification)")
+    check.add_argument("--no-bitset", action="store_true",
+                       help="force the set-based reference path instead of "
+                       "the packed integer-bitmask kernel (same verdicts; "
+                       "used for differential certification)")
     check.add_argument("--seed", type=int, default=0, help="fuzz seed")
     check.add_argument("--shrink", action="store_true",
                        help="delta-debug each violation to a minimal "
@@ -611,6 +615,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     spec, n=args.n, rounds=args.rounds,
                     prune_decided=args.prune_decided, workers=args.workers,
                     engine=args.engine, symmetry=not args.no_symmetry,
+                    bitset=not args.no_bitset,
                 )
         print(result.summary())
         for violation in result.violations[:10]:

@@ -35,9 +35,17 @@ __all__ = [
 class Adversary(ABC):
     """Strategy choosing each round's suspicions (and optional extras)."""
 
+    #: Whether :meth:`suspicions`/:meth:`extras` read their ``history``
+    #: argument.  The executor reassembles the D-history every round only
+    #: when this is True; strategies that are driven externally (the model
+    #: checker's cursor adversary) set it False and receive ``()`` instead.
+    #: Leave True on any class whose subclasses might consult the history.
+    needs_history = True
+
     def __init__(self, n: int) -> None:
         self.n = n
         self.everyone = frozenset(range(n))
+        self._no_extras = (frozenset(),) * n
 
     @abstractmethod
     def suspicions(
@@ -54,7 +62,7 @@ class Adversary(ABC):
         Overriding this models the unreliable detector that both delivers
         from and flags the same process.
         """
-        return tuple(frozenset() for _ in range(self.n))
+        return self._no_extras
 
 
 class FailureFreeAdversary(Adversary):

@@ -104,7 +104,7 @@ class RoundProcess(ABC):
         place); mutable containers must be re-copied by the caller.
         """
         clone = self.__class__.__new__(self.__class__)
-        clone.__dict__.update(self.__dict__)
+        clone.__dict__ = self.__dict__.copy()
         return clone
 
 

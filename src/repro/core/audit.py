@@ -134,6 +134,7 @@ class ExecutionAuditor:
             raise ValueError(f"need 0 ≤ f < n, got f={f}, n={n}")
         self.n = n
         self.f = f
+        self._everyone = frozenset(range(n))
 
     # ----------------------------------------------------------- view checks
 
@@ -144,7 +145,7 @@ class ExecutionAuditor:
         emissions_of: "list[RoundOverlayNode] | None" = None,
     ) -> list[AuditViolation]:
         """Invariant-check one process's view sequence."""
-        everyone = frozenset(range(self.n))
+        everyone = self._everyone
         violations: list[AuditViolation] = []
         for index, view in enumerate(views, start=1):
             if view.round != index:
@@ -152,7 +153,7 @@ class ExecutionAuditor:
                     "round-order", pid, view.round,
                     f"view #{index} is for round {view.round}",
                 ))
-            covered = view.heard | view.suspected
+            covered = view.messages.keys() | view.suspected
             if covered != everyone:
                 missing = sorted(everyone - covered)
                 violations.append(AuditViolation(

@@ -30,6 +30,7 @@ from repro.core.types import (
     PredicateViolation,
     RoundView,
 )
+from repro.util.bitset import domain as _bitset_domain, mask_of
 
 __all__ = ["RoundExecutor", "ExecutorSnapshot", "run_protocol"]
 
@@ -79,22 +80,31 @@ class RoundExecutor:
         self.processes: list[RoundProcess] = protocol.spawn_all(self.inputs)
         self.trace = ExecutionTrace(n=self.n, inputs=self.inputs)
         self._ever_suspected: set[int] = set()
+        self._dom = _bitset_domain(self.n)
 
     # ------------------------------------------------------------------ run
 
     def step(self) -> ExecutionRound:
         """Execute one round and return its record."""
         r = self.trace.num_rounds + 1
-        history = self.trace.d_history
+        adversary = self.adversary
+        # The D-history is reassembled only for consumers that read it; the
+        # model checker's cursor adversary (needs_history=False, no
+        # validating predicate) skips the per-round rebuild entirely.
+        if self.predicate is not None or adversary.needs_history:
+            history = self.trace.d_history
+        else:
+            history = ()
 
-        payloads = tuple(
-            None
-            if self.crashed_stop_emitting and pid in self._ever_suspected
-            else proc.emit(r)
-            for pid, proc in enumerate(self.processes)
-        )
+        if self.crashed_stop_emitting:
+            payloads = tuple(
+                None if pid in self._ever_suspected else proc.emit(r)
+                for pid, proc in enumerate(self.processes)
+            )
+        else:
+            payloads = tuple([proc.emit(r) for proc in self.processes])
 
-        d_round = self.adversary.suspicions(r, history, payloads)
+        d_round = adversary.suspicions(r, history, payloads)
         if len(d_round) != self.n:
             raise ValueError(
                 f"adversary returned {len(d_round)} suspicion sets, expected {self.n}"
@@ -112,31 +122,61 @@ class RoundExecutor:
                 f"adversary returned {len(extras)} extras sets, expected {self.n}"
             )
 
+        # Delivery as mask algebra: delivered(i) = (S − D(i)) ∪ extras(i),
+        # which covers S by construction, so the views take the trusted
+        # constructor (no per-view guarantee re-check) and the memoized bit
+        # tuples replace a sorted() per view.  pack_set degrades to a plain
+        # element walk for unhashable inputs (an adversary handing back
+        # mutable sets).
+        dom = self._dom
+        full = dom.full
+        n = self.n
         views = []
-        for pid, proc in enumerate(self.processes):
-            delivered = (self.adversary.everyone - d_round[pid]) | extras[pid]
-            view = RoundView(
-                pid=pid,
-                round=r,
-                messages={sender: payloads[sender] for sender in sorted(delivered)},
-                suspected=d_round[pid],
-                n=self.n,
+        built: dict[int, dict[int, Any]] = {}
+        for pid in range(n):
+            suspected = d_round[pid]
+            try:
+                dmask = dom.pack_set(suspected)
+            except TypeError:
+                dmask = mask_of(suspected)
+            extra = extras[pid]
+            delivered = (full & ~dmask) | (
+                dom.pack_set(extra) if extra else 0
             )
-            views.append(view)
+            # Processes with the same delivered set share one messages dict
+            # (views never mutate it); in benign rounds that is one dict for
+            # the whole round instead of n.
+            messages = built.get(delivered)
+            if messages is None:
+                messages = built[delivered] = {
+                    sender: payloads[sender] for sender in dom.set_bits(delivered)
+                }
+            views.append(RoundView.trusted(pid, r, messages, suspected, n))
 
         # Absorb after all views are built so no process's state update can
         # influence another's view within the same round.
+        trace = self.trace
         for pid, (proc, view) in enumerate(zip(self.processes, views)):
-            already_decided = proc.decided
+            before = proc.decision
             proc.absorb(view)
-            if proc.decided and not already_decided:
-                self.trace.record_decision(pid, proc.decision, r)
+            decision = proc.decision
+            if decision is not None and before is None:
+                trace.record_decision(pid, decision, r)
 
         for suspected in d_round:
             self._ever_suspected.update(suspected)
 
-        record = ExecutionRound(round=r, payloads=payloads, views=tuple(views))
-        self.trace.rounds.append(record)
+        # Built without the dataclass constructor (a frozen dataclass pays
+        # object.__setattr__ per field); the cached suspicions property is
+        # seeded directly since the executor already holds the round tuple.
+        record = object.__new__(ExecutionRound)
+        fields = record.__dict__
+        fields["round"] = r
+        fields["payloads"] = payloads
+        fields["views"] = tuple(views)
+        if type(d_round) is tuple:
+            fields["suspicions"] = d_round
+        trace.rounds.append(record)
         tracer = obs.current_tracer()
         if tracer.enabled:
             tracer.event(
@@ -189,23 +229,30 @@ class RoundExecutor:
         clone.n = self.n
         clone.protocol = self.protocol
         clone.inputs = self.inputs
-        clone.adversary = self.adversary if adversary is None else adversary
-        if clone.adversary.n != self.n:
-            raise ValueError(
-                f"adversary is for n={clone.adversary.n}, executor has n={self.n}"
-            )
+        if adversary is None:
+            clone.adversary = self.adversary  # shared: n already matches
+        else:
+            if adversary.n != self.n:
+                raise ValueError(
+                    f"adversary is for n={adversary.n}, executor has n={self.n}"
+                )
+            clone.adversary = adversary
         clone.predicate = self.predicate
         clone.stop_when_all_decided = self.stop_when_all_decided
         clone.crashed_stop_emitting = self.crashed_stop_emitting
         clone.processes = [proc.copy() for proc in self.processes]
-        clone.trace = ExecutionTrace(
-            n=self.n,
-            inputs=self.inputs,
-            rounds=list(self.trace.rounds),
-            decisions=list(self.trace.decisions),
-            decided_at=list(self.trace.decided_at),
-        )
+        # Built without the dataclass constructor: the source trace is
+        # already well-formed, so the __post_init__ defaulting is dead
+        # weight on the once-per-tree-edge fork path.
+        trace = object.__new__(ExecutionTrace)
+        trace.n = self.n
+        trace.inputs = self.inputs
+        trace.rounds = list(self.trace.rounds)
+        trace.decisions = list(self.trace.decisions)
+        trace.decided_at = list(self.trace.decided_at)
+        clone.trace = trace
         clone._ever_suspected = set(self._ever_suspected)
+        clone._dom = self._dom
         return clone
 
     def snapshot(self) -> "ExecutorSnapshot":

@@ -33,12 +33,15 @@ from __future__ import annotations
 import random
 
 from repro.core.predicate import (
+    FastPackedPredicate,
+    PackedPredicate,
     Predicate,
     cumulative_suspected,
     round_intersection,
     round_union,
 )
 from repro.core.types import DHistory, DRound, ProcessId
+from repro.util.bitset import iter_bits
 from repro.util.sets import random_subset, random_subset_of_size
 
 __all__ = [
@@ -108,6 +111,11 @@ class SendOmissionSync(Predicate):
     def describe(self) -> str:
         return f"SendOmissionSync(f={self.f}): pᵢ∉D(i,r) ∧ |⋃⋃D| ≤ {self.f}"
 
+    def packed(self) -> PackedPredicate:
+        if type(self) is not SendOmissionSync:
+            return Predicate.packed(self)
+        return _PackedSendOmission(self)
+
 
 class CrashSync(SendOmissionSync):
     """Synchronous message passing with at most ``f`` crash faults.
@@ -175,6 +183,11 @@ class CrashSync(SendOmissionSync):
             "⋃ᵢD(i,r) ⊆ D(k,r+1)"
         )
 
+    def packed(self) -> PackedPredicate:
+        if type(self) is not CrashSync:
+            return Predicate.packed(self)
+        return _PackedCrashSync(self)
+
 
 class AsyncMessagePassing(Predicate):
     """Asynchronous message passing with ≤ f crash faults (item 3, eq. (3)).
@@ -216,6 +229,11 @@ class AsyncMessagePassing(Predicate):
 
     def describe(self) -> str:
         return f"AsyncMessagePassing(f={self.f}): |D(i,r)| ≤ {self.f}"
+
+    def packed(self) -> PackedPredicate:
+        if type(self) is not AsyncMessagePassing:
+            return Predicate.packed(self)
+        return _PackedAsyncMessagePassing(self)
 
 
 class MixedResilience(Predicate):
@@ -286,6 +304,11 @@ class MixedResilience(Predicate):
             f"|D(i,r)| ≤ {self.f} off Q, ≤ {self.t} on Q"
         )
 
+    def packed(self) -> PackedPredicate:
+        if type(self) is not MixedResilience:
+            return Predicate.packed(self)
+        return _PackedMixedResilience(self)
+
 
 class SharedMemorySWMR(AsyncMessagePassing):
     """Asynchronous SWMR shared memory with ≤ f crashes (item 4, eq. (3)+(4)).
@@ -321,6 +344,11 @@ class SharedMemorySWMR(AsyncMessagePassing):
         return (
             f"SharedMemorySWMR(f={self.f}): |D(i,r)| ≤ {self.f} ∧ |⋃ᵢD(i,r)| < n"
         )
+
+    def packed(self) -> PackedPredicate:
+        if type(self) is not SharedMemorySWMR:
+            return Predicate.packed(self)
+        return _PackedSharedMemorySWMR(self)
 
 
 class SharedMemoryAntisymmetric(AsyncMessagePassing):
@@ -366,6 +394,11 @@ class SharedMemoryAntisymmetric(AsyncMessagePassing):
             f"SharedMemoryAntisymmetric(f={self.f}): |D(i,r)| ≤ {self.f} ∧ "
             "(pⱼ∈D(i,r) ⇒ pᵢ∉D(j,r))"
         )
+
+    def packed(self) -> PackedPredicate:
+        if type(self) is not SharedMemoryAntisymmetric:
+            return Predicate.packed(self)
+        return _PackedAntisymmetric(self)
 
 
 class AtomicSnapshot(AsyncMessagePassing):
@@ -418,6 +451,11 @@ class AtomicSnapshot(AsyncMessagePassing):
             "D-sets form a ⊆-chain per round"
         )
 
+    def packed(self) -> PackedPredicate:
+        if type(self) is not AtomicSnapshot:
+            return Predicate.packed(self)
+        return _PackedAtomicSnapshot(self)
+
 
 class EventuallyStrong(Predicate):
     """The RRFD counterpart of the classic failure detector ◇S (item 6).
@@ -454,6 +492,11 @@ class EventuallyStrong(Predicate):
 
     def describe(self) -> str:
         return "EventuallyStrong: |⋃⋃D| < n (some process never suspected)"
+
+    def packed(self) -> PackedPredicate:
+        if type(self) is not EventuallyStrong:
+            return Predicate.packed(self)
+        return _PackedEventuallyStrong(self)
 
 
 class KSetDetector(Predicate):
@@ -508,6 +551,11 @@ class KSetDetector(Predicate):
     def describe(self) -> str:
         return f"KSetDetector(k={self.k}): |⋃ᵢD(i,r) − ⋂ᵢD(i,r)| < {self.k}"
 
+    def packed(self) -> PackedPredicate:
+        if type(self) is not KSetDetector:
+            return Predicate.packed(self)
+        return _PackedKSetDetector(self)
+
 
 class SemiSyncEquality(KSetDetector):
     """Equation (5): all processes get identical suspicions each round.
@@ -527,3 +575,236 @@ class SemiSyncEquality(KSetDetector):
 
     def describe(self) -> str:
         return "SemiSyncEquality: D(i,r) = D(j,r) for all i, j"
+
+    def packed(self) -> PackedPredicate:
+        # Same clauses as KSetDetector with k=1 (only sampling differs).
+        if type(self) is not SemiSyncEquality:
+            return Predicate.packed(self)
+        return _PackedKSetDetector(self)
+
+
+# ---------------------------------------------------------------------------
+# Packed (integer-bitmask) kernels — the fast-path twins of the catalog.
+#
+# Each class below restates its predicate's clauses as bit operations over
+# per-process masks, in the FastPackedPredicate frame: a folded `state`
+# (the packed extension_state), precomputed `|D| ≤ bound` mask tables, a
+# `push` prefix filter that lets backtracking enumeration prune the
+# (2^n)^n family space, and an exact `accept`.  The frozenset classes
+# above remain the reference semantics; tests/core/test_packed_predicates
+# holds the two paths equal clause by clause.
+
+
+class _PackedSendOmission(FastPackedPredicate):
+    """pᵢ∉D(i,r) for alive pᵢ ∧ |⋃⋃D| ≤ f, over a cumulative mask state."""
+
+    def __init__(self, predicate: SendOmissionSync) -> None:
+        super().__init__(predicate)
+        self.f = predicate.f
+
+    def initial_state(self) -> int:
+        return 0
+
+    def advance(self, state: int, rint: int) -> int:
+        return state | self.domain.round_union(rint)
+
+    def size_bound(self, state: int) -> int:
+        # Every suspicion joins the cumulative set, which is capped at f.
+        return self.f
+
+    def mask_ok(self, state: int, pid: int, mask: int) -> bool:
+        if mask.bit_count() > self.f:
+            return False
+        # Self-suspicion is only legal once pid is already suspected.
+        return not ((mask >> pid) & 1 and not (state >> pid) & 1)
+
+    def begin(self, state: int) -> int:
+        return 0  # union of the masks placed so far
+
+    def push(self, state, aux, pid, mask, masks):
+        if (mask >> pid) & 1 and not (state >> pid) & 1:
+            return None
+        union = aux | mask
+        if (state | union).bit_count() > self.f:
+            return None
+        return union
+
+
+class _PackedCrashSync(_PackedSendOmission):
+    """Adds eq. (2): alive processes must suspect last round's union."""
+
+    def initial_state(self) -> tuple[int, int | None]:
+        return (0, None)
+
+    def advance(self, state, rint):
+        union = self.domain.round_union(rint)
+        return (state[0] | union, union)
+
+    def mask_ok(self, state, pid, mask) -> bool:
+        cumulative, required = state
+        if not _PackedSendOmission.mask_ok(self, cumulative, pid, mask):
+            return False
+        if required and not (state[0] >> pid) & 1:
+            return not (required & ~mask)
+        return True
+
+    def begin(self, state) -> int:
+        return 0
+
+    def push(self, state, aux, pid, mask, masks):
+        cumulative, required = state
+        if (mask >> pid) & 1 and not (cumulative >> pid) & 1:
+            return None
+        if required and not (cumulative >> pid) & 1 and (required & ~mask):
+            return None
+        union = aux | mask
+        if (cumulative | union).bit_count() > self.f:
+            return None
+        return union
+
+
+class _PackedAsyncMessagePassing(FastPackedPredicate):
+    """|D(i,r)| ≤ f, purely per round: the mask table is the whole check."""
+
+    def __init__(self, predicate: AsyncMessagePassing) -> None:
+        super().__init__(predicate)
+        self.f = predicate.f
+
+    def size_bound(self, state) -> int:
+        return self.f
+
+    def mask_ok(self, state, pid, mask) -> bool:
+        return mask.bit_count() <= self.f
+
+
+class _PackedMixedResilience(FastPackedPredicate):
+    """∃Q, |Q| ≤ t: per-process worst |D| ≤ f off Q, ≤ t on Q."""
+
+    def __init__(self, predicate: MixedResilience) -> None:
+        super().__init__(predicate)
+        self.t = predicate.t
+        self.f = predicate.f
+
+    def initial_state(self) -> tuple[int, ...]:
+        return (0,) * self.n
+
+    def advance(self, state, rint):
+        masks = self.domain.round_masks(rint)
+        return tuple(
+            max(w, mask.bit_count()) for w, mask in zip(state, masks)
+        )
+
+    def size_bound(self, state) -> int:
+        return self.t
+
+    def mask_ok(self, state, pid, mask) -> bool:
+        return mask.bit_count() <= self.t
+
+    def begin(self, state):
+        # (heavy count among placed pids, suffix heavy lower bounds): the
+        # unplaced pids j keep at least their historical worst, so
+        # suffix[i] = |{j ≥ i : state[j] > f}| bounds Q membership below.
+        suffix = [0] * (self.n + 1)
+        for pid in range(self.n - 1, -1, -1):
+            suffix[pid] = suffix[pid + 1] + (1 if state[pid] > self.f else 0)
+        return (0, tuple(suffix))
+
+    def push(self, state, aux, pid, mask, masks):
+        heavy, suffix = aux
+        if max(state[pid], mask.bit_count()) > self.f:
+            heavy += 1
+        if heavy + suffix[pid + 1] > self.t:
+            return None
+        return (heavy, suffix)
+
+
+class _PackedSharedMemorySWMR(_PackedAsyncMessagePassing):
+    """Adds eq. (4): the round union never covers everyone."""
+
+    def begin(self, state) -> int:
+        return 0
+
+    def push(self, state, aux, pid, mask, masks):
+        union = aux | mask
+        if union == self.domain.full:
+            return None
+        return union
+
+
+class _PackedAntisymmetric(_PackedAsyncMessagePassing):
+    """Adds pⱼ∈D(i,r) ⇒ pᵢ∉D(j,r) — checked pairwise against placed masks."""
+
+    def push(self, state, aux, pid, mask, masks):
+        below = mask & ((1 << pid) - 1)
+        for j in iter_bits(below):
+            if (masks[j] >> pid) & 1:
+                return None
+        return aux
+
+
+class _PackedAtomicSnapshot(_PackedAsyncMessagePassing):
+    """Adds pᵢ∉D(i,r) and the per-round ⊆-chain (pairwise comparability)."""
+
+    def __init__(self, predicate: AtomicSnapshot) -> None:
+        super().__init__(predicate)
+        self._pid_tables: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    def pid_masks(self, state, pid, max_d_size):
+        bound = self.f if max_d_size is None else min(self.f, max_d_size)
+        key = (pid, bound)
+        cached = self._pid_tables.get(key)
+        if cached is None:
+            cached = self._pid_tables[key] = tuple(
+                mask
+                for mask in self.domain.masks_by_rank(bound)
+                if not (mask >> pid) & 1
+            )
+        return cached
+
+    def mask_ok(self, state, pid, mask) -> bool:
+        return mask.bit_count() <= self.f and not (mask >> pid) & 1
+
+    def push(self, state, aux, pid, mask, masks):
+        # A family is a ⊆-chain iff every pair is ⊆-comparable.
+        for j in range(pid):
+            placed = masks[j]
+            if (mask & ~placed) and (placed & ~mask):
+                return None
+        return aux
+
+
+class _PackedEventuallyStrong(FastPackedPredicate):
+    """|⋃⋃D| < n over a cumulative mask state."""
+
+    def initial_state(self) -> int:
+        return 0
+
+    def advance(self, state, rint):
+        return state | self.domain.round_union(rint)
+
+    def begin(self, state) -> int:
+        return 0
+
+    def push(self, state, aux, pid, mask, masks):
+        union = aux | mask
+        if (state | union) == self.domain.full:
+            return None
+        return union
+
+
+class _PackedKSetDetector(FastPackedPredicate):
+    """|⋃D − ⋂D| < k per round; the disagreement only grows as masks land."""
+
+    def __init__(self, predicate: KSetDetector) -> None:
+        super().__init__(predicate)
+        self.k = predicate.k
+
+    def begin(self, state):
+        return (0, self.domain.full)  # (union, intersection) of placed masks
+
+    def push(self, state, aux, pid, mask, masks):
+        union = aux[0] | mask
+        inter = aux[1] & mask
+        if (union & ~inter).bit_count() >= self.k:
+            return None
+        return (union, inter)

@@ -69,23 +69,28 @@ def verify_trace_consistency(trace: ExecutionTrace) -> None:
     """
     everyone = frozenset(range(trace.n))
     for record in trace.rounds:
+        suspicions = record.suspicions
+        payloads = record.payloads
         for pid, view in enumerate(record.views):
             if view.pid != pid:
                 raise AssertionError(
                     f"round {record.round}: view at slot {pid} claims pid {view.pid}"
                 )
-            if view.suspected != record.suspicions[pid]:
+            recorded = suspicions[pid]
+            # Executor-built records share the view's own set objects, so
+            # the identity probe short-circuits the element-wise compare.
+            if view.suspected is not recorded and view.suspected != recorded:
                 raise AssertionError(
                     f"round {record.round}, p{pid}: view suspicions "
                     f"{sorted(view.suspected)} ≠ recorded "
-                    f"{sorted(record.suspicions[pid])}"
+                    f"{sorted(recorded)}"
                 )
-            if view.heard | view.suspected != everyone:
+            if view.messages.keys() | view.suspected != everyone:
                 raise AssertionError(
                     f"round {record.round}, p{pid}: coverage violated"
                 )
             for sender, payload in view.messages.items():
-                if payload != record.payloads[sender]:
+                if payload != payloads[sender]:
                     raise AssertionError(
                         f"round {record.round}, p{pid}: message from {sender} "
                         "does not match the sender's recorded payload"

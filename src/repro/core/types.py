@@ -16,13 +16,22 @@ even appear in its own ``D(i, r)`` (meaning: "you were late to this round").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Mapping
+
+from repro.util.bitset import domain as _bitset_domain
 
 __all__ = [
     "ProcessId",
     "Round",
     "DRound",
     "DHistory",
+    "PackedDRound",
+    "PackedDHistory",
+    "pack_round",
+    "unpack_round",
+    "pack_history",
+    "unpack_history",
     "RoundView",
     "ExecutionRound",
     "ExecutionTrace",
@@ -38,6 +47,34 @@ Round = int
 DRound = tuple[frozenset[ProcessId], ...]
 # Suspicions across rounds: history[r-1] is the DRound of round r.
 DHistory = tuple[DRound, ...]
+
+# Canonical packed encoding of the same objects (see repro.util.bitset):
+# a DRound as one int of n*n bits — bit i*n + j set ⇔ j ∈ D(i) — and a
+# DHistory as a tuple of such ints.  The bridge below is lossless; packing
+# and unpacking round-trip exactly, and unpacked rounds are interned per n
+# so repeated unpacking returns identical objects.
+PackedDRound = int
+PackedDHistory = tuple[int, ...]
+
+
+def pack_round(d_round: DRound, n: int | None = None) -> PackedDRound:
+    """Pack a ``DRound`` into its canonical ``n*n``-bit int encoding."""
+    return _bitset_domain(len(d_round) if n is None else n).pack_round(d_round)
+
+
+def unpack_round(rint: PackedDRound, n: int) -> DRound:
+    """Unpack a packed round int back into an interned ``DRound``."""
+    return _bitset_domain(n).unpack_round(rint)
+
+
+def pack_history(history: DHistory, n: int) -> PackedDHistory:
+    """Pack a ``DHistory`` into a tuple of packed round ints."""
+    return _bitset_domain(n).pack_history(history)
+
+
+def unpack_history(packed: PackedDHistory, n: int) -> DHistory:
+    """Unpack packed round ints back into an interned ``DHistory``."""
+    return _bitset_domain(n).unpack_history(packed)
 
 
 class RRFDError(Exception):
@@ -82,6 +119,30 @@ class RoundView:
                 "were neither heard from nor suspected (S(i,r) ∪ D(i,r) ≠ S)"
             )
 
+    @classmethod
+    def trusted(
+        cls,
+        pid: ProcessId,
+        round: Round,
+        messages: Mapping[ProcessId, Any],
+        suspected: frozenset[ProcessId],
+        n: int,
+    ) -> "RoundView":
+        """Construct without the guarantee check.
+
+        For callers that establish ``S(i,r) ∪ D(i,r) = S`` *by
+        construction* — the round executor delivers exactly
+        ``(S − D) ∪ extras``, so the union covers ``S`` identically —
+        skipping the per-view set algebra of ``__post_init__`` on the
+        model checker's hot path.  Hand-built views should keep using the
+        normal constructor, which validates.
+        """
+        view = object.__new__(cls)
+        view.__dict__.update(
+            pid=pid, round=round, messages=messages, suspected=suspected, n=n
+        )
+        return view
+
     @property
     def heard(self) -> frozenset[ProcessId]:
         """The set ``S(pid, round)`` of processes whose message arrived."""
@@ -105,8 +166,10 @@ class ExecutionRound:
     payloads: tuple[Any, ...]
     views: tuple[RoundView, ...]
 
-    @property
+    @cached_property
     def suspicions(self) -> DRound:
+        # Cached: d_history is reassembled per engine step and per invariant
+        # check, and the record is frozen, so the tuple never goes stale.
         return tuple(view.suspected for view in self.views)
 
 

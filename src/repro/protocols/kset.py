@@ -42,10 +42,14 @@ class KSetAgreementProcess(RoundProcess):
         return self.input_value
 
     def absorb(self, view: RoundView) -> None:
-        if self.decided:
+        if self.decision is not None:
             return
-        trusted = sorted(frozenset(range(self.n)) - view.suspected)
-        chosen: ProcessId = trusted[0]
+        # Lowest-id trusted process: scan ids ascending instead of building
+        # and sorting the complement set (hot under exhaustive exploration).
+        suspected = view.suspected
+        chosen: ProcessId = 0
+        while chosen in suspected:
+            chosen += 1
         self.decide(view.value_from(chosen))
 
     def copy(self) -> "KSetAgreementProcess":

@@ -1,0 +1,275 @@
+"""Integer-bitmask kernel for RRFD suspicion sets and packed rounds.
+
+The paper's whole state space is families of subsets of ``S = {0..n-1}``:
+per-round suspicion sets ``D(i, r)``.  Representing each subset as a
+Python ``int`` (bit ``j`` set ⇔ ``j ∈ D``) turns every predicate clause
+into one or two machine-word operations — membership is a shift, union is
+``|``, intersection ``&``, subset ``(a & ~b) == 0``, cardinality
+``int.bit_count`` — where the ``frozenset`` path pays a hash-table walk
+per element.
+
+Two layers live here:
+
+* **Mask primitives** — pure functions on a single subset mask.
+* **Packed rounds** — a whole ``DRound`` ``(D_0, .., D_{n-1})`` as one int
+  of ``n*n`` bits: bit ``i*n + j`` set ⇔ ``j ∈ D(i)``.  A packed
+  ``DHistory`` is then a tuple of ints, which hashes and compares as a
+  flat word sequence — the representation the exploration engine uses for
+  memo keys, symmetry orbits and stack frames.
+
+The bridge to ``frozenset`` land is **lossless and interned** per ``n``
+(:class:`BitsetDomain`): unpacking the same packed round twice returns the
+*same* ``DRound`` tuple object, so downstream identity tricks (shared
+trace objects, memo-by-identity) keep working and equality checks stay
+cheap.
+
+Enumeration order contract: :meth:`BitsetDomain.masks_by_rank` yields
+masks in exactly the order of :func:`repro.util.sets.all_subsets` (size
+ascending, then combination order), so packed enumeration of round
+families visits the identical sequence as
+:func:`repro.util.sets.all_subset_families` — the property the
+differential tests against the set-based oracle rest on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+__all__ = [
+    "bits_of",
+    "iter_bits",
+    "mask_of",
+    "popcount",
+    "set_of",
+    "BitsetDomain",
+    "domain",
+]
+
+
+def mask_of(items: Iterable[int]) -> int:
+    """Pack an iterable of process ids into a bitmask."""
+    mask = 0
+    for item in items:
+        mask |= 1 << item
+    return mask
+
+
+def set_of(mask: int) -> frozenset[int]:
+    """Unpack a bitmask into a frozenset of process ids."""
+    return frozenset(iter_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits_of(mask: int) -> tuple[int, ...]:
+    """The set bit positions of ``mask`` as an ascending tuple."""
+    return tuple(iter_bits(mask))
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (``|D|`` for a suspicion-set mask)."""
+    return mask.bit_count()
+
+
+class BitsetDomain:
+    """Per-``n`` packed-round workspace: masks, interning, permutations.
+
+    One instance exists per ``n`` (via :func:`domain`); everything heavy —
+    the interned ``frozenset`` table, unpacked-round cache, enumeration
+    mask lists, permutation image tables — is cached on it, so hot loops
+    pay dict lookups instead of object construction.
+    """
+
+    __slots__ = (
+        "n",
+        "full",
+        "round_bits",
+        "_sets",
+        "_set_masks",
+        "_bit_tuples",
+        "_rounds",
+        "_ranked",
+        "_perm_maps",
+    )
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"domain needs n >= 1, got {n}")
+        self.n = n
+        self.full = (1 << n) - 1
+        self.round_bits = n * n
+        self._sets: dict[int, frozenset[int]] = {}
+        self._set_masks: dict[frozenset[int], int] = {}
+        self._bit_tuples: dict[int, tuple[int, ...]] = {}
+        self._rounds: dict[int, tuple[frozenset[int], ...]] = {}
+        self._ranked: dict[int | None, tuple[int, ...]] = {}
+        self._perm_maps: dict[tuple[int, ...], list[int]] = {}
+
+    # -- single-set bridging -------------------------------------------------
+
+    def to_set(self, mask: int) -> frozenset[int]:
+        """Interned ``frozenset`` for a single suspicion-set mask."""
+        cached = self._sets.get(mask)
+        if cached is None:
+            cached = self._sets[mask] = set_of(mask)
+            self._set_masks[cached] = mask
+        return cached
+
+    def pack_set(self, items: frozenset[int]) -> int:
+        """Mask of one suspicion set, memoized by the set itself.
+
+        The reverse direction of :meth:`to_set`: hot loops that receive
+        ``frozenset``s (the executor packing adversary-chosen rounds) pay
+        one dict probe per set instead of an element walk.  Only distinct
+        sets actually seen are cached, so the table stays small.
+        """
+        mask = self._set_masks.get(items)
+        if mask is None:
+            mask = mask_of(items)
+            self._set_masks[items] = mask
+            self._sets.setdefault(mask, items)
+        return mask
+
+    def set_bits(self, mask: int) -> tuple[int, ...]:
+        """Ascending bit positions of ``mask``, memoized per mask."""
+        cached = self._bit_tuples.get(mask)
+        if cached is None:
+            cached = self._bit_tuples[mask] = bits_of(mask)
+        return cached
+
+    # -- packed rounds -------------------------------------------------------
+
+    def pack_round(self, d_round: Iterable[Iterable[int]]) -> int:
+        """Pack ``(D_0, .., D_{n-1})`` into one ``n*n``-bit int."""
+        n = self.n
+        packed = 0
+        for pid, suspected in enumerate(d_round):
+            packed |= mask_of(suspected) << (pid * n)
+        return packed
+
+    def unpack_round(self, rint: int) -> tuple[frozenset[int], ...]:
+        """Interned ``DRound`` for a packed round int (lossless inverse)."""
+        cached = self._rounds.get(rint)
+        if cached is None:
+            cached = self._rounds[rint] = tuple(
+                self.to_set(mask) for mask in self.round_masks(rint)
+            )
+        return cached
+
+    def round_masks(self, rint: int) -> tuple[int, ...]:
+        """Split a packed round into its ``n`` per-process masks."""
+        full = self.full
+        n = self.n
+        return tuple((rint >> (pid * n)) & full for pid in range(n))
+
+    def pack_masks(self, masks: Iterable[int]) -> int:
+        """Combine per-process masks back into one packed round int."""
+        n = self.n
+        packed = 0
+        for pid, mask in enumerate(masks):
+            packed |= mask << (pid * n)
+        return packed
+
+    def pack_history(self, history: Iterable[Iterable[Iterable[int]]]) -> tuple[int, ...]:
+        """Pack a ``DHistory`` into a tuple of round ints."""
+        return tuple(self.pack_round(d_round) for d_round in history)
+
+    def unpack_history(self, packed: Iterable[int]) -> tuple[tuple[frozenset[int], ...], ...]:
+        """Unpack a tuple of round ints back into an interned ``DHistory``."""
+        return tuple(self.unpack_round(rint) for rint in packed)
+
+    # -- aggregates over packed rounds --------------------------------------
+
+    def round_union(self, rint: int) -> int:
+        """``⋃_i D(i)`` of a packed round, as a mask."""
+        full = self.full
+        n = self.n
+        union = 0
+        while rint:
+            union |= rint & full
+            rint >>= n
+        return union
+
+    def round_intersection(self, rint: int) -> int:
+        """``⋂_i D(i)`` of a packed round, as a mask."""
+        full = self.full
+        n = self.n
+        inter = rint & full
+        for _ in range(self.n - 1):
+            rint >>= n
+            inter &= rint & full
+        return inter
+
+    # -- enumeration order ---------------------------------------------------
+
+    def masks_by_rank(self, max_size: int | None = None) -> tuple[int, ...]:
+        """Subset masks in ``all_subsets`` order (size asc, combo order).
+
+        This order is the compatibility contract with the set-based
+        enumerator: packed round enumeration iterates per-process masks in
+        this sequence, outermost process varying slowest, exactly like
+        ``all_subset_families``.
+        """
+        key = None if max_size is None or max_size >= self.n else max_size
+        cached = self._ranked.get(key)
+        if cached is None:
+            top = self.n if key is None else key
+            cached = self._ranked[key] = tuple(
+                mask_of(combo)
+                for size in range(top + 1)
+                for combo in itertools.combinations(range(self.n), size)
+            )
+        return cached
+
+    # -- permutations (symmetry reduction) -----------------------------------
+
+    def perm_mask_map(self, perm: tuple[int, ...]) -> list[int]:
+        """``map[mask]`` = image of ``mask`` under process renaming ``perm``.
+
+        ``perm[i]`` is the new name of process ``i``.  The table has
+        ``2^n`` entries and is built once per permutation, turning orbit
+        canonicalization into array lookups.
+        """
+        cached = self._perm_maps.get(perm)
+        if cached is None:
+            n = self.n
+            cached = [0] * (1 << n)
+            for mask in range(1 << n):
+                image = 0
+                rest = mask
+                while rest:
+                    low = rest & -rest
+                    image |= 1 << perm[low.bit_length() - 1]
+                    rest ^= low
+                cached[mask] = image
+            self._perm_maps[perm] = cached
+        return cached
+
+    def permute_round(self, rint: int, perm: tuple[int, ...]) -> int:
+        """Image of a packed round under process renaming ``perm``.
+
+        Process ``i``'s suspicion set moves to slot ``perm[i]`` with every
+        member ``j`` renamed to ``perm[j]``.
+        """
+        mask_map = self.perm_mask_map(perm)
+        full = self.full
+        n = self.n
+        image = 0
+        for pid in range(n):
+            mask = (rint >> (pid * n)) & full
+            image |= mask_map[mask] << (perm[pid] * n)
+        return image
+
+
+@lru_cache(maxsize=None)
+def domain(n: int) -> BitsetDomain:
+    """The shared :class:`BitsetDomain` for ``n`` processes."""
+    return BitsetDomain(n)

@@ -4,18 +4,73 @@ Round suspicion matrices and decision summaries as fixed-width text, used
 by the CLI and the examples.  The convention throughout: one block of
 ``n`` characters per process row, ``x`` at column ``j`` meaning
 "this process suspects ``j``", ``.`` meaning trusted.
+
+Above :data:`SUMMARY_THRESHOLD` processes the x/. matrix stops being
+legible (and its output quadratic), so rendering switches to a summary
+form: only processes that suspect someone are listed, each as a popcount
+plus its first few members, with row caps keeping the output bounded no
+matter how large ``n`` grows (the E14 bench grids run into the
+thousands).
 """
 
 from __future__ import annotations
 
 from repro.core.types import DRound, ExecutionTrace
 
-__all__ = ["render_d_round", "render_trace", "render_suspicion_history"]
+__all__ = [
+    "SUMMARY_THRESHOLD",
+    "render_d_round",
+    "render_trace",
+    "render_suspicion_history",
+]
+
+#: Largest ``n`` rendered as a full x/. matrix; above it, summaries.
+SUMMARY_THRESHOLD = 16
+
+#: Set members shown per summarized suspicion set.
+_MEMBERS_SHOWN = 8
+
+#: Non-empty rows shown per summarized round.
+_ROWS_SHOWN = 16
+
+
+def _summarize_set(suspected: frozenset[int]) -> str:
+    members = sorted(suspected)
+    head = ",".join(str(m) for m in members[:_MEMBERS_SHOWN])
+    tail = ",…" if len(members) > _MEMBERS_SHOWN else ""
+    return f"|D|={len(members)} {{{head}{tail}}}"
+
+
+def _summarize_d_round(d_round: DRound) -> list[str]:
+    n = len(d_round)
+    width = len(f"p{n - 1}")
+    rows = [
+        (pid, suspected)
+        for pid, suspected in enumerate(d_round)
+        if suspected
+    ]
+    lines = [
+        f"{f'p{pid}':<{width}} {_summarize_set(suspected)}"
+        for pid, suspected in rows[:_ROWS_SHOWN]
+    ]
+    if len(rows) > _ROWS_SHOWN:
+        lines.append(f"… {len(rows) - _ROWS_SHOWN} more suspecting rows")
+    quiet = n - len(rows)
+    if quiet:
+        lines.append(f"({quiet}/{n} processes suspect nobody)")
+    return lines
 
 
 def render_d_round(d_round: DRound) -> list[str]:
-    """One line per process: ``p0 x..`` means p0 suspects process 0 only."""
+    """One line per process: ``p0 x..`` means p0 suspects process 0 only.
+
+    Above :data:`SUMMARY_THRESHOLD` processes the matrix form is replaced
+    by per-process summaries (popcount + first members) of the non-empty
+    rows only, capped so the output stays bounded at any ``n``.
+    """
     n = len(d_round)
+    if n > SUMMARY_THRESHOLD:
+        return _summarize_d_round(d_round)
     width = len(f"p{n - 1}")
     return [
         f"{f'p{pid}':<{width}} "
@@ -25,10 +80,20 @@ def render_d_round(d_round: DRound) -> list[str]:
 
 
 def render_suspicion_history(history: tuple[DRound, ...]) -> str:
-    """All rounds side by side, one process per line."""
+    """All rounds side by side, one process per line.
+
+    Above :data:`SUMMARY_THRESHOLD` processes, rounds are rendered as
+    sequential summarized blocks instead of side-by-side matrices.
+    """
     if not history:
         return "(no rounds)"
     n = len(history[0])
+    if n > SUMMARY_THRESHOLD:
+        lines = []
+        for r, d_round in enumerate(history, start=1):
+            lines.append(f"r{r}:")
+            lines.extend(f"  {line}" for line in _summarize_d_round(d_round))
+        return "\n".join(lines)
     width = len(f"p{n - 1}")
     header = (
         " " * (width + 1)

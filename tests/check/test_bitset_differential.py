@@ -1,0 +1,137 @@
+"""Differential certification of the packed exploration path.
+
+The tentpole guarantee of the bitset kernel: for every registered spec the
+packed engine explores the *same tree* as the set-based reference engine —
+byte-identical histories in identical order, identical violation sets,
+identical symmetry-orbit skips — and both agree with the replay engine.
+The set-based path is deliberately kept alive (``bitset=False`` /
+``--no-bitset``) as the oracle these tests compare against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.engine import IncrementalExplorer
+from repro.check.explore import explore
+from repro.check.spec import all_specs, get_spec
+from repro.core.predicates import CrashSync
+
+EXHAUSTIVE_SPECS = [s.name for s in all_specs() if s.supports_exhaustive]
+
+N = 3
+
+
+def _violation_key(violation):
+    return (
+        violation.spec,
+        violation.inputs,
+        violation.history,
+        tuple((f.invariant, f.message) for f in violation.failures),
+    )
+
+
+def _assert_same_outcome(packed, reference):
+    assert packed.histories == reference.histories
+    assert packed.executions == reference.executions
+    assert packed.pruned == reference.pruned
+    assert [_violation_key(v) for v in packed.violations] == [
+        _violation_key(v) for v in reference.violations
+    ]
+
+
+@pytest.mark.parametrize("spec_name", EXHAUSTIVE_SPECS)
+def test_packed_explore_matches_set_engine(spec_name):
+    spec = get_spec(spec_name)
+    rounds = spec.rounds(N)
+    packed = explore(spec=spec_name, n=N, rounds=rounds)
+    reference = explore(spec=spec_name, n=N, rounds=rounds, bitset=False)
+    if spec.predicate(N).packed().fast:
+        assert packed.bitset
+    assert not reference.bitset
+    _assert_same_outcome(packed, reference)
+
+
+@pytest.mark.parametrize("spec_name", EXHAUSTIVE_SPECS)
+def test_packed_explore_matches_replay_engine(spec_name):
+    spec = get_spec(spec_name)
+    rounds = spec.rounds(N)
+    packed = explore(spec=spec_name, n=N, rounds=rounds)
+    replayed = explore(spec=spec_name, n=N, rounds=rounds, engine="replay")
+    _assert_same_outcome(packed, replayed)
+
+
+@pytest.mark.parametrize("spec_name", EXHAUSTIVE_SPECS)
+def test_packed_symmetry_matches_set_engine(spec_name):
+    spec = get_spec(spec_name)
+    if spec.symmetry == "none":
+        pytest.skip("spec declares no symmetry grade")
+    rounds = spec.rounds(N)
+    packed = explore(spec=spec_name, n=N, rounds=rounds, symmetry=True)
+    reference = explore(
+        spec=spec_name, n=N, rounds=rounds, symmetry=True, bitset=False
+    )
+    assert packed.symmetry == reference.symmetry
+    assert packed.skipped_symmetric == reference.skipped_symmetric
+    _assert_same_outcome(packed, reference)
+
+
+@pytest.mark.parametrize("spec_name", EXHAUSTIVE_SPECS)
+def test_engine_yields_identical_history_sequences(spec_name):
+    """Leaf-level check: the DFS yield *order* matches, not just the set."""
+    spec = get_spec(spec_name)
+    rounds = spec.rounds(N)
+    inputs = tuple(spec.exhaustive_inputs(N))[0]
+    predicate = spec.predicate(N)
+
+    def leaves(bitset):
+        explorer = IncrementalExplorer(
+            spec.protocol(N),
+            spec.predicate(N),
+            inputs,
+            crashed_stop_emitting=spec.crashed_stop_emitting,
+            bitset=bitset,
+        )
+        out = []
+        for run in explorer.runs(rounds):
+            if run.expand is None:
+                out.append(run.history)
+            else:
+                out.extend(run.expand())
+        return out, explorer.stats
+
+    packed_leaves, packed_stats = leaves(True)
+    set_leaves, set_stats = leaves(False)
+    assert packed_leaves == set_leaves
+    assert packed_stats.rounds_executed <= set_stats.rounds_executed
+    if predicate.packed().fast:
+        assert packed_stats.memo_hits == 0
+        assert packed_stats.memo_misses == 0
+        assert (
+            packed_stats.memo_hits_packed + packed_stats.memo_misses_packed
+            > 0
+        )
+
+
+def test_violating_runs_are_identical_across_paths():
+    """A weakened model *must* produce violations; all engines agree on them."""
+    weak = get_spec("kset").weakened(
+        lambda n: CrashSync(n, n - 1), suffix="bitset-diff"
+    )
+    rounds = weak.rounds(N)
+    packed = explore(spec=weak, n=N, rounds=rounds)
+    reference = explore(spec=weak, n=N, rounds=rounds, bitset=False)
+    replayed = explore(spec=weak, n=N, rounds=rounds, engine="replay")
+    assert packed.violations, "weakened spec found no violations"
+    _assert_same_outcome(packed, reference)
+    _assert_same_outcome(packed, replayed)
+
+
+def test_prune_decided_matches_set_engine():
+    packed = explore(
+        spec="kset", n=N, rounds=2, prune_decided=True
+    )
+    reference = explore(
+        spec="kset", n=N, rounds=2, prune_decided=True, bitset=False
+    )
+    _assert_same_outcome(packed, reference)

@@ -238,7 +238,7 @@ class TestPrimitives:
 
     def test_candidate_memo_collapses_per_round_predicates(self):
         explorer = IncrementalExplorer(
-            kset_protocol(), KSetDetector(3, 2), (0, 1, 2)
+            kset_protocol(), KSetDetector(3, 2), (0, 1, 2), bitset=False
         )
         runs = list(explorer.runs(2))
         assert len(runs) == 3721
@@ -248,10 +248,41 @@ class TestPrimitives:
         assert explorer.stats.memo_hits == 61
         # One protocol round per tree edge below the decision round.
         assert explorer.stats.rounds_executed == 61
+        # The set path never touches the packed counters.
+        assert explorer.stats.memo_misses_packed == 0
+        assert explorer.stats.memo_hits_packed == 0
+
+    def test_packed_memo_and_aggregation_collapse_decided_subtrees(self):
+        """The packed twin of the memo test: same shape, fewer runs.
+
+        kset decides in round 1, so each depth-1 subtree arrives as ONE
+        aggregated run standing for its 61 leaves; the packed state memo
+        shows the same 1-miss/61-hit pattern as the set-based memo.
+        """
+        explorer = IncrementalExplorer(
+            kset_protocol(), KSetDetector(3, 2), (0, 1, 2)
+        )
+        assert explorer.bitset
+        runs = list(explorer.runs(2))
+        assert len(runs) == 61
+        assert all(run.count == 61 for run in runs)
+        assert sum(run.count for run in runs) == 3721
+        assert explorer.stats.memo_misses_packed == 1
+        assert explorer.stats.memo_hits_packed == 61
+        assert explorer.stats.aggregated_subtrees == 61
+        assert explorer.stats.rounds_executed == 61
+        # The packed path never touches the set-keyed counters.
+        assert explorer.stats.memo_misses == 0
+        assert explorer.stats.memo_hits == 0
+        # expand() enumerates the leaves lazily, DFS-first leaf first.
+        leaves = list(runs[0].expand())
+        assert len(leaves) == 61
+        assert all(leaf[:1] == runs[0].history for leaf in leaves)
+        assert leaves[0] == runs[0].history + runs[0].history
 
     def test_decided_subtrees_share_traces(self):
         explorer = IncrementalExplorer(
-            kset_protocol(), KSetDetector(3, 2), (0, 1, 2)
+            kset_protocol(), KSetDetector(3, 2), (0, 1, 2), bitset=False
         )
         # Count identity *transitions* (shared traces arrive contiguously);
         # holding ids without references would hit GC id reuse.

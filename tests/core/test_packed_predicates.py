@@ -1,0 +1,183 @@
+"""Differential tests: fast packed kernels vs the set-based oracle.
+
+Every catalog predicate that ships a :class:`FastPackedPredicate` kernel is
+checked here against :class:`PackedPredicate` — the bridge that unpacks and
+delegates to the frozenset reference implementation.  The bridge *is* the
+oracle: agreement on every packed round (membership, enumeration order,
+state folding) is what licenses the exploration engine to route these
+models onto the bit-op hot path.
+
+The sweep is exhaustive at n=3: all ``(2^3)^3 = 512`` packed rounds are
+judged by both sides at the empty history and again after admissible
+prefixes drawn with each model's own sampler.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.predicate import (
+    Conjunction,
+    PackedPredicate,
+    Predicate,
+    Unconstrained,
+)
+from repro.core.predicates import (
+    AsyncMessagePassing,
+    AtomicSnapshot,
+    CrashSync,
+    EventuallyStrong,
+    KSetDetector,
+    MixedResilience,
+    SemiSyncEquality,
+    SendOmissionSync,
+    SharedMemoryAntisymmetric,
+    SharedMemorySWMR,
+)
+
+N = 3
+
+CATALOG = [
+    SendOmissionSync(N, 1),
+    CrashSync(N, 1),
+    AsyncMessagePassing(N, 1),
+    MixedResilience(N, 2, 1),
+    SharedMemorySWMR(N, 1),
+    SharedMemoryAntisymmetric(N, 1),
+    AtomicSnapshot(N, 1),
+    EventuallyStrong(N),
+    KSetDetector(N, 2),
+    SemiSyncEquality(N),
+    Unconstrained(N),
+    Conjunction(AsyncMessagePassing(N, 1), KSetDetector(N, 2)),
+]
+
+IDS = [type(p).__name__ for p in CATALOG]
+
+
+def _histories(predicate: Predicate, rounds: int = 2, samples: int = 3):
+    """Admissible packed prefixes drawn with the model's own sampler."""
+    dom = predicate.packed().domain
+    out = [()]
+    for seed in range(samples):
+        rng = random.Random(seed)
+        history = ()
+        for _ in range(rounds):
+            history = history + (predicate.sample_round(rng, history),)
+            out.append(dom.pack_history(history))
+    return out
+
+
+@pytest.mark.parametrize("predicate", CATALOG, ids=IDS)
+def test_catalog_kernel_is_fast(predicate):
+    assert predicate.packed().fast, (
+        f"{predicate.name} should ship a FastPackedPredicate kernel"
+    )
+
+
+@pytest.mark.parametrize("predicate", CATALOG, ids=IDS)
+def test_membership_matches_oracle_on_all_rounds(predicate):
+    fast = predicate.packed()
+    oracle = PackedPredicate(predicate)
+    space = 1 << (N * N)
+    for ph in _histories(predicate):
+        expected = [
+            rint for rint in range(space)
+            if oracle.allows_extension(ph, rint)
+        ]
+        got = [
+            rint for rint in range(space)
+            if fast.allows_extension(ph, rint)
+        ]
+        assert got == expected, f"membership diverges after {ph!r}"
+
+
+@pytest.mark.parametrize("predicate", CATALOG, ids=IDS)
+@pytest.mark.parametrize("max_d_size", [None, 0, 1])
+def test_enumeration_matches_oracle_order(predicate, max_d_size):
+    fast = predicate.packed()
+    oracle = PackedPredicate(predicate)
+    for ph in _histories(predicate):
+        expected = oracle.admissible_round_ints(ph, max_d_size=max_d_size)
+        got = fast.admissible_round_ints(ph, max_d_size=max_d_size)
+        assert got == expected, (
+            f"enumeration diverges after {ph!r} (max_d_size={max_d_size})"
+        )
+        # The explicit-state entry point used by the engine agrees too.
+        state = fast.extension_state(ph)
+        assert fast.admissible_round_ints(
+            (), max_d_size=max_d_size, state=state
+        ) == expected
+
+
+@pytest.mark.parametrize("predicate", CATALOG, ids=IDS)
+def test_history_judgement_matches_oracle(predicate):
+    fast = predicate.packed()
+    oracle = PackedPredicate(predicate)
+    rng = random.Random(7)
+    dom = fast.domain
+    for seed in range(5):
+        # Admissible prefix, then one arbitrary (possibly violating) round.
+        local = random.Random(seed)
+        history = ()
+        for _ in range(2):
+            history = history + (predicate.sample_round(local, history),)
+        ph = dom.pack_history(history)
+        assert fast.allows_history(ph) and oracle.allows_history(ph)
+        tail = rng.randrange(1 << (N * N))
+        extended = ph + (tail,)
+        assert fast.allows_history(extended) == oracle.allows_history(extended)
+
+
+def test_subclass_with_changed_semantics_falls_back_to_bridge():
+    class Stricter(KSetDetector):
+        def _allows(self, history):  # tighten: forbid any suspicion at all
+            return super()._allows(history) and all(
+                not suspected for d_round in history for suspected in d_round
+            )
+
+    packed = Stricter(N, 2).packed()
+    assert not packed.fast
+    assert type(packed) is PackedPredicate
+
+
+@pytest.mark.parametrize(
+    "cls,args",
+    [
+        (SendOmissionSync, (N, 1)),
+        (CrashSync, (N, 1)),
+        (AsyncMessagePassing, (N, 1)),
+        (MixedResilience, (N, 2, 1)),
+        (SharedMemorySWMR, (N, 1)),
+        (SharedMemoryAntisymmetric, (N, 1)),
+        (AtomicSnapshot, (N, 1)),
+        (EventuallyStrong, (N,)),
+        (KSetDetector, (N, 2)),
+        (SemiSyncEquality, (N,)),
+        (Unconstrained, (N,)),
+    ],
+)
+def test_every_catalog_class_guards_on_exact_type(cls, args):
+    class Subclass(cls):
+        pass
+
+    packed = Subclass(*args).packed()
+    assert not packed.fast, (
+        f"{cls.__name__} subclass must fall back to the bridged oracle"
+    )
+
+
+def test_conjunction_is_fast_only_when_all_parts_are():
+    class Custom(Predicate):
+        def _allows(self, history):
+            return True
+
+        def sample_round(self, rng, history):
+            return tuple(frozenset() for _ in range(self.n))
+
+    mixed = Conjunction(AsyncMessagePassing(N, 1), Custom(N))
+    assert not mixed.packed().fast
+    pure = Conjunction(AsyncMessagePassing(N, 1), Unconstrained(N))
+    assert pure.packed().fast

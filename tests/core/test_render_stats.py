@@ -44,6 +44,43 @@ class TestRender:
         assert "undecided: p1" in text
 
 
+class TestRenderLargeN:
+    """Above SUMMARY_THRESHOLD the matrix form gives way to summaries."""
+
+    N = 256
+
+    def _round(self):
+        d = [F()] * self.N
+        d[0] = F(range(1, 21))  # 20 members: exercises the "…" elision
+        d[7] = F({3})
+        return tuple(d)
+
+    def test_summary_round_is_bounded(self):
+        lines = render_d_round(self._round())
+        assert len(lines) <= 18  # capped rows, not one line per process
+        text = "\n".join(lines)
+        assert "|D|=20 {1,2,3,4,5,6,7,8,…}" in text
+        assert "|D|=1 {3}" in text
+        assert f"(254/{self.N} processes suspect nobody)" in text
+
+    def test_summary_history_is_bounded(self):
+        history = (self._round(), self._round())
+        text = render_suspicion_history(history)
+        assert "r1:" in text and "r2:" in text
+        assert len(text) < 2000  # a full matrix would be ≥ n*n per round
+        assert "|D|=20" in text
+
+    def test_row_cap_reports_remainder(self):
+        d = tuple(F({(pid + 1) % self.N}) for pid in range(self.N))
+        lines = render_d_round(d)
+        assert f"… {self.N - 16} more suspecting rows" in lines[-1]
+
+    def test_threshold_boundary_keeps_matrix_form(self):
+        n = 16
+        lines = render_d_round(tuple(F() for _ in range(n)))
+        assert lines[0] == "p0  " + "." * n
+
+
 class TestWilson:
     def test_interval_contains_point(self):
         low, high = wilson_interval(30, 100)

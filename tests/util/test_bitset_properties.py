@@ -1,0 +1,168 @@
+"""Property tests for the packed↔frozenset bridge (`repro.util.bitset`).
+
+The exploration engine's correctness rests on the bridge being lossless:
+every history the packed DFS visits must unpack to exactly the ``DRound``
+tuples the set-based reference path builds, and mask algebra must agree
+with the set algebra it replaces.  These properties drive the bridge with
+the conformance kit's own history generators
+(:mod:`repro.check.strategies`), so the distributions match what the
+checker actually explores.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.strategies import (
+    admissible_histories,
+    seeds,
+    system_sizes,
+)
+from repro.core.predicate import Unconstrained, round_intersection, round_union
+from repro.core.predicates import AsyncMessagePassing, KSetDetector
+from repro.core.types import (
+    pack_history,
+    pack_round,
+    unpack_history,
+    unpack_round,
+)
+from repro.util.bitset import bits_of, domain, mask_of, popcount, set_of
+from repro.util.rng import make_rng
+from repro.util.sets import all_subsets
+
+MAX_N = 6
+
+
+def _history_strategy(draw, n):
+    """An admissible history under a drawn catalog model for size ``n``."""
+    predicate = draw(st.sampled_from([
+        Unconstrained(n),
+        AsyncMessagePassing(n, max(1, n // 3)),
+        KSetDetector(n, n - 1),
+    ]))
+    return draw(admissible_histories(predicate, max_rounds=3))
+
+
+@st.composite
+def sized_histories(draw):
+    n = draw(system_sizes(min_n=2, max_n=MAX_N))
+    return n, _history_strategy(draw, n)
+
+
+@st.composite
+def masks(draw):
+    n = draw(system_sizes(min_n=1, max_n=MAX_N))
+    return n, draw(st.integers(0, (1 << n) - 1))
+
+
+# -- single-mask primitives --------------------------------------------------
+
+
+@given(masks())
+def test_mask_set_round_trip(case):
+    _, mask = case
+    assert mask_of(set_of(mask)) == mask
+    assert popcount(mask) == len(set_of(mask))
+    assert bits_of(mask) == tuple(sorted(set_of(mask)))
+
+
+@given(masks(), masks())
+def test_mask_algebra_matches_set_algebra(a, b):
+    _, ma = a
+    _, mb = b
+    sa, sb = set_of(ma), set_of(mb)
+    assert set_of(ma | mb) == sa | sb
+    assert set_of(ma & mb) == sa & sb
+    assert set_of(ma & ~mb) == sa - sb
+    assert (ma & ~mb == 0) == (sa <= sb)
+
+
+# -- packed rounds and histories ---------------------------------------------
+
+
+@given(sized_histories())
+@settings(max_examples=60)
+def test_round_pack_unpack_identity(case):
+    n, history = case
+    dom = domain(n)
+    for d_round in history:
+        rint = dom.pack_round(d_round)
+        assert dom.unpack_round(rint) == d_round
+        # Interned: unpacking twice yields the identical tuple object.
+        assert dom.unpack_round(rint) is dom.unpack_round(rint)
+        # Module-level bridge agrees with the domain methods.
+        assert pack_round(d_round, n) == rint
+        assert unpack_round(rint, n) == d_round
+
+
+@given(sized_histories())
+@settings(max_examples=60)
+def test_history_pack_unpack_identity(case):
+    n, history = case
+    packed = pack_history(history, n)
+    assert unpack_history(packed, n) == history
+    assert domain(n).pack_history(history) == packed
+
+
+@given(sized_histories())
+@settings(max_examples=60)
+def test_round_aggregates_match_set_path(case):
+    n, history = case
+    dom = domain(n)
+    for d_round in history:
+        rint = dom.pack_round(d_round)
+        assert dom.to_set(dom.round_union(rint)) == round_union(d_round)
+        assert (
+            dom.to_set(dom.round_intersection(rint))
+            == round_intersection(d_round)
+        )
+        assert dom.round_masks(rint) == tuple(
+            dom.pack_set(suspected) for suspected in d_round
+        )
+        assert dom.pack_masks(dom.round_masks(rint)) == rint
+
+
+@given(sized_histories(), seeds())
+@settings(max_examples=40)
+def test_permute_round_matches_set_permutation(case, seed):
+    n, history = case
+    dom = domain(n)
+    perm = list(range(n))
+    make_rng(seed).shuffle(perm)
+    perm = tuple(perm)
+    for d_round in history:
+        rint = dom.pack_round(d_round)
+        image = [frozenset()] * n
+        for pid, suspected in enumerate(d_round):
+            image[perm[pid]] = frozenset(perm[j] for j in suspected)
+        assert dom.permute_round(rint, perm) == dom.pack_round(image)
+
+
+# -- enumeration order contract ----------------------------------------------
+
+
+@given(system_sizes(min_n=1, max_n=5), st.integers(0, 5))
+def test_masks_by_rank_matches_all_subsets_order(n, max_size):
+    dom = domain(n)
+    expected = tuple(
+        mask_of(combo) for combo in all_subsets(range(n), max_size=max_size)
+    )
+    got = dom.masks_by_rank(max_size)
+    assert got == expected
+
+
+def test_pack_set_interns_both_directions():
+    dom = domain(4)
+    for members in itertools.chain.from_iterable(
+        itertools.combinations(range(4), size) for size in range(5)
+    ):
+        suspected = frozenset(members)
+        mask = dom.pack_set(suspected)
+        assert mask == mask_of(suspected)
+        assert dom.to_set(mask) == suspected
+        # The memo serves the same objects on repeat lookups.
+        assert dom.pack_set(dom.to_set(mask)) == mask
+        assert dom.set_bits(mask) == tuple(sorted(suspected))
