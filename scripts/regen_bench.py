@@ -7,7 +7,9 @@ experiments the bitset kernel is accepted against:
 * ``benchmarks/artifacts/BENCH_E22.json`` — exploration-engine grid
   (replay vs set-based incremental vs packed ``+bitset`` configs);
 * ``benchmarks/artifacts/BENCH_E14.json`` / ``BENCH_E14c.json`` — kernel
-  scaling, including the packed-round grid up to n=2048.
+  scaling, including the packed-round grid up to n=2048;
+* ``benchmarks/artifacts/BENCH_E24.json`` — Heard-Of certification grid
+  (packed suspicion kernels vs the bridged set oracle).
 
 ``python scripts/regen_bench.py`` re-runs the experiments and rewrites
 the artifacts (do this on the reference machine when cell semantics
@@ -43,7 +45,7 @@ from repro.harness.runner import run_experiment  # noqa: E402
 ARTIFACT_DIR = REPO_ROOT / "benchmarks" / "artifacts"
 
 #: Experiments with committed artifacts (BENCH_<id>.json each).
-EXPERIMENT_IDS = ("E22", "E14", "E14c")
+EXPERIMENT_IDS = ("E22", "E14", "E14c", "E24")
 
 #: Per-cell value fields that vary run to run and machine to machine.
 VOLATILE_VALUE_KEYS = frozenset({"elapsed_ms"})
@@ -65,11 +67,22 @@ def stable_payload(doc: dict[str, Any]) -> dict[str, Any]:
     return payload
 
 
-def regenerate() -> list[Path]:
+def _selected(ids: list[str]) -> tuple[str, ...]:
+    if not ids:
+        return EXPERIMENT_IDS
+    unknown = [i for i in ids if i not in EXPERIMENT_IDS]
+    if unknown:
+        raise SystemExit(
+            f"no committed artifact for {unknown}; known: {EXPERIMENT_IDS}"
+        )
+    return tuple(ids)
+
+
+def regenerate(ids: list[str]) -> list[Path]:
     registry = load_experiments()
     ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
     written = []
-    for exp_id in EXPERIMENT_IDS:
+    for exp_id in _selected(ids):
         doc = experiment_to_doc(run_experiment(registry[exp_id]))
         path = ARTIFACT_DIR / f"BENCH_{exp_id}.json"
         path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
@@ -78,10 +91,10 @@ def regenerate() -> list[Path]:
     return written
 
 
-def check() -> int:
+def check(ids: list[str]) -> int:
     registry = load_experiments()
     failures = 0
-    for exp_id in EXPERIMENT_IDS:
+    for exp_id in _selected(ids):
         path = ARTIFACT_DIR / f"BENCH_{exp_id}.json"
         if not path.is_file():
             print(f"MISSING {path.relative_to(REPO_ROOT)} — run "
@@ -115,8 +128,12 @@ def main() -> int:
         "--check", action="store_true",
         help="verify the committed artifacts reproduce instead of rewriting",
     )
+    parser.add_argument(
+        "ids", nargs="*",
+        help="restrict to these experiment ids (default: all committed)",
+    )
     args = parser.parse_args()
-    return check() if args.check else (regenerate() and 0)
+    return check(args.ids) if args.check else (regenerate(args.ids) and 0)
 
 
 if __name__ == "__main__":

@@ -414,3 +414,10 @@ register(ConformanceSpec(
     notes="scheduler-driven: every fuzz sample draws a fresh step schedule, "
           "crash pattern and oracle behaviour",
 ))
+
+
+# ---------------------------------------------------------------------------
+# sibling-model specs (imported last: repro.ho.specs registers through the
+# same registry and reuses this module's invariant helpers)
+
+import repro.ho.specs  # noqa: E402,F401  (registration side effect)

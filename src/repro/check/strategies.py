@@ -31,6 +31,7 @@ from hypothesis import strategies as st
 
 from repro.core.predicate import Predicate
 from repro.core.types import DHistory
+from repro.ho.model import HOHistory, HOPredicate
 from repro.substrates.messaging.chaos import (
     CrashWindow,
     FaultPlan,
@@ -49,6 +50,7 @@ __all__ = [
     "alphabet_inputs",
     "crash_schedules",
     "admissible_histories",
+    "ho_collections",
     "link_faults",
     "fault_plans",
 ]
@@ -141,6 +143,29 @@ def admissible_histories(
     for _ in range(rounds):
         history = history + (predicate.sample_round(rng, history),)
     return history
+
+
+@st.composite
+def ho_collections(
+    draw: st.DrawFn,
+    predicate: "HOPredicate",
+    *,
+    min_rounds: int = 1,
+    max_rounds: int = 4,
+) -> "HOHistory":
+    """Heard-Of collections admissible under ``predicate``, by construction.
+
+    The HO twin of :func:`admissible_histories`: drives
+    :meth:`repro.ho.model.HOPredicate.sample_round` with a drawn seed, so
+    every generated (and every shrunk) collection satisfies the predicate
+    — and, through the complement bridge, its ``suspicion()`` view.
+    """
+    rounds = draw(st.integers(min_rounds, max_rounds))
+    rng = make_rng(draw(seeds()))
+    collection: HOHistory = ()
+    for _ in range(rounds):
+        collection = collection + (predicate.sample_round(rng, collection),)
+    return collection
 
 
 def link_faults(

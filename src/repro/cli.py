@@ -15,6 +15,9 @@ Subcommands::
     python -m repro load --instances 100 --plan ci --metrics  # live load run
     python -m repro check --spec kset --exhaustive   # conformance certification
     python -m repro check --spec floodset --fuzz 500 --n 6
+    python -m repro ho --list                        # the HO predicate catalog
+    python -m repro ho --derive ci --n 3             # FaultPlan -> HO predicate
+    python -m repro ho --certify --n 3 --save out/   # equivalence/separation
 
 All commands are deterministic given ``--seed``; ``bench`` results are
 deterministic for every worker count by construction.
@@ -245,6 +248,32 @@ def build_parser() -> argparse.ArgumentParser:
                        "to PATH")
     check.add_argument("--metrics", action="store_true", dest="show_metrics",
                        help="collect and print the unified metrics registry")
+
+    ho = sub.add_parser(
+        "ho",
+        help="Heard-Of model: derive predicates from fault plans, certify "
+             "equivalence/separation between predicates",
+    )
+    ho.add_argument("--list", action="store_true", dest="list_predicates",
+                    help="list the HO predicate catalog and HO specs")
+    ho.add_argument("--derive", metavar="PLAN", default=None,
+                    help="derive the HO predicate a named chaos plan "
+                    "guarantees (none/drop/partition/ci/chaos), then check "
+                    "it against projected executions")
+    ho.add_argument("--certify", action="store_true",
+                    help="run the standard certificate suite: exhaustive "
+                    "equivalence + containments + a shrunk, replay-verified "
+                    "separation witness")
+    ho.add_argument("--n", type=int, default=3, help="system size")
+    ho.add_argument("--rounds", type=int, default=2,
+                    help="certification depth (rounds per history)")
+    ho.add_argument("--seeds", type=int, default=20,
+                    help="projected executions per --derive soundness check")
+    ho.add_argument("--no-bitset", action="store_true",
+                    help="use the set-based reference path instead of the "
+                    "packed kernels (same verdicts)")
+    ho.add_argument("--save", metavar="DIR", default=None,
+                    help="write certificates/witnesses as JSON under DIR")
     return parser
 
 
@@ -652,6 +681,62 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_ho(args: argparse.Namespace) -> int:
+    from repro import ho
+    from repro.service.loadgen import named_plan
+
+    n = args.n
+    bitset = not args.no_bitset
+    did_something = False
+
+    if args.list_predicates:
+        did_something = True
+        print(f"HO predicate catalog (at n={n}):\n")
+        for name in ho.ho_predicate_names():
+            predicate = ho.get_ho_predicate(name, n)
+            fast = "packed" if predicate.suspicion().packed().fast else "set"
+            print(f"  {name:<16} [{fast}] {predicate.describe()}")
+        print("\nRegistered HO conformance specs:\n")
+        from repro.check import get_spec, spec_names
+
+        for name in spec_names():
+            if name.startswith("ho-"):
+                print(f"  {name:<20} {get_spec(name).title}")
+
+    if args.derive is not None:
+        did_something = True
+        plan = named_plan(args.derive, n)
+        predicate = ho.derive(plan, n)
+        print(f"plan {args.derive!r} at n={n} derives: {predicate.describe()}")
+        for pid, obliged in enumerate(predicate.must_hear):
+            print(f"  HO({pid}, r) ⊇ {set(sorted(obliged))}")
+        rounds = max(args.rounds, 1)
+        for seed in range(args.seeds):
+            collection = ho.project_ho(plan, n, rounds, seed=seed)
+            if not predicate.allows(collection):
+                print(f"  UNSOUND at seed={seed}: projected {collection!r}")
+                return 1
+        print(f"  sound on {args.seeds} projected executions "
+              f"({rounds} rounds each)")
+
+    if args.certify:
+        did_something = True
+        report = ho.certify_all(
+            n=n, rounds=args.rounds, bitset=bitset, save_dir=args.save,
+        )
+        for line in report.summaries():
+            print(line)
+        print(f"all certificates replay-verified "
+              f"({'packed' if bitset else 'set'} path)")
+        if args.save:
+            print(f"wrote artifacts under {args.save}")
+
+    if not did_something:
+        print("nothing to do: pass --list, --derive PLAN, and/or --certify")
+        return 2
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -665,6 +750,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "load": _cmd_load,
         "check": _cmd_check,
+        "ho": _cmd_ho,
     }[args.command]
     return handler(args)
 

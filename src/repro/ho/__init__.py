@@ -1,0 +1,87 @@
+"""The Heard-Of model as a first-class sibling of the RRFD predicate catalog.
+
+``HO(i, r)`` — the processes ``i`` *heard from* in round ``r`` — is the
+complement view of the paper's suspicion sets: ``HO(i, r) = S − D(i, r)``.
+:mod:`repro.ho.model` makes that bridge lossless and two-way (set and
+packed forms), so every HO predicate rides the existing exploration,
+shrinking, and bitset machinery through its ``suspicion()`` view;
+:mod:`repro.ho.derive` compiles :class:`~repro.substrates.messaging.chaos.FaultPlan`
+fault vocabulary into HO obligations; :mod:`repro.ho.certify` turns
+containment questions between predicates into machine-checked equivalence
+certificates and shrunk, replayable separation witnesses.
+"""
+
+from repro.ho.certify import (
+    CertifySuiteReport,
+    ContainmentResult,
+    EquivalenceCertificate,
+    PredicateRef,
+    certify_all,
+    contains,
+    equivalence,
+    find_separation,
+    load_certificate,
+    replay_certificate,
+    replay_separation,
+    save_certificate,
+    separation_spec,
+)
+from repro.ho.derive import derive, link_reliable, project_ho
+from repro.ho.model import (
+    HO_CATALOG,
+    HOAtLeast,
+    HOConjunction,
+    HOGlobalKernel,
+    HOHearAll,
+    HOHistory,
+    HOMustHear,
+    HONonEmpty,
+    HONoSplit,
+    HOPredicate,
+    HORound,
+    HOUniform,
+    HOUniformVoting,
+    from_suspicion,
+    get_ho_predicate,
+    ho_predicate_names,
+    to_suspicion,
+)
+from repro.ho.protocol import UniformVotingProcess, uniform_voting_protocol
+
+__all__ = [
+    "HO_CATALOG",
+    "HOAtLeast",
+    "HOConjunction",
+    "HOGlobalKernel",
+    "HOHearAll",
+    "HOHistory",
+    "HOMustHear",
+    "HONonEmpty",
+    "HONoSplit",
+    "HOPredicate",
+    "HORound",
+    "HOUniform",
+    "HOUniformVoting",
+    "from_suspicion",
+    "get_ho_predicate",
+    "ho_predicate_names",
+    "to_suspicion",
+    "derive",
+    "link_reliable",
+    "project_ho",
+    "CertifySuiteReport",
+    "ContainmentResult",
+    "EquivalenceCertificate",
+    "PredicateRef",
+    "certify_all",
+    "contains",
+    "equivalence",
+    "find_separation",
+    "load_certificate",
+    "replay_certificate",
+    "replay_separation",
+    "save_certificate",
+    "separation_spec",
+    "UniformVotingProcess",
+    "uniform_voting_protocol",
+]

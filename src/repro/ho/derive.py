@@ -1,0 +1,157 @@
+"""Derive Heard-Of predicates from elementary behavioral patterns.
+
+Shimi, Hurault and Queinnec show that the HO predicates protocols actually
+assume are *derivable* from elementary per-link behaviours — message loss,
+crashes, partitions, timing budgets.  This repo already carries exactly that
+vocabulary: a :class:`~repro.substrates.messaging.chaos.FaultPlan` is an
+executable schedule of those patterns.  :func:`derive` compiles a plan into
+the strongest :class:`~repro.ho.model.HOMustHear` obligation this analysis
+can justify, and :func:`project_ho` runs the plan on a real
+:class:`~repro.substrates.messaging.chaos.ChaosNetwork` and projects the
+execution onto an HO collection — the soundness statement (every projected
+collection satisfies the derived predicate, for every seed) is
+property-tested in ``tests/ho`` and replayed by ``python -m repro ho
+--derive``.
+
+The derivation is deliberately **conservative** (sound, not tight): a link
+is counted on only when *nothing* in the plan can silence or delay it —
+
+- no loss (``drop_prob = 0``) and no timing hazard (``jitter = 0``,
+  ``spike_prob = 0``: under a per-round deadline a delayed message is a
+  missed message);
+- neither endpoint has any crash window (a crashed sender never sends, a
+  crashed receiver hears nothing);
+- no partition window ever separates the endpoints
+  (:func:`link_reliable` checks the groups statically, so the guarantee
+  holds at whatever time a round happens to run).
+
+Every process always hears itself (self-delivery is immediate and the HO
+framework rule demands ``HO(i, r) ≠ ∅``), so ``must_hear[i]`` always
+contains ``i`` — which also keeps the RRFD bridge total for crashed
+receivers.
+"""
+
+from __future__ import annotations
+
+from repro.ho.model import HOHistory, HOMustHear
+from repro.substrates.events.simulator import EventSimulator
+from repro.substrates.messaging.chaos import ChaosNetwork, FaultPlan
+from repro.substrates.messaging.network import AdversarialDelays, Node
+
+__all__ = [
+    "link_reliable",
+    "derive",
+    "project_ho",
+]
+
+
+def link_reliable(plan: FaultPlan, src: int, dst: int, n: int) -> bool:
+    """Whether the plan can never silence or delay the link ``src → dst``.
+
+    ``src == dst`` is always reliable (self-delivery bypasses the fault
+    pipeline).  Crash windows on either endpoint disqualify the link
+    regardless of their timing — the derivation is time-free so it holds
+    for rounds scheduled at any point of the plan.
+    """
+    if src == dst:
+        return True
+    if plan.crashes.get(src) or plan.crashes.get(dst):
+        return False
+    faults = plan.faults_for(src, dst)
+    if faults.drop_prob > 0 or faults.jitter > 0 or faults.spike_prob > 0:
+        return False
+    for partition in plan.partitions:
+        home = next((g for g in partition.groups if src in g), None)
+        if home is None or dst not in home:
+            return False
+    return True
+
+
+def derive(plan: FaultPlan, n: int) -> HOMustHear:
+    """Compile a fault plan into its guaranteed-audibility HO predicate.
+
+    ``must_hear[i] = {i} ∪ {j : link_reliable(plan, j, i)}`` — process
+    ``i`` is guaranteed to hear every sender whose link to it the plan
+    leaves untouched, plus itself.  Sound with respect to
+    :func:`project_ho` for any seed (and any round schedule), not tight:
+    a probabilistic drop that happens not to fire still widens the actual
+    HO sets beyond the obligation.
+    """
+    must_hear = tuple(
+        frozenset(
+            src for src in range(n) if link_reliable(plan, src, dst, n)
+        )
+        for dst in range(n)
+    )
+    return HOMustHear(n, must_hear)
+
+
+class _FloodNode(Node):
+    """Round-stamped flooder: records which senders beat each deadline."""
+
+    def __init__(self, pid: int, rounds: int, period: float) -> None:
+        super().__init__(pid)
+        self.period = period
+        self.heard: list[set[int]] = [set() for _ in range(rounds)]
+
+    def send_round(self, round_index: int) -> None:
+        self.broadcast(("ho", round_index, self.pid))
+
+    def on_message(self, src: int, payload: object) -> None:
+        tag, round_index, sender = payload  # type: ignore[misc]
+        assert tag == "ho"
+        # A message landing after its round window closed is a miss — the
+        # HO projection is deadline-driven, like the live service's rounds.
+        deadline = (round_index + 1) * self.period
+        if self.network is not None and self.network.sim.now < deadline:
+            self.heard[round_index].add(sender)
+
+
+def project_ho(
+    plan: FaultPlan,
+    n: int,
+    rounds: int,
+    *,
+    seed: int = 0,
+    period: float = 1.0,
+    base_delay: float = 0.1,
+) -> HOHistory:
+    """Run ``plan`` on a chaos network and project the execution onto HO sets.
+
+    Round ``r`` (0-based here, 1-based in the returned collection) has every
+    non-crashed process broadcast a round-stamped message at ``r · period``;
+    ``HO(i, r)`` is ``{i}`` plus every sender whose message reached ``i``
+    before the deadline ``(r + 1) · period``.  Base latency is the constant
+    ``base_delay`` (strictly less than ``period``), so only the plan's own
+    faults — drops, jitter, spikes, partitions, crash windows — can make a
+    process miss a sender.  Deterministic per ``(plan, seed)``.
+    """
+    if rounds < 1:
+        raise ValueError(f"need at least one round, got {rounds}")
+    if not 0 < base_delay < period:
+        raise ValueError(
+            f"need 0 < base_delay < period, got {base_delay}, {period}"
+        )
+    sim = EventSimulator()
+    nodes = [_FloodNode(pid, rounds, period) for pid in range(n)]
+    network = ChaosNetwork(
+        nodes,
+        sim,
+        plan=plan,
+        seed=seed,
+        delays=AdversarialDelays(default=base_delay),
+    )
+    for round_index in range(rounds):
+        for node in nodes:
+            sim.schedule_at(
+                round_index * period,
+                lambda node=node, r=round_index: node.send_round(r),
+            )
+    network.run()
+    return tuple(
+        tuple(
+            frozenset(nodes[pid].heard[round_index]) | {pid}
+            for pid in range(n)
+        )
+        for round_index in range(rounds)
+    )

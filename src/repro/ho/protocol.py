@@ -1,0 +1,70 @@
+"""UniformVoting: consensus from uniform Heard-Of rounds, no detectors.
+
+The Heard-Of companion to the RRFD consensus protocols: Charron-Bost and
+Schiper's *UniformVoting* solves consensus with **no failure detector at
+all** — agreement strength comes entirely from the communication predicate
+(:class:`repro.ho.model.HOUniformVoting`), mirroring the paper's central
+point that the model, not the code, carries the synchrony.
+
+The algorithm runs in two-round phases (1-based round ``r``):
+
+- **odd rounds** (value exchange): broadcast ``x``; set ``x`` to the
+  minimum value heard; vote for it iff every value heard was equal.
+- **even rounds** (vote exchange): broadcast ``(x, vote)``; adopt any
+  non-``None`` vote heard; decide ``v`` iff *every* message heard carried
+  the vote ``v``.
+
+Under the predicate's odd-round uniformity every process hears the *same*
+set of senders, hence computes the same minimum and the same vote — so
+after round 1 all ``x`` agree, after round 3 all votes agree, and round 4
+decides: termination by round 4, for every process, with ``f`` processes
+unheard per phase.  The even-round clause (``|⋃(S − HO)| ≤ f``) keeps the
+vote exchange connected enough that a decided value is every survivor's
+``x``, giving agreement even when phase 1 decides for only some.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.algorithm import Protocol, RoundProcess, make_protocol
+from repro.core.types import Round, RoundView
+
+__all__ = ["UniformVotingProcess", "uniform_voting_protocol"]
+
+
+class UniformVotingProcess(RoundProcess):
+    """One process of UniformVoting (value rounds odd, vote rounds even)."""
+
+    def __init__(self, pid: int, n: int, input_value: Any) -> None:
+        super().__init__(pid, n, input_value)
+        self.x: Any = input_value
+        self.vote: Any = None
+
+    def emit(self, round_number: Round) -> Any:
+        if round_number % 2 == 1:
+            return self.x
+        return (self.x, self.vote)
+
+    def absorb(self, view: RoundView) -> None:
+        if self.decided or not view.messages:
+            return
+        if view.round % 2 == 1:
+            values = list(view.messages.values())
+            self.x = min(values)
+            self.vote = self.x if all(v == self.x for v in values) else None
+        else:
+            votes = [vote for _, vote in view.messages.values()]
+            cast = [vote for vote in votes if vote is not None]
+            if cast:
+                self.x = min(cast)
+                if all(vote == cast[0] for vote in votes):
+                    self.decide(cast[0])
+
+    def copy(self) -> "UniformVotingProcess":
+        return self._shallow_copy()
+
+
+def uniform_voting_protocol() -> Protocol:
+    """UniformVoting consensus under :class:`~repro.ho.model.HOUniformVoting`."""
+    return make_protocol(UniformVotingProcess, name="uniform-voting")

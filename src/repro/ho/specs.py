@@ -1,0 +1,75 @@
+"""Registered Heard-Of conformance specs.
+
+One registration so far: ``ho-uniform-voting`` — UniformVoting consensus
+under :class:`~repro.ho.model.HOUniformVoting` run *through its suspicion
+view*, so the whole conformance kit (exhaustive exploration, the bitset
+engine, fuzzing, shrinking, golden replay) applies unchanged to an HO
+spec.  The bridge is the registration's point: an HO model claim becomes
+checkable with zero new engine code.
+
+Imported by :mod:`repro.check.specs` at registry-population time (this
+module must therefore not import ``repro.check.specs`` back — it uses
+:mod:`repro.check.spec` primitives only).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.check.spec import ConformanceSpec, TraceInvariant, register
+from repro.check.specs import structural_invariant
+from repro.ho.model import HOUniformVoting
+from repro.ho.protocol import uniform_voting_protocol
+from repro.protocols.properties import (
+    check_kset_agreement,
+    check_termination,
+    check_validity,
+)
+
+__all__ = ["UNIFORM_VOTING_ROUNDS", "uniform_voting_f"]
+
+UNIFORM_VOTING_ROUNDS = 4  # two phases: uniformity makes phase 2 decide
+
+
+def uniform_voting_f(n: int) -> int:
+    """Fault budget exercised by the ``ho-uniform-voting`` spec."""
+    return 1
+
+
+def _distinct_inputs(n: int) -> list[tuple[int, ...]]:
+    return [tuple(range(n))]
+
+
+def _sample_int_inputs(n: int, rng: random.Random) -> tuple[int, ...]:
+    return tuple(rng.randrange(n) for _ in range(n))
+
+
+register(ConformanceSpec(
+    name="ho-uniform-voting",
+    title="UniformVoting consensus under the HOUniformVoting predicate "
+          "(Heard-Of model via the suspicion bridge)",
+    protocol=lambda n: uniform_voting_protocol(),
+    predicate=lambda n: HOUniformVoting(n, uniform_voting_f(n)).suspicion(),
+    rounds=lambda n: UNIFORM_VOTING_ROUNDS,
+    invariants=(
+        TraceInvariant(
+            "agreement",
+            lambda t, n: check_kset_agreement(t, 1),
+            "a single decided value",
+        ),
+        TraceInvariant("validity", lambda t, n: check_validity(t)),
+        TraceInvariant(
+            "termination",
+            lambda t, n: check_termination(t, by_round=UNIFORM_VOTING_ROUNDS),
+            "every process decides within two phases",
+        ),
+        structural_invariant(),
+    ),
+    exhaustive_inputs=_distinct_inputs,
+    sample_inputs=_sample_int_inputs,
+    symmetry="labels",
+    notes="Charron-Bost & Schiper's UniformVoting; no failure detector — "
+          "agreement comes from the communication predicate alone. "
+          "symmetry='labels' because the min tie-break makes per-history "
+          "verdicts orbit-dependent while violation existence is not.",
+))

@@ -92,6 +92,7 @@ class BitsetDomain:
         "n",
         "full",
         "round_bits",
+        "full_round",
         "_sets",
         "_set_masks",
         "_bit_tuples",
@@ -106,6 +107,7 @@ class BitsetDomain:
         self.n = n
         self.full = (1 << n) - 1
         self.round_bits = n * n
+        self.full_round = (1 << (n * n)) - 1
         self._sets: dict[int, frozenset[int]] = {}
         self._set_masks: dict[frozenset[int], int] = {}
         self._bit_tuples: dict[int, tuple[int, ...]] = {}
@@ -207,6 +209,16 @@ class BitsetDomain:
             rint >>= n
             inter &= rint & full
         return inter
+
+    def complement_round(self, rint: int) -> int:
+        """Lane-wise complement of a packed round: each ``D(i) ↦ S − D(i)``.
+
+        Because every lane is exactly ``n`` bits wide, complementing all
+        ``n·n`` bits at once complements every lane against ``S`` — this is
+        the packed form of the Heard-Of bridge ``HO(i, r) = S − D(i, r)``
+        (:mod:`repro.ho.model`), and it is an involution.
+        """
+        return rint ^ self.full_round
 
     # -- enumeration order ---------------------------------------------------
 

@@ -45,7 +45,7 @@ class TestCheckCLI:
     def test_fuzz_all_specs_passes(self, capsys):
         assert main(["check", "--fuzz", "25"]) == 0
         out = capsys.readouterr().out
-        assert out.count("OK") == 6
+        assert out.count("OK") == 7
 
     def test_fuzz_only_spec_falls_back_under_exhaustive(self, capsys):
         code = main(["check", "--spec", "detector-consensus", "--exhaustive"])

@@ -1,9 +1,11 @@
 """The golden corpus: every checked-in artifact must still replay.
 
-``tests/golden/`` pins two kinds of execution (see ``tests/golden/regen.py``):
-witness traces (``rrfd-trace-v1``) and shrunk counterexamples
-(``rrfd-counterexample-v1``).  Drift in the executor, a protocol, or an
-invariant shows up here as a failed replay — which is the point.
+``tests/golden/`` pins four kinds of artifact (see ``tests/golden/regen.py``):
+witness traces (``rrfd-trace-v1``), shrunk counterexamples and Heard-Of
+separation witnesses (both ``rrfd-counterexample-v1``; the latter carry an
+``ho-sep:`` spec name), and HO equivalence certificates
+(``rrfd-equivalence-v1``).  Drift in the executor, a protocol, a predicate
+or an invariant shows up here as a failed replay — which is the point.
 """
 
 import json
@@ -15,6 +17,12 @@ from repro.check.shrink import load_counterexample, replay_counterexample
 from repro.core.algorithm import FullInformationProcess, make_protocol
 from repro.core.replay import replay, verify_trace_consistency
 from repro.core.trace_io import load_trace
+from repro.ho.certify import (
+    SEPARATION_SPEC_PREFIX,
+    load_certificate,
+    replay_certificate,
+    replay_separation,
+)
 
 GOLDEN = Path(__file__).parent.parent / "golden"
 
@@ -24,12 +32,22 @@ TRACES = [p for p in ALL_ARTIFACTS
 COUNTEREXAMPLES = [p for p in ALL_ARTIFACTS
                    if json.loads(p.read_text())["format"]
                    == "rrfd-counterexample-v1"]
+SEPARATIONS = [p for p in COUNTEREXAMPLES
+               if json.loads(p.read_text())["spec"]
+               .startswith(SEPARATION_SPEC_PREFIX)]
+SPEC_COUNTEREXAMPLES = [p for p in COUNTEREXAMPLES if p not in SEPARATIONS]
+EQUIVALENCES = [p for p in ALL_ARTIFACTS
+                if json.loads(p.read_text())["format"]
+                == "rrfd-equivalence-v1"]
 
 
 def test_corpus_is_present_and_fully_classified():
-    assert len(ALL_ARTIFACTS) >= 4
-    assert set(TRACES) | set(COUNTEREXAMPLES) == set(ALL_ARTIFACTS)
-    assert TRACES and COUNTEREXAMPLES
+    assert len(ALL_ARTIFACTS) >= 6
+    assert (
+        set(TRACES) | set(COUNTEREXAMPLES) | set(EQUIVALENCES)
+        == set(ALL_ARTIFACTS)
+    )
+    assert TRACES and SPEC_COUNTEREXAMPLES and SEPARATIONS and EQUIVALENCES
 
 
 @pytest.mark.parametrize("path", TRACES, ids=lambda p: p.stem)
@@ -45,12 +63,29 @@ def test_golden_trace_replays_deterministically(path):
     assert again.d_history == trace.d_history
 
 
-@pytest.mark.parametrize("path", COUNTEREXAMPLES, ids=lambda p: p.stem)
+@pytest.mark.parametrize("path", SPEC_COUNTEREXAMPLES, ids=lambda p: p.stem)
 def test_golden_counterexample_still_fails_the_same_way(path):
     """Each shrunk counterexample reproduces its recorded violation —
     same invariant, same message — against today's code."""
     trace = replay_counterexample(load_counterexample(path))
     assert trace.num_rounds >= 1
+
+
+@pytest.mark.parametrize("path", SEPARATIONS, ids=lambda p: p.stem)
+def test_golden_separation_witness_still_separates(path):
+    """Each HO separation witness is still admissible under predicate A and
+    still rejected by predicate B — the pair is rebuilt from the artifact's
+    ``ho-sep:<a>=><b>`` spec name."""
+    trace = replay_separation(load_counterexample(path))
+    assert trace.num_rounds >= 1
+
+
+@pytest.mark.parametrize("path", EQUIVALENCES, ids=lambda p: p.stem)
+def test_golden_equivalence_certificate_still_holds(path):
+    """Each equivalence certificate re-proves both containment directions
+    with the same verdicts over the same number of histories."""
+    cert = replay_certificate(load_certificate(path))
+    assert cert.equivalent
 
 
 @pytest.mark.parametrize("path", COUNTEREXAMPLES, ids=lambda p: p.stem)

@@ -18,12 +18,12 @@ from repro.protocols.properties import PropertyFailure
 
 EXPECTED_SPECS = {
     "kset", "floodset", "consensus", "adopt-commit",
-    "early-stopping", "detector-consensus",
+    "early-stopping", "detector-consensus", "ho-uniform-voting",
 }
 
 
 class TestRegistry:
-    def test_all_six_specs_registered(self):
+    def test_all_expected_specs_registered(self):
         assert set(spec_names()) == EXPECTED_SPECS
 
     def test_get_spec_unknown_name_lists_known(self):

@@ -14,6 +14,15 @@ Two kinds of artifact live here, both replayed by ``test_golden_replay.py``:
   against a model too weak for it must fail).  Replayed via
   :func:`repro.check.shrink.replay_counterexample`, which asserts the same
   invariant still fails with the same message.
+- ``ho_separation_*.json`` (also ``rrfd-counterexample-v1``): shrunk
+  Heard-Of *separation witnesses* — histories admissible under one HO
+  predicate and rejected by another, named by the ``ho-sep:<a>=><b>``
+  spec in the artifact.  Replayed via
+  :func:`repro.ho.certify.replay_separation`.
+- ``ho_equivalence_*.json`` (``rrfd-equivalence-v1``): exhaustive
+  bounded-model *equivalence certificates* between HO predicates.
+  Replayed via :func:`repro.ho.certify.replay_certificate`, which re-runs
+  both containment directions and asserts verdicts and history counts.
 
 Every artifact is deterministic: exhaustive search has no randomness, and
 the shrinker is a deterministic fixpoint iteration, so regeneration is
@@ -66,9 +75,20 @@ def weakened_counterexample(base: str, weak_predicate, invariant: str) -> None:
     )
 
 
+def ho_certificates() -> None:
+    """Heard-Of certificates: derived-clean ≡ hear-all, and the no-split ⊄
+    global-kernel separation 3-cycle — both replay-verified before saving."""
+    from repro.ho.certify import certify_all
+
+    report = certify_all(n=3, rounds=2, save_dir=HERE)
+    assert report.equivalences[0].equivalent
+    assert len(report.separations[0][1]["history"]) == 1
+
+
 def main() -> None:
     kset_tightness_witness()
     floodset_crash_witness()
+    ho_certificates()
     # kset checked against plain asynchrony (no k-set core): k-agreement falls.
     weakened_counterexample(
         "kset", lambda n: AsyncMessagePassing(n, n - 1), "k-agreement"

@@ -1,0 +1,167 @@
+"""Unit tests for equivalence/separation certificates between HO predicates.
+
+Covers the packed/set parity of :func:`contains`, artifact round-trips and
+replay divergence detection for both certificate kinds, and the named-pair
+guarantee: shrinking a separation witness preserves the *specific*
+separating predicate pair (the invariant carries the pair in its name),
+not merely some failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.shrink import counterexample_to_dict, load_counterexample, save_counterexample
+from repro.ho.certify import (
+    EQUIVALENCE_FORMAT,
+    PredicateRef,
+    certify_all,
+    contains,
+    equivalence,
+    find_separation,
+    load_certificate,
+    replay_certificate,
+    replay_separation,
+    save_certificate,
+    separation_spec,
+)
+from repro.ho.derive import derive
+from repro.ho.model import from_suspicion, get_ho_predicate
+from repro.substrates.messaging.chaos import FaultPlan
+
+N = 3
+
+PAIRS = [
+    ("global-kernel", "no-split"),
+    ("uniform", "no-split"),
+    ("no-split", "global-kernel"),
+    ("hear-all", "uniform"),
+    ("at-least-2", "nonempty"),
+    ("nonempty", "at-least-2"),
+]
+
+
+class TestContainment:
+    @pytest.mark.parametrize("a,b", PAIRS)
+    def test_packed_and_set_paths_agree(self, a, b):
+        packed = contains(a, b, n=N, rounds=2)
+        reference = contains(a, b, n=N, rounds=2, bitset=False)
+        assert packed.bitset and not reference.bitset
+        assert packed.holds == reference.holds
+        assert packed.histories_checked == reference.histories_checked
+        assert packed.witness == reference.witness
+
+    def test_witness_is_a_valid_separator(self):
+        result = contains("no-split", "global-kernel", n=N, rounds=2)
+        assert not result.holds
+        assert get_ho_predicate("no-split", N).allows(result.witness)
+        assert not get_ho_predicate("global-kernel", N).allows(result.witness)
+
+    def test_global_kernel_equals_no_split_at_n2(self):
+        cert = equivalence("no-split", "global-kernel", n=2, rounds=2)
+        assert cert.equivalent  # pairwise intersection IS global at n=2
+
+    def test_derived_ref_survives_serialization(self):
+        ref = PredicateRef.derived("derived-clean", derive(FaultPlan(), N))
+        assert PredicateRef.from_dict(ref.to_dict()) == ref
+        assert ref.instantiate(N).must_hear == derive(FaultPlan(), N).must_hear
+
+    def test_catalog_ref_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="no-split"):
+            PredicateRef.catalog("nope")
+
+
+class TestEquivalenceCertificates:
+    def test_roundtrip_and_replay(self, tmp_path):
+        cert = equivalence("uniform-voting", "uniform-voting", n=N, rounds=2)
+        assert cert.equivalent
+        path = tmp_path / "cert.json"
+        save_certificate(cert, path)
+        artifact = load_certificate(path)
+        assert artifact["format"] == EQUIVALENCE_FORMAT
+        replayed = replay_certificate(artifact)
+        assert replayed.equivalent
+
+    def test_replay_detects_divergence(self, tmp_path):
+        cert = equivalence("hear-all", "uniform", n=N, rounds=1)
+        artifact = cert.to_dict()
+        artifact["forward"]["histories_checked"] += 1
+        with pytest.raises(AssertionError, match="diverged"):
+            replay_certificate(artifact)
+        artifact = cert.to_dict()
+        artifact["backward"]["holds"] = not artifact["backward"]["holds"]
+        with pytest.raises(AssertionError, match="diverged"):
+            replay_certificate(artifact)
+
+    def test_load_rejects_other_formats(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "rrfd-counterexample-v1"}')
+        with pytest.raises(ValueError, match="rrfd-equivalence-v1"):
+            load_certificate(path)
+
+
+class TestSeparationWitnesses:
+    def test_contained_pair_yields_no_witness(self):
+        assert find_separation("global-kernel", "no-split", n=N) is None
+
+    def test_witness_is_shrunk_and_replayable(self, tmp_path):
+        shrunk = find_separation("no-split", "global-kernel", n=N)
+        assert shrunk is not None
+        assert len(shrunk.history) == 1  # one round suffices at n=3
+        witness = from_suspicion(tuple(shrunk.history), N)
+        assert get_ho_predicate("no-split", N).allows(witness)
+        assert not get_ho_predicate("global-kernel", N).allows(witness)
+        path = tmp_path / "sep.json"
+        save_counterexample(shrunk, path)
+        replay_separation(load_counterexample(path))
+
+    def test_shrink_preserves_the_named_separating_pair(self):
+        """The witness must still separate (no-split, global-kernel)
+        specifically — the invariant name carries the pair through
+        ``shrink()``, so a shrunk history that merely violates *something*
+        (e.g. stops being no-split-admissible) is rejected."""
+        shrunk = find_separation("no-split", "global-kernel", n=N, rounds=2)
+        assert shrunk.invariant == "separates:no-split=>global-kernel"
+        artifact = counterexample_to_dict(shrunk)
+        assert artifact["spec"] == "ho-sep:no-split=>global-kernel"
+        # Admissibility under A was preserved while shrinking 2 rounds → 1.
+        spec = separation_spec("no-split", "global-kernel")
+        predicate = spec.predicate(N)
+        assert predicate.allows(tuple(shrunk.history))
+
+    def test_replay_rejects_non_separation_artifacts(self):
+        with pytest.raises(ValueError, match="ho-sep:"):
+            replay_separation({"spec": "kset", "history": [], "inputs": []})
+
+    def test_separation_spec_is_not_registered(self):
+        from repro.check.spec import spec_names
+
+        separation_spec("no-split", "global-kernel")
+        assert not any(name.startswith("ho-sep:") for name in spec_names())
+
+
+class TestCertifySuite:
+    def test_suite_end_to_end(self, tmp_path):
+        report = certify_all(n=N, rounds=2, save_dir=tmp_path)
+        assert report.equivalences[0].equivalent
+        assert all(result.holds for result in report.containments)
+        assert len(report.separations) == 1
+        assert (tmp_path / "ho_equivalence_derived_clean.json").exists()
+        sep_path = tmp_path / "ho_separation_no_split_global_kernel.json"
+        assert sep_path.exists()
+        replay_separation(load_counterexample(sep_path))
+        replay_certificate(
+            load_certificate(tmp_path / "ho_equivalence_derived_clean.json")
+        )
+
+    def test_suite_set_mode_matches(self):
+        packed = certify_all(n=N, rounds=2)
+        reference = certify_all(n=N, rounds=2, bitset=False)
+        for pr, rr in zip(packed.containments, reference.containments):
+            assert (pr.holds, pr.histories_checked) == (
+                rr.holds, rr.histories_checked,
+            )
+        assert (
+            packed.separations[0][0].history
+            == reference.separations[0][0].history
+        )

@@ -1,0 +1,67 @@
+"""CLI coverage for ``python -m repro ho`` (--list / --derive / --certify)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_catalog_and_specs(self, capsys):
+        assert main(["ho", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nonempty", "no-split", "global-kernel", "uniform-voting"):
+            assert name in out
+        assert "ho-uniform-voting" in out
+        assert "[packed]" in out  # every catalog entry rides the fast path
+        assert "[set]" not in out
+
+
+class TestDerive:
+    @pytest.mark.parametrize("plan", ["none", "ci", "partition"])
+    def test_derives_and_checks_soundness(self, capsys, plan):
+        assert main(["ho", "--derive", plan, "--n", "3", "--seeds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert f"plan {plan!r}" in out
+        assert "sound on 5 projected executions" in out
+
+    def test_clean_plan_obliges_full_hearing(self, capsys):
+        assert main(["ho", "--derive", "none", "--n", "3", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "HO(0, r) ⊇ {0, 1, 2}" in out
+
+
+class TestCertify:
+    def test_produces_replay_verified_certificates(self, capsys, tmp_path):
+        assert main([
+            "ho", "--certify", "--n", "3", "--save", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "EQUIVALENT" in out
+        assert "CONTAINED" in out
+        assert "witness HO" in out
+        assert "replay-verified" in out
+        equivalence = json.loads(
+            (tmp_path / "ho_equivalence_derived_clean.json").read_text()
+        )
+        assert equivalence["format"] == "rrfd-equivalence-v1"
+        assert equivalence["equivalent"] is True
+        separation = json.loads(
+            (tmp_path / "ho_separation_no_split_global_kernel.json").read_text()
+        )
+        assert separation["format"] == "rrfd-counterexample-v1"
+        assert separation["spec"] == "ho-sep:no-split=>global-kernel"
+        assert len(separation["history"]) == 1
+
+    def test_no_bitset_agrees(self, capsys):
+        assert main(["ho", "--certify", "--n", "3", "--no-bitset"]) == 0
+        out = capsys.readouterr().out
+        assert "set path" in out and "EQUIVALENT" in out
+
+
+def test_no_action_is_an_error(capsys):
+    assert main(["ho"]) == 2
+    assert "nothing to do" in capsys.readouterr().out

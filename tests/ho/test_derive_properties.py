@@ -1,0 +1,136 @@
+"""Property tests for the FaultPlan → HOPredicate compiler.
+
+The load-bearing claim is **soundness**: whatever faults a
+:class:`~repro.substrates.messaging.chaos.FaultPlan` schedules, every real
+:class:`~repro.substrates.messaging.chaos.ChaosNetwork` execution projects
+onto an HO collection the derived predicate accepts — the derivation may
+under-promise (a drop that never fires widens the actual HO sets) but can
+never over-promise.  Alongside it: the complement bridge is an involution
+on arbitrary (not just admissible) collections, and the derived predicate
+is always satisfiable (its own sampler proves it constructively).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.strategies import fault_plans, ho_collections, seeds
+from repro.ho.derive import derive, link_reliable, project_ho
+from repro.ho.model import from_suspicion, to_suspicion
+from repro.service.loadgen import named_plan
+from repro.substrates.messaging.chaos import (
+    CrashWindow,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
+from repro.util.rng import make_rng
+
+N = 4
+
+
+@given(plan=fault_plans(N), seed=seeds(), rounds=st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_derived_predicate_is_sound_for_chaos_projections(plan, seed, rounds):
+    predicate = derive(plan, N)
+    collection = project_ho(plan, N, rounds, seed=seed)
+    assert len(collection) == rounds
+    assert predicate.allows(collection), (
+        f"derived {predicate.describe()} rejects projected {collection!r}"
+    )
+
+
+@given(plan=fault_plans(N), seed=seeds())
+@settings(max_examples=40, deadline=None)
+def test_projection_is_deterministic_per_seed(plan, seed):
+    assert project_ho(plan, N, 2, seed=seed) == project_ho(plan, N, 2, seed=seed)
+
+
+@given(plan=fault_plans(N))
+@settings(max_examples=40, deadline=None)
+def test_derived_predicate_is_satisfiable_by_its_own_sampler(plan):
+    predicate = derive(plan, N)
+    rng = make_rng(11)
+    collection = ()
+    for _ in range(3):
+        collection = collection + (predicate.sample_round(rng, collection),)
+    assert predicate.allows(collection)
+
+
+@pytest.mark.parametrize("name", ["none", "drop", "partition", "ci", "chaos"])
+@pytest.mark.parametrize("seed", range(5))
+def test_named_plans_project_soundly(name, seed):
+    plan = named_plan(name, N)
+    predicate = derive(plan, N)
+    assert predicate.allows(project_ho(plan, N, 3, seed=seed))
+
+
+def test_clean_plan_derives_hear_all_obligation():
+    predicate = derive(FaultPlan(), N)
+    everyone = frozenset(range(N))
+    assert all(row == everyone for row in predicate.must_hear)
+
+
+def test_lossy_link_disqualifies_exactly_that_link():
+    plan = FaultPlan(links={(0, 1): LinkFaults(drop_prob=0.5)})
+    predicate = derive(plan, N)
+    assert 0 not in predicate.must_hear[1]
+    assert 0 in predicate.must_hear[2]  # other destinations unaffected
+    assert 1 in predicate.must_hear[0]  # reverse direction unaffected
+
+
+def test_crash_window_disqualifies_both_directions():
+    plan = FaultPlan(crashes={2: [CrashWindow(down=1.0)]})
+    predicate = derive(plan, N)
+    for other in (0, 1, 3):
+        assert 2 not in predicate.must_hear[other]
+        assert other not in predicate.must_hear[2]
+        assert other in predicate.must_hear[other]  # self always audible
+    assert 2 in predicate.must_hear[2]
+
+
+def test_partition_groups_bound_the_obligation():
+    plan = FaultPlan(
+        partitions=[
+            Partition(0.0, 10.0, (frozenset({0, 1}), frozenset({2, 3})))
+        ]
+    )
+    predicate = derive(plan, N)
+    assert predicate.must_hear[0] == frozenset({0, 1})
+    assert predicate.must_hear[3] == frozenset({2, 3})
+    assert not link_reliable(plan, 0, 2, N)
+    assert link_reliable(plan, 1, 0, N)
+
+
+# ---------------------------------------------------------------------------
+# bridge involution on arbitrary collections (not only admissible ones)
+
+
+@st.composite
+def arbitrary_ho_collections(draw, n=N, max_rounds=3):
+    rounds = draw(st.integers(0, max_rounds))
+    subset = st.frozensets(st.integers(0, n - 1))
+    return tuple(
+        tuple(draw(subset) for _ in range(n)) for _ in range(rounds)
+    )
+
+
+@given(collection=arbitrary_ho_collections())
+@settings(max_examples=100, deadline=None)
+def test_complement_involution_on_arbitrary_collections(collection):
+    assert from_suspicion(to_suspicion(collection, N), N) == collection
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_ho_collections_strategy_respects_derived_predicates(data):
+    predicate = derive(named_plan("partition", N), N)
+    collection = data.draw(ho_collections(predicate))
+    assert predicate.allows(collection)
+    for ho_round, obliged in zip(
+        collection and collection[0:], [predicate.must_hear] * len(collection)
+    ):
+        for pid, heard in enumerate(ho_round):
+            assert obliged[pid] <= heard
