@@ -1,0 +1,174 @@
+"""E25 — scale-out certification: work-stealing vs static frontier split.
+
+The scale layer (:mod:`repro.check.scale`) replaces the static round-1
+round-robin split with a worker-count-independent task decomposition
+(``TARGET_TASKS`` tasks from a multi-depth frontier, deduped by orbit
+before sharding), a cross-worker shared transposition table
+(``SharedMemoTable``: the builder pre-seeds it, workers publish decided
+subtrees), and a disk-backed BFS mode whose frontier spills to pickle
+segments with checkpoint/resume.
+
+Expected shape: the static split pays the frontier imbalance — on ``kset``
+n=5 pruned (1 009 981 histories) one shard dominates while siblings idle —
+and re-derives every shared prefix per worker.  Work stealing keeps all
+workers busy to the end and the shared table turns the builder's interior
+walk into cross-worker cache hits, so ``steal-4w`` beats ``static-4w``
+even on a single-core box (the win is eliminated work, not concurrency).
+The PR-7 baseline for this exact workload was 136 s; the acceptance bar is
+≥2×, the committed artifact records ~8×.  Schedulers agree exactly on
+histories/executions/pruned and the violation set (differentially tested
+in ``tests/check/test_scale.py``); ``visited``/``rounds_executed`` are
+scheduler-dependent work counters and are deliberately not compared here.
+
+``shared_hits`` is environmental (zero when ``/dev/shm`` is unavailable
+and the pool falls back to per-worker memos), so it is volatile in the
+committed artifact; CI asserts it from a live run instead.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report_experiment
+from repro.check import explore, explore_bfs
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
+
+WORKLOADS = {
+    # name -> explore() keyword arguments (spec resolved by registry name)
+    "kset-n4-pruned": dict(spec="kset", n=4, rounds=2, prune_decided=True),
+    "kset-n5-pruned": dict(spec="kset", n=5, rounds=2, prune_decided=True),
+}
+
+CONFIGS = {
+    # The PR-7 baseline: shard the round-1 frontier round-robin, one chunk
+    # per worker, no work sharing after the split.
+    "static-4w": dict(workers=4, scheduler="static"),
+    # Work stealing in-process (no pool): the builder memo plays the shared
+    # table's role.  One cell so the artifact records the serial floor.
+    "steal-1w": dict(workers=1, scheduler="steal"),
+    "steal-4w": dict(workers=4, scheduler="steal"),
+    # Disk-backed BFS over the same task decomposition (ephemeral
+    # checkpoint directory; resume correctness is tested in
+    # tests/check/test_scale.py).
+    "bfs-4w": dict(workers=4, bfs=True),
+}
+
+# kset n=5 is the headline cell; keep its grid row to the two configs the
+# acceptance criterion compares so `regen_bench --check` stays affordable.
+GRID = [
+    (w, c)
+    for w in WORKLOADS
+    for c in CONFIGS
+    if not (w == "kset-n5-pruned" and c in ("steal-1w", "bfs-4w"))
+]
+
+
+def run_cell(ctx) -> dict:
+    kwargs = dict(WORKLOADS[ctx["workload"]])
+    config = dict(CONFIGS[ctx["config"]])
+    bfs = config.pop("bfs", False)
+    kwargs.update(config)
+    started = time.perf_counter()
+    if bfs:
+        result = explore_bfs(**kwargs)
+    else:
+        result = explore(**kwargs)
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    assert result.ok, result.summary()
+    scale = result.scale or {}
+    return {
+        "elapsed_ms": elapsed_ms,
+        "histories": result.histories,
+        "executions": result.executions,
+        "pruned": result.pruned,
+        "workers": result.workers,
+        "tasks": scale.get("tasks", scale.get("tasks_done", 0)),
+        # Environmental: depends on /dev/shm availability and pool timing.
+        # Volatile in the committed artifact (scripts/regen_bench.py); CI
+        # asserts cross-worker hits > 0 from a live run.
+        "shared_hits": scale.get("shared_hits", 0),
+    }
+
+
+EXPERIMENT = Experiment(
+    id="E25",
+    title="E25 (extension): scale-out certification — work-stealing "
+    "scheduler and shared transposition table vs static frontier split",
+    grid=Grid.explicit("workload,config", GRID),
+    run_cell=run_cell,
+    samples=1,  # the n=5 cells are wall-clock heavy; counts are exact
+    reduce={
+        "elapsed_ms": "min",
+    },
+    table=(
+        ("workload", "workload"),
+        ("scheduler", "config"),
+        ("time (ms)", lambda c: f"{c['elapsed_ms']:.1f}"),
+        ("histories", "histories"),
+        ("tasks", lambda c: c["tasks"] or "—"),
+        ("shared hits", lambda c: c["shared_hits"] or "—"),
+    ),
+    notes="Schedulers agree exactly on histories/executions/pruned and the "
+    "violation set; shared_hits is environmental (volatile in the "
+    "artifact).  PR-7 static baseline for kset-n5-pruned: 136 s.",
+)
+
+
+@pytest.mark.parametrize("config", ["static-4w", "steal-1w", "steal-4w",
+                                    "bfs-4w"])
+def test_e25_cell_counts(benchmark, config):
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,),
+        kwargs={"workload": "kset-n4-pruned", "config": config, "samples": 1},
+        rounds=1, iterations=1,
+    )
+    assert cell["histories"] == 4235
+    assert cell["executions"] == 4235
+    # The static split predates the scale layer and records no task
+    # decomposition; every scale-layer scheduler does.
+    if config != "static-4w":
+        assert cell["tasks"] > 0
+
+
+def test_e25_schedulers_agree(benchmark):
+    # Fast differential on the n=4 workload only — the full grid (with the
+    # n=5 cells) runs via `python -m repro bench E25`, not under pytest.
+    def run_small():
+        return {
+            config: run_one_cell(
+                EXPERIMENT, workload="kset-n4-pruned", config=config,
+                samples=1,
+            )
+            for config in CONFIGS
+        }
+
+    cells = benchmark.pedantic(run_small, rounds=1, iterations=1)
+    base = cells["static-4w"]
+    for config, cell in cells.items():
+        assert cell["histories"] == base["histories"], config
+        assert cell["executions"] == base["executions"], config
+        assert cell["pruned"] == base["pruned"], config
+    # Work stealing decomposes independently of the worker count; the
+    # static split records no task decomposition at all.
+    assert cells["steal-4w"]["tasks"] == cells["steal-1w"]["tasks"]
+    assert base["tasks"] == 0
+
+
+def test_e25_report(benchmark):
+    # Fast probe over the n=4 row only — the full grid (with the n=5
+    # headline cells) runs via `python -m repro bench E25` / regen_bench.
+    probe = Experiment(
+        id=EXPERIMENT.id, title=EXPERIMENT.title,
+        grid=Grid.explicit(
+            "workload,config",
+            [(w, c) for (w, c) in GRID if w == "kset-n4-pruned"],
+        ),
+        run_cell=EXPERIMENT.run_cell, samples=1,
+        reduce=EXPERIMENT.reduce, table=EXPERIMENT.table,
+        notes=EXPERIMENT.notes,
+    )
+    result = benchmark.pedantic(
+        run_experiment, args=(probe,), rounds=1, iterations=1
+    )
+    result.check(lambda c: c["histories"] > 0, "non-vacuous")
+    report_experiment(probe, result)

@@ -9,7 +9,10 @@ experiments the bitset kernel is accepted against:
 * ``benchmarks/artifacts/BENCH_E14.json`` / ``BENCH_E14c.json`` — kernel
   scaling, including the packed-round grid up to n=2048;
 * ``benchmarks/artifacts/BENCH_E24.json`` — Heard-Of certification grid
-  (packed suspicion kernels vs the bridged set oracle).
+  (packed suspicion kernels vs the bridged set oracle);
+* ``benchmarks/artifacts/BENCH_E25.json`` — scale-out certification grid
+  (static frontier split vs work-stealing scheduler vs disk-backed BFS,
+  including the kset n=5 headline cells).
 
 ``python scripts/regen_bench.py`` re-runs the experiments and rewrites
 the artifacts (do this on the reference machine when cell semantics
@@ -45,10 +48,12 @@ from repro.harness.runner import run_experiment  # noqa: E402
 ARTIFACT_DIR = REPO_ROOT / "benchmarks" / "artifacts"
 
 #: Experiments with committed artifacts (BENCH_<id>.json each).
-EXPERIMENT_IDS = ("E22", "E14", "E14c", "E24")
+EXPERIMENT_IDS = ("E22", "E14", "E14c", "E24", "E25")
 
 #: Per-cell value fields that vary run to run and machine to machine.
-VOLATILE_VALUE_KEYS = frozenset({"elapsed_ms"})
+#: ``shared_hits`` is environmental (zero when /dev/shm is unavailable and
+#: the worker pool falls back to per-worker memos).
+VOLATILE_VALUE_KEYS = frozenset({"elapsed_ms", "shared_hits"})
 
 
 def stable_payload(doc: dict[str, Any]) -> dict[str, Any]:

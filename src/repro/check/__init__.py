@@ -12,6 +12,10 @@ this package checks that quantifier uniformly instead of piecemeal:
 - :mod:`repro.check.engine` — the incremental exploration engine behind
   ``explore(engine="incremental")``: executor forking (one protocol round
   per tree edge), candidate memoization and orbit-level symmetry reduction.
+- :mod:`repro.check.scale` — the scale-out layer: the work-stealing task
+  scheduler behind ``explore(workers=...)``, the cross-worker shared
+  transposition table, and disk-backed BFS certification with
+  checkpoint/resume (``explore_bfs``; ``repro check --bfs/--resume``).
 - :mod:`repro.check.shrink` — delta-debugging of failing histories down to
   minimal replayable counterexamples, serialized as ``tests/golden/``
   artifacts.
@@ -37,6 +41,11 @@ from repro.check.engine import (
     IncrementalExplorer,
 )
 from repro.check.explore import ExploreResult, Violation, explore, fuzz
+from repro.check.scale import (
+    CHECKPOINT_VERSION,
+    SharedMemoTable,
+    explore_bfs,
+)
 from repro.check.shrink import (
     ShrinkResult,
     load_counterexample,
@@ -56,7 +65,10 @@ __all__ = [
     "ExploreResult",
     "Violation",
     "explore",
+    "explore_bfs",
     "fuzz",
+    "SharedMemoTable",
+    "CHECKPOINT_VERSION",
     "IncrementalExplorer",
     "EngineRun",
     "EngineStats",

@@ -94,6 +94,16 @@ class EngineStats:
     memo_hits_packed: int = 0  # packed-keyed candidate lists served from memo
     memo_misses_packed: int = 0  # packed-keyed candidate lists enumerated
     aggregated_subtrees: int = 0  # decided subtrees counted without expansion
+    # Cross-process memo traffic (repro.check.scale's shared table).  These
+    # three are *environmental*: which worker computes a candidate list and
+    # which loads it from the shared table depends on scheduling races, so
+    # they vary run to run and across worker counts.  Every other field
+    # stays deterministic — a shared-table load is counted as a packed memo
+    # miss too (the list was not in the local memo), keeping the
+    # deterministic counters identical whether the table was on or off.
+    shared_hits: int = 0  # candidate lists loaded from the cross-worker table
+    shared_misses: int = 0  # probes that found no published entry
+    shared_publishes: int = 0  # locally computed lists published to the table
 
     def snapshot(self) -> dict[str, int]:
         """Plain picklable counter snapshot (the shared obs contract)."""
@@ -388,6 +398,12 @@ class IncrementalExplorer:
         self.bitset = self._packed is not None
         self._packed_candidates: dict[Any, list[int]] = {}
         self._agg_counts: dict[Any, int] = {}
+        #: Optional cross-process candidate-memo broadcast (duck-typed:
+        #: ``get(key) -> list | None`` and ``put(key, list) -> bool``), set by
+        #: :mod:`repro.check.scale` workers.  Entries are pure functions of
+        #: their key, so serving one from another process can never change
+        #: results — only skip a redundant enumeration.
+        self.shared_memo: Any | None = None
         self._table: _SymmetryTable | None = None
         self._packed_table: _PackedSymmetryTable | None = None
         if symmetry:
@@ -473,10 +489,28 @@ class IncrementalExplorer:
         """
         cached = self._packed_candidates.get(state)
         if cached is None:
-            cached = self._packed.admissible_round_ints(
-                (), max_d_size=self.max_d_size, state=state
-            )
+            shared = self.shared_memo
+            if shared is not None:
+                loaded = shared.get(("cand", state))
+                if loaded is not None:
+                    # Candidate lists are read-only everywhere, so a list
+                    # from the worker-local front is shared as-is — copying
+                    # a million-entry frontier per task is real money.
+                    cached = loaded if type(loaded) is list else list(loaded)
+                    self.stats.shared_hits += 1
+                else:
+                    self.stats.shared_misses += 1
+            if cached is None:
+                cached = self._packed.admissible_round_ints(
+                    (), max_d_size=self.max_d_size, state=state
+                )
+                if shared is not None and shared.put(("cand", state), cached):
+                    self.stats.shared_publishes += 1
             self._packed_candidates[state] = cached
+            # A shared-table load still counts (and traces) as a packed memo
+            # miss: the list was absent locally, and keeping the accounting
+            # identical either way is what makes the deterministic counters
+            # and the event stream invariant across worker counts.
             self.stats.memo_misses_packed += 1
             if tracer.enabled:
                 tracer.event(
@@ -575,7 +609,11 @@ class IncrementalExplorer:
     # ------------------------------------------------------------------- API
 
     def runs(
-        self, rounds: int, *, prefix: DHistory = ()
+        self,
+        rounds: int,
+        *,
+        prefix: DHistory = (),
+        restrict: tuple[int, int] | None = None,
     ) -> Iterator[EngineRun]:
         """DFS below ``prefix``, yielding every node the checker must judge.
 
@@ -588,6 +626,18 @@ class IncrementalExplorer:
         ``prefix`` may be given packed (a tuple of round ints) — the
         parallel path ships its round-1 frontier that way to keep chunk
         payloads small at large ``n``.
+
+        ``restrict=(lo, hi)`` limits the walk to the children of ``prefix``
+        at candidate indices ``lo:hi`` (in the enumerator's canonical
+        order): the yield sequence is exactly the concatenation of
+        ``runs(rounds, prefix=prefix + (child,))`` over that slice, but the
+        replayed root executor is built once and shared.  This is the
+        scale-out scheduler's task shape — a task names a slice of its
+        parent's candidate list by index, so task payloads carry no round
+        ints at all.  The shared root node itself is *not* yielded, claimed
+        or counted (its accounting belongs to whoever owns the full
+        frontier); ``prefix`` must therefore sit strictly above ``rounds``
+        and must not itself be a prunable (all-decided) interior node.
         """
         if rounds < 1:
             raise ValueError(
@@ -598,18 +648,49 @@ class IncrementalExplorer:
             raise ValueError(
                 f"prefix has {len(prefix)} rounds, beyond rounds={rounds}"
             )
+        if restrict is not None:
+            lo, hi = restrict
+            if lo < 0 or hi < lo:
+                raise ValueError(f"restrict must be 0 <= lo <= hi, got {restrict}")
+            if len(prefix) >= rounds:
+                raise ValueError(
+                    "restrict needs room below the prefix: "
+                    f"prefix depth {len(prefix)} at rounds={rounds}"
+                )
         if prefix and type(prefix[0]) is int:
             prefix = bitset_domain(self.n).unpack_history(prefix)
         else:
             prefix = tuple(prefix)
         if self._packed is not None:
-            yield from self._runs_packed(rounds, prefix)
+            yield from self._runs_packed(rounds, prefix, restrict)
             return
         root = self._root_executor(prefix)
         # Entries: (_READY, history, executor)
         #        | (_EDGE, history, parent_executor, d_round, consume_parent)
         #        | (_SHARED, history, executor)
-        stack: list[tuple[Any, ...]] = [(_READY, prefix, root)]
+        stack: list[tuple[Any, ...]] = []
+        if restrict is None:
+            stack.append((_READY, prefix, root))
+        else:
+            lo, hi = restrict
+            trace = root.trace
+            if trace.all_decided and self.prune_decided and prefix:
+                raise ValueError(
+                    "restrict below an all-decided prefix with prune_decided: "
+                    "the prefix is a pruned leaf and has no task slices"
+                )
+            children = self._admissible(prefix)[lo:hi]
+            if trace.all_decided:
+                for index in range(len(children) - 1, -1, -1):
+                    stack.append((_SHARED, prefix + (children[index],), root))
+            else:
+                last = len(children) - 1
+                for index in range(last, -1, -1):
+                    d_round = children[index]
+                    stack.append(
+                        (_EDGE, prefix + (d_round,), root, d_round,
+                         index == last)
+                    )
         tracer = obs.current_tracer()
         while stack:
             entry = stack.pop()
@@ -679,7 +760,10 @@ class IncrementalExplorer:
     # ------------------------------------------------------------ packed path
 
     def _runs_packed(
-        self, rounds: int, prefix: DHistory
+        self,
+        rounds: int,
+        prefix: DHistory,
+        restrict: tuple[int, int] | None = None,
     ) -> Iterator[EngineRun]:
         """The packed twin of the set-based DFS (identical yield order).
 
@@ -694,11 +778,69 @@ class IncrementalExplorer:
         phistory = packed.domain.pack_history(prefix)
         state = packed.extension_state(phistory)
         tracer = obs.current_tracer()
-        # The root is never claimed, matching the set path's _READY entries
-        # (parallel-mode prefixes were claimed by the parent process).
-        yield from self._packed_visit(
-            rounds, prefix, phistory, state, root, tracer
-        )
+        if restrict is None:
+            # The root is never claimed, matching the set path's _READY
+            # entries (parallel-mode prefixes were claimed by the parent
+            # process).
+            yield from self._packed_visit(
+                rounds, prefix, phistory, state, root, tracer
+            )
+            return
+        # Restrict mode: the child loop of _packed_visit over one slice of
+        # the root's candidates, without the root's own visit/aggregation —
+        # the root is shared by every task slice and accounted for by none.
+        lo, hi = restrict
+        trace = root.trace
+        depth = len(prefix)
+        all_decided = trace.all_decided
+        if all_decided and self.prune_decided and prefix:
+            raise ValueError(
+                "restrict below an all-decided prefix with prune_decided: "
+                "the prefix is a pruned leaf and has no task slices"
+            )
+        children = self._admissible_packed(state, depth, tracer)[lo:hi]
+        dom = packed.domain
+        visit = self._packed_visit
+        if all_decided:
+            for rint in children:
+                child_ph = phistory + (rint,)
+                if self._packed_table is not None and not self._claim_packed(
+                    child_ph
+                ):
+                    self.stats.skipped_symmetric += 1
+                    if tracer.enabled:
+                        tracer.event("engine.symmetry_skip", depth=depth + 1)
+                    continue
+                yield from visit(
+                    rounds, prefix + (dom.unpack_round(rint),), child_ph,
+                    packed.advance(state, rint), root, tracer,
+                )
+        else:
+            last = len(children) - 1
+            for index, rint in enumerate(children):
+                child_ph = phistory + (rint,)
+                if self._packed_table is not None and not self._claim_packed(
+                    child_ph
+                ):
+                    self.stats.skipped_symmetric += 1
+                    if tracer.enabled:
+                        tracer.event("engine.symmetry_skip", depth=depth + 1)
+                    continue
+                if index == last:
+                    child_exec = root  # last sibling: move, don't copy
+                else:
+                    child_exec = root.fork()
+                    self.stats.forks += 1
+                    if tracer.enabled:
+                        tracer.event("engine.fork", depth=depth + 1)
+                d_round = dom.unpack_round(rint)
+                child_exec.adversary.stage(d_round)
+                child_exec.step()
+                self.stats.rounds_executed += 1
+                yield from visit(
+                    rounds, prefix + (d_round,), child_ph,
+                    packed.advance(state, rint), child_exec, tracer,
+                )
 
     def _packed_visit(
         self,

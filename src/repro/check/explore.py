@@ -28,10 +28,14 @@ Throughput levers for ``n = 4`` (where e.g. ``KSetDetector`` admits
   rounds (all registered task invariants; termination bounds are checked at
   decision time), and it collapses the depth-``r`` tree to near the
   depth-of-decision tree.
-- ``workers > 1`` splits the *first round* across processes (the harness
-  runner's spawn pattern): each worker resumes the DFS below its chunk of
-  the round-1 frontier.  Requires a registered spec (workers re-resolve it
-  by name — specs close over lambdas and do not pickle).
+- ``workers > 1`` shards the search across processes.  The default
+  scheduler is the work-stealing one of :mod:`repro.check.scale` (a fixed,
+  worker-count-independent task decomposition pulled dynamically by a
+  process pool, with a shared cross-worker candidate-memo table);
+  ``scheduler="static"`` keeps the legacy fixed round-robin split of the
+  round-1 frontier.  Either way a multi-task run requires a registered
+  spec (workers re-resolve it by name — specs close over lambdas and do
+  not pickle), and results are identical for every worker count.
 - ``symmetry=True`` checks one representative per process-permutation
   orbit, for specs that declare a symmetry grade (see
   :class:`~repro.check.spec.ConformanceSpec`).  Off by default in the
@@ -108,6 +112,9 @@ class ExploreResult:
     visited: int = 0  # DFS nodes expanded (incremental engine only)
     skipped_symmetric: int = 0  # subtree roots cut by the transposition table
     rounds_executed: int = 0  # protocol rounds stepped (incremental only)
+    scheduler: str = "serial"  # "serial" | "static" | "steal" | "bfs"
+    partial: bool = False  # a budget/cap stopped the search before exhaustion
+    scale: dict[str, Any] = field(default_factory=dict)  # scheduler bookkeeping
     violations: list[Violation] = field(default_factory=list)
 
     @property
@@ -135,6 +142,7 @@ class ExploreResult:
             f"{self.histories} histories × {self.inputs_checked} input "
             f"assignment(s){pruned}{skipped} in {self.elapsed:.2f}s"
             + (f" ({self.workers} workers)" if self.workers > 1 else "")
+            + (" [PARTIAL — resume to finish]" if self.partial else "")
         )
 
 
@@ -223,6 +231,7 @@ def _explore_incremental(
     *,
     result: ExploreResult,
     prefix: DHistory = (),
+    restrict: tuple[int, int] | None = None,
     max_violations: int | None = None,
 ) -> None:
     """Consume the incremental engine's runs, mirroring the replay loop.
@@ -240,7 +249,7 @@ def _explore_incremental(
     """
     last_trace: ExecutionTrace | None = None
     last_failures: list[InvariantFailure] = []
-    for run in explorer.runs(rounds, prefix=prefix):
+    for run in explorer.runs(rounds, prefix=prefix, restrict=restrict):
         if (
             max_violations is not None
             and len(result.violations) >= max_violations
@@ -431,6 +440,9 @@ def explore(
     engine: str = "incremental",
     symmetry: bool = False,
     bitset: bool = True,
+    scheduler: str | None = None,
+    progress: bool = False,
+    progress_interval: float = 5.0,
 ) -> ExploreResult:
     """Exhaustively check ``spec`` over every admissible history and input.
 
@@ -463,6 +475,20 @@ def explore(
             forces the set-based reference path.  Verdicts, histories and
             violations are identical either way — ``result.bitset`` records
             whether the packed path actually ran.
+        scheduler: how parallel work is scheduled.  ``None`` (default) picks
+            the work-stealing scheduler of :mod:`repro.check.scale` whenever
+            it applies (``workers > 1``, or ``progress`` for an observable
+            in-process run); ``"steal"`` forces it even at ``workers=1`` —
+            the task decomposition is worker-count-independent, so the
+            in-process run is bit-identical to any pool run; ``"static"``
+            keeps the legacy fixed round-robin frontier split (the
+            differential baseline).  ``result.scheduler`` records what
+            actually ran.
+        progress: emit periodic ``check.progress`` heartbeat events (obs
+            tracer + stderr) during long certifications.  Heartbeats are
+            environmental — timing-dependent — so they only appear when
+            explicitly requested; default streams stay bit-identical.
+        progress_interval: seconds between heartbeats.
 
     Returns:
         An :class:`ExploreResult`; ``result.ok`` is the verdict.
@@ -472,6 +498,10 @@ def explore(
     if engine not in ("incremental", "replay"):
         raise ValueError(
             f"engine must be 'incremental' or 'replay', got {engine!r}"
+        )
+    if scheduler not in (None, "static", "steal"):
+        raise ValueError(
+            f"scheduler must be 'static' or 'steal', got {scheduler!r}"
         )
     if not spec.supports_exhaustive:
         raise ValueError(
@@ -505,7 +535,15 @@ def explore(
         input_space = [tuple(i) for i in spec.exhaustive_inputs(n)]
         result.inputs_checked = len(input_space)
 
-        if workers <= 1 or rounds == 0:
+        # The work-stealing scheduler applies whenever there is parallel (or
+        # heartbeat-observable) work and the caller did not pin "static";
+        # rounds == 0 always stays on the in-process replay path.
+        use_scale = (
+            rounds > 0
+            and scheduler != "static"
+            and (workers > 1 or progress or scheduler == "steal")
+        )
+        if rounds == 0 or (workers <= 1 and not use_scale):
             for inputs in input_space:
                 if engine_used == "incremental":
                     explorer = IncrementalExplorer(
@@ -536,7 +574,20 @@ def explore(
                     and len(result.violations) >= max_violations
                 ):
                     break
+        elif use_scale:
+            from repro.check.scale import run_steal
+
+            result.scheduler = "steal"
+            run_steal(
+                spec, input_space, n, rounds,
+                prune_decided=prune_decided, max_d_size=max_d_size,
+                workers=workers, result=result, engine=engine_used,
+                symmetry_mode=symmetry_mode, max_violations=max_violations,
+                engine_totals=engine_totals, bitset=bitset,
+                progress=progress, progress_interval=progress_interval,
+            )
         else:
+            result.scheduler = "static"
             _explore_parallel(
                 spec, input_space, n, rounds,
                 prune_decided=prune_decided, max_d_size=max_d_size,
@@ -691,8 +742,22 @@ def _explore_parallel(
                     for future in pending:
                         future.cancel()
                     pending = set()
-    # Merge in payload order so results are reproducible regardless of
-    # completion order (modulo which chunks got cancelled under a cap).
+    _merge_parts(spec, result, parts, engine_totals, max_violations)
+
+
+def _merge_parts(
+    spec: ConformanceSpec,
+    result: ExploreResult,
+    parts: dict[int, dict[str, Any]],
+    engine_totals: EngineStats,
+    max_violations: int | None,
+) -> None:
+    """Fold worker part dicts into ``result`` in payload-index order.
+
+    Shared by the static, work-stealing and BFS schedulers: merging in index
+    order — never completion order — is what keeps counters, violation lists
+    and absorbed event streams reproducible for any worker count.
+    """
     tracer = obs.current_tracer()
     metrics = obs.current_metrics()
     for index in sorted(parts):

@@ -220,7 +220,32 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--rounds", type=int, default=None,
                        help="history depth (default: per-spec)")
     check.add_argument("--workers", type=int, default=1,
-                       help="parallelize the exhaustive round-1 frontier")
+                       help="parallelize the exhaustive search")
+    check.add_argument("--scheduler", choices=("steal", "static"),
+                       default=None,
+                       help="parallel scheduler: work-stealing task pool "
+                       "(steal, default for workers>1) or the legacy "
+                       "static round-1 frontier split")
+    check.add_argument("--progress", action="store_true",
+                       help="emit a periodic check.progress heartbeat "
+                       "(obs event + stderr line) during exhaustive runs")
+    check.add_argument("--bfs", action="store_true",
+                       help="disk-backed breadth-first certification: "
+                       "frontier segments spill to --checkpoint and the "
+                       "run can be resumed")
+    check.add_argument("--checkpoint", metavar="DIR", default=None,
+                       help="checkpoint directory for --bfs (default: a "
+                       "temporary directory, discarded at exit)")
+    check.add_argument("--resume", action="store_true",
+                       help="resume an interrupted --bfs certification "
+                       "from --checkpoint")
+    check.add_argument("--segment-size", type=int, default=4096,
+                       metavar="N",
+                       help="--bfs frontier prefixes per on-disk segment")
+    check.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                       help="stop a --bfs run after N tasks this "
+                       "invocation (checkpointed partial run; resume "
+                       "later with --resume)")
     check.add_argument("--prune-decided", action="store_true",
                        help="stop extending histories once everyone decided")
     check.add_argument("--engine", choices=("incremental", "replay"),
@@ -638,13 +663,30 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     spec, args.fuzz if args.fuzz is not None else 200,
                     n=args.n, rounds=args.rounds, seed=args.seed,
                 )
+            elif args.bfs or args.resume:
+                from repro.check import explore_bfs
+
+                result = explore_bfs(
+                    spec, n=args.n, rounds=args.rounds,
+                    prune_decided=args.prune_decided, workers=args.workers,
+                    checkpoint=args.checkpoint, resume=args.resume,
+                    segment_size=args.segment_size,
+                    max_tasks=args.max_tasks, progress=args.progress,
+                )
+                if result.partial:
+                    print(f"{name}: partial — "
+                          f"{result.scale['tasks_done']} task(s) done, "
+                          f"{result.scale['tasks_pending']} pending; "
+                          f"resume with --resume --checkpoint "
+                          f"{result.scale['checkpoint']}")
             else:
                 # --exhaustive is also the default mode for capable specs.
                 result = explore(
                     spec, n=args.n, rounds=args.rounds,
                     prune_decided=args.prune_decided, workers=args.workers,
                     engine=args.engine, symmetry=not args.no_symmetry,
-                    bitset=not args.no_bitset,
+                    bitset=not args.no_bitset, scheduler=args.scheduler,
+                    progress=args.progress,
                 )
         print(result.summary())
         for violation in result.violations[:10]:

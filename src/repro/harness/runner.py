@@ -48,6 +48,7 @@ __all__ = [
     "SampleCtx",
     "Experiment",
     "CellExecutionError",
+    "init_worker",
     "resolve_workers",
     "run_experiment",
     "run_one_cell",
@@ -194,12 +195,21 @@ def resolve_workers(workers: int | None = None) -> int:
 # worker side
 
 
-def _init_worker(parent_path: list[str]) -> None:
-    # Under the spawn start method the child does not inherit sys.path
-    # mutations (pytest rootdir, PYTHONPATH tweaks); replay the parent's.
+def init_worker(parent_path: list[str]) -> None:
+    """Process-pool initializer: replay the parent's ``sys.path`` mutations.
+
+    Under the spawn start method the child does not inherit ``sys.path``
+    changes (pytest rootdir, PYTHONPATH tweaks); every pool in the repo —
+    the harness runner, the check schedulers, the BFS driver — initializes
+    workers through this (or composes it into a richer initializer).
+    """
     for entry in parent_path:
         if entry not in sys.path:
             sys.path.append(entry)
+
+
+#: Backwards-compatible alias (pre-scale-out name).
+_init_worker = init_worker
 
 
 @dataclass

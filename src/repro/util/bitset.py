@@ -45,7 +45,18 @@ __all__ = [
     "set_of",
     "BitsetDomain",
     "domain",
+    "SPLIT_THRESHOLD",
+    "MAX_PERM_TABLE_N",
 ]
+
+# Row count past which round_masks / pack_masks switch from the direct
+# per-row shift loop (O(n³) bit traffic on an n·n-bit int) to recursive
+# halving (O(n² log n)).  Below this the loop's smaller constant wins.
+SPLIT_THRESHOLD = 64
+
+# perm_mask_map builds a 2^n-entry table per permutation and symmetry
+# reduction may request up to n! of them; past this it refuses loudly.
+MAX_PERM_TABLE_N = 16
 
 
 def mask_of(items: Iterable[int]) -> int:
@@ -167,18 +178,60 @@ class BitsetDomain:
         return cached
 
     def round_masks(self, rint: int) -> tuple[int, ...]:
-        """Split a packed round into its ``n`` per-process masks."""
-        full = self.full
+        """Split a packed round into its ``n`` per-process masks.
+
+        Small ``n`` uses the direct per-row shift loop.  Past
+        ``SPLIT_THRESHOLD`` rows that loop moves the *whole* ``n·n``-bit
+        int once per row — O(n³) bit traffic — so large rounds split by
+        recursive halving instead: each level moves every bit once, for
+        O(n² log n) total.
+        """
         n = self.n
-        return tuple((rint >> (pid * n)) & full for pid in range(n))
+        if n <= SPLIT_THRESHOLD:
+            full = self.full
+            return tuple((rint >> (pid * n)) & full for pid in range(n))
+        out: list[int] = []
+        self._split_rows(rint, n, out)
+        return tuple(out)
+
+    def _split_rows(self, rint: int, rows: int, out: list[int]) -> None:
+        # Halve the row block with one shift + one mask per level; a leaf
+        # chunk is already a single bare row mask (< 2**n).
+        if rows == 1:
+            out.append(rint)
+            return
+        half = rows >> 1
+        cut = half * self.n
+        self._split_rows(rint & ((1 << cut) - 1), half, out)
+        self._split_rows(rint >> cut, rows - half, out)
 
     def pack_masks(self, masks: Iterable[int]) -> int:
-        """Combine per-process masks back into one packed round int."""
+        """Combine per-process masks back into one packed round int.
+
+        The inverse of :meth:`round_masks`, with the same asymptotics fix:
+        large ``n`` joins rows pairwise (zero-padded to a power of two —
+        zero rows OR in nothing) so each level moves every bit once,
+        instead of accumulating into an ever-growing giant int.
+        """
         n = self.n
-        packed = 0
-        for pid, mask in enumerate(masks):
-            packed |= mask << (pid * n)
-        return packed
+        if n <= SPLIT_THRESHOLD:
+            packed = 0
+            for pid, mask in enumerate(masks):
+                packed |= mask << (pid * n)
+            return packed
+        items = list(masks)
+        if not items:
+            return 0
+        width = n
+        while len(items) > 1:
+            if len(items) & 1:
+                items.append(0)
+            items = [
+                items[i] | (items[i + 1] << width)
+                for i in range(0, len(items), 2)
+            ]
+            width <<= 1
+        return items[0]
 
     def pack_history(self, history: Iterable[Iterable[Iterable[int]]]) -> tuple[int, ...]:
         """Pack a ``DHistory`` into a tuple of round ints."""
@@ -247,9 +300,22 @@ class BitsetDomain:
         """``map[mask]`` = image of ``mask`` under process renaming ``perm``.
 
         ``perm[i]`` is the new name of process ``i``.  The table has
-        ``2^n`` entries and is built once per permutation, turning orbit
-        canonicalization into array lookups.
+        ``2^n`` entries, built lazily on first use and interned per
+        permutation tuple, turning orbit canonicalization into array
+        lookups.  Symmetry reduction can request up to ``n!`` of these, so
+        past ``MAX_PERM_TABLE_N`` construction refuses loudly instead of
+        exhausting memory — use :meth:`permute_round`, whose large-``n``
+        path permutes rows directly without any table.
         """
+        n = self.n
+        if n > MAX_PERM_TABLE_N:
+            raise ValueError(
+                f"perm_mask_map: n={n} needs a {1 << n}-entry table per "
+                f"permutation (and symmetry reduction may request up to "
+                f"n! of them); refusing beyond n={MAX_PERM_TABLE_N}. "
+                "Use permute_round (table-free for large n) or run "
+                "without symmetry reduction."
+            )
         cached = self._perm_maps.get(perm)
         if cached is None:
             n = self.n
@@ -269,11 +335,26 @@ class BitsetDomain:
         """Image of a packed round under process renaming ``perm``.
 
         Process ``i``'s suspicion set moves to slot ``perm[i]`` with every
-        member ``j`` renamed to ``perm[j]``.
+        member ``j`` renamed to ``perm[j]``.  Small ``n`` goes through the
+        interned :meth:`perm_mask_map` lookup table; past
+        ``MAX_PERM_TABLE_N`` rows are permuted directly (split, rename
+        each mask bit-by-bit, repack) so no ``2^n`` table is ever built.
         """
+        n = self.n
+        if n > MAX_PERM_TABLE_N:
+            rows = self.round_masks(rint)
+            out = [0] * n
+            for pid in range(n):
+                mask = rows[pid]
+                image = 0
+                while mask:
+                    low = mask & -mask
+                    image |= 1 << perm[low.bit_length() - 1]
+                    mask ^= low
+                out[perm[pid]] = image
+            return self.pack_masks(out)
         mask_map = self.perm_mask_map(perm)
         full = self.full
-        n = self.n
         image = 0
         for pid in range(n):
             mask = (rint >> (pid * n)) & full

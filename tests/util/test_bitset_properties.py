@@ -166,3 +166,67 @@ def test_pack_set_interns_both_directions():
         # The memo serves the same objects on repeat lookups.
         assert dom.pack_set(dom.to_set(mask)) == mask
         assert dom.set_bits(mask) == tuple(sorted(suspected))
+
+
+# -- large-n giant-int layout (binary split/join) -----------------------------
+
+
+def test_round_masks_binary_split_matches_linear_reference():
+    """Past SPLIT_THRESHOLD the split goes divide-and-conquer; it must be
+    bit-identical to the direct per-row shift loop at every size around
+    and beyond the threshold, including odd row counts."""
+    from repro.util.bitset import SPLIT_THRESHOLD, BitsetDomain
+
+    rng = make_rng(20240809)
+    for n in (SPLIT_THRESHOLD - 1, SPLIT_THRESHOLD, SPLIT_THRESHOLD + 1,
+              130, 257):
+        dom = BitsetDomain(n)
+        full = dom.full
+        for _ in range(3):
+            rint = rng.getrandbits(n * n)
+            reference = tuple(
+                (rint >> (pid * n)) & full for pid in range(n)
+            )
+            masks = dom.round_masks(rint)
+            assert masks == reference
+            assert dom.pack_masks(masks) == rint
+        assert dom.pack_masks([]) == 0
+        assert dom.round_masks(0) == (0,) * n
+
+
+def test_permute_round_table_free_path_matches_reference():
+    from repro.util.bitset import MAX_PERM_TABLE_N, BitsetDomain
+
+    rng = make_rng(7)
+    n = MAX_PERM_TABLE_N + 3
+    dom = BitsetDomain(n)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    perm = tuple(perm)
+    rint = rng.getrandbits(n * n)
+    rows = [(rint >> (pid * n)) & dom.full for pid in range(n)]
+    image = [0] * n
+    for pid in range(n):
+        renamed = 0
+        for j in range(n):
+            if rows[pid] >> j & 1:
+                renamed |= 1 << perm[j]
+        image[perm[pid]] = renamed
+    expected = 0
+    for pid in range(n):
+        expected |= image[pid] << (pid * n)
+    assert dom.permute_round(rint, perm) == expected
+
+
+def test_perm_mask_map_refuses_table_blowup():
+    from pytest import raises
+
+    from repro.util.bitset import MAX_PERM_TABLE_N, BitsetDomain
+
+    n = MAX_PERM_TABLE_N + 1
+    dom = BitsetDomain(n)
+    with raises(ValueError) as excinfo:
+        dom.perm_mask_map(tuple(range(n)))
+    message = str(excinfo.value)
+    assert f"n={n}" in message
+    assert str(1 << n) in message  # names the table size it refused
