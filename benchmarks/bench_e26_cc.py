@@ -1,0 +1,132 @@
+"""E26 — communication-closure certification of compiled async protocols.
+
+The compiler (:mod:`repro.cc`) rewrites tagged-handler async protocols
+onto communication-closed rounds; the certifier replays recorded traces
+and either certifies them closed or names the boundary-crossing message.
+This experiment sweeps every cc catalog entry across fault plans on the
+simulated reliable overlay at ``n=4, f=1``, recording for each run the
+certification verdict and its deterministic counts: messages certified,
+round advances, late crossings discarded at round boundaries, and the
+depth of the projected round trace.
+
+Expected shape: every cell certifies with **zero violations** — the
+rewriting is the mechanism that *makes* executions closed, so chaos moves
+work from ``messages_certified`` into ``late_crossings`` (dropped and
+retransmitted traffic crossing boundaries) without ever producing a
+violation.  The ``ci`` plan roughly doubles the event volume of ``none``
+for the same protocol (duplicates + retransmissions), while decisions and
+the projected round count stay identical across plans: chaos perturbs the
+schedule, never the outcome.  All counts are exact for a given seed, so
+the committed artifact (``BENCH_E26.json``) reproduces bit for bit under
+``scripts/regen_bench.py --check``; only ``elapsed_ms`` is volatile.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report_experiment
+from repro.cc import certify, project, record_reliable_run, resolve_cc_protocol
+from repro.harness import Experiment, Grid, run_experiment, run_one_cell
+from repro.substrates.messaging.chaos import FaultPlan, LinkFaults
+
+N, F = 4, 1
+INPUTS = (2, 0, 3, 1)
+
+PLANS = {
+    "none": lambda: FaultPlan(),
+    "drop": lambda: FaultPlan(default=LinkFaults(drop_prob=0.2)),
+    "ci": lambda: FaultPlan(
+        default=LinkFaults(drop_prob=0.2, dup_prob=0.1, jitter=4.0)
+    ),
+}
+
+PROTOCOLS = ("cc-consensus", "cc-kset", "cc-adopt-commit", "cc-echo-min")
+
+GRID = [(p, plan) for p in PROTOCOLS for plan in PLANS]
+
+
+def run_cell(ctx) -> dict:
+    protocol, rounds = resolve_cc_protocol(ctx["protocol"], f=F)
+    started = time.perf_counter()
+    result, trace = record_reliable_run(
+        protocol, INPUTS, F,
+        max_rounds=rounds, seed=ctx.seed, plan=PLANS[ctx["plan"]](),
+        stop_on_decision=False,
+    )
+    certificate = certify(trace)
+    assert certificate.closed, certificate.summary()
+    projected = project(trace, certificate=certificate)
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    return {
+        "elapsed_ms": elapsed_ms,
+        "events": len(trace.events),
+        "messages_certified": certificate.stats["messages_certified"],
+        "advances": certificate.stats["advances"],
+        "late_crossings": certificate.stats["late_crossings"],
+        "violations": len(certificate.violations),
+        "decided": sum(1 for d in projected.decisions if d is not None),
+        "rounds": projected.num_rounds,
+    }
+
+
+EXPERIMENT = Experiment(
+    id="E26",
+    title="E26 (extension): communication-closure certification — compiled "
+    "async protocols recorded under fault plans, certified and projected",
+    grid=Grid.explicit("protocol,plan", GRID),
+    run_cell=run_cell,
+    samples=1,  # all counts are seed-exact; one sample per cell
+    reduce={
+        "elapsed_ms": "min",
+    },
+    table=(
+        ("protocol", "protocol"),
+        ("plan", "plan"),
+        ("time (ms)", lambda c: f"{c['elapsed_ms']:.1f}"),
+        ("events", "events"),
+        ("certified", "messages_certified"),
+        ("late", "late_crossings"),
+        ("violations", "violations"),
+        ("decided", "decided"),
+    ),
+    notes="Every cell must certify closed (violations = 0): chaos moves "
+    "traffic into late_crossings, never into violations.  Counts are "
+    "seed-exact; elapsed_ms is the only volatile field.",
+)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_e26_every_protocol_certifies_under_chaos(benchmark, protocol):
+    cell = benchmark.pedantic(
+        run_one_cell, args=(EXPERIMENT,),
+        kwargs={"protocol": protocol, "plan": "ci", "samples": 1},
+        rounds=1, iterations=1,
+    )
+    assert cell["violations"] == 0
+    assert cell["messages_certified"] > 0
+    assert cell["decided"] == N
+    assert cell["rounds"] >= 1
+
+
+def test_e26_chaos_perturbs_schedule_not_outcome(benchmark):
+    def run_pair():
+        return {
+            plan: run_one_cell(
+                EXPERIMENT, protocol="cc-consensus", plan=plan, samples=1,
+            )
+            for plan in ("none", "ci")
+        }
+
+    cells = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert cells["ci"]["events"] > cells["none"]["events"]
+    assert cells["ci"]["decided"] == cells["none"]["decided"] == N
+    assert cells["ci"]["rounds"] == cells["none"]["rounds"]
+
+
+def test_e26_report(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=(EXPERIMENT,), rounds=1, iterations=1
+    )
+    result.check(lambda c: c["violations"] == 0, "all cells certify closed")
+    report_experiment(EXPERIMENT, result)

@@ -12,7 +12,10 @@ experiments the bitset kernel is accepted against:
   (packed suspicion kernels vs the bridged set oracle);
 * ``benchmarks/artifacts/BENCH_E25.json`` — scale-out certification grid
   (static frontier split vs work-stealing scheduler vs disk-backed BFS,
-  including the kset n=5 headline cells).
+  including the kset n=5 headline cells);
+* ``benchmarks/artifacts/BENCH_E26.json`` — communication-closure
+  certification grid (compiled async protocols recorded under fault
+  plans, certified and projected — all counts seed-exact).
 
 ``python scripts/regen_bench.py`` re-runs the experiments and rewrites
 the artifacts (do this on the reference machine when cell semantics
@@ -48,7 +51,7 @@ from repro.harness.runner import run_experiment  # noqa: E402
 ARTIFACT_DIR = REPO_ROOT / "benchmarks" / "artifacts"
 
 #: Experiments with committed artifacts (BENCH_<id>.json each).
-EXPERIMENT_IDS = ("E22", "E14", "E14c", "E24", "E25")
+EXPERIMENT_IDS = ("E22", "E14", "E14c", "E24", "E25", "E26")
 
 #: Per-cell value fields that vary run to run and machine to machine.
 #: ``shared_hits`` is environmental (zero when /dev/shm is unavailable and

@@ -1,0 +1,78 @@
+"""Communication-closure compilation and certification (``repro.cc``).
+
+The Damian–Drăgoi–Widder bridge between the repo's two worlds:
+
+- **compile** (:mod:`repro.cc.compiler`): take an asynchronous
+  message-passing protocol written as tagged handlers
+  (:mod:`repro.cc.model`) — or any native round protocol through the
+  adapter — and rewrite it onto communication-closed rounds: round-tag
+  every send, buffer early messages, discard stale ones.  The output is
+  an ordinary :class:`repro.core.algorithm.Protocol` that every engine
+  and the live service run unchanged.
+- **certify & project** (:mod:`repro.cc.certify`): take a recorded async
+  execution (:mod:`repro.cc.trace`) and either certify it
+  communication-closed or produce a structured violation naming the
+  boundary-crossing message; certified traces project onto
+  :class:`~repro.core.types.ExecutionTrace` round traces consumable by
+  the ``repro.check`` specs and ``shrink()`` as-is.
+
+The ``cc-*`` conformance specs (:mod:`repro.cc.specs`) certify the
+compiler exhaustively at small sizes; ``python -m repro cc`` exposes
+compile/certify/project on the command line.
+"""
+
+from repro.cc.catalog import (
+    CC_SERVICE_NAMES,
+    echo_min_protocol,
+    resolve_cc_protocol,
+)
+from repro.cc.certify import (
+    CcCertificate,
+    ClosureViolation,
+    UncertifiedTraceError,
+    certify,
+    project,
+)
+from repro.cc.compiler import (
+    CompiledProcess,
+    RoundProtocolAdapter,
+    adapt_protocol,
+    compile_protocol,
+)
+from repro.cc.model import (
+    AsyncContext,
+    AsyncProcess,
+    AsyncProtocol,
+    TagDisciplineError,
+)
+from repro.cc.trace import (
+    AsyncTrace,
+    CcEvent,
+    TraceRecorder,
+    record_overlay_run,
+    record_reliable_run,
+)
+
+__all__ = [
+    "AsyncContext",
+    "AsyncProcess",
+    "AsyncProtocol",
+    "AsyncTrace",
+    "CC_SERVICE_NAMES",
+    "CcCertificate",
+    "CcEvent",
+    "ClosureViolation",
+    "CompiledProcess",
+    "RoundProtocolAdapter",
+    "TagDisciplineError",
+    "TraceRecorder",
+    "UncertifiedTraceError",
+    "adapt_protocol",
+    "certify",
+    "compile_protocol",
+    "echo_min_protocol",
+    "project",
+    "record_overlay_run",
+    "record_reliable_run",
+    "resolve_cc_protocol",
+]

@@ -1,0 +1,105 @@
+"""The cc protocol catalog: native async programs and compiled adaptations.
+
+Two kinds of entries:
+
+- :func:`echo_min_protocol` is a *native* tagged-handler program — async
+  min-flooding, written directly against :class:`~repro.cc.model.
+  AsyncProcess`.  It is deliberately weaker than consensus: under the
+  asynchronous predicate different processes may settle on different
+  minima (the paper's async impossibility), so its spec claims validity
+  and termination but **not** agreement.
+- :func:`resolve_cc_protocol` adapts the service's crash-tolerant catalog
+  (FloodSet consensus, FloodMin k-set, adopt-commit) through
+  :func:`~repro.cc.compiler.adapt_protocol` and compiles the result, so
+  ``cc-*`` names run on the live runtime and CLI exactly where the native
+  names do — same depth, same decision vectors, one extra compilation
+  layer whose transparency the differential suite certifies.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cc.compiler import adapt_protocol, compile_protocol
+from repro.cc.model import AsyncContext, AsyncProcess, AsyncProtocol
+from repro.core.algorithm import Protocol
+from repro.core.types import ProcessId
+from repro.protocols.adopt_commit import adopt_commit_protocol
+from repro.protocols.consensus import floodset_consensus_protocol
+from repro.protocols.floodset import floodmin_protocol, rounds_needed
+
+__all__ = [
+    "EchoMinProcess",
+    "echo_min_protocol",
+    "CC_SERVICE_NAMES",
+    "resolve_cc_protocol",
+]
+
+
+class EchoMinProcess(AsyncProcess):
+    """Async min-flooding: echo the smallest value heard, decide at depth.
+
+    Phase 1 broadcasts the input; every later phase re-broadcasts the
+    running minimum; the final phase decides it.  All state is immutable
+    scalars, so the default deep-copy clone is already cheap.
+    """
+
+    def __init__(self, input_value: Any, *, phases: int) -> None:
+        self.phases = phases
+        self.best = input_value
+
+    def on_start(self, ctx: AsyncContext) -> None:
+        ctx.send(self.best, tag=1)
+
+    def on_message(
+        self, ctx: AsyncContext, src: ProcessId, tag: int, payload: Any
+    ) -> None:
+        if payload < self.best:
+            self.best = payload
+
+    def on_phase_end(self, ctx, tag, heard, suspected) -> None:
+        if tag < self.phases:
+            ctx.send(self.best, tag=tag + 1)
+        else:
+            ctx.decide(self.best)
+
+
+def echo_min_protocol(phases: int = 2) -> AsyncProtocol:
+    """The echo-min family at a fixed depth (``phases`` ≥ 1)."""
+    return AsyncProtocol(
+        name=f"echo-min({phases})",
+        phases=phases,
+        spawn=lambda pid, n, value: EchoMinProcess(value, phases=phases),
+    )
+
+
+#: Catalog names :func:`resolve_cc_protocol` accepts (service + CLI).
+CC_SERVICE_NAMES = ("cc-consensus", "cc-kset", "cc-adopt-commit", "cc-echo-min")
+
+
+def resolve_cc_protocol(name: str, *, f: int, k: int = 1) -> tuple[Protocol, int]:
+    """Map a ``cc-*`` catalog name to a compiled protocol and its depth.
+
+    The first three mirror :func:`repro.service.runtime.resolve_protocol`
+    entry for entry (same base protocol, same round budget) with the
+    async→round compilation layer in between; ``cc-echo-min`` is the
+    native async program at depth ``f + 1``.
+    """
+    if name == "cc-consensus":
+        rounds = rounds_needed(f, 1)
+        base = floodset_consensus_protocol(f)
+    elif name == "cc-kset":
+        rounds = rounds_needed(f, k)
+        base = floodmin_protocol(f, k)
+    elif name == "cc-adopt-commit":
+        rounds = 2
+        base = adopt_commit_protocol()
+    elif name == "cc-echo-min":
+        rounds = f + 1
+        return compile_protocol(echo_min_protocol(rounds)), rounds
+    else:
+        raise ValueError(
+            f"unknown cc protocol {name!r} "
+            f"(expected one of {' | '.join(CC_SERVICE_NAMES)})"
+        )
+    return compile_protocol(adapt_protocol(base, rounds)), rounds

@@ -1,0 +1,330 @@
+"""Certify recorded async executions communication-closed; project to rounds.
+
+The compiler (:mod:`repro.cc.compiler`) *constructs* communication-closed
+executions; this module *checks* them after the fact.  Given an
+:class:`~repro.cc.trace.AsyncTrace` — from the simulated overlays, the live
+service, or hand-built — :func:`certify` replays the event log and either
+certifies the execution communication-closed or returns structured
+violations, each one naming the offending message (sender, round tag,
+receiver, and the boundary it crossed).
+
+What "certified" means here, per receiver and in recorded order:
+
+- **round-order** — advances close rounds ``1, 2, 3, …`` with no gaps;
+- **view-without-delivery** — every message a closed view consumed was
+  actually delivered to that receiver *for that round* before the advance;
+  a view exhibiting a payload that never legally crossed the wire is the
+  smoking gun of a round-boundary violation;
+- **payload-drift** — deliveries match what the sender sent, and consumed
+  views match what was delivered;
+- **equivocation** — one sender, one round, one payload (retransmissions
+  of the same payload are fine; two different payloads under one tag are
+  not);
+- **unmatched-deliver** — no delivery out of thin air.
+
+Late deliveries the runtime already *discarded* (``discard`` events, and
+deliveries arriving behind the receiver's frontier) are **statistics, not
+violations**, by default: discarding them is the rewriting working as
+designed — the consumed views stayed closed.  ``strict=True`` additionally
+reports each one, attributed, for runs that are supposed to be
+crossing-free (e.g. fault-free plans).
+
+:func:`project` then collapses a certified trace onto the synchronous
+round format: an :class:`~repro.core.types.ExecutionTrace` consumable by
+``repro.check`` spec invariants, ``shrink()`` and the replay machinery,
+unchanged.  Projection reuses the overlay's common-prefix/crash-padding
+semantics (:meth:`OverlayResult.to_trace`), so live and simulated traces
+project identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import obs
+from repro.cc.trace import AsyncTrace
+from repro.core.types import ExecutionTrace, RoundView, RRFDError
+from repro.substrates.messaging.rounds import OverlayResult
+
+__all__ = [
+    "ClosureViolation",
+    "CcCertificate",
+    "UncertifiedTraceError",
+    "certify",
+    "project",
+]
+
+
+@dataclass(frozen=True)
+class ClosureViolation:
+    """One reason a trace is not communication-closed.
+
+    ``pid`` is the receiver whose round structure is broken, ``src`` the
+    sender of the offending message (when one exists), ``tag`` the round
+    the message was tagged for, ``event_seq`` the event that exposed it.
+    """
+
+    kind: str
+    pid: int
+    src: int | None
+    tag: int | None
+    detail: str
+    event_seq: int
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] p{self.pid} seq={self.event_seq}: {self.detail}"
+
+
+@dataclass
+class CcCertificate:
+    """The certifier's verdict over one :class:`AsyncTrace`."""
+
+    closed: bool
+    violations: tuple[ClosureViolation, ...]
+    stats: dict[str, int] = field(default_factory=dict)
+    strict: bool = False
+
+    def summary(self) -> str:
+        checked = self.stats.get("messages_certified", 0)
+        if self.closed:
+            mode = " (strict)" if self.strict else ""
+            return (
+                f"COMMUNICATION-CLOSED{mode}: {checked} message(s) "
+                f"certified across {self.stats.get('advances', 0)} round "
+                f"advance(s), {self.stats.get('late_crossings', 0)} late "
+                "crossing(s) discarded"
+            )
+        worst = self.violations[0]
+        return (
+            f"NOT CLOSED: {len(self.violations)} violation(s); first: {worst}"
+        )
+
+
+class UncertifiedTraceError(RRFDError):
+    """Refused to project a trace that failed certification."""
+
+    def __init__(self, certificate: CcCertificate) -> None:
+        super().__init__(certificate.summary())
+        self.certificate = certificate
+
+
+def certify(trace: AsyncTrace, *, strict: bool = False) -> CcCertificate:
+    """Replay ``trace`` and decide whether it is communication-closed."""
+    tracer = obs.current_tracer()
+    if tracer.enabled:
+        tracer.begin(
+            "cc.certify", n=trace.n, events=len(trace.events),
+            source=trace.source, strict=strict,
+        )
+    violations: list[ClosureViolation] = []
+    stats = {
+        "events": len(trace.events),
+        "sends": 0,
+        "delivers": 0,
+        "advances": 0,
+        "decisions": 0,
+        "late_crossings": 0,
+        "messages_certified": 0,
+    }
+
+    # Pass 1: the send index — what each sender committed to, per round.
+    sent: dict[tuple[int, int], Any] = {}
+    for event in trace.events:
+        if event.kind != "send" or event.tag is None:
+            continue
+        stats["sends"] += 1
+        key = (event.pid, event.tag)
+        if key not in sent:
+            sent[key] = event.payload
+        elif sent[key] != event.payload:
+            violations.append(ClosureViolation(
+                "equivocation", event.pid, event.pid, event.tag,
+                f"p{event.pid} sent two different round-{event.tag} "
+                f"payloads ({sent[key]!r} then {event.payload!r})",
+                event.seq,
+            ))
+
+    # Pass 2: per-receiver replay in recorded order.
+    frontier = {pid: 1 for pid in range(trace.n)}  # next round to close
+    delivered: dict[tuple[int, int], dict[int, Any]] = {}
+    for event in trace.events:
+        if event.kind == "deliver":
+            stats["delivers"] += 1
+            dst, src, tag = event.pid, event.peer, event.tag
+            key = (src, tag)
+            if key not in sent:
+                violations.append(ClosureViolation(
+                    "unmatched-deliver", dst, src, tag,
+                    f"delivery of a round-{tag} message from p{src} that "
+                    "was never sent",
+                    event.seq,
+                ))
+            elif sent[key] != event.payload:
+                violations.append(ClosureViolation(
+                    "payload-drift", dst, src, tag,
+                    f"round-{tag} delivery from p{src} carries "
+                    f"{event.payload!r}, but p{src} sent {sent[key]!r}",
+                    event.seq,
+                ))
+            if tag < frontier[dst]:
+                # A boundary crossing the runtime will discard: the
+                # rewriting working, not a closure failure — unless the
+                # caller demanded a crossing-free execution.
+                stats["late_crossings"] += 1
+                if strict:
+                    violations.append(ClosureViolation(
+                        "late-delivery", dst, src, tag,
+                        f"round-{tag} message from p{src} reached p{dst} "
+                        f"after it advanced to round {frontier[dst]} "
+                        "(crossed the closed round boundary)",
+                        event.seq,
+                    ))
+            delivered.setdefault((dst, tag), {})[src] = event.payload
+        elif event.kind == "discard":
+            # Already counted at delivery time when the delivery was
+            # recorded; runtimes that report discards without deliveries
+            # (the live service) are counted here.
+            if (event.pid, event.tag) not in delivered or (
+                event.peer not in delivered[(event.pid, event.tag)]
+            ):
+                stats["late_crossings"] += 1
+                if strict:
+                    violations.append(ClosureViolation(
+                        "late-delivery", event.pid, event.peer, event.tag,
+                        f"round-{event.tag} message from p{event.peer} "
+                        f"reached p{event.pid} after it advanced to round "
+                        f"{event.payload} (discarded at the boundary)",
+                        event.seq,
+                    ))
+        elif event.kind == "advance":
+            stats["advances"] += 1
+            pid, round_number = event.pid, event.tag
+            if round_number != frontier[pid]:
+                violations.append(ClosureViolation(
+                    "round-order", pid, None, round_number,
+                    f"p{pid} closed round {round_number} but its next "
+                    f"unclosed round is {frontier[pid]}",
+                    event.seq,
+                ))
+            messages, _suspected = event.payload
+            heard = delivered.get((pid, round_number), {})
+            for src, payload in sorted(messages.items()):
+                if payload is None:
+                    continue  # crash-silence marker, nothing crossed a wire
+                if src not in heard:
+                    violations.append(ClosureViolation(
+                        "view-without-delivery", pid, src, round_number,
+                        f"p{pid}'s round-{round_number} view consumes a "
+                        f"message from p{src} that was never delivered to "
+                        f"it for round {round_number} — the message "
+                        "crossed the round boundary",
+                        event.seq,
+                    ))
+                elif heard[src] != payload:
+                    violations.append(ClosureViolation(
+                        "payload-drift", pid, src, round_number,
+                        f"p{pid}'s round-{round_number} view records "
+                        f"{payload!r} from p{src}, but the delivery "
+                        f"carried {heard[src]!r}",
+                        event.seq,
+                    ))
+                else:
+                    stats["messages_certified"] += 1
+            frontier[pid] = max(frontier[pid], round_number + 1)
+        elif event.kind == "decide":
+            stats["decisions"] += 1
+
+    certificate = CcCertificate(
+        closed=not violations,
+        violations=tuple(violations),
+        stats=stats,
+        strict=strict,
+    )
+    metrics = obs.current_metrics()
+    if metrics.enabled:
+        metrics.counter("cc.traces_certified").inc()
+        metrics.counter("cc.messages_certified").inc(
+            stats["messages_certified"]
+        )
+        metrics.counter("cc.violations").inc(len(violations))
+        metrics.counter("cc.late_crossings").inc(stats["late_crossings"])
+    if tracer.enabled:
+        tracer.end(
+            "cc.certify", closed=certificate.closed,
+            violations=len(violations),
+        )
+    return certificate
+
+
+class _ProjectedProcess:
+    """Decision holder duck-typing the node's wrapped process."""
+
+    def __init__(self, decision: Any) -> None:
+        self.decision = decision
+
+    @property
+    def decided(self) -> bool:
+        return self.decision is not None
+
+
+class _ProjectedNode:
+    """Reassembled per-process round history, duck-typing an overlay node."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.views: list[RoundView] = []
+        self.emissions: dict[int, Any] = {}
+        self.process = _ProjectedProcess(None)
+
+
+def project(
+    trace: AsyncTrace, *, certificate: CcCertificate | None = None
+) -> ExecutionTrace:
+    """Collapse a certified async trace onto the round format.
+
+    Certifies first (or validates a caller-supplied ``certificate``) and
+    raises :class:`UncertifiedTraceError` on a trace that is not
+    communication-closed — only closed executions *have* a faithful round
+    projection.  The result reuses the overlay's common-prefix and
+    crash-padding semantics, so it passes
+    :func:`repro.core.replay.verify_trace_consistency` and plugs into the
+    ``repro.check`` invariants and ``shrink()`` unchanged.
+    """
+    if certificate is None:
+        certificate = certify(trace)
+    if not certificate.closed:
+        raise UncertifiedTraceError(certificate)
+    nodes = [_ProjectedNode(pid) for pid in range(trace.n)]
+    for event in trace.events:
+        if event.kind == "send":
+            nodes[event.pid].emissions.setdefault(event.tag, event.payload)
+        elif event.kind == "advance":
+            messages, suspected = event.payload
+            # The validating constructor: a certified trace whose views do
+            # not satisfy the coverage guarantee should fail loudly here.
+            nodes[event.pid].views.append(RoundView(
+                pid=event.pid,
+                round=event.tag,
+                messages=dict(messages),
+                suspected=frozenset(suspected),
+                n=trace.n,
+            ))
+        elif event.kind == "decide":
+            nodes[event.pid].process.decision = event.payload
+    result = OverlayResult(
+        n=trace.n,
+        f=trace.f,
+        inputs=trace.inputs,
+        nodes=nodes,  # type: ignore[arg-type]  (duck-typed projection)
+        network=None,  # type: ignore[arg-type]  (to_trace never touches it)
+        crashed=trace.crashed,
+    )
+    projected = result.to_trace()
+    tracer = obs.current_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "cc.project", n=trace.n, rounds=projected.num_rounds,
+            source=trace.source,
+        )
+    return projected

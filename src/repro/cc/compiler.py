@@ -1,0 +1,266 @@
+"""The async→round compiler: communication-closed rewriting onto rounds.
+
+This is the constructive half of the Damian–Drăgoi–Widder rewriting
+applied inside the RRFD model.  A tagged-handler :class:`~repro.cc.model.
+AsyncProtocol` is compiled into a :class:`repro.core.algorithm.Protocol`
+whose per-process state machines are :class:`CompiledProcess` instances —
+ordinary ``emit``/``absorb`` round processes runnable unchanged by every
+engine in the repo (the synchronous executor, ``explore()``, the BFS and
+work-stealing schedulers, the simulated overlays and the live
+``repro.service`` runtime).
+
+The three moves of the rewriting, and where each one lives:
+
+- **round-tagging** — every compiled emission is a wrapper
+  ``("cc", r, payloads)``; the tag travels with the message, so receivers
+  (and the trace certifier) can attribute each payload to its phase even
+  when the transport reorders or duplicates it.
+- **buffering early sends** — a handler may ``ctx.send(..., tag=t)`` for a
+  *future* phase ``t``; the payload waits in :attr:`CompiledProcess.staged`
+  until phase ``t``'s broadcast (counted in ``sends_deferred``).
+- **discarding stale sends** — a send for a phase whose broadcast already
+  left cannot be rewritten (it would cross a closed round boundary
+  backwards).  Under the default strict discipline it raises
+  :class:`~repro.cc.model.TagDisciplineError`; with ``strict_tags=False``
+  it is counted in ``stale_discarded`` and dropped, mirroring how the
+  round overlay drops late *deliveries*.
+
+:class:`RoundProtocolAdapter` closes the loop in the other direction: it
+wraps any native round protocol as an async one (each round becomes one
+tagged phase), so the existing catalog — floodset consensus, k-set
+agreement, adopt-commit — can be pushed through the compiler and checked
+for equivalence against its native self (the ``cc-*`` conformance specs
+and the differential round-trip suite).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.cc.model import (
+    AsyncContext,
+    AsyncProcess,
+    AsyncProtocol,
+    TagDisciplineError,
+)
+from repro.core.algorithm import Protocol, RoundProcess
+from repro.core.types import ProcessId, Round, RoundView
+
+__all__ = [
+    "CC_TAG",
+    "CompiledProcess",
+    "compile_protocol",
+    "RoundProtocolAdapter",
+    "adapt_protocol",
+]
+
+#: Marker heading every compiled emission: ``(CC_TAG, round, payloads)``.
+CC_TAG = "cc"
+
+
+def unwrap_emission(payload: Any) -> tuple[int, tuple[Any, ...]]:
+    """Split a compiled emission into ``(tag, payloads)``.
+
+    Raises :class:`ValueError` on anything that is not a well-formed
+    ``("cc", r, payloads)`` wrapper — used by ``absorb`` and the trace
+    certifier, both of which must reject foreign payloads loudly rather
+    than misattribute them to a phase.
+    """
+    if (
+        not isinstance(payload, tuple)
+        or len(payload) != 3
+        or payload[0] != CC_TAG
+        or not isinstance(payload[1], int)
+    ):
+        raise ValueError(f"not a compiled cc emission: {payload!r}")
+    return payload[1], tuple(payload[2])
+
+
+class CompiledProcess(RoundProcess):
+    """A tagged-handler program compiled onto the emit/absorb round loop.
+
+    Round ``r`` of the compiled process *is* phase ``r`` of the async
+    program: ``emit(r)`` flushes every payload staged for tag ``r`` inside
+    one wrapper, and ``absorb(view)`` replays the view's wrapped payloads
+    through ``on_message`` (in sender order — determinism) before handing
+    the phase summary to ``on_phase_end``.  A ``None`` payload from a
+    sender (the executor's crash-silence convention) becomes an empty
+    heard-tuple, never an ``on_message`` call.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        input_value: Any,
+        *,
+        program: AsyncProcess,
+        depth: int,
+        strict_tags: bool = True,
+    ) -> None:
+        super().__init__(pid, n, input_value)
+        self.program = program
+        self.depth = depth
+        self.strict_tags = strict_tags
+        self.frontier = 1  # earliest phase a send may still target
+        self.staged: dict[int, list[Any]] = {}
+        self.started = False
+        self.sends_staged = 0
+        self.sends_deferred = 0
+        self.stale_discarded = 0
+        self.ctx = AsyncContext(self)
+
+    # --------------------------------------------------------- round loop
+
+    def emit(self, round_number: Round) -> Any:
+        if round_number == 1 and not self.started:
+            self.started = True
+            self.program.on_start(self.ctx)
+        payloads = tuple(self.staged.pop(round_number, ()))
+        # The phase's broadcast leaves now: later sends for it are stale.
+        self.frontier = max(self.frontier, round_number + 1)
+        return (CC_TAG, round_number, payloads)
+
+    def absorb(self, view: RoundView) -> None:
+        heard: dict[ProcessId, tuple[Any, ...]] = {}
+        for src in sorted(view.messages):
+            wrapped = view.messages[src]
+            if wrapped is None:  # crash-silenced sender: heard, said nothing
+                heard[src] = ()
+                continue
+            tag, payloads = unwrap_emission(wrapped)
+            if tag != view.round:
+                raise ValueError(
+                    f"p{self.pid}: round-{view.round} view carries a "
+                    f"tag-{tag} emission from p{src} — the substrate "
+                    "broke round isolation"
+                )
+            for payload in payloads:
+                self.program.on_message(self.ctx, src, tag, payload)
+            heard[src] = payloads
+        self.program.on_phase_end(self.ctx, view.round, heard, view.suspected)
+
+    # ------------------------------------------------------------ staging
+
+    def _stage(self, tag: int, payload: Any) -> None:
+        if tag > self.depth:
+            raise TagDisciplineError(
+                f"p{self.pid}: send tagged {tag} exceeds the protocol "
+                f"depth of {self.depth} phases"
+            )
+        if tag < self.frontier:
+            if self.strict_tags:
+                raise TagDisciplineError(
+                    f"p{self.pid}: stale send for phase {tag} — that "
+                    f"broadcast already left (frontier is {self.frontier})"
+                )
+            self.stale_discarded += 1
+            return
+        if tag > self.frontier:
+            self.sends_deferred += 1
+        self.sends_staged += 1
+        self.staged.setdefault(tag, []).append(payload)
+
+    # ------------------------------------------------------------ forking
+
+    def copy(self) -> "CompiledProcess":
+        clone = self._shallow_copy()
+        clone.program = self.program.clone()
+        clone.staged = {tag: list(p) for tag, p in self.staged.items()}
+        clone.ctx = AsyncContext(clone)
+        return clone
+
+
+def compile_protocol(
+    async_protocol: AsyncProtocol,
+    *,
+    strict_tags: bool = True,
+    name: str | None = None,
+) -> Protocol:
+    """Compile an async protocol into a round :class:`Protocol`.
+
+    The result runs on every engine that consumes round protocols; its
+    round ``r`` executes phase ``r`` of every process.  ``strict_tags``
+    selects the tag discipline (raise vs. count-and-drop stale sends).
+    """
+
+    def factory(pid: ProcessId, n: int, input_value: Any) -> CompiledProcess:
+        return CompiledProcess(
+            pid, n, input_value,
+            program=async_protocol.spawn(pid, n, input_value),
+            depth=async_protocol.depth(n),
+            strict_tags=strict_tags,
+        )
+
+    return Protocol(name or f"cc[{async_protocol.name}]", factory)
+
+
+class RoundProtocolAdapter(AsyncProcess):
+    """A native round process re-expressed as tagged handlers.
+
+    Phase ``r`` carries the wrapped process's round-``r`` emission; at
+    phase end the heard map is reassembled into the :class:`RoundView` the
+    native process expects (empty heard-tuple ↦ ``None`` payload — the
+    crash-silence convention both sides share) and fed to ``absorb``.
+    Compiling an adapted protocol must therefore reproduce the native
+    executions bit for bit, which is exactly what the ``cc-*`` specs and
+    the differential suite certify.
+    """
+
+    def __init__(self, inner: RoundProcess, phases: int) -> None:
+        self.inner = inner
+        self.phases = phases
+
+    def on_start(self, ctx: AsyncContext) -> None:
+        ctx.send(self.inner.emit(1), tag=1)
+
+    def on_message(
+        self, ctx: AsyncContext, src: ProcessId, tag: int, payload: Any
+    ) -> None:
+        pass  # the phase summary in on_phase_end carries everything
+
+    def on_phase_end(
+        self,
+        ctx: AsyncContext,
+        tag: int,
+        heard: Mapping[ProcessId, tuple[Any, ...]],
+        suspected: frozenset[ProcessId],
+    ) -> None:
+        messages = {
+            src: (payloads[0] if payloads else None)
+            for src, payloads in heard.items()
+        }
+        # The validating constructor on purpose: if heard ∪ suspected ever
+        # failed to cover S the guarantee was broken upstream.
+        view = RoundView(
+            pid=ctx.pid, round=tag, messages=messages,
+            suspected=suspected, n=ctx.n,
+        )
+        self.inner.absorb(view)
+        if self.inner.decided:
+            ctx.decide(self.inner.decision)
+        if tag < self.phases:
+            ctx.send(self.inner.emit(tag + 1), tag=tag + 1)
+
+    def clone(self) -> "RoundProtocolAdapter":
+        return RoundProtocolAdapter(self.inner.copy(), self.phases)
+
+
+def adapt_protocol(
+    protocol: Protocol,
+    phases: int | Callable[[int], int],
+) -> AsyncProtocol:
+    """Express a native round protocol as an :class:`AsyncProtocol`.
+
+    ``phases`` bounds the adapter's depth (a constant or a function of
+    ``n``) — typically the spec's ``rounds`` budget, since an adapted
+    process only ever sends one phase ahead.
+    """
+
+    def spawn(pid: ProcessId, n: int, input_value: Any) -> AsyncProcess:
+        depth = phases(n) if callable(phases) else phases
+        return RoundProtocolAdapter(protocol.spawn(pid, n, input_value), depth)
+
+    return AsyncProtocol(
+        name=f"async[{protocol.name}]", phases=phases, spawn=spawn
+    )

@@ -1,0 +1,168 @@
+"""The tagged-handler async protocol format the cc compiler consumes.
+
+Damian, Drăgoi and Widder ("Communication-closed asynchronous protocols",
+PAPERS.md) rewrite asynchronous message-passing protocols into synchronized
+rounds by *round-tagging* every send, *buffering* messages that arrive for a
+future round, and *discarding* messages for rounds already left.  The
+rewriting applies to protocols whose sends can be assigned tags such that no
+handler ever needs to send "into the past" — the communication-closed
+fragment (Elrad–Francez).
+
+This module is the source language of that rewriting: an asynchronous
+protocol is a set of per-process *handlers* reacting to deliveries, with
+every broadcast carrying an explicit phase tag:
+
+- :meth:`AsyncProcess.on_start` fires once, before anything is sent;
+- :meth:`AsyncProcess.on_message` fires per delivered (tagged) payload;
+- :meth:`AsyncProcess.on_phase_end` fires when the system closes a phase —
+  the moment the runtime has heard *enough* (``n − f`` senders) for the tag
+  and hands over who was heard and who is suspected.
+
+Handlers talk back through an :class:`AsyncContext`: ``ctx.send(payload,
+tag=...)`` stages a broadcast for the given phase and ``ctx.decide(value)``
+commits an output.  The *tag discipline* is the communication-closure
+condition, enforced at staging time: a handler may send for the current
+frontier phase or any later one (buffered — the early-send half of the
+rewriting), but never for a phase whose broadcast already left
+(:class:`TagDisciplineError`, or counted-and-dropped under the permissive
+compile option — the stale-discard half).
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.core.types import ProcessId, RRFDError
+
+__all__ = [
+    "TagDisciplineError",
+    "AsyncContext",
+    "AsyncProcess",
+    "AsyncProtocol",
+]
+
+
+class TagDisciplineError(RRFDError):
+    """A handler tried to send outside the communication-closed fragment.
+
+    Raised when a send names a phase whose broadcast has already been
+    emitted (a *stale* send — it would have to cross a round boundary
+    backwards), or a phase beyond the protocol's declared depth.
+    """
+
+
+class AsyncContext:
+    """What a handler may do: inspect its identity, send tagged, decide.
+
+    One context is bound to one compiled process (the *host*, duck-typed:
+    it exposes ``pid``/``n``/``input_value``, a staging method ``_stage``
+    and the ``decide`` method of :class:`repro.core.algorithm.RoundProcess`).
+    The context is deliberately narrow — handlers cannot see buffers, other
+    processes, or the clock, which is what makes compiled executions a pure
+    function of (inputs, suspicion history).
+    """
+
+    __slots__ = ("_host",)
+
+    def __init__(self, host: Any) -> None:
+        self._host = host
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._host.pid
+
+    @property
+    def n(self) -> int:
+        return self._host.n
+
+    @property
+    def input(self) -> Any:
+        return self._host.input_value
+
+    @property
+    def frontier(self) -> int:
+        """The earliest phase a send may still target (next unemitted tag)."""
+        return self._host.frontier
+
+    @property
+    def decided(self) -> bool:
+        return self._host.decided
+
+    def send(self, payload: Any, *, tag: int | None = None) -> None:
+        """Stage ``payload`` for broadcast in phase ``tag``.
+
+        ``tag`` defaults to the frontier phase.  Sends for later phases are
+        buffered until that phase's broadcast; sends for earlier phases are
+        stale (see :class:`TagDisciplineError`).
+        """
+        self._host._stage(self.frontier if tag is None else tag, payload)
+
+    def decide(self, value: Any) -> None:
+        self._host.decide(value)
+
+
+class AsyncProcess(ABC):
+    """One process of an asynchronous protocol, as tagged handlers.
+
+    Handlers must be deterministic (no clocks, no randomness): the compiled
+    round process replays them from the view contents, and conformance
+    checking relies on executions being pure functions of the inputs and
+    the suspicion history.
+    """
+
+    def on_start(self, ctx: AsyncContext) -> None:
+        """Called once, before phase 1's broadcast is assembled."""
+
+    @abstractmethod
+    def on_message(
+        self, ctx: AsyncContext, src: ProcessId, tag: int, payload: Any
+    ) -> None:
+        """Called for each payload delivered for phase ``tag``."""
+
+    def on_phase_end(
+        self,
+        ctx: AsyncContext,
+        tag: int,
+        heard: Mapping[ProcessId, tuple[Any, ...]],
+        suspected: frozenset[ProcessId],
+    ) -> None:
+        """Called when the runtime closes phase ``tag``.
+
+        ``heard`` maps every sender the runtime heard for the phase to the
+        tuple of payloads it delivered (empty for a sender that was heard
+        but sent nothing — e.g. a crash-silenced process); ``suspected`` is
+        the phase's ``D(i, r)``.  ``heard.keys() ∪ suspected`` covers all
+        of ``S`` — the RRFD guarantee, handed to the handler.
+        """
+
+    def clone(self) -> "AsyncProcess":
+        """An independent copy at the current state (see
+        :meth:`repro.core.algorithm.RoundProcess.copy` for the contract).
+        The default deep-copies; override when a cheaper copy is sound.
+        """
+        return _copy.deepcopy(self)
+
+
+@dataclass(frozen=True)
+class AsyncProtocol:
+    """A named family of :class:`AsyncProcess` factories.
+
+    ``phases`` is the protocol's depth — the largest tag any handler may
+    send for — either a constant or a function of the system size ``n``.
+    """
+
+    name: str
+    phases: int | Callable[[int], int]
+    spawn: Callable[[ProcessId, int, Any], AsyncProcess]
+
+    def depth(self, n: int) -> int:
+        value = self.phases(n) if callable(self.phases) else self.phases
+        if value < 1:
+            raise ValueError(f"protocol {self.name!r}: phases must be ≥ 1")
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AsyncProtocol({self.name!r})"

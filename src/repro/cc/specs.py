@@ -1,0 +1,140 @@
+"""Conformance specs for the communication-closure compiler (``cc-*``).
+
+Two claims, both registered through the same machinery as the native
+specs and therefore checked by every engine (exhaustive, BFS, the
+work-stealing scheduler, the bitset kernel, fuzzing, the CLI):
+
+1. **Compilation is transparent** — ``cc-kset``, ``cc-consensus``,
+   ``cc-floodset`` and ``cc-adopt-commit`` are the native specs with the
+   protocol replaced by its adapt→compile round trip
+   (:func:`~repro.cc.compiler.adapt_protocol` then
+   :func:`~repro.cc.compiler.compile_protocol`) and every claim —
+   predicate, round budget, invariants, input families, symmetry — kept
+   verbatim.  Exhaustive certification at ``n ≤ 3`` then states: on every
+   adversary the native protocol survives, the compiled one survives too.
+
+2. **Native async programs compile correctly but keep async weakness** —
+   ``cc-echo-min`` is the tagged-handler min-flooding program under the
+   asynchronous predicate ``|D(i,r)| ≤ f``.  Its spec claims validity and
+   termination but deliberately **not** agreement: one round of async
+   message passing cannot solve consensus (the paper's separation), and
+   the compiler must not manufacture synchrony that is not there.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.cc.catalog import echo_min_protocol
+from repro.cc.compiler import adapt_protocol, compile_protocol
+from repro.check.spec import ConformanceSpec, TraceInvariant, get_spec, register
+from repro.check.specs import structural_invariant
+from repro.core.predicates import AsyncMessagePassing
+from repro.protocols.properties import (
+    PropertyFailure,
+    check_termination,
+    check_validity,
+)
+
+__all__ = ["COMPILED_SPEC_BASES", "compiled_spec"]
+
+#: Native specs lifted through the compiler, verbatim claims included.
+COMPILED_SPEC_BASES = ("kset", "consensus", "floodset", "adopt-commit")
+
+
+def compiled_spec(base_name: str) -> ConformanceSpec:
+    """The ``cc-`` lift of a registered native spec (not yet registered)."""
+    base = get_spec(base_name)
+
+    def protocol(n: int, _base: ConformanceSpec = base):
+        return compile_protocol(
+            adapt_protocol(_base.protocol(n), _base.rounds(n))
+        )
+
+    return replace(
+        base,
+        name=f"cc-{base.name}",
+        title=f"compiled {base.name}: {base.title}",
+        protocol=protocol,
+        notes=(
+            f"the {base.name!r} spec with its protocol compiled through "
+            "repro.cc (async adapter → round compiler); identical claims, "
+            "so exhaustive certification doubles as a compiler-equivalence "
+            "proof at this size"
+        ),
+    )
+
+
+for _base_name in COMPILED_SPEC_BASES:
+    register(compiled_spec(_base_name))
+
+
+# ---------------------------------------------------------------------------
+# cc-echo-min: a native tagged-handler program under the async predicate
+
+
+_ECHO_PHASES = 2  # f + 1 with f = 1 — the depth the service catalog uses
+
+
+def _em_inputs(n: int) -> list[tuple[int, ...]]:
+    return [tuple(range(n))]
+
+
+def _em_sample_inputs(n: int, rng: random.Random) -> tuple[int, ...]:
+    return tuple(rng.randrange(n) for _ in range(n))
+
+
+def _em_validity(trace, n):
+    check_validity(trace)
+
+
+def _em_termination(trace, n):
+    check_termination(trace, by_round=_ECHO_PHASES)
+
+
+def _em_decides_a_minimum(trace, n):
+    """Every decision is the minimum of *some* nonempty input subset
+    containing the decider's own value — the strongest claim async
+    min-flooding supports (full agreement would need synchrony)."""
+    for pid, value in enumerate(trace.decisions):
+        if value is None:
+            continue
+        if value > trace.inputs[pid]:
+            raise PropertyFailure(
+                f"p{pid} decided {value!r}, above its own input "
+                f"{trace.inputs[pid]!r} — min-flooding can only go down"
+            )
+        if value not in trace.inputs:
+            raise PropertyFailure(
+                f"p{pid} decided {value!r}, not an input"
+            )
+
+
+register(ConformanceSpec(
+    name="cc-echo-min",
+    title="compiled async echo-min: validity+termination under "
+          "|D(i,r)| ≤ f (and deliberately *no* agreement claim)",
+    protocol=lambda n: compile_protocol(echo_min_protocol(_ECHO_PHASES)),
+    predicate=lambda n: AsyncMessagePassing(n, 1),
+    rounds=lambda n: _ECHO_PHASES,
+    invariants=(
+        TraceInvariant("validity", _em_validity),
+        TraceInvariant(
+            "min-monotone", _em_decides_a_minimum,
+            "decisions are inputs, never above the decider's own",
+        ),
+        TraceInvariant(
+            "termination", _em_termination,
+            f"every process decides by phase {_ECHO_PHASES}",
+        ),
+        structural_invariant(),
+    ),
+    exhaustive_inputs=_em_inputs,
+    sample_inputs=_em_sample_inputs,
+    symmetry="none",
+    notes="a native AsyncProcess program (no round-protocol underneath); "
+          "agreement is intentionally absent from the invariants — under "
+          "the async predicate different processes may settle on "
+          "different minima, which is the paper's async/sync separation",
+))

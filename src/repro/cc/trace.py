@@ -1,0 +1,306 @@
+"""Recorded async executions: the event stream the cc certifier consumes.
+
+An :class:`AsyncTrace` is a flat, sequence-numbered event log of one
+asynchronous execution — every tagged send, every delivery, every discarded
+boundary-crossing message, every round advance (with the consumed view) and
+every decision.  It is produced two ways:
+
+- :class:`TraceRecorder` plugs into the duck-typed observer hooks of the
+  simulated substrates (``AsyncNetwork``/``ChaosNetwork`` message hooks,
+  ``RoundOverlayNode`` advance/discard hooks) —
+  :func:`record_reliable_run` and :func:`record_overlay_run` wire it up;
+- the live :mod:`repro.service` runtime feeds the same recorder directly
+  from its socket loop (one recorder per instance).
+
+The log is JSON-serializable via the service transport codec, so traces
+survive a round trip through ``repro cc certify --save``/``--trace`` files
+with payload types (tuples, frozensets, int dict keys) intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.types import RoundView
+from repro.protocols.adopt_commit import AdoptCommitOutcome
+from repro.service.transport import decode_payload, encode_payload
+
+__all__ = [
+    "CcEvent",
+    "AsyncTrace",
+    "TraceRecorder",
+    "record_overlay_run",
+    "record_reliable_run",
+]
+
+#: Event kinds, in the vocabulary of the communication-closure rewriting.
+EVENT_KINDS = ("send", "deliver", "discard", "advance", "decide")
+
+_CC_TAG_KEY = "__cc__"
+
+
+def _encode(value: Any) -> Any:
+    """The wire codec plus the one domain type decide events may carry.
+
+    Adopt-commit *decisions* are :class:`AdoptCommitOutcome` objects —
+    never sent on the wire, so the transport codec rightly refuses them,
+    but a recorded trace stores them in its ``decide`` events.
+    """
+    if isinstance(value, AdoptCommitOutcome):
+        return {
+            _CC_TAG_KEY: "adopt-commit-outcome",
+            "committed": value.committed,
+            "value": encode_payload(value.value),
+        }
+    return encode_payload(value)
+
+
+def _decode(value: Any) -> Any:
+    if (
+        isinstance(value, dict)
+        and value.get(_CC_TAG_KEY) == "adopt-commit-outcome"
+    ):
+        return AdoptCommitOutcome(
+            committed=value["committed"], value=decode_payload(value["value"])
+        )
+    return decode_payload(value)
+
+
+@dataclass(frozen=True)
+class CcEvent:
+    """One step of a recorded async execution.
+
+    ``seq`` is the global order the recorder observed (the certifier's
+    replay order); ``time`` is substrate time (simulated or wall-clock),
+    informational only.  Field meaning by ``kind``:
+
+    ==========  ======================  ==================================
+    kind        pid / peer              tag / payload
+    ==========  ======================  ==================================
+    ``send``    sender / receiver       message round / message payload
+    ``deliver``  receiver / sender      message round / message payload
+    ``discard``  receiver / sender      message round / round receiver was
+                                        already in (the boundary crossed)
+    ``advance``  receiver / ``None``    round closed / ``(messages,
+                                        suspected)`` — the consumed view
+    ``decide``   decider / ``None``     ``None`` / decided value
+    ==========  ======================  ==================================
+    """
+
+    seq: int
+    time: float
+    kind: str
+    pid: int
+    peer: int | None
+    tag: int | None
+    payload: Any
+
+
+@dataclass
+class AsyncTrace:
+    """A recorded asynchronous execution, ready for certification.
+
+    ``source`` names the substrate that produced it (``"sim-overlay"``,
+    ``"sim-reliable"``, ``"service"``, or ``"hand-built"`` for adversarial
+    test traces).
+    """
+
+    n: int
+    f: int
+    inputs: tuple[Any, ...]
+    protocol: str
+    events: list[CcEvent] = field(default_factory=list)
+    crashed: frozenset[int] = frozenset()
+    source: str = "hand-built"
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[CcEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    # ------------------------------------------------------- serialization
+
+    def to_doc(self) -> dict[str, Any]:
+        """A JSON-safe document (via the service transport codec)."""
+        return {
+            "format": "repro.cc.trace/1",
+            "n": self.n,
+            "f": self.f,
+            "inputs": encode_payload(self.inputs),
+            "protocol": self.protocol,
+            "crashed": sorted(self.crashed),
+            "source": self.source,
+            "events": [
+                {
+                    "seq": event.seq,
+                    "t": event.time,
+                    "kind": event.kind,
+                    "pid": event.pid,
+                    "peer": event.peer,
+                    "tag": event.tag,
+                    "payload": _encode(event.payload),
+                }
+                for event in self.events
+            ],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> "AsyncTrace":
+        if doc.get("format") != "repro.cc.trace/1":
+            raise ValueError(
+                f"not a cc trace document (format={doc.get('format')!r})"
+            )
+        return cls(
+            n=doc["n"],
+            f=doc["f"],
+            inputs=tuple(decode_payload(doc["inputs"])),
+            protocol=doc["protocol"],
+            crashed=frozenset(doc["crashed"]),
+            source=doc["source"],
+            events=[
+                CcEvent(
+                    seq=raw["seq"],
+                    time=raw["t"],
+                    kind=raw["kind"],
+                    pid=raw["pid"],
+                    peer=raw["peer"],
+                    tag=raw["tag"],
+                    payload=_decode(raw["payload"]),
+                )
+                for raw in doc["events"]
+            ],
+        )
+
+
+def _parse_transport_payload(payload: Any) -> tuple[int, Any] | None:
+    """Split a substrate wire payload into ``(round, data)``.
+
+    Understands both overlay framings — ``(round, data)`` from the plain
+    overlay and ``("data", round, data)`` from the reliable one; control
+    traffic (``("ack", round)``, heartbeats) returns ``None`` and is not
+    recorded, certification being about protocol messages.
+    """
+    if not isinstance(payload, tuple) or not payload:
+        return None
+    if payload[0] == "ack":
+        return None
+    if payload[0] == "data" and len(payload) == 3:
+        return payload[1], payload[2]
+    if isinstance(payload[0], int) and len(payload) == 2:
+        return payload
+    return None
+
+
+class TraceRecorder:
+    """Collects :class:`CcEvent`s from the substrate observer hooks.
+
+    One recorder instance implements every hook the substrates know —
+    ``on_send``/``on_deliver`` (network), ``on_advance``/``on_discard``
+    (overlay nodes) — plus ``on_decide`` for runtimes that report
+    decisions explicitly.  Events are appended in observation order;
+    ``seq`` is the append index.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[CcEvent] = []
+
+    def _append(
+        self, time: float, kind: str, pid: int,
+        peer: int | None, tag: int | None, payload: Any,
+    ) -> None:
+        self.events.append(
+            CcEvent(len(self.events), time, kind, pid, peer, tag, payload)
+        )
+
+    # -------------------------------------------------- network hooks
+
+    def on_send(self, src: int, dst: int, payload: Any, time: float) -> None:
+        parsed = _parse_transport_payload(payload)
+        if parsed is not None:
+            self._append(time, "send", src, dst, parsed[0], parsed[1])
+
+    def on_deliver(self, src: int, dst: int, payload: Any, time: float) -> None:
+        parsed = _parse_transport_payload(payload)
+        if parsed is not None:
+            self._append(time, "deliver", dst, src, parsed[0], parsed[1])
+
+    # ---------------------------------------------------- node hooks
+
+    def on_advance(self, pid: int, view: RoundView, decided: bool) -> None:
+        time = self.events[-1].time if self.events else 0.0
+        self._append(
+            time, "advance", pid, None, view.round,
+            (dict(view.messages), tuple(sorted(view.suspected))),
+        )
+
+    def on_discard(
+        self, pid: int, src: int, round_number: int, at_round: int
+    ) -> None:
+        time = self.events[-1].time if self.events else 0.0
+        self._append(time, "discard", pid, src, round_number, at_round)
+
+    # ------------------------------------------------- runtime extras
+
+    def on_decide(self, pid: int, value: Any, time: float) -> None:
+        self._append(time, "decide", pid, None, None, value)
+
+    def build(
+        self,
+        *,
+        n: int,
+        f: int,
+        inputs: Iterable[Any],
+        protocol: str,
+        crashed: Iterable[int] = (),
+        source: str = "hand-built",
+    ) -> AsyncTrace:
+        return AsyncTrace(
+            n=n, f=f, inputs=tuple(inputs), protocol=protocol,
+            events=list(self.events), crashed=frozenset(crashed),
+            source=source,
+        )
+
+
+def _finalize(recorder: TraceRecorder, result: Any, *, source: str,
+              protocol_name: str) -> AsyncTrace:
+    end = recorder.events[-1].time if recorder.events else 0.0
+    for node in result.nodes:
+        if node.process.decided:
+            recorder.on_decide(node.pid, node.process.decision, end)
+    return recorder.build(
+        n=result.n, f=result.f, inputs=result.inputs,
+        protocol=protocol_name, crashed=result.crashed, source=source,
+    )
+
+
+def record_overlay_run(protocol: Any, inputs: Any, f: int, **kwargs: Any):
+    """Run the plain round overlay with recording; ``(result, trace)``."""
+    from repro.substrates.messaging.rounds import run_round_overlay
+
+    recorder = TraceRecorder()
+    result = run_round_overlay(
+        protocol, inputs, f, observer=recorder, **kwargs
+    )
+    return result, _finalize(
+        recorder, result, source="sim-overlay", protocol_name=protocol.name
+    )
+
+
+def record_reliable_run(protocol: Any, inputs: Any, f: int, **kwargs: Any):
+    """Run the reliable overlay (chaos-capable) with recording attached.
+
+    Same signature as
+    :func:`repro.substrates.messaging.reliable.run_reliable_round_overlay`
+    plus the implicit recorder; returns ``(result, trace)``.
+    """
+    from repro.substrates.messaging.reliable import run_reliable_round_overlay
+
+    recorder = TraceRecorder()
+    result = run_reliable_round_overlay(
+        protocol, inputs, f, observer=recorder, **kwargs
+    )
+    return result, _finalize(
+        recorder, result, source="sim-reliable", protocol_name=protocol.name
+    )

@@ -417,7 +417,10 @@ register(ConformanceSpec(
 
 
 # ---------------------------------------------------------------------------
-# sibling-model specs (imported last: repro.ho.specs registers through the
-# same registry and reuses this module's invariant helpers)
+# sibling-model specs (imported last: repro.ho.specs and repro.cc.specs
+# register through the same registry and reuse this module's invariant
+# helpers; repro.cc.specs additionally lifts the native specs above through
+# the communication-closure compiler, so it must come after them)
 
 import repro.ho.specs  # noqa: E402,F401  (registration side effect)
+import repro.cc.specs  # noqa: E402,F401  (registration side effect)

@@ -245,7 +245,8 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--max-tasks", type=int, default=None, metavar="N",
                        help="stop a --bfs run after N tasks this "
                        "invocation (checkpointed partial run; resume "
-                       "later with --resume)")
+                       "later with --resume; a partial sitting exits "
+                       "with code 3, never 0)")
     check.add_argument("--prune-decided", action="store_true",
                        help="stop extending histories once everyone decided")
     check.add_argument("--engine", choices=("incremental", "replay"),
@@ -299,6 +300,71 @@ def build_parser() -> argparse.ArgumentParser:
                     "packed kernels (same verdicts)")
     ho.add_argument("--save", metavar="DIR", default=None,
                     help="write certificates/witnesses as JSON under DIR")
+
+    cc = sub.add_parser(
+        "cc",
+        help="communication-closure compiler: compile async protocols onto "
+             "rounds, certify recorded async traces, project them to round "
+             "traces",
+    )
+    ccsub = cc.add_subparsers(dest="cc_command", required=True)
+
+    cc_compile = ccsub.add_parser(
+        "compile",
+        help="compile a cc catalog protocol and smoke-run it on the "
+             "reliable overlay",
+    )
+    cc_compile.add_argument("protocol", nargs="?", default=None,
+                            help="cc catalog name (cc-consensus | cc-kset | "
+                            "cc-adopt-commit | cc-echo-min)")
+    cc_compile.add_argument("--list", action="store_true", dest="list_catalog",
+                            help="list the cc catalog and cc-* specs, then exit")
+    cc_compile.add_argument("--n", type=int, default=4)
+    cc_compile.add_argument("--f", type=int, default=1)
+    cc_compile.add_argument("--k", type=int, default=1)
+    cc_compile.add_argument("--seed", type=int, default=0)
+    cc_compile.add_argument("--plan", choices=("none", "drop", "ci"),
+                            default="none",
+                            help="simulated fault plan for the smoke run")
+
+    cc_certify = ccsub.add_parser(
+        "certify",
+        help="record an async execution (simulated or live) and certify it "
+             "communication-closed; exit 1 on a violation",
+    )
+    cc_certify.add_argument("protocol", nargs="?", default=None,
+                            help="cc catalog name to run and certify "
+                            "(omit with --trace)")
+    cc_certify.add_argument("--trace", metavar="PATH", default=None,
+                            help="certify a saved repro.cc.trace/1 JSON "
+                            "document instead of running")
+    cc_certify.add_argument("--live", action="store_true",
+                            help="record on the live asyncio service instead "
+                            "of the simulated overlay")
+    cc_certify.add_argument("--n", type=int, default=4)
+    cc_certify.add_argument("--f", type=int, default=1)
+    cc_certify.add_argument("--k", type=int, default=1)
+    cc_certify.add_argument("--seed", type=int, default=0)
+    cc_certify.add_argument("--plan", choices=("none", "drop", "ci"),
+                            default="none",
+                            help="fault plan (sim-scaled, or the service "
+                            "preset under --live)")
+    cc_certify.add_argument("--strict", action="store_true",
+                            help="also report discarded late crossings as "
+                            "violations (crossing-free runs only)")
+    cc_certify.add_argument("--save", metavar="DIR", default=None,
+                            help="write the recorded trace as JSON under DIR")
+
+    cc_project = ccsub.add_parser(
+        "project",
+        help="certify a recorded trace and project it onto a round "
+             "ExecutionTrace; optionally re-check a spec's invariants on it",
+    )
+    cc_project.add_argument("--trace", metavar="PATH", required=True,
+                            help="saved repro.cc.trace/1 JSON document")
+    cc_project.add_argument("--spec", metavar="NAME", default=None,
+                            help="run this conformance spec's invariants "
+                            "against the projected trace")
     return parser
 
 
@@ -653,6 +719,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     metrics = obs.Metrics() if args.show_metrics else None
     names = args.specs or spec_names()
     exit_code = 0
+    partial_specs: list[str] = []
     for name in names:
         spec = get_spec(name)
         with obs.tracing(tracer), obs.collecting(metrics):
@@ -674,6 +741,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     max_tasks=args.max_tasks, progress=args.progress,
                 )
                 if result.partial:
+                    # A partial sitting proves nothing about the unexplored
+                    # frontier — it must never exit 0 as if certification
+                    # completed (exit 3 below, unless violations win with 1).
+                    partial_specs.append(name)
                     print(f"{name}: partial — "
                           f"{result.scale['tasks_done']} task(s) done, "
                           f"{result.scale['tasks_pending']} pending; "
@@ -720,6 +791,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if tracer is not None:
         sink.close()
         print(f"wrote {args.trace_out} ({tracer.emitted} events)")
+    if exit_code == 0 and partial_specs:
+        return 3  # partial: certification incomplete, resume to continue
     return exit_code
 
 
@@ -779,6 +852,170 @@ def _cmd_ho(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cc_sim_plan(name: str):
+    """Sim-scaled fault plans for the cc commands (sim time, not seconds)."""
+    from repro.substrates.messaging.chaos import FaultPlan, LinkFaults
+
+    if name == "none":
+        return FaultPlan()
+    if name == "drop":
+        return FaultPlan(default=LinkFaults(drop_prob=0.2))
+    return FaultPlan(  # "ci": loss + duplication + reordering jitter
+        default=LinkFaults(drop_prob=0.2, dup_prob=0.1, jitter=4.0)
+    )
+
+
+def _cc_inputs(n: int, seed: int) -> tuple[int, ...]:
+    import random as _random
+
+    rng = _random.Random(seed)
+    return tuple(rng.randrange(n) for _ in range(n))
+
+
+def _cc_record(args: argparse.Namespace):
+    """Run the named cc protocol per the CLI flags; (result, trace)."""
+    from repro.cc import record_reliable_run, resolve_cc_protocol
+
+    protocol, rounds = resolve_cc_protocol(args.protocol, f=args.f, k=args.k)
+    inputs = _cc_inputs(args.n, args.seed)
+    if args.live:
+        import asyncio
+
+        from repro.service.loadgen import named_plan
+        from repro.service.runtime import (
+            InstanceSpec,
+            ServiceConfig,
+            ServiceRuntime,
+        )
+
+        async def _run():
+            config = ServiceConfig(
+                n=args.n, f=args.f, seed=args.seed,
+                plan=named_plan(args.plan, args.n),
+            )
+            async with ServiceRuntime(config) as runtime:
+                return await runtime.run_instance_recorded(InstanceSpec(
+                    "cc-cli", args.protocol, inputs=inputs, k=args.k,
+                ))
+
+        return asyncio.run(_run())
+    return record_reliable_run(
+        protocol, inputs, args.f,
+        max_rounds=rounds, seed=args.seed, plan=_cc_sim_plan(args.plan),
+        stop_on_decision=False,
+    )
+
+
+def _cmd_cc(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.cc import (
+        AsyncTrace,
+        CC_SERVICE_NAMES,
+        certify,
+        project,
+        resolve_cc_protocol,
+    )
+
+    if args.cc_command == "compile":
+        if args.list_catalog:
+            from repro.check.spec import all_specs
+
+            print("cc catalog (service + CLI protocol names):")
+            for name in CC_SERVICE_NAMES:
+                protocol, rounds = resolve_cc_protocol(name, f=1)
+                print(f"  {name:<16} -> {protocol.name} ({rounds} round(s) at f=1)")
+            print("\ncc conformance specs (python -m repro check --spec NAME):")
+            for spec in all_specs():
+                if spec.name.startswith("cc-"):
+                    print(f"  {spec.name:<16} {spec.title}")
+            return 0
+        if args.protocol is None:
+            print("cc compile: a protocol name (or --list) is required")
+            return 2
+        args.live = False
+        result, trace = _cc_record(args)
+        protocol, rounds = resolve_cc_protocol(args.protocol, f=args.f, k=args.k)
+        print(f"compiled:  {protocol.name} ({rounds} round(s))")
+        print(f"inputs:    {list(trace.inputs)}")
+        print(f"decisions: {result.decisions}")
+        staged = deferred = stale = 0
+        for node in result.nodes:
+            process = node.process
+            staged += getattr(process, "sends_staged", 0)
+            deferred += getattr(process, "sends_deferred", 0)
+            stale += getattr(process, "stale_discarded", 0)
+        print(f"rewriting: {staged} send(s) round-tagged, {deferred} "
+              f"buffered early, {stale} stale discarded; "
+              f"{result.total_late_discarded} late deliveries dropped at "
+              "round boundaries")
+        print(result.audit.summary())
+        return 0 if result.audit.ok else 1
+
+    if args.cc_command == "certify":
+        if args.trace is not None:
+            trace = AsyncTrace.from_doc(
+                json.loads(Path(args.trace).read_text())
+            )
+            print(f"loaded:    {args.trace} ({len(trace.events)} events, "
+                  f"source={trace.source})")
+        elif args.protocol is None:
+            print("cc certify: a protocol name or --trace is required")
+            return 2
+        else:
+            _, trace = _cc_record(args)
+            print(f"recorded:  {trace.protocol} on "
+                  f"{'live service' if args.live else 'simulated overlay'} "
+                  f"({len(trace.events)} events, plan={args.plan})")
+        certificate = certify(trace, strict=args.strict)
+        print(certificate.summary())
+        for violation in certificate.violations:
+            print(f"  {violation}")
+        if args.save:
+            directory = Path(args.save)
+            directory.mkdir(parents=True, exist_ok=True)
+            slug = "".join(
+                ch if ch.isalnum() or ch in "-_" else "_"
+                for ch in trace.protocol
+            ).strip("_")
+            name = f"cc_trace_{slug}_s{args.seed}.json"
+            path = directory / name
+            path.write_text(json.dumps(trace.to_doc(), indent=2))
+            print(f"wrote {path}")
+        return 0 if certificate.closed else 1
+
+    # project
+    from repro.cc import UncertifiedTraceError
+    from repro.core.replay import verify_trace_consistency
+
+    trace = AsyncTrace.from_doc(json.loads(Path(args.trace).read_text()))
+    try:
+        projected = project(trace)
+    except UncertifiedTraceError as exc:
+        print(f"projection refused: {exc}")
+        return 1
+    verify_trace_consistency(projected)
+    print(f"projected: {projected.num_rounds} round(s), n={projected.n}, "
+          "replay-consistent")
+    print(f"decisions: {projected.decisions}")
+    if args.spec:
+        from repro.check.spec import get_spec
+
+        spec = get_spec(args.spec)
+        failures = 0
+        for invariant in spec.invariants:
+            message = invariant.failure(projected, projected.n)
+            if message is None:
+                print(f"  {invariant.name}: OK")
+            else:
+                failures += 1
+                print(f"  {invariant.name}: FAIL — {message}")
+        if failures:
+            return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -793,6 +1030,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "load": _cmd_load,
         "check": _cmd_check,
         "ho": _cmd_ho,
+        "cc": _cmd_cc,
     }[args.command]
     return handler(args)
 

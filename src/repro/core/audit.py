@@ -143,10 +143,36 @@ class ExecutionAuditor:
         pid: int,
         views: Iterable[RoundView],
         emissions_of: "list[RoundOverlayNode] | None" = None,
+        *,
+        late_arrivals: Iterable[tuple[int, int, int]] | None = None,
     ) -> list[AuditViolation]:
-        """Invariant-check one process's view sequence."""
+        """Invariant-check one process's view sequence.
+
+        The per-view closure check below can only see payloads that made it
+        *into* a view; a round-``r`` copy delivered after the receiver
+        already advanced past ``r`` (a late duplicate from chaos dup+jitter,
+        or a straggling retransmission) is discarded before any view records
+        it and is therefore invisible here.  Pass the receiver's attributed
+        ``late_arrivals`` — ``(src, message round, round the receiver was
+        in)`` triples, recorded by the overlay/service reception paths — to
+        have each such boundary crossing reported as a
+        ``communication-closure`` violation.  The overlay *tolerates* these
+        by construction (discarding them is the Damian et al. rewriting), so
+        the strict check is opt-in: it certifies that the underlying async
+        execution was communication-closed as delivered, not merely that the
+        views were closed after filtering.
+        """
         everyone = self._everyone
         violations: list[AuditViolation] = []
+        if late_arrivals is not None:
+            for src, round_number, at_round in late_arrivals:
+                violations.append(AuditViolation(
+                    "communication-closure", pid, round_number,
+                    f"round-{round_number} payload from p{src} delivered "
+                    f"after p{pid} advanced to round {at_round} (late "
+                    "duplicate crossed the round boundary and was "
+                    "discarded)",
+                ))
         for index, view in enumerate(views, start=1):
             if view.round != index:
                 violations.append(AuditViolation(
@@ -188,17 +214,30 @@ class ExecutionAuditor:
         self,
         nodes: "list[RoundOverlayNode]",
         network: "AsyncNetwork",
+        *,
+        strict_closure: bool = False,
     ) -> AuditReport:
         """Audit a quiesced round-overlay execution, stall watchdog included.
 
         Must be called after the network ran to quiescence (a truncated run
         should raise :class:`~repro.substrates.events.BudgetExhausted`
         instead of being audited — partial executions prove nothing).
+
+        ``strict_closure`` additionally reports every discarded late
+        delivery as a ``communication-closure`` violation (see
+        :meth:`check_views`); off by default because the overlay discards
+        such messages *by design* to stay round-closed under chaos.
         """
         violations: list[AuditViolation] = []
         views_checked = 0
         for node in nodes:
-            violations.extend(self.check_views(node.pid, node.views, nodes))
+            violations.extend(self.check_views(
+                node.pid, node.views, nodes,
+                late_arrivals=(
+                    getattr(node, "late_arrivals", ()) if strict_closure
+                    else None
+                ),
+            ))
             views_checked += len(node.views)
         return AuditReport(
             violations=tuple(violations),

@@ -93,9 +93,17 @@ def resolve_protocol(name: str, *, f: int, k: int = 1) -> tuple[Protocol, int]:
         return floodmin_protocol(f, k), rounds_needed(f, k)
     if name == "adopt-commit":
         return adopt_commit_protocol(), 2
+    if name.startswith("cc-"):
+        # The communication-closure catalog: the same crash-tolerant
+        # protocols routed through the async→round compiler, plus native
+        # tagged-handler programs.  Lazy import keeps repro.cc optional on
+        # the service's import path.
+        from repro.cc.catalog import resolve_cc_protocol
+
+        return resolve_cc_protocol(name, f=f, k=k)
     raise ValueError(
         f"unknown service protocol {name!r} "
-        "(expected consensus | kset | adopt-commit)"
+        "(expected consensus | kset | adopt-commit | cc-*)"
     )
 
 
@@ -175,6 +183,7 @@ class ParticipantRecord:
     parked: bool = False
     crashed: bool = False
     late_discarded: int = 0
+    late_arrivals: list[tuple[int, int, int]] = field(default_factory=list)
 
 
 @dataclass
@@ -224,7 +233,9 @@ class InstanceResult:
         return self.to_overlay_result().to_trace()
 
 
-def audit_instance(result: InstanceResult) -> AuditReport:
+def audit_instance(
+    result: InstanceResult, *, strict_closure: bool = False
+) -> AuditReport:
     """Check the RRFD invariants on one live instance.
 
     Runs the same per-view checks as the simulator audit — round order,
@@ -233,13 +244,22 @@ def audit_instance(result: InstanceResult) -> AuditReport:
     leaked by the transport is caught).  There is no stall check: the
     degradation machinery makes stalls structurally impossible, and parks
     are reported as explicit events instead.
+
+    ``strict_closure`` additionally reports every late delivery the
+    participants had to discard as a ``communication-closure`` violation
+    (see :meth:`repro.core.audit.ExecutionAuditor.check_views`).
     """
     auditor = ExecutionAuditor(result.n, result.f)
     violations: list[AuditViolation] = []
     views_checked = 0
     for record in result.records:
         violations.extend(
-            auditor.check_views(record.pid, record.views, result.records)
+            auditor.check_views(
+                record.pid, record.views, result.records,
+                late_arrivals=(
+                    record.late_arrivals if strict_closure else None
+                ),
+            )
         )
         views_checked += len(record.views)
     return AuditReport(
@@ -278,6 +298,11 @@ class _Participant:
         self.emissions: dict[int, Any] = {}
         self.acks: dict[int, set[int]] = {}
         self.late_discarded = 0
+        self.late_arrivals: list[tuple[int, int, int]] = []
+        # Per-instance cc recorder (duck-typed TraceRecorder), attached via
+        # ServiceRuntime.recorders before the instance starts; None keeps
+        # the hot path free of recording branches' costs beyond one check.
+        self.recorder: Any = endpoint.runtime.recorders.get(spec.name)
         self._wake = asyncio.Event()
         self._side_tasks: list[asyncio.Task] = []
         self._backoff = Backoff(
@@ -295,7 +320,22 @@ class _Participant:
     def on_data(self, src: int, round_number: int, payload: Any) -> None:
         if self.halted or round_number < self.current_round:
             self.late_discarded += 1
+            if not self.halted:
+                # Attributed boundary crossing: a round the participant has
+                # already left (strict-closure audit + cc certification).
+                self.late_arrivals.append(
+                    (src, round_number, self.current_round)
+                )
+                if self.recorder is not None:
+                    self.recorder.on_discard(
+                        self.pid, src, round_number, self.current_round
+                    )
             return
+        if self.recorder is not None:
+            self.recorder.on_deliver(
+                src, self.pid, (round_number, payload),
+                self.endpoint.runtime.clock(),
+            )
         # Dedupe by (src, round): the first copy wins, duplicates are noise.
         self.buffers.setdefault(round_number, {}).setdefault(src, payload)
         self._wake.set()
@@ -316,6 +356,13 @@ class _Participant:
             self.emissions[r] = payload
             self.buffers.setdefault(r, {})[self.pid] = payload  # self-delivery
             self.acks.setdefault(r, set()).add(self.pid)
+            if self.recorder is not None:
+                now = clock()
+                for dst in range(self.n):
+                    self.recorder.on_send(self.pid, dst, (r, payload), now)
+                # Self-delivery is the buffer write above, not a socket
+                # frame, so the delivery event is recorded here.
+                self.recorder.on_deliver(self.pid, self.pid, (r, payload), now)
             await self.endpoint.broadcast_data(self.spec.name, r, payload)
             self._side_tasks.append(
                 asyncio.get_running_loop().create_task(self._retransmit(r))
@@ -326,6 +373,8 @@ class _Participant:
                 break
             self.views.append(view)
             self.process.absorb(view)
+            if self.recorder is not None:
+                self.recorder.on_advance(self.pid, view, self.process.decided)
             tracer = obs.current_tracer()
             if tracer.enabled:
                 tracer.event(
@@ -443,6 +492,7 @@ class _Participant:
             parked=self.parked,
             crashed=crashed or self.crashed,
             late_discarded=self.late_discarded,
+            late_arrivals=list(self.late_arrivals),
         )
 
 
@@ -682,6 +732,10 @@ class ServiceRuntime:
             ServiceEndpoint(self, pid) for pid in range(config.n)
         ]
         self.degradations = DegradationReport()
+        # instance name → cc TraceRecorder; participants pick theirs up at
+        # spawn time (see _Participant.recorder).  Populated either
+        # directly or via run_instance_recorded().
+        self.recorders: dict[str, Any] = {}
         self.stopping = False
         self._t0: float | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -836,6 +890,36 @@ class ServiceRuntime:
                 decisions=[repr(d) for d in result.decisions],
             )
         return result
+
+    async def run_instance_recorded(self, spec: InstanceSpec):
+        """Run one instance with a cc event recorder attached.
+
+        Returns ``(result, async_trace)`` where the trace is a
+        :class:`repro.cc.trace.AsyncTrace` of every tagged send, delivery,
+        boundary-crossing discard, round advance and decision the live run
+        produced — ready for :func:`repro.cc.certify.certify`.
+        """
+        from repro.cc.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        self.recorders[spec.name] = recorder
+        try:
+            result = await self.run_instance(spec)
+        finally:
+            self.recorders.pop(spec.name, None)
+        end = self.clock()
+        for record in result.records:
+            if record.process.decided:
+                recorder.on_decide(record.pid, record.process.decision, end)
+        trace = recorder.build(
+            n=self.config.n,
+            f=self.config.f,
+            inputs=spec.inputs,
+            protocol=spec.protocol,
+            crashed=result.crashed,
+            source="service",
+        )
+        return result, trace
 
     async def run_instances(
         self, specs: Sequence[InstanceSpec]

@@ -294,6 +294,8 @@ class ChaosNetwork(AsyncNetwork):
             self.stats.messages_dropped_crash += 1
             return
         self.stats.messages_sent += 1
+        if self.observer is not None:
+            self.observer.on_send(src, dst, payload, self.sim.now)
         if src == dst:
             self._deliver(src, dst, payload)
             return

@@ -164,6 +164,11 @@ class AsyncNetwork:
         self.delays = delays or UniformDelays(random.Random(0))
         self.fifo = fifo
         self.stats = NetworkStats()
+        # Optional duck-typed message observer (see repro.cc.trace):
+        # on_send(src, dst, payload, time) fires for every accepted send,
+        # on_deliver(src, dst, payload, time) for every delivery.  None by
+        # default — recording costs nothing unless a recorder is attached.
+        self.observer: Any = None
         self.crashed_at: dict[int, float] = {}
         self._last_delivery: dict[tuple[int, int], float] = {}
         for node in nodes:
@@ -206,6 +211,8 @@ class AsyncNetwork:
             self.stats.messages_dropped_crash += 1
             return
         self.stats.messages_sent += 1
+        if self.observer is not None:
+            self.observer.on_send(src, dst, payload, self.sim.now)
         if src == dst:
             # Self-delivery is immediate: a process always "hears" itself.
             self._deliver(src, dst, payload)
@@ -225,6 +232,8 @@ class AsyncNetwork:
             self.stats.messages_dropped_crash += 1
             return
         self.stats.messages_delivered += 1
+        if self.observer is not None:
+            self.observer.on_deliver(src, dst, payload, self.sim.now)
         self.nodes[dst].on_message(src, payload)
 
     # ------------------------------------------------------------------ run

@@ -182,7 +182,7 @@ class ReliableRoundOverlayNode(RoundOverlayNode):
         if self.halted:
             return
         if round_number < self.current_round:
-            self.late_discarded += 1
+            self._discard_late(src, round_number)
             return
         buffer = self.buffers.setdefault(round_number, {})
         if src in buffer:
@@ -231,6 +231,7 @@ def run_reliable_round_overlay(
     enforce_crash_budget: bool = True,
     on_stall: str = "raise",
     raise_on_exhaustion: bool = True,
+    observer: Any = None,
 ) -> ReliableOverlayResult:
     """Run ``protocol`` on the reliable overlay over a chaotic network.
 
@@ -275,6 +276,10 @@ def run_reliable_round_overlay(
         for pid in range(n)
     ]
     network = ChaosNetwork(nodes, sim, plan=plan, seed=seed, delays=delays)
+    if observer is not None:
+        network.observer = observer
+        for node in nodes:
+            node.observer = observer
     for pid, time in crash_times.items():
         network.crash(pid, time)
     tracer = obs.current_tracer()

@@ -66,6 +66,19 @@ class RoundOverlayNode(Node):
         self.views: list[RoundView] = []
         self.emissions: dict[int, Any] = {}
         self.late_discarded = 0
+        # Attributed late arrivals: (src, message round, round we were in).
+        # The counter above says *how many* boundary-crossing deliveries the
+        # overlay had to discard; this list says *which* — the strict
+        # communication-closure audit and the cc certifier consume it.
+        self.late_arrivals: list[tuple[int, int, int]] = []
+        # Round at which the process first decided (None while undecided) —
+        # to_trace() needs it to fill ExecutionTrace.decided_at, which the
+        # by_round termination invariants compare against.
+        self.decided_at: int | None = None
+        # Optional duck-typed execution observer (see repro.cc.trace): called
+        # with on_advance(pid, view, decided) / on_discard(pid, src, round,
+        # at_round) when set.  None by default — zero cost on the hot path.
+        self.observer: Any = None
         self._advancing = False
 
     # ------------------------------------------------------------- protocol
@@ -78,12 +91,21 @@ class RoundOverlayNode(Node):
         if self.halted:
             return
         if round_number < self.current_round:
-            self.late_discarded += 1
+            self._discard_late(src, round_number)
             return
         self.buffers.setdefault(round_number, {})[src] = data
         self._try_advance()
 
     # -------------------------------------------------------------- helpers
+
+    def _discard_late(self, src: int, round_number: int) -> None:
+        """Count and attribute one boundary-crossing (late) delivery."""
+        self.late_discarded += 1
+        self.late_arrivals.append((src, round_number, self.current_round))
+        if self.observer is not None:
+            self.observer.on_discard(
+                self.pid, src, round_number, self.current_round
+            )
 
     def _emit_current(self) -> None:
         payload = self.process.emit(self.current_round)
@@ -112,6 +134,12 @@ class RoundOverlayNode(Node):
                 )
                 self.views.append(view)
                 self.process.absorb(view)
+                if self.decided_at is None and self.process.decided:
+                    self.decided_at = self.current_round
+                if self.observer is not None:
+                    self.observer.on_advance(
+                        self.pid, view, self.process.decided
+                    )
                 tracer = obs.current_tracer()
                 if tracer.enabled:
                     tracer.event(
@@ -169,29 +197,69 @@ class OverlayResult:
     def total_late_discarded(self) -> int:
         return sum(node.late_discarded for node in self.nodes)
 
+    @property
+    def late_arrivals(self) -> list[tuple[int, int, int, int]]:
+        """Attributed boundary crossings: (receiver, src, round, at_round)."""
+        return [
+            (node.pid, src, round_number, at_round)
+            for node in self.nodes
+            for (src, round_number, at_round) in getattr(
+                node, "late_arrivals", ()
+            )
+        ]
+
     def to_trace(self) -> ExecutionTrace:
         """Project the overlay execution onto an :class:`ExecutionTrace`.
 
         The projection keeps the *common prefix* of rounds completed by
-        every process — in an asynchronous (or crashy) run, nodes halt at
+        every **live** process — in an asynchronous run, nodes halt at
         different rounds, and only fully-populated rounds have a view row
-        per process.  The result is replayable: feeding it to
+        per process.  A process that crashed (or was killed) mid-round no
+        longer clamps the depth: the survivors' completed rounds are kept,
+        and the crashed process's missing rows are padded with the crash
+        convention — it heard (at most) its own emission and suspects
+        everyone else — so the padded rounds mark exactly where it left
+        the execution instead of silently truncating the trace.
+
+        The result is replayable: feeding it to
         :func:`repro.core.replay.adversary_from_trace` reproduces the same
         suspicion history, and it passes
         :func:`repro.core.replay.verify_trace_consistency` because each
-        view's messages carry exactly the senders' recorded emissions.
+        view's messages carry exactly the senders' recorded emissions
+        (``None`` for rounds a crashed process never emitted).
         """
-        depth = min(len(node.views) for node in self.nodes)
+        everyone = frozenset(range(self.n))
+        live = [node for node in self.nodes if node.pid not in self.crashed]
+        depth = min(len(node.views) for node in (live or self.nodes))
         trace = ExecutionTrace(n=self.n, inputs=self.inputs)
         for r in range(depth):
-            views = tuple(node.views[r] for node in self.nodes)
-            payloads = tuple(node.emissions[r + 1] for node in self.nodes)
+            payloads = tuple(
+                node.emissions.get(r + 1) for node in self.nodes
+            )
+            views = tuple(
+                node.views[r]
+                if r < len(node.views)
+                else RoundView.trusted(
+                    pid=node.pid,
+                    round=r + 1,
+                    messages={node.pid: payloads[node.pid]},
+                    suspected=everyone - {node.pid},
+                    n=self.n,
+                )
+                for node in self.nodes
+            )
             trace.rounds.append(
                 ExecutionRound(round=r + 1, payloads=payloads, views=views)
             )
         for pid, node in enumerate(self.nodes):
             if node.process.decided:
                 trace.decisions[pid] = node.process.decision
+                # Nodes that ran live know the exact decision round; padded
+                # projections (e.g. the cc certifier's) fall back to the
+                # last round the node completed.
+                trace.decided_at[pid] = (
+                    getattr(node, "decided_at", None) or len(node.views)
+                )
         return trace
 
 
@@ -208,6 +276,7 @@ def run_round_overlay(
     max_events: int = 1_000_000,
     raise_on_exhaustion: bool = True,
     audit: bool = True,
+    observer: Any = None,
 ) -> OverlayResult:
     """Run ``protocol`` in the round-based asynchronous system of item 3.
 
@@ -244,6 +313,10 @@ def run_round_overlay(
     network = AsyncNetwork(
         nodes, sim, delays=delays or UniformDelays(random.Random(seed))
     )
+    if observer is not None:
+        network.observer = observer
+        for node in nodes:
+            node.observer = observer
     for pid, time in crash_times.items():
         network.crash(pid, time)
     network.run(max_events=max_events)

@@ -1,0 +1,110 @@
+"""The ``python -m repro cc`` surface: compile, certify, project."""
+
+import json
+
+from repro.cc.trace import AsyncTrace, CcEvent
+from repro.cli import main
+
+
+def write_bad_trace(path):
+    """A hand-built trace whose round-1 view consumes an undelivered
+    message — the canonical boundary crossing the certifier must name."""
+    view = ({0: "a", 1: "b"}, ())
+    rows = [
+        ("send", 0, 0, 1, "a"), ("send", 0, 1, 1, "a"),
+        ("send", 1, 0, 1, "b"), ("send", 1, 1, 1, "b"),
+        ("deliver", 0, 0, 1, "a"),
+        ("deliver", 1, 0, 1, "a"), ("deliver", 1, 1, 1, "b"),
+        ("advance", 0, None, 1, view), ("advance", 1, None, 1, view),
+        ("decide", 0, None, None, "a"), ("decide", 1, None, None, "a"),
+    ]
+    trace = AsyncTrace(
+        n=2, f=0, inputs=("a", "b"), protocol="hand-built-bad",
+        events=[
+            CcEvent(seq, float(seq), kind, pid, peer, tag, payload)
+            for seq, (kind, pid, peer, tag, payload) in enumerate(rows)
+        ],
+    )
+    path.write_text(json.dumps(trace.to_doc()))
+    return path
+
+
+class TestCcCompile:
+    def test_list_names_catalog_and_specs(self, capsys):
+        assert main(["cc", "compile", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cc-consensus", "cc-kset", "cc-adopt-commit",
+                     "cc-echo-min", "cc-floodset"):
+            assert name in out
+
+    def test_compile_smoke_run_reports_rewriting(self, capsys):
+        assert main(["cc", "compile", "cc-echo-min", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled:  cc[echo-min(2)]" in out
+        assert "round-tagged" in out
+        assert "audit OK" in out
+
+    def test_compile_without_protocol_errors(self, capsys):
+        assert main(["cc", "compile"]) == 2
+
+
+class TestCcCertify:
+    def test_recorded_run_certifies_and_saves(self, capsys, tmp_path):
+        code = main([
+            "cc", "certify", "cc-kset", "--plan", "ci", "--seed", "5",
+            "--save", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "COMMUNICATION-CLOSED" in out
+        (artifact,) = tmp_path.glob("cc_trace_*.json")
+        doc = json.loads(artifact.read_text())
+        assert doc["format"] == "repro.cc.trace/1"
+
+    def test_saved_trace_reloads_and_certifies(self, capsys, tmp_path):
+        main([
+            "cc", "certify", "cc-adopt-commit", "--seed", "9",
+            "--save", str(tmp_path),
+        ])
+        capsys.readouterr()
+        (artifact,) = tmp_path.glob("*.json")
+        assert main(["cc", "certify", "--trace", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "loaded:" in out and "COMMUNICATION-CLOSED" in out
+
+    def test_boundary_crossing_trace_exits_1_naming_message(
+        self, capsys, tmp_path
+    ):
+        artifact = write_bad_trace(tmp_path / "bad.json")
+        assert main(["cc", "certify", "--trace", str(artifact)]) == 1
+        out = capsys.readouterr().out
+        assert "NOT CLOSED" in out
+        assert "view-without-delivery" in out
+        assert "from p1" in out  # the offending message is named
+
+    def test_without_protocol_or_trace_errors(self, capsys):
+        assert main(["cc", "certify"]) == 2
+
+
+class TestCcProject:
+    def test_project_runs_spec_invariants(self, capsys, tmp_path):
+        main([
+            "cc", "certify", "cc-echo-min", "--plan", "ci", "--seed", "4",
+            "--save", str(tmp_path),
+        ])
+        capsys.readouterr()
+        (artifact,) = tmp_path.glob("*.json")
+        code = main([
+            "cc", "project", "--trace", str(artifact),
+            "--spec", "cc-echo-min",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replay-consistent" in out
+        assert out.count("OK") == 4  # validity, min-monotone, termination, structure
+
+    def test_project_refuses_uncertified_trace(self, capsys, tmp_path):
+        artifact = write_bad_trace(tmp_path / "bad.json")
+        code = main(["cc", "project", "--trace", str(artifact)])
+        assert code == 1
+        assert "projection refused" in capsys.readouterr().out

@@ -1,0 +1,196 @@
+"""The async→round compiler: tag discipline, forking, adapter fidelity."""
+
+import pytest
+
+from repro.cc.catalog import EchoMinProcess, echo_min_protocol
+from repro.cc.compiler import (
+    CC_TAG,
+    CompiledProcess,
+    adapt_protocol,
+    compile_protocol,
+    unwrap_emission,
+)
+from repro.cc.model import AsyncProcess, AsyncProtocol, TagDisciplineError
+from repro.core.adversary import ScriptedAdversary
+from repro.core.executor import run_protocol
+from repro.core.types import RoundView
+from repro.protocols.floodset import floodmin_protocol, rounds_needed
+
+
+class EagerSender(AsyncProcess):
+    """Sends for phase 1 *and* phase 2 at start — the deferred-send case."""
+
+    def __init__(self, value):
+        self.value = value
+        self.heard = []
+
+    def on_start(self, ctx):
+        ctx.send(("now", self.value))
+        ctx.send(("later", self.value), tag=2)
+
+    def on_message(self, ctx, src, tag, payload):
+        self.heard.append((tag, src, payload))
+
+    def on_phase_end(self, ctx, tag, heard, suspected):
+        if tag == 2:
+            ctx.decide(min(value for _, _, (_, value) in self.heard))
+
+
+def eager_protocol():
+    return AsyncProtocol(
+        name="eager",
+        phases=2,
+        spawn=lambda pid, n, value: EagerSender(value),
+    )
+
+
+def fresh(program, *, depth=2, strict_tags=True, pid=0, n=3, value=7):
+    return CompiledProcess(
+        pid, n, value, program=program, depth=depth, strict_tags=strict_tags
+    )
+
+
+class TestUnwrap:
+    def test_well_formed(self):
+        assert unwrap_emission((CC_TAG, 3, ("a", "b"))) == (3, ("a", "b"))
+
+    @pytest.mark.parametrize("payload", [
+        None, 42, ("cc", 1), ("notcc", 1, ()), ("cc", "one", ()),
+    ])
+    def test_malformed_rejected(self, payload):
+        with pytest.raises(ValueError, match="not a compiled"):
+            unwrap_emission(payload)
+
+    def test_foreign_tag_in_view_rejected(self):
+        process = fresh(EagerSender(7))
+        process.emit(1)
+        view = RoundView(
+            pid=0, round=1,
+            messages={0: (CC_TAG, 2, ())},  # tag 2 inside a round-1 view
+            suspected=frozenset({1, 2}), n=3,
+        )
+        with pytest.raises(ValueError, match="round isolation"):
+            process.absorb(view)
+
+
+class TestTagDiscipline:
+    def test_deferred_send_waits_for_its_phase(self):
+        process = fresh(EagerSender(7))
+        tag, payloads = unwrap_emission(process.emit(1))
+        assert (tag, payloads) == (1, (("now", 7),))
+        assert process.sends_deferred == 1  # the tag-2 send is staged
+        tag, payloads = unwrap_emission(process.emit(2))
+        assert (tag, payloads) == (2, (("later", 7),))
+        assert process.staged == {}
+
+    def test_stale_send_raises_under_strict_tags(self):
+        process = fresh(EagerSender(7))
+        process.emit(1)  # round-1 broadcast has left
+        with pytest.raises(TagDisciplineError, match="stale"):
+            process.ctx.send("too-late", tag=1)
+
+    def test_stale_send_counted_and_dropped_when_lenient(self):
+        process = fresh(EagerSender(7), strict_tags=False)
+        process.emit(1)
+        process.ctx.send("too-late", tag=1)
+        assert process.stale_discarded == 1
+        assert 1 not in process.staged
+
+    def test_send_beyond_depth_always_raises(self):
+        process = fresh(EagerSender(7), strict_tags=False)
+        with pytest.raises(TagDisciplineError, match="depth"):
+            process.ctx.send("beyond", tag=3)
+
+    def test_crash_silence_becomes_empty_heard(self):
+        process = fresh(EagerSender(7))
+        process.emit(1)
+        view = RoundView(
+            pid=0, round=1,
+            messages={0: (CC_TAG, 1, (("now", 7),)), 1: None},
+            suspected=frozenset({2}), n=3,
+        )
+        process.absorb(view)
+        # The None sender produced no on_message call, only the summary.
+        assert all(src != 1 for _, src, _ in process.program.heard)
+
+
+class TestCopy:
+    def test_copy_isolates_program_and_staged_buffers(self):
+        original = fresh(EagerSender(7))
+        original.emit(1)
+        clone = original.copy()
+        assert clone.program is not original.program
+        assert clone.ctx._host is clone  # ctx rebinds to the clone
+        clone.ctx.send("clone-only", tag=2)
+        assert original.staged[2] == [("later", 7)]
+        assert clone.staged[2] == [("later", 7), "clone-only"]
+
+    def test_echo_min_clone_is_independent(self):
+        process = fresh(EchoMinProcess(5, phases=2))
+        clone = process.copy()
+        clone.program.best = 0
+        assert process.program.best == 5
+
+
+class TestCompileProtocol:
+    def test_name_defaults_to_cc_of_inner(self):
+        assert compile_protocol(eager_protocol()).name == "cc[eager]"
+        assert compile_protocol(
+            eager_protocol(), name="mine"
+        ).name == "mine"
+
+    def test_invalid_depth_rejected(self):
+        bad = AsyncProtocol(name="bad", phases=0, spawn=lambda *a: None)
+        with pytest.raises(ValueError):
+            bad.depth(3)
+
+    def test_eager_protocol_runs_end_to_end(self):
+        protocol = compile_protocol(eager_protocol())
+        quiet = ScriptedAdversary(3, [(frozenset(),) * 3] * 2)
+        trace = run_protocol(protocol, (4, 2, 9), quiet, max_rounds=2)
+        assert trace.decisions == [2, 2, 2]
+
+    def test_echo_min_under_suspicion_keeps_validity_not_agreement(self):
+        protocol = compile_protocol(echo_min_protocol(2))
+        # p0 and p1 never hear p2; p2 hears everyone — decisions split,
+        # but each is some process's input (the async/sync separation).
+        script = [
+            (frozenset({2}), frozenset({2}), frozenset()),
+            (frozenset({2}), frozenset({2}), frozenset()),
+        ]
+        trace = run_protocol(
+            protocol, (4, 2, 0), ScriptedAdversary(3, script), max_rounds=2
+        )
+        assert all(d in (4, 2, 0) for d in trace.decisions)
+        assert trace.decisions[0] == 2  # min over {p0, p1} only
+        assert trace.decisions[2] == 0  # p2 heard everyone
+
+
+class TestAdapterEquivalence:
+    """compile(adapt(P)) must reproduce native P bit for bit."""
+
+    @pytest.mark.parametrize("script", [
+        [(frozenset(),) * 3] * 2,
+        [
+            (frozenset({1}), frozenset({1}), frozenset({1})),
+            (frozenset({1}), frozenset({1}), frozenset({1})),
+        ],
+        [
+            (frozenset(), frozenset({0}), frozenset()),
+            (frozenset({0}), frozenset({0}), frozenset({0})),
+        ],
+    ])
+    def test_floodmin_roundtrip_matches_native(self, script):
+        rounds = rounds_needed(1, 1)
+        native = floodmin_protocol(1)
+        compiled = compile_protocol(adapt_protocol(native, rounds))
+        inputs = (2, 0, 1)
+        kwargs = dict(max_rounds=rounds, crashed_stop_emitting=True)
+        t_native = run_protocol(
+            native, inputs, ScriptedAdversary(3, script), **kwargs
+        )
+        t_compiled = run_protocol(
+            compiled, inputs, ScriptedAdversary(3, script), **kwargs
+        )
+        assert t_compiled.decisions == t_native.decisions
+        assert t_compiled.d_history == t_native.d_history

@@ -1,0 +1,138 @@
+"""Satellite differential suite: compiled protocols vs their native selves.
+
+Three layers, matching how the compiled protocols are consumed:
+
+- **engine layer** — every ``cc-*`` spec's compiled protocol must produce
+  the *identical decision vector and suspicion history* as the native
+  protocol on the same adversary, exhaustively at n=3 where cheap and
+  property-based where not, and must certify violation-free on both
+  exploration engines;
+- **simulated overlay layer** — recorded runs of every cc catalog entry
+  under the ``none`` and ``ci`` fault plans must certify
+  communication-closed and project to exactly the trace the overlay
+  itself reports;
+- **live service layer** — one real socket run under the ``ci`` chaos
+  plan, recorded, certified, projected, and checked against the service's
+  own trace, invariant verdict for invariant verdict.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.adversary_search import iter_admissible_histories
+from repro.cc.catalog import CC_SERVICE_NAMES, resolve_cc_protocol
+from repro.cc.certify import certify, project
+from repro.cc.specs import COMPILED_SPEC_BASES
+from repro.cc.trace import record_reliable_run
+from repro.check.explore import explore
+from repro.check.spec import get_spec
+from repro.check.strategies import admissible_histories
+from repro.core.replay import verify_trace_consistency
+from repro.substrates.messaging.chaos import FaultPlan, LinkFaults
+
+
+def assert_same_execution(native, compiled):
+    assert compiled.decisions == native.decisions
+    assert compiled.d_history == native.d_history
+    assert compiled.inputs == native.inputs
+
+
+class TestEngineDifferential:
+    def test_kset_exhaustive_all_histories_and_inputs(self):
+        base, cc = get_spec("kset"), get_spec("cc-kset")
+        histories = list(iter_admissible_histories(
+            base.predicate(3), base.rounds(3)
+        ))
+        assert len(histories) > 1
+        for history in histories:
+            for inputs in base.exhaustive_inputs(3):
+                assert_same_execution(
+                    base.run(inputs, history), cc.run(inputs, history)
+                )
+
+    @pytest.mark.parametrize("base_name", COMPILED_SPEC_BASES)
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_decision_vectors_match_native(self, base_name, data):
+        base, cc = get_spec(base_name), get_spec(f"cc-{base_name}")
+        rounds = base.rounds(3)
+        history = data.draw(admissible_histories(
+            base.predicate(3), min_rounds=rounds, max_rounds=rounds,
+        ))
+        inputs = data.draw(st.sampled_from(list(base.exhaustive_inputs(3))))
+        assert_same_execution(
+            base.run(inputs, history), cc.run(inputs, history)
+        )
+
+    @pytest.mark.parametrize("engine", ["incremental", "replay"])
+    @pytest.mark.parametrize("spec_name", ["cc-kset", "cc-echo-min"])
+    def test_compiled_specs_certify_on_both_engines(self, spec_name, engine):
+        result = explore(spec_name, n=3, engine=engine)
+        assert result.violations == []
+        assert result.executions > 0
+
+
+CI_SIM_PLAN = FaultPlan(
+    default=LinkFaults(drop_prob=0.2, dup_prob=0.1, jitter=4.0)
+)
+SIM_PLANS = {"none": FaultPlan(), "ci": CI_SIM_PLAN}
+
+
+class TestSimulatedOverlayRoundtrip:
+    @pytest.mark.parametrize("plan_name", sorted(SIM_PLANS))
+    @pytest.mark.parametrize("name", CC_SERVICE_NAMES)
+    def test_recorded_run_certifies_and_projects(self, name, plan_name):
+        """Acceptance: every compiled-protocol trace under ``none``/``ci``
+        is accepted, and its projection is the overlay's own trace."""
+        protocol, rounds = resolve_cc_protocol(name, f=1, k=1)
+        result, trace = record_reliable_run(
+            protocol, (2, 0, 3, 1), 1,
+            max_rounds=rounds, seed=11, plan=SIM_PLANS[plan_name],
+            stop_on_decision=False,
+        )
+        certificate = certify(trace)
+        assert certificate.closed, certificate.summary()
+        projected = project(trace, certificate=certificate)
+        assert_same_execution(result.to_trace(), projected)
+        verify_trace_consistency(projected)
+
+
+class TestLiveServiceRoundtrip:
+    def test_chaos_run_certifies_projects_and_matches_invariants(self):
+        import asyncio
+
+        from repro.service.loadgen import named_plan
+        from repro.service.runtime import (
+            InstanceSpec,
+            ServiceConfig,
+            ServiceRuntime,
+        )
+
+        async def run():
+            config = ServiceConfig(
+                n=4, f=1, seed=13, plan=named_plan("ci", 4),
+            )
+            async with ServiceRuntime(config) as runtime:
+                return await runtime.run_instance_recorded(InstanceSpec(
+                    "cc-live", "cc-consensus", inputs=(1, 0, 1, 1),
+                ))
+
+        result, trace = asyncio.run(run())
+        assert trace.source == "service"
+        certificate = certify(trace)
+        assert certificate.closed, certificate.summary()
+
+        projected = project(trace, certificate=certificate)
+        native = result.to_trace()
+        assert_same_execution(native, projected)
+        verify_trace_consistency(projected)
+
+        # The projected trace must be indistinguishable from the native
+        # one under every invariant of the compiled floodset family.
+        for invariant in get_spec("cc-floodset").invariants:
+            assert (
+                invariant.failure(projected, projected.n)
+                == invariant.failure(native, native.n)
+            )

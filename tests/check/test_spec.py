@@ -19,6 +19,8 @@ from repro.protocols.properties import PropertyFailure
 EXPECTED_SPECS = {
     "kset", "floodset", "consensus", "adopt-commit",
     "early-stopping", "detector-consensus", "ho-uniform-voting",
+    "cc-kset", "cc-floodset", "cc-consensus", "cc-adopt-commit",
+    "cc-echo-min",
 }
 
 

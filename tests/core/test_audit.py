@@ -112,6 +112,83 @@ class TestOverlayAudit:
         assert stall.crashed == frozenset({0, 2})
 
 
+class TestStrictClosure:
+    """Regression: late duplicates crossing the round boundary.
+
+    ``check_views`` only inspects payloads that made it *into* a view, so a
+    round-r copy delivered after the receiver advanced (a late duplicate
+    from ChaosNetwork dup+jitter) was invisible to the closure check.  The
+    attributed ``late_arrivals`` path must surface each one as a
+    ``communication-closure`` violation — opt-in, because the overlay
+    discards them by design.
+    """
+
+    def _chaos_run(self):
+        from repro.substrates.messaging.chaos import FaultPlan, LinkFaults
+        from repro.substrates.messaging.reliable import (
+            run_reliable_round_overlay,
+        )
+
+        # Heavy duplication + jitter: the second copy of a round-r payload
+        # routinely lands after the receiver has left round r.
+        plan = FaultPlan(
+            default=LinkFaults(drop_prob=0.2, dup_prob=0.4, jitter=6.0)
+        )
+        return run_reliable_round_overlay(
+            fi_protocol(), list(range(4)), 1,
+            max_rounds=3, seed=0, plan=plan, stop_on_decision=False,
+        )
+
+    def test_chaos_late_duplicates_flagged_under_strict_closure(self):
+        result = self._chaos_run()
+        assert result.total_late_discarded > 0  # the plan provoked some
+        assert result.audit.ok  # default audit tolerates them (by design)
+        auditor = ExecutionAuditor(result.n, result.f)
+        strict = auditor.audit_overlay(
+            result.nodes, result.network, strict_closure=True
+        )
+        assert not strict.ok
+        closure = [
+            v for v in strict.violations if v.kind == "communication-closure"
+        ]
+        assert len(closure) == result.total_late_discarded
+        # Each violation is attributed: the sender, the message's round and
+        # the round the receiver had already advanced to.
+        receiver, src, round_number, at_round = result.late_arrivals[0]
+        sample = next(
+            v for v in closure
+            if v.pid == receiver and v.round == round_number
+        )
+        assert f"p{src}" in sample.detail
+        assert f"round {at_round}" in sample.detail
+        assert at_round > round_number
+
+    def test_check_views_reports_explicit_late_arrivals(self):
+        auditor = ExecutionAuditor(3, 1)
+        views = [RoundView(
+            pid=0, round=1,
+            messages={0: "a", 1: "b", 2: "c"}, suspected=frozenset(), n=3,
+        )]
+        violations = auditor.check_views(
+            0, views, late_arrivals=[(2, 1, 2)]
+        )
+        assert len(violations) == 1
+        assert violations[0].kind == "communication-closure"
+        assert "p2" in violations[0].detail
+        assert violations[0].round == 1
+
+    def test_strict_closure_clean_without_late_arrivals(self):
+        result = run_round_overlay(
+            fi_protocol(), [1, 2, 3], f=0, max_rounds=2, seed=0,
+            stop_on_decision=False,
+        )
+        auditor = ExecutionAuditor(3, 0)
+        strict = auditor.audit_overlay(
+            result.nodes, result.network, strict_closure=True
+        )
+        assert strict.ok
+
+
 class TestReportRendering:
     def test_summary_strings(self):
         ok = AuditReport(views_checked=7)

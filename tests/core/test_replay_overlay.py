@@ -44,11 +44,23 @@ class TestOverlayToTrace:
         for seed in range(5):
             verify_trace_consistency(chaos_result(seed=seed).to_trace())
 
-    def test_crashed_run_truncates_to_common_prefix(self):
+    def test_crashed_run_keeps_survivor_rounds(self):
+        """A crash mid-run must not clamp the trace to the victim's depth:
+        the survivors' common prefix is kept and the victim's missing
+        rounds are crash-padded (own emission only, everyone suspected)."""
         result = chaos_result(seed=3, crashes={0: [CrashWindow(10.0)]})
         trace = result.to_trace()
         verify_trace_consistency(trace)
-        assert trace.num_rounds == len(result.nodes[0].views)
+        live_depth = min(
+            len(node.views) for node in result.nodes if node.pid != 0
+        )
+        assert 0 in result.crashed
+        assert trace.num_rounds == live_depth
+        assert live_depth >= len(result.nodes[0].views)
+        for r in range(len(result.nodes[0].views), live_depth):
+            padded = trace.rounds[r].views[0]
+            assert padded.suspected == frozenset(range(1, 5))
+            assert set(padded.messages) == {0}
 
     def test_plain_overlay_trace_round_trips_too(self):
         result = run_round_overlay(

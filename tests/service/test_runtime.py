@@ -220,6 +220,55 @@ class TestKillMidRun:
         assert stats.suspicions_raised >= 1
         assert audit_instance(result).ok
 
+    def test_kill_mid_round_keeps_survivor_rounds_in_trace(self):
+        """Regression: ``to_overlay_result().to_trace()`` used to truncate
+        to the common prefix over *all* records — a kill() during round r
+        silently dropped the survivors' completed round r (and a process
+        killed before the instance started zeroed the whole trace).  The
+        projection must keep the live common prefix, crash-pad the victim,
+        and still satisfy the replay-consistency and core.audit checks."""
+
+        async def scenario():
+            config = ServiceConfig(
+                n=4, f=1, seed=5,
+                round_deadline=1.5,
+                initial_timeout=0.12,
+                timeout_bump=0.08,
+                heartbeat_interval=0.025,
+                plan=FaultPlan(default=LinkFaults(drop_prob=0.4)),
+            )
+            async with ServiceRuntime(config) as runtime:
+                task = asyncio.get_running_loop().create_task(
+                    runtime.run_instance(
+                        InstanceSpec("k1", "consensus", inputs=(2, 0, 1, 3))
+                    )
+                )
+                await asyncio.sleep(0.02)
+                await runtime.kill(3)
+                return await task
+
+        result = asyncio.run(scenario())
+        assert 3 in result.crashed
+        survivors = [r for r in result.records if r.pid != 3]
+        live_depth = min(len(r.views) for r in survivors)
+        assert live_depth >= 1  # survivors completed rounds after the kill
+        trace = result.to_trace()
+        # The survivors' completed rounds are all present, not silently
+        # dropped down to the victim's (possibly empty) view count.
+        assert trace.num_rounds == live_depth
+        assert live_depth > len(result.records[3].views)
+        verify_trace_consistency(trace)
+        # The victim's padded rows attribute the crash rounds explicitly.
+        for r in range(len(result.records[3].views), live_depth):
+            padded = trace.rounds[r].views[3]
+            assert padded.suspected == frozenset({0, 1, 2})
+            assert set(padded.messages) == {3}
+        # Survivor decisions survive the projection, and the audited views
+        # (the *real* recorded ones, not the padding) stay clean.
+        for record in survivors:
+            assert trace.decisions[record.pid] == record.process.decision
+        assert audit_instance(result).ok
+
 
 class TestRuntimeLifecycle:
     def test_double_instance_name_rejected(self):
